@@ -1,0 +1,38 @@
+//! E12 — ablation of a design choice: the paper's big-constant rewriting of
+//! the conditional constraints `|ext(τ)| > 0 → |ext(τ.l)| > 0` (Theorem 4.1)
+//! versus the solver's native disjunctive branching.  Both are complete; the
+//! bench shows the cost difference on the same workloads.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_core::{CardinalitySystem, SystemOptions};
+use xic_gen::unary_consistency_family;
+use xic_ilp::{ConditionalMode, IlpSolver, SolverConfig};
+
+fn bench_conditional_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_conditional_mode");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for spec in unary_consistency_family(&[2, 4, 8]) {
+        let system =
+            CardinalitySystem::build(&spec.dtd, &spec.sigma, &SystemOptions::default()).unwrap();
+        for (name, mode) in
+            [("branch", ConditionalMode::Branch), ("big_constant", ConditionalMode::BigConstant)]
+        {
+            let solver = IlpSolver::with_config(SolverConfig {
+                conditional_mode: mode,
+                ..Default::default()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(name, &spec.label),
+                &system,
+                |b, system| b.iter(|| solver.solve(system.program())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conditional_modes);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2 — the undecidable general class C_{K,FK} (Theorem 3.1 / Figure 5,
+//! "multi-attribute keys, foreign keys" column).
+//!
+//! There is no decision procedure to measure, so the bench measures the two
+//! semi-procedures the library offers: (a) the bounded model search on the
+//! (consistent) school specification as its search budget grows, and (b) the
+//! Theorem 3.1 reduction pipeline on growing relational schemas.  The paper's
+//! claim shows up as non-convergence: enlarging the budget enlarges the time
+//! without ever turning "Unknown" into a decision on the hard instances.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_core::{bounded_search, relational_to_spec, BoundedSearchConfig, ConsistencyChecker};
+use xic_relational::{RelConstraint, RelSchema};
+
+fn bench_bounded_search(c: &mut Criterion) {
+    let d3 = xic_dtd::example_d3();
+    let sigma3 = xic_constraints::example_sigma3(&d3);
+    let mut group = c.benchmark_group("e2_bounded_search_budget");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for attempts in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(attempts), &attempts, |b, &n| {
+            let config = BoundedSearchConfig { attempts: n, ..Default::default() };
+            b.iter(|| bounded_search(&d3, &sigma3, &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem31_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_theorem31_pipeline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for relations in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(relations), &relations, |b, &n| {
+            let mut schema = RelSchema::new();
+            let rels: Vec<_> =
+                (0..n).map(|i| schema.add_relation(&format!("R{i}"), &["a", "b", "c"])).collect();
+            let sigma: Vec<RelConstraint> =
+                rels.iter().map(|&r| RelConstraint::key(r, &["a"])).collect();
+            let checker = ConsistencyChecker::new();
+            b.iter(|| {
+                let spec = relational_to_spec(&schema, &sigma, rels[0], &["b".to_string()]);
+                checker.check(&spec.dtd, &spec.sigma).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_search, bench_theorem31_reduction);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E3/E4 — consistency for unary keys and foreign keys (Theorem 4.1 /
+//! Theorem 4.7 / Corollary 4.8; Figure 5 columns "unary keys, foreign keys"
+//! and "primary, unary keys, foreign keys").
+//!
+//! Three families: consistent reference chains, inconsistent fanout
+//! specifications (the teachers example scaled up), and hard instances from
+//! the 0/1-LIP reduction.  Primary-key-restricted workloads are included to
+//! show the restriction does not change the picture (Corollary 4.8).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_core::{CheckerConfig, ConsistencyChecker};
+use xic_gen::{
+    hard_lip_family, inconsistent_fanout_family, primary_key_family, unary_consistency_family,
+};
+
+fn checker_without_witness() -> ConsistencyChecker {
+    ConsistencyChecker::with_config(CheckerConfig { synthesize_witness: false, ..Default::default() })
+}
+
+fn bench_consistent_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_consistent_chain");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for spec in unary_consistency_family(&[2, 4, 8, 16]) {
+        let checker = checker_without_witness();
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_inconsistent_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_inconsistent_fanout");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for spec in inconsistent_fanout_family(&[2, 4, 8]) {
+        let checker = checker_without_witness();
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_lip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_hard_lip");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for (label, spec) in hard_lip_family(&[(2, 3), (3, 5), (4, 6)], 20260614) {
+        let checker = checker_without_witness();
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &spec, |b, spec| {
+            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_primary_key_restriction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_primary_key");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for spec in primary_key_family(&[6, 12, 24], 17) {
+        let checker = checker_without_witness();
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_consistent_chains,
+    bench_inconsistent_fanout,
+    bench_hard_lip,
+    bench_primary_key_restriction
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5 — fixed DTD, growing constraint set (Corollary 4.11 / Corollary 5.5):
+//! with the DTD fixed the number of ILP variables is bounded, so consistency
+//! and implication scale polynomially in |Σ|.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_core::{CheckerConfig, ConsistencyChecker};
+use xic_gen::fixed_dtd_growing_sigma;
+
+fn bench_fixed_dtd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_fixed_dtd_growing_sigma");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    let checker = ConsistencyChecker::with_config(CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    });
+    for spec in fixed_dtd_growing_sigma(6, &[2, 8, 32, 64], 5) {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_dtd);
+criterion_main!(benches);

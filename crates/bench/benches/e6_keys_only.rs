@@ -1,0 +1,63 @@
+//! E6/E7 — the linear-time cases of Theorem 3.5: DTD satisfiability,
+//! keys-only consistency and keys-only implication over growing DTDs
+//! (Figure 5 column "multi-attribute keys only").
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_core::{CheckerConfig, ConsistencyChecker, ImplicationChecker};
+use xic_dtd::dtd_satisfiable;
+use xic_gen::keys_only_family;
+
+fn bench_dtd_satisfiability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_dtd_satisfiability");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    for spec in keys_only_family(&[8, 32, 128, 512], 23) {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| dtd_satisfiable(&spec.dtd));
+        });
+    }
+    group.finish();
+}
+
+fn bench_keys_only_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_keys_only_consistency");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    let checker = ConsistencyChecker::with_config(CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    });
+    for spec in keys_only_family(&[8, 32, 128], 23) {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.check_keys_only(&spec.dtd, &spec.sigma));
+        });
+    }
+    group.finish();
+}
+
+fn bench_keys_only_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_keys_only_implication");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    let checker = ImplicationChecker::new();
+    for spec in keys_only_family(&[8, 32, 128], 23) {
+        // Ask whether the first key of Σ widened by one attribute is implied.
+        let phi = spec.sigma.iter().next().cloned().expect("nonempty");
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.implies(&spec.dtd, &spec.sigma, &phi).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dtd_satisfiability,
+    bench_keys_only_consistency,
+    bench_keys_only_implication
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E8 — implication for unary keys and foreign keys (Theorem 4.10 /
+//! Theorem 5.4, coNP-complete): both implied and non-implied targets over
+//! growing specifications.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_constraints::Constraint;
+use xic_core::{CheckerConfig, ImplicationChecker};
+use xic_gen::unary_consistency_family;
+
+fn bench_unary_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_unary_implication");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    let checker = ImplicationChecker::with_config(CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    });
+    for spec in unary_consistency_family(&[2, 4, 8]) {
+        // Implied target: a key that is already in Σ.
+        let implied = spec.sigma.iter().next().cloned().expect("nonempty");
+        // Non-implied target: kind0.ref0 as a key (nothing forces it).
+        let kind0 = spec.dtd.type_by_name("kind0").unwrap();
+        let ref0 = spec.dtd.attr_by_name("ref0").unwrap();
+        let not_implied = Constraint::unary_key(kind0, ref0);
+        group.bench_with_input(
+            BenchmarkId::new("implied", &spec.label),
+            &spec,
+            |b, spec| b.iter(|| checker.implies(&spec.dtd, &spec.sigma, &implied).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("not_implied", &spec.label),
+            &spec,
+            |b, spec| b.iter(|| checker.implies(&spec.dtd, &spec.sigma, &not_implied).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unary_implication);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E9 — consistency for C^unary_{K¬,IC¬}: unary keys, inclusion constraints
+//! and their negations (Theorem 5.1, NP).  The set-atom encoding grows with
+//! the number of attribute slots touched by inclusion constraints.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xic_core::{CheckerConfig, ConsistencyChecker};
+use xic_gen::negation_family;
+
+fn bench_negation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_negated_constraints");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(900));
+    group.warm_up_time(Duration::from_millis(200));
+    let checker = ConsistencyChecker::with_config(CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    });
+    for spec in negation_family(&[2, 4, 6], 29) {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
+            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_negation);
+criterion_main!(benches);

@@ -1,0 +1,554 @@
+//! The CLI subcommands.
+//!
+//! Every command is a plain function from parsed inputs to a
+//! [`CommandOutcome`]; `main` only does I/O, so the whole front end is
+//! testable without spawning processes.
+
+use std::fs;
+use std::path::Path;
+
+use xic_constraints::{
+    check_document, parse_constraint, parse_constraint_set, ConstraintClass, ConstraintSet,
+};
+use xic_core::{
+    diagnose as diagnose_spec, CardinalitySystem, CheckerConfig, ConsistencyChecker,
+    ConsistencyOutcome, Diagnosis, ImplicationChecker, SystemOptions,
+};
+use xic_dtd::{analyze, parse_dtd, Dtd};
+use xic_xml::{parse_document, validate, write_document};
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+
+/// The result of running a subcommand: a human-readable report plus the
+/// process exit code (`0` positive verdict, `1` negative verdict, `2`
+/// unknown / error).
+#[derive(Debug, Clone)]
+pub struct CommandOutcome {
+    /// The report to print on stdout.
+    pub report: String,
+    /// The process exit code.
+    pub exit_code: i32,
+}
+
+impl CommandOutcome {
+    fn new(report: String, exit_code: i32) -> CommandOutcome {
+        CommandOutcome { report, exit_code }
+    }
+}
+
+/// Loads and parses a DTD file; `--root` overrides the root element type.
+pub fn load_dtd(path: &str, root: Option<&str>) -> Result<Dtd, CliError> {
+    let text = read_file(path)?;
+    parse_dtd(&text, root).map_err(|e| CliError::Dtd(format!("{path}: {e}")))
+}
+
+/// Loads and parses a constraint file over an already-parsed DTD.
+pub fn load_constraints(path: &str, dtd: &Dtd) -> Result<ConstraintSet, CliError> {
+    let text = read_file(path)?;
+    parse_constraint_set(&text, dtd).map_err(|e| CliError::Constraints(format!("{path}: {e}")))
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(Path::new(path))
+        .map_err(|source| CliError::Io { path: path.to_string(), source })
+}
+
+fn checker_config(args: &ParsedArgs) -> CheckerConfig {
+    CheckerConfig {
+        synthesize_witness: !args.has_flag("no-witness"),
+        ..Default::default()
+    }
+}
+
+fn spec_inputs(args: &ParsedArgs) -> Result<(Dtd, ConstraintSet), CliError> {
+    let dtd = load_dtd(args.require("dtd")?, args.get("root"))?;
+    let sigma = match args.get("constraints") {
+        Some(path) => load_constraints(path, &dtd)?,
+        None => ConstraintSet::new(),
+    };
+    Ok((dtd, sigma))
+}
+
+/// `xic check` — static consistency analysis of a specification.
+pub fn check(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let checker = ConsistencyChecker::with_config(checker_config(args));
+    let outcome = checker.check(&dtd, &sigma).map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "specification: {} element types, {} attributes, {} constraints\n",
+        dtd.num_types(),
+        dtd.num_attrs(),
+        sigma.len()
+    ));
+    if let Some(class) = sigma.smallest_class() {
+        report.push_str(&format!("constraint class: {}\n", class.paper_name()));
+    }
+    let (verdict, code) = match &outcome {
+        ConsistencyOutcome::Consistent { .. } => ("CONSISTENT", 0),
+        ConsistencyOutcome::Inconsistent { .. } => ("INCONSISTENT", 1),
+        ConsistencyOutcome::Unknown { .. } => ("UNKNOWN", 2),
+    };
+    report.push_str(&format!("verdict: {verdict}\n"));
+    report.push_str(&format!("reason: {}\n", outcome.explanation()));
+    if let Some(witness) = outcome.witness() {
+        if let Some(out_path) = args.get("witness-out") {
+            let doc = write_document(witness, &dtd);
+            fs::write(out_path, &doc)
+                .map_err(|source| CliError::Io { path: out_path.to_string(), source })?;
+            report.push_str(&format!("witness document written to {out_path}\n"));
+        } else if !args.has_flag("quiet") {
+            report.push_str("witness document:\n");
+            report.push_str(&write_document(witness, &dtd));
+            if !report.ends_with('\n') {
+                report.push('\n');
+            }
+        }
+    }
+    Ok(CommandOutcome::new(report, code))
+}
+
+/// `xic implies` — does the specification imply the queried constraint?
+pub fn implies(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let query = args.require("query")?;
+    let phi = parse_constraint(query, &dtd)
+        .map_err(|e| CliError::Constraints(format!("--query: {e}")))?;
+    let checker = ImplicationChecker::with_config(checker_config(args));
+    let outcome =
+        checker.implies(&dtd, &sigma, &phi).map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let mut report = String::new();
+    report.push_str(&format!("query: {}\n", phi.render(&dtd)));
+    let code = if outcome.is_implied() {
+        report.push_str("verdict: IMPLIED\n");
+        0
+    } else if outcome.is_not_implied() {
+        report.push_str("verdict: NOT IMPLIED\n");
+        1
+    } else {
+        report.push_str("verdict: UNKNOWN\n");
+        2
+    };
+    report.push_str(&format!("reason: {}\n", outcome.explanation()));
+    if let Some(counterexample) = outcome.counterexample() {
+        if !args.has_flag("quiet") {
+            report.push_str("counterexample document:\n");
+            report.push_str(&write_document(counterexample, &dtd));
+            if !report.ends_with('\n') {
+                report.push('\n');
+            }
+        }
+    }
+    Ok(CommandOutcome::new(report, code))
+}
+
+/// `xic validate` — dynamic validation of a document against DTD and Σ.
+pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let doc_path = args.require("doc")?;
+    let text = read_file(doc_path)?;
+    let tree = parse_document(&text, &dtd)
+        .map_err(|e| CliError::Document(format!("{doc_path}: {e}")))?;
+
+    let mut report = String::new();
+    let structural = validate(&tree, &dtd);
+    let violations = check_document(&dtd, &tree, &sigma);
+    report.push_str(&format!(
+        "document: {} nodes ({} elements)\n",
+        tree.num_nodes(),
+        tree.elements().count()
+    ));
+    if structural.is_empty() {
+        report.push_str("structure: conforms to the DTD\n");
+    } else {
+        for e in &structural {
+            report.push_str(&format!("structure error: {e}\n"));
+        }
+    }
+    if violations.is_empty() {
+        report.push_str("constraints: all satisfied\n");
+    } else {
+        for v in &violations {
+            report.push_str(&format!("constraint violation: {}\n", v.constraint()));
+        }
+        // The paper's motivation for static checks: tell data problems apart
+        // from meaningless specifications.
+        let checker = ConsistencyChecker::with_config(CheckerConfig {
+            synthesize_witness: false,
+            ..Default::default()
+        });
+        if let Ok(outcome) = checker.check(&dtd, &sigma) {
+            if outcome.is_inconsistent() {
+                report.push_str(
+                    "note: the specification itself is inconsistent — no document can ever \
+                     satisfy it; fix the specification, not the data\n",
+                );
+            } else if outcome.is_consistent() {
+                report.push_str(
+                    "note: the specification is consistent, so these are data problems\n",
+                );
+            }
+        }
+    }
+    let ok = structural.is_empty() && violations.is_empty();
+    Ok(CommandOutcome::new(report, if ok { 0 } else { 1 }))
+}
+
+/// `xic diagnose` — explain an inconsistent specification by extracting a
+/// minimal inconsistent core of its constraints.
+pub fn diagnose(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let config = CheckerConfig { synthesize_witness: false, ..Default::default() };
+    let diagnosis =
+        diagnose_spec(&dtd, &sigma, &config).map_err(|e| CliError::Spec(e.to_string()))?;
+    let code = match &diagnosis {
+        Diagnosis::Consistent => 0,
+        Diagnosis::DtdUnsatisfiable | Diagnosis::Core { .. } => 1,
+        Diagnosis::Unknown { .. } => 2,
+    };
+    let mut report = diagnosis.render(&dtd);
+    if !report.ends_with('\n') {
+        report.push('\n');
+    }
+    Ok(CommandOutcome::new(report, code))
+}
+
+/// `xic classify` — report the constraint class and applicable procedures.
+pub fn classify(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    sigma.validate(&dtd).map_err(|e| CliError::Spec(format!("{e:?}")))?;
+    let mut report = String::new();
+    report.push_str(&format!("constraints ({}):\n", sigma.len()));
+    for c in sigma.iter() {
+        report.push_str(&format!("  {}\n", c.render(&dtd)));
+    }
+    match sigma.smallest_class() {
+        Some(class) => {
+            report.push_str(&format!("class: {}\n", class.paper_name()));
+            let (consistency, implication) = complexity_of(class);
+            report.push_str(&format!("consistency: {consistency}\n"));
+            report.push_str(&format!("implication: {implication}\n"));
+        }
+        None => report.push_str("class: (empty constraint set)\n"),
+    }
+    report.push_str(&format!(
+        "primary-key restriction: {}\n",
+        if sigma.satisfies_primary_key_restriction() { "satisfied" } else { "violated" }
+    ));
+    Ok(CommandOutcome::new(report, 0))
+}
+
+/// The paper's Figure 5 row for a constraint class.
+fn complexity_of(class: ConstraintClass) -> (&'static str, &'static str) {
+    match class {
+        ConstraintClass::KeysOnly => ("decidable in linear time (Theorem 3.5)", {
+            "decidable in linear time (Theorem 3.5)"
+        }),
+        ConstraintClass::UnaryKeyForeignKey => (
+            "NP-complete (Theorem 4.7); decided exactly via integer programming",
+            "coNP-complete (Theorem 4.10); decided exactly via integer programming",
+        ),
+        ConstraintClass::UnaryKeyInclusion => (
+            "NP-complete (Theorem 4.1/4.7); decided exactly via integer programming",
+            "coNP-complete (Theorem 5.4); decided exactly via integer programming",
+        ),
+        ConstraintClass::UnaryKeyNegInclusion => (
+            "NP-complete (Corollary 4.9)",
+            "coNP-complete (Theorem 5.4)",
+        ),
+        ConstraintClass::UnaryKeyNegInclusionNeg => (
+            "NP-complete (Theorem 5.1)",
+            "coNP-complete (Theorem 5.4)",
+        ),
+        ConstraintClass::MultiKeyForeignKey => (
+            "undecidable (Theorem 3.1); sound bounded search only",
+            "undecidable (Corollary 3.4); sound bounded search only",
+        ),
+    }
+}
+
+/// `xic explain` — print the DTD analysis and the cardinality system.
+pub fn explain(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let mut report = String::new();
+    report.push_str("== DTD ==\n");
+    report.push_str(&dtd.render());
+    if !report.ends_with('\n') {
+        report.push('\n');
+    }
+    let analysis = analyze(&dtd);
+    report.push_str(&format!(
+        "satisfiable: {}\n",
+        if analysis.satisfiable() { "yes" } else { "no — no finite document conforms" }
+    ));
+    for ty in dtd.types() {
+        report.push_str(&format!(
+            "  {}: occurs {}\n",
+            dtd.type_name(ty),
+            if analysis.can_occur_twice(ty) {
+                "any number of times"
+            } else if analysis.can_occur(ty) {
+                "at most once"
+            } else {
+                "never"
+            }
+        ));
+    }
+    report.push_str("\n== cardinality system Ψ(D,Σ) ==\n");
+    if sigma.iter().all(|c| c.is_unary()) {
+        match CardinalitySystem::build(&dtd, &sigma, &SystemOptions::default()) {
+            Ok(system) => {
+                report.push_str(&format!(
+                    "{} variables, {} linear constraints, {} conditionals\n",
+                    system.program().num_vars(),
+                    system.program().num_constraints(),
+                    system.program().num_conditionals()
+                ));
+                report.push_str(&system.program().render());
+            }
+            Err(e) => report.push_str(&format!("not available: {e}\n")),
+        }
+    } else {
+        report.push_str(
+            "not available: the specification contains multi-attribute constraints, for which \
+             consistency is undecidable (Theorem 3.1)\n",
+        );
+    }
+    if !report.ends_with('\n') {
+        report.push('\n');
+    }
+    Ok(CommandOutcome::new(report, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ArgSpec;
+    use std::path::PathBuf;
+
+    const SPEC: ArgSpec = ArgSpec {
+        valued: &["dtd", "root", "constraints", "doc", "query", "witness-out"],
+        flags: &["quiet", "no-witness"],
+    };
+
+    /// Writes a temp file with a unique name and returns its path.
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("xic-cli-test-{}-{}", std::process::id(), name));
+        fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const TEACHERS_DTD: &str = r#"
+        <!ELEMENT teachers (teacher+)>
+        <!ELEMENT teacher (teach, research)>
+        <!ELEMENT teach (subject, subject)>
+        <!ELEMENT research (#PCDATA)>
+        <!ELEMENT subject (#PCDATA)>
+        <!ATTLIST teacher name CDATA #REQUIRED>
+        <!ATTLIST subject taught_by CDATA #REQUIRED>
+    "#;
+
+    const SIGMA1: &str = "
+        teacher.name -> teacher
+        subject.taught_by -> subject
+        subject.taught_by ref teacher.name
+    ";
+
+    const SIGMA_CONSISTENT: &str = "
+        teacher.name -> teacher
+        subject.taught_by ref teacher.name
+    ";
+
+    fn run(
+        f: fn(&ParsedArgs) -> Result<CommandOutcome, CliError>,
+        args: &[&str],
+    ) -> CommandOutcome {
+        let parsed = ParsedArgs::parse(args.iter().copied(), &SPEC).unwrap();
+        f(&parsed).unwrap()
+    }
+
+    #[test]
+    fn check_reports_the_paper_inconsistency() {
+        let dtd = temp_file("d1.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma1.xic", SIGMA1);
+        let out = run(
+            check,
+            &["check", "--dtd", dtd.to_str().unwrap(), "--constraints", sigma.to_str().unwrap()],
+        );
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        assert!(out.report.contains("INCONSISTENT"), "{}", out.report);
+    }
+
+    #[test]
+    fn check_emits_a_witness_for_consistent_specs() {
+        let dtd = temp_file("d1b.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma_ok.xic", SIGMA_CONSISTENT);
+        let out = run(
+            check,
+            &["check", "--dtd", dtd.to_str().unwrap(), "--constraints", sigma.to_str().unwrap()],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("CONSISTENT"), "{}", out.report);
+        assert!(out.report.contains("<teachers"), "{}", out.report);
+    }
+
+    #[test]
+    fn check_without_constraints_is_dtd_satisfiability() {
+        let dtd = temp_file("d2.dtd", "<!ELEMENT db (foo)>\n<!ELEMENT foo (foo)>");
+        let out = run(check, &["check", "--dtd", dtd.to_str().unwrap()]);
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        assert!(out.report.contains("INCONSISTENT"));
+    }
+
+    #[test]
+    fn implies_answers_both_ways() {
+        let dtd = temp_file("d1c.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma_ok2.xic", SIGMA_CONSISTENT);
+        // The inclusion component of the foreign key is implied.
+        let out = run(
+            implies,
+            &[
+                "implies",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--query",
+                "subject.taught_by subset teacher.name",
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("IMPLIED"));
+        // The subject key is not implied; a counterexample is printed.
+        let out = run(
+            implies,
+            &[
+                "implies",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--query",
+                "subject.taught_by -> subject",
+            ],
+        );
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        assert!(out.report.contains("NOT IMPLIED"));
+        assert!(out.report.contains("counterexample"), "{}", out.report);
+    }
+
+    #[test]
+    fn validate_separates_data_problems_from_spec_problems() {
+        let dtd = temp_file("lib.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma_ok3.xic", SIGMA_CONSISTENT);
+        let doc = temp_file(
+            "doc.xml",
+            r#"<teachers>
+                 <teacher name="Joe"><teach>
+                   <subject taught_by="Joe">XML</subject>
+                   <subject taught_by="Ann">DB</subject>
+                 </teach><research>Web DB</research></teacher>
+               </teachers>"#,
+        );
+        let out = run(
+            validate_doc,
+            &[
+                "validate",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--doc",
+                doc.to_str().unwrap(),
+            ],
+        );
+        // taught_by="Ann" dangles, so the foreign key is violated — but the
+        // spec itself is consistent, so the report blames the data.
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        assert!(out.report.contains("constraint violation"), "{}", out.report);
+        assert!(out.report.contains("data problems"), "{}", out.report);
+    }
+
+    #[test]
+    fn diagnose_extracts_the_minimal_core_of_sigma1() {
+        let dtd = temp_file("d1f.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma1d.xic", SIGMA1);
+        let out = run(
+            diagnose,
+            &[
+                "diagnose",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        assert!(out.report.contains("minimal inconsistent core"), "{}", out.report);
+        assert!(out.report.contains("subject.taught_by → subject"), "{}", out.report);
+        // The teacher key is reported as not involved.
+        assert!(out.report.contains("not involved"), "{}", out.report);
+    }
+
+    #[test]
+    fn diagnose_on_a_consistent_spec_exits_zero() {
+        let dtd = temp_file("d1g.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma_ok4.xic", SIGMA_CONSISTENT);
+        let out = run(
+            diagnose,
+            &[
+                "diagnose",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("consistent"), "{}", out.report);
+    }
+
+    #[test]
+    fn classify_names_the_class_and_complexity() {
+        let dtd = temp_file("d1d.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma1b.xic", SIGMA1);
+        let out = run(
+            classify,
+            &[
+                "classify",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(out.exit_code, 0);
+        assert!(out.report.contains("NP-complete"), "{}", out.report);
+        assert!(out.report.contains("primary-key restriction"), "{}", out.report);
+    }
+
+    #[test]
+    fn explain_prints_the_cardinality_system() {
+        let dtd = temp_file("d1e.dtd", TEACHERS_DTD);
+        let sigma = temp_file("sigma1c.xic", SIGMA1);
+        let out = run(
+            explain,
+            &["explain", "--dtd", dtd.to_str().unwrap(), "--constraints", sigma.to_str().unwrap()],
+        );
+        assert_eq!(out.exit_code, 0);
+        assert!(out.report.contains("cardinality system"), "{}", out.report);
+        assert!(out.report.contains("ext(teacher)"), "{}", out.report);
+    }
+
+    #[test]
+    fn missing_files_are_reported_as_io_errors() {
+        let parsed =
+            ParsedArgs::parse(["check", "--dtd", "/nonexistent/spec.dtd"], &SPEC).unwrap();
+        let err = check(&parsed).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the command-line front end.
+
+use std::fmt;
+
+/// Everything that can go wrong while running a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed (unknown option, missing value).
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The DTD file did not parse.
+    Dtd(String),
+    /// The constraint file did not parse.
+    Constraints(String),
+    /// The XML document did not parse.
+    Document(String),
+    /// The specification was rejected by the analyzer (e.g. a constraint
+    /// references an attribute the DTD does not define).
+    Spec(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io { path, source } => write!(f, "cannot access `{path}`: {source}"),
+            CliError::Dtd(msg) => write!(f, "DTD error: {msg}"),
+            CliError::Constraints(msg) => write!(f, "constraint error: {msg}"),
+            CliError::Document(msg) => write!(f, "document error: {msg}"),
+            CliError::Spec(msg) => write!(f, "specification error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = CliError::Usage("missing `--dtd`".to_string());
+        assert!(e.to_string().contains("missing `--dtd`"));
+        let e = CliError::Io {
+            path: "spec.dtd".to_string(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.to_string().contains("spec.dtd"));
+    }
+}

@@ -1,0 +1,147 @@
+//! # xic-cli — command-line analyzer for XML specifications
+//!
+//! A thin front end over the workspace crates: it parses a DTD file and a
+//! constraint file (in the [`xic_constraints::parser`] surface syntax) and
+//! runs the paper's decision procedures from the shell.
+//!
+//! ```text
+//! xic check    --dtd school.dtd --constraints school.xic
+//! xic implies  --dtd school.dtd --constraints school.xic --query "enroll.student_id subset student.student_id"
+//! xic validate --dtd school.dtd --constraints school.xic --doc enrolments.xml
+//! xic classify --dtd school.dtd --constraints school.xic
+//! xic explain  --dtd school.dtd --constraints school.xic
+//! ```
+//!
+//! Exit codes are script-friendly: `0` for a positive verdict (consistent /
+//! implied / valid), `1` for a negative verdict, `2` for unknown verdicts and
+//! errors.
+//!
+//! All the work is done by library functions in [`commands`]; `main` only
+//! forwards `std::env::args` and prints, so the front end is fully covered by
+//! in-process tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::{ArgSpec, ParsedArgs};
+pub use commands::{check, classify, diagnose, explain, implies, validate_doc, CommandOutcome};
+pub use error::CliError;
+
+/// The options accepted by every subcommand (unknown ones are rejected with
+/// a usage error naming the offending option).
+pub const ARG_SPEC: ArgSpec = ArgSpec {
+    valued: &["dtd", "root", "constraints", "doc", "query", "witness-out"],
+    flags: &["quiet", "no-witness", "help"],
+};
+
+/// The usage text printed by `xic help` and on usage errors.
+pub const USAGE: &str = "\
+xic — static analysis for XML specifications (DTDs + keys and foreign keys)
+
+USAGE:
+    xic <COMMAND> [OPTIONS]
+
+COMMANDS:
+    check      decide whether any document can conform to the DTD and satisfy the constraints
+    implies    decide whether the specification implies a further constraint (--query)
+    validate   validate a document (--doc) against the DTD and the constraints
+    diagnose   explain an inconsistent specification (minimal inconsistent core)
+    classify   report the constraint class and the complexity of its analyses
+    explain    print the DTD analysis and the cardinality system Ψ(D,Σ)
+    help       print this message
+
+OPTIONS:
+    --dtd FILE            the DTD file (required by every command)
+    --root NAME           override the root element type (default: first declared element)
+    --constraints FILE    the constraint file (one constraint per line; optional)
+    --doc FILE            the XML document to validate (validate only)
+    --query CONSTRAINT    the constraint to test for implication (implies only)
+    --witness-out FILE    write the witness document to FILE instead of stdout (check only)
+    --no-witness          skip witness synthesis (faster; check/implies only)
+    --quiet               do not print witness or counterexample documents
+
+EXIT CODES:
+    0  consistent / implied / valid
+    1  inconsistent / not implied / invalid
+    2  unknown verdict, usage error, or I/O error
+";
+
+/// Runs the tool on an argument list (excluding the program name) and returns
+/// the report and exit code.  This is the function `main` calls and tests
+/// drive directly.
+pub fn run<I, S>(raw_args: I) -> (String, i32)
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let parsed = match ParsedArgs::parse(raw_args, &ARG_SPEC) {
+        Ok(p) => p,
+        Err(e) => return (format!("{e}\n\n{USAGE}"), 2),
+    };
+    if parsed.has_flag("help") {
+        return (USAGE.to_string(), 0);
+    }
+    let command = match parsed.command.as_deref() {
+        Some(c) => c,
+        None => return (USAGE.to_string(), 2),
+    };
+    let result = match command {
+        "check" => commands::check(&parsed),
+        "implies" => commands::implies(&parsed),
+        "validate" => commands::validate_doc(&parsed),
+        "diagnose" => commands::diagnose(&parsed),
+        "classify" => commands::classify(&parsed),
+        "explain" => commands::explain(&parsed),
+        "help" | "--help" | "-h" => return (USAGE.to_string(), 0),
+        other => {
+            return (
+                format!("unknown command `{other}`\n\n{USAGE}"),
+                2,
+            )
+        }
+    };
+    match result {
+        Ok(outcome) => (outcome.report, outcome.exit_code),
+        Err(e) => (format!("error: {e}\n"), 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_is_printed_for_help_command_and_no_command() {
+        let (report, code) = run(["help"]);
+        assert_eq!(code, 0);
+        assert!(report.contains("USAGE"));
+        let (report, code) = run(Vec::<String>::new());
+        assert_eq!(code, 2);
+        assert!(report.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let (report, code) = run(["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(report.contains("unknown command"));
+    }
+
+    #[test]
+    fn usage_errors_name_the_offending_option() {
+        let (report, code) = run(["check", "--bogus"]);
+        assert_eq!(code, 2);
+        assert!(report.contains("--bogus"));
+    }
+
+    #[test]
+    fn io_errors_surface_as_exit_code_two() {
+        let (report, code) = run(["check", "--dtd", "/definitely/not/here.dtd"]);
+        assert_eq!(code, 2);
+        assert!(report.contains("cannot access"));
+    }
+}

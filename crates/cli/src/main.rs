@@ -1,0 +1,11 @@
+//! `xic` — the command-line entry point.  All logic lives in [`xic_cli`].
+
+fn main() {
+    let (report, code) = xic_cli::run(std::env::args().skip(1));
+    if code == 0 || code == 1 {
+        print!("{report}");
+    } else {
+        eprint!("{report}");
+    }
+    std::process::exit(code);
+}

@@ -1,0 +1,336 @@
+//! The constraint classes of the paper and constraint-set utilities.
+//!
+//! The paper studies four classes:
+//!
+//! * `C_{K,FK}` — multi-attribute keys and foreign keys;
+//! * `C^Unary_{K,FK}` — unary keys and foreign keys;
+//! * `C^Unary_{K¬,IC}` — unary keys, unary inclusion constraints and
+//!   negations of unary keys;
+//! * `C^Unary_{K¬,IC¬}` — additionally negations of unary inclusion
+//!   constraints;
+//!
+//! plus the keys-only fragment `C_K` used in Theorem 3.5.  [`ConstraintSet`]
+//! bundles a Σ with validation, class membership tests and the primary-key
+//! restriction.
+
+use std::collections::HashMap;
+
+use xic_dtd::{Dtd, ElemId};
+
+use crate::constraint::{Constraint, ConstraintError, KeySpec};
+
+/// The constraint classes studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintClass {
+    /// `C_K`: multi-attribute keys only (Theorem 3.5).
+    KeysOnly,
+    /// `C_{K,FK}`: multi-attribute keys and foreign keys (Section 3).
+    MultiKeyForeignKey,
+    /// `C^Unary_{K,FK}`: unary keys and foreign keys (Section 4).
+    UnaryKeyForeignKey,
+    /// `C^Unary_{K,IC}`: unary keys and unary inclusion constraints
+    /// (the slight generalisation used in Theorem 4.1).
+    UnaryKeyInclusion,
+    /// `C^Unary_{K¬,IC}`: unary keys, inclusion constraints and negated keys.
+    UnaryKeyNegInclusion,
+    /// `C^Unary_{K¬,IC¬}`: additionally negated inclusion constraints
+    /// (Section 5).
+    UnaryKeyNegInclusionNeg,
+}
+
+impl ConstraintClass {
+    /// Human-readable name matching the paper's notation.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ConstraintClass::KeysOnly => "C_K",
+            ConstraintClass::MultiKeyForeignKey => "C_{K,FK}",
+            ConstraintClass::UnaryKeyForeignKey => "C^unary_{K,FK}",
+            ConstraintClass::UnaryKeyInclusion => "C^unary_{K,IC}",
+            ConstraintClass::UnaryKeyNegInclusion => "C^unary_{K¬,IC}",
+            ConstraintClass::UnaryKeyNegInclusionNeg => "C^unary_{K¬,IC¬}",
+        }
+    }
+
+    /// Whether a single constraint belongs to the class.
+    pub fn admits(self, c: &Constraint) -> bool {
+        match self {
+            ConstraintClass::KeysOnly => matches!(c, Constraint::Key(_)),
+            ConstraintClass::MultiKeyForeignKey => {
+                matches!(c, Constraint::Key(_) | Constraint::ForeignKey(_))
+            }
+            ConstraintClass::UnaryKeyForeignKey => {
+                c.is_unary() && matches!(c, Constraint::Key(_) | Constraint::ForeignKey(_))
+            }
+            ConstraintClass::UnaryKeyInclusion => {
+                c.is_unary()
+                    && matches!(
+                        c,
+                        Constraint::Key(_) | Constraint::ForeignKey(_) | Constraint::Inclusion(_)
+                    )
+            }
+            ConstraintClass::UnaryKeyNegInclusion => {
+                c.is_unary()
+                    && matches!(
+                        c,
+                        Constraint::Key(_)
+                            | Constraint::ForeignKey(_)
+                            | Constraint::Inclusion(_)
+                            | Constraint::NotKey(_)
+                    )
+            }
+            ConstraintClass::UnaryKeyNegInclusionNeg => c.is_unary(),
+        }
+    }
+}
+
+/// A set Σ of constraints over a DTD.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// The empty constraint set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Builds a set from a vector of constraints.
+    pub fn from_vec(constraints: Vec<Constraint>) -> ConstraintSet {
+        ConstraintSet { constraints }
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, c: Constraint) -> &mut Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Iterates over the constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Returns a new set with `extra` appended (used for Σ ∪ {¬φ}).
+    pub fn with(&self, extra: Constraint) -> ConstraintSet {
+        let mut c = self.clone();
+        c.push(extra);
+        c
+    }
+
+    /// Validates every constraint against the DTD.
+    pub fn validate(&self, dtd: &Dtd) -> Result<(), ConstraintError> {
+        for c in &self.constraints {
+            c.validate(dtd)?;
+        }
+        Ok(())
+    }
+
+    /// All key components present in the set: explicit keys plus the keys
+    /// required by foreign keys.
+    pub fn all_keys(&self) -> Vec<KeySpec> {
+        let mut keys = Vec::new();
+        for c in &self.constraints {
+            if let Some(k) = c.key_part() {
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+        }
+        keys
+    }
+
+    /// The explicit and foreign-key-implied inclusion constraints.
+    pub fn all_inclusions(&self) -> Vec<crate::constraint::InclusionSpec> {
+        self.constraints.iter().filter_map(|c| c.inclusion_part()).collect()
+    }
+
+    /// Whether every constraint is a member of the given class.
+    pub fn in_class(&self, class: ConstraintClass) -> bool {
+        self.constraints.iter().all(|c| class.admits(c))
+    }
+
+    /// The smallest class (in the paper's hierarchy) containing the set, or
+    /// `None` if it contains a multi-attribute negation, which no class of
+    /// the paper admits.
+    pub fn smallest_class(&self) -> Option<ConstraintClass> {
+        const ORDER: [ConstraintClass; 6] = [
+            ConstraintClass::KeysOnly,
+            ConstraintClass::UnaryKeyForeignKey,
+            ConstraintClass::UnaryKeyInclusion,
+            ConstraintClass::UnaryKeyNegInclusion,
+            ConstraintClass::UnaryKeyNegInclusionNeg,
+            ConstraintClass::MultiKeyForeignKey,
+        ];
+        ORDER.into_iter().find(|&class| self.in_class(class))
+    }
+
+    /// Checks the primary-key restriction: at most one key per element type,
+    /// counting both explicit keys and keys required by foreign keys.
+    pub fn satisfies_primary_key_restriction(&self) -> bool {
+        let mut per_type: HashMap<ElemId, Vec<Vec<_>>> = HashMap::new();
+        for key in self.all_keys() {
+            let entry = per_type.entry(key.ty).or_default();
+            let mut sorted = key.attrs.clone();
+            sorted.sort();
+            if !entry.contains(&sorted) {
+                entry.push(sorted);
+            }
+        }
+        per_type.values().all(|keys| keys.len() <= 1)
+    }
+
+    /// Renders the whole set, one constraint per line.
+    pub fn render(&self, dtd: &Dtd) -> String {
+        self.constraints.iter().map(|c| c.render(dtd)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
+        ConstraintSet { constraints: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a ConstraintSet {
+    type Item = &'a Constraint;
+    type IntoIter = std::slice::Iter<'a, Constraint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.constraints.iter()
+    }
+}
+
+/// Builds the paper's Σ1 over the teachers DTD D1:
+/// `teacher.name → teacher`, `subject.taught_by → subject`,
+/// `subject.taught_by ⊆ teacher.name` (a foreign key).
+pub fn example_sigma1(d1: &Dtd) -> ConstraintSet {
+    let teacher = d1.type_by_name("teacher").expect("teacher in D1");
+    let subject = d1.type_by_name("subject").expect("subject in D1");
+    let name = d1.attr_by_name("name").expect("name in D1");
+    let taught_by = d1.attr_by_name("taught_by").expect("taught_by in D1");
+    ConstraintSet::from_vec(vec![
+        Constraint::unary_key(teacher, name),
+        Constraint::unary_key(subject, taught_by),
+        Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+    ])
+}
+
+/// Builds the school constraints (1)–(5) of Section 2.2 over D3.
+pub fn example_sigma3(d3: &Dtd) -> ConstraintSet {
+    let student = d3.type_by_name("student").expect("student in D3");
+    let course = d3.type_by_name("course").expect("course in D3");
+    let enroll = d3.type_by_name("enroll").expect("enroll in D3");
+    let student_id = d3.attr_by_name("student_id").expect("student_id");
+    let dept = d3.attr_by_name("dept").expect("dept");
+    let course_no = d3.attr_by_name("course_no").expect("course_no");
+    ConstraintSet::from_vec(vec![
+        Constraint::key(student, vec![student_id]),
+        Constraint::key(course, vec![dept, course_no]),
+        Constraint::key(enroll, vec![student_id, dept, course_no]),
+        Constraint::foreign_key(enroll, vec![student_id], student, vec![student_id]),
+        Constraint::foreign_key(enroll, vec![dept, course_no], course, vec![dept, course_no]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_dtd::{example_d1, example_d3};
+
+    #[test]
+    fn sigma1_is_unary_kfk() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        assert_eq!(sigma1.len(), 3);
+        assert!(sigma1.validate(&d1).is_ok());
+        assert!(sigma1.in_class(ConstraintClass::UnaryKeyForeignKey));
+        assert!(sigma1.in_class(ConstraintClass::UnaryKeyNegInclusionNeg));
+        assert!(!sigma1.in_class(ConstraintClass::KeysOnly));
+        assert_eq!(sigma1.smallest_class(), Some(ConstraintClass::UnaryKeyForeignKey));
+    }
+
+    #[test]
+    fn sigma3_is_multiattribute() {
+        let d3 = example_d3();
+        let sigma3 = example_sigma3(&d3);
+        assert!(sigma3.validate(&d3).is_ok());
+        assert!(sigma3.in_class(ConstraintClass::MultiKeyForeignKey));
+        assert!(!sigma3.in_class(ConstraintClass::UnaryKeyForeignKey));
+        assert_eq!(sigma3.smallest_class(), Some(ConstraintClass::MultiKeyForeignKey));
+    }
+
+    #[test]
+    fn primary_key_restriction_holds_for_sigma1() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        // Σ1 has exactly one key per element type (teacher.name and
+        // subject.taught_by), so the restriction holds; and re-stating the
+        // same key does not break it.
+        assert!(sigma1.satisfies_primary_key_restriction());
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let restated = sigma1.with(Constraint::unary_key(teacher, name));
+        assert!(restated.satisfies_primary_key_restriction());
+    }
+
+    #[test]
+    fn two_distinct_keys_violate_primary_restriction() {
+        let d3 = example_d3();
+        let enroll = d3.type_by_name("enroll").unwrap();
+        let student_id = d3.attr_by_name("student_id").unwrap();
+        let dept = d3.attr_by_name("dept").unwrap();
+        let mut sigma = ConstraintSet::new();
+        sigma.push(Constraint::unary_key(enroll, student_id));
+        sigma.push(Constraint::unary_key(enroll, dept));
+        assert!(!sigma.satisfies_primary_key_restriction());
+    }
+
+    #[test]
+    fn with_and_negation() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let neg = Constraint::not_unary_key(teacher, name);
+        let extended = sigma1.with(neg.clone());
+        assert_eq!(extended.len(), 4);
+        assert!(extended.in_class(ConstraintClass::UnaryKeyNegInclusion));
+        assert!(!extended.in_class(ConstraintClass::UnaryKeyForeignKey));
+        assert_eq!(extended.smallest_class(), Some(ConstraintClass::UnaryKeyNegInclusion));
+    }
+
+    #[test]
+    fn all_keys_includes_foreign_key_targets() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let keys = sigma1.all_keys();
+        // teacher.name and subject.taught_by.
+        assert_eq!(keys.len(), 2);
+        let inclusions = sigma1.all_inclusions();
+        assert_eq!(inclusions.len(), 1);
+    }
+
+    #[test]
+    fn render_lists_constraints() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let s = sigma1.render(&d1);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("teacher.name → teacher"));
+    }
+}

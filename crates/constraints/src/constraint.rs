@@ -1,0 +1,399 @@
+//! The constraint languages of Section 2.2.
+//!
+//! Over a DTD `D`, a constraint is a key `τ[X] → τ`, an inclusion constraint
+//! `τ1[X] ⊆ τ2[Y]`, a foreign key (an inclusion constraint paired with a key
+//! on its target), or — for the extended classes C^Unary_{K¬,IC} and
+//! C^Unary_{K¬,IC¬} — the negation of a key or of an inclusion constraint.
+
+use xic_dtd::{AttrId, Dtd, ElemId};
+
+/// A key `τ[X] → τ`: the attribute list `X` uniquely identifies `τ` elements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeySpec {
+    /// The constrained element type `τ`.
+    pub ty: ElemId,
+    /// The key attributes `X` (non-empty).
+    pub attrs: Vec<AttrId>,
+}
+
+impl KeySpec {
+    /// Creates a key specification.
+    pub fn new(ty: ElemId, attrs: Vec<AttrId>) -> KeySpec {
+        KeySpec { ty, attrs }
+    }
+
+    /// Whether the key is unary (single attribute).
+    pub fn is_unary(&self) -> bool {
+        self.attrs.len() == 1
+    }
+
+    /// Renders the key as `τ[X] → τ` with DTD names.
+    pub fn render(&self, dtd: &Dtd) -> String {
+        format!(
+            "{}[{}] → {}",
+            dtd.type_name(self.ty),
+            render_attrs(dtd, &self.attrs),
+            dtd.type_name(self.ty)
+        )
+    }
+}
+
+/// An inclusion constraint `τ1[X] ⊆ τ2[Y]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InclusionSpec {
+    /// The referencing element type `τ1`.
+    pub from_ty: ElemId,
+    /// The referencing attribute list `X`.
+    pub from_attrs: Vec<AttrId>,
+    /// The referenced element type `τ2`.
+    pub to_ty: ElemId,
+    /// The referenced attribute list `Y` (same length as `X`).
+    pub to_attrs: Vec<AttrId>,
+}
+
+impl InclusionSpec {
+    /// Creates an inclusion specification.
+    pub fn new(
+        from_ty: ElemId,
+        from_attrs: Vec<AttrId>,
+        to_ty: ElemId,
+        to_attrs: Vec<AttrId>,
+    ) -> InclusionSpec {
+        InclusionSpec { from_ty, from_attrs, to_ty, to_attrs }
+    }
+
+    /// Whether the inclusion is unary.
+    pub fn is_unary(&self) -> bool {
+        self.from_attrs.len() == 1 && self.to_attrs.len() == 1
+    }
+
+    /// Renders the inclusion as `τ1[X] ⊆ τ2[Y]` with DTD names.
+    pub fn render(&self, dtd: &Dtd) -> String {
+        format!(
+            "{}[{}] ⊆ {}[{}]",
+            dtd.type_name(self.from_ty),
+            render_attrs(dtd, &self.from_attrs),
+            dtd.type_name(self.to_ty),
+            render_attrs(dtd, &self.to_attrs)
+        )
+    }
+}
+
+/// A single integrity constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// A key `τ[X] → τ`.
+    Key(KeySpec),
+    /// An inclusion constraint `τ1[X] ⊆ τ2[Y]` (no key requirement).
+    Inclusion(InclusionSpec),
+    /// A foreign key: the inclusion constraint together with the key
+    /// `τ2[Y] → τ2` on its target.
+    ForeignKey(InclusionSpec),
+    /// The negation of a key: `τ[X] ↛ τ` — two distinct `τ` elements agree
+    /// on `X`.
+    NotKey(KeySpec),
+    /// The negation of an inclusion constraint: `τ1[X] ⊄ τ2[Y]` — some `τ1`
+    /// element's `X`-values match no `τ2` element's `Y`-values.
+    NotInclusion(InclusionSpec),
+}
+
+impl Constraint {
+    /// Unary key `τ.l → τ`.
+    pub fn unary_key(ty: ElemId, attr: AttrId) -> Constraint {
+        Constraint::Key(KeySpec::new(ty, vec![attr]))
+    }
+
+    /// Unary inclusion constraint `τ1.l1 ⊆ τ2.l2`.
+    pub fn unary_inclusion(t1: ElemId, l1: AttrId, t2: ElemId, l2: AttrId) -> Constraint {
+        Constraint::Inclusion(InclusionSpec::new(t1, vec![l1], t2, vec![l2]))
+    }
+
+    /// Unary foreign key `τ1.l1 ⊆ τ2.l2, τ2.l2 → τ2`.
+    pub fn unary_foreign_key(t1: ElemId, l1: AttrId, t2: ElemId, l2: AttrId) -> Constraint {
+        Constraint::ForeignKey(InclusionSpec::new(t1, vec![l1], t2, vec![l2]))
+    }
+
+    /// Negated unary key `τ.l ↛ τ`.
+    pub fn not_unary_key(ty: ElemId, attr: AttrId) -> Constraint {
+        Constraint::NotKey(KeySpec::new(ty, vec![attr]))
+    }
+
+    /// Negated unary inclusion `τ1.l1 ⊄ τ2.l2`.
+    pub fn not_unary_inclusion(t1: ElemId, l1: AttrId, t2: ElemId, l2: AttrId) -> Constraint {
+        Constraint::NotInclusion(InclusionSpec::new(t1, vec![l1], t2, vec![l2]))
+    }
+
+    /// Multi-attribute key.
+    pub fn key(ty: ElemId, attrs: Vec<AttrId>) -> Constraint {
+        Constraint::Key(KeySpec::new(ty, attrs))
+    }
+
+    /// Multi-attribute foreign key.
+    pub fn foreign_key(
+        t1: ElemId,
+        from: Vec<AttrId>,
+        t2: ElemId,
+        to: Vec<AttrId>,
+    ) -> Constraint {
+        Constraint::ForeignKey(InclusionSpec::new(t1, from, t2, to))
+    }
+
+    /// Whether the constraint involves only single attributes.
+    pub fn is_unary(&self) -> bool {
+        match self {
+            Constraint::Key(k) | Constraint::NotKey(k) => k.is_unary(),
+            Constraint::Inclusion(i) | Constraint::ForeignKey(i) | Constraint::NotInclusion(i) => {
+                i.is_unary()
+            }
+        }
+    }
+
+    /// Whether the constraint is a negation.
+    pub fn is_negation(&self) -> bool {
+        matches!(self, Constraint::NotKey(_) | Constraint::NotInclusion(_))
+    }
+
+    /// The logical negation of this constraint, used by the implication
+    /// procedures ((D,Σ) ⊢ φ iff Σ ∪ {¬φ} is inconsistent over D).
+    /// Foreign keys negate into a *disjunction* (either the inclusion or the
+    /// key fails), which is why implication of a foreign key is checked as
+    /// the conjunction of the two implications; this method therefore
+    /// only accepts the four non-composite forms.
+    pub fn negated(&self) -> Option<Constraint> {
+        match self {
+            Constraint::Key(k) => Some(Constraint::NotKey(k.clone())),
+            Constraint::NotKey(k) => Some(Constraint::Key(k.clone())),
+            Constraint::Inclusion(i) => Some(Constraint::NotInclusion(i.clone())),
+            Constraint::NotInclusion(i) => Some(Constraint::Inclusion(i.clone())),
+            Constraint::ForeignKey(_) => None,
+        }
+    }
+
+    /// The key component of the constraint, if any (for foreign keys this is
+    /// the key on the referenced type).
+    pub fn key_part(&self) -> Option<KeySpec> {
+        match self {
+            Constraint::Key(k) => Some(k.clone()),
+            Constraint::ForeignKey(i) => Some(KeySpec::new(i.to_ty, i.to_attrs.clone())),
+            _ => None,
+        }
+    }
+
+    /// The inclusion component of the constraint, if any.
+    pub fn inclusion_part(&self) -> Option<InclusionSpec> {
+        match self {
+            Constraint::Inclusion(i) | Constraint::ForeignKey(i) | Constraint::NotInclusion(i) => {
+                Some(i.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Checks that the constraint is well-formed over a DTD: non-empty
+    /// attribute lists of matching length, and every attribute defined for
+    /// its element type.
+    pub fn validate(&self, dtd: &Dtd) -> Result<(), ConstraintError> {
+        let check_key = |k: &KeySpec| {
+            if k.attrs.is_empty() {
+                return Err(ConstraintError::EmptyAttributeList(self.render(dtd)));
+            }
+            for &a in &k.attrs {
+                if !dtd.has_attr(k.ty, a) {
+                    return Err(ConstraintError::UndefinedAttribute {
+                        constraint: self.render(dtd),
+                        element_type: dtd.type_name(k.ty).to_string(),
+                        attribute: dtd.attr_name(a).to_string(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        let check_inclusion = |i: &InclusionSpec| {
+            if i.from_attrs.is_empty() || i.to_attrs.is_empty() {
+                return Err(ConstraintError::EmptyAttributeList(self.render(dtd)));
+            }
+            if i.from_attrs.len() != i.to_attrs.len() {
+                return Err(ConstraintError::ArityMismatch(self.render(dtd)));
+            }
+            for &a in &i.from_attrs {
+                if !dtd.has_attr(i.from_ty, a) {
+                    return Err(ConstraintError::UndefinedAttribute {
+                        constraint: self.render(dtd),
+                        element_type: dtd.type_name(i.from_ty).to_string(),
+                        attribute: dtd.attr_name(a).to_string(),
+                    });
+                }
+            }
+            for &a in &i.to_attrs {
+                if !dtd.has_attr(i.to_ty, a) {
+                    return Err(ConstraintError::UndefinedAttribute {
+                        constraint: self.render(dtd),
+                        element_type: dtd.type_name(i.to_ty).to_string(),
+                        attribute: dtd.attr_name(a).to_string(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        match self {
+            Constraint::Key(k) | Constraint::NotKey(k) => check_key(k),
+            Constraint::Inclusion(i) | Constraint::NotInclusion(i) => check_inclusion(i),
+            Constraint::ForeignKey(i) => check_inclusion(i),
+        }
+    }
+
+    /// Renders the constraint with DTD names (unary constraints use the
+    /// paper's dot notation).
+    pub fn render(&self, dtd: &Dtd) -> String {
+        let dotted = |ty: ElemId, attrs: &[AttrId]| {
+            if attrs.len() == 1 {
+                format!("{}.{}", dtd.type_name(ty), dtd.attr_name(attrs[0]))
+            } else {
+                format!("{}[{}]", dtd.type_name(ty), render_attrs(dtd, attrs))
+            }
+        };
+        match self {
+            Constraint::Key(k) => {
+                format!("{} → {}", dotted(k.ty, &k.attrs), dtd.type_name(k.ty))
+            }
+            Constraint::NotKey(k) => {
+                format!("{} ↛ {}", dotted(k.ty, &k.attrs), dtd.type_name(k.ty))
+            }
+            Constraint::Inclusion(i) => {
+                format!("{} ⊆ {}", dotted(i.from_ty, &i.from_attrs), dotted(i.to_ty, &i.to_attrs))
+            }
+            Constraint::NotInclusion(i) => {
+                format!("{} ⊄ {}", dotted(i.from_ty, &i.from_attrs), dotted(i.to_ty, &i.to_attrs))
+            }
+            Constraint::ForeignKey(i) => format!(
+                "{} ⊆ {}, {} → {}",
+                dotted(i.from_ty, &i.from_attrs),
+                dotted(i.to_ty, &i.to_attrs),
+                dotted(i.to_ty, &i.to_attrs),
+                dtd.type_name(i.to_ty)
+            ),
+        }
+    }
+}
+
+fn render_attrs(dtd: &Dtd, attrs: &[AttrId]) -> String {
+    attrs.iter().map(|&a| dtd.attr_name(a)).collect::<Vec<_>>().join(", ")
+}
+
+/// Errors raised by constraint validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// A constraint referenced an attribute not defined for its element type.
+    UndefinedAttribute {
+        /// Rendered constraint.
+        constraint: String,
+        /// Element type name.
+        element_type: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A key or inclusion constraint with an empty attribute list.
+    EmptyAttributeList(String),
+    /// An inclusion constraint whose attribute lists differ in length.
+    ArityMismatch(String),
+}
+
+impl std::fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintError::UndefinedAttribute { constraint, element_type, attribute } => write!(
+                f,
+                "in `{constraint}`: attribute `{attribute}` is not defined for element type `{element_type}`"
+            ),
+            ConstraintError::EmptyAttributeList(c) => {
+                write!(f, "constraint `{c}` has an empty attribute list")
+            }
+            ConstraintError::ArityMismatch(c) => {
+                write!(f, "inclusion constraint `{c}` relates attribute lists of different lengths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_dtd::example_d1;
+
+    #[test]
+    fn sigma1_constraints_render() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let k1 = Constraint::unary_key(teacher, name);
+        let k2 = Constraint::unary_key(subject, taught_by);
+        let fk = Constraint::unary_foreign_key(subject, taught_by, teacher, name);
+        assert_eq!(k1.render(&d1), "teacher.name → teacher");
+        assert_eq!(k2.render(&d1), "subject.taught_by → subject");
+        assert!(fk.render(&d1).contains("subject.taught_by ⊆ teacher.name"));
+        assert!(k1.validate(&d1).is_ok());
+        assert!(fk.validate(&d1).is_ok());
+        assert!(k1.is_unary() && fk.is_unary());
+    }
+
+    #[test]
+    fn validation_catches_undefined_attributes() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        // taught_by is not an attribute of teacher.
+        let bad = Constraint::unary_key(teacher, taught_by);
+        assert!(matches!(bad.validate(&d1), Err(ConstraintError::UndefinedAttribute { .. })));
+    }
+
+    #[test]
+    fn validation_catches_arity_mismatch_and_empty_lists() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let bad = Constraint::Inclusion(InclusionSpec::new(
+            subject,
+            vec![taught_by],
+            teacher,
+            vec![name, name],
+        ));
+        assert!(matches!(bad.validate(&d1), Err(ConstraintError::ArityMismatch(_))));
+        let empty = Constraint::Key(KeySpec::new(teacher, vec![]));
+        assert!(matches!(empty.validate(&d1), Err(ConstraintError::EmptyAttributeList(_))));
+    }
+
+    #[test]
+    fn negation_round_trips() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let key = Constraint::unary_key(teacher, name);
+        let neg = key.negated().unwrap();
+        assert!(neg.is_negation());
+        assert_eq!(neg.negated().unwrap(), key);
+        let fk = Constraint::unary_foreign_key(teacher, name, teacher, name);
+        assert!(fk.negated().is_none());
+    }
+
+    #[test]
+    fn parts_extraction() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let fk = Constraint::unary_foreign_key(subject, taught_by, teacher, name);
+        let key_part = fk.key_part().unwrap();
+        assert_eq!(key_part.ty, teacher);
+        assert_eq!(key_part.attrs, vec![name]);
+        let inc = fk.inclusion_part().unwrap();
+        assert_eq!(inc.from_ty, subject);
+        assert!(Constraint::unary_key(teacher, name).inclusion_part().is_none());
+    }
+}

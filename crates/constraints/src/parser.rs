@@ -1,0 +1,540 @@
+//! A plain-text surface syntax for constraint sets.
+//!
+//! The paper writes constraints as `teacher.name → teacher` and
+//! `subject.taught_by ⊆ teacher.name`; this module parses exactly that
+//! notation (plus ASCII spellings) so that specifications can be kept in
+//! ordinary text files next to their DTDs and fed to the command-line tools.
+//!
+//! ## Syntax
+//!
+//! One constraint per line; blank lines and `#` comments are ignored.  An
+//! element/attribute *term* is either `type.attr` (unary) or
+//! `type[attr1, attr2, …]` (multi-attribute).
+//!
+//! | form | meaning |
+//! |---|---|
+//! | `term -> type` (or `→`) | key — `term`'s type must equal `type` |
+//! | `term subset term` (or `⊆`, `<=`) | inclusion constraint |
+//! | `term ref term` | foreign key (inclusion plus key on the target) |
+//! | `term !-> type` (or `↛`, or a leading `not`) | negated key |
+//! | `term !subset term` (or `⊄`, or a leading `not`) | negated inclusion |
+//!
+//! A foreign key may also be written the way [`Constraint::render`] prints
+//! it — `τ1.l1 ⊆ τ2.l2, τ2.l2 → τ2` — so rendering and parsing round-trip.
+//!
+//! ```
+//! use xic_constraints::{parse_constraint_set, Constraint};
+//! use xic_dtd::example_d1;
+//!
+//! let d1 = example_d1();
+//! let sigma = parse_constraint_set(
+//!     "
+//!     ## the paper's Σ1
+//!     teacher.name -> teacher
+//!     subject.taught_by -> subject
+//!     subject.taught_by ref teacher.name
+//!     ",
+//!     &d1,
+//! )
+//! .unwrap();
+//! assert_eq!(sigma.len(), 3);
+//! ```
+
+use xic_dtd::{AttrId, Dtd, ElemId};
+
+use crate::classes::ConstraintSet;
+use crate::constraint::{Constraint, InclusionSpec, KeySpec};
+
+/// An error raised while parsing the constraint surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed text (0 for single-line parses).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError { line: 0, message: message.into() }
+    }
+
+    fn at_line(mut self, line: usize) -> ParseError {
+        self.line = line;
+        self
+    }
+}
+
+/// Parses a whole constraint file: one constraint per line, `#` comments and
+/// blank lines ignored, optional trailing `;` per line.
+pub fn parse_constraint_set(input: &str, dtd: &Dtd) -> Result<ConstraintSet, ParseError> {
+    let mut set = ConstraintSet::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line = line.strip_suffix(';').unwrap_or(line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let c = parse_constraint(line, dtd).map_err(|e| e.at_line(idx + 1))?;
+        set.push(c);
+    }
+    Ok(set)
+}
+
+/// Parses a single constraint.
+pub fn parse_constraint(line: &str, dtd: &Dtd) -> Result<Constraint, ParseError> {
+    let line = strip_comment(line).trim();
+    if line.is_empty() {
+        return Err(ParseError::new("empty constraint"));
+    }
+
+    // Leading `not` negates the constraint that follows.
+    if let Some(rest) = strip_keyword(line, "not") {
+        let inner = parse_constraint(rest, dtd)?;
+        return inner.negated().ok_or_else(|| {
+            ParseError::new(
+                "`not` cannot be applied to a foreign key (negate its inclusion or its key \
+                 component instead)",
+            )
+        });
+    }
+
+    // The rendered foreign-key form `incl, key` — split on a top-level comma.
+    if let Some((first, second)) = split_top_level_comma(line) {
+        return parse_rendered_foreign_key(first.trim(), second.trim(), dtd);
+    }
+
+    // Binary operators, longest spellings first so prefixes don't shadow them.
+    const NEG_KEY_OPS: &[&str] = &["!->", "↛"];
+    const KEY_OPS: &[&str] = &["->", "→"];
+    const NEG_INC_OPS: &[&str] = &["!subset", "⊄", "!<="];
+    const INC_OPS: &[&str] = &["subset", "⊆", "<="];
+    const FK_OPS: &[&str] = &["ref"];
+
+    if let Some((lhs, rhs)) = split_on_ops(line, NEG_KEY_OPS) {
+        let key = parse_key(lhs, rhs, dtd)?;
+        return Ok(Constraint::NotKey(key));
+    }
+    if let Some((lhs, rhs)) = split_on_ops(line, FK_OPS) {
+        let inc = parse_inclusion(lhs, rhs, dtd)?;
+        return Ok(Constraint::ForeignKey(inc));
+    }
+    if let Some((lhs, rhs)) = split_on_ops(line, NEG_INC_OPS) {
+        let inc = parse_inclusion(lhs, rhs, dtd)?;
+        return Ok(Constraint::NotInclusion(inc));
+    }
+    if let Some((lhs, rhs)) = split_on_ops(line, INC_OPS) {
+        let inc = parse_inclusion(lhs, rhs, dtd)?;
+        return Ok(Constraint::Inclusion(inc));
+    }
+    if let Some((lhs, rhs)) = split_on_ops(line, KEY_OPS) {
+        let key = parse_key(lhs, rhs, dtd)?;
+        return Ok(Constraint::Key(key));
+    }
+
+    Err(ParseError::new(format!(
+        "`{line}` is not a constraint: expected one of `->`, `!->`, `subset`, `!subset`, `ref` \
+         (or their symbolic forms `→`, `↛`, `⊆`, `⊄`)"
+    )))
+}
+
+/// Strips a `#` comment (outside of any bracket context — the syntax has no
+/// string literals, so a bare `#` always starts a comment).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// If `line` starts with the word `kw` followed by whitespace, returns the
+/// remainder.
+fn strip_keyword<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(kw)?;
+    if rest.starts_with(char::is_whitespace) {
+        Some(rest.trim_start())
+    } else {
+        None
+    }
+}
+
+/// Splits on the first occurrence of any of the operators at the top level
+/// (outside `[…]`).  Word-like operators (`subset`, `ref`) must be
+/// whitespace-delimited.
+fn split_on_ops<'a>(line: &'a str, ops: &[&str]) -> Option<(&'a str, &'a str)> {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < line.len() {
+        // Only examine character boundaries.
+        if !line.is_char_boundary(i) {
+            i += 1;
+            continue;
+        }
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        if depth == 0 {
+            for op in ops {
+                if line[i..].starts_with(op) {
+                    let wordy = op.chars().all(|c| c.is_ascii_alphabetic());
+                    if wordy {
+                        let before_ok = i == 0
+                            || line[..i].chars().next_back().is_some_and(char::is_whitespace);
+                        let after = &line[i + op.len()..];
+                        let after_ok =
+                            after.is_empty() || after.starts_with(char::is_whitespace);
+                        if !(before_ok && after_ok) {
+                            continue;
+                        }
+                    }
+                    return Some((&line[..i], &line[i + op.len()..]));
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits on a top-level comma (outside `[…]`), if any.
+fn split_top_level_comma(line: &str) -> Option<(&str, &str)> {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => return Some((&line[..i], &line[i + 1..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the rendered foreign-key form `τ1[X] ⊆ τ2[Y], τ2[Y] → τ2`.
+fn parse_rendered_foreign_key(
+    first: &str,
+    second: &str,
+    dtd: &Dtd,
+) -> Result<Constraint, ParseError> {
+    let inc = match parse_constraint(first, dtd)? {
+        Constraint::Inclusion(i) => i,
+        other => {
+            return Err(ParseError::new(format!(
+                "expected the inclusion component of a foreign key before the comma, found a \
+                 {}",
+                kind_name(&other)
+            )))
+        }
+    };
+    let key = match parse_constraint(second, dtd)? {
+        Constraint::Key(k) => k,
+        other => {
+            return Err(ParseError::new(format!(
+                "expected the key component of a foreign key after the comma, found a {}",
+                kind_name(&other)
+            )))
+        }
+    };
+    if key.ty != inc.to_ty || key.attrs != inc.to_attrs {
+        return Err(ParseError::new(
+            "the key after the comma must be on the referenced type over the referenced \
+             attributes",
+        ));
+    }
+    Ok(Constraint::ForeignKey(inc))
+}
+
+fn kind_name(c: &Constraint) -> &'static str {
+    match c {
+        Constraint::Key(_) => "key",
+        Constraint::Inclusion(_) => "inclusion constraint",
+        Constraint::ForeignKey(_) => "foreign key",
+        Constraint::NotKey(_) => "negated key",
+        Constraint::NotInclusion(_) => "negated inclusion constraint",
+    }
+}
+
+/// Parses a key: the left side is a term, the right side must name the same
+/// element type.
+fn parse_key(lhs: &str, rhs: &str, dtd: &Dtd) -> Result<KeySpec, ParseError> {
+    let (ty, attrs) = parse_term(lhs.trim(), dtd)?;
+    let rhs = rhs.trim();
+    let rhs_ty = dtd
+        .type_by_name(rhs)
+        .ok_or_else(|| ParseError::new(format!("unknown element type `{rhs}`")))?;
+    if rhs_ty != ty {
+        return Err(ParseError::new(format!(
+            "a key must target its own element type: left side is `{}`, right side is `{}`",
+            dtd.type_name(ty),
+            rhs
+        )));
+    }
+    Ok(KeySpec::new(ty, attrs))
+}
+
+/// Parses an inclusion constraint from its two term sides.
+fn parse_inclusion(lhs: &str, rhs: &str, dtd: &Dtd) -> Result<InclusionSpec, ParseError> {
+    let (from_ty, from_attrs) = parse_term(lhs.trim(), dtd)?;
+    let (to_ty, to_attrs) = parse_term(rhs.trim(), dtd)?;
+    if from_attrs.len() != to_attrs.len() {
+        return Err(ParseError::new(format!(
+            "inclusion sides have different arities ({} vs {})",
+            from_attrs.len(),
+            to_attrs.len()
+        )));
+    }
+    Ok(InclusionSpec::new(from_ty, from_attrs, to_ty, to_attrs))
+}
+
+/// Parses a term: `type.attr` or `type[attr1, attr2, …]`.
+fn parse_term(term: &str, dtd: &Dtd) -> Result<(ElemId, Vec<AttrId>), ParseError> {
+    if let Some(open) = term.find('[') {
+        let close = term
+            .rfind(']')
+            .ok_or_else(|| ParseError::new(format!("unterminated `[` in `{term}`")))?;
+        if close < open {
+            return Err(ParseError::new(format!("mismatched brackets in `{term}`")));
+        }
+        let ty_name = term[..open].trim();
+        let ty = resolve_type(ty_name, dtd)?;
+        let inner = &term[open + 1..close];
+        let mut attrs = Vec::new();
+        for part in inner.split(',') {
+            let name = part.trim();
+            if name.is_empty() {
+                return Err(ParseError::new(format!("empty attribute name in `{term}`")));
+            }
+            attrs.push(resolve_attr(ty, name, dtd)?);
+        }
+        if attrs.is_empty() {
+            return Err(ParseError::new(format!("`{term}` has an empty attribute list")));
+        }
+        if !term[close + 1..].trim().is_empty() {
+            return Err(ParseError::new(format!("trailing input after `]` in `{term}`")));
+        }
+        Ok((ty, attrs))
+    } else if let Some(dot) = term.find('.') {
+        let ty_name = term[..dot].trim();
+        let attr_name = term[dot + 1..].trim();
+        let ty = resolve_type(ty_name, dtd)?;
+        let attr = resolve_attr(ty, attr_name, dtd)?;
+        Ok((ty, vec![attr]))
+    } else {
+        Err(ParseError::new(format!(
+            "`{term}` is not a term: expected `type.attr` or `type[attr, …]`"
+        )))
+    }
+}
+
+fn resolve_type(name: &str, dtd: &Dtd) -> Result<ElemId, ParseError> {
+    if name.is_empty() {
+        return Err(ParseError::new("missing element type name"));
+    }
+    dtd.type_by_name(name)
+        .ok_or_else(|| ParseError::new(format!("unknown element type `{name}`")))
+}
+
+fn resolve_attr(ty: ElemId, name: &str, dtd: &Dtd) -> Result<AttrId, ParseError> {
+    if name.is_empty() {
+        return Err(ParseError::new("missing attribute name"));
+    }
+    dtd.attrs_of(ty)
+        .iter()
+        .copied()
+        .find(|&a| dtd.attr_name(a) == name)
+        .ok_or_else(|| {
+            ParseError::new(format!(
+                "element type `{}` has no attribute `{}` (defined attributes: {})",
+                dtd.type_name(ty),
+                name,
+                if dtd.attrs_of(ty).is_empty() {
+                    "none".to_string()
+                } else {
+                    dtd.attrs_of(ty)
+                        .iter()
+                        .map(|&a| dtd.attr_name(a).to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{example_sigma1, example_sigma3};
+    use xic_dtd::{example_d1, example_d3};
+
+    #[test]
+    fn parses_unary_key_in_both_spellings() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        for text in ["teacher.name -> teacher", "teacher.name → teacher"] {
+            let c = parse_constraint(text, &d1).unwrap();
+            assert_eq!(c, Constraint::unary_key(teacher, name), "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_multi_attribute_key() {
+        let d3 = example_d3();
+        let course = d3.type_by_name("course").unwrap();
+        let dept = d3.attr_by_name("dept").unwrap();
+        let course_no = d3.attr_by_name("course_no").unwrap();
+        let c = parse_constraint("course[dept, course_no] -> course", &d3).unwrap();
+        assert_eq!(c, Constraint::key(course, vec![dept, course_no]));
+    }
+
+    #[test]
+    fn parses_inclusion_and_foreign_key() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let inc = parse_constraint("subject.taught_by subset teacher.name", &d1).unwrap();
+        assert_eq!(inc, Constraint::unary_inclusion(subject, taught_by, teacher, name));
+        let inc2 = parse_constraint("subject.taught_by ⊆ teacher.name", &d1).unwrap();
+        assert_eq!(inc, inc2);
+        let fk = parse_constraint("subject.taught_by ref teacher.name", &d1).unwrap();
+        assert_eq!(fk, Constraint::unary_foreign_key(subject, taught_by, teacher, name));
+    }
+
+    #[test]
+    fn parses_negations() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        for text in
+            ["not teacher.name -> teacher", "teacher.name !-> teacher", "teacher.name ↛ teacher"]
+        {
+            let c = parse_constraint(text, &d1).unwrap();
+            assert_eq!(c, Constraint::not_unary_key(teacher, name), "{text}");
+        }
+        for text in [
+            "not subject.taught_by subset teacher.name",
+            "subject.taught_by !subset teacher.name",
+            "subject.taught_by ⊄ teacher.name",
+        ] {
+            let c = parse_constraint(text, &d1).unwrap();
+            assert_eq!(
+                c,
+                Constraint::not_unary_inclusion(subject, taught_by, teacher, name),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn not_of_a_foreign_key_is_rejected() {
+        let d1 = example_d1();
+        let err =
+            parse_constraint("not subject.taught_by ref teacher.name", &d1).unwrap_err();
+        assert!(err.message.contains("foreign key"), "{err}");
+    }
+
+    #[test]
+    fn parses_whole_file_with_comments() {
+        let d1 = example_d1();
+        let sigma = parse_constraint_set(
+            "
+            # Σ1 from the introduction
+            teacher.name -> teacher      # name identifies a teacher
+            subject.taught_by -> subject;
+            subject.taught_by ref teacher.name
+            ",
+            &d1,
+        )
+        .unwrap();
+        assert_eq!(sigma.len(), 3);
+        assert_eq!(sigma, example_sigma1(&d1));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let d1 = example_d1();
+        let err = parse_constraint_set(
+            "teacher.name -> teacher\nsubject.wrong -> subject\n",
+            &d1,
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("no attribute `wrong`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_and_malformed_lines_are_rejected() {
+        let d1 = example_d1();
+        assert!(parse_constraint("nosuch.name -> nosuch", &d1).is_err());
+        assert!(parse_constraint("teacher.name", &d1).is_err());
+        assert!(parse_constraint("teacher.name -> subject", &d1).is_err());
+        assert!(parse_constraint("teacher[name -> teacher", &d1).is_err());
+        assert!(parse_constraint("teacher[] -> teacher", &d1).is_err());
+        assert!(parse_constraint("", &d1).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let d3 = example_d3();
+        let err = parse_constraint("enroll[student_id, dept] subset student[student_id]", &d3)
+            .unwrap_err();
+        assert!(err.message.contains("different arities"), "{err}");
+    }
+
+    #[test]
+    fn render_parse_round_trip_for_paper_examples() {
+        let d1 = example_d1();
+        for c in example_sigma1(&d1).iter() {
+            let text = c.render(&d1);
+            let back = parse_constraint(&text, &d1).unwrap();
+            assert_eq!(&back, c, "round-trip of `{text}`");
+        }
+        let d3 = example_d3();
+        for c in example_sigma3(&d3).iter() {
+            let text = c.render(&d3);
+            let back = parse_constraint(&text, &d3).unwrap();
+            assert_eq!(&back, c, "round-trip of `{text}`");
+        }
+    }
+
+    #[test]
+    fn rendered_negations_round_trip() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        for c in [
+            Constraint::not_unary_key(teacher, name),
+            Constraint::not_unary_inclusion(subject, taught_by, teacher, name),
+            Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+        ] {
+            let text = c.render(&d1);
+            let back = parse_constraint(&text, &d1).unwrap();
+            assert_eq!(back, c, "round-trip of `{text}`");
+        }
+    }
+}

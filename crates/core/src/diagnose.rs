@@ -1,0 +1,218 @@
+//! Diagnosis of inconsistent specifications.
+//!
+//! The paper closes by proposing to use integrity constraints "to distinguish
+//! good XML design from bad design".  The first tool such a design theory
+//! needs is an explanation of *why* a specification is inconsistent: which of
+//! the constraints actually participate in the conflict with the DTD's
+//! cardinality requirements, and which are innocent bystanders.
+//!
+//! [`diagnose`] computes a **minimal inconsistent core**: a subset Σ' ⊆ Σ
+//! that is still inconsistent over the DTD but becomes consistent if any
+//! single constraint is removed.  The core is found by deletion-based
+//! shrinking (try dropping each constraint in turn and keep the removal
+//! whenever the rest stays inconsistent), which needs `O(|Σ|)` consistency
+//! checks.  Each check is the NP procedure of Theorem 4.1 / Corollary 4.9 /
+//! Theorem 5.1, so diagnosis stays within the same complexity class as the
+//! consistency problem itself.
+//!
+//! For the teachers example of Section 1, the core of Σ1 over D1 is
+//! `{subject.taught_by → subject, subject.taught_by ⊆ teacher.name}` — the
+//! teacher key is not part of the conflict, which is exactly the cardinality
+//! argument the paper spells out (|ext(subject)| ≤ |ext(teacher)| clashes
+//! with |ext(subject)| = 2·|ext(teacher)| > |ext(teacher)|).
+
+use xic_constraints::{Constraint, ConstraintSet};
+use xic_dtd::{analyze, Dtd};
+
+use crate::consistency::{CheckerConfig, ConsistencyChecker};
+use crate::error::SpecError;
+
+/// The result of diagnosing a specification.
+#[derive(Debug, Clone)]
+pub enum Diagnosis {
+    /// The specification is consistent; there is nothing to explain.
+    Consistent,
+    /// The DTD alone admits no finite document, so every constraint set over
+    /// it is inconsistent regardless of its content.
+    DtdUnsatisfiable,
+    /// The specification is inconsistent and a minimal inconsistent core was
+    /// extracted.
+    Core {
+        /// A minimal subset of Σ that is already inconsistent over the DTD.
+        constraints: Vec<Constraint>,
+        /// Constraints of Σ that are not needed for the conflict.
+        innocent: Vec<Constraint>,
+    },
+    /// The underlying consistency checks could not all be decided within the
+    /// configured budget, so no minimal core is reported.
+    Unknown {
+        /// Why diagnosis gave up.
+        explanation: String,
+    },
+}
+
+impl Diagnosis {
+    /// The constraints of the minimal core, if one was found.
+    pub fn core(&self) -> Option<&[Constraint]> {
+        match self {
+            Diagnosis::Core { constraints, .. } => Some(constraints),
+            _ => None,
+        }
+    }
+
+    /// Whether the specification was found consistent.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Diagnosis::Consistent)
+    }
+
+    /// Renders the diagnosis as a human-readable report.
+    pub fn render(&self, dtd: &Dtd) -> String {
+        match self {
+            Diagnosis::Consistent => "the specification is consistent".to_string(),
+            Diagnosis::DtdUnsatisfiable => {
+                "the DTD admits no finite document at all; no constraint set over it can be \
+                 consistent"
+                    .to_string()
+            }
+            Diagnosis::Core { constraints, innocent } => {
+                let mut out = String::from(
+                    "minimal inconsistent core (removing any one of these restores \
+                     consistency):\n",
+                );
+                for c in constraints {
+                    out.push_str(&format!("  {}\n", c.render(dtd)));
+                }
+                if !innocent.is_empty() {
+                    out.push_str("constraints not involved in the conflict:\n");
+                    for c in innocent {
+                        out.push_str(&format!("  {}\n", c.render(dtd)));
+                    }
+                }
+                out
+            }
+            Diagnosis::Unknown { explanation } => format!("diagnosis gave up: {explanation}"),
+        }
+    }
+}
+
+/// Extracts a minimal inconsistent core of a **unary** specification.
+///
+/// Multi-attribute constraint sets are rejected with
+/// [`SpecError::UnsupportedClass`] (their consistency is undecidable, so a
+/// complete diagnosis procedure cannot exist).
+pub fn diagnose(
+    dtd: &Dtd,
+    sigma: &ConstraintSet,
+    config: &CheckerConfig,
+) -> Result<Diagnosis, SpecError> {
+    sigma.validate(dtd)?;
+    for c in sigma.iter() {
+        if !c.is_unary() {
+            return Err(SpecError::UnsupportedClass {
+                procedure: "diagnose".to_string(),
+                offending: c.render(dtd),
+            });
+        }
+    }
+    if !analyze(dtd).satisfiable() {
+        return Ok(Diagnosis::DtdUnsatisfiable);
+    }
+    // Diagnosis only needs verdicts, not witnesses.
+    let checker = ConsistencyChecker::with_config(CheckerConfig {
+        synthesize_witness: false,
+        ..config.clone()
+    });
+    let full = checker.check(dtd, sigma)?;
+    if full.is_consistent() {
+        return Ok(Diagnosis::Consistent);
+    }
+    if full.is_unknown() {
+        return Ok(Diagnosis::Unknown { explanation: full.explanation().to_string() });
+    }
+
+    // Deletion-based shrinking: keep a working set that is known inconsistent
+    // and try to drop each member once.
+    let mut core: Vec<Constraint> = sigma.iter().cloned().collect();
+    let mut i = 0;
+    while i < core.len() {
+        let mut candidate = core.clone();
+        candidate.remove(i);
+        let outcome = checker.check(dtd, &candidate.iter().cloned().collect::<ConstraintSet>())?;
+        if outcome.is_inconsistent() {
+            core = candidate; // the i-th constraint is not needed
+        } else if outcome.is_unknown() {
+            return Ok(Diagnosis::Unknown {
+                explanation: format!(
+                    "could not decide consistency of Σ without {}: {}",
+                    core[i].render(dtd),
+                    outcome.explanation()
+                ),
+            });
+        } else {
+            i += 1; // needed for the conflict, keep it
+        }
+    }
+    let innocent = sigma.iter().filter(|c| !core.contains(c)).cloned().collect();
+    Ok(Diagnosis::Core { constraints: core, innocent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::example_sigma1;
+    use xic_dtd::{example_d1, example_d2};
+
+    #[test]
+    fn sigma1_core_is_the_subject_key_and_the_foreign_key() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let diagnosis = diagnose(&d1, &sigma1, &CheckerConfig::default()).unwrap();
+        let core = diagnosis.core().expect("Σ1 is inconsistent, a core exists");
+        // The teacher key is innocent; the subject key + the foreign key
+        // already clash with D1's "two subjects per teacher".
+        assert_eq!(core.len(), 2, "{}", diagnosis.render(&d1));
+        let rendered = diagnosis.render(&d1);
+        assert!(rendered.contains("subject.taught_by → subject"), "{rendered}");
+        assert!(rendered.contains("teacher.name → teacher"), "{rendered}");
+        // Every core member is needed: dropping any one restores consistency.
+        let checker = ConsistencyChecker::with_config(CheckerConfig {
+            synthesize_witness: false,
+            ..Default::default()
+        });
+        for skip in 0..core.len() {
+            let reduced: ConstraintSet = core
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, c)| c.clone())
+                .collect();
+            assert!(checker.check(&d1, &reduced).unwrap().is_consistent());
+        }
+    }
+
+    #[test]
+    fn consistent_specifications_need_no_diagnosis() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let sigma = ConstraintSet::from_vec(vec![Constraint::unary_key(teacher, name)]);
+        let diagnosis = diagnose(&d1, &sigma, &CheckerConfig::default()).unwrap();
+        assert!(diagnosis.is_consistent());
+    }
+
+    #[test]
+    fn unsatisfiable_dtd_is_reported_as_such() {
+        let d2 = example_d2();
+        let diagnosis = diagnose(&d2, &ConstraintSet::new(), &CheckerConfig::default()).unwrap();
+        assert!(matches!(diagnosis, Diagnosis::DtdUnsatisfiable));
+        assert!(diagnosis.render(&d2).contains("no finite document"));
+    }
+
+    #[test]
+    fn multi_attribute_constraints_are_rejected() {
+        let d3 = xic_dtd::example_d3();
+        let sigma3 = xic_constraints::example_sigma3(&d3);
+        let err = diagnose(&d3, &sigma3, &CheckerConfig::default()).unwrap_err();
+        assert!(matches!(err, SpecError::UnsupportedClass { .. }));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the consistency and implication analyses.
+
+use std::fmt;
+
+use xic_constraints::ConstraintError;
+
+/// Errors raised while analysing an XML specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A constraint is not well-formed over the DTD.
+    BadConstraint(ConstraintError),
+    /// The requested procedure does not handle the given constraint class
+    /// (e.g. asking the unary checker to handle multi-attribute keys).
+    UnsupportedClass {
+        /// The procedure that was invoked.
+        procedure: String,
+        /// Description of the offending constraint.
+        offending: String,
+    },
+    /// The Theorem 5.1 encoding would need more set-atom variables than the
+    /// configured limit (the construction is exponential in the number of
+    /// attribute slots mentioned by inclusion constraints and negations).
+    TooManyAtomSlots {
+        /// Number of slots required.
+        slots: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadConstraint(e) => write!(f, "ill-formed constraint: {e}"),
+            SpecError::UnsupportedClass { procedure, offending } => {
+                write!(f, "{procedure} does not handle constraint `{offending}`")
+            }
+            SpecError::TooManyAtomSlots { slots, limit } => write!(
+                f,
+                "the negated-inclusion encoding needs 2^{slots} set atoms, above the limit of 2^{limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ConstraintError> for SpecError {
+    fn from(e: ConstraintError) -> Self {
+        SpecError::BadConstraint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpecError::UnsupportedClass {
+            procedure: "check_unary".into(),
+            offending: "course[dept, course_no] → course".into(),
+        };
+        assert!(e.to_string().contains("check_unary"));
+        let e = SpecError::TooManyAtomSlots { slots: 40, limit: 16 };
+        assert!(e.to_string().contains("40"));
+    }
+}

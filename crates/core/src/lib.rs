@@ -1,0 +1,54 @@
+//! # xic-core — consistency and implication analysis for XML specifications
+//!
+//! This crate is the paper's primary contribution turned into a library: given
+//! a DTD `D` (from `xic-dtd`) and a set Σ of keys, foreign keys and inclusion
+//! constraints (from `xic-constraints`), it decides — to the extent the paper
+//! shows decidable — whether the specification is *consistent* (some document
+//! conforms to `D` and satisfies Σ) and whether a further constraint is
+//! *implied*.
+//!
+//! The module map mirrors the paper:
+//!
+//! * [`system`] — the cardinality encodings Ψ_D, C_Σ, Ψ(D,Σ) and Ψ'(D,Σ) of
+//!   Theorem 4.1, Corollary 4.9 and Theorem 5.1;
+//! * [`consistency`] — the decision procedures, dispatched by constraint
+//!   class (linear-time keys-only and DTD-only cases of Theorem 3.5, the
+//!   ILP-backed unary cases, and the sound-but-incomplete bounded search for
+//!   the undecidable general class of Theorem 3.1);
+//! * [`implication`] — implication via subsumption (Lemma 3.7) and via
+//!   consistency of Σ ∪ {¬φ} (Theorem 4.10, Theorem 5.4);
+//! * [`witness`] — synthesis of concrete witness documents from integer
+//!   solutions (Lemmas 4.4–4.6, 5.2), with realizability cuts;
+//! * [`diagnose`] — minimal-inconsistent-core extraction for inconsistent
+//!   specifications (a first step towards the "design theory" the paper's
+//!   conclusion calls for);
+//! * [`bounded`] — the bounded model search used for the general class;
+//! * [`reductions`] — executable forms of the paper's reductions
+//!   (Theorem 3.1, Lemma 3.3, Theorem 4.7).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounded;
+pub mod consistency;
+pub mod diagnose;
+pub mod error;
+pub mod implication;
+pub mod reductions;
+pub mod system;
+pub mod witness;
+
+pub use bounded::{bounded_search, BoundedSearchConfig};
+pub use consistency::{CheckerConfig, ConsistencyChecker, ConsistencyOutcome};
+pub use diagnose::{diagnose, Diagnosis};
+pub use error::SpecError;
+pub use implication::{ImplicationChecker, ImplicationOutcome};
+pub use reductions::{
+    consistency_to_implication, lip_to_spec, relational_to_spec, ImplicationReduction, LipSpec,
+    RelationalSpec,
+};
+pub use system::{CardinalitySystem, SystemOptions};
+pub use witness::{
+    floating_components, solve_and_witness, solve_counts, synthesize, CountsOutcome,
+    WitnessError, WitnessOutcome,
+};

@@ -1,0 +1,470 @@
+//! Executable versions of the paper's reductions.
+//!
+//! * [`lip_to_spec`] — Theorem 4.7: a 0/1 linear system `A·x = 1` becomes a
+//!   DTD plus unary keys and foreign keys that are consistent iff the system
+//!   has a binary solution.  This is both the NP-hardness proof and, for this
+//!   library, a generator of *hard* consistency instances for the benchmark
+//!   harness.
+//! * [`relational_to_spec`] — Theorem 3.1: an instance of "relational key
+//!   implied by keys and foreign keys" becomes an XML specification whose
+//!   consistency is equivalent to the *complement* of the implication — the
+//!   bridge that makes XML consistency undecidable.
+//! * [`consistency_to_implication`] — Lemma 3.3: any consistency instance
+//!   becomes two implication instances over a slightly extended DTD, showing
+//!   implication is as hard as consistency.
+
+use xic_constraints::{Constraint, ConstraintSet};
+use xic_dtd::{ContentModel, Dtd, ElemId};
+use xic_relational::{RelConstraint, RelSchema};
+use xic_xml::XmlTree;
+
+/// A consistency instance produced by the Theorem 4.7 reduction, together
+/// with enough bookkeeping to decode a witness document back into a 0/1
+/// solution vector.
+#[derive(Debug, Clone)]
+pub struct LipSpec {
+    /// The generated DTD.
+    pub dtd: Dtd,
+    /// The generated unary keys and foreign keys.
+    pub sigma: ConstraintSet,
+    /// For each column `j`, the element types `X_ij` (one per row with
+    /// `a_ij = 1`) whose expansion encodes `x_j = 1`.
+    pub column_cells: Vec<Vec<ElemId>>,
+}
+
+impl LipSpec {
+    /// Decodes a witness document into the binary vector it encodes:
+    /// `x_j = 1` iff some `X_ij` element has a `Z_ij` child.
+    pub fn decode(&self, tree: &XmlTree) -> Vec<bool> {
+        self.column_cells
+            .iter()
+            .map(|cells| {
+                cells.iter().any(|&cell| {
+                    tree.ext(cell).iter().any(|&node| !tree.children(node).is_empty())
+                })
+            })
+            .collect()
+    }
+}
+
+/// Theorem 4.7: encodes the 0/1 system `A·x = 1` (each row must pick exactly
+/// one column with `a_ij = 1` and `x_j = 1`) as an XML specification with
+/// unary keys and foreign keys.
+///
+/// # Panics
+/// Panics if `matrix` is empty or ragged.
+pub fn lip_to_spec(matrix: &[Vec<bool>]) -> LipSpec {
+    assert!(!matrix.is_empty(), "the LIP reduction needs at least one row");
+    let cols = matrix[0].len();
+    assert!(matrix.iter().all(|r| r.len() == cols), "ragged matrix");
+    let rows = matrix.len();
+
+    let mut b = Dtd::builder();
+    let root = b.elem("r");
+    let mut f_types = Vec::with_capacity(rows);
+    let mut b_types = Vec::with_capacity(rows);
+    let mut vf_types = Vec::with_capacity(rows);
+    for i in 0..rows {
+        f_types.push(b.elem(&format!("F{i}")));
+        b_types.push(b.elem(&format!("b{i}")));
+        vf_types.push(b.elem(&format!("VF{i}")));
+    }
+    let mut cell_types: Vec<Vec<Option<(ElemId, ElemId)>>> = vec![vec![None; cols]; rows];
+    let mut column_cells: Vec<Vec<ElemId>> = vec![Vec::new(); cols];
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &one) in row.iter().enumerate() {
+            if one {
+                let x = b.elem(&format!("X{i}_{j}"));
+                let z = b.elem(&format!("Z{i}_{j}"));
+                cell_types[i][j] = Some((x, z));
+                column_cells[j].push(x);
+            }
+        }
+    }
+
+    // P(r) = F_1, …, F_m, b_1, …, b_m.
+    let mut root_children: Vec<ContentModel> =
+        f_types.iter().map(|&t| ContentModel::Element(t)).collect();
+    root_children.extend(b_types.iter().map(|&t| ContentModel::Element(t)));
+    b.content(root, ContentModel::seq_all(root_children));
+
+    for i in 0..rows {
+        // P(F_i) = the X_ij with a_ij = 1, in column order.
+        let cells: Vec<ContentModel> = (0..cols)
+            .filter_map(|j| cell_types[i][j].map(|(x, _)| ContentModel::Element(x)))
+            .collect();
+        b.content(f_types[i], ContentModel::seq_all(cells));
+        b.content(b_types[i], ContentModel::Epsilon);
+        b.content(vf_types[i], ContentModel::Epsilon);
+        for j in 0..cols {
+            if let Some((x, z)) = cell_types[i][j] {
+                // P(X_ij) = Z_ij | ε ; P(Z_ij) = VF_i.
+                b.content(
+                    x,
+                    ContentModel::alt(ContentModel::Element(z), ContentModel::Epsilon),
+                );
+                b.content(z, ContentModel::Element(vf_types[i]));
+            }
+        }
+    }
+
+    // Attributes.
+    let mut v_attrs = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let v = b.attr(vf_types[i], "v");
+        b.attr(b_types[i], "v");
+        v_attrs.push(v);
+    }
+    let mut cell_attrs: Vec<Vec<Option<xic_dtd::AttrId>>> = vec![vec![None; cols]; rows];
+    for i in 0..rows {
+        for j in 0..cols {
+            if let Some((_, z)) = cell_types[i][j] {
+                cell_attrs[i][j] = Some(b.attr(z, &format!("A{i}_{j}")));
+            }
+        }
+    }
+    let dtd = b.build("r").expect("the reduction DTD is well-formed");
+
+    // Constraints.
+    let mut sigma = ConstraintSet::new();
+    for i in 0..rows {
+        let v = v_attrs[i];
+        // VF_i.v → VF_i, b_i.v → b_i and the two foreign keys forcing
+        // |ext(VF_i)| = |ext(b_i)| = 1.
+        sigma.push(Constraint::unary_key(vf_types[i], v));
+        sigma.push(Constraint::unary_key(b_types[i], v));
+        sigma.push(Constraint::unary_foreign_key(vf_types[i], v, b_types[i], v));
+        sigma.push(Constraint::unary_foreign_key(b_types[i], v, vf_types[i], v));
+    }
+    // All occurrences of x_j take the same value: Z_ij.A_ij keys plus
+    // pairwise foreign keys along each column.
+    for j in 0..cols {
+        let rows_with_one: Vec<usize> = (0..rows).filter(|&i| matrix[i][j]).collect();
+        for &i in &rows_with_one {
+            let (_, z_i) = cell_types[i][j].expect("cell exists");
+            let a_i = cell_attrs[i][j].expect("attr exists");
+            sigma.push(Constraint::unary_key(z_i, a_i));
+            for &l in &rows_with_one {
+                if l == i {
+                    continue;
+                }
+                let (_, z_l) = cell_types[l][j].expect("cell exists");
+                let a_l = cell_attrs[l][j].expect("attr exists");
+                sigma.push(Constraint::unary_foreign_key(z_i, a_i, z_l, a_l));
+            }
+        }
+    }
+
+    LipSpec { dtd, sigma, column_cells }
+}
+
+/// A specification produced by the Theorem 3.1 reduction.
+#[derive(Debug, Clone)]
+pub struct RelationalSpec {
+    /// The generated DTD.
+    pub dtd: Dtd,
+    /// The generated (multi-attribute) keys and foreign keys.
+    pub sigma: ConstraintSet,
+    /// The tuple element type `t_i` for each relation of the input schema.
+    pub tuple_types: Vec<ElemId>,
+}
+
+/// Theorem 3.1: encodes the instance "does Σ imply the key `target_rel[X] →
+/// target_rel`?" over a relational schema as an XML specification that is
+/// consistent iff the implication does **not** hold.
+///
+/// # Panics
+/// Panics if Σ contains constraints other than keys and foreign keys, or if
+/// the key attributes are not attributes of `target_rel`.
+pub fn relational_to_spec(
+    schema: &RelSchema,
+    sigma: &[RelConstraint],
+    target_rel: xic_relational::RelId,
+    key_attrs: &[String],
+) -> RelationalSpec {
+    let mut b = Dtd::builder();
+    let root = b.elem("r");
+    let dy = b.elem("D_Y");
+    let ex = b.elem("E_X");
+
+    // Relation containers and tuple types.
+    let mut rel_types = Vec::new();
+    let mut tuple_types = Vec::new();
+    for rel in schema.relations() {
+        let name = &schema.relation(rel).name;
+        let container = b.elem(name);
+        let tuple = b.elem(&format!("{name}_tuple"));
+        b.content(container, ContentModel::star(ContentModel::Element(tuple)));
+        b.content(tuple, ContentModel::Epsilon);
+        for attr in &schema.relation(rel).attrs {
+            b.attr(tuple, attr);
+        }
+        rel_types.push(container);
+        tuple_types.push(tuple);
+    }
+    // P(r) = R_1, …, R_n, D_Y, D_Y, E_X.
+    let mut root_children: Vec<ContentModel> =
+        rel_types.iter().map(|&t| ContentModel::Element(t)).collect();
+    root_children.push(ContentModel::Element(dy));
+    root_children.push(ContentModel::Element(dy));
+    root_children.push(ContentModel::Element(ex));
+    b.content(root, ContentModel::seq_all(root_children));
+    b.content(dy, ContentModel::Epsilon);
+    b.content(ex, ContentModel::Epsilon);
+
+    // D_Y carries all attributes of the target relation; E_X carries X.
+    let target = schema.relation(target_rel);
+    assert!(
+        key_attrs.len() < target.attrs.len(),
+        "Theorem 3.1 takes a candidate key over a proper subset of the target relation's \
+         attributes: with X = Att(R) the key is trivially implied and there is nothing to encode"
+    );
+    for attr in &target.attrs {
+        b.attr(dy, attr);
+    }
+    for attr in key_attrs {
+        assert!(
+            target.attr_pos(attr).is_some(),
+            "`{attr}` is not an attribute of the target relation"
+        );
+        b.attr(ex, attr);
+    }
+    let dtd = b.build("r").expect("the reduction DTD is well-formed");
+
+    let attr_ids = |_ty: ElemId, names: &[String]| -> Vec<xic_dtd::AttrId> {
+        names
+            .iter()
+            .map(|n| dtd.attr_by_name(n).expect("attribute interned"))
+            .collect()
+    };
+
+    let mut out = ConstraintSet::new();
+    // Σ_Θ: every relational key/foreign key transfers to the tuple types.
+    for c in sigma {
+        match c {
+            RelConstraint::Key { rel, attrs } => {
+                out.push(Constraint::key(tuple_types[rel.index()], attr_ids(tuple_types[rel.index()], attrs)));
+            }
+            RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => {
+                out.push(Constraint::foreign_key(
+                    tuple_types[rel.index()],
+                    attr_ids(tuple_types[rel.index()], attrs),
+                    tuple_types[target.index()],
+                    attr_ids(tuple_types[target.index()], target_attrs),
+                ));
+            }
+            other => panic!("Theorem 3.1 takes keys and foreign keys only, got {other:?}"),
+        }
+    }
+    // Σ_φ: the gadget forcing two D_Y nodes that agree on X and disagree on Y.
+    let x_ids = attr_ids(dy, key_attrs);
+    let y_names: Vec<String> = target
+        .attrs
+        .iter()
+        .filter(|a| !key_attrs.contains(a))
+        .cloned()
+        .collect();
+    let y_ids = attr_ids(dy, &y_names);
+    let all_names: Vec<String> = target.attrs.clone();
+    let all_ids = attr_ids(dy, &all_names);
+    let target_tuple = tuple_types[target_rel.index()];
+    let target_all_ids = attr_ids(target_tuple, &all_names);
+    if !y_ids.is_empty() {
+        out.push(Constraint::key(dy, y_ids));
+    }
+    out.push(Constraint::key(ex, x_ids.clone()));
+    out.push(Constraint::foreign_key(dy, x_ids.clone(), ex, x_ids));
+    out.push(Constraint::foreign_key(dy, all_ids, target_tuple, target_all_ids.clone()));
+    out.push(Constraint::key(target_tuple, target_all_ids));
+
+    RelationalSpec { dtd, sigma: out, tuple_types }
+}
+
+/// The output of the Lemma 3.3 reduction: consistency of `(D, Σ)` holds iff
+/// `(D', Σ ∪ {aux_key, inclusion}) ⊬ target_key`, and also iff
+/// `(D', Σ ∪ {aux_key, target_key}) ⊬ inclusion`.
+#[derive(Debug, Clone)]
+pub struct ImplicationReduction {
+    /// The extended DTD `D'` (two `D_Y` children and one `E_X` child with a
+    /// fresh attribute `K` appended to the root's content model).
+    pub dtd: Dtd,
+    /// The auxiliary key `E_X.K → E_X` (the `ℓ` of the lemma).
+    pub aux_key: Constraint,
+    /// The unary key `D_Y.K → D_Y` (the `φ1` of the lemma).
+    pub target_key: Constraint,
+    /// The unary inclusion `D_Y.K ⊆ E_X.K` (the `φ2` of the lemma).
+    pub inclusion: Constraint,
+}
+
+/// Lemma 3.3: reduces consistency of `(dtd, _)` to the complement of unary
+/// key / unary inclusion implication over an extended DTD.  The input Σ is
+/// unchanged (it is simply interpreted over the extended DTD).
+pub fn consistency_to_implication(dtd: &Dtd) -> ImplicationReduction {
+    let mut b = Dtd::builder();
+    // Recreate the original DTD under the builder.
+    let mut old_to_new = Vec::with_capacity(dtd.num_types());
+    for ty in dtd.types() {
+        old_to_new.push(b.elem(dtd.type_name(ty)));
+    }
+    let translate = |cm: &ContentModel| -> ContentModel {
+        fn go(cm: &ContentModel, map: &[ElemId]) -> ContentModel {
+            match cm {
+                ContentModel::Epsilon => ContentModel::Epsilon,
+                ContentModel::Text => ContentModel::Text,
+                ContentModel::Element(e) => ContentModel::Element(map[e.index()]),
+                ContentModel::Seq(a, b) => ContentModel::seq(go(a, map), go(b, map)),
+                ContentModel::Alt(a, b) => ContentModel::alt(go(a, map), go(b, map)),
+                ContentModel::Star(a) => ContentModel::star(go(a, map)),
+                ContentModel::Plus(a) => ContentModel::plus(go(a, map)),
+                ContentModel::Opt(a) => ContentModel::opt(go(a, map)),
+            }
+        }
+        go(cm, &old_to_new)
+    };
+    let dy = b.elem("D_Y");
+    let ex = b.elem("E_X");
+    for ty in dtd.types() {
+        let new_ty = old_to_new[ty.index()];
+        if ty == dtd.root() {
+            // P'(r) = P(r), D_Y, D_Y, E_X.
+            let extended = ContentModel::seq_all([
+                translate(dtd.content(ty)),
+                ContentModel::Element(dy),
+                ContentModel::Element(dy),
+                ContentModel::Element(ex),
+            ]);
+            b.content(new_ty, extended);
+        } else {
+            b.content(new_ty, translate(dtd.content(ty)));
+        }
+        for &attr in dtd.attrs_of(ty) {
+            b.attr(new_ty, dtd.attr_name(attr));
+        }
+    }
+    b.content(dy, ContentModel::Epsilon);
+    b.content(ex, ContentModel::Epsilon);
+    let k_dy = b.attr(dy, "K");
+    let k_ex = b.attr(ex, "K");
+    let extended = b.build(dtd.type_name(dtd.root())).expect("extended DTD is well-formed");
+
+    ImplicationReduction {
+        aux_key: Constraint::unary_key(ex, k_ex),
+        target_key: Constraint::unary_key(dy, k_dy),
+        inclusion: Constraint::unary_inclusion(dy, k_dy, ex, k_ex),
+        dtd: extended,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::ConsistencyChecker;
+    use crate::implication::ImplicationChecker;
+    use xic_constraints::example_sigma1;
+    use xic_dtd::example_d1;
+    use xic_xml::validate;
+
+    #[test]
+    fn lip_reduction_feasible_instance() {
+        // x0 + x1 = 1, x1 + x2 = 1: solutions exist (e.g. x0=1, x1=0, x2=1).
+        let matrix = vec![vec![true, true, false], vec![false, true, true]];
+        let spec = lip_to_spec(&matrix);
+        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        assert!(outcome.is_consistent(), "{}", outcome.explanation());
+        if let Some(witness) = outcome.witness() {
+            assert!(validate(witness, &spec.dtd).is_empty());
+            let x = spec.decode(witness);
+            // Verify the decoded vector solves A·x = 1.
+            for row in &matrix {
+                let sum: usize =
+                    row.iter().zip(&x).filter(|(a, b)| **a && **b).count();
+                assert_eq!(sum, 1, "decoded vector {x:?} does not solve the system");
+            }
+        }
+    }
+
+    #[test]
+    fn lip_reduction_infeasible_instance() {
+        // x0 = 1 and x0 + x0 = 1 cannot both hold… encode an actually
+        // unsolvable system: row1 = {x0}, row2 = {x0, x1}, row3 = {x1}.
+        // row1 forces x0=1, row3 forces x1=1, row2 then sums to 2.
+        let matrix = vec![vec![true, false], vec![true, true], vec![false, true]];
+        let spec = lip_to_spec(&matrix);
+        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        assert!(outcome.is_inconsistent(), "{}", outcome.explanation());
+    }
+
+    #[test]
+    fn relational_reduction_tracks_implication() {
+        // Schema R(a, b) with Σ = { R[a] → R }.  The key R[a] → R is
+        // trivially implied (it is a member of Σ), so the reduction must not
+        // be consistent (inconsistent, or undetermined given undecidability).
+        let mut schema = RelSchema::new();
+        let r = schema.add_relation("R", &["a", "b"]);
+        let sigma = vec![RelConstraint::key(r, &["a"])];
+        let spec = relational_to_spec(&schema, &sigma, r, &["a".to_string()]);
+        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        assert!(
+            !outcome.is_consistent(),
+            "implied key must give an inconsistent (or undetermined) spec, got consistent: {}",
+            outcome.explanation()
+        );
+
+        // Conversely Σ = {} does not imply R[a] → R, so the spec is
+        // consistent (two tuples agreeing on a but differing on b exist).
+        // The general class is undecidable, so the checker is allowed to
+        // answer Unknown; it must never answer Inconsistent, and any witness
+        // it does find must be genuine.
+        let spec = relational_to_spec(&schema, &[], r, &["a".to_string()]);
+        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        assert!(!outcome.is_inconsistent(), "{}", outcome.explanation());
+        if let Some(w) = outcome.witness() {
+            assert!(validate(w, &spec.dtd).is_empty());
+            assert!(xic_constraints::document_satisfies(&spec.dtd, w, &spec.sigma));
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_reduction_round_trip() {
+        // D1 with Σ1 is inconsistent, so over the extended DTD the target key
+        // IS implied by Σ1 ∪ {aux, inclusion} (vacuously).
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let red = consistency_to_implication(&d1);
+        let sigma_ext = {
+            let mut s = sigma1.clone();
+            s.push(red.aux_key.clone());
+            s.push(red.inclusion.clone());
+            s
+        };
+        let outcome =
+            ImplicationChecker::new().implies(&red.dtd, &sigma_ext, &red.target_key).unwrap();
+        assert!(outcome.is_implied(), "{}", outcome.explanation());
+
+        // Dropping the subject key makes Σ consistent, and then the target
+        // key is NOT implied (the two D_Y elements can share a K value).
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let consistent_sigma = ConstraintSet::from_vec(vec![
+            Constraint::unary_key(teacher, name),
+            Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+        ]);
+        // Names are resolved against the extended DTD by name lookup.
+        let ext_teacher = red.dtd.type_by_name("teacher").unwrap();
+        let ext_subject = red.dtd.type_by_name("subject").unwrap();
+        let ext_name = red.dtd.attr_by_name("name").unwrap();
+        let ext_taught_by = red.dtd.attr_by_name("taught_by").unwrap();
+        let _ = consistent_sigma;
+        let sigma_ext = ConstraintSet::from_vec(vec![
+            Constraint::unary_key(ext_teacher, ext_name),
+            Constraint::unary_foreign_key(ext_subject, ext_taught_by, ext_teacher, ext_name),
+            red.aux_key.clone(),
+            red.inclusion.clone(),
+        ]);
+        let outcome =
+            ImplicationChecker::new().implies(&red.dtd, &sigma_ext, &red.target_key).unwrap();
+        assert!(outcome.is_not_implied(), "{}", outcome.explanation());
+    }
+}

@@ -1,0 +1,594 @@
+//! The cardinality systems Ψ_D, C_Σ, Ψ(D,Σ) and Ψ'(D,Σ).
+//!
+//! This is the heart of the paper's positive results (Theorem 4.1,
+//! Corollary 4.9, Theorem 5.1): a DTD `D` and a set Σ of unary constraints
+//! are compiled into a system of linear integer constraints such that the
+//! system has a non-negative integer solution iff some XML tree conforms to
+//! `D` and satisfies Σ.  The pieces are:
+//!
+//! * **Ψ_DN** — one variable `|ext(τ)|` per type of the simplified DTD and
+//!   one occurrence variable `x^i_{τ1,τ}` per occurrence of `τ1` in the rule
+//!   of `τ`, with the per-rule equalities and per-type occurrence sums;
+//! * **C_Σ** — one variable `|ext(τ.l)|` per attribute slot, with
+//!   `|ext(τ.l)| = |ext(τ)|` for keys, `≤` for inclusions, and
+//!   `0 ≤ |ext(τ.l)| ≤ |ext(τ)|` always;
+//! * the conditional constraints `|ext(τ)| > 0 → |ext(τ.l)| > 0` expressing
+//!   that every element carries all its attributes;
+//! * for negated keys (Corollary 4.9): `|ext(τ.l)| < |ext(τ)|`;
+//! * for negated inclusion constraints (Theorem 5.1): *set-atom* variables
+//!   `z_θ`, one per non-empty subset θ of the attribute slots mentioned by
+//!   (positive or negative) inclusion constraints, constrained so that the
+//!   `|ext(τ.l)|` values admit a set representation in which every negated
+//!   inclusion has a witness value.
+
+use std::collections::HashMap;
+
+use xic_constraints::{Constraint, ConstraintSet};
+use xic_dtd::{AttrId, Dtd, ElemId, SimpleDtd, SimpleId, SimpleRule};
+use xic_ilp::{CmpOp, IntegerProgram, LinExpr, Rational, VarId};
+
+use crate::error::SpecError;
+
+/// Options controlling system construction.
+#[derive(Debug, Clone)]
+pub struct SystemOptions {
+    /// Maximum number of attribute slots admitted by the negated-inclusion
+    /// (set-atom) encoding; the number of atom variables is `2^slots − 1`.
+    pub max_atom_slots: usize,
+}
+
+impl Default for SystemOptions {
+    fn default() -> Self {
+        SystemOptions { max_atom_slots: 16 }
+    }
+}
+
+/// An occurrence variable `x^i_{child,parent}`: the number of `child`
+/// subelements appearing at position `i` of the rule of `parent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// The child type.
+    pub child: SimpleId,
+    /// The parent type.
+    pub parent: SimpleId,
+    /// Position within the parent's rule (1 or 2).
+    pub position: u8,
+    /// The ILP variable carrying the count.
+    pub var: VarId,
+}
+
+/// The compiled cardinality system Ψ(D,Σ) (or Ψ'(D,Σ) when Σ contains
+/// negated inclusion constraints).
+#[derive(Debug, Clone)]
+pub struct CardinalitySystem {
+    program: IntegerProgram,
+    simple: SimpleDtd,
+    ext_vars: Vec<VarId>,
+    text_var: VarId,
+    attr_vars: HashMap<(ElemId, AttrId), VarId>,
+    occurrences: Vec<Occurrence>,
+    text_occurrences: Vec<(SimpleId, VarId)>,
+    /// Attribute slots participating in the set-atom encoding, in index
+    /// order (empty when Σ has no negated inclusion constraints).
+    atom_slots: Vec<(ElemId, AttrId)>,
+    /// Atom variables: `(bitmask over atom_slots, z_θ variable)`.
+    atom_vars: Vec<(u64, VarId)>,
+}
+
+impl CardinalitySystem {
+    /// Builds Ψ(D,Σ) / Ψ'(D,Σ) for a DTD and a set of **unary** constraints.
+    ///
+    /// Multi-attribute constraints are rejected with
+    /// [`SpecError::UnsupportedClass`]; the undecidable general class is
+    /// handled by [`crate::bounded`] instead.
+    pub fn build(
+        dtd: &Dtd,
+        sigma: &ConstraintSet,
+        options: &SystemOptions,
+    ) -> Result<CardinalitySystem, SpecError> {
+        sigma.validate(dtd)?;
+        for c in sigma.iter() {
+            if !c.is_unary() {
+                return Err(SpecError::UnsupportedClass {
+                    procedure: "CardinalitySystem::build".to_string(),
+                    offending: c.render(dtd),
+                });
+            }
+        }
+
+        let simple = SimpleDtd::from_dtd(dtd);
+        let mut program = IntegerProgram::new();
+
+        // |ext(τ)| variables for every simple type, plus |ext(S)|.
+        let ext_vars: Vec<VarId> = simple
+            .types()
+            .map(|ty| program.add_var(format!("ext({})", simple.name(ty))))
+            .collect();
+        let text_var = program.add_var("ext(S)");
+
+        // Occurrence variables and the per-rule equalities ψ_τ.
+        let mut occurrences = Vec::new();
+        let mut text_occurrences = Vec::new();
+        for ty in simple.types() {
+            let ext_ty = ext_vars[ty.index()];
+            match simple.rule(ty) {
+                SimpleRule::Epsilon => {}
+                SimpleRule::Text => {
+                    let v = program.add_var(format!("occ(S, {})", simple.name(ty)));
+                    text_occurrences.push((ty, v));
+                    program.add_var_eq_expr(
+                        ext_ty,
+                        LinExpr::var(v),
+                        format!("ψ_{}: text child", simple.name(ty)),
+                    );
+                }
+                SimpleRule::One(a) => {
+                    let v = program.add_var(format!(
+                        "occ1({}, {})",
+                        simple.name(a),
+                        simple.name(ty)
+                    ));
+                    occurrences.push(Occurrence { child: a, parent: ty, position: 1, var: v });
+                    program.add_var_eq_expr(
+                        ext_ty,
+                        LinExpr::var(v),
+                        format!("ψ_{}: single child", simple.name(ty)),
+                    );
+                }
+                SimpleRule::Seq(a, b) => {
+                    let va = program.add_var(format!(
+                        "occ1({}, {})",
+                        simple.name(a),
+                        simple.name(ty)
+                    ));
+                    let vb = program.add_var(format!(
+                        "occ2({}, {})",
+                        simple.name(b),
+                        simple.name(ty)
+                    ));
+                    occurrences.push(Occurrence { child: a, parent: ty, position: 1, var: va });
+                    occurrences.push(Occurrence { child: b, parent: ty, position: 2, var: vb });
+                    program.add_var_eq_expr(
+                        ext_ty,
+                        LinExpr::var(va),
+                        format!("ψ_{}: first of sequence", simple.name(ty)),
+                    );
+                    program.add_var_eq_expr(
+                        ext_ty,
+                        LinExpr::var(vb),
+                        format!("ψ_{}: second of sequence", simple.name(ty)),
+                    );
+                }
+                SimpleRule::Alt(a, b) => {
+                    let va = program.add_var(format!(
+                        "occ1({}, {})",
+                        simple.name(a),
+                        simple.name(ty)
+                    ));
+                    let vb = program.add_var(format!(
+                        "occ2({}, {})",
+                        simple.name(b),
+                        simple.name(ty)
+                    ));
+                    occurrences.push(Occurrence { child: a, parent: ty, position: 1, var: va });
+                    occurrences.push(Occurrence { child: b, parent: ty, position: 2, var: vb });
+                    let mut sum = LinExpr::var(va);
+                    sum.add_term(vb, Rational::one());
+                    program.add_var_eq_expr(
+                        ext_ty,
+                        sum,
+                        format!("ψ_{}: union", simple.name(ty)),
+                    );
+                }
+            }
+        }
+
+        // |ext(r)| = 1.
+        program.add_eq(
+            LinExpr::var(ext_vars[simple.root().index()]),
+            Rational::one(),
+            "unique root",
+        );
+
+        // Per-type occurrence sums: every non-root element is somebody's
+        // child exactly once; the root is nobody's child.
+        for ty in simple.types() {
+            let mut sum = LinExpr::new();
+            for occ in &occurrences {
+                if occ.child == ty {
+                    sum.add_term(occ.var, Rational::one());
+                }
+            }
+            if ty == simple.root() {
+                if !sum.is_empty() {
+                    program.add_eq(
+                        sum,
+                        Rational::zero(),
+                        "the root never occurs as a child".to_string(),
+                    );
+                }
+            } else {
+                let mut expr = LinExpr::var(ext_vars[ty.index()]);
+                expr.sub_expr(&sum);
+                program.add_eq(
+                    expr,
+                    Rational::zero(),
+                    format!("ext({}) counts all its occurrences", simple.name(ty)),
+                );
+            }
+        }
+        // |ext(S)| = Σ text occurrences.
+        {
+            let mut expr = LinExpr::var(text_var);
+            for (_, v) in &text_occurrences {
+                expr.add_term(*v, -Rational::one());
+            }
+            program.add_eq(expr, Rational::zero(), "ext(S) counts all text nodes");
+        }
+
+        // Attribute-count variables and the generic bounds
+        // 0 ≤ |ext(τ.l)| ≤ |ext(τ)| plus the totality conditionals.
+        let mut attr_vars = HashMap::new();
+        for ty in dtd.types() {
+            let ext_ty = ext_vars[simple.simple_of(ty).index()];
+            for &attr in dtd.attrs_of(ty) {
+                let v = program.add_var(format!(
+                    "ext({}.{})",
+                    dtd.type_name(ty),
+                    dtd.attr_name(attr)
+                ));
+                attr_vars.insert((ty, attr), v);
+                let mut le = LinExpr::var(v);
+                le.add_term(ext_ty, -Rational::one());
+                program.add_le(
+                    le,
+                    Rational::zero(),
+                    format!(
+                        "|ext({0}.{1})| ≤ |ext({0})|",
+                        dtd.type_name(ty),
+                        dtd.attr_name(attr)
+                    ),
+                );
+                program.add_conditional(
+                    ext_ty,
+                    v,
+                    format!(
+                        "every {} element has an {} attribute",
+                        dtd.type_name(ty),
+                        dtd.attr_name(attr)
+                    ),
+                );
+            }
+        }
+
+        // C_Σ: constraint-derived rows.
+        for c in sigma.iter() {
+            match c {
+                Constraint::Key(k) => {
+                    let attr = k.attrs[0];
+                    let ext_ty = ext_vars[simple.simple_of(k.ty).index()];
+                    let av = attr_vars[&(k.ty, attr)];
+                    let mut eq = LinExpr::var(av);
+                    eq.add_term(ext_ty, -Rational::one());
+                    program.add_eq(eq, Rational::zero(), format!("key: {}", c.render(dtd)));
+                }
+                Constraint::Inclusion(i) | Constraint::ForeignKey(i) => {
+                    let from = attr_vars[&(i.from_ty, i.from_attrs[0])];
+                    let to = attr_vars[&(i.to_ty, i.to_attrs[0])];
+                    let mut le = LinExpr::var(from);
+                    le.add_term(to, -Rational::one());
+                    program.add_le(
+                        le,
+                        Rational::zero(),
+                        format!("inclusion: {}", c.render(dtd)),
+                    );
+                    if matches!(c, Constraint::ForeignKey(_)) {
+                        let ext_ty = ext_vars[simple.simple_of(i.to_ty).index()];
+                        let mut eq = LinExpr::var(to);
+                        eq.add_term(ext_ty, -Rational::one());
+                        program.add_eq(
+                            eq,
+                            Rational::zero(),
+                            format!("foreign-key target key: {}", c.render(dtd)),
+                        );
+                    }
+                }
+                Constraint::NotKey(k) => {
+                    // |ext(τ.l)| ≤ |ext(τ)| − 1 (Corollary 4.9).
+                    let attr = k.attrs[0];
+                    let ext_ty = ext_vars[simple.simple_of(k.ty).index()];
+                    let av = attr_vars[&(k.ty, attr)];
+                    let mut le = LinExpr::var(av);
+                    le.add_term(ext_ty, -Rational::one());
+                    program.add_le(
+                        le,
+                        Rational::from_int(-1i64),
+                        format!("negated key: {}", c.render(dtd)),
+                    );
+                }
+                Constraint::NotInclusion(_) => {
+                    // Handled below by the set-atom encoding.
+                }
+            }
+        }
+
+        // Set-atom encoding for negated inclusion constraints (Theorem 5.1).
+        let mut atom_slots: Vec<(ElemId, AttrId)> = Vec::new();
+        let mut atom_vars: Vec<(u64, VarId)> = Vec::new();
+        let has_neg_inclusion =
+            sigma.iter().any(|c| matches!(c, Constraint::NotInclusion(_)));
+        if has_neg_inclusion {
+            // Collect every slot mentioned by a positive or negative
+            // inclusion constraint.
+            let push_slot = |slots: &mut Vec<(ElemId, AttrId)>, ty: ElemId, attr: AttrId| {
+                if !slots.contains(&(ty, attr)) {
+                    slots.push((ty, attr));
+                }
+            };
+            for c in sigma.iter() {
+                if let Some(i) = c.inclusion_part() {
+                    push_slot(&mut atom_slots, i.from_ty, i.from_attrs[0]);
+                    push_slot(&mut atom_slots, i.to_ty, i.to_attrs[0]);
+                }
+            }
+            let n = atom_slots.len();
+            if n > options.max_atom_slots {
+                return Err(SpecError::TooManyAtomSlots {
+                    slots: n,
+                    limit: options.max_atom_slots,
+                });
+            }
+            // One z_θ per non-empty subset of the slots.
+            for mask in 1u64..(1u64 << n) {
+                let v = program.add_var(format!("z_{mask:b}"));
+                atom_vars.push((mask, v));
+            }
+            // |ext(τ_i.l_i)| = Σ_{θ ∋ i} z_θ.
+            for (i, &(ty, attr)) in atom_slots.iter().enumerate() {
+                let mut expr = LinExpr::var(attr_vars[&(ty, attr)]);
+                for &(mask, v) in &atom_vars {
+                    if mask & (1 << i) != 0 {
+                        expr.add_term(v, -Rational::one());
+                    }
+                }
+                program.add_eq(
+                    expr,
+                    Rational::zero(),
+                    format!(
+                        "|ext({}.{})| is the size of its value set",
+                        dtd.type_name(ty),
+                        dtd.attr_name(attr)
+                    ),
+                );
+            }
+            // Positive inclusions force v_ij = 0; negations force v_ij ≥ 1.
+            let slot_index = |slots: &[(ElemId, AttrId)], ty: ElemId, attr: AttrId| {
+                slots.iter().position(|&s| s == (ty, attr)).expect("slot registered")
+            };
+            for c in sigma.iter() {
+                let Some(inc) = c.inclusion_part() else { continue };
+                let i = slot_index(&atom_slots, inc.from_ty, inc.from_attrs[0]);
+                let j = slot_index(&atom_slots, inc.to_ty, inc.to_attrs[0]);
+                let mut v_ij = LinExpr::new();
+                for &(mask, v) in &atom_vars {
+                    if mask & (1 << i) != 0 && mask & (1 << j) == 0 {
+                        v_ij.add_term(v, Rational::one());
+                    }
+                }
+                match c {
+                    Constraint::Inclusion(_) | Constraint::ForeignKey(_) => {
+                        program.add_constraint(
+                            v_ij,
+                            CmpOp::Eq,
+                            Rational::zero(),
+                            format!("set inclusion: {}", c.render(dtd)),
+                        );
+                    }
+                    Constraint::NotInclusion(_) => {
+                        program.add_ge(
+                            v_ij,
+                            Rational::one(),
+                            format!("negated inclusion witness: {}", c.render(dtd)),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        Ok(CardinalitySystem {
+            program,
+            simple,
+            ext_vars,
+            text_var,
+            attr_vars,
+            occurrences,
+            text_occurrences,
+            atom_slots,
+            atom_vars,
+        })
+    }
+
+    /// The underlying integer program.
+    pub fn program(&self) -> &IntegerProgram {
+        &self.program
+    }
+
+    /// The simplified DTD the system is defined over.
+    pub fn simple(&self) -> &SimpleDtd {
+        &self.simple
+    }
+
+    /// The `|ext(τ)|` variable of an original element type.
+    pub fn ext_var(&self, ty: ElemId) -> VarId {
+        self.ext_vars[self.simple.simple_of(ty).index()]
+    }
+
+    /// The `|ext(τ)|` variable of a simple type.
+    pub fn ext_var_simple(&self, ty: SimpleId) -> VarId {
+        self.ext_vars[ty.index()]
+    }
+
+    /// The `|ext(S)|` variable.
+    pub fn text_var(&self) -> VarId {
+        self.text_var
+    }
+
+    /// The `|ext(τ.l)|` variable of an attribute slot.
+    pub fn attr_var(&self, ty: ElemId, attr: AttrId) -> Option<VarId> {
+        self.attr_vars.get(&(ty, attr)).copied()
+    }
+
+    /// All occurrence variables.
+    pub fn occurrences(&self) -> &[Occurrence] {
+        &self.occurrences
+    }
+
+    /// Text-occurrence variables per parent type.
+    pub fn text_occurrences(&self) -> &[(SimpleId, VarId)] {
+        &self.text_occurrences
+    }
+
+    /// The attribute slots of the set-atom encoding (Theorem 5.1).
+    pub fn atom_slots(&self) -> &[(ElemId, AttrId)] {
+        &self.atom_slots
+    }
+
+    /// The set-atom variables (bitmask over [`Self::atom_slots`], variable).
+    pub fn atom_vars(&self) -> &[(u64, VarId)] {
+        &self.atom_vars
+    }
+
+    /// Mutable access to the program (used by the witness synthesizer to add
+    /// realizability cuts before re-solving).
+    pub fn program_mut(&mut self) -> &mut IntegerProgram {
+        &mut self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::example_sigma1;
+    use xic_dtd::{example_d1, example_d2};
+    use xic_ilp::IlpSolver;
+
+    #[test]
+    fn d1_without_constraints_is_feasible() {
+        let d1 = example_d1();
+        let sys =
+            CardinalitySystem::build(&d1, &ConstraintSet::new(), &SystemOptions::default())
+                .unwrap();
+        let outcome = IlpSolver::new().solve(sys.program());
+        let a = outcome.assignment().expect("D1 alone is satisfiable");
+        // The root count is 1 and teacher count ≥ 1 (teacher+).
+        let teachers = d1.type_by_name("teachers").unwrap();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        assert_eq!(a.get_u64(sys.ext_var(teachers)), Some(1));
+        assert!(a.get_u64(sys.ext_var(teacher)).unwrap() >= 1);
+    }
+
+    #[test]
+    fn d1_with_sigma1_is_infeasible() {
+        // The paper's introductory example: Σ1 over D1 is inconsistent.
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let sys = CardinalitySystem::build(&d1, &sigma1, &SystemOptions::default()).unwrap();
+        assert!(IlpSolver::new().solve(sys.program()).is_infeasible());
+    }
+
+    #[test]
+    fn d2_is_infeasible_even_without_constraints() {
+        let d2 = example_d2();
+        let sys =
+            CardinalitySystem::build(&d2, &ConstraintSet::new(), &SystemOptions::default())
+                .unwrap();
+        assert!(IlpSolver::new().solve(sys.program()).is_infeasible());
+    }
+
+    #[test]
+    fn dropping_the_foreign_key_restores_consistency() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let sigma = ConstraintSet::from_vec(vec![
+            Constraint::unary_key(teacher, name),
+            Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+        ]);
+        // Without the subject key, subjects may share taught_by values, so a
+        // model exists.
+        let sys = CardinalitySystem::build(&d1, &sigma, &SystemOptions::default()).unwrap();
+        let outcome = IlpSolver::new().solve(sys.program());
+        assert!(outcome.is_feasible());
+        let a = outcome.assignment().unwrap();
+        // The conditional constraints force at least one taught_by value.
+        assert!(a.get_u64(sys.attr_var(subject, taught_by).unwrap()).unwrap() >= 1);
+    }
+
+    #[test]
+    fn multiattribute_constraints_are_rejected() {
+        let d3 = xic_dtd::example_d3();
+        let sigma3 = xic_constraints::example_sigma3(&d3);
+        let err = CardinalitySystem::build(&d3, &sigma3, &SystemOptions::default()).unwrap_err();
+        assert!(matches!(err, SpecError::UnsupportedClass { .. }));
+    }
+
+    #[test]
+    fn negated_key_forces_two_elements() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let sigma = ConstraintSet::from_vec(vec![Constraint::not_unary_key(teacher, name)]);
+        let sys = CardinalitySystem::build(&d1, &sigma, &SystemOptions::default()).unwrap();
+        let outcome = IlpSolver::new().solve(sys.program());
+        let a = outcome.assignment().expect("feasible");
+        assert!(a.get_u64(sys.ext_var(teacher)).unwrap() >= 2);
+    }
+
+    #[test]
+    fn negated_inclusion_uses_atoms() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let sigma = ConstraintSet::from_vec(vec![Constraint::not_unary_inclusion(
+            subject, taught_by, teacher, name,
+        )]);
+        let sys = CardinalitySystem::build(&d1, &sigma, &SystemOptions::default()).unwrap();
+        assert_eq!(sys.atom_slots().len(), 2);
+        assert_eq!(sys.atom_vars().len(), 3);
+        assert!(IlpSolver::new().solve(sys.program()).is_feasible());
+    }
+
+    #[test]
+    fn atom_slot_limit_is_enforced() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        let sigma = ConstraintSet::from_vec(vec![Constraint::not_unary_inclusion(
+            subject, taught_by, teacher, name,
+        )]);
+        let err = CardinalitySystem::build(
+            &d1,
+            &sigma,
+            &SystemOptions { max_atom_slots: 1 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::TooManyAtomSlots { slots: 2, limit: 1 }));
+    }
+
+    #[test]
+    fn system_size_is_linear_in_the_spec() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let sys = CardinalitySystem::build(&d1, &sigma1, &SystemOptions::default()).unwrap();
+        // A loose sanity bound: a handful of variables and rows per type.
+        assert!(sys.program().num_vars() < 20 * d1.num_types());
+        assert!(sys.program().num_constraints() < 20 * d1.num_types() + 10 * sigma1.len());
+    }
+}

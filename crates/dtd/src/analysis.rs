@@ -1,0 +1,323 @@
+//! Linear-time structural analyses of DTDs.
+//!
+//! These implement the PTIME cases of the paper:
+//!
+//! * Theorem 3.5(1): whether a DTD has any valid (finite) XML tree at all —
+//!   the emptiness test for the associated extended context-free grammar;
+//! * Lemma 3.6: whether some valid tree contains **more than one** node of a
+//!   given element type, which drives the linear-time implication test for
+//!   keys (Lemma 3.7);
+//! * plus reachability, used by the witness synthesizer and the generators.
+//!
+//! All three are computed by monotone fixpoints over the content-model
+//! grammar, without expanding Kleene stars.
+
+use crate::content::ContentModel;
+use crate::dtd::{Dtd, ElemId};
+
+/// Result of [`analyze`] — per-type structural facts about a DTD.
+#[derive(Debug, Clone)]
+pub struct DtdAnalysis {
+    /// `productive[τ]` — some finite tree rooted at a `τ` element exists.
+    productive: Vec<bool>,
+    /// `reachable[τ]` — `τ` occurs in some valid tree position reachable from
+    /// the root *through productive contexts* (i.e. `max_count[τ] >= 1`).
+    reachable: Vec<bool>,
+    /// `max_count[τ]` ∈ {0, 1, 2} — the maximum number of `τ` elements over
+    /// all valid trees, capped at 2 ("2" means "at least 2 is achievable").
+    max_count: Vec<u8>,
+    /// Whether the DTD has any valid tree at all.
+    satisfiable: bool,
+}
+
+impl DtdAnalysis {
+    /// Whether the DTD admits a valid finite XML tree (Theorem 3.5(1)).
+    pub fn satisfiable(&self) -> bool {
+        self.satisfiable
+    }
+
+    /// Whether a finite tree rooted at an element of type `ty` exists.
+    pub fn productive(&self, ty: ElemId) -> bool {
+        self.productive[ty.index()]
+    }
+
+    /// Whether some valid tree of the DTD contains at least one `ty` element.
+    pub fn can_occur(&self, ty: ElemId) -> bool {
+        self.max_count[ty.index()] >= 1
+    }
+
+    /// Whether some valid tree of the DTD contains at least two `ty`
+    /// elements (Lemma 3.6).
+    pub fn can_occur_twice(&self, ty: ElemId) -> bool {
+        self.max_count[ty.index()] >= 2
+    }
+
+    /// Whether `ty` is reachable from the root through productive contexts.
+    pub fn reachable(&self, ty: ElemId) -> bool {
+        self.reachable[ty.index()]
+    }
+}
+
+/// Runs all analyses on a DTD.
+pub fn analyze(dtd: &Dtd) -> DtdAnalysis {
+    let productive = compute_productive(dtd);
+    let satisfiable = productive[dtd.root().index()];
+    let max_count = compute_max_counts(dtd, &productive, satisfiable);
+    let reachable = max_count.iter().map(|&c| c >= 1).collect();
+    DtdAnalysis { productive, reachable, max_count, satisfiable }
+}
+
+/// Whether a DTD has any valid XML tree (Theorem 3.5(1)).
+pub fn dtd_satisfiable(dtd: &Dtd) -> bool {
+    analyze(dtd).satisfiable()
+}
+
+/// Can a content model derive a word consisting only of productive symbols?
+/// (`None`-free completion.)
+fn model_terminates(cm: &ContentModel, productive: &[bool]) -> bool {
+    match cm {
+        ContentModel::Epsilon | ContentModel::Text => true,
+        ContentModel::Element(e) => productive[e.index()],
+        ContentModel::Seq(a, b) => {
+            model_terminates(a, productive) && model_terminates(b, productive)
+        }
+        ContentModel::Alt(a, b) => {
+            model_terminates(a, productive) || model_terminates(b, productive)
+        }
+        // α* can always choose zero repetitions.
+        ContentModel::Star(_) | ContentModel::Opt(_) => true,
+        ContentModel::Plus(a) => model_terminates(a, productive),
+    }
+}
+
+fn compute_productive(dtd: &Dtd) -> Vec<bool> {
+    let n = dtd.num_types();
+    let mut productive = vec![false; n];
+    loop {
+        let mut changed = false;
+        for ty in dtd.types() {
+            if productive[ty.index()] {
+                continue;
+            }
+            if model_terminates(dtd.content(ty), &productive) {
+                productive[ty.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return productive;
+        }
+    }
+}
+
+/// Maximum achievable number of `target`-free... — rather, for every type τ we
+/// compute `count[τ]` = max over valid trees rooted at a τ element of the
+/// number of nodes, **per target type**, capped at 2.  To keep the analysis
+/// linear we compute, for every type simultaneously, the capped maximum count
+/// of *that* type in a tree rooted at the *root*: this needs a per-target
+/// fixpoint, so we run one fixpoint per element type (overall `O(|E|·|D|)`,
+/// still comfortably polynomial and linear per query as in Lemma 3.6).
+fn compute_max_counts(dtd: &Dtd, productive: &[bool], satisfiable: bool) -> Vec<u8> {
+    let n = dtd.num_types();
+    let mut out = vec![0u8; n];
+    if !satisfiable {
+        return out;
+    }
+    for target in dtd.types() {
+        out[target.index()] = max_count_of(dtd, productive, target);
+    }
+    out
+}
+
+/// Capped (at 2) maximum number of `target` elements over valid trees rooted
+/// at the DTD root.
+fn max_count_of(dtd: &Dtd, productive: &[bool], target: ElemId) -> u8 {
+    let n = dtd.num_types();
+    // count[τ] = capped max #target-nodes in a valid tree rooted at τ,
+    // or None if τ is not productive.
+    let mut count: Vec<Option<u8>> = (0..n)
+        .map(|i| if productive[i] { Some(0) } else { None })
+        .collect();
+    // Seed: a productive target element contains itself.
+    loop {
+        let mut changed = false;
+        for ty in dtd.types() {
+            if !productive[ty.index()] {
+                continue;
+            }
+            let from_children = model_count(dtd.content(ty), &count);
+            let Some(mut c) = from_children else { continue };
+            if ty == target {
+                c = (c + 1).min(2);
+            }
+            if count[ty.index()] != Some(c) && c > count[ty.index()].unwrap_or(0) {
+                count[ty.index()] = Some(c);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    count[dtd.root().index()].unwrap_or(0)
+}
+
+/// Capped maximum contribution of a content model: max over words in the
+/// language (restricted to productive symbols) of the summed child counts.
+/// `None` means no word over productive symbols exists.
+fn model_count(cm: &ContentModel, count: &[Option<u8>]) -> Option<u8> {
+    match cm {
+        ContentModel::Epsilon | ContentModel::Text => Some(0),
+        ContentModel::Element(e) => count[e.index()],
+        ContentModel::Seq(a, b) => {
+            let ca = model_count(a, count)?;
+            let cb = model_count(b, count)?;
+            Some((ca + cb).min(2))
+        }
+        ContentModel::Alt(a, b) => match (model_count(a, count), model_count(b, count)) {
+            (None, None) => None,
+            (Some(c), None) | (None, Some(c)) => Some(c),
+            (Some(ca), Some(cb)) => Some(ca.max(cb)),
+        },
+        ContentModel::Star(a) => match model_count(a, count) {
+            // Zero repetitions are always allowed; a positive inner count can
+            // be doubled by repeating the block.
+            None | Some(0) => Some(0),
+            Some(_) => Some(2),
+        },
+        ContentModel::Plus(a) => match model_count(a, count)? {
+            0 => Some(0),
+            _ => Some(2),
+        },
+        ContentModel::Opt(a) => Some(model_count(a, count).unwrap_or(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::{example_d1, example_d2, example_d3};
+    use crate::ContentModel as CM;
+
+    #[test]
+    fn d1_is_satisfiable() {
+        let a = analyze(&example_d1());
+        assert!(a.satisfiable());
+    }
+
+    #[test]
+    fn d2_is_unsatisfiable() {
+        // db -> foo, foo -> foo: no finite tree.
+        let d2 = example_d2();
+        let a = analyze(&d2);
+        assert!(!a.satisfiable());
+        let foo = d2.type_by_name("foo").unwrap();
+        assert!(!a.productive(foo));
+        assert!(!a.can_occur(foo));
+    }
+
+    #[test]
+    fn d1_multiplicities() {
+        let d1 = example_d1();
+        let a = analyze(&d1);
+        let teachers = d1.type_by_name("teachers").unwrap();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        // Exactly one root; teacher can repeat (teacher+); subject appears
+        // twice per teacher.
+        assert!(a.can_occur(teachers));
+        assert!(!a.can_occur_twice(teachers));
+        assert!(a.can_occur_twice(teacher));
+        assert!(a.can_occur_twice(subject));
+    }
+
+    #[test]
+    fn d3_star_children_can_be_absent_or_multiple() {
+        let d3 = example_d3();
+        let a = analyze(&d3);
+        let course = d3.type_by_name("course").unwrap();
+        let school = d3.type_by_name("school").unwrap();
+        assert!(a.can_occur_twice(course));
+        assert!(!a.can_occur_twice(school));
+        assert!(a.satisfiable());
+    }
+
+    #[test]
+    fn unreachable_types_are_not_occurring() {
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let a = b.elem("a");
+        let orphan = b.elem("orphan");
+        b.content(r, CM::Element(a));
+        b.content(a, CM::Text);
+        b.content(orphan, CM::Text);
+        let dtd = b.build("r").unwrap();
+        let an = analyze(&dtd);
+        assert!(an.satisfiable());
+        assert!(an.productive(orphan));
+        assert!(!an.reachable(orphan));
+        assert!(!an.can_occur(orphan));
+        assert!(an.can_occur(a));
+    }
+
+    #[test]
+    fn recursion_with_escape_is_satisfiable() {
+        // r -> a; a -> (a | EMPTY): finite trees exist and a can repeat along
+        // a chain, so two a-nodes are achievable.
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let a = b.elem("a");
+        b.content(r, CM::Element(a));
+        b.content(a, CM::alt(CM::Element(a), CM::Epsilon));
+        let dtd = b.build("r").unwrap();
+        let an = analyze(&dtd);
+        assert!(an.satisfiable());
+        assert!(an.can_occur_twice(a));
+    }
+
+    #[test]
+    fn optional_unproductive_branch_is_fine() {
+        // r -> (bad | good); bad -> bad; good -> EMPTY.
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let bad = b.elem("bad");
+        let good = b.elem("good");
+        b.content(r, CM::alt(CM::Element(bad), CM::Element(good)));
+        b.content(bad, CM::Element(bad));
+        b.content(good, CM::Epsilon);
+        let dtd = b.build("r").unwrap();
+        let an = analyze(&dtd);
+        assert!(an.satisfiable());
+        assert!(!an.can_occur(bad));
+        assert!(an.can_occur(good));
+        assert!(!an.can_occur_twice(good));
+    }
+
+    #[test]
+    fn required_unproductive_child_poisons_parent() {
+        // r -> (good, bad); bad -> bad.
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let good = b.elem("good");
+        let bad = b.elem("bad");
+        b.content(r, CM::seq(CM::Element(good), CM::Element(bad)));
+        b.content(good, CM::Epsilon);
+        b.content(bad, CM::Element(bad));
+        let dtd = b.build("r").unwrap();
+        assert!(!dtd_satisfiable(&dtd));
+    }
+
+    #[test]
+    fn star_of_unproductive_is_satisfiable_but_type_cannot_occur() {
+        // r -> bad*; bad -> bad.
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let bad = b.elem("bad");
+        b.content(r, CM::star(CM::Element(bad)));
+        b.content(bad, CM::Element(bad));
+        let dtd = b.build("r").unwrap();
+        let an = analyze(&dtd);
+        assert!(an.satisfiable());
+        assert!(!an.can_occur(bad));
+    }
+}

@@ -1,0 +1,199 @@
+//! Brzozowski-derivative matcher for content models.
+//!
+//! This is a second, independently-implemented membership test for content
+//! model languages.  It exists purely to cross-check the Glushkov automaton
+//! (`proptest` asserts the two matchers agree on random expressions and
+//! words), following the project convention that every non-trivial algorithm
+//! with a cheap independent oracle gets one.
+
+use std::rc::Rc;
+
+use crate::content::{ChildSymbol, ContentModel};
+
+/// Internal regular-expression representation with an explicit empty
+/// language ∅ (needed as the derivative of a symbol by a different symbol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Re {
+    Empty,
+    Epsilon,
+    Sym(ChildSymbol),
+    Seq(Rc<Re>, Rc<Re>),
+    Alt(Rc<Re>, Rc<Re>),
+    Star(Rc<Re>),
+}
+
+impl Re {
+    fn nullable(&self) -> bool {
+        match self {
+            Re::Empty | Re::Sym(_) => false,
+            Re::Epsilon | Re::Star(_) => true,
+            Re::Seq(a, b) => a.nullable() && b.nullable(),
+            Re::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+}
+
+/// Smart constructors performing the usual similarity simplifications so that
+/// derivative chains do not blow up.
+fn seq(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+    match (&*a, &*b) {
+        (Re::Empty, _) | (_, Re::Empty) => Rc::new(Re::Empty),
+        (Re::Epsilon, _) => b,
+        (_, Re::Epsilon) => a,
+        _ => Rc::new(Re::Seq(a, b)),
+    }
+}
+
+fn alt(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+    match (&*a, &*b) {
+        (Re::Empty, _) => b,
+        (_, Re::Empty) => a,
+        _ if a == b => a,
+        _ => Rc::new(Re::Alt(a, b)),
+    }
+}
+
+fn star(a: Rc<Re>) -> Rc<Re> {
+    match &*a {
+        Re::Empty | Re::Epsilon => Rc::new(Re::Epsilon),
+        Re::Star(_) => a,
+        _ => Rc::new(Re::Star(a)),
+    }
+}
+
+fn compile(model: &ContentModel) -> Rc<Re> {
+    match model {
+        ContentModel::Epsilon => Rc::new(Re::Epsilon),
+        ContentModel::Text => Rc::new(Re::Sym(ChildSymbol::Text)),
+        ContentModel::Element(e) => Rc::new(Re::Sym(ChildSymbol::Element(*e))),
+        ContentModel::Seq(a, b) => seq(compile(a), compile(b)),
+        ContentModel::Alt(a, b) => alt(compile(a), compile(b)),
+        ContentModel::Star(a) => star(compile(a)),
+        ContentModel::Plus(a) => {
+            let inner = compile(a);
+            seq(inner.clone(), star(inner))
+        }
+        ContentModel::Opt(a) => alt(compile(a), Rc::new(Re::Epsilon)),
+    }
+}
+
+/// Brzozowski derivative of `re` with respect to `symbol`.
+fn derive(re: &Rc<Re>, symbol: ChildSymbol) -> Rc<Re> {
+    match &**re {
+        Re::Empty | Re::Epsilon => Rc::new(Re::Empty),
+        Re::Sym(s) => {
+            if *s == symbol {
+                Rc::new(Re::Epsilon)
+            } else {
+                Rc::new(Re::Empty)
+            }
+        }
+        Re::Seq(a, b) => {
+            let da_b = seq(derive(a, symbol), b.clone());
+            if a.nullable() {
+                alt(da_b, derive(b, symbol))
+            } else {
+                da_b
+            }
+        }
+        Re::Alt(a, b) => alt(derive(a, symbol), derive(b, symbol)),
+        Re::Star(a) => seq(derive(a, symbol), star(a.clone())),
+    }
+}
+
+/// A derivative-based matcher for one content model.
+#[derive(Debug, Clone)]
+pub struct DerivativeMatcher {
+    compiled: Rc<Re>,
+}
+
+impl DerivativeMatcher {
+    /// Compiles a content model.
+    pub fn new(model: &ContentModel) -> DerivativeMatcher {
+        DerivativeMatcher { compiled: compile(model) }
+    }
+
+    /// Tests membership of a word in the model's language.
+    pub fn matches(&self, word: &[ChildSymbol]) -> bool {
+        let mut current = self.compiled.clone();
+        for &symbol in word {
+            current = derive(&current, symbol);
+            if matches!(&*current, Re::Empty) {
+                return false;
+            }
+        }
+        current.nullable()
+    }
+
+    /// Returns `true` iff the language contains the empty word.
+    pub fn accepts_empty(&self) -> bool {
+        self.compiled.nullable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::ElemId;
+    use crate::glushkov::Glushkov;
+
+    fn e(i: u32) -> ContentModel {
+        ContentModel::Element(ElemId(i))
+    }
+
+    fn ce(i: u32) -> ChildSymbol {
+        ChildSymbol::Element(ElemId(i))
+    }
+
+    #[test]
+    fn basic_membership() {
+        let m = DerivativeMatcher::new(&ContentModel::seq(e(0), ContentModel::star(e(1))));
+        assert!(m.matches(&[ce(0)]));
+        assert!(m.matches(&[ce(0), ce(1), ce(1)]));
+        assert!(!m.matches(&[ce(1)]));
+        assert!(!m.matches(&[]));
+        assert!(!m.accepts_empty());
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let m = DerivativeMatcher::new(&ContentModel::seq(
+            ContentModel::plus(e(0)),
+            ContentModel::opt(ContentModel::Text),
+        ));
+        assert!(m.matches(&[ce(0)]));
+        assert!(m.matches(&[ce(0), ce(0), ChildSymbol::Text]));
+        assert!(!m.matches(&[ChildSymbol::Text]));
+    }
+
+    #[test]
+    fn agrees_with_glushkov_on_fixed_cases() {
+        let models = vec![
+            ContentModel::Epsilon,
+            ContentModel::Text,
+            e(0),
+            ContentModel::seq(e(0), e(1)),
+            ContentModel::alt(e(0), e(1)),
+            ContentModel::star(ContentModel::alt(e(0), ContentModel::seq(e(1), e(2)))),
+            ContentModel::plus(ContentModel::opt(e(0))),
+            ContentModel::seq(ContentModel::star(e(0)), ContentModel::star(e(0))),
+        ];
+        let words: Vec<Vec<ChildSymbol>> = vec![
+            vec![],
+            vec![ce(0)],
+            vec![ce(1)],
+            vec![ce(0), ce(1)],
+            vec![ce(1), ce(2)],
+            vec![ce(0), ce(0), ce(0)],
+            vec![ce(0), ce(1), ce(2)],
+            vec![ChildSymbol::Text],
+        ];
+        for m in &models {
+            let g = Glushkov::new(m);
+            let d = DerivativeMatcher::new(m);
+            for w in &words {
+                assert_eq!(g.matches(w), d.matches(w), "model {m:?} word {w:?}");
+            }
+        }
+    }
+}

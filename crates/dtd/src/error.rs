@@ -1,0 +1,51 @@
+//! Error types for DTD construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdError {
+    /// An element type name was referenced but never declared.
+    UnknownType(String),
+    /// An attribute name was referenced but never declared.
+    UnknownAttr(String),
+    /// A syntax error in the textual DTD representation.
+    Syntax {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The textual DTD used a feature outside the paper's model
+    /// (e.g. `ANY` content, entities, notations).
+    Unsupported(String),
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdError::UnknownType(name) => write!(f, "unknown element type `{name}`"),
+            DtdError::UnknownAttr(name) => write!(f, "unknown attribute `{name}`"),
+            DtdError::Syntax { offset, message } => {
+                write!(f, "DTD syntax error at byte {offset}: {message}")
+            }
+            DtdError::Unsupported(what) => write!(f, "unsupported DTD feature: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DtdError::UnknownType("x".into()).to_string().contains('x'));
+        assert!(DtdError::Syntax { offset: 3, message: "oops".into() }
+            .to_string()
+            .contains("byte 3"));
+        assert!(DtdError::Unsupported("ANY".into()).to_string().contains("ANY"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Glushkov position automaton for content models.
+//!
+//! Validation of an XML tree against a DTD (Definition 2.2) requires testing
+//! whether the label sequence of an element's children belongs to the regular
+//! language of its content model.  The Glushkov construction yields an
+//! ε-free NFA whose states are the occurrences of symbols in the expression;
+//! matching a word of length `k` over an expression with `p` positions takes
+//! `O(k · p²)` time, which is ample for the document sizes handled here.
+
+use crate::content::{ChildSymbol, ContentModel};
+use crate::dtd::ElemId;
+
+/// A compiled Glushkov automaton for a single content model.
+#[derive(Debug, Clone)]
+pub struct Glushkov {
+    /// Symbol carried by each position.
+    positions: Vec<ChildSymbol>,
+    /// Positions reachable as the first symbol of a word.
+    first: Vec<usize>,
+    /// Positions that can end a word.
+    last: Vec<bool>,
+    /// `follow[p]` = positions that may immediately follow position `p`.
+    follow: Vec<Vec<usize>>,
+    /// Whether the empty word is accepted.
+    nullable: bool,
+}
+
+struct BuildState {
+    positions: Vec<ChildSymbol>,
+    follow: Vec<Vec<usize>>,
+}
+
+/// Local result of the recursive construction.
+struct Piece {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+impl Glushkov {
+    /// Compiles a content model into its position automaton.
+    pub fn new(model: &ContentModel) -> Glushkov {
+        let desugared = model.desugar();
+        let mut st = BuildState { positions: Vec::new(), follow: Vec::new() };
+        let piece = build(&desugared, &mut st);
+        let mut last = vec![false; st.positions.len()];
+        for &p in &piece.last {
+            last[p] = true;
+        }
+        Glushkov {
+            positions: st.positions,
+            first: piece.first,
+            last,
+            follow: st.follow,
+            nullable: piece.nullable,
+        }
+    }
+
+    /// Number of positions (size of the automaton).
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` iff the automaton accepts the empty word.
+    pub fn accepts_empty(&self) -> bool {
+        self.nullable
+    }
+
+    /// Tests whether a word over the child alphabet is in the language.
+    pub fn matches(&self, word: &[ChildSymbol]) -> bool {
+        if word.is_empty() {
+            return self.nullable;
+        }
+        let n = self.positions.len();
+        let mut current = vec![false; n];
+        let mut any = false;
+        for &p in &self.first {
+            if self.positions[p] == word[0] {
+                current[p] = true;
+                any = true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        for symbol in &word[1..] {
+            let mut next = vec![false; n];
+            let mut reached = false;
+            for (p, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for &q in &self.follow[p] {
+                    if self.positions[q] == *symbol {
+                        next[q] = true;
+                        reached = true;
+                    }
+                }
+            }
+            if !reached {
+                return false;
+            }
+            current = next;
+        }
+        current.iter().enumerate().any(|(p, active)| *active && self.last[p])
+    }
+
+    /// Convenience wrapper: matches a sequence of element-type children with
+    /// no text nodes.
+    pub fn matches_elements(&self, children: &[ElemId]) -> bool {
+        let word: Vec<ChildSymbol> = children.iter().map(|&e| ChildSymbol::Element(e)).collect();
+        self.matches(&word)
+    }
+
+    /// Produces *some* accepted word, if the language is non-empty, choosing
+    /// the shortest-first expansion.  Used by the random document generator
+    /// as a fallback and in tests.
+    pub fn sample_word(&self, max_len: usize) -> Option<Vec<ChildSymbol>> {
+        if self.nullable {
+            return Some(Vec::new());
+        }
+        // Breadth-first search over (position) states tracking one path.
+        use std::collections::VecDeque;
+        let mut queue: VecDeque<(usize, Vec<ChildSymbol>)> = VecDeque::new();
+        let mut seen = vec![false; self.positions.len()];
+        for &p in &self.first {
+            if !seen[p] {
+                seen[p] = true;
+                queue.push_back((p, vec![self.positions[p]]));
+            }
+        }
+        while let Some((p, word)) = queue.pop_front() {
+            if self.last[p] {
+                return Some(word);
+            }
+            if word.len() >= max_len {
+                continue;
+            }
+            for &q in &self.follow[p] {
+                if !seen[q] {
+                    seen[q] = true;
+                    let mut next = word.clone();
+                    next.push(self.positions[q]);
+                    queue.push_back((q, next));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn build(model: &ContentModel, st: &mut BuildState) -> Piece {
+    match model {
+        ContentModel::Epsilon => Piece { nullable: true, first: vec![], last: vec![] },
+        ContentModel::Text => leaf(ChildSymbol::Text, st),
+        ContentModel::Element(e) => leaf(ChildSymbol::Element(*e), st),
+        ContentModel::Seq(a, b) => {
+            let pa = build(a, st);
+            let pb = build(b, st);
+            for &p in &pa.last {
+                st.follow[p].extend_from_slice(&pb.first);
+            }
+            let mut first = pa.first.clone();
+            if pa.nullable {
+                first.extend_from_slice(&pb.first);
+            }
+            let mut last = pb.last.clone();
+            if pb.nullable {
+                last.extend_from_slice(&pa.last);
+            }
+            Piece { nullable: pa.nullable && pb.nullable, first, last }
+        }
+        ContentModel::Alt(a, b) => {
+            let pa = build(a, st);
+            let pb = build(b, st);
+            let mut first = pa.first;
+            first.extend(pb.first);
+            let mut last = pa.last;
+            last.extend(pb.last);
+            Piece { nullable: pa.nullable || pb.nullable, first, last }
+        }
+        ContentModel::Star(a) => {
+            let pa = build(a, st);
+            for &p in &pa.last {
+                let firsts = pa.first.clone();
+                st.follow[p].extend(firsts);
+            }
+            Piece { nullable: true, first: pa.first, last: pa.last }
+        }
+        // `desugar` removes these before compilation, but handle them anyway
+        // so `Glushkov::new(model)` is total.
+        ContentModel::Plus(a) => {
+            let pa = build(a, st);
+            for &p in &pa.last {
+                let firsts = pa.first.clone();
+                st.follow[p].extend(firsts);
+            }
+            Piece { nullable: pa.nullable, first: pa.first, last: pa.last }
+        }
+        ContentModel::Opt(a) => {
+            let pa = build(a, st);
+            Piece { nullable: true, first: pa.first, last: pa.last }
+        }
+    }
+}
+
+fn leaf(symbol: ChildSymbol, st: &mut BuildState) -> Piece {
+    let p = st.positions.len();
+    st.positions.push(symbol);
+    st.follow.push(Vec::new());
+    Piece { nullable: false, first: vec![p], last: vec![p] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> ContentModel {
+        ContentModel::Element(ElemId(i))
+    }
+
+    fn ce(i: u32) -> ChildSymbol {
+        ChildSymbol::Element(ElemId(i))
+    }
+
+    #[test]
+    fn single_element() {
+        let g = Glushkov::new(&e(0));
+        assert!(g.matches(&[ce(0)]));
+        assert!(!g.matches(&[]));
+        assert!(!g.matches(&[ce(1)]));
+        assert!(!g.matches(&[ce(0), ce(0)]));
+    }
+
+    #[test]
+    fn sequence_and_union() {
+        // (a, b) | c
+        let g = Glushkov::new(&ContentModel::alt(ContentModel::seq(e(0), e(1)), e(2)));
+        assert!(g.matches(&[ce(0), ce(1)]));
+        assert!(g.matches(&[ce(2)]));
+        assert!(!g.matches(&[ce(0)]));
+        assert!(!g.matches(&[ce(0), ce(2)]));
+        assert!(!g.matches(&[]));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let star = Glushkov::new(&ContentModel::star(e(0)));
+        assert!(star.matches(&[]));
+        assert!(star.matches(&[ce(0)]));
+        assert!(star.matches(&[ce(0), ce(0), ce(0)]));
+        assert!(!star.matches(&[ce(1)]));
+
+        let plus = Glushkov::new(&ContentModel::plus(e(0)));
+        assert!(!plus.matches(&[]));
+        assert!(plus.matches(&[ce(0)]));
+        assert!(plus.matches(&[ce(0), ce(0)]));
+    }
+
+    #[test]
+    fn optional_and_text() {
+        // (a?, S)
+        let g = Glushkov::new(&ContentModel::seq(ContentModel::opt(e(0)), ContentModel::Text));
+        assert!(g.matches(&[ChildSymbol::Text]));
+        assert!(g.matches(&[ce(0), ChildSymbol::Text]));
+        assert!(!g.matches(&[ce(0)]));
+    }
+
+    #[test]
+    fn teachers_content() {
+        // teacher+ from D1.
+        let g = Glushkov::new(&ContentModel::plus(e(1)));
+        assert!(!g.matches(&[]));
+        assert!(g.matches(&[ce(1), ce(1)]));
+        // (subject, subject) from D1.
+        let teach = Glushkov::new(&ContentModel::seq(e(4), e(4)));
+        assert!(teach.matches(&[ce(4), ce(4)]));
+        assert!(!teach.matches(&[ce(4)]));
+        assert!(!teach.matches(&[ce(4), ce(4), ce(4)]));
+    }
+
+    #[test]
+    fn nested_star_of_union() {
+        // (a | b)* accepts any interleaving.
+        let g = Glushkov::new(&ContentModel::star(ContentModel::alt(e(0), e(1))));
+        assert!(g.matches(&[]));
+        assert!(g.matches(&[ce(0), ce(1), ce(1), ce(0)]));
+        assert!(!g.matches(&[ce(0), ce(2)]));
+    }
+
+    #[test]
+    fn sample_word_is_accepted() {
+        let cm = ContentModel::seq(
+            ContentModel::star(e(0)),
+            ContentModel::seq(e(1), ContentModel::opt(e(2))),
+        );
+        let g = Glushkov::new(&cm);
+        let w = g.sample_word(8).expect("language nonempty");
+        assert!(g.matches(&w));
+    }
+
+    #[test]
+    fn matches_elements_helper() {
+        let g = Glushkov::new(&ContentModel::seq(e(0), e(1)));
+        assert!(g.matches_elements(&[ElemId(0), ElemId(1)]));
+        assert!(!g.matches_elements(&[ElemId(1), ElemId(0)]));
+    }
+}

@@ -1,0 +1,520 @@
+//! Parser for the textual DTD syntax (`<!ELEMENT …>` / `<!ATTLIST …>`).
+//!
+//! The paper works with an abstract formalisation of DTDs; real specifications
+//! arrive as text.  This parser covers the fragment corresponding to the
+//! paper's model: element declarations with regular-expression content models
+//! (`EMPTY`, `(#PCDATA)`, sequences, choices, `*`, `+`, `?`) and `ATTLIST`
+//! declarations whose attributes are all treated as required, single-valued
+//! string attributes.  `ID`/`IDREF` attribute types are accepted
+//! syntactically but, as in the paper (footnote 1), carry no constraint
+//! semantics — constraints are specified separately.
+
+use std::collections::HashMap;
+
+use crate::content::ContentModel;
+use crate::dtd::{Dtd, ElemId};
+use crate::error::DtdError;
+
+/// Parses a textual DTD.  The root element type is the first declared
+/// element unless `root` is given explicitly.
+pub fn parse_dtd(input: &str, root: Option<&str>) -> Result<Dtd, DtdError> {
+    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut builder = Dtd::builder();
+    // Names may be referenced before declaration; collect content models and
+    // attributes first, then resolve.
+    let mut declared: Vec<(String, RawContent)> = Vec::new();
+    let mut attlists: Vec<(String, Vec<String>)> = Vec::new();
+
+    loop {
+        parser.skip_ws_and_comments();
+        if parser.eof() {
+            break;
+        }
+        if parser.try_consume("<!ELEMENT") {
+            parser.skip_ws();
+            let name = parser.name()?;
+            parser.skip_ws();
+            let content = parser.content_spec()?;
+            parser.skip_ws();
+            parser.expect('>')?;
+            declared.push((name, content));
+        } else if parser.try_consume("<!ATTLIST") {
+            parser.skip_ws();
+            let elem = parser.name()?;
+            let mut attrs = Vec::new();
+            loop {
+                parser.skip_ws();
+                if parser.peek() == Some('>') {
+                    parser.expect('>')?;
+                    break;
+                }
+                let attr_name = parser.name()?;
+                parser.skip_ws();
+                // Attribute type: CDATA | ID | IDREF | IDREFS | NMTOKEN(S) |
+                // enumeration "(a|b|c)".
+                if parser.peek() == Some('(') {
+                    parser.skip_enumeration()?;
+                } else {
+                    let _ty = parser.name()?;
+                }
+                parser.skip_ws();
+                // Default declaration: #REQUIRED | #IMPLIED | #FIXED "v" | "v".
+                if parser.try_consume("#REQUIRED") || parser.try_consume("#IMPLIED") {
+                    // nothing more
+                } else if parser.try_consume("#FIXED") {
+                    parser.skip_ws();
+                    parser.quoted_string()?;
+                } else if parser.peek() == Some('"') || parser.peek() == Some('\'') {
+                    parser.quoted_string()?;
+                }
+                attrs.push(attr_name);
+            }
+            attlists.push((elem, attrs));
+        } else if parser.try_consume("<!DOCTYPE") || parser.try_consume("<?xml") {
+            // Skip to the end of the declaration (internal subsets are not
+            // supported; the caller should pass the subset directly).
+            parser.skip_until('>')?;
+        } else {
+            return Err(parser.error("expected <!ELEMENT or <!ATTLIST declaration"));
+        }
+    }
+
+    // First pass: declare every element type (including ones only referenced).
+    let mut ids: HashMap<String, ElemId> = HashMap::new();
+    for (name, _) in &declared {
+        ids.insert(name.clone(), builder.elem(name));
+    }
+    let mut referenced: Vec<String> = Vec::new();
+    for (_, content) in &declared {
+        content.collect_names(&mut referenced);
+    }
+    for name in referenced {
+        ids.entry(name.clone()).or_insert_with(|| builder.elem(&name));
+    }
+    // Second pass: content models.
+    for (name, content) in &declared {
+        let id = ids[name];
+        let model = content.to_model(&ids);
+        builder.content(id, model);
+    }
+    // Attributes.
+    for (elem, attrs) in &attlists {
+        let id = *ids
+            .get(elem)
+            .ok_or_else(|| DtdError::UnknownType(elem.clone()))?;
+        for a in attrs {
+            builder.attr(id, a);
+        }
+    }
+
+    let root_name = match root {
+        Some(r) => r.to_string(),
+        None => declared
+            .first()
+            .map(|(n, _)| n.clone())
+            .ok_or_else(|| DtdError::Unsupported("empty DTD".to_string()))?,
+    };
+    builder.build(&root_name)
+}
+
+/// Raw content specification before name resolution.
+#[derive(Debug, Clone)]
+enum RawContent {
+    Empty,
+    PcData,
+    Name(String),
+    Seq(Vec<RawContent>),
+    Alt(Vec<RawContent>),
+    Star(Box<RawContent>),
+    Plus(Box<RawContent>),
+    Opt(Box<RawContent>),
+}
+
+impl RawContent {
+    fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            RawContent::Empty | RawContent::PcData => {}
+            RawContent::Name(n) => out.push(n.clone()),
+            RawContent::Seq(items) | RawContent::Alt(items) => {
+                for i in items {
+                    i.collect_names(out);
+                }
+            }
+            RawContent::Star(a) | RawContent::Plus(a) | RawContent::Opt(a) => {
+                a.collect_names(out)
+            }
+        }
+    }
+
+    fn to_model(&self, ids: &HashMap<String, ElemId>) -> ContentModel {
+        match self {
+            RawContent::Empty => ContentModel::Epsilon,
+            RawContent::PcData => ContentModel::Text,
+            RawContent::Name(n) => ContentModel::Element(ids[n]),
+            RawContent::Seq(items) => {
+                ContentModel::seq_all(items.iter().map(|i| i.to_model(ids)))
+            }
+            RawContent::Alt(items) => {
+                ContentModel::alt_all(items.iter().map(|i| i.to_model(ids)))
+            }
+            RawContent::Star(a) => ContentModel::star(a.to_model(ids)),
+            RawContent::Plus(a) => ContentModel::plus(a.to_model(ids)),
+            RawContent::Opt(a) => ContentModel::opt(a.to_model(ids)),
+        }
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input.get(self.pos).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn error(&self, message: &str) -> DtdError {
+        DtdError::Syntax { offset: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<!--") {
+                match find(self.input, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn try_consume(&mut self, token: &str) -> bool {
+        if self.input[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, ch: char) -> Result<(), DtdError> {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{ch}`")))
+        }
+    }
+
+    fn skip_until(&mut self, ch: char) -> Result<(), DtdError> {
+        while let Some(c) = self.bump() {
+            if c == ch {
+                return Ok(());
+            }
+        }
+        Err(self.error(&format!("unterminated declaration, expected `{ch}`")))
+    }
+
+    fn name(&mut self) -> Result<String, DtdError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn quoted_string(&mut self) -> Result<String, DtdError> {
+        let quote = self.bump().ok_or_else(|| self.error("expected a quoted string"))?;
+        if quote != '"' && quote != '\'' {
+            return Err(self.error("expected a quoted string"));
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let s = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated string literal"))
+    }
+
+    fn skip_enumeration(&mut self) -> Result<(), DtdError> {
+        self.expect('(')?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('(') => depth += 1,
+                Some(')') => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.error("unterminated enumeration")),
+            }
+        }
+        Ok(())
+    }
+
+    fn content_spec(&mut self) -> Result<RawContent, DtdError> {
+        if self.try_consume("EMPTY") {
+            return Ok(RawContent::Empty);
+        }
+        if self.try_consume("ANY") {
+            return Err(DtdError::Unsupported("ANY content".to_string()));
+        }
+        if self.peek() == Some('(') {
+            let inner = self.group()?;
+            return Ok(self.postfix(inner));
+        }
+        Err(self.error("expected EMPTY or a parenthesised content model"))
+    }
+
+    /// Parses a parenthesised group: `( item (sep item)* )` with a single
+    /// separator kind (`,` or `|`) per group, as in XML DTDs.
+    fn group(&mut self) -> Result<RawContent, DtdError> {
+        self.expect('(')?;
+        self.skip_ws();
+        if self.try_consume("#PCDATA") {
+            // (#PCDATA) or mixed content (#PCDATA | a | b)*.
+            self.skip_ws();
+            let mut names = Vec::new();
+            while self.peek() == Some('|') {
+                self.expect('|')?;
+                self.skip_ws();
+                names.push(self.name()?);
+                self.skip_ws();
+            }
+            self.expect(')')?;
+            if names.is_empty() {
+                return Ok(RawContent::PcData);
+            }
+            // Mixed content: (#PCDATA | a | b)* — model as (S | a | b)*.
+            let mut items = vec![RawContent::PcData];
+            items.extend(names.into_iter().map(RawContent::Name));
+            // The trailing * is mandatory in XML for mixed content; accept it
+            // if present.
+            let alt = RawContent::Alt(items);
+            if self.peek() == Some('*') {
+                self.pos += 1;
+                return Ok(RawContent::Star(Box::new(alt)));
+            }
+            return Ok(RawContent::Star(Box::new(alt)));
+        }
+        let mut items = vec![self.item()?];
+        self.skip_ws();
+        let mut separator: Option<char> = None;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(')') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(c @ (',' | '|')) => {
+                    match separator {
+                        None => separator = Some(c),
+                        Some(s) if s == c => {}
+                        Some(_) => {
+                            return Err(self
+                                .error("cannot mix `,` and `|` at the same nesting level"))
+                        }
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    items.push(self.item()?);
+                }
+                _ => return Err(self.error("expected `,`, `|` or `)` in content model")),
+            }
+        }
+        Ok(match separator {
+            Some('|') => RawContent::Alt(items),
+            _ if items.len() == 1 => items.into_iter().next().expect("one item"),
+            _ => RawContent::Seq(items),
+        })
+    }
+
+    /// Parses one item of a group: a name or a nested group, with an optional
+    /// postfix operator.
+    fn item(&mut self) -> Result<RawContent, DtdError> {
+        let base = if self.peek() == Some('(') {
+            self.group()?
+        } else {
+            RawContent::Name(self.name()?)
+        };
+        Ok(self.postfix(base))
+    }
+
+    fn postfix(&mut self, base: RawContent) -> RawContent {
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                RawContent::Star(Box::new(base))
+            }
+            Some('+') => {
+                self.pos += 1;
+                RawContent::Plus(Box::new(base))
+            }
+            Some('?') => {
+                self.pos += 1;
+                RawContent::Opt(Box::new(base))
+            }
+            _ => base,
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dtd_satisfiable;
+    use crate::dtd::example_d1;
+
+    const D1_TEXT: &str = r#"
+        <!ELEMENT teachers (teacher+)>
+        <!ELEMENT teacher (teach, research)>
+        <!ELEMENT teach (subject, subject)>
+        <!ELEMENT research (#PCDATA)>
+        <!ELEMENT subject (#PCDATA)>
+        <!ATTLIST teacher name CDATA #REQUIRED>
+        <!ATTLIST subject taught_by CDATA #REQUIRED>
+    "#;
+
+    #[test]
+    fn parses_the_teachers_dtd() {
+        let dtd = parse_dtd(D1_TEXT, None).unwrap();
+        assert_eq!(dtd.type_name(dtd.root()), "teachers");
+        assert_eq!(dtd.num_types(), 5);
+        assert_eq!(dtd.num_attrs(), 2);
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        assert_eq!(dtd.attrs_of(teacher).len(), 1);
+        assert!(dtd_satisfiable(&dtd));
+        // Structure matches the programmatic D1.
+        let built = example_d1();
+        assert_eq!(dtd.num_types(), built.num_types());
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let dtd = parse_dtd(D1_TEXT, None).unwrap();
+        let rendered = dtd.render();
+        let reparsed = parse_dtd(&rendered, Some("teachers")).unwrap();
+        assert_eq!(reparsed.num_types(), dtd.num_types());
+        assert_eq!(reparsed.num_attrs(), dtd.num_attrs());
+        for ty in dtd.types() {
+            let name = dtd.type_name(ty);
+            let other = reparsed.type_by_name(name).unwrap();
+            assert_eq!(dtd.attrs_of(ty).len(), reparsed.attrs_of(other).len());
+        }
+    }
+
+    #[test]
+    fn parses_alternation_and_nesting() {
+        let text = r#"
+            <!ELEMENT doc ((intro | abstract)?, section+)>
+            <!ELEMENT intro (#PCDATA)>
+            <!ELEMENT abstract (#PCDATA)>
+            <!ELEMENT section (title, (para | figure)*)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT para (#PCDATA)>
+            <!ELEMENT figure EMPTY>
+            <!ATTLIST figure src CDATA #REQUIRED caption CDATA #IMPLIED>
+        "#;
+        let dtd = parse_dtd(text, None).unwrap();
+        assert_eq!(dtd.type_name(dtd.root()), "doc");
+        let figure = dtd.type_by_name("figure").unwrap();
+        assert_eq!(dtd.attrs_of(figure).len(), 2);
+        assert!(dtd_satisfiable(&dtd));
+    }
+
+    #[test]
+    fn rejects_any_content() {
+        let text = "<!ELEMENT doc ANY>";
+        assert!(matches!(parse_dtd(text, None), Err(DtdError::Unsupported(_))));
+    }
+
+    #[test]
+    fn rejects_mixed_separators() {
+        let text = "<!ELEMENT doc (a, b | c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>";
+        assert!(matches!(parse_dtd(text, None), Err(DtdError::Syntax { .. })));
+    }
+
+    #[test]
+    fn referenced_but_undeclared_types_default_to_empty() {
+        let text = "<!ELEMENT doc (mystery)>";
+        let dtd = parse_dtd(text, None).unwrap();
+        let mystery = dtd.type_by_name("mystery").unwrap();
+        assert_eq!(dtd.content(mystery), &ContentModel::Epsilon);
+    }
+
+    #[test]
+    fn comments_and_doctype_are_skipped() {
+        let text = r#"
+            <!-- the classic example -->
+            <!ELEMENT db (foo)>
+            <!-- recursion below -->
+            <!ELEMENT foo (foo)>
+        "#;
+        let dtd = parse_dtd(text, None).unwrap();
+        assert!(!dtd_satisfiable(&dtd));
+    }
+
+    #[test]
+    fn mixed_content_parses_as_star_of_union() {
+        let text = "<!ELEMENT p (#PCDATA | em | strong)*> <!ELEMENT em (#PCDATA)> <!ELEMENT strong (#PCDATA)>";
+        let dtd = parse_dtd(text, None).unwrap();
+        let p = dtd.type_by_name("p").unwrap();
+        assert!(matches!(dtd.content(p), ContentModel::Star(_)));
+    }
+
+    #[test]
+    fn explicit_root_override() {
+        let dtd = parse_dtd(D1_TEXT, Some("teacher")).unwrap();
+        assert_eq!(dtd.type_name(dtd.root()), "teacher");
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let text = "<!ELEMENT doc (a,>";
+        match parse_dtd(text, None) {
+            Err(DtdError::Syntax { offset, .. }) => assert!(offset > 0),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Simplification of DTDs (Section 4.1 of the paper).
+//!
+//! The encoding of DTDs by cardinality constraints is defined over *simple*
+//! DTDs, whose production rules have one of five shapes:
+//!
+//! ```text
+//! τ → τ1, τ2    τ → τ1 | τ2    τ → τ1    τ → S    τ → ε
+//! ```
+//!
+//! [`SimpleDtd::from_dtd`] performs the paper's rewriting: composite regular
+//! expressions are split by introducing fresh element types, and Kleene stars
+//! `α*` become a fresh type `t` with `t → ε | (α, t)`.  Lemma 4.3 guarantees
+//! that the rewriting preserves, for every *original* element type τ and
+//! attribute l, both `|ext(τ)|` and `ext(τ.l)` across valid trees — the
+//! integration tests exercise exactly that property.
+
+use crate::content::ContentModel;
+use crate::dtd::{AttrId, Dtd, ElemId};
+
+/// Identifier of an element type in a [`SimpleDtd`] (original types keep
+/// their [`ElemId`] index; synthetic types are appended after them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimpleId(pub u32);
+
+impl SimpleId {
+    /// Index into the simple DTD's tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A production rule of a simple DTD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimpleRule {
+    /// `τ → ε`
+    Epsilon,
+    /// `τ → S`
+    Text,
+    /// `τ → τ1`
+    One(SimpleId),
+    /// `τ → τ1, τ2`
+    Seq(SimpleId, SimpleId),
+    /// `τ → τ1 | τ2`
+    Alt(SimpleId, SimpleId),
+}
+
+/// A simplified DTD `D_N` (Section 4.1).
+#[derive(Debug, Clone)]
+pub struct SimpleDtd {
+    names: Vec<String>,
+    rules: Vec<SimpleRule>,
+    /// For each simple type, the original element type it corresponds to
+    /// (`None` for the synthetic types introduced by the rewriting).
+    original: Vec<Option<ElemId>>,
+    root: SimpleId,
+    /// Attributes of each simple type (copied from the original DTD for
+    /// original types; synthetic types carry no attributes, per the paper).
+    attrs_of: Vec<Vec<AttrId>>,
+}
+
+struct Simplifier<'a> {
+    dtd: &'a Dtd,
+    names: Vec<String>,
+    rules: Vec<SimpleRule>,
+    original: Vec<Option<ElemId>>,
+    attrs_of: Vec<Vec<AttrId>>,
+    shared_epsilon: Option<SimpleId>,
+    counter: usize,
+}
+
+impl<'a> Simplifier<'a> {
+    fn new(dtd: &'a Dtd) -> Self {
+        let n = dtd.num_types();
+        let mut names = Vec::with_capacity(n);
+        let mut original = Vec::with_capacity(n);
+        let mut attrs_of = Vec::with_capacity(n);
+        for ty in dtd.types() {
+            names.push(dtd.type_name(ty).to_string());
+            original.push(Some(ty));
+            attrs_of.push(dtd.attrs_of(ty).to_vec());
+        }
+        Simplifier {
+            dtd,
+            names,
+            // Placeholder rules for the original types, overwritten below.
+            rules: vec![SimpleRule::Epsilon; n],
+            original,
+            attrs_of,
+            shared_epsilon: None,
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self, hint: &str) -> SimpleId {
+        let id = SimpleId(self.names.len() as u32);
+        self.counter += 1;
+        self.names.push(format!("#{hint}{}", self.counter));
+        self.rules.push(SimpleRule::Epsilon);
+        self.original.push(None);
+        self.attrs_of.push(Vec::new());
+        id
+    }
+
+    fn epsilon_type(&mut self) -> SimpleId {
+        if let Some(id) = self.shared_epsilon {
+            return id;
+        }
+        let id = self.fresh("eps");
+        self.rules[id.index()] = SimpleRule::Epsilon;
+        self.shared_epsilon = Some(id);
+        id
+    }
+
+    /// Compiles a content model into a rule shape (for the type whose rule it
+    /// will become).
+    fn compile_rule(&mut self, cm: &ContentModel) -> SimpleRule {
+        match cm {
+            ContentModel::Epsilon => SimpleRule::Epsilon,
+            ContentModel::Text => SimpleRule::Text,
+            ContentModel::Element(e) => SimpleRule::One(SimpleId(e.0)),
+            ContentModel::Seq(a, b) => {
+                let sa = self.as_symbol(a);
+                let sb = self.as_symbol(b);
+                SimpleRule::Seq(sa, sb)
+            }
+            ContentModel::Alt(a, b) => {
+                let sa = self.as_symbol(a);
+                let sb = self.as_symbol(b);
+                SimpleRule::Alt(sa, sb)
+            }
+            ContentModel::Star(a) => SimpleRule::One(self.star_type(a)),
+            ContentModel::Plus(_) | ContentModel::Opt(_) => {
+                unreachable!("content models are desugared before simplification")
+            }
+        }
+    }
+
+    /// Returns a simple type whose language is exactly the language of `cm`,
+    /// creating a synthetic type when `cm` is not already a single symbol.
+    fn as_symbol(&mut self, cm: &ContentModel) -> SimpleId {
+        match cm {
+            ContentModel::Element(e) => SimpleId(e.0),
+            ContentModel::Epsilon => self.epsilon_type(),
+            ContentModel::Star(a) => {
+                let a = a.clone();
+                self.star_type(&a)
+            }
+            _ => {
+                let id = self.fresh("t");
+                let rule = self.compile_rule(cm);
+                self.rules[id.index()] = rule;
+                id
+            }
+        }
+    }
+
+    /// Builds the fresh type `t` with `t → ε | (α, t)` for `α*`.
+    fn star_type(&mut self, inner: &ContentModel) -> SimpleId {
+        let t = self.fresh("star");
+        let eps = self.epsilon_type();
+        let inner_sym = self.as_symbol(inner);
+        let pair = self.fresh("rep");
+        self.rules[pair.index()] = SimpleRule::Seq(inner_sym, t);
+        self.rules[t.index()] = SimpleRule::Alt(eps, pair);
+        t
+    }
+
+    fn run(mut self) -> SimpleDtd {
+        for ty in self.dtd.types() {
+            let cm = self.dtd.content(ty).desugar();
+            let rule = self.compile_rule(&cm);
+            self.rules[ty.index()] = rule;
+        }
+        SimpleDtd {
+            names: self.names,
+            rules: self.rules,
+            original: self.original,
+            root: SimpleId(self.dtd.root().0),
+            attrs_of: self.attrs_of,
+        }
+    }
+}
+
+impl SimpleDtd {
+    /// Simplifies a DTD per Section 4.1.
+    pub fn from_dtd(dtd: &Dtd) -> SimpleDtd {
+        Simplifier::new(dtd).run()
+    }
+
+    /// Number of simple element types (original + synthetic).
+    pub fn num_types(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The root type.
+    pub fn root(&self) -> SimpleId {
+        self.root
+    }
+
+    /// The production rule of a type.
+    pub fn rule(&self, id: SimpleId) -> SimpleRule {
+        self.rules[id.index()]
+    }
+
+    /// Name of a type (synthetic names start with `#`).
+    pub fn name(&self, id: SimpleId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Original element type, if `id` is not synthetic.
+    pub fn original(&self, id: SimpleId) -> Option<ElemId> {
+        self.original[id.index()]
+    }
+
+    /// The simple type corresponding to an original element type.
+    pub fn simple_of(&self, original: ElemId) -> SimpleId {
+        SimpleId(original.0)
+    }
+
+    /// Attributes defined for a simple type.
+    pub fn attrs_of(&self, id: SimpleId) -> &[AttrId] {
+        &self.attrs_of[id.index()]
+    }
+
+    /// Iterates over all simple type ids.
+    pub fn types(&self) -> impl Iterator<Item = SimpleId> {
+        (0..self.rules.len() as u32).map(SimpleId)
+    }
+
+    /// Computes which simple types are productive (admit a finite tree).
+    pub fn productive(&self) -> Vec<bool> {
+        let n = self.num_types();
+        let mut productive = vec![false; n];
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if productive[i] {
+                    continue;
+                }
+                let ok = match self.rules[i] {
+                    SimpleRule::Epsilon | SimpleRule::Text => true,
+                    SimpleRule::One(a) => productive[a.index()],
+                    SimpleRule::Seq(a, b) => productive[a.index()] && productive[b.index()],
+                    SimpleRule::Alt(a, b) => productive[a.index()] || productive[b.index()],
+                };
+                if ok {
+                    productive[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return productive;
+            }
+        }
+    }
+
+    /// Whether the simplified DTD admits a valid tree.  By Lemma 4.3 this
+    /// agrees with [`crate::analysis::dtd_satisfiable`] on the original DTD.
+    pub fn satisfiable(&self) -> bool {
+        self.productive()[self.root.index()]
+    }
+
+    /// Renders the grammar for debugging.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for id in self.types() {
+            let rhs = match self.rule(id) {
+                SimpleRule::Epsilon => "ε".to_string(),
+                SimpleRule::Text => "S".to_string(),
+                SimpleRule::One(a) => self.name(a).to_string(),
+                SimpleRule::Seq(a, b) => format!("{}, {}", self.name(a), self.name(b)),
+                SimpleRule::Alt(a, b) => format!("{} | {}", self.name(a), self.name(b)),
+            };
+            let _ = writeln!(out, "{} → {}", self.name(id), rhs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::{example_d1, example_d2, example_d3};
+    use crate::ContentModel as CM;
+
+    #[test]
+    fn original_types_keep_their_indices() {
+        let d1 = example_d1();
+        let s = SimpleDtd::from_dtd(&d1);
+        for ty in d1.types() {
+            let sid = s.simple_of(ty);
+            assert_eq!(s.original(sid), Some(ty));
+            assert_eq!(s.name(sid), d1.type_name(ty));
+        }
+        assert_eq!(s.root(), s.simple_of(d1.root()));
+    }
+
+    #[test]
+    fn rules_are_simple_shapes() {
+        let d3 = example_d3();
+        let s = SimpleDtd::from_dtd(&d3);
+        // Every rule is one of the five allowed shapes by construction; check
+        // that synthetic types carry no attributes and have `#` names.
+        for id in s.types() {
+            if s.original(id).is_none() {
+                assert!(s.name(id).starts_with('#'));
+                assert!(s.attrs_of(id).is_empty());
+            }
+        }
+        // D3's school rule (course*, student*, enroll*) must have introduced
+        // synthetic types.
+        assert!(s.num_types() > d3.num_types());
+    }
+
+    #[test]
+    fn satisfiability_is_preserved() {
+        assert!(SimpleDtd::from_dtd(&example_d1()).satisfiable());
+        assert!(!SimpleDtd::from_dtd(&example_d2()).satisfiable());
+        assert!(SimpleDtd::from_dtd(&example_d3()).satisfiable());
+    }
+
+    #[test]
+    fn star_rewrites_to_recursive_pair() {
+        // r → a*  becomes  r → t, t → #eps | #rep, #rep → a, t.
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let a = b.elem("a");
+        b.content(r, CM::star(CM::Element(a)));
+        b.content(a, CM::Epsilon);
+        let dtd = b.build("r").unwrap();
+        let s = SimpleDtd::from_dtd(&dtd);
+        let r_rule = s.rule(s.simple_of(r));
+        let SimpleRule::One(t) = r_rule else { panic!("expected One, got {r_rule:?}") };
+        let SimpleRule::Alt(eps, pair) = s.rule(t) else { panic!("expected Alt") };
+        assert_eq!(s.rule(eps), SimpleRule::Epsilon);
+        let SimpleRule::Seq(first, rest) = s.rule(pair) else { panic!("expected Seq") };
+        assert_eq!(first, s.simple_of(a));
+        assert_eq!(rest, t);
+        assert!(s.satisfiable());
+    }
+
+    #[test]
+    fn plus_is_desugared_before_simplification() {
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let a = b.elem("a");
+        b.content(r, CM::plus(CM::Element(a)));
+        b.content(a, CM::Text);
+        let dtd = b.build("r").unwrap();
+        let s = SimpleDtd::from_dtd(&dtd);
+        // a+ = (a, a*): the root rule is a Seq whose first component is a.
+        let SimpleRule::Seq(first, _) = s.rule(s.simple_of(r)) else {
+            panic!("expected Seq for a+")
+        };
+        assert_eq!(first, s.simple_of(a));
+        assert!(s.satisfiable());
+    }
+
+    #[test]
+    fn text_inside_composite_gets_wrapped() {
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let a = b.elem("a");
+        b.content(r, CM::seq(CM::Text, CM::Element(a)));
+        b.content(a, CM::Epsilon);
+        let dtd = b.build("r").unwrap();
+        let s = SimpleDtd::from_dtd(&dtd);
+        let SimpleRule::Seq(text_wrapper, second) = s.rule(s.simple_of(r)) else {
+            panic!("expected Seq")
+        };
+        assert_eq!(second, s.simple_of(a));
+        assert_eq!(s.rule(text_wrapper), SimpleRule::Text);
+        assert!(s.original(text_wrapper).is_none());
+    }
+
+    #[test]
+    fn shared_epsilon_type_is_reused() {
+        let mut b = Dtd::builder();
+        let r = b.elem("r");
+        let a = b.elem("a");
+        let c = b.elem("c");
+        b.content(r, CM::seq(CM::star(CM::Element(a)), CM::star(CM::Element(c))));
+        b.content(a, CM::Epsilon);
+        b.content(c, CM::Epsilon);
+        let dtd = b.build("r").unwrap();
+        let s = SimpleDtd::from_dtd(&dtd);
+        let eps_types: Vec<_> = s
+            .types()
+            .filter(|&id| s.original(id).is_none() && s.rule(id) == SimpleRule::Epsilon)
+            .collect();
+        assert_eq!(eps_types.len(), 1, "the ε helper type is shared");
+    }
+
+    #[test]
+    fn render_lists_all_rules() {
+        let s = SimpleDtd::from_dtd(&example_d1());
+        let rendered = s.render();
+        assert!(rendered.contains("teachers →"));
+        assert!(rendered.lines().count() >= s.num_types());
+    }
+}

@@ -1,0 +1,208 @@
+//! Random document generation: valid XML trees for a given DTD.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xic_dtd::{analyze, ContentModel, Dtd, DtdAnalysis, ElemId};
+use xic_xml::{NodeId, XmlTree};
+
+/// Parameters for [`random_document`].
+#[derive(Debug, Clone)]
+pub struct DocGenConfig {
+    /// Soft cap on the number of elements.
+    pub max_elements: usize,
+    /// Expansion depth after which stars/options collapse.
+    pub max_depth: usize,
+    /// Expected repetitions for starred content.
+    pub star_fanout: usize,
+    /// Size of the attribute value pool (smaller pools create more key
+    /// clashes, useful for violation-handling tests).
+    pub value_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        DocGenConfig { max_elements: 500, max_depth: 16, star_fanout: 3, value_pool: 50, seed: 1 }
+    }
+}
+
+/// Generates a random document conforming to the DTD (structurally valid and
+/// with every required attribute present).  Returns `None` if the DTD has no
+/// valid tree at all.
+pub fn random_document(dtd: &Dtd, config: &DocGenConfig) -> Option<XmlTree> {
+    let analysis = analyze(dtd);
+    if !analysis.satisfiable() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut tree = XmlTree::new(dtd.root());
+    let mut elements = 1usize;
+    let root = tree.root();
+    expand(dtd, &analysis, config, &mut rng, &mut tree, root, dtd.root(), 0, &mut elements);
+    // Fill attributes.
+    let nodes: Vec<NodeId> = tree.elements().collect();
+    for node in nodes {
+        if let Some(ty) = tree.element_type(node) {
+            for &attr in dtd.attrs_of(ty) {
+                let v = format!("val{}", rng.gen_range(0..config.value_pool.max(1)));
+                tree.set_attr(node, attr, v);
+            }
+        }
+    }
+    Some(tree)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    dtd: &Dtd,
+    analysis: &DtdAnalysis,
+    config: &DocGenConfig,
+    rng: &mut StdRng,
+    tree: &mut XmlTree,
+    node: NodeId,
+    ty: ElemId,
+    depth: usize,
+    elements: &mut usize,
+) {
+    let minimal = depth >= config.max_depth || *elements >= config.max_elements;
+    let mut word = Vec::new();
+    sample(dtd.content(ty), analysis, config, rng, minimal, &mut word);
+    for symbol in word {
+        match symbol {
+            Symbol::Text => {
+                tree.add_text(node, format!("text{}", rng.gen_range(0..1000)));
+            }
+            Symbol::Element(child_ty) => {
+                *elements += 1;
+                let child = tree.add_element(node, child_ty);
+                expand(dtd, analysis, config, rng, tree, child, child_ty, depth + 1, elements);
+            }
+        }
+    }
+}
+
+enum Symbol {
+    Element(ElemId),
+    Text,
+}
+
+fn sample(
+    model: &ContentModel,
+    analysis: &DtdAnalysis,
+    config: &DocGenConfig,
+    rng: &mut StdRng,
+    minimal: bool,
+    out: &mut Vec<Symbol>,
+) {
+    match model {
+        ContentModel::Epsilon => {}
+        ContentModel::Text => out.push(Symbol::Text),
+        ContentModel::Element(e) => out.push(Symbol::Element(*e)),
+        ContentModel::Seq(a, b) => {
+            sample(a, analysis, config, rng, minimal, out);
+            sample(b, analysis, config, rng, minimal, out);
+        }
+        ContentModel::Alt(a, b) => {
+            let a_ok = productive(a, analysis);
+            let b_ok = productive(b, analysis);
+            let pick_a = match (a_ok, b_ok) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => rng.gen_bool(0.5),
+            };
+            if pick_a {
+                sample(a, analysis, config, rng, minimal, out);
+            } else {
+                sample(b, analysis, config, rng, minimal, out);
+            }
+        }
+        ContentModel::Star(a) => {
+            let reps = if minimal || !productive(a, analysis) {
+                0
+            } else {
+                rng.gen_range(0..=config.star_fanout)
+            };
+            for _ in 0..reps {
+                sample(a, analysis, config, rng, minimal, out);
+            }
+        }
+        ContentModel::Plus(a) => {
+            let reps = if minimal { 1 } else { rng.gen_range(1..=config.star_fanout.max(1)) };
+            for _ in 0..reps {
+                sample(a, analysis, config, rng, minimal, out);
+            }
+        }
+        ContentModel::Opt(a) => {
+            if !minimal && productive(a, analysis) && rng.gen_bool(0.5) {
+                sample(a, analysis, config, rng, minimal, out);
+            }
+        }
+    }
+}
+
+fn productive(model: &ContentModel, analysis: &DtdAnalysis) -> bool {
+    match model {
+        ContentModel::Epsilon | ContentModel::Text => true,
+        ContentModel::Element(e) => analysis.productive(*e),
+        ContentModel::Seq(a, b) => productive(a, analysis) && productive(b, analysis),
+        ContentModel::Alt(a, b) => productive(a, analysis) || productive(b, analysis),
+        ContentModel::Star(_) | ContentModel::Opt(_) => true,
+        ContentModel::Plus(a) => productive(a, analysis),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd_gen::{catalogue_dtd, random_dtd, recursive_list_dtd, DtdGenConfig};
+    use xic_dtd::{example_d1, example_d2};
+    use xic_xml::validate;
+
+    #[test]
+    fn documents_validate_against_their_dtd() {
+        for seed in 0..5 {
+            let dtd = random_dtd(&DtdGenConfig { seed, ..Default::default() });
+            let doc = random_document(&dtd, &DocGenConfig { seed, ..Default::default() })
+                .expect("satisfiable DTD");
+            let errors = validate(&doc, &dtd);
+            assert!(errors.is_empty(), "seed {seed}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn d1_documents_have_paired_subjects() {
+        let d1 = example_d1();
+        let doc = random_document(&d1, &DocGenConfig::default()).unwrap();
+        assert!(validate(&doc, &d1).is_empty());
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        assert_eq!(doc.ext_count(subject), 2 * doc.ext_count(teacher));
+    }
+
+    #[test]
+    fn unsatisfiable_dtd_yields_none() {
+        assert!(random_document(&example_d2(), &DocGenConfig::default()).is_none());
+    }
+
+    #[test]
+    fn element_budget_is_respected_softly() {
+        let dtd = catalogue_dtd(8);
+        let doc = random_document(
+            &dtd,
+            &DocGenConfig { max_elements: 50, star_fanout: 10, ..Default::default() },
+        )
+        .unwrap();
+        // The cap is soft (the current expansion finishes) but must stay in
+        // the same order of magnitude.
+        assert!(doc.num_nodes() < 100 * 4);
+    }
+
+    #[test]
+    fn recursive_dtd_terminates() {
+        let dtd = recursive_list_dtd();
+        let doc = random_document(&dtd, &DocGenConfig { max_depth: 6, ..Default::default() })
+            .expect("satisfiable");
+        assert!(validate(&doc, &dtd).is_empty());
+    }
+}

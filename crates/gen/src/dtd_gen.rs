@@ -1,0 +1,182 @@
+//! DTD generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xic_dtd::{ContentModel, Dtd, DtdBuilder};
+
+/// Parameters for [`random_dtd`].
+#[derive(Debug, Clone)]
+pub struct DtdGenConfig {
+    /// Number of element types (≥ 2).
+    pub num_types: usize,
+    /// Attributes per element type.
+    pub attrs_per_type: usize,
+    /// Probability that a content-model slot is starred.
+    pub star_probability: f64,
+    /// Probability that two children are combined with `|` instead of `,`.
+    pub union_probability: f64,
+    /// Maximum children per content model.
+    pub max_children: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DtdGenConfig {
+    fn default() -> Self {
+        DtdGenConfig {
+            num_types: 10,
+            attrs_per_type: 2,
+            star_probability: 0.4,
+            union_probability: 0.3,
+            max_children: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random *layered* DTD: element type `i` only references types
+/// with larger indices, so the DTD is acyclic and always satisfiable, and
+/// every type is reachable from the root.  This is the generic workload shape
+/// for the consistency benches.
+pub fn random_dtd(config: &DtdGenConfig) -> Dtd {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_types.max(2);
+    let mut b = Dtd::builder();
+    let types: Vec<_> = (0..n).map(|i| b.elem(&format!("t{i}"))).collect();
+    for i in 0..n {
+        let remaining = n - i - 1;
+        if remaining == 0 {
+            b.content(types[i], ContentModel::Text);
+        } else {
+            let children = rng.gen_range(1..=config.max_children.min(remaining).max(1));
+            let mut parts = Vec::with_capacity(children);
+            for _ in 0..children {
+                let child = types[rng.gen_range(i + 1..n)];
+                let mut part = ContentModel::Element(child);
+                if rng.gen_bool(config.star_probability) {
+                    part = ContentModel::star(part);
+                }
+                parts.push(part);
+            }
+            let model = if rng.gen_bool(config.union_probability) && parts.len() >= 2 {
+                ContentModel::alt_all(parts)
+            } else {
+                ContentModel::seq_all(parts)
+            };
+            b.content(types[i], model);
+        }
+        for a in 0..config.attrs_per_type {
+            b.attr(types[i], &format!("a{i}_{a}"));
+        }
+    }
+    b.build("t0").expect("generated DTD is well-formed")
+}
+
+/// A flat "catalogue" DTD with `n` record kinds under a starred root:
+/// `<!ELEMENT catalogue (kind0*, kind1*, …)>`, each kind carrying `id` and
+/// `ref` attributes.  Foreign keys between kinds are what the unary
+/// consistency workloads constrain.
+pub fn catalogue_dtd(kinds: usize) -> Dtd {
+    let mut b = Dtd::builder();
+    let root = b.elem("catalogue");
+    let mut parts = Vec::with_capacity(kinds);
+    for k in 0..kinds {
+        let kind = b.elem(&format!("kind{k}"));
+        b.content(kind, ContentModel::Text);
+        b.attr(kind, &format!("id{k}"));
+        b.attr(kind, &format!("ref{k}"));
+        parts.push(ContentModel::star(ContentModel::Element(kind)));
+    }
+    b.content(root, ContentModel::seq_all(parts));
+    b.build("catalogue").expect("catalogue DTD is well-formed")
+}
+
+/// A recursive list DTD: `list → (item, list) | ε`, `item` carrying an `id`.
+/// The `depth_hint` only names the DTD; recursion depth is decided by
+/// documents/solutions, exercising the star-free recursion path of the
+/// simplification and the realizability cuts.
+pub fn recursive_list_dtd() -> Dtd {
+    let mut b = Dtd::builder();
+    let root = b.elem("doc");
+    let list = b.elem("list");
+    let item = b.elem("item");
+    b.content(root, ContentModel::Element(list));
+    b.content(
+        list,
+        ContentModel::alt(
+            ContentModel::seq(ContentModel::Element(item), ContentModel::Element(list)),
+            ContentModel::Epsilon,
+        ),
+    );
+    b.content(item, ContentModel::Text);
+    b.attr(item, "id");
+    b.attr(item, "next");
+    b.build("doc").expect("list DTD is well-formed")
+}
+
+/// A teacher-style DTD with a configurable fanout: each `group` requires
+/// exactly `fanout` members, reproducing at scale the cardinality interaction
+/// of the paper's introductory example.
+pub fn fanout_dtd(fanout: usize) -> Dtd {
+    let mut b = Dtd::builder();
+    let root = b.elem("groups");
+    let group = b.elem("group");
+    let member = b.elem("member");
+    b.content(root, ContentModel::plus(ContentModel::Element(group)));
+    b.content(
+        group,
+        ContentModel::seq_all(std::iter::repeat(ContentModel::Element(member)).take(fanout.max(1))),
+    );
+    b.content(member, ContentModel::Text);
+    b.attr(group, "gid");
+    b.attr(member, "owner");
+    b.build("groups").expect("fanout DTD is well-formed")
+}
+
+/// Builder escape hatch used by a few tests.
+pub fn builder() -> DtdBuilder {
+    Dtd::builder()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_dtd::dtd_satisfiable;
+
+    #[test]
+    fn random_dtds_are_satisfiable_and_sized() {
+        for seed in 0..5 {
+            let dtd = random_dtd(&DtdGenConfig { seed, num_types: 12, ..Default::default() });
+            assert_eq!(dtd.num_types(), 12);
+            assert!(dtd_satisfiable(&dtd));
+        }
+    }
+
+    #[test]
+    fn random_dtd_is_deterministic_per_seed() {
+        let a = random_dtd(&DtdGenConfig::default());
+        let b = random_dtd(&DtdGenConfig::default());
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn catalogue_shape() {
+        let dtd = catalogue_dtd(5);
+        assert_eq!(dtd.num_types(), 6);
+        assert!(dtd_satisfiable(&dtd));
+        assert!(dtd.type_by_name("kind4").is_some());
+    }
+
+    #[test]
+    fn recursive_list_is_satisfiable() {
+        assert!(dtd_satisfiable(&recursive_list_dtd()));
+    }
+
+    #[test]
+    fn fanout_dtd_shape() {
+        let dtd = fanout_dtd(3);
+        let group = dtd.type_by_name("group").unwrap();
+        assert_eq!(dtd.content(group).size(), 5);
+        assert!(dtd_satisfiable(&dtd));
+    }
+}

@@ -1,0 +1,403 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! The simplex method over the cardinality systems of Fan & Libkin must be
+//! exact: a wrong sign on a reduced cost or a wrongly-detected infeasibility
+//! changes a "consistent" answer into "inconsistent".  Floating point cannot
+//! give that guarantee, so all LP relaxations in this crate are solved over
+//! `Rational`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bignum::BigInt;
+
+/// An exact rational number `num / den`.
+///
+/// Invariants: `den > 0`, `gcd(|num|, den) = 1`, and zero is `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+impl Rational {
+    /// The rational zero.
+    pub fn zero() -> Rational {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Rational {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Constructs `num / den`, normalising sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (mut num, mut den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&den);
+        if !g.is_one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        Rational { num, den }
+    }
+
+    /// Constructs the rational from an integer.
+    pub fn from_int(v: impl Into<BigInt>) -> Rational {
+        Rational { num: v.into(), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        self.num.div_ceil(&self.den)
+    }
+
+    /// Rounds towards zero.
+    pub fn trunc(&self) -> BigInt {
+        self.num.divrem(&self.den).0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// If the value is an integer, returns it.
+    pub fn to_integer(&self) -> Option<BigInt> {
+        if self.is_integer() {
+            Some(self.num.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b    (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -self.clone()
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, other: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &other.den) + &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, other: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &other.den) - &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, other: &Rational) -> Rational {
+        Rational::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "rational division by zero");
+        Rational::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, other: &Rational) -> Rational {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, other: &Rational) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, other: &Rational) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, other: &Rational) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned when parsing a [`Rational`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    msg: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt =
+                n.trim().parse().map_err(|e| ParseRationalError { msg: format!("{e}") })?;
+            let den: BigInt =
+                d.trim().parse().map_err(|e| ParseRationalError { msg: format!("{e}") })?;
+            if den.is_zero() {
+                return Err(ParseRationalError { msg: "zero denominator".to_string() });
+            }
+            Ok(Rational::new(num, den))
+        } else {
+            let num: BigInt =
+                s.parse().map_err(|e| ParseRationalError { msg: format!("{e}") })?;
+            Ok(Rational::from(num))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7), Rational::zero());
+        assert!(r(3, -3).is_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 3), r(1, 2));
+        assert_eq!(-r(2, 3), r(-2, 3));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::one());
+        assert!(r(5, 2) > Rational::from_int(2i64));
+        assert!(r(5, 2) < Rational::from_int(3i64));
+    }
+
+    #[test]
+    fn floor_ceil_trunc() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(-7, 2).trunc(), BigInt::from(-3i64));
+        assert_eq!(r(4, 2).floor(), BigInt::from(2i64));
+        assert_eq!(r(4, 2).ceil(), BigInt::from(2i64));
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(r(4, 2).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert_eq!(r(4, 2).to_integer(), Some(BigInt::from(2i64)));
+        assert_eq!(r(5, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn reciprocal() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::zero().recip();
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), r(3, 4));
+        assert_eq!("-3/4".parse::<Rational>().unwrap(), r(-3, 4));
+        assert_eq!("6/4".parse::<Rational>().unwrap().to_string(), "3/2");
+        assert_eq!("5".parse::<Rational>().unwrap(), Rational::from_int(5i64));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x/2".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut x = r(1, 2);
+        x += &r(1, 2);
+        assert_eq!(x, Rational::one());
+        x -= &r(1, 4);
+        assert_eq!(x, r(3, 4));
+        x *= &r(4, 3);
+        assert_eq!(x, Rational::one());
+    }
+}

@@ -1,0 +1,452 @@
+//! The chase for functional and inclusion dependencies.
+//!
+//! The paper's undecidability proof (Lemma 3.2 / Theorem 3.1) starts from the
+//! classical fact that implication of FDs by FDs and INDs is undecidable.
+//! There is therefore no complete procedure to implement — what *can* be
+//! implemented is the standard chase, which is sound and complete whenever it
+//! terminates but may run forever on cyclic inclusion dependencies.  This
+//! module provides a step-bounded chase used by the `undecidability_frontier`
+//! example and by the tests of the Theorem 3.1 reduction.
+
+use std::collections::HashMap;
+
+use crate::model::{Instance, RelConstraint, RelId, RelSchema};
+
+/// Result of a bounded chase-based implication test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseResult {
+    /// The dependency is implied (the chase closed the goal).
+    Implied,
+    /// The dependency is not implied; the counterexample instance satisfies
+    /// Σ but violates the target.
+    NotImplied(Instance),
+    /// The step budget was exhausted before the chase terminated — the
+    /// observable footprint of the undecidability frontier.
+    Unknown,
+}
+
+impl ChaseResult {
+    /// Whether the result is [`ChaseResult::Implied`].
+    pub fn is_implied(&self) -> bool {
+        matches!(self, ChaseResult::Implied)
+    }
+}
+
+/// Configuration of the bounded chase.
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Maximum number of chase steps (tuple insertions plus equalities).
+    pub max_steps: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig { max_steps: 5_000 }
+    }
+}
+
+/// Internal chase state: tuples hold labelled nulls represented as integers
+/// managed by a union-find.
+struct ChaseState {
+    tables: Vec<Vec<Vec<usize>>>,
+    parent: Vec<usize>,
+    steps: usize,
+}
+
+impl ChaseState {
+    fn new(schema: &RelSchema) -> ChaseState {
+        ChaseState { tables: vec![Vec::new(); schema.num_relations()], parent: Vec::new(), steps: 0 }
+    }
+
+    fn fresh(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+
+    fn values(&mut self, rel: RelId, row: usize, cols: &[usize]) -> Vec<usize> {
+        cols.iter().map(|&c| self.find(self.tables[rel.index()][row][c])).collect()
+    }
+
+    /// One round of applying every dependency; returns `true` if anything
+    /// changed.
+    fn apply_round(&mut self, schema: &RelSchema, sigma: &[RelConstraint]) -> bool {
+        let mut changed = false;
+        for c in sigma {
+            match c {
+                RelConstraint::Fd { rel, lhs, rhs } => {
+                    let lhs_pos = schema.positions(*rel, lhs).expect("fd lhs");
+                    let rhs_pos = schema.positions(*rel, rhs).expect("fd rhs");
+                    changed |= self.apply_fd(*rel, &lhs_pos, &rhs_pos);
+                }
+                RelConstraint::Key { rel, attrs } => {
+                    // A key is the FD attrs → all attributes.
+                    let lhs_pos = schema.positions(*rel, attrs).expect("key attrs");
+                    let all: Vec<usize> = (0..schema.relation(*rel).attrs.len()).collect();
+                    changed |= self.apply_fd(*rel, &lhs_pos, &all);
+                }
+                RelConstraint::Ind { rel, attrs, target, target_attrs } => {
+                    let src = schema.positions(*rel, attrs).expect("ind src");
+                    let dst = schema.positions(*target, target_attrs).expect("ind dst");
+                    changed |= self.apply_ind(schema, *rel, &src, *target, &dst);
+                }
+                RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => {
+                    let src = schema.positions(*rel, attrs).expect("fk src");
+                    let dst = schema.positions(*target, target_attrs).expect("fk dst");
+                    changed |= self.apply_ind(schema, *rel, &src, *target, &dst);
+                    let all: Vec<usize> = (0..schema.relation(*target).attrs.len()).collect();
+                    changed |= self.apply_fd(*target, &dst, &all);
+                }
+            }
+        }
+        changed
+    }
+
+    fn apply_fd(&mut self, rel: RelId, lhs: &[usize], rhs: &[usize]) -> bool {
+        let mut changed = false;
+        let n = self.tables[rel.index()].len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let li = self.values(rel, i, lhs);
+                let lj = self.values(rel, j, lhs);
+                if li != lj {
+                    continue;
+                }
+                for &p in rhs {
+                    let vi = self.tables[rel.index()][i][p];
+                    let vj = self.tables[rel.index()][j][p];
+                    if self.find(vi) != self.find(vj) {
+                        self.union(vi, vj);
+                        self.steps += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    fn apply_ind(
+        &mut self,
+        schema: &RelSchema,
+        rel: RelId,
+        src: &[usize],
+        target: RelId,
+        dst: &[usize],
+    ) -> bool {
+        let mut changed = false;
+        let n = self.tables[rel.index()].len();
+        for i in 0..n {
+            let wanted = self.values(rel, i, src);
+            let m = self.tables[target.index()].len();
+            let mut found = false;
+            for j in 0..m {
+                if self.values(target, j, dst) == wanted {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                // Add a new tuple to the target with fresh nulls except at the
+                // destination positions.
+                let width = schema.relation(target).attrs.len();
+                let mut tuple = Vec::with_capacity(width);
+                for col in 0..width {
+                    match dst.iter().position(|&d| d == col) {
+                        Some(k) => tuple.push(wanted[k]),
+                        None => tuple.push(self.fresh()),
+                    }
+                }
+                self.tables[target.index()].push(tuple);
+                self.steps += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Converts the chase state into a concrete instance: each equivalence
+    /// class of nulls becomes the constant `v<root>`.
+    fn to_instance(&mut self, schema: &RelSchema) -> Instance {
+        let mut instance = Instance::empty(schema);
+        for rel in schema.relations() {
+            let rows = self.tables[rel.index()].clone();
+            for row in rows {
+                let tuple = row.iter().map(|&v| format!("v{}", self.find(v))).collect();
+                instance.insert(rel, tuple);
+            }
+        }
+        instance
+    }
+}
+
+/// Bounded chase test of `Σ ⊨ (R : X → Y)`.
+pub fn implies_fd(
+    schema: &RelSchema,
+    sigma: &[RelConstraint],
+    rel: RelId,
+    lhs: &[String],
+    rhs: &[String],
+    config: &ChaseConfig,
+) -> ChaseResult {
+    let lhs_pos = schema.positions(rel, lhs).expect("target fd lhs");
+    let rhs_pos = schema.positions(rel, rhs).expect("target fd rhs");
+    let width = schema.relation(rel).attrs.len();
+    let mut state = ChaseState::new(schema);
+    // Two tuples agreeing exactly on the lhs.
+    let shared: HashMap<usize, usize> =
+        lhs_pos.iter().map(|&p| (p, 0)).collect::<HashMap<_, _>>();
+    let mut t1 = Vec::with_capacity(width);
+    let mut t2 = Vec::with_capacity(width);
+    let mut shared_vals: HashMap<usize, usize> = HashMap::new();
+    for col in 0..width {
+        if shared.contains_key(&col) {
+            let v = *shared_vals.entry(col).or_insert_with(|| state.fresh());
+            t1.push(v);
+        } else {
+            t1.push(state.fresh());
+        }
+    }
+    for col in 0..width {
+        if shared.contains_key(&col) {
+            t2.push(*shared_vals.get(&col).expect("shared value"));
+        } else {
+            t2.push(state.fresh());
+        }
+    }
+    state.tables[rel.index()].push(t1);
+    state.tables[rel.index()].push(t2);
+
+    loop {
+        if state.steps > config.max_steps {
+            return ChaseResult::Unknown;
+        }
+        let changed = state.apply_round(schema, sigma);
+        // Check the goal: rows 0 and 1 of `rel` agree on the rhs.
+        let a = state.values(rel, 0, &rhs_pos);
+        let b = state.values(rel, 1, &rhs_pos);
+        if a == b {
+            return ChaseResult::Implied;
+        }
+        if !changed {
+            return ChaseResult::NotImplied(state.to_instance(schema));
+        }
+    }
+}
+
+/// Bounded chase test of `Σ ⊨ R1[X] ⊆ R2[Y]`.
+pub fn implies_ind(
+    schema: &RelSchema,
+    sigma: &[RelConstraint],
+    rel: RelId,
+    attrs: &[String],
+    target: RelId,
+    target_attrs: &[String],
+    config: &ChaseConfig,
+) -> ChaseResult {
+    let src_pos = schema.positions(rel, attrs).expect("target ind src");
+    let dst_pos = schema.positions(target, target_attrs).expect("target ind dst");
+    let width = schema.relation(rel).attrs.len();
+    let mut state = ChaseState::new(schema);
+    let tuple: Vec<usize> = (0..width).map(|_| state.fresh()).collect();
+    state.tables[rel.index()].push(tuple);
+
+    loop {
+        if state.steps > config.max_steps {
+            return ChaseResult::Unknown;
+        }
+        let changed = state.apply_round(schema, sigma);
+        let wanted = state.values(rel, 0, &src_pos);
+        let m = state.tables[target.index()].len();
+        let mut found = false;
+        for j in 0..m {
+            if state.values(target, j, &dst_pos) == wanted {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            return ChaseResult::Implied;
+        }
+        if !changed {
+            return ChaseResult::NotImplied(state.to_instance(schema));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::instance_satisfies;
+
+    fn owned(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fd_transitivity_is_implied() {
+        // R(a,b,c) with a→b and b→c implies a→c.
+        let mut s = RelSchema::new();
+        let r = s.add_relation("R", &["a", "b", "c"]);
+        let sigma = vec![RelConstraint::fd(r, &["a"], &["b"]), RelConstraint::fd(r, &["b"], &["c"])];
+        let result =
+            implies_fd(&s, &sigma, r, &owned(&["a"]), &owned(&["c"]), &ChaseConfig::default());
+        assert!(result.is_implied());
+    }
+
+    #[test]
+    fn unrelated_fd_is_not_implied() {
+        let mut s = RelSchema::new();
+        let r = s.add_relation("R", &["a", "b", "c"]);
+        let sigma = vec![RelConstraint::fd(r, &["a"], &["b"])];
+        let result =
+            implies_fd(&s, &sigma, r, &owned(&["b"]), &owned(&["c"]), &ChaseConfig::default());
+        match result {
+            ChaseResult::NotImplied(instance) => {
+                // The counterexample satisfies Σ and violates b→c.
+                assert!(instance_satisfies(&s, &instance, &sigma));
+                assert!(!RelConstraint::fd(r, &["b"], &["c"]).satisfied_by(&s, &instance));
+            }
+            other => panic!("expected NotImplied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ind_transitivity_is_implied() {
+        let mut s = RelSchema::new();
+        let r1 = s.add_relation("R1", &["x"]);
+        let r2 = s.add_relation("R2", &["y"]);
+        let r3 = s.add_relation("R3", &["z"]);
+        let sigma = vec![
+            RelConstraint::ind(r1, &["x"], r2, &["y"]),
+            RelConstraint::ind(r2, &["y"], r3, &["z"]),
+        ];
+        let result = implies_ind(
+            &s,
+            &sigma,
+            r1,
+            &owned(&["x"]),
+            r3,
+            &owned(&["z"]),
+            &ChaseConfig::default(),
+        );
+        assert!(result.is_implied());
+    }
+
+    #[test]
+    fn ind_not_implied_gives_counterexample() {
+        let mut s = RelSchema::new();
+        let r1 = s.add_relation("R1", &["x"]);
+        let r2 = s.add_relation("R2", &["y"]);
+        let sigma: Vec<RelConstraint> = vec![];
+        let result = implies_ind(
+            &s,
+            &sigma,
+            r1,
+            &owned(&["x"]),
+            r2,
+            &owned(&["y"]),
+            &ChaseConfig::default(),
+        );
+        match result {
+            ChaseResult::NotImplied(instance) => {
+                assert_eq!(instance.tuples(r1).len(), 1);
+                assert!(instance.tuples(r2).is_empty());
+            }
+            other => panic!("expected NotImplied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interaction_of_fd_and_ind() {
+        // Classic interaction: R(a,b), S(c) with R[a] ⊆ S[c], S[c] ⊆ R[b]
+        // and the FD R: a→b.  Chase may need several rounds; the target
+        // R[a] ⊆ R[b] is implied... actually we check a simpler consequence:
+        // S[c] ⊆ R[b] combined with R[a] ⊆ S[c] implies R[a] ⊆ R[b].
+        let mut s = RelSchema::new();
+        let r = s.add_relation("R", &["a", "b"]);
+        let t = s.add_relation("S", &["c"]);
+        let sigma = vec![
+            RelConstraint::ind(r, &["a"], t, &["c"]),
+            RelConstraint::ind(t, &["c"], r, &["b"]),
+        ];
+        let result = implies_ind(
+            &s,
+            &sigma,
+            r,
+            &owned(&["a"]),
+            r,
+            &owned(&["b"]),
+            &ChaseConfig::default(),
+        );
+        assert!(result.is_implied());
+    }
+
+    #[test]
+    fn cyclic_inds_hit_the_step_budget() {
+        // R(a,b) with R[a] ⊆ R[b]: chasing the FD goal keeps inventing new
+        // tuples forever; with a tiny budget the result is Unknown.
+        let mut s = RelSchema::new();
+        let r = s.add_relation("R", &["a", "b"]);
+        let sigma = vec![RelConstraint::ind(r, &["a"], r, &["b"])];
+        let result = implies_fd(
+            &s,
+            &sigma,
+            r,
+            &owned(&["a"]),
+            &owned(&["b"]),
+            &ChaseConfig { max_steps: 10 },
+        );
+        assert_eq!(result, ChaseResult::Unknown);
+    }
+
+    #[test]
+    fn keys_and_foreign_keys_chase() {
+        // emp(dept) ⊆ dept(dname) with dname a key; the FK implies the IND.
+        let mut s = RelSchema::new();
+        let emp = s.add_relation("emp", &["id", "dept"]);
+        let dept = s.add_relation("dept", &["dname", "head"]);
+        let sigma = vec![
+            RelConstraint::key(dept, &["dname"]),
+            RelConstraint::foreign_key(emp, &["dept"], dept, &["dname"]),
+        ];
+        let result = implies_ind(
+            &s,
+            &sigma,
+            emp,
+            &owned(&["dept"]),
+            dept,
+            &owned(&["dname"]),
+            &ChaseConfig::default(),
+        );
+        assert!(result.is_implied());
+        // head is not a key of dept: not implied.
+        let result = implies_fd(
+            &s,
+            &sigma,
+            dept,
+            &owned(&["head"]),
+            &owned(&["dname"]),
+            &ChaseConfig::default(),
+        );
+        assert!(matches!(result, ChaseResult::NotImplied(_)));
+    }
+}

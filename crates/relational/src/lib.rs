@@ -1,0 +1,28 @@
+//! # xic-relational — the relational substrate of the undecidability proofs
+//!
+//! Section 3 of Fan & Libkin proves undecidability of consistency and
+//! implication for multi-attribute XML keys and foreign keys by a chain of
+//! reductions that starts in relational databases:
+//!
+//! ```text
+//! FD implication by FDs + INDs   (undecidable, classical)
+//!     → key implication by keys + foreign keys          (Lemma 3.2)
+//!     → complement of XML specification consistency      (Theorem 3.1)
+//! ```
+//!
+//! This crate provides the relational side of that chain: schemas, finite
+//! instances, the four dependency forms with their satisfaction relations
+//! ([`model`]), the classical chase as a step-bounded semi-decision procedure
+//! for FD/IND implication ([`chase`]), and the executable Lemma 3.2 encoding
+//! ([`encode`]).  The XML half of Theorem 3.1 lives in `xic-core::reductions`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chase;
+pub mod encode;
+pub mod model;
+
+pub use chase::{implies_fd, implies_ind, ChaseConfig, ChaseResult};
+pub use encode::{encode_fd_implication, EncodedImplication};
+pub use model::{instance_satisfies, Instance, RelConstraint, RelId, RelSchema, Relation, Tuple};

@@ -1,0 +1,413 @@
+//! Relational schemas, instances and dependencies.
+//!
+//! The undecidability results of Section 3 of the paper are proved by
+//! reductions from implication problems in *relational* databases: the
+//! implication of functional dependencies (FDs) by FDs and inclusion
+//! dependencies (INDs), and the implication of keys by keys and foreign
+//! keys.  This module is the relational substrate those reductions are
+//! expressed over: schemas, finite string-valued instances, and the four
+//! dependency forms with their satisfaction relations.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a relation within a [`RelSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Index into the schema's relation table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation schema: a name and an ordered list of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names, in column order.
+    pub attrs: Vec<String>,
+}
+
+impl Relation {
+    /// Position of an attribute by name.
+    pub fn attr_pos(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+}
+
+/// A relational schema `R = (R1, …, Rn)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelSchema {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl RelSchema {
+    /// An empty schema.
+    pub fn new() -> RelSchema {
+        RelSchema::default()
+    }
+
+    /// Adds a relation with the given attributes, returning its id.
+    pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> RelId {
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(Relation {
+            name: name.to_string(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Accessor for a relation.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Iterates over relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// Column positions for a list of attribute names of a relation.
+    pub fn positions(&self, rel: RelId, attrs: &[String]) -> Option<Vec<usize>> {
+        attrs.iter().map(|a| self.relation(rel).attr_pos(a)).collect()
+    }
+}
+
+/// A tuple is a vector of string values, one per attribute in column order.
+pub type Tuple = Vec<String>;
+
+/// A finite instance of a schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Instance {
+    tables: Vec<Vec<Tuple>>,
+}
+
+impl Instance {
+    /// An empty instance of a schema.
+    pub fn empty(schema: &RelSchema) -> Instance {
+        Instance { tables: vec![Vec::new(); schema.num_relations()] }
+    }
+
+    /// Inserts a tuple into a relation (deduplicating under set semantics).
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) {
+        let table = &mut self.tables[rel.index()];
+        if !table.contains(&tuple) {
+            table.push(tuple);
+        }
+    }
+
+    /// The tuples of a relation.
+    pub fn tuples(&self, rel: RelId) -> &[Tuple] {
+        &self.tables[rel.index()]
+    }
+
+    /// Mutable access used by the chase.
+    pub fn tuples_mut(&mut self, rel: RelId) -> &mut Vec<Tuple> {
+        &mut self.tables[rel.index()]
+    }
+
+    /// Total number of tuples.
+    pub fn size(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+}
+
+/// A relational dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelConstraint {
+    /// Key `R[l1,…,lk] → R`.
+    Key {
+        /// Constrained relation.
+        rel: RelId,
+        /// Key attributes.
+        attrs: Vec<String>,
+    },
+    /// Foreign key `R[X] ⊆ R'[Y]` together with the key `R'[Y] → R'`.
+    ForeignKey {
+        /// Referencing relation.
+        rel: RelId,
+        /// Referencing attributes.
+        attrs: Vec<String>,
+        /// Referenced relation.
+        target: RelId,
+        /// Referenced (key) attributes.
+        target_attrs: Vec<String>,
+    },
+    /// Functional dependency `R : X → Y`.
+    Fd {
+        /// Constrained relation.
+        rel: RelId,
+        /// Determinant attributes.
+        lhs: Vec<String>,
+        /// Determined attributes.
+        rhs: Vec<String>,
+    },
+    /// Inclusion dependency `R[X] ⊆ R'[Y]` (no key requirement).
+    Ind {
+        /// Referencing relation.
+        rel: RelId,
+        /// Referencing attributes.
+        attrs: Vec<String>,
+        /// Referenced relation.
+        target: RelId,
+        /// Referenced attributes.
+        target_attrs: Vec<String>,
+    },
+}
+
+impl RelConstraint {
+    /// Builds a key from attribute name slices.
+    pub fn key(rel: RelId, attrs: &[&str]) -> RelConstraint {
+        RelConstraint::Key { rel, attrs: owned(attrs) }
+    }
+
+    /// Builds a foreign key.
+    pub fn foreign_key(
+        rel: RelId,
+        attrs: &[&str],
+        target: RelId,
+        target_attrs: &[&str],
+    ) -> RelConstraint {
+        RelConstraint::ForeignKey {
+            rel,
+            attrs: owned(attrs),
+            target,
+            target_attrs: owned(target_attrs),
+        }
+    }
+
+    /// Builds a functional dependency.
+    pub fn fd(rel: RelId, lhs: &[&str], rhs: &[&str]) -> RelConstraint {
+        RelConstraint::Fd { rel, lhs: owned(lhs), rhs: owned(rhs) }
+    }
+
+    /// Builds an inclusion dependency.
+    pub fn ind(
+        rel: RelId,
+        attrs: &[&str],
+        target: RelId,
+        target_attrs: &[&str],
+    ) -> RelConstraint {
+        RelConstraint::Ind {
+            rel,
+            attrs: owned(attrs),
+            target,
+            target_attrs: owned(target_attrs),
+        }
+    }
+
+    /// Satisfaction `I ⊨ φ`.
+    pub fn satisfied_by(&self, schema: &RelSchema, instance: &Instance) -> bool {
+        match self {
+            RelConstraint::Key { rel, attrs } => {
+                let pos = schema.positions(*rel, attrs).expect("key attrs");
+                let tuples = instance.tuples(*rel);
+                let mut seen: HashSet<Vec<&str>> = HashSet::new();
+                for t in tuples {
+                    let key: Vec<&str> = pos.iter().map(|&p| t[p].as_str()).collect();
+                    if !seen.insert(key) {
+                        // Two tuples agree on the key: under set semantics
+                        // they must be identical, which `insert` already
+                        // prevents, so any collision is a violation.
+                        return false;
+                    }
+                }
+                true
+            }
+            RelConstraint::Fd { rel, lhs, rhs } => {
+                let lhs_pos = schema.positions(*rel, lhs).expect("fd lhs");
+                let rhs_pos = schema.positions(*rel, rhs).expect("fd rhs");
+                let mut seen: HashMap<Vec<&str>, Vec<&str>> = HashMap::new();
+                for t in instance.tuples(*rel) {
+                    let l: Vec<&str> = lhs_pos.iter().map(|&p| t[p].as_str()).collect();
+                    let r: Vec<&str> = rhs_pos.iter().map(|&p| t[p].as_str()).collect();
+                    match seen.get(&l) {
+                        Some(prev) if *prev != r => return false,
+                        Some(_) => {}
+                        None => {
+                            seen.insert(l, r);
+                        }
+                    }
+                }
+                true
+            }
+            RelConstraint::Ind { rel, attrs, target, target_attrs }
+            | RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => {
+                let src_pos = schema.positions(*rel, attrs).expect("ind source attrs");
+                let dst_pos = schema.positions(*target, target_attrs).expect("ind target attrs");
+                let targets: HashSet<Vec<&str>> = instance
+                    .tuples(*target)
+                    .iter()
+                    .map(|t| dst_pos.iter().map(|&p| t[p].as_str()).collect())
+                    .collect();
+                let inclusion_ok = instance.tuples(*rel).iter().all(|t| {
+                    let v: Vec<&str> = src_pos.iter().map(|&p| t[p].as_str()).collect();
+                    targets.contains(&v)
+                });
+                match self {
+                    RelConstraint::ForeignKey { target, target_attrs, .. } => {
+                        inclusion_ok
+                            && RelConstraint::Key {
+                                rel: *target,
+                                attrs: target_attrs.clone(),
+                            }
+                            .satisfied_by(schema, instance)
+                    }
+                    _ => inclusion_ok,
+                }
+            }
+        }
+    }
+
+    /// Renders the dependency with schema names.
+    pub fn render(&self, schema: &RelSchema) -> String {
+        match self {
+            RelConstraint::Key { rel, attrs } => {
+                format!("{}[{}] → {0}", schema.relation(*rel).name, attrs.join(", "))
+            }
+            RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => format!(
+                "{}[{}] ⊆ {}[{}] (foreign key)",
+                schema.relation(*rel).name,
+                attrs.join(", "),
+                schema.relation(*target).name,
+                target_attrs.join(", ")
+            ),
+            RelConstraint::Fd { rel, lhs, rhs } => format!(
+                "{} : {} → {}",
+                schema.relation(*rel).name,
+                lhs.join(", "),
+                rhs.join(", ")
+            ),
+            RelConstraint::Ind { rel, attrs, target, target_attrs } => format!(
+                "{}[{}] ⊆ {}[{}]",
+                schema.relation(*rel).name,
+                attrs.join(", "),
+                schema.relation(*target).name,
+                target_attrs.join(", ")
+            ),
+        }
+    }
+}
+
+impl fmt::Display for RelConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+fn owned(attrs: &[&str]) -> Vec<String> {
+    attrs.iter().map(|s| s.to_string()).collect()
+}
+
+/// Checks every constraint of a set against an instance.
+pub fn instance_satisfies(
+    schema: &RelSchema,
+    instance: &Instance,
+    constraints: &[RelConstraint],
+) -> bool {
+    constraints.iter().all(|c| c.satisfied_by(schema, instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> (RelSchema, RelId, RelId) {
+        let mut s = RelSchema::new();
+        let emp = s.add_relation("emp", &["id", "name", "dept"]);
+        let dept = s.add_relation("dept", &["dname", "head"]);
+        (s, emp, dept)
+    }
+
+    #[test]
+    fn key_satisfaction() {
+        let (s, emp, _) = sample_schema();
+        let mut i = Instance::empty(&s);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        i.insert(emp, vec!["2".into(), "Bob".into(), "cs".into()]);
+        let key = RelConstraint::key(emp, &["id"]);
+        assert!(key.satisfied_by(&s, &i));
+        i.insert(emp, vec!["1".into(), "Eve".into(), "math".into()]);
+        assert!(!key.satisfied_by(&s, &i));
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        let (s, emp, _) = sample_schema();
+        let mut i = Instance::empty(&s);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        i.insert(emp, vec!["2".into(), "Ada".into(), "cs".into()]);
+        let fd = RelConstraint::fd(emp, &["name"], &["dept"]);
+        assert!(fd.satisfied_by(&s, &i));
+        i.insert(emp, vec!["3".into(), "Ada".into(), "math".into()]);
+        assert!(!fd.satisfied_by(&s, &i));
+    }
+
+    #[test]
+    fn ind_and_foreign_key_satisfaction() {
+        let (s, emp, dept) = sample_schema();
+        let mut i = Instance::empty(&s);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        i.insert(dept, vec!["cs".into(), "Ada".into()]);
+        let ind = RelConstraint::ind(emp, &["dept"], dept, &["dname"]);
+        let fk = RelConstraint::foreign_key(emp, &["dept"], dept, &["dname"]);
+        assert!(ind.satisfied_by(&s, &i));
+        assert!(fk.satisfied_by(&s, &i));
+        // A dangling department breaks both.
+        i.insert(emp, vec!["2".into(), "Bob".into(), "physics".into()]);
+        assert!(!ind.satisfied_by(&s, &i));
+        assert!(!fk.satisfied_by(&s, &i));
+    }
+
+    #[test]
+    fn foreign_key_requires_target_key() {
+        let (s, emp, dept) = sample_schema();
+        let mut i = Instance::empty(&s);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        i.insert(dept, vec!["cs".into(), "Ada".into()]);
+        i.insert(dept, vec!["cs".into(), "Bob".into()]);
+        let ind = RelConstraint::ind(emp, &["dept"], dept, &["dname"]);
+        let fk = RelConstraint::foreign_key(emp, &["dept"], dept, &["dname"]);
+        // The inclusion still holds, but dname is no longer a key of dept.
+        assert!(ind.satisfied_by(&s, &i));
+        assert!(!fk.satisfied_by(&s, &i));
+    }
+
+    #[test]
+    fn set_semantics_deduplicates() {
+        let (s, emp, _) = sample_schema();
+        let mut i = Instance::empty(&s);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        assert_eq!(i.size(), 1);
+    }
+
+    #[test]
+    fn instance_satisfies_all() {
+        let (s, emp, dept) = sample_schema();
+        let mut i = Instance::empty(&s);
+        i.insert(emp, vec!["1".into(), "Ada".into(), "cs".into()]);
+        i.insert(dept, vec!["cs".into(), "Ada".into()]);
+        let cs = vec![
+            RelConstraint::key(emp, &["id"]),
+            RelConstraint::key(dept, &["dname"]),
+            RelConstraint::foreign_key(emp, &["dept"], dept, &["dname"]),
+        ];
+        assert!(instance_satisfies(&s, &i, &cs));
+    }
+}

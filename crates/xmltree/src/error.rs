@@ -1,0 +1,56 @@
+//! Error types for XML document parsing.
+
+use std::fmt;
+
+/// Errors raised while parsing an XML document against a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// A syntax error in the document text.
+    Syntax {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An element name that is not declared in the DTD.
+    UnknownElement(String),
+    /// An attribute name that is not declared in the DTD.
+    UnknownAttribute {
+        /// The element carrying the attribute.
+        element: String,
+        /// The attribute name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::UnknownElement(name) => {
+                write!(f, "element `{name}` is not declared in the DTD")
+            }
+            XmlError::UnknownAttribute { element, attribute } => {
+                write!(f, "attribute `{attribute}` on `{element}` is not declared in the DTD")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = XmlError::Syntax { offset: 10, message: "bad".into() };
+        assert!(e.to_string().contains("byte 10"));
+        assert!(XmlError::UnknownElement("x".into()).to_string().contains('x'));
+        let e = XmlError::UnknownAttribute { element: "a".into(), attribute: "b".into() };
+        assert!(e.to_string().contains('a') && e.to_string().contains('b'));
+    }
+}

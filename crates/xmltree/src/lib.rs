@@ -1,0 +1,28 @@
+//! # xic-xml — the XML tree model, parser, serializer and validator
+//!
+//! Implements Definition 2.2 of Fan & Libkin: node-labelled XML trees
+//! `T = (V, lab, ele, att, val, root)` over a DTD's element types and
+//! attributes, together with the surrounding machinery a user of the
+//! reproduction needs:
+//!
+//! * [`tree::XmlTree`] — an arena-based tree with the paper's `ext(τ)` /
+//!   `ext(τ.l)` / `x[X]` accessors;
+//! * [`parser::parse_document`] / [`writer::write_document`] — a DTD-aware
+//!   XML parser and serializer (from scratch, no external XML crates);
+//! * [`validate`] — the `T ⊨ D` validity test of Definition 2.2, with
+//!   detailed per-node error reporting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod parser;
+pub mod tree;
+pub mod validate;
+pub mod writer;
+
+pub use error::XmlError;
+pub use parser::parse_document;
+pub use tree::{NodeId, NodeLabel, XmlTree};
+pub use validate::{is_valid, validate, ValidationError, Validator};
+pub use writer::{write_document, write_document_with, WriteOptions};

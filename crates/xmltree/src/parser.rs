@@ -1,0 +1,394 @@
+//! A small XML document parser producing [`XmlTree`] values.
+//!
+//! The parser covers the fragment of XML corresponding to the paper's data
+//! model: elements, single-valued string attributes, text content, comments
+//! and processing-instruction/XML-declaration skipping.  Namespaces, CDATA
+//! sections, entity definitions and references (beyond the five predefined
+//! ones) are out of scope.  Element and attribute names are resolved against
+//! a [`Dtd`] so the resulting tree is directly usable by the validator and
+//! the constraint checker.
+
+use xic_dtd::Dtd;
+
+use crate::error::XmlError;
+use crate::tree::{NodeId, XmlTree};
+
+/// Parses an XML document against a DTD.
+///
+/// Whitespace-only text between elements is discarded (it is never
+/// meaningful in the paper's model); all other text is kept verbatim after
+/// entity expansion.
+pub fn parse_document(input: &str, dtd: &Dtd) -> Result<XmlTree, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, dtd };
+    p.skip_prolog()?;
+    let (name, tree) = p.parse_root()?;
+    let _ = name;
+    p.skip_misc();
+    if !p.eof() {
+        return Err(p.error("trailing content after the root element"));
+    }
+    Ok(tree)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    dtd: &'a Dtd,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn error(&self, message: &str) -> XmlError {
+        XmlError::Syntax { offset: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if (b as char).is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, needle: &str) -> Result<(), XmlError> {
+        match find(self.input, self.pos, needle.as_bytes()) {
+            Some(end) => {
+                self.pos = end + needle.len();
+                Ok(())
+            }
+            None => Err(self.error(&format!("unterminated construct, expected `{needle}`"))),
+        }
+    }
+
+    /// Skips the XML declaration, DOCTYPE, comments and PIs before the root.
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip a possibly-bracketed internal subset.
+                let mut depth = 0usize;
+                while let Some(b) = self.peek() {
+                    self.pos += 1;
+                    match b {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        b'>' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if (b as char).is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_root(&mut self) -> Result<(String, XmlTree), XmlError> {
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected the root element"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let ty = self
+            .dtd
+            .type_by_name(&name)
+            .ok_or_else(|| XmlError::UnknownElement(name.clone()))?;
+        let mut tree = XmlTree::new(ty);
+        let root = tree.root();
+        let self_closing = self.parse_attributes(&mut tree, root, &name)?;
+        if !self_closing {
+            self.parse_children(&mut tree, root, &name)?;
+        }
+        Ok((name, tree))
+    }
+
+    /// Parses attributes of the current element; returns `true` if the
+    /// element was self-closing (`/>`).
+    fn parse_attributes(
+        &mut self,
+        tree: &mut XmlTree,
+        node: NodeId,
+        elem_name: &str,
+    ) -> Result<bool, XmlError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok(true);
+                    }
+                    return Err(self.error("expected `>` after `/`"));
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error("expected `=` after attribute name"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.quoted()?;
+                    let attr = self
+                        .dtd
+                        .attr_by_name(&attr_name)
+                        .ok_or_else(|| XmlError::UnknownAttribute {
+                            element: elem_name.to_string(),
+                            attribute: attr_name.clone(),
+                        })?;
+                    tree.set_attr(node, attr, unescape(&value));
+                }
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String, XmlError> {
+        let quote = self.peek().ok_or_else(|| self.error("expected a quoted value"))?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.error("expected a quoted value"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let s = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+
+    fn parse_children(
+        &mut self,
+        tree: &mut XmlTree,
+        parent: NodeId,
+        parent_name: &str,
+    ) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            if self.eof() {
+                return Err(self.error(&format!("unterminated element `{parent_name}`")));
+            }
+            if self.starts_with("<!--") {
+                flush_text(tree, parent, &mut text);
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<?") {
+                flush_text(tree, parent, &mut text);
+                self.skip_until("?>")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                flush_text(tree, parent, &mut text);
+                self.pos += 2;
+                let name = self.name()?;
+                if name != parent_name {
+                    return Err(self.error(&format!(
+                        "mismatched end tag: expected `</{parent_name}>`, found `</{name}>`"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected `>` in end tag"));
+                }
+                self.pos += 1;
+                return Ok(());
+            }
+            if self.peek() == Some(b'<') {
+                flush_text(tree, parent, &mut text);
+                self.pos += 1;
+                let name = self.name()?;
+                let ty = self
+                    .dtd
+                    .type_by_name(&name)
+                    .ok_or_else(|| XmlError::UnknownElement(name.clone()))?;
+                let child = tree.add_element(parent, ty);
+                let self_closing = self.parse_attributes(tree, child, &name)?;
+                if !self_closing {
+                    self.parse_children(tree, child, &name)?;
+                }
+                continue;
+            }
+            // Character data.
+            let b = self.input[self.pos];
+            text.push(b as char);
+            self.pos += 1;
+        }
+    }
+}
+
+fn flush_text(tree: &mut XmlTree, parent: NodeId, text: &mut String) {
+    if !text.trim().is_empty() {
+        tree.add_text(parent, unescape(text.trim()));
+    }
+    text.clear();
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Expands the five predefined XML entities.
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_valid;
+    use xic_dtd::example_d1;
+
+    const DOC: &str = r#"<?xml version="1.0"?>
+<!-- the Figure 1 document -->
+<teachers>
+  <teacher name="Joe">
+    <teach>
+      <subject taught_by="Joe">XML</subject>
+      <subject taught_by="Joe">DB</subject>
+    </teach>
+    <research>Web DB</research>
+  </teacher>
+</teachers>"#;
+
+    #[test]
+    fn parses_the_figure1_document() {
+        let dtd = example_d1();
+        let tree = parse_document(DOC, &dtd).unwrap();
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let subject = dtd.type_by_name("subject").unwrap();
+        let taught_by = dtd.attr_by_name("taught_by").unwrap();
+        assert_eq!(tree.ext_count(teacher), 1);
+        assert_eq!(tree.ext_count(subject), 2);
+        let s = tree.ext(subject)[0];
+        assert_eq!(tree.attr_value(s, taught_by), Some("Joe"));
+        assert_eq!(tree.text_of(s), "XML");
+        assert!(is_valid(&tree, &dtd));
+    }
+
+    #[test]
+    fn self_closing_elements() {
+        let mut b = xic_dtd::Dtd::builder();
+        let r = b.elem("r");
+        let item = b.elem("item");
+        b.content(r, xic_dtd::ContentModel::star(xic_dtd::ContentModel::Element(item)));
+        b.attr(item, "id");
+        let dtd = b.build("r").unwrap();
+        let tree = parse_document(r#"<r><item id="1"/><item id="2"/></r>"#, &dtd).unwrap();
+        assert_eq!(tree.ext_count(item), 2);
+        assert!(is_valid(&tree, &dtd));
+    }
+
+    #[test]
+    fn unknown_element_is_an_error() {
+        let dtd = example_d1();
+        let err = parse_document("<bogus/>", &dtd).unwrap_err();
+        assert!(matches!(err, XmlError::UnknownElement(name) if name == "bogus"));
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let dtd = example_d1();
+        let err = parse_document(r#"<teachers id="1"/>"#, &dtd).unwrap_err();
+        assert!(matches!(err, XmlError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn mismatched_tags_are_an_error() {
+        let dtd = example_d1();
+        let err = parse_document("<teachers><teacher></teachers></teacher>", &dtd).unwrap_err();
+        assert!(matches!(err, XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn entities_are_expanded() {
+        let mut b = xic_dtd::Dtd::builder();
+        let r = b.elem("r");
+        b.content(r, xic_dtd::ContentModel::Text);
+        b.attr(r, "label");
+        let dtd = b.build("r").unwrap();
+        let tree =
+            parse_document(r#"<r label="a &amp; b">x &lt; y</r>"#, &dtd).unwrap();
+        let label = dtd.attr_by_name("label").unwrap();
+        assert_eq!(tree.attr_value(tree.root(), label), Some("a & b"));
+        assert_eq!(tree.text_of(tree.root()), "x < y");
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let dtd = example_d1();
+        let err = parse_document("<teachers></teachers><teachers/>", &dtd).unwrap_err();
+        assert!(matches!(err, XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn doctype_and_comments_are_skipped() {
+        let dtd = example_d1();
+        let doc = r#"<!DOCTYPE teachers [ <!ELEMENT teachers (teacher+)> ]>
+            <!-- prolog comment -->
+            <teachers></teachers>"#;
+        let tree = parse_document(doc, &dtd).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+    }
+}

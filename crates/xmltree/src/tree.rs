@@ -1,0 +1,369 @@
+//! The XML tree model of Definition 2.2.
+//!
+//! An XML tree is `T = (V, lab, ele, att, val, root)`:
+//!
+//! * `V` — nodes (here an arena indexed by [`NodeId`]);
+//! * `lab` — labels each node with an element type, an attribute, or `S`;
+//! * `ele` — the ordered list of subelements/text children of an element;
+//! * `att` — the attribute nodes of an element, identified by attribute name;
+//! * `val` — string values of attribute and text nodes;
+//! * `root` — the unique root node.
+//!
+//! The structure is DTD-aware in the sense that labels are the interned
+//! [`ElemId`] / [`AttrId`] identifiers of a [`Dtd`]; the tree itself does not
+//! enforce validity — that is the job of [`crate::validate`].
+
+use std::collections::{HashMap, HashSet};
+
+use xic_dtd::{AttrId, Dtd, ElemId};
+
+/// Identifier of a node within an [`XmlTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the tree's node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Label of a node: element type, attribute, or text (`S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeLabel {
+    /// An element node of the given type.
+    Element(ElemId),
+    /// An attribute node.
+    Attribute(AttrId),
+    /// A text node (the string type `S`).
+    Text,
+}
+
+/// A single node of the tree.
+#[derive(Debug, Clone)]
+struct Node {
+    label: NodeLabel,
+    parent: Option<NodeId>,
+    /// String value; `Some` exactly for attribute and text nodes.
+    value: Option<String>,
+    /// Ordered subelement / text children (the `ele` function).
+    children: Vec<NodeId>,
+    /// Attribute children, identified by attribute id (the `att` function).
+    attrs: Vec<(AttrId, NodeId)>,
+}
+
+/// An XML tree (Definition 2.2).
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl XmlTree {
+    /// Creates a tree consisting of a single root element of type `root_type`.
+    pub fn new(root_type: ElemId) -> XmlTree {
+        let root = Node {
+            label: NodeLabel::Element(root_type),
+            parent: None,
+            value: None,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        };
+        XmlTree { nodes: vec![root], root: NodeId(0) }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements, attributes and text nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Label of a node.
+    pub fn label(&self, node: NodeId) -> NodeLabel {
+        self.nodes[node.index()].label
+    }
+
+    /// Element type of a node, if it is an element.
+    pub fn element_type(&self, node: NodeId) -> Option<ElemId> {
+        match self.label(node) {
+            NodeLabel::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// String value of a node (`Some` for attribute and text nodes).
+    pub fn value(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()].value.as_deref()
+    }
+
+    /// Ordered subelement/text children of an element (the `ele` function).
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Attribute nodes of an element (the `att` function).
+    pub fn attributes(&self, node: NodeId) -> &[(AttrId, NodeId)] {
+        &self.nodes[node.index()].attrs
+    }
+
+    /// The value of attribute `attr` of element `node` (the `x.l` notation).
+    pub fn attr_value(&self, node: NodeId, attr: AttrId) -> Option<&str> {
+        self.nodes[node.index()]
+            .attrs
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .and_then(|(_, n)| self.value(*n))
+    }
+
+    /// The list of attribute values `x[X]` for a list of attributes `X`.
+    /// Returns `None` if any attribute is missing.
+    pub fn attr_values(&self, node: NodeId, attrs: &[AttrId]) -> Option<Vec<String>> {
+        attrs
+            .iter()
+            .map(|&a| self.attr_value(node, a).map(str::to_string))
+            .collect()
+    }
+
+    /// Adds an element child of type `ty` under `parent` and returns its id.
+    pub fn add_element(&mut self, parent: NodeId, ty: ElemId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: NodeLabel::Element(ty),
+            parent: Some(parent),
+            value: None,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Adds a text child with the given value under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: NodeLabel::Text,
+            parent: Some(parent),
+            value: Some(value.into()),
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Sets (or replaces) attribute `attr` of element `node` to `value`,
+    /// returning the attribute node id.
+    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: impl Into<String>) -> NodeId {
+        let value = value.into();
+        if let Some(&(_, existing)) =
+            self.nodes[node.index()].attrs.iter().find(|(a, _)| *a == attr)
+        {
+            self.nodes[existing.index()].value = Some(value);
+            return existing;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: NodeLabel::Attribute(attr),
+            parent: Some(node),
+            value: Some(value),
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[node.index()].attrs.push((attr, id));
+        id
+    }
+
+    /// Iterates over all element nodes in document (pre-)order.
+    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(move |&n| matches!(self.label(n), NodeLabel::Element(_)))
+    }
+
+    /// `ext(τ)`: all element nodes of type `ty`.
+    pub fn ext(&self, ty: ElemId) -> Vec<NodeId> {
+        self.elements().filter(|&n| self.element_type(n) == Some(ty)).collect()
+    }
+
+    /// `|ext(τ)|` without materialising the node list.
+    pub fn ext_count(&self, ty: ElemId) -> usize {
+        self.elements().filter(|&n| self.element_type(n) == Some(ty)).count()
+    }
+
+    /// `ext(τ.l)`: the set of `l`-attribute values over all `τ` elements.
+    pub fn ext_attr(&self, ty: ElemId, attr: AttrId) -> HashSet<String> {
+        self.ext(ty)
+            .into_iter()
+            .filter_map(|n| self.attr_value(n, attr).map(str::to_string))
+            .collect()
+    }
+
+    /// Concatenated text content of an element's direct text children.
+    pub fn text_of(&self, node: NodeId) -> String {
+        self.children(node)
+            .iter()
+            .filter_map(|&c| match self.label(c) {
+                NodeLabel::Text => self.value(c),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Per-type element counts (used by the Lemma 4.3 preservation tests).
+    pub fn type_histogram(&self) -> HashMap<ElemId, usize> {
+        let mut hist = HashMap::new();
+        for n in self.elements() {
+            if let Some(ty) = self.element_type(n) {
+                *hist.entry(ty).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Renders a node path like `teachers/teacher[2]` for diagnostics.
+    pub fn path_of(&self, dtd: &Dtd, node: NodeId) -> String {
+        let mut segments = Vec::new();
+        let mut current = Some(node);
+        while let Some(n) = current {
+            let seg = match self.label(n) {
+                NodeLabel::Element(e) => {
+                    let name = dtd.type_name(e).to_string();
+                    match self.parent(n) {
+                        Some(p) => {
+                            let index = self
+                                .children(p)
+                                .iter()
+                                .filter(|&&c| self.element_type(c) == Some(e))
+                                .position(|&c| c == n)
+                                .unwrap_or(0);
+                            format!("{name}[{}]", index + 1)
+                        }
+                        None => name,
+                    }
+                }
+                NodeLabel::Attribute(a) => format!("@{}", dtd.attr_name(a)),
+                NodeLabel::Text => "#text".to_string(),
+            };
+            segments.push(seg);
+            current = self.parent(n);
+        }
+        segments.reverse();
+        segments.join("/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_dtd::example_d1;
+
+    /// Builds the Figure 1 tree of the paper: one teachers root, two
+    /// teachers ("Joe" appears twice), each teaching two subjects.
+    fn figure1_tree(dtd: &Dtd) -> XmlTree {
+        let teachers = dtd.type_by_name("teachers").unwrap();
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let teach = dtd.type_by_name("teach").unwrap();
+        let research = dtd.type_by_name("research").unwrap();
+        let subject = dtd.type_by_name("subject").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let taught_by = dtd.attr_by_name("taught_by").unwrap();
+
+        let mut t = XmlTree::new(teachers);
+        for _ in 0..2 {
+            let te = t.add_element(t.root(), teacher);
+            t.set_attr(te, name, "Joe");
+            let th = t.add_element(te, teach);
+            for subj_name in ["XML", "DB"] {
+                let s = t.add_element(th, subject);
+                t.set_attr(s, taught_by, "Joe");
+                t.add_text(s, subj_name);
+            }
+            let r = t.add_element(te, research);
+            t.add_text(r, "Web DB");
+        }
+        t
+    }
+
+    #[test]
+    fn construction_and_navigation() {
+        let dtd = example_d1();
+        let t = figure1_tree(&dtd);
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let subject = dtd.type_by_name("subject").unwrap();
+        assert_eq!(t.ext_count(teacher), 2);
+        assert_eq!(t.ext_count(subject), 4);
+        assert_eq!(t.children(t.root()).len(), 2);
+        let first_teacher = t.children(t.root())[0];
+        assert_eq!(t.parent(first_teacher), Some(t.root()));
+        assert_eq!(t.element_type(first_teacher), Some(teacher));
+    }
+
+    #[test]
+    fn attribute_access() {
+        let dtd = example_d1();
+        let t = figure1_tree(&dtd);
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let first = t.ext(teacher)[0];
+        assert_eq!(t.attr_value(first, name), Some("Joe"));
+        assert_eq!(t.attr_values(first, &[name]), Some(vec!["Joe".to_string()]));
+        // ext(teacher.name) collapses duplicates: both teachers are "Joe".
+        assert_eq!(t.ext_attr(teacher, name).len(), 1);
+    }
+
+    #[test]
+    fn missing_attribute_is_none() {
+        let dtd = example_d1();
+        let teachers = dtd.type_by_name("teachers").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let t = XmlTree::new(teachers);
+        assert_eq!(t.attr_value(t.root(), name), None);
+        assert_eq!(t.attr_values(t.root(), &[name]), None);
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let dtd = example_d1();
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let mut t = XmlTree::new(teacher);
+        let a1 = t.set_attr(t.root(), name, "Joe");
+        let a2 = t.set_attr(t.root(), name, "Sue");
+        assert_eq!(a1, a2);
+        assert_eq!(t.attr_value(t.root(), name), Some("Sue"));
+        assert_eq!(t.attributes(t.root()).len(), 1);
+    }
+
+    #[test]
+    fn text_content() {
+        let dtd = example_d1();
+        let research = dtd.type_by_name("research").unwrap();
+        let mut t = XmlTree::new(research);
+        t.add_text(t.root(), "Web ");
+        t.add_text(t.root(), "DB");
+        assert_eq!(t.text_of(t.root()), "Web DB");
+    }
+
+    #[test]
+    fn histogram_and_paths() {
+        let dtd = example_d1();
+        let t = figure1_tree(&dtd);
+        let hist = t.type_histogram();
+        let subject = dtd.type_by_name("subject").unwrap();
+        assert_eq!(hist[&subject], 4);
+        let second_subject = t.ext(subject)[1];
+        let path = t.path_of(&dtd, second_subject);
+        assert!(path.starts_with("teachers/teacher[1]/teach[1]/subject[2]"), "{path}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Data-integration scenario from the paper's introduction: a mediator
+//! publishes an XML interface (a DTD); the sources guarantee some
+//! constraints; which constraints can clients rely on?  Since the mediator
+//! holds no data, the only way to answer is constraint *implication* over the
+//! interface DTD — the coNP procedures of Theorems 4.10/5.4.
+//!
+//! Run with: `cargo run --example data_integration`
+
+use xml_integrity_constraints::constraints::{Constraint, ConstraintSet};
+use xml_integrity_constraints::core::ImplicationChecker;
+use xml_integrity_constraints::dtd::parse_dtd;
+use xml_integrity_constraints::xml::write_document;
+
+const MEDIATOR_DTD: &str = r#"
+    <!ELEMENT feed (supplier*, part*, shipment*)>
+    <!ELEMENT supplier EMPTY>
+    <!ELEMENT part EMPTY>
+    <!ELEMENT shipment EMPTY>
+    <!ATTLIST supplier sid CDATA #REQUIRED>
+    <!ATTLIST part pid CDATA #REQUIRED owner CDATA #REQUIRED>
+    <!ATTLIST shipment item CDATA #REQUIRED by CDATA #REQUIRED>
+"#;
+
+fn main() {
+    let dtd = parse_dtd(MEDIATOR_DTD, Some("feed")).expect("mediator DTD parses");
+    let supplier = dtd.type_by_name("supplier").unwrap();
+    let part = dtd.type_by_name("part").unwrap();
+    let shipment = dtd.type_by_name("shipment").unwrap();
+    let sid = dtd.attr_by_name("sid").unwrap();
+    let pid = dtd.attr_by_name("pid").unwrap();
+    let owner = dtd.attr_by_name("owner").unwrap();
+    let item = dtd.attr_by_name("item").unwrap();
+    let by = dtd.attr_by_name("by").unwrap();
+
+    // What the sources guarantee about the integrated feed.
+    let sigma = ConstraintSet::from_vec(vec![
+        Constraint::unary_key(supplier, sid),
+        Constraint::unary_key(part, pid),
+        Constraint::unary_foreign_key(part, owner, supplier, sid),
+        Constraint::unary_foreign_key(shipment, item, part, pid),
+        Constraint::unary_inclusion(shipment, by, part, owner),
+    ]);
+    println!("source guarantees over the mediator interface:\n{}\n", sigma.render(&dtd));
+
+    let checker = ImplicationChecker::new();
+    let queries = vec![
+        ("every shipment.by is a known supplier (shipment.by ⊆ supplier.sid)",
+            Constraint::unary_inclusion(shipment, by, supplier, sid)),
+        ("shipment.item identifies the shipment (shipment.item → shipment)",
+            Constraint::unary_key(shipment, item)),
+        ("part.owner identifies the part (part.owner → part)",
+            Constraint::unary_key(part, owner)),
+    ];
+    for (label, phi) in queries {
+        let outcome = checker.implies(&dtd, &sigma, &phi).expect("well-formed query");
+        println!("can clients rely on: {label}?");
+        match &outcome {
+            xml_integrity_constraints::core::ImplicationOutcome::Implied { explanation } => {
+                println!("  yes — {explanation}\n");
+            }
+            xml_integrity_constraints::core::ImplicationOutcome::NotImplied {
+                counterexample,
+                explanation,
+            } => {
+                println!("  no — {explanation}");
+                if let Some(doc) = counterexample {
+                    println!("  counterexample feed:\n{}", indent(&write_document(doc, &dtd)));
+                }
+            }
+            xml_integrity_constraints::core::ImplicationOutcome::Unknown { explanation } => {
+                println!("  undetermined — {explanation}\n");
+            }
+        }
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+}

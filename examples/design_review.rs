@@ -1,0 +1,86 @@
+//! Reviewing an XML specification the way the paper's conclusion suggests:
+//! use the constraint/DTD interaction to tell good design from bad design.
+//!
+//! A vocabulary team writes the DTD and the constraints in plain text (the
+//! same files `xic-cli` consumes).  The review then:
+//!
+//! 1. parses both artifacts,
+//! 2. checks consistency,
+//! 3. when the specification is inconsistent, extracts the *minimal
+//!    inconsistent core* — the constraints that actually clash with the
+//!    DTD's cardinality requirements — and
+//! 4. shows a repaired specification that keeps every constraint outside the
+//!    core.
+//!
+//! Run with: `cargo run --example design_review`
+
+use xml_integrity_constraints::constraints::{parse_constraint_set, ConstraintSet};
+use xml_integrity_constraints::core::{diagnose, CheckerConfig, ConsistencyChecker, Diagnosis};
+use xml_integrity_constraints::dtd::parse_dtd;
+use xml_integrity_constraints::xml::write_document;
+
+/// A conference-programme vocabulary: every session has exactly two talks
+/// (a main talk and a response), mirroring the cardinality trap of the
+/// paper's teachers example.
+const DTD: &str = r#"
+    <!ELEMENT programme (session+)>
+    <!ELEMENT session (talk, talk)>
+    <!ELEMENT talk (#PCDATA)>
+    <!ATTLIST session chair CDATA #REQUIRED>
+    <!ATTLIST talk speaker CDATA #REQUIRED>
+"#;
+
+/// The constraints a well-meaning designer might write: chairs identify
+/// sessions, speakers identify talks, and every speaker must also chair some
+/// session.  The last two together contradict the "two talks per session"
+/// content model.
+const CONSTRAINTS: &str = "
+    session.chair -> session
+    talk.speaker -> talk
+    talk.speaker ref session.chair     # every speaker chairs a session
+";
+
+fn main() {
+    let dtd = parse_dtd(DTD, Some("programme")).expect("DTD parses");
+    let sigma = parse_constraint_set(CONSTRAINTS, &dtd).expect("constraints parse");
+
+    println!("== specification under review ==");
+    println!("{}", sigma.render(&dtd));
+
+    let checker = ConsistencyChecker::new();
+    let verdict = checker.check(&dtd, &sigma).expect("well-formed specification");
+    if verdict.is_consistent() {
+        println!("verdict: consistent — nothing to review");
+        return;
+    }
+    println!("verdict: INCONSISTENT — no conforming document can satisfy these constraints\n");
+
+    println!("== diagnosis ==");
+    let diagnosis =
+        diagnose(&dtd, &sigma, &CheckerConfig::default()).expect("unary specification");
+    println!("{}", diagnosis.render(&dtd));
+
+    // Propose a repair: keep everything outside the minimal core, and keep
+    // the core minus its weakest member (here: drop the talk key, which is
+    // what forces |talk.speaker| = |talk| = 2·|session|).
+    let Diagnosis::Core { constraints: core, innocent } = &diagnosis else {
+        return;
+    };
+    println!("== proposed repair ==");
+    let mut repaired = ConstraintSet::new();
+    for c in innocent {
+        repaired.push(c.clone());
+    }
+    for c in core.iter().skip(1) {
+        repaired.push(c.clone());
+    }
+    println!("keep:\n{}", repaired.render(&dtd));
+    println!("drop: {}", core[0].render(&dtd));
+
+    let verdict = checker.check(&dtd, &repaired).expect("well-formed specification");
+    assert!(verdict.is_consistent(), "the repaired specification must be consistent");
+    println!("\nthe repaired specification is consistent; an example document:");
+    if let Some(witness) = verdict.witness() {
+        println!("{}", write_document(witness, &dtd));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the paper's introductory example, end to end.
+//!
+//! * parse the teachers DTD `D1` from its textual form;
+//! * state the constraints Σ1 (two keys and a foreign key);
+//! * ask the static checker whether the specification is consistent — it is
+//!   not, exactly as Section 1 of the paper argues;
+//! * drop the subject key, re-check, and synthesize + print a witness
+//!   document;
+//! * also show that the DTD `D2` is unsatisfiable even with no constraints.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xml_integrity_constraints::constraints::{Constraint, ConstraintSet};
+use xml_integrity_constraints::core::ConsistencyChecker;
+use xml_integrity_constraints::dtd::{example_d2, parse_dtd};
+use xml_integrity_constraints::xml::write_document;
+
+const D1_TEXT: &str = r#"
+    <!ELEMENT teachers (teacher+)>
+    <!ELEMENT teacher (teach, research)>
+    <!ELEMENT teach (subject, subject)>
+    <!ELEMENT research (#PCDATA)>
+    <!ELEMENT subject (#PCDATA)>
+    <!ATTLIST teacher name CDATA #REQUIRED>
+    <!ATTLIST subject taught_by CDATA #REQUIRED>
+"#;
+
+fn main() {
+    let d1 = parse_dtd(D1_TEXT, Some("teachers")).expect("D1 parses");
+    let teacher = d1.type_by_name("teacher").unwrap();
+    let subject = d1.type_by_name("subject").unwrap();
+    let name = d1.attr_by_name("name").unwrap();
+    let taught_by = d1.attr_by_name("taught_by").unwrap();
+
+    // Σ1: name keys teachers, taught_by keys subjects and references names.
+    let sigma1 = ConstraintSet::from_vec(vec![
+        Constraint::unary_key(teacher, name),
+        Constraint::unary_key(subject, taught_by),
+        Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+    ]);
+
+    let checker = ConsistencyChecker::new();
+    println!("== D1 with Σ1 (the paper's Section 1 example) ==");
+    println!("{}", sigma1.render(&d1));
+    let outcome = checker.check(&d1, &sigma1).expect("well-formed spec");
+    println!("verdict: {}", if outcome.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" });
+    println!("why: {}\n", outcome.explanation());
+
+    // Drop the subject key: the specification becomes meaningful.
+    let relaxed = ConstraintSet::from_vec(vec![
+        Constraint::unary_key(teacher, name),
+        Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+    ]);
+    println!("== D1 with Σ1 minus the subject key ==");
+    let outcome = checker.check(&d1, &relaxed).expect("well-formed spec");
+    println!("verdict: {}", if outcome.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" });
+    if let Some(witness) = outcome.witness() {
+        println!("a smallest witness document:\n{}", write_document(witness, &d1));
+    }
+
+    // D2 has no finite valid tree at all.
+    let d2 = example_d2();
+    println!("== D2 = <!ELEMENT db (foo)> <!ELEMENT foo (foo)> with no constraints ==");
+    let outcome = checker.check(&d2, &ConstraintSet::new()).expect("well-formed spec");
+    println!("verdict: {}", if outcome.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" });
+    println!("why: {}", outcome.explanation());
+}

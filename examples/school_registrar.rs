@@ -1,0 +1,66 @@
+//! The school registrar scenario of Section 2.2: multi-attribute keys and
+//! foreign keys over the DTD `D3`.
+//!
+//! The general class is undecidable, so the library offers keys-only
+//! reasoning (linear time), a sound bounded search that here finds a concrete
+//! registrar document, and implication queries about what the registrar
+//! constraints do and do not guarantee.
+//!
+//! Run with: `cargo run --example school_registrar`
+
+use xml_integrity_constraints::constraints::{example_sigma3, Constraint};
+use xml_integrity_constraints::core::{ConsistencyChecker, ImplicationChecker};
+use xml_integrity_constraints::dtd::example_d3;
+use xml_integrity_constraints::xml::write_document;
+
+fn main() {
+    let d3 = example_d3();
+    let sigma3 = example_sigma3(&d3);
+    println!("The school DTD:\n{}", d3.render());
+    println!("The registrar constraints:\n{}\n", sigma3.render(&d3));
+
+    let checker = ConsistencyChecker::new();
+    let outcome = checker.check(&d3, &sigma3).expect("well-formed spec");
+    println!(
+        "consistency of the registrar specification: {}",
+        if outcome.is_consistent() { "CONSISTENT" } else { outcome.explanation() }
+    );
+    if let Some(witness) = outcome.witness() {
+        println!("example registrar document:\n{}", write_document(witness, &d3));
+    }
+
+    // What do the constraints imply?
+    let implication = ImplicationChecker::new();
+    let enroll = d3.type_by_name("enroll").unwrap();
+    let student = d3.type_by_name("student").unwrap();
+    let student_id = d3.attr_by_name("student_id").unwrap();
+    let dept = d3.attr_by_name("dept").unwrap();
+    let course_no = d3.attr_by_name("course_no").unwrap();
+
+    let queries = vec![
+        (
+            "enroll[student_id, dept, course_no] → enroll (restated)",
+            Constraint::key(enroll, vec![student_id, dept, course_no]),
+        ),
+        ("enroll[student_id] → enroll (a student enrols only once?)",
+            Constraint::key(enroll, vec![student_id])),
+        ("student[student_id, student_id] → student (superkey of the student key)",
+            Constraint::key(student, vec![student_id, student_id])),
+    ];
+    for (label, phi) in queries {
+        let outcome = implication.implies(&d3, &sigma3, &phi).expect("well-formed query");
+        println!("implied? {:<62} {}", label, summary(&outcome));
+    }
+}
+
+fn summary(outcome: &xml_integrity_constraints::core::ImplicationOutcome) -> String {
+    use xml_integrity_constraints::core::ImplicationOutcome as O;
+    match outcome {
+        O::Implied { .. } => "yes".to_string(),
+        O::NotImplied { counterexample, .. } => format!(
+            "no{}",
+            if counterexample.is_some() { " (counterexample document available)" } else { "" }
+        ),
+        O::Unknown { .. } => "undetermined (undecidable class)".to_string(),
+    }
+}

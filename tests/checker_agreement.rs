@@ -1,0 +1,157 @@
+//! Differential and round-trip properties across the workspace crates.
+//!
+//! * The fast consistency path (count realizability only) and the
+//!   witness-synthesizing path must agree on every decidable unary
+//!   specification — this is the regression guard for the "floating cycle"
+//!   soundness issue of the raw Ψ(D,Σ) encoding (see `xic_core::witness`).
+//! * Whatever the checker calls consistent must come with a witness that
+//!   validates and satisfies Σ (soundness of the positive side).
+//! * The constraint surface syntax must round-trip through `render`.
+
+use proptest::prelude::*;
+use xml_integrity_constraints::constraints::{parse_constraint, Constraint};
+use xml_integrity_constraints::core::{CheckerConfig, ConsistencyChecker};
+use xml_integrity_constraints::dtd::Dtd;
+use xml_integrity_constraints::gen::{
+    random_dtd, random_unary_constraints, ConstraintGenConfig, DtdGenConfig,
+};
+use xml_integrity_constraints::xml::validate;
+
+fn checker(synthesize_witness: bool) -> ConsistencyChecker {
+    ConsistencyChecker::with_config(CheckerConfig { synthesize_witness, ..Default::default() })
+}
+
+/// All (type, attribute) slots of a DTD, used to draw random constraints.
+fn attribute_slots(dtd: &Dtd) -> Vec<(xml_integrity_constraints::dtd::ElemId, xml_integrity_constraints::dtd::AttrId)> {
+    let mut slots = Vec::new();
+    for ty in dtd.types() {
+        for &attr in dtd.attrs_of(ty) {
+            slots.push((ty, attr));
+        }
+    }
+    slots
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The counts-only path and the witness path reach the same verdict on
+    /// random unary specifications, including negated keys.
+    #[test]
+    fn fast_and_witness_paths_agree(
+        seed in 0u64..300,
+        types in 3usize..7,
+        keys in 0usize..3,
+        fks in 0usize..3,
+        neg_keys in 0usize..2,
+    ) {
+        let dtd = random_dtd(&DtdGenConfig { seed, num_types: types, ..Default::default() });
+        let sigma = random_unary_constraints(
+            &dtd,
+            &ConstraintGenConfig {
+                keys,
+                foreign_keys: fks,
+                negated_keys: neg_keys,
+                seed,
+                ..Default::default()
+            },
+        );
+        let fast = checker(false).check(&dtd, &sigma).unwrap();
+        let full = checker(true).check(&dtd, &sigma).unwrap();
+        // Unknown verdicts (solver budget) are allowed to differ; decisive
+        // verdicts must agree.
+        if !fast.is_unknown() && !full.is_unknown() {
+            prop_assert_eq!(
+                fast.is_consistent(),
+                full.is_consistent(),
+                "fast: {} / full: {}",
+                fast.explanation(),
+                full.explanation()
+            );
+        }
+    }
+
+    /// Consistent verdicts are backed by a document that conforms to the DTD
+    /// and satisfies Σ — for the classes with negated inclusion constraints
+    /// as well.
+    #[test]
+    fn consistent_specs_with_negated_inclusions_have_sound_witnesses(
+        seed in 0u64..300,
+        types in 3usize..7,
+        keys in 0usize..2,
+        incs in 0usize..2,
+        neg_incs in 1usize..3,
+    ) {
+        let dtd = random_dtd(&DtdGenConfig { seed, num_types: types, ..Default::default() });
+        let sigma = random_unary_constraints(
+            &dtd,
+            &ConstraintGenConfig {
+                keys,
+                foreign_keys: 0,
+                inclusions: incs,
+                negated_inclusions: neg_incs,
+                seed,
+                ..Default::default()
+            },
+        );
+        let outcome = checker(true).check(&dtd, &sigma).unwrap();
+        if let Some(witness) = outcome.witness() {
+            prop_assert!(validate(witness, &dtd).is_empty());
+            prop_assert!(
+                xml_integrity_constraints::constraints::document_satisfies(&dtd, witness, &sigma),
+                "witness violates Σ: {}",
+                sigma.render(&dtd)
+            );
+        }
+    }
+
+    /// `parse_constraint(render(c)) == c` for random unary constraints of
+    /// every kind, so specifications can be written out and read back.
+    #[test]
+    fn constraint_surface_syntax_round_trips(
+        seed in 0u64..500,
+        types in 3usize..9,
+        kind in 0usize..5,
+        pick_a in 0usize..64,
+        pick_b in 0usize..64,
+    ) {
+        let dtd = random_dtd(&DtdGenConfig { seed, num_types: types, ..Default::default() });
+        let slots = attribute_slots(&dtd);
+        prop_assume!(!slots.is_empty());
+        let (t1, l1) = slots[pick_a % slots.len()];
+        let (t2, l2) = slots[pick_b % slots.len()];
+        let constraint = match kind {
+            0 => Constraint::unary_key(t1, l1),
+            1 => Constraint::unary_inclusion(t1, l1, t2, l2),
+            2 => Constraint::unary_foreign_key(t1, l1, t2, l2),
+            3 => Constraint::not_unary_key(t1, l1),
+            _ => Constraint::not_unary_inclusion(t1, l1, t2, l2),
+        };
+        let text = constraint.render(&dtd);
+        let parsed = parse_constraint(&text, &dtd).unwrap();
+        prop_assert_eq!(parsed, constraint, "round-trip of `{}`", text);
+    }
+}
+
+/// Inconsistent verdicts never come from the undecidable fallback: whenever
+/// the checker says Inconsistent for a unary class, re-checking with an empty
+/// constraint set must stay consistent unless the DTD itself is unsatisfiable
+/// (a sanity check that inconsistency is attributed to the constraints).
+#[test]
+fn inconsistency_is_attributed_to_constraints_or_dtd() {
+    for seed in 0..40u64 {
+        let dtd = random_dtd(&DtdGenConfig { seed, num_types: 5, ..Default::default() });
+        let sigma = random_unary_constraints(
+            &dtd,
+            &ConstraintGenConfig { keys: 2, foreign_keys: 2, seed, ..Default::default() },
+        );
+        let with_sigma = checker(false).check(&dtd, &sigma).unwrap();
+        let without = checker(false)
+            .check(&dtd, &xml_integrity_constraints::constraints::ConstraintSet::new())
+            .unwrap();
+        if with_sigma.is_consistent() {
+            // A consistent specification requires a satisfiable DTD.
+            assert!(without.is_consistent(), "seed {seed}: {}", without.explanation());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the duality between implication and consistency:
+//! `(D, Σ) ⊢ φ` iff `Σ ∪ {¬φ}` is inconsistent over `D` (the basis of the
+//! paper's coNP upper bounds), plus the Lemma 3.3 reduction round trip.
+
+use proptest::prelude::*;
+use xml_integrity_constraints::constraints::{Constraint, ConstraintSet};
+use xml_integrity_constraints::core::{
+    consistency_to_implication, CheckerConfig, ConsistencyChecker, ImplicationChecker,
+};
+use xml_integrity_constraints::gen::{
+    random_dtd, random_unary_constraints, ConstraintGenConfig, DtdGenConfig,
+};
+
+fn fast_config() -> CheckerConfig {
+    CheckerConfig { synthesize_witness: false, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random unary specifications and a random candidate key φ, the
+    /// implication verdict matches the consistency verdict of Σ ∪ {¬φ}.
+    #[test]
+    fn implication_agrees_with_negated_consistency(
+        seed in 0u64..200,
+        types in 3usize..7,
+        keys in 0usize..3,
+        fks in 0usize..3,
+        pick in 0usize..100,
+    ) {
+        let dtd = random_dtd(&DtdGenConfig { seed, num_types: types, ..Default::default() });
+        let sigma = random_unary_constraints(
+            &dtd,
+            &ConstraintGenConfig { keys, foreign_keys: fks, seed, ..Default::default() },
+        );
+        // Candidate: a unary key on some attribute slot.
+        let mut slots = Vec::new();
+        for ty in dtd.types() {
+            for &attr in dtd.attrs_of(ty) {
+                slots.push((ty, attr));
+            }
+        }
+        prop_assume!(!slots.is_empty());
+        let (ty, attr) = slots[pick % slots.len()];
+        let phi = Constraint::unary_key(ty, attr);
+
+        let implication = ImplicationChecker::with_config(fast_config());
+        let consistency = ConsistencyChecker::with_config(fast_config());
+        let implied = implication.implies(&dtd, &sigma, &phi).unwrap();
+        let negated = consistency
+            .check_unary(&dtd, &sigma.with(phi.negated().unwrap()))
+            .unwrap();
+        prop_assert_eq!(implied.is_implied(), negated.is_inconsistent(),
+            "implication: {} / consistency of negation: {}",
+            implied.explanation(), negated.explanation());
+    }
+
+    /// Lemma 3.3 round trip: Σ is consistent over D iff the target key of
+    /// the reduction is NOT implied over the extended DTD.
+    #[test]
+    fn lemma_3_3_round_trip(seed in 0u64..100, types in 3usize..6, keys in 0usize..3) {
+        let dtd = random_dtd(&DtdGenConfig { seed, num_types: types, ..Default::default() });
+        let sigma = random_unary_constraints(
+            &dtd,
+            &ConstraintGenConfig { keys, foreign_keys: keys, seed, ..Default::default() },
+        );
+        let consistency = ConsistencyChecker::with_config(fast_config());
+        let consistent = consistency.check(&dtd, &sigma).unwrap().is_consistent();
+
+        let red = consistency_to_implication(&dtd);
+        // Re-express Σ over the extended DTD (types keep their names).
+        let mut sigma_ext = ConstraintSet::new();
+        for c in sigma.iter() {
+            sigma_ext.push(c.clone());
+        }
+        sigma_ext.push(red.aux_key.clone());
+        sigma_ext.push(red.inclusion.clone());
+        let implication = ImplicationChecker::with_config(fast_config());
+        let implied =
+            implication.implies(&red.dtd, &sigma_ext, &red.target_key).unwrap().is_implied();
+        prop_assert_eq!(consistent, !implied);
+    }
+}
+
+#[test]
+fn implied_constraints_can_be_added_without_changing_consistency() {
+    // A deterministic spot check of a semantic invariant: adding an implied
+    // constraint never flips a consistent specification to inconsistent.
+    let dtd = xml_integrity_constraints::dtd::example_d1();
+    let teacher = dtd.type_by_name("teacher").unwrap();
+    let subject = dtd.type_by_name("subject").unwrap();
+    let name = dtd.attr_by_name("name").unwrap();
+    let taught_by = dtd.attr_by_name("taught_by").unwrap();
+    let sigma = ConstraintSet::from_vec(vec![
+        Constraint::unary_key(teacher, name),
+        Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+    ]);
+    let implication = ImplicationChecker::new();
+    let consistency = ConsistencyChecker::new();
+    assert!(consistency.check(&dtd, &sigma).unwrap().is_consistent());
+    // subject.taught_by ⊆ teacher.name is implied (member); adding it keeps
+    // consistency.
+    let phi = Constraint::unary_inclusion(subject, taught_by, teacher, name);
+    assert!(implication.implies(&dtd, &sigma, &phi).unwrap().is_implied());
+    assert!(consistency.check(&dtd, &sigma.with(phi)).unwrap().is_consistent());
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration tests reproducing the worked examples of the paper
+//! (Sections 1 and 2) across all crates.
+
+use xml_integrity_constraints::constraints::{
+    check_document, example_sigma1, example_sigma3, Constraint, ConstraintSet,
+};
+use xml_integrity_constraints::core::{ConsistencyChecker, ImplicationChecker};
+use xml_integrity_constraints::dtd::{example_d1, example_d2, example_d3, parse_dtd};
+use xml_integrity_constraints::xml::{is_valid, parse_document, write_document};
+
+/// The Figure 1 document of the paper, as XML text.
+const FIGURE1: &str = r#"
+<teachers>
+  <teacher name="Joe">
+    <teach>
+      <subject taught_by="Joe">XML</subject>
+      <subject taught_by="Joe">DB</subject>
+    </teach>
+    <research>Web DB</research>
+  </teacher>
+  <teacher name="Joe">
+    <teach>
+      <subject taught_by="Joe">AI</subject>
+      <subject taught_by="Joe">Logic</subject>
+    </teach>
+    <research>KR</research>
+  </teacher>
+</teachers>
+"#;
+
+#[test]
+fn figure1_conforms_to_d1_but_violates_sigma1() {
+    let d1 = example_d1();
+    let doc = parse_document(FIGURE1, &d1).expect("Figure 1 parses");
+    assert!(is_valid(&doc, &d1), "Figure 1 conforms to D1");
+    let violations = check_document(&d1, &doc, &example_sigma1(&d1));
+    assert!(
+        !violations.is_empty(),
+        "the paper notes the Figure 1 tree violates subject.taught_by → subject"
+    );
+}
+
+#[test]
+fn section1_specification_is_inconsistent() {
+    let d1 = example_d1();
+    let sigma1 = example_sigma1(&d1);
+    let outcome = ConsistencyChecker::new().check(&d1, &sigma1).unwrap();
+    assert!(outcome.is_inconsistent(), "{}", outcome.explanation());
+}
+
+#[test]
+fn section1_d2_has_no_valid_document() {
+    let d2 = example_d2();
+    let outcome = ConsistencyChecker::new().check(&d2, &ConstraintSet::new()).unwrap();
+    assert!(outcome.is_inconsistent());
+}
+
+#[test]
+fn relaxed_sigma1_has_a_witness_that_round_trips_through_text() {
+    let d1 = example_d1();
+    let teacher = d1.type_by_name("teacher").unwrap();
+    let subject = d1.type_by_name("subject").unwrap();
+    let name = d1.attr_by_name("name").unwrap();
+    let taught_by = d1.attr_by_name("taught_by").unwrap();
+    let sigma = ConstraintSet::from_vec(vec![
+        Constraint::unary_key(teacher, name),
+        Constraint::unary_foreign_key(subject, taught_by, teacher, name),
+    ]);
+    let outcome = ConsistencyChecker::new().check(&d1, &sigma).unwrap();
+    let witness = outcome.witness().expect("witness");
+    // Serialize, re-parse, re-validate, re-check.
+    let text = write_document(witness, &d1);
+    let reparsed = parse_document(&text, &d1).expect("serialized witness parses");
+    assert!(is_valid(&reparsed, &d1));
+    assert!(check_document(&d1, &reparsed, &sigma).is_empty());
+}
+
+#[test]
+fn section2_school_constraints_accept_a_realistic_registrar_document() {
+    let d3 = example_d3();
+    let sigma3 = example_sigma3(&d3);
+    let doc = r#"
+        <school>
+          <course dept="cs" course_no="101"><subject>databases</subject></course>
+          <course dept="cs" course_no="240"><subject>logic</subject></course>
+          <student student_id="s1"><name>Ada</name></student>
+          <student student_id="s2"><name>Alan</name></student>
+          <enroll student_id="s1" dept="cs" course_no="101">ok</enroll>
+          <enroll student_id="s2" dept="cs" course_no="101">ok</enroll>
+          <enroll student_id="s1" dept="cs" course_no="240">ok</enroll>
+        </school>
+    "#;
+    let tree = parse_document(doc, &d3).expect("registrar document parses");
+    assert!(is_valid(&tree, &d3));
+    assert!(check_document(&d3, &tree, &sigma3).is_empty());
+
+    // Breaking referential integrity is detected.
+    let broken = doc.replace("course_no=\"240\">ok", "course_no=\"999\">ok");
+    let tree = parse_document(&broken, &d3).expect("still parses");
+    assert!(!check_document(&d3, &tree, &sigma3).is_empty());
+}
+
+#[test]
+fn dtd_text_and_programmatic_d1_agree_on_consistency() {
+    let text = r#"
+        <!ELEMENT teachers (teacher+)>
+        <!ELEMENT teacher (teach, research)>
+        <!ELEMENT teach (subject, subject)>
+        <!ELEMENT research (#PCDATA)>
+        <!ELEMENT subject (#PCDATA)>
+        <!ATTLIST teacher name CDATA #REQUIRED>
+        <!ATTLIST subject taught_by CDATA #REQUIRED>
+    "#;
+    let parsed = parse_dtd(text, Some("teachers")).unwrap();
+    let sigma = example_sigma1(&parsed);
+    let outcome = ConsistencyChecker::new().check(&parsed, &sigma).unwrap();
+    assert!(outcome.is_inconsistent());
+}
+
+#[test]
+fn implication_examples_from_the_school_schema() {
+    let d3 = example_d3();
+    let sigma3 = example_sigma3(&d3);
+    let checker = ImplicationChecker::new();
+    let course = d3.type_by_name("course").unwrap();
+    let dept = d3.attr_by_name("dept").unwrap();
+    let course_no = d3.attr_by_name("course_no").unwrap();
+    // Superkeys of stated keys are implied even in the general class.
+    let phi = Constraint::key(course, vec![dept, course_no]);
+    assert!(checker.implies(&d3, &sigma3, &phi).unwrap().is_implied());
+    // dept alone is not a key of course; the checker must not claim it is.
+    let phi = Constraint::key(course, vec![dept]);
+    assert!(!checker.implies(&d3, &sigma3, &phi).unwrap().is_implied());
+}

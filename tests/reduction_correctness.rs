@@ -1,0 +1,47 @@
+//! Integration tests for the Theorem 4.7 reduction: the generated XML
+//! specification is consistent exactly when the 0/1 system `A·x = 1` has a
+//! binary solution, checked against brute-force enumeration of all vectors.
+
+use proptest::prelude::*;
+use xml_integrity_constraints::core::{lip_to_spec, CheckerConfig, ConsistencyChecker};
+use xml_integrity_constraints::xml::validate;
+
+/// Brute-force solvability of `A·x = 1` over binary vectors.
+fn solvable(matrix: &[Vec<bool>]) -> bool {
+    let cols = matrix[0].len();
+    (0u32..(1 << cols)).any(|mask| {
+        matrix.iter().all(|row| {
+            let sum: u32 = row
+                .iter()
+                .enumerate()
+                .map(|(j, &a)| u32::from(a && mask & (1 << j) != 0))
+                .sum();
+            sum == 1
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduction_matches_brute_force(rows in 1usize..4, cols in 1usize..5, bits in 0u32..4096) {
+        // Build a small random 0/1 matrix from the bits.
+        let matrix: Vec<Vec<bool>> = (0..rows)
+            .map(|i| (0..cols).map(|j| bits & (1 << ((i * cols + j) % 12)) != 0).collect())
+            .collect();
+        let spec = lip_to_spec(&matrix);
+        let checker = ConsistencyChecker::with_config(CheckerConfig::default());
+        let outcome = checker.check(&spec.dtd, &spec.sigma).unwrap();
+        prop_assert!(!outcome.is_unknown(), "{}", outcome.explanation());
+        prop_assert_eq!(outcome.is_consistent(), solvable(&matrix));
+        if let Some(witness) = outcome.witness() {
+            prop_assert!(validate(witness, &spec.dtd).is_empty());
+            let x = spec.decode(witness);
+            for row in &matrix {
+                let sum: usize = row.iter().zip(&x).filter(|(a, b)| **a && **b).count();
+                prop_assert_eq!(sum, 1);
+            }
+        }
+    }
+}
