@@ -3,8 +3,8 @@
 //! linear in |D| + |Σ| because the big-constant rewriting is deferred to the
 //! solver).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{CardinalitySystem, SystemOptions};
 use xic_gen::{fixed_dtd_growing_sigma, unary_consistency_family};
 
@@ -14,14 +14,26 @@ fn bench_encoding(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.warm_up_time(Duration::from_millis(200));
     for spec in unary_consistency_family(&[4, 16, 64]) {
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| CardinalitySystem::build(&spec.dtd, &spec.sigma, &SystemOptions::default()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CardinalitySystem::build(&spec.dtd, &spec.sigma, &SystemOptions::default())
+                });
+            },
+        );
     }
     for spec in fixed_dtd_growing_sigma(8, &[64], 31) {
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| CardinalitySystem::build(&spec.dtd, &spec.sigma, &SystemOptions::default()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CardinalitySystem::build(&spec.dtd, &spec.sigma, &SystemOptions::default())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,8 +3,8 @@
 //! versus the solver's native disjunctive branching.  Both are complete; the
 //! bench shows the cost difference on the same workloads.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{CardinalitySystem, SystemOptions};
 use xic_gen::unary_consistency_family;
 use xic_ilp::{ConditionalMode, IlpSolver, SolverConfig};
@@ -17,18 +17,17 @@ fn bench_conditional_modes(c: &mut Criterion) {
     for spec in unary_consistency_family(&[2, 4, 8]) {
         let system =
             CardinalitySystem::build(&spec.dtd, &spec.sigma, &SystemOptions::default()).unwrap();
-        for (name, mode) in
-            [("branch", ConditionalMode::Branch), ("big_constant", ConditionalMode::BigConstant)]
-        {
+        for (name, mode) in [
+            ("branch", ConditionalMode::Branch),
+            ("big_constant", ConditionalMode::BigConstant),
+        ] {
             let solver = IlpSolver::with_config(SolverConfig {
                 conditional_mode: mode,
                 ..Default::default()
             });
-            group.bench_with_input(
-                BenchmarkId::new(name, &spec.label),
-                &system,
-                |b, system| b.iter(|| solver.solve(system.program())),
-            );
+            group.bench_with_input(BenchmarkId::new(name, &spec.label), &system, |b, system| {
+                b.iter(|| solver.solve(system.program()))
+            });
         }
     }
     group.finish();

@@ -8,8 +8,8 @@
 //! claim shows up as non-convergence: enlarging the budget enlarges the time
 //! without ever turning "Unknown" into a decision on the hard instances.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{bounded_search, relational_to_spec, BoundedSearchConfig, ConsistencyChecker};
 use xic_relational::{RelConstraint, RelSchema};
 
@@ -22,7 +22,10 @@ fn bench_bounded_search(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     for attempts in [8usize, 32, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(attempts), &attempts, |b, &n| {
-            let config = BoundedSearchConfig { attempts: n, ..Default::default() };
+            let config = BoundedSearchConfig {
+                attempts: n,
+                ..Default::default()
+            };
             b.iter(|| bounded_search(&d3, &sigma3, &config));
         });
     }
@@ -35,18 +38,25 @@ fn bench_theorem31_reduction(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.warm_up_time(Duration::from_millis(200));
     for relations in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(relations), &relations, |b, &n| {
-            let mut schema = RelSchema::new();
-            let rels: Vec<_> =
-                (0..n).map(|i| schema.add_relation(&format!("R{i}"), &["a", "b", "c"])).collect();
-            let sigma: Vec<RelConstraint> =
-                rels.iter().map(|&r| RelConstraint::key(r, &["a"])).collect();
-            let checker = ConsistencyChecker::new();
-            b.iter(|| {
-                let spec = relational_to_spec(&schema, &sigma, rels[0], &["b".to_string()]);
-                checker.check(&spec.dtd, &spec.sigma).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(relations),
+            &relations,
+            |b, &n| {
+                let mut schema = RelSchema::new();
+                let rels: Vec<_> = (0..n)
+                    .map(|i| schema.add_relation(&format!("R{i}"), &["a", "b", "c"]))
+                    .collect();
+                let sigma: Vec<RelConstraint> = rels
+                    .iter()
+                    .map(|&r| RelConstraint::key(r, &["a"]))
+                    .collect();
+                let checker = ConsistencyChecker::new();
+                b.iter(|| {
+                    let spec = relational_to_spec(&schema, &sigma, rels[0], &["b".to_string()]);
+                    checker.check(&spec.dtd, &spec.sigma).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -7,15 +7,18 @@
 //! the 0/1-LIP reduction.  Primary-key-restricted workloads are included to
 //! show the restriction does not change the picture (Corollary 4.8).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{CheckerConfig, ConsistencyChecker};
 use xic_gen::{
     hard_lip_family, inconsistent_fanout_family, primary_key_family, unary_consistency_family,
 };
 
 fn checker_without_witness() -> ConsistencyChecker {
-    ConsistencyChecker::with_config(CheckerConfig { synthesize_witness: false, ..Default::default() })
+    ConsistencyChecker::with_config(CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    })
 }
 
 fn bench_consistent_chains(c: &mut Criterion) {
@@ -25,9 +28,13 @@ fn bench_consistent_chains(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     for spec in unary_consistency_family(&[2, 4, 8, 16]) {
         let checker = checker_without_witness();
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -39,9 +46,13 @@ fn bench_inconsistent_fanout(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     for spec in inconsistent_fanout_family(&[2, 4, 8]) {
         let checker = checker_without_witness();
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -67,9 +78,13 @@ fn bench_primary_key_restriction(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(200));
     for spec in primary_key_family(&[6, 12, 24], 17) {
         let checker = checker_without_witness();
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+            },
+        );
     }
     group.finish();
 }

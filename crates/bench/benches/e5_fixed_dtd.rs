@@ -2,8 +2,8 @@
 //! with the DTD fixed the number of ILP variables is bounded, so consistency
 //! and implication scale polynomially in |Σ|.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{CheckerConfig, ConsistencyChecker};
 use xic_gen::fixed_dtd_growing_sigma;
 
@@ -17,9 +17,13 @@ fn bench_fixed_dtd(c: &mut Criterion) {
         ..Default::default()
     });
     for spec in fixed_dtd_growing_sigma(6, &[2, 8, 32, 64], 5) {
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -2,8 +2,8 @@
 //! keys-only consistency and keys-only implication over growing DTDs
 //! (Figure 5 column "multi-attribute keys only").
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{CheckerConfig, ConsistencyChecker, ImplicationChecker};
 use xic_dtd::dtd_satisfiable;
 use xic_gen::keys_only_family;
@@ -14,9 +14,13 @@ fn bench_dtd_satisfiability(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.warm_up_time(Duration::from_millis(200));
     for spec in keys_only_family(&[8, 32, 128, 512], 23) {
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| dtd_satisfiable(&spec.dtd));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| dtd_satisfiable(&spec.dtd));
+            },
+        );
     }
     group.finish();
 }
@@ -31,9 +35,13 @@ fn bench_keys_only_consistency(c: &mut Criterion) {
         ..Default::default()
     });
     for spec in keys_only_family(&[8, 32, 128], 23) {
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.check_keys_only(&spec.dtd, &spec.sigma));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.check_keys_only(&spec.dtd, &spec.sigma));
+            },
+        );
     }
     group.finish();
 }
@@ -47,9 +55,13 @@ fn bench_keys_only_implication(c: &mut Criterion) {
     for spec in keys_only_family(&[8, 32, 128], 23) {
         // Ask whether the first key of Σ widened by one attribute is implied.
         let phi = spec.sigma.iter().next().cloned().expect("nonempty");
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.implies(&spec.dtd, &spec.sigma, &phi).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.implies(&spec.dtd, &spec.sigma, &phi).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -2,8 +2,8 @@
 //! Theorem 5.4, coNP-complete): both implied and non-implied targets over
 //! growing specifications.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_constraints::Constraint;
 use xic_core::{CheckerConfig, ImplicationChecker};
 use xic_gen::unary_consistency_family;
@@ -32,7 +32,13 @@ fn bench_unary_implication(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("not_implied", &spec.label),
             &spec,
-            |b, spec| b.iter(|| checker.implies(&spec.dtd, &spec.sigma, &not_implied).unwrap()),
+            |b, spec| {
+                b.iter(|| {
+                    checker
+                        .implies(&spec.dtd, &spec.sigma, &not_implied)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

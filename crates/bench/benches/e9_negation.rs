@@ -2,8 +2,8 @@
 //! and their negations (Theorem 5.1, NP).  The set-atom encoding grows with
 //! the number of attribute slots touched by inclusion constraints.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 use xic_core::{CheckerConfig, ConsistencyChecker};
 use xic_gen::negation_family;
 
@@ -17,9 +17,13 @@ fn bench_negation(c: &mut Criterion) {
         ..Default::default()
     });
     for spec in negation_family(&[2, 4, 6], 29) {
-        group.bench_with_input(BenchmarkId::from_parameter(&spec.label), &spec, |b, spec| {
-            b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.label),
+            &spec,
+            |b, spec| {
+                b.iter(|| checker.check(&spec.dtd, &spec.sigma).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -15,10 +15,16 @@ fn main() {
     println!();
     println!("Figure 5 (Fan & Libkin 2002) — measured counterpart");
     println!("----------------------------------------------------------------------------");
-    println!("{:<44} {:>12} {:>14}", "problem / class / instance", "verdict", "time");
+    println!(
+        "{:<44} {:>12} {:>14}",
+        "problem / class / instance", "verdict", "time"
+    );
     println!("----------------------------------------------------------------------------");
 
-    let no_witness = CheckerConfig { synthesize_witness: false, ..Default::default() };
+    let no_witness = CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    };
     let consistency = ConsistencyChecker::with_config(no_witness.clone());
     let implication = ImplicationChecker::with_config(no_witness);
 
@@ -31,12 +37,22 @@ fn main() {
     let t = median_time(5, || {
         let _ = consistency.check_keys_only(&d3, &keys_only);
     });
-    println!("{:<44} {:>12} {:>14}", "consistency, keys only (D3)", "consistent", fmt_us(t));
+    println!(
+        "{:<44} {:>12} {:>14}",
+        "consistency, keys only (D3)",
+        "consistent",
+        fmt_us(t)
+    );
     let phi = Constraint::key(course, vec![dept]);
     let t = median_time(5, || {
         let _ = implication.implies(&d3, &keys_only, &phi).unwrap();
     });
-    println!("{:<44} {:>12} {:>14}", "implication, keys only (D3)", "not implied", fmt_us(t));
+    println!(
+        "{:<44} {:>12} {:>14}",
+        "implication, keys only (D3)",
+        "not implied",
+        fmt_us(t)
+    );
 
     // Column 2: unary keys + foreign keys — NP-complete.
     let d1 = example_d1();
@@ -96,7 +112,11 @@ fn main() {
     println!(
         "{:<44} {:>12} {:>14}",
         "implication, unary K+FK (D1)",
-        if outcome.is_implied() { "implied" } else { "not implied" },
+        if outcome.is_implied() {
+            "implied"
+        } else {
+            "not implied"
+        },
         fmt_us(t)
     );
 

@@ -110,7 +110,14 @@ mod tests {
     #[test]
     fn parses_command_options_and_flags() {
         let parsed = ParsedArgs::parse(
-            ["check", "--dtd", "a.dtd", "--quiet", "--constraints=b.xic", "extra"],
+            [
+                "check",
+                "--dtd",
+                "a.dtd",
+                "--quiet",
+                "--constraints=b.xic",
+                "extra",
+            ],
             &SPEC,
         )
         .unwrap();

@@ -15,6 +15,7 @@ use xic_core::{
     ConsistencyOutcome, Diagnosis, ImplicationChecker, SystemOptions,
 };
 use xic_dtd::{analyze, parse_dtd, Dtd};
+use xic_engine::{BatchDoc, BatchEngine, CompiledSpec};
 use xic_xml::{parse_document, validate, write_document};
 
 use crate::args::ParsedArgs;
@@ -50,8 +51,10 @@ pub fn load_constraints(path: &str, dtd: &Dtd) -> Result<ConstraintSet, CliError
 }
 
 fn read_file(path: &str) -> Result<String, CliError> {
-    fs::read_to_string(Path::new(path))
-        .map_err(|source| CliError::Io { path: path.to_string(), source })
+    fs::read_to_string(Path::new(path)).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
 }
 
 fn checker_config(args: &ParsedArgs) -> CheckerConfig {
@@ -74,7 +77,9 @@ fn spec_inputs(args: &ParsedArgs) -> Result<(Dtd, ConstraintSet), CliError> {
 pub fn check(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let (dtd, sigma) = spec_inputs(args)?;
     let checker = ConsistencyChecker::with_config(checker_config(args));
-    let outcome = checker.check(&dtd, &sigma).map_err(|e| CliError::Spec(e.to_string()))?;
+    let outcome = checker
+        .check(&dtd, &sigma)
+        .map_err(|e| CliError::Spec(e.to_string()))?;
 
     let mut report = String::new();
     report.push_str(&format!(
@@ -96,8 +101,10 @@ pub fn check(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     if let Some(witness) = outcome.witness() {
         if let Some(out_path) = args.get("witness-out") {
             let doc = write_document(witness, &dtd);
-            fs::write(out_path, &doc)
-                .map_err(|source| CliError::Io { path: out_path.to_string(), source })?;
+            fs::write(out_path, &doc).map_err(|source| CliError::Io {
+                path: out_path.to_string(),
+                source,
+            })?;
             report.push_str(&format!("witness document written to {out_path}\n"));
         } else if !args.has_flag("quiet") {
             report.push_str("witness document:\n");
@@ -117,8 +124,9 @@ pub fn implies(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let phi = parse_constraint(query, &dtd)
         .map_err(|e| CliError::Constraints(format!("--query: {e}")))?;
     let checker = ImplicationChecker::with_config(checker_config(args));
-    let outcome =
-        checker.implies(&dtd, &sigma, &phi).map_err(|e| CliError::Spec(e.to_string()))?;
+    let outcome = checker
+        .implies(&dtd, &sigma, &phi)
+        .map_err(|e| CliError::Spec(e.to_string()))?;
 
     let mut report = String::new();
     report.push_str(&format!("query: {}\n", phi.render(&dtd)));
@@ -150,8 +158,8 @@ pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let (dtd, sigma) = spec_inputs(args)?;
     let doc_path = args.require("doc")?;
     let text = read_file(doc_path)?;
-    let tree = parse_document(&text, &dtd)
-        .map_err(|e| CliError::Document(format!("{doc_path}: {e}")))?;
+    let tree =
+        parse_document(&text, &dtd).map_err(|e| CliError::Document(format!("{doc_path}: {e}")))?;
 
     let mut report = String::new();
     let structural = validate(&tree, &dtd);
@@ -201,7 +209,10 @@ pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 /// minimal inconsistent core of its constraints.
 pub fn diagnose(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let (dtd, sigma) = spec_inputs(args)?;
-    let config = CheckerConfig { synthesize_witness: false, ..Default::default() };
+    let config = CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    };
     let diagnosis =
         diagnose_spec(&dtd, &sigma, &config).map_err(|e| CliError::Spec(e.to_string()))?;
     let code = match &diagnosis {
@@ -219,7 +230,9 @@ pub fn diagnose(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 /// `xic classify` — report the constraint class and applicable procedures.
 pub fn classify(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let (dtd, sigma) = spec_inputs(args)?;
-    sigma.validate(&dtd).map_err(|e| CliError::Spec(format!("{e:?}")))?;
+    sigma
+        .validate(&dtd)
+        .map_err(|e| CliError::Spec(format!("{e:?}")))?;
     let mut report = String::new();
     report.push_str(&format!("constraints ({}):\n", sigma.len()));
     for c in sigma.iter() {
@@ -236,7 +249,11 @@ pub fn classify(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     }
     report.push_str(&format!(
         "primary-key restriction: {}\n",
-        if sigma.satisfies_primary_key_restriction() { "satisfied" } else { "violated" }
+        if sigma.satisfies_primary_key_restriction() {
+            "satisfied"
+        } else {
+            "violated"
+        }
     ));
     Ok(CommandOutcome::new(report, 0))
 }
@@ -255,14 +272,12 @@ fn complexity_of(class: ConstraintClass) -> (&'static str, &'static str) {
             "NP-complete (Theorem 4.1/4.7); decided exactly via integer programming",
             "coNP-complete (Theorem 5.4); decided exactly via integer programming",
         ),
-        ConstraintClass::UnaryKeyNegInclusion => (
-            "NP-complete (Corollary 4.9)",
-            "coNP-complete (Theorem 5.4)",
-        ),
-        ConstraintClass::UnaryKeyNegInclusionNeg => (
-            "NP-complete (Theorem 5.1)",
-            "coNP-complete (Theorem 5.4)",
-        ),
+        ConstraintClass::UnaryKeyNegInclusion => {
+            ("NP-complete (Corollary 4.9)", "coNP-complete (Theorem 5.4)")
+        }
+        ConstraintClass::UnaryKeyNegInclusionNeg => {
+            ("NP-complete (Theorem 5.1)", "coNP-complete (Theorem 5.4)")
+        }
         ConstraintClass::MultiKeyForeignKey => (
             "undecidable (Theorem 3.1); sound bounded search only",
             "undecidable (Corollary 3.4); sound bounded search only",
@@ -282,7 +297,11 @@ pub fn explain(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let analysis = analyze(&dtd);
     report.push_str(&format!(
         "satisfiable: {}\n",
-        if analysis.satisfiable() { "yes" } else { "no — no finite document conforms" }
+        if analysis.satisfiable() {
+            "yes"
+        } else {
+            "no — no finite document conforms"
+        }
     ));
     for ty in dtd.types() {
         report.push_str(&format!(
@@ -323,16 +342,69 @@ pub fn explain(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     Ok(CommandOutcome::new(report, 0))
 }
 
+/// `xic batch` — validate every document named by a manifest file against
+/// one compiled specification, in parallel.
+///
+/// The manifest lists one document path per line (blank lines and `#`
+/// comments are skipped); relative paths resolve against the manifest's
+/// directory.  The specification is compiled once ([`CompiledSpec`]) and the
+/// documents are spread over a worker pool (`--threads`, default: the
+/// machine's parallelism).  The per-document report is ordered by manifest
+/// position regardless of the thread count.
+pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let manifest_path = args.require("manifest")?;
+    let manifest = read_file(manifest_path)?;
+    let base = Path::new(manifest_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let mut docs = Vec::new();
+    for line in manifest.lines() {
+        let entry = line.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let path = base.join(entry);
+        let content = read_file(&path.to_string_lossy())?;
+        docs.push(BatchDoc::new(entry, content));
+    }
+
+    let engine = match args.get_usize("threads")? {
+        Some(threads) => BatchEngine::new(threads),
+        None => BatchEngine::default(),
+    };
+    let report_data = engine.validate_batch(&spec, &docs);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "spec {}: {} constraints over {} element types\n",
+        spec.id(),
+        spec.sigma().len(),
+        spec.dtd().num_types()
+    ));
+    if !args.has_flag("quiet") {
+        report.push_str(&report_data.render());
+    } else {
+        report.push_str(&format!(
+            "{}/{} documents clean\n",
+            report_data.clean_count(),
+            report_data.total()
+        ));
+    }
+    let all_clean = report_data.clean_count() == report_data.total();
+    Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::ArgSpec;
     use std::path::PathBuf;
 
-    const SPEC: ArgSpec = ArgSpec {
-        valued: &["dtd", "root", "constraints", "doc", "query", "witness-out"],
-        flags: &["quiet", "no-witness"],
-    };
+    use crate::ARG_SPEC as SPEC;
 
     /// Writes a temp file with a unique name and returns its path.
     fn temp_file(name: &str, contents: &str) -> PathBuf {
@@ -377,7 +449,13 @@ mod tests {
         let sigma = temp_file("sigma1.xic", SIGMA1);
         let out = run(
             check,
-            &["check", "--dtd", dtd.to_str().unwrap(), "--constraints", sigma.to_str().unwrap()],
+            &[
+                "check",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
         );
         assert_eq!(out.exit_code, 1, "{}", out.report);
         assert!(out.report.contains("INCONSISTENT"), "{}", out.report);
@@ -389,7 +467,13 @@ mod tests {
         let sigma = temp_file("sigma_ok.xic", SIGMA_CONSISTENT);
         let out = run(
             check,
-            &["check", "--dtd", dtd.to_str().unwrap(), "--constraints", sigma.to_str().unwrap()],
+            &[
+                "check",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
         );
         assert_eq!(out.exit_code, 0, "{}", out.report);
         assert!(out.report.contains("CONSISTENT"), "{}", out.report);
@@ -469,7 +553,11 @@ mod tests {
         // taught_by="Ann" dangles, so the foreign key is violated — but the
         // spec itself is consistent, so the report blames the data.
         assert_eq!(out.exit_code, 1, "{}", out.report);
-        assert!(out.report.contains("constraint violation"), "{}", out.report);
+        assert!(
+            out.report.contains("constraint violation"),
+            "{}",
+            out.report
+        );
         assert!(out.report.contains("data problems"), "{}", out.report);
     }
 
@@ -488,8 +576,16 @@ mod tests {
             ],
         );
         assert_eq!(out.exit_code, 1, "{}", out.report);
-        assert!(out.report.contains("minimal inconsistent core"), "{}", out.report);
-        assert!(out.report.contains("subject.taught_by → subject"), "{}", out.report);
+        assert!(
+            out.report.contains("minimal inconsistent core"),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("subject.taught_by → subject"),
+            "{}",
+            out.report
+        );
         // The teacher key is reported as not involved.
         assert!(out.report.contains("not involved"), "{}", out.report);
     }
@@ -528,7 +624,11 @@ mod tests {
         );
         assert_eq!(out.exit_code, 0);
         assert!(out.report.contains("NP-complete"), "{}", out.report);
-        assert!(out.report.contains("primary-key restriction"), "{}", out.report);
+        assert!(
+            out.report.contains("primary-key restriction"),
+            "{}",
+            out.report
+        );
     }
 
     #[test]
@@ -537,7 +637,13 @@ mod tests {
         let sigma = temp_file("sigma1c.xic", SIGMA1);
         let out = run(
             explain,
-            &["explain", "--dtd", dtd.to_str().unwrap(), "--constraints", sigma.to_str().unwrap()],
+            &[
+                "explain",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
         );
         assert_eq!(out.exit_code, 0);
         assert!(out.report.contains("cardinality system"), "{}", out.report);
@@ -546,9 +652,68 @@ mod tests {
 
     #[test]
     fn missing_files_are_reported_as_io_errors() {
-        let parsed =
-            ParsedArgs::parse(["check", "--dtd", "/nonexistent/spec.dtd"], &SPEC).unwrap();
+        let parsed = ParsedArgs::parse(["check", "--dtd", "/nonexistent/spec.dtd"], &SPEC).unwrap();
         let err = check(&parsed).unwrap_err();
         assert!(matches!(err, CliError::Io { .. }), "{err}");
+    }
+
+    const SCHOOL_DTD: &str = "<!ELEMENT school (teacher*)>\n\
+        <!ELEMENT teacher EMPTY>\n\
+        <!ATTLIST teacher name CDATA #REQUIRED>";
+
+    #[test]
+    fn batch_validates_a_manifest_and_orders_reports() {
+        let dtd = temp_file("batch.dtd", SCHOOL_DTD);
+        let sigma = temp_file("batch.xic", "teacher.name -> teacher");
+        let ok = temp_file("batch-ok.xml", "<school><teacher name=\"Joe\"/></school>");
+        let dup = temp_file(
+            "batch-dup.xml",
+            "<school><teacher name=\"Joe\"/><teacher name=\"Joe\"/></school>",
+        );
+        // The manifest lives in the temp dir, so bare filenames resolve there.
+        let manifest = temp_file(
+            "batch-manifest.txt",
+            &format!(
+                "# corpus\n{}\n\n{}\n",
+                ok.file_name().unwrap().to_str().unwrap(),
+                dup.file_name().unwrap().to_str().unwrap()
+            ),
+        );
+
+        let out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--threads",
+                "4",
+            ],
+        );
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        assert!(out.report.contains("1/2 documents clean"), "{}", out.report);
+        assert!(out.report.contains("key violation"), "{}", out.report);
+
+        // The rendered per-document section is identical across thread counts.
+        let sequential = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--threads",
+                "1",
+            ],
+        );
+        assert_eq!(sequential.report, out.report);
+        assert_eq!(sequential.exit_code, out.exit_code);
     }
 }

@@ -10,6 +10,7 @@
 //! xic validate --dtd school.dtd --constraints school.xic --doc enrolments.xml
 //! xic classify --dtd school.dtd --constraints school.xic
 //! xic explain  --dtd school.dtd --constraints school.xic
+//! xic batch    --dtd school.dtd --constraints school.xic --manifest docs.txt --threads 8
 //! ```
 //!
 //! Exit codes are script-friendly: `0` for a positive verdict (consistent /
@@ -28,13 +29,24 @@ pub mod commands;
 pub mod error;
 
 pub use args::{ArgSpec, ParsedArgs};
-pub use commands::{check, classify, diagnose, explain, implies, validate_doc, CommandOutcome};
+pub use commands::{
+    batch, check, classify, diagnose, explain, implies, validate_doc, CommandOutcome,
+};
 pub use error::CliError;
 
 /// The options accepted by every subcommand (unknown ones are rejected with
 /// a usage error naming the offending option).
 pub const ARG_SPEC: ArgSpec = ArgSpec {
-    valued: &["dtd", "root", "constraints", "doc", "query", "witness-out"],
+    valued: &[
+        "dtd",
+        "root",
+        "constraints",
+        "doc",
+        "query",
+        "witness-out",
+        "manifest",
+        "threads",
+    ],
     flags: &["quiet", "no-witness", "help"],
 };
 
@@ -49,6 +61,7 @@ COMMANDS:
     check      decide whether any document can conform to the DTD and satisfy the constraints
     implies    decide whether the specification implies a further constraint (--query)
     validate   validate a document (--doc) against the DTD and the constraints
+    batch      validate every document in a manifest (--manifest) in parallel
     diagnose   explain an inconsistent specification (minimal inconsistent core)
     classify   report the constraint class and the complexity of its analyses
     explain    print the DTD analysis and the cardinality system Ψ(D,Σ)
@@ -60,6 +73,8 @@ OPTIONS:
     --constraints FILE    the constraint file (one constraint per line; optional)
     --doc FILE            the XML document to validate (validate only)
     --query CONSTRAINT    the constraint to test for implication (implies only)
+    --manifest FILE       file listing one document path per line (batch only)
+    --threads N           worker threads for batch validation (default: all cores)
     --witness-out FILE    write the witness document to FILE instead of stdout (check only)
     --no-witness          skip witness synthesis (faster; check/implies only)
     --quiet               do not print witness or counterexample documents
@@ -93,16 +108,12 @@ where
         "check" => commands::check(&parsed),
         "implies" => commands::implies(&parsed),
         "validate" => commands::validate_doc(&parsed),
+        "batch" => commands::batch(&parsed),
         "diagnose" => commands::diagnose(&parsed),
         "classify" => commands::classify(&parsed),
         "explain" => commands::explain(&parsed),
         "help" | "--help" | "-h" => return (USAGE.to_string(), 0),
-        other => {
-            return (
-                format!("unknown command `{other}`\n\n{USAGE}"),
-                2,
-            )
-        }
+        other => return (format!("unknown command `{other}`\n\n{USAGE}"), 2),
     };
     match result {
         Ok(outcome) => (outcome.report, outcome.exit_code),

@@ -157,7 +157,10 @@ impl ConstraintSet {
 
     /// The explicit and foreign-key-implied inclusion constraints.
     pub fn all_inclusions(&self) -> Vec<crate::constraint::InclusionSpec> {
-        self.constraints.iter().filter_map(|c| c.inclusion_part()).collect()
+        self.constraints
+            .iter()
+            .filter_map(|c| c.inclusion_part())
+            .collect()
     }
 
     /// Whether every constraint is a member of the given class.
@@ -197,13 +200,19 @@ impl ConstraintSet {
 
     /// Renders the whole set, one constraint per line.
     pub fn render(&self, dtd: &Dtd) -> String {
-        self.constraints.iter().map(|c| c.render(dtd)).collect::<Vec<_>>().join("\n")
+        self.constraints
+            .iter()
+            .map(|c| c.render(dtd))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
 impl FromIterator<Constraint> for ConstraintSet {
     fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
-        ConstraintSet { constraints: iter.into_iter().collect() }
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -261,7 +270,10 @@ mod tests {
         assert!(sigma1.in_class(ConstraintClass::UnaryKeyForeignKey));
         assert!(sigma1.in_class(ConstraintClass::UnaryKeyNegInclusionNeg));
         assert!(!sigma1.in_class(ConstraintClass::KeysOnly));
-        assert_eq!(sigma1.smallest_class(), Some(ConstraintClass::UnaryKeyForeignKey));
+        assert_eq!(
+            sigma1.smallest_class(),
+            Some(ConstraintClass::UnaryKeyForeignKey)
+        );
     }
 
     #[test]
@@ -271,7 +283,10 @@ mod tests {
         assert!(sigma3.validate(&d3).is_ok());
         assert!(sigma3.in_class(ConstraintClass::MultiKeyForeignKey));
         assert!(!sigma3.in_class(ConstraintClass::UnaryKeyForeignKey));
-        assert_eq!(sigma3.smallest_class(), Some(ConstraintClass::MultiKeyForeignKey));
+        assert_eq!(
+            sigma3.smallest_class(),
+            Some(ConstraintClass::MultiKeyForeignKey)
+        );
     }
 
     #[test]
@@ -311,7 +326,10 @@ mod tests {
         assert_eq!(extended.len(), 4);
         assert!(extended.in_class(ConstraintClass::UnaryKeyNegInclusion));
         assert!(!extended.in_class(ConstraintClass::UnaryKeyForeignKey));
-        assert_eq!(extended.smallest_class(), Some(ConstraintClass::UnaryKeyNegInclusion));
+        assert_eq!(
+            extended.smallest_class(),
+            Some(ConstraintClass::UnaryKeyNegInclusion)
+        );
     }
 
     #[test]

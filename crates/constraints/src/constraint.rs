@@ -59,7 +59,12 @@ impl InclusionSpec {
         to_ty: ElemId,
         to_attrs: Vec<AttrId>,
     ) -> InclusionSpec {
-        InclusionSpec { from_ty, from_attrs, to_ty, to_attrs }
+        InclusionSpec {
+            from_ty,
+            from_attrs,
+            to_ty,
+            to_attrs,
+        }
     }
 
     /// Whether the inclusion is unary.
@@ -129,12 +134,7 @@ impl Constraint {
     }
 
     /// Multi-attribute foreign key.
-    pub fn foreign_key(
-        t1: ElemId,
-        from: Vec<AttrId>,
-        t2: ElemId,
-        to: Vec<AttrId>,
-    ) -> Constraint {
+    pub fn foreign_key(t1: ElemId, from: Vec<AttrId>, t2: ElemId, to: Vec<AttrId>) -> Constraint {
         Constraint::ForeignKey(InclusionSpec::new(t1, from, t2, to))
     }
 
@@ -193,6 +193,31 @@ impl Constraint {
     /// attribute lists of matching length, and every attribute defined for
     /// its element type.
     pub fn validate(&self, dtd: &Dtd) -> Result<(), ConstraintError> {
+        // Range-check every id before anything renders names: a constraint
+        // built against a different DTD must come back as an error, not an
+        // out-of-bounds panic inside `render`/`has_attr`.
+        let check_ids = |ty: ElemId, attrs: &[AttrId]| -> Result<(), ConstraintError> {
+            if ty.index() >= dtd.num_types() {
+                return Err(ConstraintError::ForeignIds {
+                    id: format!("element type #{}", ty.index()),
+                });
+            }
+            for &a in attrs {
+                if a.index() >= dtd.num_attrs() {
+                    return Err(ConstraintError::ForeignIds {
+                        id: format!("attribute #{}", a.index()),
+                    });
+                }
+            }
+            Ok(())
+        };
+        match self {
+            Constraint::Key(k) | Constraint::NotKey(k) => check_ids(k.ty, &k.attrs)?,
+            Constraint::Inclusion(i) | Constraint::NotInclusion(i) | Constraint::ForeignKey(i) => {
+                check_ids(i.from_ty, &i.from_attrs)?;
+                check_ids(i.to_ty, &i.to_attrs)?;
+            }
+        }
         let check_key = |k: &KeySpec| {
             if k.attrs.is_empty() {
                 return Err(ConstraintError::EmptyAttributeList(self.render(dtd)));
@@ -260,10 +285,18 @@ impl Constraint {
                 format!("{} ↛ {}", dotted(k.ty, &k.attrs), dtd.type_name(k.ty))
             }
             Constraint::Inclusion(i) => {
-                format!("{} ⊆ {}", dotted(i.from_ty, &i.from_attrs), dotted(i.to_ty, &i.to_attrs))
+                format!(
+                    "{} ⊆ {}",
+                    dotted(i.from_ty, &i.from_attrs),
+                    dotted(i.to_ty, &i.to_attrs)
+                )
             }
             Constraint::NotInclusion(i) => {
-                format!("{} ⊄ {}", dotted(i.from_ty, &i.from_attrs), dotted(i.to_ty, &i.to_attrs))
+                format!(
+                    "{} ⊄ {}",
+                    dotted(i.from_ty, &i.from_attrs),
+                    dotted(i.to_ty, &i.to_attrs)
+                )
             }
             Constraint::ForeignKey(i) => format!(
                 "{} ⊆ {}, {} → {}",
@@ -277,7 +310,11 @@ impl Constraint {
 }
 
 fn render_attrs(dtd: &Dtd, attrs: &[AttrId]) -> String {
-    attrs.iter().map(|&a| dtd.attr_name(a)).collect::<Vec<_>>().join(", ")
+    attrs
+        .iter()
+        .map(|&a| dtd.attr_name(a))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Errors raised by constraint validation.
@@ -296,6 +333,12 @@ pub enum ConstraintError {
     EmptyAttributeList(String),
     /// An inclusion constraint whose attribute lists differ in length.
     ArityMismatch(String),
+    /// A constraint carrying element/attribute ids that do not belong to the
+    /// DTD it is validated against (e.g. built for a different DTD).
+    ForeignIds {
+        /// The out-of-range element or attribute id, rendered.
+        id: String,
+    },
 }
 
 impl std::fmt::Display for ConstraintError {
@@ -310,6 +353,9 @@ impl std::fmt::Display for ConstraintError {
             }
             ConstraintError::ArityMismatch(c) => {
                 write!(f, "inclusion constraint `{c}` relates attribute lists of different lengths")
+            }
+            ConstraintError::ForeignIds { id } => {
+                write!(f, "constraint references {id}, which does not exist in this DTD — was it built for a different DTD?")
             }
         }
     }
@@ -347,7 +393,10 @@ mod tests {
         let taught_by = d1.attr_by_name("taught_by").unwrap();
         // taught_by is not an attribute of teacher.
         let bad = Constraint::unary_key(teacher, taught_by);
-        assert!(matches!(bad.validate(&d1), Err(ConstraintError::UndefinedAttribute { .. })));
+        assert!(matches!(
+            bad.validate(&d1),
+            Err(ConstraintError::UndefinedAttribute { .. })
+        ));
     }
 
     #[test]
@@ -363,9 +412,15 @@ mod tests {
             teacher,
             vec![name, name],
         ));
-        assert!(matches!(bad.validate(&d1), Err(ConstraintError::ArityMismatch(_))));
+        assert!(matches!(
+            bad.validate(&d1),
+            Err(ConstraintError::ArityMismatch(_))
+        ));
         let empty = Constraint::Key(KeySpec::new(teacher, vec![]));
-        assert!(matches!(empty.validate(&d1), Err(ConstraintError::EmptyAttributeList(_))));
+        assert!(matches!(
+            empty.validate(&d1),
+            Err(ConstraintError::EmptyAttributeList(_))
+        ));
     }
 
     #[test]
@@ -394,6 +449,8 @@ mod tests {
         assert_eq!(key_part.attrs, vec![name]);
         let inc = fk.inclusion_part().unwrap();
         assert_eq!(inc.from_ty, subject);
-        assert!(Constraint::unary_key(teacher, name).inclusion_part().is_none());
+        assert!(Constraint::unary_key(teacher, name)
+            .inclusion_part()
+            .is_none());
     }
 }

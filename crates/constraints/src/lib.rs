@@ -27,4 +27,4 @@ pub mod satisfy;
 pub use classes::{example_sigma1, example_sigma3, ConstraintClass, ConstraintSet};
 pub use constraint::{Constraint, ConstraintError, InclusionSpec, KeySpec};
 pub use parser::{parse_constraint, parse_constraint_set, ParseError};
-pub use satisfy::{check_document, document_satisfies, SatisfactionChecker, Violation};
+pub use satisfy::{check_document, document_satisfies, IndexPlan, SatisfactionChecker, Violation};

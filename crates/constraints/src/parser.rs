@@ -68,7 +68,10 @@ impl std::error::Error for ParseError {}
 
 impl ParseError {
     fn new(message: impl Into<String>) -> ParseError {
-        ParseError { line: 0, message: message.into() }
+        ParseError {
+            line: 0,
+            message: message.into(),
+        }
     }
 
     fn at_line(mut self, line: usize) -> ParseError {
@@ -197,10 +200,12 @@ fn split_on_ops<'a>(line: &'a str, ops: &[&str]) -> Option<(&'a str, &'a str)> {
                     let wordy = op.chars().all(|c| c.is_ascii_alphabetic());
                     if wordy {
                         let before_ok = i == 0
-                            || line[..i].chars().next_back().is_some_and(char::is_whitespace);
+                            || line[..i]
+                                .chars()
+                                .next_back()
+                                .is_some_and(char::is_whitespace);
                         let after = &line[i + op.len()..];
-                        let after_ok =
-                            after.is_empty() || after.starts_with(char::is_whitespace);
+                        let after_ok = after.is_empty() || after.starts_with(char::is_whitespace);
                         if !(before_ok && after_ok) {
                             continue;
                         }
@@ -326,10 +331,14 @@ fn parse_term(term: &str, dtd: &Dtd) -> Result<(ElemId, Vec<AttrId>), ParseError
             attrs.push(resolve_attr(ty, name, dtd)?);
         }
         if attrs.is_empty() {
-            return Err(ParseError::new(format!("`{term}` has an empty attribute list")));
+            return Err(ParseError::new(format!(
+                "`{term}` has an empty attribute list"
+            )));
         }
         if !term[close + 1..].trim().is_empty() {
-            return Err(ParseError::new(format!("trailing input after `]` in `{term}`")));
+            return Err(ParseError::new(format!(
+                "trailing input after `]` in `{term}`"
+            )));
         }
         Ok((ty, attrs))
     } else if let Some(dot) = term.find('.') {
@@ -414,11 +423,17 @@ mod tests {
         let name = d1.attr_by_name("name").unwrap();
         let taught_by = d1.attr_by_name("taught_by").unwrap();
         let inc = parse_constraint("subject.taught_by subset teacher.name", &d1).unwrap();
-        assert_eq!(inc, Constraint::unary_inclusion(subject, taught_by, teacher, name));
+        assert_eq!(
+            inc,
+            Constraint::unary_inclusion(subject, taught_by, teacher, name)
+        );
         let inc2 = parse_constraint("subject.taught_by ⊆ teacher.name", &d1).unwrap();
         assert_eq!(inc, inc2);
         let fk = parse_constraint("subject.taught_by ref teacher.name", &d1).unwrap();
-        assert_eq!(fk, Constraint::unary_foreign_key(subject, taught_by, teacher, name));
+        assert_eq!(
+            fk,
+            Constraint::unary_foreign_key(subject, taught_by, teacher, name)
+        );
     }
 
     #[test]
@@ -428,9 +443,11 @@ mod tests {
         let subject = d1.type_by_name("subject").unwrap();
         let name = d1.attr_by_name("name").unwrap();
         let taught_by = d1.attr_by_name("taught_by").unwrap();
-        for text in
-            ["not teacher.name -> teacher", "teacher.name !-> teacher", "teacher.name ↛ teacher"]
-        {
+        for text in [
+            "not teacher.name -> teacher",
+            "teacher.name !-> teacher",
+            "teacher.name ↛ teacher",
+        ] {
             let c = parse_constraint(text, &d1).unwrap();
             assert_eq!(c, Constraint::not_unary_key(teacher, name), "{text}");
         }
@@ -451,8 +468,7 @@ mod tests {
     #[test]
     fn not_of_a_foreign_key_is_rejected() {
         let d1 = example_d1();
-        let err =
-            parse_constraint("not subject.taught_by ref teacher.name", &d1).unwrap_err();
+        let err = parse_constraint("not subject.taught_by ref teacher.name", &d1).unwrap_err();
         assert!(err.message.contains("foreign key"), "{err}");
     }
 
@@ -476,11 +492,8 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let d1 = example_d1();
-        let err = parse_constraint_set(
-            "teacher.name -> teacher\nsubject.wrong -> subject\n",
-            &d1,
-        )
-        .unwrap_err();
+        let err = parse_constraint_set("teacher.name -> teacher\nsubject.wrong -> subject\n", &d1)
+            .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("no attribute `wrong`"), "{err}");
     }

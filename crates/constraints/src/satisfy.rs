@@ -12,8 +12,8 @@ use std::collections::{HashMap, HashSet};
 use xic_dtd::{AttrId, Dtd, ElemId};
 use xic_xml::{NodeId, XmlTree};
 
-use crate::constraint::{Constraint, InclusionSpec, KeySpec};
 use crate::classes::ConstraintSet;
+use crate::constraint::{Constraint, InclusionSpec, KeySpec};
 
 /// The reason a constraint is violated by a document, with witness nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +52,34 @@ pub enum Violation {
     },
 }
 
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::KeyViolation { constraint, witnesses, values } => write!(
+                f,
+                "key violation of `{constraint}`: nodes #{} and #{} share [{}]",
+                witnesses.0.index(),
+                witnesses.1.index(),
+                values.join(", ")
+            ),
+            Violation::InclusionViolation { constraint, witness, values } => write!(
+                f,
+                "inclusion violation of `{constraint}`: node #{} references [{}] which no target provides",
+                witness.index(),
+                values.join(", ")
+            ),
+            Violation::MissingAttributes { constraint, witness } => write!(
+                f,
+                "node #{} is missing attributes mentioned by `{constraint}`",
+                witness.index()
+            ),
+            Violation::NegationUnsatisfied { constraint } => {
+                write!(f, "negated constraint `{constraint}` holds nowhere in the document")
+            }
+        }
+    }
+}
+
 impl Violation {
     /// Rendered constraint the violation refers to.
     pub fn constraint(&self) -> &str {
@@ -73,14 +101,100 @@ pub struct SatisfactionChecker<'a> {
     tuple_cache: HashMap<(ElemId, Vec<AttrId>), HashSet<Vec<String>>>,
 }
 
+/// The extension lists and tuple indexes that checking a fixed constraint
+/// set will consult, computed once per specification so that per-document
+/// checkers can build every index in a single pass over the tree (see
+/// [`SatisfactionChecker::prewarm`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexPlan {
+    ext_types: Vec<ElemId>,
+    tuple_slots: Vec<(ElemId, Vec<AttrId>)>,
+}
+
+impl IndexPlan {
+    /// Derives the plan for a constraint set: which `ext(τ)` lists and which
+    /// `(τ, X)` tuple sets its satisfaction check touches.
+    pub fn for_set(sigma: &ConstraintSet) -> IndexPlan {
+        let mut ext_types = Vec::new();
+        let mut tuple_slots = Vec::new();
+        let push_ext = |v: &mut Vec<ElemId>, ty: ElemId| {
+            if !v.contains(&ty) {
+                v.push(ty);
+            }
+        };
+        for c in sigma.iter() {
+            match c {
+                Constraint::Key(k) | Constraint::NotKey(k) => {
+                    push_ext(&mut ext_types, k.ty);
+                }
+                Constraint::Inclusion(i)
+                | Constraint::NotInclusion(i)
+                | Constraint::ForeignKey(i) => {
+                    push_ext(&mut ext_types, i.from_ty);
+                    push_ext(&mut ext_types, i.to_ty);
+                    let slot = (i.to_ty, i.to_attrs.clone());
+                    if !tuple_slots.contains(&slot) {
+                        tuple_slots.push(slot);
+                    }
+                }
+            }
+        }
+        IndexPlan {
+            ext_types,
+            tuple_slots,
+        }
+    }
+
+    /// The element types whose extensions the check reads.
+    pub fn ext_types(&self) -> &[ElemId] {
+        &self.ext_types
+    }
+
+    /// The `(τ, X)` tuple indexes the check reads.
+    pub fn tuple_slots(&self) -> &[(ElemId, Vec<AttrId>)] {
+        &self.tuple_slots
+    }
+}
+
 impl<'a> SatisfactionChecker<'a> {
     /// Creates a checker for one document.
     pub fn new(dtd: &'a Dtd, tree: &'a XmlTree) -> SatisfactionChecker<'a> {
-        SatisfactionChecker { dtd, tree, ext_cache: HashMap::new(), tuple_cache: HashMap::new() }
+        SatisfactionChecker {
+            dtd,
+            tree,
+            ext_cache: HashMap::new(),
+            tuple_cache: HashMap::new(),
+        }
+    }
+
+    /// Builds every index named by `plan` in one document-order pass over the
+    /// tree, instead of one full traversal per `ext(τ)` the lazy path pays.
+    pub fn prewarm(&mut self, plan: &IndexPlan) {
+        let mut lists: HashMap<ElemId, Vec<NodeId>> =
+            plan.ext_types.iter().map(|&ty| (ty, Vec::new())).collect();
+        for node in self.tree.elements() {
+            if let Some(ty) = self.tree.element_type(node) {
+                if let Some(list) = lists.get_mut(&ty) {
+                    list.push(node);
+                }
+            }
+        }
+        self.ext_cache.extend(lists);
+        for (ty, attrs) in &plan.tuple_slots {
+            let nodes = self.ext(*ty);
+            let set: HashSet<Vec<String>> = nodes
+                .iter()
+                .filter_map(|&n| self.tree.attr_values(n, attrs))
+                .collect();
+            self.tuple_cache.insert((*ty, attrs.clone()), set);
+        }
     }
 
     fn ext(&mut self, ty: ElemId) -> Vec<NodeId> {
-        self.ext_cache.entry(ty).or_insert_with(|| self.tree.ext(ty)).clone()
+        self.ext_cache
+            .entry(ty)
+            .or_insert_with(|| self.tree.ext(ty))
+            .clone()
     }
 
     fn tuples(&mut self, ty: ElemId, attrs: &[AttrId]) -> HashSet<Vec<String>> {
@@ -159,10 +273,7 @@ impl<'a> SatisfactionChecker<'a> {
             };
             if let Some(&prev) = seen.get(&values) {
                 return Some(Violation::KeyViolation {
-                    constraint: format!(
-                        "{}",
-                        Constraint::Key(k.clone()).render(self.dtd)
-                    ),
+                    constraint: Constraint::Key(k.clone()).render(self.dtd),
                     witnesses: (prev, n),
                     values,
                 });
@@ -174,13 +285,13 @@ impl<'a> SatisfactionChecker<'a> {
 
     fn check_key(&mut self, k: &KeySpec, original: &Constraint) -> Option<Violation> {
         match self.key_holds(k) {
-            Some(Violation::KeyViolation { witnesses, values, .. }) => {
-                Some(Violation::KeyViolation {
-                    constraint: original.render(self.dtd),
-                    witnesses,
-                    values,
-                })
-            }
+            Some(Violation::KeyViolation {
+                witnesses, values, ..
+            }) => Some(Violation::KeyViolation {
+                constraint: original.render(self.dtd),
+                witnesses,
+                values,
+            }),
             other => other,
         }
     }
@@ -189,7 +300,10 @@ impl<'a> SatisfactionChecker<'a> {
         self.first_inclusion_violation(i).is_none()
     }
 
-    fn first_inclusion_violation(&mut self, i: &InclusionSpec) -> Option<(NodeId, Option<Vec<String>>)> {
+    fn first_inclusion_violation(
+        &mut self,
+        i: &InclusionSpec,
+    ) -> Option<(NodeId, Option<Vec<String>>)> {
         let targets = self.tuples(i.to_ty, &i.to_attrs);
         let sources = self.ext(i.from_ty);
         for n in sources {
@@ -272,12 +386,14 @@ mod tests {
         assert!(!violations.is_empty());
         // Both keys are violated (duplicate "Joe" teachers, duplicate
         // taught_by values among subjects).
-        assert!(violations.iter().any(|v| matches!(v, Violation::KeyViolation { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::KeyViolation { .. })));
         assert!(!document_satisfies(&d1, &t, &sigma1));
     }
 
     #[test]
-    fn distinct_names_satisfy_keys_but_not_card(){
+    fn distinct_names_satisfy_keys_but_not_card() {
         let d1 = example_d1();
         let teacher = d1.type_by_name("teacher").unwrap();
         let subject = d1.type_by_name("subject").unwrap();
@@ -306,7 +422,9 @@ mod tests {
         assert!(checker.satisfies(&Constraint::unary_key(subject, taught_by)));
         let fk = Constraint::unary_foreign_key(subject, taught_by, teacher, name);
         let v = checker.check(&fk).expect("dangling reference");
-        assert!(matches!(v, Violation::InclusionViolation { values, .. } if values == vec!["Bob".to_string()]));
+        assert!(
+            matches!(v, Violation::InclusionViolation { values, .. } if values == vec!["Bob".to_string()])
+        );
     }
 
     #[test]
@@ -372,11 +490,13 @@ mod tests {
         assert!(checker.satisfies(&Constraint::not_unary_key(teacher, name)));
         // Every taught_by value equals some teacher name, so the negated
         // inclusion does NOT hold.
-        assert!(!checker
-            .satisfies(&Constraint::not_unary_inclusion(subject, taught_by, teacher, name)));
+        assert!(!checker.satisfies(&Constraint::not_unary_inclusion(
+            subject, taught_by, teacher, name
+        )));
         // And the positive inclusion does hold.
-        assert!(checker
-            .satisfies(&Constraint::unary_inclusion(subject, taught_by, teacher, name)));
+        assert!(checker.satisfies(&Constraint::unary_inclusion(
+            subject, taught_by, teacher, name
+        )));
     }
 
     #[test]
@@ -398,7 +518,10 @@ mod tests {
         let violations = check_document(&d1, &t, &sigma1);
         for v in &violations {
             assert!(!v.constraint().is_empty());
-            if let Violation::KeyViolation { witnesses, values, .. } = v {
+            if let Violation::KeyViolation {
+                witnesses, values, ..
+            } = v
+            {
                 assert_ne!(witnesses.0, witnesses.1);
                 assert!(!values.is_empty());
             }

@@ -105,7 +105,18 @@ fn generate_candidate(
     let mut tree = XmlTree::new(dtd.root());
     let mut elements = 1usize;
     let root = tree.root();
-    expand_element(dtd, analysis, rng, config, richness, &mut tree, root, dtd.root(), 0, &mut elements);
+    expand_element(
+        dtd,
+        analysis,
+        rng,
+        config,
+        richness,
+        &mut tree,
+        root,
+        dtd.root(),
+        0,
+        &mut elements,
+    );
     tree
 }
 
@@ -133,7 +144,15 @@ fn expand_element(
                 *elements += 1;
                 let child = tree.add_element(node, child_ty);
                 expand_element(
-                    dtd, analysis, rng, config, richness, tree, child, child_ty, depth + 1,
+                    dtd,
+                    analysis,
+                    rng,
+                    config,
+                    richness,
+                    tree,
+                    child,
+                    child_ty,
+                    depth + 1,
                     elements,
                 );
             }
@@ -203,7 +222,11 @@ fn sample_into(
             }
         }
         ContentModel::Plus(a) => {
-            let reps = if minimal { 1 } else { 1 + rng.below(richness + 1) };
+            let reps = if minimal {
+                1
+            } else {
+                1 + rng.below(richness + 1)
+            };
             for _ in 0..reps {
                 sample_into(a, analysis, rng, minimal, richness, out);
             }
@@ -223,12 +246,8 @@ fn branch_productive(model: &ContentModel, analysis: &DtdAnalysis) -> bool {
     match model {
         ContentModel::Epsilon | ContentModel::Text => true,
         ContentModel::Element(e) => analysis.productive(*e),
-        ContentModel::Seq(a, b) => {
-            branch_productive(a, analysis) && branch_productive(b, analysis)
-        }
-        ContentModel::Alt(a, b) => {
-            branch_productive(a, analysis) || branch_productive(b, analysis)
-        }
+        ContentModel::Seq(a, b) => branch_productive(a, analysis) && branch_productive(b, analysis),
+        ContentModel::Alt(a, b) => branch_productive(a, analysis) || branch_productive(b, analysis),
         ContentModel::Star(_) | ContentModel::Opt(_) => true,
         ContentModel::Plus(a) => branch_productive(a, analysis),
     }
@@ -246,7 +265,9 @@ fn assign_and_repair(
     // accident and keys get repaired below.
     let elements: Vec<NodeId> = tree.elements().collect();
     for &node in &elements {
-        let Some(ty) = tree.element_type(node) else { continue };
+        let Some(ty) = tree.element_type(node) else {
+            continue;
+        };
         for &attr in dtd.attrs_of(ty) {
             let v = format!("p{}", rng.below(3));
             tree.set_attr(node, attr, v);
@@ -292,9 +313,13 @@ fn repair_inclusion(
     rng: &mut XorShift,
     witness: NodeId,
 ) {
-    let Some(source_ty) = tree.element_type(witness) else { return };
+    let Some(source_ty) = tree.element_type(witness) else {
+        return;
+    };
     for c in sigma.iter() {
-        let Some(inc) = c.inclusion_part() else { continue };
+        let Some(inc) = c.inclusion_part() else {
+            continue;
+        };
         if inc.from_ty != source_ty {
             continue;
         }
@@ -331,8 +356,9 @@ mod tests {
     #[test]
     fn unsatisfiable_dtd_yields_none() {
         let d2 = example_d2();
-        assert!(bounded_search(&d2, &ConstraintSet::new(), &BoundedSearchConfig::default())
-            .is_none());
+        assert!(
+            bounded_search(&d2, &ConstraintSet::new(), &BoundedSearchConfig::default()).is_none()
+        );
     }
 
     #[test]
@@ -340,7 +366,10 @@ mod tests {
         // Σ1 over D1 is inconsistent, so the search must come up empty.
         let d1 = example_d1();
         let sigma1 = xic_constraints::example_sigma1(&d1);
-        let config = BoundedSearchConfig { attempts: 16, ..Default::default() };
+        let config = BoundedSearchConfig {
+            attempts: 16,
+            ..Default::default()
+        };
         assert!(bounded_search(&d1, &sigma1, &config).is_none());
     }
 

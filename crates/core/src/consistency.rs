@@ -165,8 +165,7 @@ impl ConsistencyChecker {
         // is NOT generally true — so the witness is built from the unary
         // sub-keys only and re-checked by the caller when needed.
         let witness = if self.config.synthesize_witness {
-            let keyed: ConstraintSet =
-                sigma.iter().filter(|c| c.is_unary()).cloned().collect();
+            let keyed: ConstraintSet = sigma.iter().filter(|c| c.is_unary()).cloned().collect();
             CardinalitySystem::build(dtd, &keyed, &self.config.system)
                 .ok()
                 .and_then(|sys| {
@@ -201,18 +200,28 @@ impl ConsistencyChecker {
         sigma: &ConstraintSet,
     ) -> Result<ConsistencyOutcome, SpecError> {
         let system = CardinalitySystem::build(dtd, sigma, &self.config.system)?;
+        Ok(self.check_unary_with_system(dtd, sigma, &system))
+    }
+
+    /// Same as [`Self::check_unary`], but over a cardinality system the
+    /// caller built (and may reuse across many checks of the same
+    /// specification — see the `xic-engine` crate).  `system` must have been
+    /// built from exactly this `(dtd, sigma)` pair.
+    pub fn check_unary_with_system(
+        &self,
+        dtd: &Dtd,
+        sigma: &ConstraintSet,
+        system: &CardinalitySystem,
+    ) -> ConsistencyOutcome {
         let solver = IlpSolver::with_config(self.config.solver.clone());
         if !self.config.synthesize_witness {
             // Even without a witness, raw feasibility of Ψ(D,Σ) is not enough:
             // recursive DTDs admit "floating cycle" solutions that no tree
             // realizes, so we insist on a realizable count vector (adding
             // connectivity cuts as needed) before answering Consistent.
-            let (outcome, stats) = crate::witness::solve_counts(
-                &system,
-                &solver,
-                self.config.max_repair_rounds,
-            );
-            return Ok(match outcome {
+            let (outcome, stats) =
+                crate::witness::solve_counts(system, &solver, self.config.max_repair_rounds);
+            return match outcome {
                 crate::witness::CountsOutcome::Realizable(_) => ConsistencyOutcome::Consistent {
                     witness: None,
                     explanation: explain_stats(
@@ -226,12 +235,12 @@ impl ConsistencyChecker {
                         &stats,
                     ),
                 },
-                crate::witness::CountsOutcome::Unknown(reason) => {
-                    ConsistencyOutcome::Unknown { explanation: reason }
-                }
-            });
+                crate::witness::CountsOutcome::Unknown(reason) => ConsistencyOutcome::Unknown {
+                    explanation: reason,
+                },
+            };
         }
-        Ok(match solve_and_witness(dtd, sigma, &system, &solver, self.config.max_repair_rounds) {
+        match solve_and_witness(dtd, sigma, system, &solver, self.config.max_repair_rounds) {
             WitnessOutcome::Tree(tree) => ConsistencyOutcome::Consistent {
                 witness: Some(tree),
                 explanation: "the cardinality system Ψ(D,Σ) is satisfiable and a witness \
@@ -244,8 +253,10 @@ impl ConsistencyChecker {
                               constraints"
                     .to_string(),
             },
-            WitnessOutcome::Unknown(reason) => ConsistencyOutcome::Unknown { explanation: reason },
-        })
+            WitnessOutcome::Unknown(reason) => ConsistencyOutcome::Unknown {
+                explanation: reason,
+            },
+        }
     }
 
     /// The general class `C_{K,FK}` (multi-attribute keys and foreign keys):
@@ -277,9 +288,9 @@ impl ConsistencyChecker {
                 _ => None,
             })
             .collect();
-        let weakening_applies = sigma.iter().all(|c| {
-            matches!(c, Constraint::Key(_) | Constraint::ForeignKey(_))
-        });
+        let weakening_applies = sigma
+            .iter()
+            .all(|c| matches!(c, Constraint::Key(_) | Constraint::ForeignKey(_)));
         if weakening_applies {
             if let Ok(ConsistencyOutcome::Inconsistent { explanation }) =
                 self.check_unary(dtd, &weakened)
@@ -334,7 +345,9 @@ mod tests {
     #[test]
     fn d2_is_inconsistent_without_constraints() {
         let d2 = example_d2();
-        let outcome = ConsistencyChecker::new().check(&d2, &ConstraintSet::new()).unwrap();
+        let outcome = ConsistencyChecker::new()
+            .check(&d2, &ConstraintSet::new())
+            .unwrap();
         assert!(outcome.is_inconsistent());
     }
 
@@ -367,7 +380,10 @@ mod tests {
         // Over the unsatisfiable D2 even the empty constraint set is
         // inconsistent because D2 has no valid tree at all.
         let d2 = example_d2();
-        assert!(checker.check(&d2, &ConstraintSet::new()).unwrap().is_inconsistent());
+        assert!(checker
+            .check(&d2, &ConstraintSet::new())
+            .unwrap()
+            .is_inconsistent());
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Diagnosis {
                  consistent"
                     .to_string()
             }
-            Diagnosis::Core { constraints, innocent } => {
+            Diagnosis::Core {
+                constraints,
+                innocent,
+            } => {
                 let mut out = String::from(
                     "minimal inconsistent core (removing any one of these restores \
                      consistency):\n",
@@ -127,7 +130,9 @@ pub fn diagnose(
         return Ok(Diagnosis::Consistent);
     }
     if full.is_unknown() {
-        return Ok(Diagnosis::Unknown { explanation: full.explanation().to_string() });
+        return Ok(Diagnosis::Unknown {
+            explanation: full.explanation().to_string(),
+        });
     }
 
     // Deletion-based shrinking: keep a working set that is known inconsistent
@@ -152,8 +157,15 @@ pub fn diagnose(
             i += 1; // needed for the conflict, keep it
         }
     }
-    let innocent = sigma.iter().filter(|c| !core.contains(c)).cloned().collect();
-    Ok(Diagnosis::Core { constraints: core, innocent })
+    let innocent = sigma
+        .iter()
+        .filter(|c| !core.contains(c))
+        .cloned()
+        .collect();
+    Ok(Diagnosis::Core {
+        constraints: core,
+        innocent,
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +184,10 @@ mod tests {
         // already clash with D1's "two subjects per teacher".
         assert_eq!(core.len(), 2, "{}", diagnosis.render(&d1));
         let rendered = diagnosis.render(&d1);
-        assert!(rendered.contains("subject.taught_by → subject"), "{rendered}");
+        assert!(
+            rendered.contains("subject.taught_by → subject"),
+            "{rendered}"
+        );
         assert!(rendered.contains("teacher.name → teacher"), "{rendered}");
         // Every core member is needed: dropping any one restores consistency.
         let checker = ConsistencyChecker::with_config(CheckerConfig {

@@ -62,7 +62,10 @@ mod tests {
             offending: "course[dept, course_no] → course".into(),
         };
         assert!(e.to_string().contains("check_unary"));
-        let e = SpecError::TooManyAtomSlots { slots: 40, limit: 16 };
+        let e = SpecError::TooManyAtomSlots {
+            slots: 40,
+            limit: 16,
+        };
         assert!(e.to_string().contains("40"));
     }
 }

@@ -274,9 +274,10 @@ impl ImplicationChecker {
 /// `phi`'s (so `phi` is a superkey of a known key).  Keys demanded by foreign
 /// keys count.
 fn subsumes_key(sigma: &ConstraintSet, phi: &KeySpec) -> bool {
-    sigma.all_keys().iter().any(|k| {
-        k.ty == phi.ty && k.attrs.iter().all(|a| phi.attrs.contains(a))
-    })
+    sigma
+        .all_keys()
+        .iter()
+        .any(|k| k.ty == phi.ty && k.attrs.iter().all(|a| phi.attrs.contains(a)))
 }
 
 #[cfg(test)]
@@ -295,12 +296,16 @@ mod tests {
         let sigma = ConstraintSet::from_vec(vec![Constraint::key(course, vec![dept])]);
         // dept → course implies (dept, course_no) → course.
         let phi = Constraint::key(course, vec![dept, course_no]);
-        let outcome = ImplicationChecker::new().implies(&d3, &sigma, &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d3, &sigma, &phi)
+            .unwrap();
         assert!(outcome.is_implied());
         // The converse does not hold: course can occur twice.
         let phi = Constraint::key(course, vec![dept]);
         let sigma = ConstraintSet::from_vec(vec![Constraint::key(course, vec![dept, course_no])]);
-        let outcome = ImplicationChecker::new().implies(&d3, &sigma, &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d3, &sigma, &phi)
+            .unwrap();
         assert!(outcome.is_not_implied());
     }
 
@@ -317,8 +322,9 @@ mod tests {
         let pid = b.attr(principal, "id");
         let dtd = b.build("school").unwrap();
         let phi = Constraint::unary_key(principal, pid);
-        let outcome =
-            ImplicationChecker::new().implies(&dtd, &ConstraintSet::new(), &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&dtd, &ConstraintSet::new(), &phi)
+            .unwrap();
         assert!(outcome.is_implied(), "{}", outcome.explanation());
     }
 
@@ -333,7 +339,9 @@ mod tests {
         let name = d1.attr_by_name("name").unwrap();
         let taught_by = d1.attr_by_name("taught_by").unwrap();
         let phi = Constraint::unary_inclusion(teacher, name, subject, taught_by);
-        let outcome = ImplicationChecker::new().implies(&d1, &sigma1, &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d1, &sigma1, &phi)
+            .unwrap();
         assert!(outcome.is_implied());
     }
 
@@ -347,10 +355,16 @@ mod tests {
         // From just the teacher key, the subject key does not follow.
         let sigma = ConstraintSet::from_vec(vec![Constraint::unary_key(teacher, name)]);
         let phi = Constraint::unary_key(subject, taught_by);
-        let outcome = ImplicationChecker::new().implies(&d1, &sigma, &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d1, &sigma, &phi)
+            .unwrap();
         let counterexample = outcome.counterexample().expect("counterexample document");
         assert!(validate(counterexample, &d1).is_empty());
-        assert!(xic_constraints::document_satisfies(&d1, counterexample, &sigma));
+        assert!(xic_constraints::document_satisfies(
+            &d1,
+            counterexample,
+            &sigma
+        ));
         assert!(!xic_constraints::document_satisfies(
             &d1,
             counterexample,
@@ -373,7 +387,9 @@ mod tests {
         let taught_by = d1.attr_by_name("taught_by").unwrap();
         let inc = Constraint::unary_inclusion(subject, taught_by, teacher, name);
         let sigma = ConstraintSet::from_vec(vec![inc.clone()]);
-        let outcome = ImplicationChecker::new().implies(&d1, &sigma, &inc).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d1, &sigma, &inc)
+            .unwrap();
         assert!(outcome.is_implied(), "{}", outcome.explanation());
     }
 
@@ -409,7 +425,9 @@ mod tests {
         // The school constraints do not imply that student_id alone is a key
         // of enroll (a student may enrol in two courses).
         let phi = Constraint::key(enroll, vec![student_id]);
-        let outcome = ImplicationChecker::new().implies(&d3, &sigma3, &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d3, &sigma3, &phi)
+            .unwrap();
         match outcome {
             ImplicationOutcome::NotImplied { counterexample, .. } => {
                 if let Some(t) = counterexample {
@@ -430,7 +448,9 @@ mod tests {
         let d3 = example_d3();
         let sigma3 = example_sigma3(&d3);
         let phi = sigma3.iter().next().unwrap().clone();
-        let outcome = ImplicationChecker::new().implies(&d3, &sigma3, &phi).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&d3, &sigma3, &phi)
+            .unwrap();
         assert!(outcome.is_implied());
     }
 }

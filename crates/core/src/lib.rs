@@ -49,6 +49,6 @@ pub use reductions::{
 };
 pub use system::{CardinalitySystem, SystemOptions};
 pub use witness::{
-    floating_components, solve_and_witness, solve_counts, synthesize, CountsOutcome,
-    WitnessError, WitnessOutcome,
+    floating_components, solve_and_witness, solve_counts, synthesize, CountsOutcome, WitnessError,
+    WitnessOutcome,
 };

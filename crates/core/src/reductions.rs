@@ -40,7 +40,9 @@ impl LipSpec {
             .iter()
             .map(|cells| {
                 cells.iter().any(|&cell| {
-                    tree.ext(cell).iter().any(|&node| !tree.children(node).is_empty())
+                    tree.ext(cell)
+                        .iter()
+                        .any(|&node| !tree.children(node).is_empty())
                 })
             })
             .collect()
@@ -54,7 +56,10 @@ impl LipSpec {
 /// # Panics
 /// Panics if `matrix` is empty or ragged.
 pub fn lip_to_spec(matrix: &[Vec<bool>]) -> LipSpec {
-    assert!(!matrix.is_empty(), "the LIP reduction needs at least one row");
+    assert!(
+        !matrix.is_empty(),
+        "the LIP reduction needs at least one row"
+    );
     let cols = matrix[0].len();
     assert!(matrix.iter().all(|r| r.len() == cols), "ragged matrix");
     let rows = matrix.len();
@@ -96,8 +101,8 @@ pub fn lip_to_spec(matrix: &[Vec<bool>]) -> LipSpec {
         b.content(f_types[i], ContentModel::seq_all(cells));
         b.content(b_types[i], ContentModel::Epsilon);
         b.content(vf_types[i], ContentModel::Epsilon);
-        for j in 0..cols {
-            if let Some((x, z)) = cell_types[i][j] {
+        for cell in cell_types[i].iter().take(cols) {
+            if let Some((x, z)) = *cell {
                 // P(X_ij) = Z_ij | ε ; P(Z_ij) = VF_i.
                 b.content(
                     x,
@@ -155,7 +160,11 @@ pub fn lip_to_spec(matrix: &[Vec<bool>]) -> LipSpec {
         }
     }
 
-    LipSpec { dtd, sigma, column_cells }
+    LipSpec {
+        dtd,
+        sigma,
+        column_cells,
+    }
 }
 
 /// A specification produced by the Theorem 3.1 reduction.
@@ -203,8 +212,10 @@ pub fn relational_to_spec(
         tuple_types.push(tuple);
     }
     // P(r) = R_1, …, R_n, D_Y, D_Y, E_X.
-    let mut root_children: Vec<ContentModel> =
-        rel_types.iter().map(|&t| ContentModel::Element(t)).collect();
+    let mut root_children: Vec<ContentModel> = rel_types
+        .iter()
+        .map(|&t| ContentModel::Element(t))
+        .collect();
     root_children.push(ContentModel::Element(dy));
     root_children.push(ContentModel::Element(dy));
     root_children.push(ContentModel::Element(ex));
@@ -243,9 +254,17 @@ pub fn relational_to_spec(
     for c in sigma {
         match c {
             RelConstraint::Key { rel, attrs } => {
-                out.push(Constraint::key(tuple_types[rel.index()], attr_ids(tuple_types[rel.index()], attrs)));
+                out.push(Constraint::key(
+                    tuple_types[rel.index()],
+                    attr_ids(tuple_types[rel.index()], attrs),
+                ));
             }
-            RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => {
+            RelConstraint::ForeignKey {
+                rel,
+                attrs,
+                target,
+                target_attrs,
+            } => {
                 out.push(Constraint::foreign_key(
                     tuple_types[rel.index()],
                     attr_ids(tuple_types[rel.index()], attrs),
@@ -274,10 +293,19 @@ pub fn relational_to_spec(
     }
     out.push(Constraint::key(ex, x_ids.clone()));
     out.push(Constraint::foreign_key(dy, x_ids.clone(), ex, x_ids));
-    out.push(Constraint::foreign_key(dy, all_ids, target_tuple, target_all_ids.clone()));
+    out.push(Constraint::foreign_key(
+        dy,
+        all_ids,
+        target_tuple,
+        target_all_ids.clone(),
+    ));
     out.push(Constraint::key(target_tuple, target_all_ids));
 
-    RelationalSpec { dtd, sigma: out, tuple_types }
+    RelationalSpec {
+        dtd,
+        sigma: out,
+        tuple_types,
+    }
 }
 
 /// The output of the Lemma 3.3 reduction: consistency of `(D, Σ)` holds iff
@@ -345,7 +373,9 @@ pub fn consistency_to_implication(dtd: &Dtd) -> ImplicationReduction {
     b.content(ex, ContentModel::Epsilon);
     let k_dy = b.attr(dy, "K");
     let k_ex = b.attr(ex, "K");
-    let extended = b.build(dtd.type_name(dtd.root())).expect("extended DTD is well-formed");
+    let extended = b
+        .build(dtd.type_name(dtd.root()))
+        .expect("extended DTD is well-formed");
 
     ImplicationReduction {
         aux_key: Constraint::unary_key(ex, k_ex),
@@ -369,15 +399,16 @@ mod tests {
         // x0 + x1 = 1, x1 + x2 = 1: solutions exist (e.g. x0=1, x1=0, x2=1).
         let matrix = vec![vec![true, true, false], vec![false, true, true]];
         let spec = lip_to_spec(&matrix);
-        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        let outcome = ConsistencyChecker::new()
+            .check(&spec.dtd, &spec.sigma)
+            .unwrap();
         assert!(outcome.is_consistent(), "{}", outcome.explanation());
         if let Some(witness) = outcome.witness() {
             assert!(validate(witness, &spec.dtd).is_empty());
             let x = spec.decode(witness);
             // Verify the decoded vector solves A·x = 1.
             for row in &matrix {
-                let sum: usize =
-                    row.iter().zip(&x).filter(|(a, b)| **a && **b).count();
+                let sum: usize = row.iter().zip(&x).filter(|(a, b)| **a && **b).count();
                 assert_eq!(sum, 1, "decoded vector {x:?} does not solve the system");
             }
         }
@@ -390,7 +421,9 @@ mod tests {
         // row1 forces x0=1, row3 forces x1=1, row2 then sums to 2.
         let matrix = vec![vec![true, false], vec![true, true], vec![false, true]];
         let spec = lip_to_spec(&matrix);
-        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        let outcome = ConsistencyChecker::new()
+            .check(&spec.dtd, &spec.sigma)
+            .unwrap();
         assert!(outcome.is_inconsistent(), "{}", outcome.explanation());
     }
 
@@ -403,7 +436,9 @@ mod tests {
         let r = schema.add_relation("R", &["a", "b"]);
         let sigma = vec![RelConstraint::key(r, &["a"])];
         let spec = relational_to_spec(&schema, &sigma, r, &["a".to_string()]);
-        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        let outcome = ConsistencyChecker::new()
+            .check(&spec.dtd, &spec.sigma)
+            .unwrap();
         assert!(
             !outcome.is_consistent(),
             "implied key must give an inconsistent (or undetermined) spec, got consistent: {}",
@@ -416,11 +451,17 @@ mod tests {
         // answer Unknown; it must never answer Inconsistent, and any witness
         // it does find must be genuine.
         let spec = relational_to_spec(&schema, &[], r, &["a".to_string()]);
-        let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
+        let outcome = ConsistencyChecker::new()
+            .check(&spec.dtd, &spec.sigma)
+            .unwrap();
         assert!(!outcome.is_inconsistent(), "{}", outcome.explanation());
         if let Some(w) = outcome.witness() {
             assert!(validate(w, &spec.dtd).is_empty());
-            assert!(xic_constraints::document_satisfies(&spec.dtd, w, &spec.sigma));
+            assert!(xic_constraints::document_satisfies(
+                &spec.dtd,
+                w,
+                &spec.sigma
+            ));
         }
     }
 
@@ -437,8 +478,9 @@ mod tests {
             s.push(red.inclusion.clone());
             s
         };
-        let outcome =
-            ImplicationChecker::new().implies(&red.dtd, &sigma_ext, &red.target_key).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&red.dtd, &sigma_ext, &red.target_key)
+            .unwrap();
         assert!(outcome.is_implied(), "{}", outcome.explanation());
 
         // Dropping the subject key makes Σ consistent, and then the target
@@ -463,8 +505,9 @@ mod tests {
             red.aux_key.clone(),
             red.inclusion.clone(),
         ]);
-        let outcome =
-            ImplicationChecker::new().implies(&red.dtd, &sigma_ext, &red.target_key).unwrap();
+        let outcome = ImplicationChecker::new()
+            .implies(&red.dtd, &sigma_ext, &red.target_key)
+            .unwrap();
         assert!(outcome.is_not_implied(), "{}", outcome.explanation());
     }
 }

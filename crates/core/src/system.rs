@@ -123,12 +123,14 @@ impl CardinalitySystem {
                     );
                 }
                 SimpleRule::One(a) => {
-                    let v = program.add_var(format!(
-                        "occ1({}, {})",
-                        simple.name(a),
-                        simple.name(ty)
-                    ));
-                    occurrences.push(Occurrence { child: a, parent: ty, position: 1, var: v });
+                    let v =
+                        program.add_var(format!("occ1({}, {})", simple.name(a), simple.name(ty)));
+                    occurrences.push(Occurrence {
+                        child: a,
+                        parent: ty,
+                        position: 1,
+                        var: v,
+                    });
                     program.add_var_eq_expr(
                         ext_ty,
                         LinExpr::var(v),
@@ -136,18 +138,22 @@ impl CardinalitySystem {
                     );
                 }
                 SimpleRule::Seq(a, b) => {
-                    let va = program.add_var(format!(
-                        "occ1({}, {})",
-                        simple.name(a),
-                        simple.name(ty)
-                    ));
-                    let vb = program.add_var(format!(
-                        "occ2({}, {})",
-                        simple.name(b),
-                        simple.name(ty)
-                    ));
-                    occurrences.push(Occurrence { child: a, parent: ty, position: 1, var: va });
-                    occurrences.push(Occurrence { child: b, parent: ty, position: 2, var: vb });
+                    let va =
+                        program.add_var(format!("occ1({}, {})", simple.name(a), simple.name(ty)));
+                    let vb =
+                        program.add_var(format!("occ2({}, {})", simple.name(b), simple.name(ty)));
+                    occurrences.push(Occurrence {
+                        child: a,
+                        parent: ty,
+                        position: 1,
+                        var: va,
+                    });
+                    occurrences.push(Occurrence {
+                        child: b,
+                        parent: ty,
+                        position: 2,
+                        var: vb,
+                    });
                     program.add_var_eq_expr(
                         ext_ty,
                         LinExpr::var(va),
@@ -160,25 +166,25 @@ impl CardinalitySystem {
                     );
                 }
                 SimpleRule::Alt(a, b) => {
-                    let va = program.add_var(format!(
-                        "occ1({}, {})",
-                        simple.name(a),
-                        simple.name(ty)
-                    ));
-                    let vb = program.add_var(format!(
-                        "occ2({}, {})",
-                        simple.name(b),
-                        simple.name(ty)
-                    ));
-                    occurrences.push(Occurrence { child: a, parent: ty, position: 1, var: va });
-                    occurrences.push(Occurrence { child: b, parent: ty, position: 2, var: vb });
+                    let va =
+                        program.add_var(format!("occ1({}, {})", simple.name(a), simple.name(ty)));
+                    let vb =
+                        program.add_var(format!("occ2({}, {})", simple.name(b), simple.name(ty)));
+                    occurrences.push(Occurrence {
+                        child: a,
+                        parent: ty,
+                        position: 1,
+                        var: va,
+                    });
+                    occurrences.push(Occurrence {
+                        child: b,
+                        parent: ty,
+                        position: 2,
+                        var: vb,
+                    });
                     let mut sum = LinExpr::var(va);
                     sum.add_term(vb, Rational::one());
-                    program.add_var_eq_expr(
-                        ext_ty,
-                        sum,
-                        format!("ψ_{}: union", simple.name(ty)),
-                    );
+                    program.add_var_eq_expr(ext_ty, sum, format!("ψ_{}: union", simple.name(ty)));
                 }
             }
         }
@@ -315,8 +321,9 @@ impl CardinalitySystem {
         // Set-atom encoding for negated inclusion constraints (Theorem 5.1).
         let mut atom_slots: Vec<(ElemId, AttrId)> = Vec::new();
         let mut atom_vars: Vec<(u64, VarId)> = Vec::new();
-        let has_neg_inclusion =
-            sigma.iter().any(|c| matches!(c, Constraint::NotInclusion(_)));
+        let has_neg_inclusion = sigma
+            .iter()
+            .any(|c| matches!(c, Constraint::NotInclusion(_)));
         if has_neg_inclusion {
             // Collect every slot mentioned by a positive or negative
             // inclusion constraint.
@@ -363,10 +370,15 @@ impl CardinalitySystem {
             }
             // Positive inclusions force v_ij = 0; negations force v_ij ≥ 1.
             let slot_index = |slots: &[(ElemId, AttrId)], ty: ElemId, attr: AttrId| {
-                slots.iter().position(|&s| s == (ty, attr)).expect("slot registered")
+                slots
+                    .iter()
+                    .position(|&s| s == (ty, attr))
+                    .expect("slot registered")
             };
             for c in sigma.iter() {
-                let Some(inc) = c.inclusion_part() else { continue };
+                let Some(inc) = c.inclusion_part() else {
+                    continue;
+                };
                 let i = slot_index(&atom_slots, inc.from_ty, inc.from_attrs[0]);
                 let j = slot_index(&atom_slots, inc.to_ty, inc.to_attrs[0]);
                 let mut v_ij = LinExpr::new();
@@ -476,9 +488,8 @@ mod tests {
     #[test]
     fn d1_without_constraints_is_feasible() {
         let d1 = example_d1();
-        let sys =
-            CardinalitySystem::build(&d1, &ConstraintSet::new(), &SystemOptions::default())
-                .unwrap();
+        let sys = CardinalitySystem::build(&d1, &ConstraintSet::new(), &SystemOptions::default())
+            .unwrap();
         let outcome = IlpSolver::new().solve(sys.program());
         let a = outcome.assignment().expect("D1 alone is satisfiable");
         // The root count is 1 and teacher count ≥ 1 (teacher+).
@@ -500,9 +511,8 @@ mod tests {
     #[test]
     fn d2_is_infeasible_even_without_constraints() {
         let d2 = example_d2();
-        let sys =
-            CardinalitySystem::build(&d2, &ConstraintSet::new(), &SystemOptions::default())
-                .unwrap();
+        let sys = CardinalitySystem::build(&d2, &ConstraintSet::new(), &SystemOptions::default())
+            .unwrap();
         assert!(IlpSolver::new().solve(sys.program()).is_infeasible());
     }
 
@@ -524,7 +534,11 @@ mod tests {
         assert!(outcome.is_feasible());
         let a = outcome.assignment().unwrap();
         // The conditional constraints force at least one taught_by value.
-        assert!(a.get_u64(sys.attr_var(subject, taught_by).unwrap()).unwrap() >= 1);
+        assert!(
+            a.get_u64(sys.attr_var(subject, taught_by).unwrap())
+                .unwrap()
+                >= 1
+        );
     }
 
     #[test]
@@ -573,13 +587,12 @@ mod tests {
         let sigma = ConstraintSet::from_vec(vec![Constraint::not_unary_inclusion(
             subject, taught_by, teacher, name,
         )]);
-        let err = CardinalitySystem::build(
-            &d1,
-            &sigma,
-            &SystemOptions { max_atom_slots: 1 },
-        )
-        .unwrap_err();
-        assert!(matches!(err, SpecError::TooManyAtomSlots { slots: 2, limit: 1 }));
+        let err = CardinalitySystem::build(&d1, &sigma, &SystemOptions { max_atom_slots: 1 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::TooManyAtomSlots { slots: 2, limit: 1 }
+        ));
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Budgets {
     }
 
     fn remaining(&self, parent: SimpleId, position: u8) -> u64 {
-        self.slots.get(&(parent, position)).map(|&(_, r)| r).unwrap_or(0)
+        self.slots
+            .get(&(parent, position))
+            .map(|&(_, r)| r)
+            .unwrap_or(0)
     }
 }
 
@@ -123,7 +126,11 @@ pub fn synthesize(
     }
     let mut created = vec![0u64; simple.num_types()];
     created[simple.root().index()] = 1;
-    let mut budgets = Budgets { slots, created, target };
+    let mut budgets = Budgets {
+        slots,
+        created,
+        target,
+    };
 
     // Expand top-down, in document order, splicing synthetic types in place.
     let root_original = simple
@@ -139,7 +146,9 @@ pub fn synthesize(
         .filter(|ty| budgets.created[ty.index()] != budgets.target[ty.index()])
         .collect();
     if !floating.is_empty() {
-        return Err(WitnessError::NotRealizable { floating_types: floating });
+        return Err(WitnessError::NotRealizable {
+            floating_types: floating,
+        });
     }
 
     assign_attribute_values(dtd, sigma, system, assignment, &mut tree)?;
@@ -170,29 +179,37 @@ fn expand(
             Ok(())
         }
         SimpleRule::One(_) => {
-            let child = budgets.take(ty, 1).ok_or_else(|| WitnessError::NotRealizable {
-                floating_types: vec![ty],
-            })?;
+            let child = budgets
+                .take(ty, 1)
+                .ok_or_else(|| WitnessError::NotRealizable {
+                    floating_types: vec![ty],
+                })?;
             let (child, xml) = attach(tree, child);
             expand(simple, budgets, tree, child, xml)
         }
         SimpleRule::Seq(_, _) => {
-            let first = budgets.take(ty, 1).ok_or_else(|| WitnessError::NotRealizable {
-                floating_types: vec![ty],
-            })?;
+            let first = budgets
+                .take(ty, 1)
+                .ok_or_else(|| WitnessError::NotRealizable {
+                    floating_types: vec![ty],
+                })?;
             let (first, xml1) = attach(tree, first);
             expand(simple, budgets, tree, first, xml1)?;
-            let second = budgets.take(ty, 2).ok_or_else(|| WitnessError::NotRealizable {
-                floating_types: vec![ty],
-            })?;
+            let second = budgets
+                .take(ty, 2)
+                .ok_or_else(|| WitnessError::NotRealizable {
+                    floating_types: vec![ty],
+                })?;
             let (second, xml2) = attach(tree, second);
             expand(simple, budgets, tree, second, xml2)
         }
         SimpleRule::Alt(_, _) => {
             let position = choose_alt_branch(simple, budgets, ty);
-            let child = budgets.take(ty, position).ok_or_else(|| {
-                WitnessError::NotRealizable { floating_types: vec![ty] }
-            })?;
+            let child = budgets
+                .take(ty, position)
+                .ok_or_else(|| WitnessError::NotRealizable {
+                    floating_types: vec![ty],
+                })?;
             let (child, xml) = attach(tree, child);
             expand(simple, budgets, tree, child, xml)
         }
@@ -209,8 +226,10 @@ fn expand(
 /// more still-needed types are reachable in the rule graph; ties go to the
 /// second (recursive, in the `α*` encoding) branch.
 fn choose_alt_branch(simple: &SimpleDtd, budgets: &Budgets, ty: SimpleId) -> u8 {
-    let candidates: Vec<u8> =
-        [2u8, 1u8].into_iter().filter(|&p| budgets.remaining(ty, p) > 0).collect();
+    let candidates: Vec<u8> = [2u8, 1u8]
+        .into_iter()
+        .filter(|&p| budgets.remaining(ty, p) > 0)
+        .collect();
     match candidates.len() {
         0 => 2,
         1 => candidates[0],
@@ -292,7 +311,28 @@ pub fn solve_and_witness(
         match synthesize(dtd, sigma, &working, &assignment) {
             Ok(tree) => return WitnessOutcome::Tree(tree),
             Err(WitnessError::NotRealizable { floating_types }) => {
-                add_connectivity_cut(&mut working, &floating_types);
+                // The expansion's mismatch set over-approximates: it can
+                // include a type that is only short-changed by the greedy
+                // expansion (e.g. an ε-type with one instance inside the
+                // floating component and another, connected one elsewhere).
+                // Such a type has positive-count occurrences entering the
+                // set from connected territory, so a cut over the mismatch
+                // set is already satisfied by this very solution and the
+                // loop would re-find it forever.  Cut over the genuinely
+                // disconnected types instead.
+                let genuine = floating_components(&working, &assignment);
+                if genuine.is_empty() {
+                    return WitnessOutcome::Unknown(format!(
+                        "count vector is connected but expansion failed to realize it \
+                         (mismatched types: {})",
+                        floating_types
+                            .iter()
+                            .map(|&ty| working.simple().name(ty).to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                add_connectivity_cut(&mut working, &genuine);
             }
             Err(other) => return WitnessOutcome::Unknown(other.to_string()),
         }
@@ -312,13 +352,13 @@ pub fn solve_and_witness(
 /// occurrence edges with positive count — this is the same connectivity
 /// condition that characterizes Parikh images of context-free grammars.  The
 /// returned list is empty iff the solution is realizable.
-pub fn floating_components(
-    system: &CardinalitySystem,
-    assignment: &Assignment,
-) -> Vec<SimpleId> {
+pub fn floating_components(system: &CardinalitySystem, assignment: &Assignment) -> Vec<SimpleId> {
     let simple = system.simple();
     let positive = |ty: SimpleId| {
-        assignment.get_u64(system.ext_var_simple(ty)).map(|v| v > 0).unwrap_or(true)
+        assignment
+            .get_u64(system.ext_var_simple(ty))
+            .map(|v| v > 0)
+            .unwrap_or(true)
     };
     let mut reached = vec![false; simple.num_types()];
     reached[simple.root().index()] = true;
@@ -335,7 +375,10 @@ pub fn floating_components(
             }
         }
     }
-    simple.types().filter(|&ty| positive(ty) && !reached[ty.index()]).collect()
+    simple
+        .types()
+        .filter(|&ty| positive(ty) && !reached[ty.index()])
+        .collect()
 }
 
 /// Outcome of [`solve_counts`].
@@ -403,7 +446,10 @@ fn add_connectivity_cut(system: &mut CardinalitySystem, floating: &[SimpleId]) {
         .filter(|occ| in_set(occ.child) && !in_set(occ.parent))
         .map(|occ| occ.var)
         .collect();
-    let ext_vars: Vec<_> = floating.iter().map(|&ty| system.ext_var_simple(ty)).collect();
+    let ext_vars: Vec<_> = floating
+        .iter()
+        .map(|&ty| system.ext_var_simple(ty))
+        .collect();
     let label: String = floating
         .iter()
         .map(|&ty| system.simple().name(ty).to_string())
@@ -415,7 +461,11 @@ fn add_connectivity_cut(system: &mut CardinalitySystem, floating: &[SimpleId]) {
     for v in &ext_vars {
         total_expr.add_term(*v, -Rational::one());
     }
-    program.add_eq(total_expr, Rational::zero(), format!("cut: total of {{{label}}}"));
+    program.add_eq(
+        total_expr,
+        Rational::zero(),
+        format!("cut: total of {{{label}}}"),
+    );
     let entering = program.add_var(format!("cut_incoming({label})"));
     let mut incoming_expr = LinExpr::var(entering);
     for v in &incoming {
@@ -472,7 +522,9 @@ fn assign_attribute_values(
             continue;
         }
         for &attr in dtd.attrs_of(ty) {
-            let Some(attr_var) = system.attr_var(ty, attr) else { continue };
+            let Some(attr_var) = system.attr_var(ty, attr) else {
+                continue;
+            };
             let distinct = assignment.get_u64(attr_var).ok_or_else(|| {
                 WitnessError::CountOverflow(format!(
                     "|ext({}.{})|",

@@ -64,7 +64,12 @@ pub fn analyze(dtd: &Dtd) -> DtdAnalysis {
     let satisfiable = productive[dtd.root().index()];
     let max_count = compute_max_counts(dtd, &productive, satisfiable);
     let reachable = max_count.iter().map(|&c| c >= 1).collect();
-    DtdAnalysis { productive, reachable, max_count, satisfiable }
+    DtdAnalysis {
+        productive,
+        reachable,
+        max_count,
+        satisfiable,
+    }
 }
 
 /// Whether a DTD has any valid XML tree (Theorem 3.5(1)).

@@ -110,7 +110,9 @@ pub struct DerivativeMatcher {
 impl DerivativeMatcher {
     /// Compiles a content model.
     pub fn new(model: &ContentModel) -> DerivativeMatcher {
-        DerivativeMatcher { compiled: compile(model) }
+        DerivativeMatcher {
+            compiled: compile(model),
+        }
     }
 
     /// Tests membership of a word in the model's language.

@@ -284,11 +284,17 @@ pub fn example_d1() -> Dtd {
     b.content(teachers, ContentModel::plus(ContentModel::Element(teacher)));
     b.content(
         teacher,
-        ContentModel::seq(ContentModel::Element(teach), ContentModel::Element(research)),
+        ContentModel::seq(
+            ContentModel::Element(teach),
+            ContentModel::Element(research),
+        ),
     );
     b.content(
         teach,
-        ContentModel::seq(ContentModel::Element(subject), ContentModel::Element(subject)),
+        ContentModel::seq(
+            ContentModel::Element(subject),
+            ContentModel::Element(subject),
+        ),
     );
     b.content(research, ContentModel::Text);
     b.content(subject, ContentModel::Text);
@@ -299,6 +305,7 @@ pub fn example_d1() -> Dtd {
 
 /// Builds the non-satisfiable DTD `D2` from Section 1 of the paper:
 /// `<!ELEMENT db (foo)> <!ELEMENT foo (foo)>` has no finite valid tree.
+#[allow(clippy::disallowed_names)] // `foo` is the paper's own element name
 pub fn example_d2() -> Dtd {
     let mut b = Dtd::builder();
     let db = b.elem("db");

@@ -43,9 +43,14 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(DtdError::UnknownType("x".into()).to_string().contains('x'));
-        assert!(DtdError::Syntax { offset: 3, message: "oops".into() }
+        assert!(DtdError::Syntax {
+            offset: 3,
+            message: "oops".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+        assert!(DtdError::Unsupported("ANY".into())
             .to_string()
-            .contains("byte 3"));
-        assert!(DtdError::Unsupported("ANY".into()).to_string().contains("ANY"));
+            .contains("ANY"));
     }
 }

@@ -41,7 +41,10 @@ impl Glushkov {
     /// Compiles a content model into its position automaton.
     pub fn new(model: &ContentModel) -> Glushkov {
         let desugared = model.desugar();
-        let mut st = BuildState { positions: Vec::new(), follow: Vec::new() };
+        let mut st = BuildState {
+            positions: Vec::new(),
+            follow: Vec::new(),
+        };
         let piece = build(&desugared, &mut st);
         let mut last = vec![false; st.positions.len()];
         for &p in &piece.last {
@@ -102,7 +105,10 @@ impl Glushkov {
             }
             current = next;
         }
-        current.iter().enumerate().any(|(p, active)| *active && self.last[p])
+        current
+            .iter()
+            .enumerate()
+            .any(|(p, active)| *active && self.last[p])
     }
 
     /// Convenience wrapper: matches a sequence of element-type children with
@@ -151,7 +157,11 @@ impl Glushkov {
 
 fn build(model: &ContentModel, st: &mut BuildState) -> Piece {
     match model {
-        ContentModel::Epsilon => Piece { nullable: true, first: vec![], last: vec![] },
+        ContentModel::Epsilon => Piece {
+            nullable: true,
+            first: vec![],
+            last: vec![],
+        },
         ContentModel::Text => leaf(ChildSymbol::Text, st),
         ContentModel::Element(e) => leaf(ChildSymbol::Element(*e), st),
         ContentModel::Seq(a, b) => {
@@ -168,7 +178,11 @@ fn build(model: &ContentModel, st: &mut BuildState) -> Piece {
             if pb.nullable {
                 last.extend_from_slice(&pa.last);
             }
-            Piece { nullable: pa.nullable && pb.nullable, first, last }
+            Piece {
+                nullable: pa.nullable && pb.nullable,
+                first,
+                last,
+            }
         }
         ContentModel::Alt(a, b) => {
             let pa = build(a, st);
@@ -177,7 +191,11 @@ fn build(model: &ContentModel, st: &mut BuildState) -> Piece {
             first.extend(pb.first);
             let mut last = pa.last;
             last.extend(pb.last);
-            Piece { nullable: pa.nullable || pb.nullable, first, last }
+            Piece {
+                nullable: pa.nullable || pb.nullable,
+                first,
+                last,
+            }
         }
         ContentModel::Star(a) => {
             let pa = build(a, st);
@@ -185,7 +203,11 @@ fn build(model: &ContentModel, st: &mut BuildState) -> Piece {
                 let firsts = pa.first.clone();
                 st.follow[p].extend(firsts);
             }
-            Piece { nullable: true, first: pa.first, last: pa.last }
+            Piece {
+                nullable: true,
+                first: pa.first,
+                last: pa.last,
+            }
         }
         // `desugar` removes these before compilation, but handle them anyway
         // so `Glushkov::new(model)` is total.
@@ -195,11 +217,19 @@ fn build(model: &ContentModel, st: &mut BuildState) -> Piece {
                 let firsts = pa.first.clone();
                 st.follow[p].extend(firsts);
             }
-            Piece { nullable: pa.nullable, first: pa.first, last: pa.last }
+            Piece {
+                nullable: pa.nullable,
+                first: pa.first,
+                last: pa.last,
+            }
         }
         ContentModel::Opt(a) => {
             let pa = build(a, st);
-            Piece { nullable: true, first: pa.first, last: pa.last }
+            Piece {
+                nullable: true,
+                first: pa.first,
+                last: pa.last,
+            }
         }
     }
 }
@@ -208,7 +238,11 @@ fn leaf(symbol: ChildSymbol, st: &mut BuildState) -> Piece {
     let p = st.positions.len();
     st.positions.push(symbol);
     st.follow.push(Vec::new());
-    Piece { nullable: false, first: vec![p], last: vec![p] }
+    Piece {
+        nullable: false,
+        first: vec![p],
+        last: vec![p],
+    }
 }
 
 #[cfg(test)]
@@ -260,7 +294,10 @@ mod tests {
     #[test]
     fn optional_and_text() {
         // (a?, S)
-        let g = Glushkov::new(&ContentModel::seq(ContentModel::opt(e(0)), ContentModel::Text));
+        let g = Glushkov::new(&ContentModel::seq(
+            ContentModel::opt(e(0)),
+            ContentModel::Text,
+        ));
         assert!(g.matches(&[ChildSymbol::Text]));
         assert!(g.matches(&[ce(0), ChildSymbol::Text]));
         assert!(!g.matches(&[ce(0)]));

@@ -18,7 +18,10 @@ use crate::error::DtdError;
 /// Parses a textual DTD.  The root element type is the first declared
 /// element unless `root` is given explicitly.
 pub fn parse_dtd(input: &str, root: Option<&str>) -> Result<Dtd, DtdError> {
-    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let mut builder = Dtd::builder();
     // Names may be referenced before declaration; collect content models and
     // attributes first, then resolve.
@@ -89,7 +92,8 @@ pub fn parse_dtd(input: &str, root: Option<&str>) -> Result<Dtd, DtdError> {
         content.collect_names(&mut referenced);
     }
     for name in referenced {
-        ids.entry(name.clone()).or_insert_with(|| builder.elem(&name));
+        ids.entry(name.clone())
+            .or_insert_with(|| builder.elem(&name));
     }
     // Second pass: content models.
     for (name, content) in &declared {
@@ -140,9 +144,7 @@ impl RawContent {
                     i.collect_names(out);
                 }
             }
-            RawContent::Star(a) | RawContent::Plus(a) | RawContent::Opt(a) => {
-                a.collect_names(out)
-            }
+            RawContent::Star(a) | RawContent::Plus(a) | RawContent::Opt(a) => a.collect_names(out),
         }
     }
 
@@ -151,12 +153,8 @@ impl RawContent {
             RawContent::Empty => ContentModel::Epsilon,
             RawContent::PcData => ContentModel::Text,
             RawContent::Name(n) => ContentModel::Element(ids[n]),
-            RawContent::Seq(items) => {
-                ContentModel::seq_all(items.iter().map(|i| i.to_model(ids)))
-            }
-            RawContent::Alt(items) => {
-                ContentModel::alt_all(items.iter().map(|i| i.to_model(ids)))
-            }
+            RawContent::Seq(items) => ContentModel::seq_all(items.iter().map(|i| i.to_model(ids))),
+            RawContent::Alt(items) => ContentModel::alt_all(items.iter().map(|i| i.to_model(ids))),
             RawContent::Star(a) => ContentModel::star(a.to_model(ids)),
             RawContent::Plus(a) => ContentModel::plus(a.to_model(ids)),
             RawContent::Opt(a) => ContentModel::opt(a.to_model(ids)),
@@ -187,7 +185,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: &str) -> DtdError {
-        DtdError::Syntax { offset: self.pos, message: message.to_string() }
+        DtdError::Syntax {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -252,7 +253,9 @@ impl<'a> Parser<'a> {
     }
 
     fn quoted_string(&mut self) -> Result<String, DtdError> {
-        let quote = self.bump().ok_or_else(|| self.error("expected a quoted string"))?;
+        let quote = self
+            .bump()
+            .ok_or_else(|| self.error("expected a quoted string"))?;
         if quote != '"' && quote != '\'' {
             return Err(self.error("expected a quoted string"));
         }
@@ -342,8 +345,9 @@ impl<'a> Parser<'a> {
                         None => separator = Some(c),
                         Some(s) if s == c => {}
                         Some(_) => {
-                            return Err(self
-                                .error("cannot mix `,` and `|` at the same nesting level"))
+                            return Err(
+                                self.error("cannot mix `,` and `|` at the same nesting level")
+                            )
                         }
                     }
                     self.pos += 1;
@@ -466,13 +470,20 @@ mod tests {
     #[test]
     fn rejects_any_content() {
         let text = "<!ELEMENT doc ANY>";
-        assert!(matches!(parse_dtd(text, None), Err(DtdError::Unsupported(_))));
+        assert!(matches!(
+            parse_dtd(text, None),
+            Err(DtdError::Unsupported(_))
+        ));
     }
 
     #[test]
     fn rejects_mixed_separators() {
-        let text = "<!ELEMENT doc (a, b | c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>";
-        assert!(matches!(parse_dtd(text, None), Err(DtdError::Syntax { .. })));
+        let text =
+            "<!ELEMENT doc (a, b | c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>";
+        assert!(matches!(
+            parse_dtd(text, None),
+            Err(DtdError::Syntax { .. })
+        ));
     }
 
     #[test]

@@ -331,10 +331,16 @@ mod tests {
         let dtd = b.build("r").unwrap();
         let s = SimpleDtd::from_dtd(&dtd);
         let r_rule = s.rule(s.simple_of(r));
-        let SimpleRule::One(t) = r_rule else { panic!("expected One, got {r_rule:?}") };
-        let SimpleRule::Alt(eps, pair) = s.rule(t) else { panic!("expected Alt") };
+        let SimpleRule::One(t) = r_rule else {
+            panic!("expected One, got {r_rule:?}")
+        };
+        let SimpleRule::Alt(eps, pair) = s.rule(t) else {
+            panic!("expected Alt")
+        };
         assert_eq!(s.rule(eps), SimpleRule::Epsilon);
-        let SimpleRule::Seq(first, rest) = s.rule(pair) else { panic!("expected Seq") };
+        let SimpleRule::Seq(first, rest) = s.rule(pair) else {
+            panic!("expected Seq")
+        };
         assert_eq!(first, s.simple_of(a));
         assert_eq!(rest, t);
         assert!(s.satisfiable());
@@ -380,7 +386,10 @@ mod tests {
         let r = b.elem("r");
         let a = b.elem("a");
         let c = b.elem("c");
-        b.content(r, CM::seq(CM::star(CM::Element(a)), CM::star(CM::Element(c))));
+        b.content(
+            r,
+            CM::seq(CM::star(CM::Element(a)), CM::star(CM::Element(c))),
+        );
         b.content(a, CM::Epsilon);
         b.content(c, CM::Epsilon);
         let dtd = b.build("r").unwrap();

@@ -1,0 +1,291 @@
+//! Parallel batch validation of documents against one compiled spec.
+//!
+//! A `std::thread` worker pool pulls `(index, document)` jobs from a shared
+//! channel, validates each document against the spec's precompiled automata
+//! and satisfaction plan, and sends `(index, report)` results back.  Reports
+//! are re-assembled **by input index**, so the aggregate report — including
+//! its rendered form — is byte-identical whatever the thread count or
+//! completion order.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+use crate::spec::CompiledSpec;
+
+/// One document submitted to a batch: a label (typically its path) and its
+/// XML source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchDoc {
+    /// Display label used in reports.
+    pub label: String,
+    /// XML source text.
+    pub content: String,
+}
+
+impl BatchDoc {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, content: impl Into<String>) -> BatchDoc {
+        BatchDoc {
+            label: label.into(),
+            content: content.into(),
+        }
+    }
+}
+
+/// Everything found wrong with one document (empty vectors and no parse
+/// error mean the document conforms to the DTD and satisfies Σ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocReport {
+    /// Position of the document in the submitted batch.
+    pub index: usize,
+    /// The document's label.
+    pub label: String,
+    /// Parse failure, if the source is not well-formed for this DTD.
+    pub parse_error: Option<String>,
+    /// Rendered `T ⊨ D` violations.
+    pub validation_errors: Vec<String>,
+    /// Rendered `T ⊨ Σ` violations.
+    pub violations: Vec<String>,
+}
+
+impl DocReport {
+    /// `true` iff the document parsed, validates and satisfies Σ.
+    pub fn is_clean(&self) -> bool {
+        self.parse_error.is_none()
+            && self.validation_errors.is_empty()
+            && self.violations.is_empty()
+    }
+}
+
+/// The aggregate of a batch run, ordered by input index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    reports: Vec<DocReport>,
+}
+
+impl BatchReport {
+    /// Per-document reports, ordered by input index.
+    pub fn reports(&self) -> &[DocReport] {
+        &self.reports
+    }
+
+    /// Number of documents in the batch.
+    pub fn total(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Number of clean documents.
+    pub fn clean_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_clean()).count()
+    }
+
+    /// Deterministic plain-text rendering (identical across thread counts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            if r.is_clean() {
+                out.push_str(&format!("[{}] {}: ok\n", r.index, r.label));
+                continue;
+            }
+            out.push_str(&format!("[{}] {}:\n", r.index, r.label));
+            if let Some(err) = &r.parse_error {
+                out.push_str(&format!("    parse error: {err}\n"));
+            }
+            for e in &r.validation_errors {
+                out.push_str(&format!("    invalid: {e}\n"));
+            }
+            for v in &r.violations {
+                out.push_str(&format!("    violation: {v}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{}/{} documents clean\n",
+            self.clean_count(),
+            self.total()
+        ));
+        out
+    }
+}
+
+/// A fixed-size worker pool for batch validation.
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    threads: usize,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        let threads = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchEngine::new(threads)
+    }
+}
+
+impl BatchEngine {
+    /// A pool of `threads` workers (minimum 1; 1 means fully sequential).
+    pub fn new(threads: usize) -> BatchEngine {
+        BatchEngine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Validates every document against the spec: parse, `T ⊨ D` with the
+    /// precompiled automata, `T ⊨ Σ` with the precomputed index plan.
+    pub fn validate_batch(&self, spec: &CompiledSpec, docs: &[BatchDoc]) -> BatchReport {
+        if self.threads == 1 || docs.len() <= 1 {
+            let reports = docs
+                .iter()
+                .enumerate()
+                .map(|(i, d)| process_doc(spec, i, d))
+                .collect();
+            return BatchReport { reports };
+        }
+
+        let (job_tx, job_rx) = mpsc::channel::<(usize, &BatchDoc)>();
+        let (result_tx, result_rx) = mpsc::channel::<DocReport>();
+        for job in docs.iter().enumerate() {
+            job_tx.send(job).expect("job channel open");
+        }
+        drop(job_tx);
+        let job_rx = Mutex::new(job_rx);
+
+        let mut reports: Vec<Option<DocReport>> = vec![None; docs.len()];
+        thread::scope(|scope| {
+            for _ in 0..self.threads.min(docs.len()) {
+                let job_rx = &job_rx;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    loop {
+                        // Hold the receiver lock only for the pop, not the work.
+                        let job = job_rx.lock().expect("job receiver poisoned").try_recv();
+                        match job {
+                            Ok((index, doc)) => {
+                                let report = process_doc(spec, index, doc);
+                                if result_tx.send(report).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+            for report in result_rx {
+                let slot = report.index;
+                reports[slot] = Some(report);
+            }
+        });
+
+        let reports = reports
+            .into_iter()
+            .map(|r| r.expect("every submitted document produced a report"))
+            .collect();
+        BatchReport { reports }
+    }
+}
+
+/// The per-document pipeline shared by the sequential and parallel paths.
+fn process_doc(spec: &CompiledSpec, index: usize, doc: &BatchDoc) -> DocReport {
+    let label = doc.label.clone();
+    let tree = match spec.parse_document(&doc.content) {
+        Ok(tree) => tree,
+        Err(err) => {
+            return DocReport {
+                index,
+                label,
+                parse_error: Some(err.to_string()),
+                validation_errors: Vec::new(),
+                violations: Vec::new(),
+            }
+        }
+    };
+    let validation_errors = spec
+        .validator()
+        .validate(&tree)
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let violations = spec
+        .check_document(&tree)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    DocReport {
+        index,
+        label,
+        parse_error: None,
+        validation_errors,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CompiledSpec;
+
+    fn school_spec() -> CompiledSpec {
+        CompiledSpec::from_sources(
+            "<!ELEMENT school (teacher*)>\n\
+             <!ELEMENT teacher EMPTY>\n\
+             <!ATTLIST teacher name CDATA #REQUIRED>",
+            Some("school"),
+            "teacher.name -> teacher",
+        )
+        .unwrap()
+    }
+
+    fn docs() -> Vec<BatchDoc> {
+        vec![
+            BatchDoc::new("ok", "<school><teacher name=\"Joe\"/></school>"),
+            BatchDoc::new(
+                "dup-key",
+                "<school><teacher name=\"Joe\"/><teacher name=\"Joe\"/></school>",
+            ),
+            BatchDoc::new("broken", "<school><teacher name=\"Joe\"/>"),
+            BatchDoc::new("wrong-shape", "<school><school></school></school>"),
+        ]
+    }
+
+    #[test]
+    fn sequential_reports_are_ordered_and_classified() {
+        let spec = school_spec();
+        let report = BatchEngine::new(1).validate_batch(&spec, &docs());
+        assert_eq!(report.total(), 4);
+        assert!(report.reports()[0].is_clean());
+        assert!(!report.reports()[1].violations.is_empty());
+        assert!(report.reports()[2].parse_error.is_some());
+        assert!(!report.reports()[3].is_clean());
+        assert_eq!(report.clean_count(), 1);
+        let indices: Vec<usize> = report.reports().iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_sequential() {
+        let spec = school_spec();
+        let docs = docs();
+        let sequential = BatchEngine::new(1).validate_batch(&spec, &docs);
+        for threads in [2, 4, 8] {
+            let parallel = BatchEngine::new(threads).validate_batch(&spec, &docs);
+            assert_eq!(parallel, sequential);
+            assert_eq!(parallel.render(), sequential.render());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let spec = school_spec();
+        let report = BatchEngine::new(4).validate_batch(&spec, &[]);
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.render(), "0/0 documents clean\n");
+    }
+}

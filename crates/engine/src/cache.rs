@@ -1,0 +1,364 @@
+//! Thread-safe LRU memoization of decision-procedure verdicts.
+//!
+//! Std-only: an `RwLock<HashMap>` with a monotonic use-counter per entry.
+//! Reads take the write lock only long enough to bump the counter; eviction
+//! scans for the least-recently-used entry, which is linear in the capacity
+//! and perfectly adequate for the few-thousand-entry caches the engine uses.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use xic_constraints::Constraint;
+use xic_core::{ConsistencyOutcome, ImplicationOutcome};
+use xic_dtd::Dtd;
+
+use crate::hash::fnv1a_parts;
+use crate::spec::SpecId;
+
+/// Stable hash of one query against a specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryHash(pub u64);
+
+impl QueryHash {
+    /// The (single) consistency query.
+    pub fn consistency() -> QueryHash {
+        QueryHash(fnv1a_parts(&["consistency"]))
+    }
+
+    /// An implication query, identified by the constraint's canonical
+    /// rendering.
+    pub fn of_constraint(dtd: &Dtd, phi: &Constraint) -> QueryHash {
+        QueryHash(fnv1a_parts(&["implies", &phi.render(dtd)]))
+    }
+}
+
+/// Cache key: which question about which specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The specification's content hash.
+    pub spec: SpecId,
+    /// The query hash.
+    pub query: QueryHash,
+}
+
+impl CacheKey {
+    /// Key of the consistency verdict of `spec`.
+    pub fn consistency(spec: SpecId) -> CacheKey {
+        CacheKey {
+            spec,
+            query: QueryHash::consistency(),
+        }
+    }
+
+    /// Key of an implication verdict of `spec`.
+    pub fn implication(spec: SpecId, query: QueryHash) -> CacheKey {
+        CacheKey { spec, query }
+    }
+}
+
+/// A cached, tree-free verdict: the decision, its explanation, and the size
+/// of the witness/counterexample document if one was synthesized (the
+/// document itself is deliberately not cached — witnesses can be large and
+/// are cheap to re-synthesize once the verdict is known).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// `Some(true)` = consistent / implied, `Some(false)` = inconsistent /
+    /// not implied, `None` = unknown (solver budget, undecidable class, or
+    /// an error — see the explanation).
+    decision: Option<bool>,
+    /// Human-readable explanation from the deciding procedure.
+    explanation: String,
+    /// Node count of the witness (consistency) or counterexample
+    /// (implication) document, when one was synthesized.
+    witness_nodes: Option<usize>,
+}
+
+impl Verdict {
+    /// The decision, if any.
+    pub fn decision(&self) -> Option<bool> {
+        self.decision
+    }
+
+    /// The deciding procedure's explanation.
+    pub fn explanation(&self) -> &str {
+        &self.explanation
+    }
+
+    /// Node count of the synthesized witness or counterexample, if any.
+    pub fn witness_nodes(&self) -> Option<usize> {
+        self.witness_nodes
+    }
+
+    /// Converts a consistency outcome (dropping the witness tree, keeping
+    /// its size).
+    pub fn from_consistency(outcome: &ConsistencyOutcome) -> Verdict {
+        let decision = if outcome.is_consistent() {
+            Some(true)
+        } else if outcome.is_inconsistent() {
+            Some(false)
+        } else {
+            None
+        };
+        Verdict {
+            decision,
+            explanation: outcome.explanation().to_string(),
+            witness_nodes: outcome.witness().map(|t| t.num_nodes()),
+        }
+    }
+
+    /// Converts an implication outcome (dropping the counterexample tree,
+    /// keeping its size).
+    pub fn from_implication(outcome: &ImplicationOutcome) -> Verdict {
+        let decision = if outcome.is_implied() {
+            Some(true)
+        } else if outcome.is_not_implied() {
+            Some(false)
+        } else {
+            None
+        };
+        Verdict {
+            decision,
+            explanation: outcome.explanation().to_string(),
+            witness_nodes: outcome.counterexample().map(|t| t.num_nodes()),
+        }
+    }
+
+    /// An error verdict (checker rejected the query).
+    pub fn error(message: String) -> Verdict {
+        Verdict {
+            decision: None,
+            explanation: message,
+            witness_nodes: None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = match self.decision {
+            Some(true) => "positive",
+            Some(false) => "negative",
+            None => "unknown",
+        };
+        write!(f, "{word}: {}", self.explanation)
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    verdict: Verdict,
+    last_used: u64,
+}
+
+/// Thread-safe LRU verdict memo.  See the module docs for the locking and
+/// eviction story.
+#[derive(Debug)]
+pub struct VerdictCache {
+    inner: RwLock<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        VerdictCache::with_capacity(1024)
+    }
+}
+
+impl VerdictCache {
+    /// A cache holding at most `capacity` verdicts (minimum 1).
+    pub fn with_capacity(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            inner: RwLock::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a verdict, refreshing its recency on a hit.
+    pub fn get(&self, key: CacheKey) -> Option<Verdict> {
+        let mut inner = self.inner.write().expect("verdict cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.verdict.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a verdict, evicting the least-recently-used entry if the
+    /// cache is full.
+    pub fn insert(&self, key: CacheKey, verdict: Verdict) {
+        let mut inner = self.inner.write().expect("verdict cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            if let Some(lru) = lru {
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                verdict,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Returns the cached verdict or computes, inserts and returns it.  The
+    /// computation runs outside the lock; concurrent misses on the same key
+    /// may compute twice and insert equal verdicts, which is benign.
+    pub fn get_or_compute(&self, key: CacheKey, compute: impl FnOnce() -> Verdict) -> Verdict {
+        if let Some(hit) = self.get(key) {
+            return hit;
+        }
+        let verdict = compute();
+        self.insert(key, verdict.clone());
+        verdict
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&self) {
+        self.inner
+            .write()
+            .expect("verdict cache poisoned")
+            .map
+            .clear();
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.read().expect("verdict cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            evictions: inner.evictions,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(tag: &str) -> Verdict {
+        Verdict {
+            decision: Some(true),
+            explanation: tag.to_string(),
+            witness_nodes: None,
+        }
+    }
+
+    fn key(spec: u64, query: u64) -> CacheKey {
+        CacheKey {
+            spec: SpecId(spec, spec),
+            query: QueryHash(query),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = VerdictCache::with_capacity(8);
+        assert_eq!(cache.get(key(1, 1)), None);
+        cache.insert(key(1, 1), verdict("a"));
+        assert_eq!(cache.get(key(1, 1)).unwrap().explanation(), "a");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = VerdictCache::with_capacity(2);
+        cache.insert(key(1, 1), verdict("a"));
+        cache.insert(key(2, 2), verdict("b"));
+        // Touch (1,1) so (2,2) is the LRU entry.
+        assert!(cache.get(key(1, 1)).is_some());
+        cache.insert(key(3, 3), verdict("c"));
+        assert!(
+            cache.get(key(1, 1)).is_some(),
+            "recently used entry survived"
+        );
+        assert!(cache.get(key(2, 2)).is_none(), "stale entry was evicted");
+        assert!(cache.get(key(3, 3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once() {
+        let cache = VerdictCache::with_capacity(8);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(key(9, 9), || {
+                calls += 1;
+                verdict("computed")
+            });
+            assert_eq!(v.explanation(), "computed");
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let cache = VerdictCache::with_capacity(4);
+        for i in 0..100 {
+            cache.insert(key(i, i), verdict("x"));
+        }
+        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(cache.stats().evictions, 96);
+    }
+}

@@ -1,0 +1,115 @@
+//! # xic-engine — compile-once / check-many front end for the reproduction
+//!
+//! The decision procedures of Fan & Libkin are defined over a *fixed*
+//! specification `(D, Σ)`, but real workloads check many documents and many
+//! implication queries against few specifications.  This crate is the
+//! production entry point that exploits that shape:
+//!
+//! * [`CompiledSpec`] — parses and validates a `(DTD, Σ)` pair **once**,
+//!   precomputing the [`xic_dtd::SimpleDtd`] rewriting, the per-element
+//!   Glushkov automata, the constraint-class classification, the
+//!   satisfaction [`xic_constraints::IndexPlan`], and (for the decidable
+//!   unary classes) the cardinality system Ψ(D,Σ) — all behind a cheap
+//!   content-hash [`SpecId`];
+//! * [`VerdictCache`] — a thread-safe (RwLock + LRU, std-only) memo of
+//!   consistency and implication verdicts keyed by `(spec, query)` hashes,
+//!   with hit/miss statistics for benchmarks;
+//! * [`BatchEngine`] — a `std::thread` worker pool that validates N
+//!   documents against one compiled spec in parallel and aggregates
+//!   per-document reports deterministically (ordered by input index, so a
+//!   multi-threaded run renders byte-identically to a sequential one);
+//! * [`Engine`] — the façade combining a cache with the checkers, exposing
+//!   memoized [`Engine::consistency`] and [`Engine::implication`].
+//!
+//! ```
+//! use xic_engine::{BatchDoc, BatchEngine, CompiledSpec, Engine};
+//!
+//! let spec = CompiledSpec::from_sources(
+//!     "<!ELEMENT school (teacher*)>\n\
+//!      <!ELEMENT teacher EMPTY>\n\
+//!      <!ATTLIST teacher name CDATA #REQUIRED>",
+//!     Some("school"),
+//!     "teacher.name -> teacher",
+//! )
+//! .unwrap();
+//!
+//! let engine = Engine::new();
+//! let verdict = engine.consistency(&spec);
+//! assert_eq!(verdict.decision(), Some(true));
+//! // Second call is a cache hit — no ILP solve, no witness synthesis.
+//! let again = engine.consistency(&spec);
+//! assert_eq!(again, verdict);
+//! assert_eq!(engine.cache().stats().hits, 1);
+//!
+//! let docs = vec![BatchDoc::new(
+//!     "doc-0",
+//!     "<school><teacher name=\"Joe\"/><teacher name=\"Ann\"/></school>",
+//! )];
+//! let report = BatchEngine::new(2).validate_batch(&spec, &docs);
+//! assert!(report.reports()[0].is_clean());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod cache;
+pub mod hash;
+pub mod spec;
+
+pub use batch::{BatchDoc, BatchEngine, BatchReport, DocReport};
+pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
+pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
+pub use spec::{CompileError, CompiledSpec, SpecId};
+
+use xic_constraints::Constraint;
+
+/// The façade tying a [`VerdictCache`] to the decision procedures: every
+/// check is memoized under the spec's content hash, so repeat checks of the
+/// same specification cost one cache lookup.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cache: VerdictCache,
+}
+
+impl Engine {
+    /// An engine with the default cache capacity.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine whose cache holds at most `capacity` verdicts.
+    pub fn with_cache_capacity(capacity: usize) -> Engine {
+        Engine {
+            cache: VerdictCache::with_capacity(capacity),
+        }
+    }
+
+    /// The underlying cache (for statistics and explicit invalidation).
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// Memoized consistency of the compiled specification.
+    pub fn consistency(&self, spec: &CompiledSpec) -> Verdict {
+        let key = CacheKey::consistency(spec.id());
+        self.cache
+            .get_or_compute(key, || Verdict::from_consistency(&spec.check_consistency()))
+    }
+
+    /// Memoized implication `(D, Σ) ⊢ φ`.
+    pub fn implication(&self, spec: &CompiledSpec, phi: &Constraint) -> Verdict {
+        // Validate before hashing: rendering a constraint built for another
+        // DTD would index out of bounds, and the uncached path only guards
+        // inside the checker.
+        if let Err(err) = phi.validate(spec.dtd()) {
+            return Verdict::error(err.to_string());
+        }
+        let key = CacheKey::implication(spec.id(), QueryHash::of_constraint(spec.dtd(), phi));
+        self.cache
+            .get_or_compute(key, || match spec.check_implication(phi) {
+                Ok(outcome) => Verdict::from_implication(&outcome),
+                Err(err) => Verdict::error(err.to_string()),
+            })
+    }
+}

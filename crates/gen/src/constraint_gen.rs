@@ -111,7 +111,9 @@ pub fn reference_chain(dtd: &Dtd, kinds: usize) -> ConstraintSet {
         let next = (k + 1) % kinds;
         let kind = dtd.type_by_name(&format!("kind{k}")).expect("kind exists");
         let refk = dtd.attr_by_name(&format!("ref{k}")).expect("ref exists");
-        let target = dtd.type_by_name(&format!("kind{next}")).expect("kind exists");
+        let target = dtd
+            .type_by_name(&format!("kind{next}"))
+            .expect("kind exists");
         let target_id = dtd.attr_by_name(&format!("id{next}")).expect("id exists");
         sigma.push(Constraint::unary_foreign_key(kind, refk, target, target_id));
     }
@@ -129,7 +131,11 @@ mod tests {
         let dtd = random_dtd(&DtdGenConfig::default());
         let sigma = random_unary_constraints(
             &dtd,
-            &ConstraintGenConfig { keys: 5, foreign_keys: 5, ..Default::default() },
+            &ConstraintGenConfig {
+                keys: 5,
+                foreign_keys: 5,
+                ..Default::default()
+            },
         );
         assert!(sigma.validate(&dtd).is_ok());
         assert!(sigma.in_class(ConstraintClass::UnaryKeyForeignKey));
@@ -140,7 +146,11 @@ mod tests {
         let dtd = random_dtd(&DtdGenConfig::default());
         let sigma = random_unary_constraints(
             &dtd,
-            &ConstraintGenConfig { negated_keys: 2, negated_inclusions: 1, ..Default::default() },
+            &ConstraintGenConfig {
+                negated_keys: 2,
+                negated_inclusions: 1,
+                ..Default::default()
+            },
         );
         assert!(sigma.validate(&dtd).is_ok());
         assert!(sigma.in_class(ConstraintClass::UnaryKeyNegInclusionNeg));

@@ -23,7 +23,13 @@ pub struct DocGenConfig {
 
 impl Default for DocGenConfig {
     fn default() -> Self {
-        DocGenConfig { max_elements: 500, max_depth: 16, star_fanout: 3, value_pool: 50, seed: 1 }
+        DocGenConfig {
+            max_elements: 500,
+            max_depth: 16,
+            star_fanout: 3,
+            value_pool: 50,
+            seed: 1,
+        }
     }
 }
 
@@ -39,7 +45,17 @@ pub fn random_document(dtd: &Dtd, config: &DocGenConfig) -> Option<XmlTree> {
     let mut tree = XmlTree::new(dtd.root());
     let mut elements = 1usize;
     let root = tree.root();
-    expand(dtd, &analysis, config, &mut rng, &mut tree, root, dtd.root(), 0, &mut elements);
+    expand(
+        dtd,
+        &analysis,
+        config,
+        &mut rng,
+        &mut tree,
+        root,
+        dtd.root(),
+        0,
+        &mut elements,
+    );
     // Fill attributes.
     let nodes: Vec<NodeId> = tree.elements().collect();
     for node in nodes {
@@ -76,7 +92,17 @@ fn expand(
             Symbol::Element(child_ty) => {
                 *elements += 1;
                 let child = tree.add_element(node, child_ty);
-                expand(dtd, analysis, config, rng, tree, child, child_ty, depth + 1, elements);
+                expand(
+                    dtd,
+                    analysis,
+                    config,
+                    rng,
+                    tree,
+                    child,
+                    child_ty,
+                    depth + 1,
+                    elements,
+                );
             }
         }
     }
@@ -128,7 +154,11 @@ fn sample(
             }
         }
         ContentModel::Plus(a) => {
-            let reps = if minimal { 1 } else { rng.gen_range(1..=config.star_fanout.max(1)) };
+            let reps = if minimal {
+                1
+            } else {
+                rng.gen_range(1..=config.star_fanout.max(1))
+            };
             for _ in 0..reps {
                 sample(a, analysis, config, rng, minimal, out);
             }
@@ -162,9 +192,18 @@ mod tests {
     #[test]
     fn documents_validate_against_their_dtd() {
         for seed in 0..5 {
-            let dtd = random_dtd(&DtdGenConfig { seed, ..Default::default() });
-            let doc = random_document(&dtd, &DocGenConfig { seed, ..Default::default() })
-                .expect("satisfiable DTD");
+            let dtd = random_dtd(&DtdGenConfig {
+                seed,
+                ..Default::default()
+            });
+            let doc = random_document(
+                &dtd,
+                &DocGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .expect("satisfiable DTD");
             let errors = validate(&doc, &dtd);
             assert!(errors.is_empty(), "seed {seed}: {errors:?}");
         }
@@ -190,7 +229,11 @@ mod tests {
         let dtd = catalogue_dtd(8);
         let doc = random_document(
             &dtd,
-            &DocGenConfig { max_elements: 50, star_fanout: 10, ..Default::default() },
+            &DocGenConfig {
+                max_elements: 50,
+                star_fanout: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
         // The cap is soft (the current expansion finishes) but must stay in
@@ -201,8 +244,14 @@ mod tests {
     #[test]
     fn recursive_dtd_terminates() {
         let dtd = recursive_list_dtd();
-        let doc = random_document(&dtd, &DocGenConfig { max_depth: 6, ..Default::default() })
-            .expect("satisfiable");
+        let doc = random_document(
+            &dtd,
+            &DocGenConfig {
+                max_depth: 6,
+                ..Default::default()
+            },
+        )
+        .expect("satisfiable");
         assert!(validate(&doc, &dtd).is_empty());
     }
 }

@@ -125,7 +125,10 @@ pub fn fanout_dtd(fanout: usize) -> Dtd {
     b.content(root, ContentModel::plus(ContentModel::Element(group)));
     b.content(
         group,
-        ContentModel::seq_all(std::iter::repeat(ContentModel::Element(member)).take(fanout.max(1))),
+        ContentModel::seq_all(std::iter::repeat_n(
+            ContentModel::Element(member),
+            fanout.max(1),
+        )),
     );
     b.content(member, ContentModel::Text);
     b.attr(group, "gid");
@@ -146,7 +149,11 @@ mod tests {
     #[test]
     fn random_dtds_are_satisfiable_and_sized() {
         for seed in 0..5 {
-            let dtd = random_dtd(&DtdGenConfig { seed, num_types: 12, ..Default::default() });
+            let dtd = random_dtd(&DtdGenConfig {
+                seed,
+                num_types: 12,
+                ..Default::default()
+            });
             assert_eq!(dtd.num_types(), 12);
             assert!(dtd_satisfiable(&dtd));
         }

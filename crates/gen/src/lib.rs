@@ -23,8 +23,8 @@ pub mod workloads;
 
 pub use constraint_gen::{random_unary_constraints, ConstraintGenConfig};
 pub use doc_gen::{random_document, DocGenConfig};
-pub use dtd_gen::{catalogue_dtd, random_dtd, recursive_list_dtd, DtdGenConfig};
 pub use dtd_gen::fanout_dtd;
+pub use dtd_gen::{catalogue_dtd, random_dtd, recursive_list_dtd, DtdGenConfig};
 pub use workloads::{
     fixed_dtd_growing_sigma, hard_lip_family, inconsistent_fanout_family, keys_only_family,
     negation_family, primary_key_family, unary_consistency_family, SpecInstance,

@@ -40,7 +40,11 @@ pub fn unary_consistency_family(sizes: &[usize]) -> Vec<SpecInstance> {
         .map(|&kinds| {
             let dtd = catalogue_dtd(kinds);
             let sigma = reference_chain(&dtd, kinds);
-            SpecInstance { label: format!("chain/{kinds}"), dtd, sigma }
+            SpecInstance {
+                label: format!("chain/{kinds}"),
+                dtd,
+                sigma,
+            }
         })
         .collect()
 }
@@ -63,7 +67,11 @@ pub fn inconsistent_fanout_family(fanouts: &[usize]) -> Vec<SpecInstance> {
                 xic_constraints::Constraint::unary_key(member, owner),
                 xic_constraints::Constraint::unary_foreign_key(member, owner, group, gid),
             ]);
-            SpecInstance { label: format!("fanout/{fanout}"), dtd, sigma }
+            SpecInstance {
+                label: format!("fanout/{fanout}"),
+                dtd,
+                sigma,
+            }
         })
         .collect()
 }
@@ -94,7 +102,11 @@ pub fn primary_key_family(sizes: &[usize], seed: u64) -> Vec<SpecInstance> {
     sizes
         .iter()
         .map(|&n| {
-            let dtd = random_dtd(&DtdGenConfig { num_types: n, seed, ..Default::default() });
+            let dtd = random_dtd(&DtdGenConfig {
+                num_types: n,
+                seed,
+                ..Default::default()
+            });
             let sigma = random_unary_constraints(
                 &dtd,
                 &ConstraintGenConfig {
@@ -105,14 +117,22 @@ pub fn primary_key_family(sizes: &[usize], seed: u64) -> Vec<SpecInstance> {
                     ..Default::default()
                 },
             );
-            SpecInstance { label: format!("primary/{n}"), dtd, sigma }
+            SpecInstance {
+                label: format!("primary/{n}"),
+                dtd,
+                sigma,
+            }
         })
         .collect()
 }
 
 /// E5 — a fixed DTD with a growing number of constraints (Corollary 4.11 /
 /// Corollary 5.5: PTIME when the DTD is fixed).
-pub fn fixed_dtd_growing_sigma(kinds: usize, sigma_sizes: &[usize], seed: u64) -> Vec<SpecInstance> {
+pub fn fixed_dtd_growing_sigma(
+    kinds: usize,
+    sigma_sizes: &[usize],
+    seed: u64,
+) -> Vec<SpecInstance> {
     let dtd = catalogue_dtd(kinds);
     sigma_sizes
         .iter()
@@ -126,7 +146,11 @@ pub fn fixed_dtd_growing_sigma(kinds: usize, sigma_sizes: &[usize], seed: u64) -
                     ..Default::default()
                 },
             );
-            SpecInstance { label: format!("fixed-dtd/{m}"), dtd: dtd.clone(), sigma }
+            SpecInstance {
+                label: format!("fixed-dtd/{m}"),
+                dtd: dtd.clone(),
+                sigma,
+            }
         })
         .collect()
 }
@@ -136,14 +160,22 @@ pub fn keys_only_family(sizes: &[usize], seed: u64) -> Vec<SpecInstance> {
     sizes
         .iter()
         .map(|&n| {
-            let dtd = random_dtd(&DtdGenConfig { num_types: n, seed, ..Default::default() });
+            let dtd = random_dtd(&DtdGenConfig {
+                num_types: n,
+                seed,
+                ..Default::default()
+            });
             let mut sigma = ConstraintSet::new();
             for ty in dtd.types() {
                 if let Some(&attr) = dtd.attrs_of(ty).first() {
                     sigma.push(xic_constraints::Constraint::unary_key(ty, attr));
                 }
             }
-            SpecInstance { label: format!("keys-only/{n}"), dtd, sigma }
+            SpecInstance {
+                label: format!("keys-only/{n}"),
+                dtd,
+                sigma,
+            }
         })
         .collect()
 }
@@ -166,7 +198,11 @@ pub fn negation_family(sizes: &[usize], seed: u64) -> Vec<SpecInstance> {
                     ..Default::default()
                 },
             );
-            SpecInstance { label: format!("negation/{kinds}"), dtd, sigma }
+            SpecInstance {
+                label: format!("negation/{kinds}"),
+                dtd,
+                sigma,
+            }
         })
         .collect()
 }
@@ -179,16 +215,30 @@ mod tests {
     #[test]
     fn chain_family_is_consistent() {
         for spec in unary_consistency_family(&[2, 4]) {
-            let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
-            assert!(outcome.is_consistent(), "{}: {}", spec.label, outcome.explanation());
+            let outcome = ConsistencyChecker::new()
+                .check(&spec.dtd, &spec.sigma)
+                .unwrap();
+            assert!(
+                outcome.is_consistent(),
+                "{}: {}",
+                spec.label,
+                outcome.explanation()
+            );
         }
     }
 
     #[test]
     fn fanout_family_is_inconsistent() {
         for spec in inconsistent_fanout_family(&[2, 3]) {
-            let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).unwrap();
-            assert!(outcome.is_inconsistent(), "{}: {}", spec.label, outcome.explanation());
+            let outcome = ConsistencyChecker::new()
+                .check(&spec.dtd, &spec.sigma)
+                .unwrap();
+            assert!(
+                outcome.is_inconsistent(),
+                "{}: {}",
+                spec.label,
+                outcome.explanation()
+            );
         }
     }
 

@@ -58,7 +58,10 @@ impl fmt::Debug for BigInt {
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -115,9 +118,7 @@ impl BigInt {
     pub fn bits(&self) -> u64 {
         match self.mag.last() {
             None => 0,
-            Some(&top) => {
-                (self.mag.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
-            }
+            Some(&top) => (self.mag.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
         }
     }
 
@@ -279,7 +280,11 @@ impl BigInt {
             while quot.last() == Some(&0) {
                 quot.pop();
             }
-            let rem_vec = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            let rem_vec = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u64]
+            };
             return (quot, rem_vec);
         }
         // General case: bit-by-bit restoring division.
@@ -428,8 +433,14 @@ impl From<i64> for BigInt {
     fn from(v: i64) -> BigInt {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Positive, mag: vec![v as u64] },
-            Ordering::Less => BigInt { sign: Sign::Negative, mag: vec![v.unsigned_abs()] },
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                mag: vec![v as u64],
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: vec![v.unsigned_abs()],
+            },
         }
     }
 }
@@ -439,7 +450,10 @@ impl From<u64> for BigInt {
         if v == 0 {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, mag: vec![v] }
+            BigInt {
+                sign: Sign::Positive,
+                mag: vec![v],
+            }
         }
     }
 }
@@ -467,7 +481,11 @@ impl From<i128> for BigInt {
         if v == 0 {
             return BigInt::zero();
         }
-        let sign = if v > 0 { Sign::Positive } else { Sign::Negative };
+        let sign = if v > 0 {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         let m = v.unsigned_abs();
         let lo = m as u64;
         let hi = (m >> 64) as u64;
@@ -521,21 +539,17 @@ impl Add for &BigInt {
         match (self.sign, other.sign) {
             (Sign::Zero, _) => other.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => {
-                BigInt::from_mag(a, BigInt::add_mag(&self.mag, &other.mag))
-            }
+            (a, b) if a == b => BigInt::from_mag(a, BigInt::add_mag(&self.mag, &other.mag)),
             _ => {
                 // Differing signs: subtract the smaller magnitude from the larger.
                 match BigInt::cmp_mag(&self.mag, &other.mag) {
                     Ordering::Equal => BigInt::zero(),
-                    Ordering::Greater => BigInt::from_mag(
-                        self.sign,
-                        BigInt::sub_mag(&self.mag, &other.mag),
-                    ),
-                    Ordering::Less => BigInt::from_mag(
-                        other.sign,
-                        BigInt::sub_mag(&other.mag, &self.mag),
-                    ),
+                    Ordering::Greater => {
+                        BigInt::from_mag(self.sign, BigInt::sub_mag(&self.mag, &other.mag))
+                    }
+                    Ordering::Less => {
+                        BigInt::from_mag(other.sign, BigInt::sub_mag(&other.mag, &self.mag))
+                    }
                 }
             }
         }
@@ -555,7 +569,11 @@ impl Mul for &BigInt {
         if self.is_zero() || other.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        let sign = if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         BigInt::from_mag(sign, BigInt::mul_mag(&self.mag, &other.mag))
     }
 }
@@ -676,13 +694,15 @@ impl FromStr for BigInt {
             None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() {
-            return Err(ParseBigIntError { msg: "empty".to_string() });
+            return Err(ParseBigIntError {
+                msg: "empty".to_string(),
+            });
         }
         let mut acc = BigInt::zero();
         for ch in digits.chars() {
-            let d = ch
-                .to_digit(10)
-                .ok_or_else(|| ParseBigIntError { msg: format!("bad digit {ch:?}") })?;
+            let d = ch.to_digit(10).ok_or_else(|| ParseBigIntError {
+                msg: format!("bad digit {ch:?}"),
+            })?;
             acc.mul_small(10);
             acc.add_small(u64::from(d));
         }
@@ -790,7 +810,10 @@ mod tests {
         assert_eq!(bi(2).pow(10), bi(1024));
         assert_eq!(bi(10).pow(0), bi(1));
         assert_eq!(bi(3).pow(5), bi(243));
-        assert_eq!(bi(2).pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(
+            bi(2).pow(100).to_string(),
+            "1267650600228229401496703205376"
+        );
     }
 
     #[test]

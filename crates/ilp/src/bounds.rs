@@ -15,7 +15,11 @@ use crate::linear::IntegerProgram;
 pub fn papadimitriou_bound(num_vars: usize, num_constraints: usize, max_abs: &BigInt) -> BigInt {
     let n = BigInt::from(num_vars.max(1));
     let m = BigInt::from(num_constraints.max(1));
-    let a = if max_abs.is_zero() { BigInt::one() } else { max_abs.abs() };
+    let a = if max_abs.is_zero() {
+        BigInt::one()
+    } else {
+        max_abs.abs()
+    };
     let base = &m * &a;
     let exp = 2 * (num_constraints as u64) + 1;
     &n * &base.pow(exp)
@@ -68,7 +72,10 @@ mod tests {
     #[test]
     fn bound_small_system() {
         // n = 2, m = 1, a = 2: 2 * (1*2)^3 = 16.
-        assert_eq!(papadimitriou_bound(2, 1, &BigInt::from(2i64)), BigInt::from(16i64));
+        assert_eq!(
+            papadimitriou_bound(2, 1, &BigInt::from(2i64)),
+            BigInt::from(16i64)
+        );
     }
 
     #[test]

@@ -34,13 +34,15 @@ pub fn enumerate_feasible(program: &IntegerProgram, box_bound: u64) -> Option<As
         .collect();
     if n == 0 {
         let a = Assignment::zeros(0);
-        return if program.is_satisfied_by(&a) { Some(a) } else { None };
+        return if program.is_satisfied_by(&a) {
+            Some(a)
+        } else {
+            None
+        };
     }
     let mut current: Vec<i128> = lowers.clone();
     loop {
-        let assignment = Assignment::new(
-            current.iter().map(|&v| BigInt::from(v as i64)).collect(),
-        );
+        let assignment = Assignment::new(current.iter().map(|&v| BigInt::from(v as i64)).collect());
         if program.is_satisfied_by(&assignment) {
             return Some(assignment);
         }
@@ -87,9 +89,7 @@ pub fn count_feasible(program: &IntegerProgram, box_bound: u64) -> u64 {
     let mut current = lowers.clone();
     let mut count = 0u64;
     loop {
-        let assignment = Assignment::new(
-            current.iter().map(|&v| BigInt::from(v as i64)).collect(),
-        );
+        let assignment = Assignment::new(current.iter().map(|&v| BigInt::from(v as i64)).collect());
         if program.is_satisfied_by(&assignment) {
             count += 1;
         }

@@ -261,7 +261,11 @@ impl IntegerProgram {
         upper: Option<BigInt>,
     ) -> VarId {
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
-        self.vars.push(Variable { name: name.into(), lower, upper });
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+        });
         id
     }
 
@@ -371,7 +375,10 @@ impl IntegerProgram {
         for (i, var) in self.vars.iter().enumerate() {
             let v = assignment.get(VarId(i as u32));
             if *v < var.lower {
-                return Some(format!("{} = {} below lower bound {}", var.name, v, var.lower));
+                return Some(format!(
+                    "{} = {} below lower bound {}",
+                    var.name, v, var.lower
+                ));
             }
             if let Some(u) = &var.upper {
                 if v > u {
@@ -431,7 +438,11 @@ impl IntegerProgram {
         let mut out = String::new();
         let _ = writeln!(out, "variables ({}):", self.vars.len());
         for (i, v) in self.vars.iter().enumerate() {
-            let upper = v.upper.as_ref().map(|u| u.to_string()).unwrap_or_else(|| "∞".into());
+            let upper = v
+                .upper
+                .as_ref()
+                .map(|u| u.to_string())
+                .unwrap_or_else(|| "∞".into());
             let _ = writeln!(out, "  x{i} = {}  ∈ [{}, {}]", v.name, v.lower, upper);
         }
         let _ = writeln!(out, "constraints ({}):", self.constraints.len());
@@ -466,7 +477,9 @@ impl Assignment {
 
     /// An all-zero assignment over `n` variables.
     pub fn zeros(n: usize) -> Assignment {
-        Assignment { values: vec![BigInt::zero(); n] }
+        Assignment {
+            values: vec![BigInt::zero(); n],
+        }
     }
 
     /// Value of a variable.

@@ -31,12 +31,18 @@ impl fmt::Debug for Rational {
 impl Rational {
     /// The rational zero.
     pub fn zero() -> Rational {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Rational {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Constructs `num / den`, normalising sign and reducing to lowest terms.
@@ -45,7 +51,11 @@ impl Rational {
     /// Panics if `den` is zero.
     pub fn new(num: BigInt, den: BigInt) -> Rational {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let (mut num, mut den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (mut num, mut den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         if num.is_zero() {
             return Rational::zero();
         }
@@ -59,7 +69,10 @@ impl Rational {
 
     /// Constructs the rational from an integer.
     pub fn from_int(v: impl Into<BigInt>) -> Rational {
-        Rational { num: v.into(), den: BigInt::one() }
+        Rational {
+            num: v.into(),
+            den: BigInt::one(),
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -109,7 +122,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -150,7 +166,10 @@ impl From<i64> for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -170,7 +189,10 @@ impl Ord for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -292,17 +314,22 @@ impl FromStr for Rational {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
         if let Some((n, d)) = s.split_once('/') {
-            let num: BigInt =
-                n.trim().parse().map_err(|e| ParseRationalError { msg: format!("{e}") })?;
-            let den: BigInt =
-                d.trim().parse().map_err(|e| ParseRationalError { msg: format!("{e}") })?;
+            let num: BigInt = n.trim().parse().map_err(|e| ParseRationalError {
+                msg: format!("{e}"),
+            })?;
+            let den: BigInt = d.trim().parse().map_err(|e| ParseRationalError {
+                msg: format!("{e}"),
+            })?;
             if den.is_zero() {
-                return Err(ParseRationalError { msg: "zero denominator".to_string() });
+                return Err(ParseRationalError {
+                    msg: "zero denominator".to_string(),
+                });
             }
             Ok(Rational::new(num, den))
         } else {
-            let num: BigInt =
-                s.parse().map_err(|e| ParseRationalError { msg: format!("{e}") })?;
+            let num: BigInt = s.parse().map_err(|e| ParseRationalError {
+                msg: format!("{e}"),
+            })?;
             Ok(Rational::from(num))
         }
     }

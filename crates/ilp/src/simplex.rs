@@ -116,8 +116,7 @@ impl Tableau {
     fn run(&mut self, banned: &[bool]) -> SimplexStatus {
         loop {
             // Entering column: smallest index with negative reduced cost.
-            let entering =
-                (0..self.cols).find(|&j| !banned[j] && self.obj[j].is_negative());
+            let entering = (0..self.cols).find(|&j| !banned[j] && self.obj[j].is_negative());
             let Some(col) = entering else {
                 return SimplexStatus::Optimal;
             };
@@ -133,8 +132,7 @@ impl Tableau {
                 match &best {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
-                        if ratio < *bratio
-                            || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                        if ratio < *bratio || (ratio == *bratio && self.basis[r] < self.basis[*br])
                         {
                             best = Some((r, ratio));
                         }
@@ -202,7 +200,12 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
                 (None, 0, Some(a))
             }
         };
-        plans.push(RowPlan { negate, slack, slack_sign, artificial });
+        plans.push(RowPlan {
+            negate,
+            slack,
+            slack_sign,
+            artificial,
+        });
     }
     let total_cols = next_col;
 
@@ -215,9 +218,17 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
         for (j, c) in row.coeffs.iter().enumerate() {
             trow[j] = if plan.negate { -c.clone() } else { c.clone() };
         }
-        trow[total_cols] = if plan.negate { -row.rhs.clone() } else { row.rhs.clone() };
+        trow[total_cols] = if plan.negate {
+            -row.rhs.clone()
+        } else {
+            row.rhs.clone()
+        };
         if let Some(s) = plan.slack {
-            trow[s] = if plan.slack_sign >= 0 { Rational::one() } else { -Rational::one() };
+            trow[s] = if plan.slack_sign >= 0 {
+                Rational::one()
+            } else {
+                -Rational::one()
+            };
         }
         if let Some(a) = plan.artificial {
             trow[a] = Rational::one();
@@ -281,16 +292,14 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
             return LpOutcome::Infeasible;
         }
         // Drive artificial variables out of the basis where possible.
-        let is_artificial =
-            |col: usize| plans.iter().any(|p| p.artificial == Some(col));
+        let is_artificial = |col: usize| plans.iter().any(|p| p.artificial == Some(col));
         for r in 0..m {
             if !is_artificial(tableau.basis[r]) {
                 continue;
             }
             // The artificial is basic at value 0; pivot in any non-artificial
             // column with a non-zero entry in this row.
-            let col = (0..total_cols)
-                .find(|&j| !is_artificial(j) && !tableau.rows[r][j].is_zero());
+            let col = (0..total_cols).find(|&j| !is_artificial(j) && !tableau.rows[r][j].is_zero());
             if let Some(col) = col {
                 tableau.pivot(r, col);
             }
@@ -360,7 +369,11 @@ mod tests {
     }
 
     fn row(coeffs: &[i64], op: CmpOp, rhs: i64) -> LpRow {
-        LpRow { coeffs: coeffs.iter().map(|&c| r(c)).collect(), op, rhs: r(rhs) }
+        LpRow {
+            coeffs: coeffs.iter().map(|&c| r(c)).collect(),
+            op,
+            rhs: r(rhs),
+        }
     }
 
     #[test]
@@ -490,7 +503,11 @@ mod tests {
 
     #[test]
     fn zero_rows_feasible() {
-        let p = LpProblem { num_vars: 2, rows: vec![], objective: vec![r(1), r(1)] };
+        let p = LpProblem {
+            num_vars: 2,
+            rows: vec![],
+            objective: vec![r(1), r(1)],
+        };
         match solve(&p) {
             LpOutcome::Optimal { objective, values } => {
                 assert_eq!(objective, r(0));

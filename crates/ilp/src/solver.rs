@@ -104,6 +104,9 @@ pub struct IlpSolver {
     config: SolverConfig,
 }
 
+/// One synthesized relaxation row: terms, comparison, right-hand side.
+type ExtraRow = (Vec<(VarId, Rational)>, CmpOp, Rational);
+
 /// Per-variable search-node state.
 #[derive(Debug, Clone)]
 struct Node {
@@ -140,13 +143,14 @@ impl IlpSolver {
         // Trivial case: no variables.
         if n == 0 {
             let empty = Assignment::zeros(0);
-            let ok = program
-                .constraints()
-                .iter()
-                .all(|c| c.holds(&empty))
+            let ok = program.constraints().iter().all(|c| c.holds(&empty))
                 && program.conditionals().iter().all(|c| c.holds(&empty));
             return (
-                if ok { SolveOutcome::Feasible(empty) } else { SolveOutcome::Infeasible },
+                if ok {
+                    SolveOutcome::Feasible(empty)
+                } else {
+                    SolveOutcome::Infeasible
+                },
                 stats,
             );
         }
@@ -158,7 +162,7 @@ impl IlpSolver {
         }
 
         // Extra rows for the big-constant treatment of conditionals.
-        let mut extra_rows: Vec<(Vec<(VarId, Rational)>, CmpOp, Rational)> = Vec::new();
+        let mut extra_rows: Vec<ExtraRow> = Vec::new();
         if self.config.conditional_mode == ConditionalMode::BigConstant
             && program.num_conditionals() > 0
         {
@@ -166,7 +170,10 @@ impl IlpSolver {
             for cond in program.conditionals() {
                 // c * consequent - antecedent >= 0
                 extra_rows.push((
-                    vec![(cond.consequent, c.clone()), (cond.antecedent, -Rational::one())],
+                    vec![
+                        (cond.consequent, c.clone()),
+                        (cond.antecedent, -Rational::one()),
+                    ],
                     CmpOp::Ge,
                     Rational::zero(),
                 ));
@@ -179,7 +186,11 @@ impl IlpSolver {
             upper: program
                 .vars()
                 .iter()
-                .map(|v| v.upper.clone().or_else(|| self.config.global_upper_bound.clone()))
+                .map(|v| {
+                    v.upper
+                        .clone()
+                        .or_else(|| self.config.global_upper_bound.clone())
+                })
                 .collect(),
         };
 
@@ -239,7 +250,11 @@ impl IlpSolver {
                 // Explore the "down" child first (prefer small solutions):
                 // push "up" first so "down" is popped next.
                 let mut up = node.clone();
-                let new_lower = if ceil > up.lower[j] { ceil } else { up.lower[j].clone() };
+                let new_lower = if ceil > up.lower[j] {
+                    ceil
+                } else {
+                    up.lower[j].clone()
+                };
                 up.lower[j] = new_lower;
                 stack.push(up);
                 let mut down = node.clone();
@@ -254,7 +269,10 @@ impl IlpSolver {
 
             // All values integral: candidate assignment.
             let candidate = Assignment::new(
-                abs_values.iter().map(|v| v.to_integer().expect("integral")).collect(),
+                abs_values
+                    .iter()
+                    .map(|v| v.to_integer().expect("integral"))
+                    .collect(),
             );
 
             // Check conditionals (only relevant in Branch mode; in BigConstant
@@ -294,11 +312,7 @@ impl IlpSolver {
 /// Builds the LP relaxation of `program` at a node, substituting
 /// `x_j = lower_j + x'_j` so the LP variables are all non-negative, and
 /// adding `x'_j <= upper_j - lower_j` rows for bounded variables.
-fn build_relaxation(
-    program: &IntegerProgram,
-    node: &Node,
-    extra_rows: &[(Vec<(VarId, Rational)>, CmpOp, Rational)],
-) -> LpProblem {
+fn build_relaxation(program: &IntegerProgram, node: &Node, extra_rows: &[ExtraRow]) -> LpProblem {
     let n = program.num_vars();
     let mut rows = Vec::with_capacity(program.num_constraints() + n + extra_rows.len());
 
@@ -310,7 +324,11 @@ fn build_relaxation(
                 shift += &(&c * &Rational::from(node.lower[v.index()].clone()));
                 coeffs[v.index()] = &coeffs[v.index()] + &c;
             }
-            rows.push(LpRow { coeffs, op, rhs: &rhs - &shift });
+            rows.push(LpRow {
+                coeffs,
+                op,
+                rhs: &rhs - &shift,
+            });
         };
 
     for c in program.constraints() {
@@ -327,10 +345,20 @@ fn build_relaxation(
     for j in 0..n {
         if let Some(u) = &node.upper[j] {
             let coeffs: Vec<Rational> = (0..n)
-                .map(|k| if k == j { Rational::one() } else { Rational::zero() })
+                .map(|k| {
+                    if k == j {
+                        Rational::one()
+                    } else {
+                        Rational::zero()
+                    }
+                })
                 .collect();
             let gap = u - &node.lower[j];
-            rows.push(LpRow { coeffs, op: CmpOp::Le, rhs: Rational::from(gap) });
+            rows.push(LpRow {
+                coeffs,
+                op: CmpOp::Le,
+                rhs: Rational::from(gap),
+            });
         }
     }
 
@@ -519,7 +547,10 @@ mod tests {
         let mut p = IntegerProgram::new();
         let x = p.add_var("x");
         p.add_ge(LinExpr::var(x), int(1), "x>=1");
-        let solver = IlpSolver::with_config(SolverConfig { max_nodes: 0, ..Default::default() });
+        let solver = IlpSolver::with_config(SolverConfig {
+            max_nodes: 0,
+            ..Default::default()
+        });
         match solver.solve(&p) {
             SolveOutcome::Unknown(_) => {}
             other => panic!("expected Unknown, got {other:?}"),

@@ -55,7 +55,11 @@ struct ChaseState {
 
 impl ChaseState {
     fn new(schema: &RelSchema) -> ChaseState {
-        ChaseState { tables: vec![Vec::new(); schema.num_relations()], parent: Vec::new(), steps: 0 }
+        ChaseState {
+            tables: vec![Vec::new(); schema.num_relations()],
+            parent: Vec::new(),
+            steps: 0,
+        }
     }
 
     fn fresh(&mut self) -> usize {
@@ -83,7 +87,9 @@ impl ChaseState {
     }
 
     fn values(&mut self, rel: RelId, row: usize, cols: &[usize]) -> Vec<usize> {
-        cols.iter().map(|&c| self.find(self.tables[rel.index()][row][c])).collect()
+        cols.iter()
+            .map(|&c| self.find(self.tables[rel.index()][row][c]))
+            .collect()
     }
 
     /// One round of applying every dependency; returns `true` if anything
@@ -103,12 +109,22 @@ impl ChaseState {
                     let all: Vec<usize> = (0..schema.relation(*rel).attrs.len()).collect();
                     changed |= self.apply_fd(*rel, &lhs_pos, &all);
                 }
-                RelConstraint::Ind { rel, attrs, target, target_attrs } => {
+                RelConstraint::Ind {
+                    rel,
+                    attrs,
+                    target,
+                    target_attrs,
+                } => {
                     let src = schema.positions(*rel, attrs).expect("ind src");
                     let dst = schema.positions(*target, target_attrs).expect("ind dst");
                     changed |= self.apply_ind(schema, *rel, &src, *target, &dst);
                 }
-                RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => {
+                RelConstraint::ForeignKey {
+                    rel,
+                    attrs,
+                    target,
+                    target_attrs,
+                } => {
                     let src = schema.positions(*rel, attrs).expect("fk src");
                     let dst = schema.positions(*target, target_attrs).expect("fk dst");
                     changed |= self.apply_ind(schema, *rel, &src, *target, &dst);
@@ -185,6 +201,7 @@ impl ChaseState {
 
     /// Converts the chase state into a concrete instance: each equivalence
     /// class of nulls becomes the constant `v<root>`.
+    #[allow(clippy::wrong_self_convention)] // mutates union-find roots while reading
     fn to_instance(&mut self, schema: &RelSchema) -> Instance {
         let mut instance = Instance::empty(schema);
         for rel in schema.relations() {
@@ -212,8 +229,7 @@ pub fn implies_fd(
     let width = schema.relation(rel).attrs.len();
     let mut state = ChaseState::new(schema);
     // Two tuples agreeing exactly on the lhs.
-    let shared: HashMap<usize, usize> =
-        lhs_pos.iter().map(|&p| (p, 0)).collect::<HashMap<_, _>>();
+    let shared: HashMap<usize, usize> = lhs_pos.iter().map(|&p| (p, 0)).collect::<HashMap<_, _>>();
     let mut t1 = Vec::with_capacity(width);
     let mut t2 = Vec::with_capacity(width);
     let mut shared_vals: HashMap<usize, usize> = HashMap::new();
@@ -263,7 +279,9 @@ pub fn implies_ind(
     config: &ChaseConfig,
 ) -> ChaseResult {
     let src_pos = schema.positions(rel, attrs).expect("target ind src");
-    let dst_pos = schema.positions(target, target_attrs).expect("target ind dst");
+    let dst_pos = schema
+        .positions(target, target_attrs)
+        .expect("target ind dst");
     let width = schema.relation(rel).attrs.len();
     let mut state = ChaseState::new(schema);
     let tuple: Vec<usize> = (0..width).map(|_| state.fresh()).collect();
@@ -306,9 +324,18 @@ mod tests {
         // R(a,b,c) with a→b and b→c implies a→c.
         let mut s = RelSchema::new();
         let r = s.add_relation("R", &["a", "b", "c"]);
-        let sigma = vec![RelConstraint::fd(r, &["a"], &["b"]), RelConstraint::fd(r, &["b"], &["c"])];
-        let result =
-            implies_fd(&s, &sigma, r, &owned(&["a"]), &owned(&["c"]), &ChaseConfig::default());
+        let sigma = vec![
+            RelConstraint::fd(r, &["a"], &["b"]),
+            RelConstraint::fd(r, &["b"], &["c"]),
+        ];
+        let result = implies_fd(
+            &s,
+            &sigma,
+            r,
+            &owned(&["a"]),
+            &owned(&["c"]),
+            &ChaseConfig::default(),
+        );
         assert!(result.is_implied());
     }
 
@@ -317,8 +344,14 @@ mod tests {
         let mut s = RelSchema::new();
         let r = s.add_relation("R", &["a", "b", "c"]);
         let sigma = vec![RelConstraint::fd(r, &["a"], &["b"])];
-        let result =
-            implies_fd(&s, &sigma, r, &owned(&["b"]), &owned(&["c"]), &ChaseConfig::default());
+        let result = implies_fd(
+            &s,
+            &sigma,
+            r,
+            &owned(&["b"]),
+            &owned(&["c"]),
+            &ChaseConfig::default(),
+        );
         match result {
             ChaseResult::NotImplied(instance) => {
                 // The counterexample satisfies Σ and violates b→c.

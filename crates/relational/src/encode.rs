@@ -60,7 +60,10 @@ pub fn encode_fd_implication(
         let new_attr_refs: Vec<&str> = xyz.iter().map(String::as_str).collect();
         let rnew = extended.add_relation(&new_name, &new_attr_refs);
         // ℓ4 = Rnew[XY] → Rnew (key; also the target of ℓ2's foreign key).
-        out.push(RelConstraint::Key { rel: rnew, attrs: xy.clone() });
+        out.push(RelConstraint::Key {
+            rel: rnew,
+            attrs: xy.clone(),
+        });
         // ℓ2 = R[XY] ⊆ Rnew[XY]  (foreign key onto ℓ4).
         out.push(RelConstraint::ForeignKey {
             rel,
@@ -71,8 +74,14 @@ pub fn encode_fd_implication(
         // XYZ is a superkey of R (it contains the key Z) and of Rnew (all its
         // attributes), so ℓ3 = Rnew[XYZ] ⊆ R[XYZ] is a foreign key once the
         // key R[XYZ] → R is stated.
-        out.push(RelConstraint::Key { rel, attrs: xyz.clone() });
-        out.push(RelConstraint::Key { rel: rnew, attrs: xyz.clone() });
+        out.push(RelConstraint::Key {
+            rel,
+            attrs: xyz.clone(),
+        });
+        out.push(RelConstraint::Key {
+            rel: rnew,
+            attrs: xyz.clone(),
+        });
         out.push(RelConstraint::ForeignKey {
             rel: rnew,
             attrs: xyz.clone(),
@@ -81,7 +90,10 @@ pub fn encode_fd_implication(
         });
         if include_l1 {
             // ℓ1 = Rnew[X] → Rnew: the simulated FD itself.
-            out.push(RelConstraint::Key { rel: rnew, attrs: lhs.to_vec() });
+            out.push(RelConstraint::Key {
+                rel: rnew,
+                attrs: lhs.to_vec(),
+            });
         }
         (rnew, lhs.to_vec())
     }
@@ -91,7 +103,12 @@ pub fn encode_fd_implication(
             RelConstraint::Fd { rel, lhs, rhs } => {
                 encode_fd(&mut counter, &mut extended, &mut out, *rel, lhs, rhs, true);
             }
-            RelConstraint::Ind { rel, attrs, target, target_attrs } => {
+            RelConstraint::Ind {
+                rel,
+                attrs,
+                target,
+                target_attrs,
+            } => {
                 counter += 1;
                 let target_name = extended.relation(*target).name.clone();
                 // Z = Att(R2).
@@ -101,7 +118,10 @@ pub fn encode_fd_implication(
                 let new_attr_refs: Vec<&str> = yz.iter().map(String::as_str).collect();
                 let rnew = extended.add_relation(&new_name, &new_attr_refs);
                 // ℓ1 = Rnew[Y] → Rnew.
-                out.push(RelConstraint::Key { rel: rnew, attrs: target_attrs.clone() });
+                out.push(RelConstraint::Key {
+                    rel: rnew,
+                    attrs: target_attrs.clone(),
+                });
                 // ℓ2 = R1[X] ⊆ Rnew[Y] (foreign key onto ℓ1).
                 out.push(RelConstraint::ForeignKey {
                     rel: *rel,
@@ -111,8 +131,14 @@ pub fn encode_fd_implication(
                 });
                 // ℓ3 = Rnew[YZ] ⊆ R2[YZ], a foreign key because YZ ⊇ Z is a
                 // superkey of R2.
-                out.push(RelConstraint::Key { rel: *target, attrs: yz.clone() });
-                out.push(RelConstraint::Key { rel: rnew, attrs: yz.clone() });
+                out.push(RelConstraint::Key {
+                    rel: *target,
+                    attrs: yz.clone(),
+                });
+                out.push(RelConstraint::Key {
+                    rel: rnew,
+                    attrs: yz.clone(),
+                });
                 out.push(RelConstraint::ForeignKey {
                     rel: rnew,
                     attrs: yz.clone(),
@@ -135,9 +161,17 @@ pub fn encode_fd_implication(
         target_rhs,
         false,
     );
-    let target_key = RelConstraint::Key { rel: target_new, attrs: target_attrs };
+    let target_key = RelConstraint::Key {
+        rel: target_new,
+        attrs: target_attrs,
+    };
 
-    EncodedImplication { schema: extended, sigma: out, target_key, target_rel: target_new }
+    EncodedImplication {
+        schema: extended,
+        sigma: out,
+        target_key,
+        target_rel: target_new,
+    }
 }
 
 /// Ordered union of two attribute lists (duplicates removed, first
@@ -170,11 +204,11 @@ mod tests {
             RelConstraint::fd(r, &["a"], &["b"]),
             RelConstraint::ind(r, &["c"], t, &["x"]),
         ];
-        let enc = encode_fd_implication(&s, &sigma, r, &owned(&["a"]), &owned(&["c"]), );
-        assert!(enc
-            .sigma
-            .iter()
-            .all(|c| matches!(c, RelConstraint::Key { .. } | RelConstraint::ForeignKey { .. })));
+        let enc = encode_fd_implication(&s, &sigma, r, &owned(&["a"]), &owned(&["c"]));
+        assert!(enc.sigma.iter().all(|c| matches!(
+            c,
+            RelConstraint::Key { .. } | RelConstraint::ForeignKey { .. }
+        )));
         assert!(matches!(enc.target_key, RelConstraint::Key { .. }));
         // One fresh relation per FD/IND in Σ plus one for the target.
         assert_eq!(enc.schema.num_relations(), s.num_relations() + 3);
@@ -224,7 +258,10 @@ mod tests {
                 .collect();
             let source_tuples: Vec<Vec<String>> = inst.tuples(r).to_vec();
             for t in source_tuples {
-                inst.insert(rel, source_positions.iter().map(|&p| t[p].clone()).collect());
+                inst.insert(
+                    rel,
+                    source_positions.iter().map(|&p| t[p].clone()).collect(),
+                );
             }
         }
         assert!(instance_satisfies(&enc.schema, &inst, &enc.sigma));

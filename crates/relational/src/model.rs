@@ -84,7 +84,10 @@ impl RelSchema {
 
     /// Column positions for a list of attribute names of a relation.
     pub fn positions(&self, rel: RelId, attrs: &[String]) -> Option<Vec<usize>> {
-        attrs.iter().map(|a| self.relation(rel).attr_pos(a)).collect()
+        attrs
+            .iter()
+            .map(|a| self.relation(rel).attr_pos(a))
+            .collect()
     }
 }
 
@@ -100,7 +103,9 @@ pub struct Instance {
 impl Instance {
     /// An empty instance of a schema.
     pub fn empty(schema: &RelSchema) -> Instance {
-        Instance { tables: vec![Vec::new(); schema.num_relations()] }
+        Instance {
+            tables: vec![Vec::new(); schema.num_relations()],
+        }
     }
 
     /// Inserts a tuple into a relation (deduplicating under set semantics).
@@ -173,7 +178,10 @@ pub enum RelConstraint {
 impl RelConstraint {
     /// Builds a key from attribute name slices.
     pub fn key(rel: RelId, attrs: &[&str]) -> RelConstraint {
-        RelConstraint::Key { rel, attrs: owned(attrs) }
+        RelConstraint::Key {
+            rel,
+            attrs: owned(attrs),
+        }
     }
 
     /// Builds a foreign key.
@@ -193,16 +201,15 @@ impl RelConstraint {
 
     /// Builds a functional dependency.
     pub fn fd(rel: RelId, lhs: &[&str], rhs: &[&str]) -> RelConstraint {
-        RelConstraint::Fd { rel, lhs: owned(lhs), rhs: owned(rhs) }
+        RelConstraint::Fd {
+            rel,
+            lhs: owned(lhs),
+            rhs: owned(rhs),
+        }
     }
 
     /// Builds an inclusion dependency.
-    pub fn ind(
-        rel: RelId,
-        attrs: &[&str],
-        target: RelId,
-        target_attrs: &[&str],
-    ) -> RelConstraint {
+    pub fn ind(rel: RelId, attrs: &[&str], target: RelId, target_attrs: &[&str]) -> RelConstraint {
         RelConstraint::Ind {
             rel,
             attrs: owned(attrs),
@@ -246,10 +253,22 @@ impl RelConstraint {
                 }
                 true
             }
-            RelConstraint::Ind { rel, attrs, target, target_attrs }
-            | RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => {
+            RelConstraint::Ind {
+                rel,
+                attrs,
+                target,
+                target_attrs,
+            }
+            | RelConstraint::ForeignKey {
+                rel,
+                attrs,
+                target,
+                target_attrs,
+            } => {
                 let src_pos = schema.positions(*rel, attrs).expect("ind source attrs");
-                let dst_pos = schema.positions(*target, target_attrs).expect("ind target attrs");
+                let dst_pos = schema
+                    .positions(*target, target_attrs)
+                    .expect("ind target attrs");
                 let targets: HashSet<Vec<&str>> = instance
                     .tuples(*target)
                     .iter()
@@ -260,7 +279,11 @@ impl RelConstraint {
                     targets.contains(&v)
                 });
                 match self {
-                    RelConstraint::ForeignKey { target, target_attrs, .. } => {
+                    RelConstraint::ForeignKey {
+                        target,
+                        target_attrs,
+                        ..
+                    } => {
                         inclusion_ok
                             && RelConstraint::Key {
                                 rel: *target,
@@ -280,7 +303,12 @@ impl RelConstraint {
             RelConstraint::Key { rel, attrs } => {
                 format!("{}[{}] → {0}", schema.relation(*rel).name, attrs.join(", "))
             }
-            RelConstraint::ForeignKey { rel, attrs, target, target_attrs } => format!(
+            RelConstraint::ForeignKey {
+                rel,
+                attrs,
+                target,
+                target_attrs,
+            } => format!(
                 "{}[{}] ⊆ {}[{}] (foreign key)",
                 schema.relation(*rel).name,
                 attrs.join(", "),
@@ -293,7 +321,12 @@ impl RelConstraint {
                 lhs.join(", "),
                 rhs.join(", ")
             ),
-            RelConstraint::Ind { rel, attrs, target, target_attrs } => format!(
+            RelConstraint::Ind {
+                rel,
+                attrs,
+                target,
+                target_attrs,
+            } => format!(
                 "{}[{}] ⊆ {}[{}]",
                 schema.relation(*rel).name,
                 attrs.join(", "),

@@ -33,7 +33,10 @@ impl fmt::Display for XmlError {
                 write!(f, "element `{name}` is not declared in the DTD")
             }
             XmlError::UnknownAttribute { element, attribute } => {
-                write!(f, "attribute `{attribute}` on `{element}` is not declared in the DTD")
+                write!(
+                    f,
+                    "attribute `{attribute}` on `{element}` is not declared in the DTD"
+                )
             }
         }
     }
@@ -47,10 +50,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = XmlError::Syntax { offset: 10, message: "bad".into() };
+        let e = XmlError::Syntax {
+            offset: 10,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("byte 10"));
-        assert!(XmlError::UnknownElement("x".into()).to_string().contains('x'));
-        let e = XmlError::UnknownAttribute { element: "a".into(), attribute: "b".into() };
+        assert!(XmlError::UnknownElement("x".into())
+            .to_string()
+            .contains('x'));
+        let e = XmlError::UnknownAttribute {
+            element: "a".into(),
+            attribute: "b".into(),
+        };
         assert!(e.to_string().contains('a') && e.to_string().contains('b'));
     }
 }

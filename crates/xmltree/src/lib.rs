@@ -24,5 +24,5 @@ pub mod writer;
 pub use error::XmlError;
 pub use parser::parse_document;
 pub use tree::{NodeId, NodeLabel, XmlTree};
-pub use validate::{is_valid, validate, ValidationError, Validator};
+pub use validate::{compile_automata, is_valid, validate, ValidationError, Validator};
 pub use writer::{write_document, write_document_with, WriteOptions};

@@ -19,7 +19,11 @@ use crate::tree::{NodeId, XmlTree};
 /// meaningful in the paper's model); all other text is kept verbatim after
 /// entity expansion.
 pub fn parse_document(input: &str, dtd: &Dtd) -> Result<XmlTree, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, dtd };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        dtd,
+    };
     p.skip_prolog()?;
     let (name, tree) = p.parse_root()?;
     let _ = name;
@@ -50,7 +54,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: &str) -> XmlError {
-        XmlError::Syntax { offset: self.pos, message: message.to_string() }
+        XmlError::Syntax {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -176,13 +183,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     self.skip_ws();
                     let value = self.quoted()?;
-                    let attr = self
-                        .dtd
-                        .attr_by_name(&attr_name)
-                        .ok_or_else(|| XmlError::UnknownAttribute {
+                    let attr = self.dtd.attr_by_name(&attr_name).ok_or_else(|| {
+                        XmlError::UnknownAttribute {
                             element: elem_name.to_string(),
                             attribute: attr_name.clone(),
-                        })?;
+                        }
+                    })?;
                     tree.set_attr(node, attr, unescape(&value));
                 }
                 None => return Err(self.error("unterminated start tag")),
@@ -191,7 +197,9 @@ impl<'a> Parser<'a> {
     }
 
     fn quoted(&mut self) -> Result<String, XmlError> {
-        let quote = self.peek().ok_or_else(|| self.error("expected a quoted value"))?;
+        let quote = self
+            .peek()
+            .ok_or_else(|| self.error("expected a quoted value"))?;
         if quote != b'"' && quote != b'\'' {
             return Err(self.error("expected a quoted value"));
         }
@@ -332,7 +340,10 @@ mod tests {
         let mut b = xic_dtd::Dtd::builder();
         let r = b.elem("r");
         let item = b.elem("item");
-        b.content(r, xic_dtd::ContentModel::star(xic_dtd::ContentModel::Element(item)));
+        b.content(
+            r,
+            xic_dtd::ContentModel::star(xic_dtd::ContentModel::Element(item)),
+        );
         b.attr(item, "id");
         let dtd = b.build("r").unwrap();
         let tree = parse_document(r#"<r><item id="1"/><item id="2"/></r>"#, &dtd).unwrap();
@@ -368,8 +379,7 @@ mod tests {
         b.content(r, xic_dtd::ContentModel::Text);
         b.attr(r, "label");
         let dtd = b.build("r").unwrap();
-        let tree =
-            parse_document(r#"<r label="a &amp; b">x &lt; y</r>"#, &dtd).unwrap();
+        let tree = parse_document(r#"<r label="a &amp; b">x &lt; y</r>"#, &dtd).unwrap();
         let label = dtd.attr_by_name("label").unwrap();
         assert_eq!(tree.attr_value(tree.root(), label), Some("a & b"));
         assert_eq!(tree.text_of(tree.root()), "x < y");

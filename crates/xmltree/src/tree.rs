@@ -69,7 +69,10 @@ impl XmlTree {
             children: Vec::new(),
             attrs: Vec::new(),
         };
-        XmlTree { nodes: vec![root], root: NodeId(0) }
+        XmlTree {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
     }
 
     /// The root node.
@@ -165,8 +168,10 @@ impl XmlTree {
     /// returning the attribute node id.
     pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: impl Into<String>) -> NodeId {
         let value = value.into();
-        if let Some(&(_, existing)) =
-            self.nodes[node.index()].attrs.iter().find(|(a, _)| *a == attr)
+        if let Some(&(_, existing)) = self.nodes[node.index()]
+            .attrs
+            .iter()
+            .find(|(a, _)| *a == attr)
         {
             self.nodes[existing.index()].value = Some(value);
             return existing;
@@ -192,12 +197,16 @@ impl XmlTree {
 
     /// `ext(τ)`: all element nodes of type `ty`.
     pub fn ext(&self, ty: ElemId) -> Vec<NodeId> {
-        self.elements().filter(|&n| self.element_type(n) == Some(ty)).collect()
+        self.elements()
+            .filter(|&n| self.element_type(n) == Some(ty))
+            .collect()
     }
 
     /// `|ext(τ)|` without materialising the node list.
     pub fn ext_count(&self, ty: ElemId) -> usize {
-        self.elements().filter(|&n| self.element_type(n) == Some(ty)).count()
+        self.elements()
+            .filter(|&n| self.element_type(n) == Some(ty))
+            .count()
     }
 
     /// `ext(τ.l)`: the set of `l`-attribute values over all `τ` elements.
@@ -364,6 +373,9 @@ mod tests {
         assert_eq!(hist[&subject], 4);
         let second_subject = t.ext(subject)[1];
         let path = t.path_of(&dtd, second_subject);
-        assert!(path.starts_with("teachers/teacher[1]/teach[1]/subject[2]"), "{path}");
+        assert!(
+            path.starts_with("teachers/teacher[1]/teach[1]/subject[2]"),
+            "{path}"
+        );
     }
 }

@@ -56,9 +56,17 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ValidationError::WrongRootType { expected, found } => {
-                write!(f, "root element is `{found}` but the DTD root is `{expected}`")
+                write!(
+                    f,
+                    "root element is `{found}` but the DTD root is `{expected}`"
+                )
             }
-            ValidationError::ContentModelMismatch { path, element_type, expected, found } => {
+            ValidationError::ContentModelMismatch {
+                path,
+                element_type,
+                expected,
+                found,
+            } => {
                 write!(
                     f,
                     "{path}: children of `{element_type}` are [{found}] which does not match {expected}"
@@ -68,7 +76,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "{path}: missing required attribute `{attribute}`")
             }
             ValidationError::UnexpectedAttribute { path, attribute } => {
-                write!(f, "{path}: attribute `{attribute}` is not defined for this element type")
+                write!(
+                    f,
+                    "{path}: attribute `{attribute}` is not defined for this element type"
+                )
             }
             ValidationError::ValueShape { path, message } => write!(f, "{path}: {message}"),
         }
@@ -78,17 +89,56 @@ impl std::fmt::Display for ValidationError {
 impl std::error::Error for ValidationError {}
 
 /// A compiled validator: one Glushkov automaton per element type.
+///
+/// The automata can be owned (built by [`Validator::new`]) or borrowed from a
+/// caller that compiled them once and validates many documents (see
+/// [`Validator::from_automata`]).
 #[derive(Debug)]
 pub struct Validator<'d> {
     dtd: &'d Dtd,
-    automata: HashMap<ElemId, Glushkov>,
+    automata: Automata<'d>,
+}
+
+#[derive(Debug)]
+enum Automata<'d> {
+    Owned(HashMap<ElemId, Glushkov>),
+    Borrowed(&'d HashMap<ElemId, Glushkov>),
+}
+
+impl Automata<'_> {
+    fn get(&self, ty: ElemId) -> &Glushkov {
+        match self {
+            Automata::Owned(map) => &map[&ty],
+            Automata::Borrowed(map) => &map[&ty],
+        }
+    }
+}
+
+/// Builds the Glushkov automata of every content model of a DTD, keyed by
+/// element type — the per-spec compilation step that [`Validator::new`] runs
+/// implicitly and that batch engines want to run exactly once.
+pub fn compile_automata(dtd: &Dtd) -> HashMap<ElemId, Glushkov> {
+    dtd.types()
+        .map(|ty| (ty, Glushkov::new(dtd.content(ty))))
+        .collect()
 }
 
 impl<'d> Validator<'d> {
     /// Compiles the content models of a DTD.
     pub fn new(dtd: &'d Dtd) -> Validator<'d> {
-        let automata = dtd.types().map(|ty| (ty, Glushkov::new(dtd.content(ty)))).collect();
-        Validator { dtd, automata }
+        Validator {
+            dtd,
+            automata: Automata::Owned(compile_automata(dtd)),
+        }
+    }
+
+    /// Wraps automata compiled once elsewhere (see [`compile_automata`]);
+    /// `automata` must cover every element type of `dtd`.
+    pub fn from_automata(dtd: &'d Dtd, automata: &'d HashMap<ElemId, Glushkov>) -> Validator<'d> {
+        Validator {
+            dtd,
+            automata: Automata::Borrowed(automata),
+        }
     }
 
     /// Validates a whole tree, collecting every violation.
@@ -118,7 +168,9 @@ impl<'d> Validator<'d> {
     }
 
     fn validate_element(&self, tree: &XmlTree, node: NodeId, errors: &mut Vec<ValidationError>) {
-        let Some(ty) = tree.element_type(node) else { return };
+        let Some(ty) = tree.element_type(node) else {
+            return;
+        };
         let path = || tree.path_of(self.dtd, node);
 
         // Elements carry no value.
@@ -138,7 +190,7 @@ impl<'d> Validator<'d> {
                 _ => ChildSymbol::Text,
             })
             .collect();
-        let automaton = &self.automata[&ty];
+        let automaton = self.automata.get(ty);
         if !automaton.matches(&word) {
             let found = word
                 .iter()
@@ -278,7 +330,9 @@ mod tests {
         let teacher = dtd.type_by_name("teacher").unwrap();
         let t = XmlTree::new(teacher);
         let errors = validate(&t, &dtd);
-        assert!(errors.iter().any(|e| matches!(e, ValidationError::WrongRootType { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::WrongRootType { .. })));
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        WriteOptions { indent: "  ".to_string(), declaration: true }
+        WriteOptions {
+            indent: "  ".to_string(),
+            declaration: true,
+        }
     }
 }
 
@@ -42,7 +45,9 @@ fn write_element(
     options: &WriteOptions,
     out: &mut String,
 ) {
-    let NodeLabel::Element(ty) = tree.label(node) else { return };
+    let NodeLabel::Element(ty) = tree.label(node) else {
+        return;
+    };
     let pretty = !options.indent.is_empty();
     if pretty {
         for _ in 0..depth {
@@ -68,7 +73,9 @@ fn write_element(
     }
     out.push('>');
     // If the element has only text children, keep them inline.
-    let only_text = children.iter().all(|&c| matches!(tree.label(c), NodeLabel::Text));
+    let only_text = children
+        .iter()
+        .all(|&c| matches!(tree.label(c), NodeLabel::Text));
     if only_text {
         for &c in children {
             out.push_str(&escape(tree.value(c).unwrap_or("")));
@@ -154,7 +161,10 @@ mod tests {
         assert_eq!(reparsed.num_nodes(), tree.num_nodes());
         let subject = dtd.type_by_name("subject").unwrap();
         let taught_by = dtd.attr_by_name("taught_by").unwrap();
-        assert_eq!(reparsed.ext_attr(subject, taught_by), tree.ext_attr(subject, taught_by));
+        assert_eq!(
+            reparsed.ext_attr(subject, taught_by),
+            tree.ext_attr(subject, taught_by)
+        );
         assert_eq!(reparsed.text_of(reparsed.ext(subject)[0]), "X<ML");
     }
 
@@ -165,7 +175,10 @@ mod tests {
         let text = write_document_with(
             &tree,
             &dtd,
-            &WriteOptions { indent: String::new(), declaration: false },
+            &WriteOptions {
+                indent: String::new(),
+                declaration: false,
+            },
         );
         assert!(!text.contains('\n'));
         assert!(text.starts_with("<teachers>"));
@@ -181,7 +194,10 @@ mod tests {
         let text = write_document_with(
             &tree,
             &dtd,
-            &WriteOptions { indent: String::new(), declaration: false },
+            &WriteOptions {
+                indent: String::new(),
+                declaration: false,
+            },
         );
         assert_eq!(text, "<r/>");
     }

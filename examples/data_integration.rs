@@ -40,19 +40,30 @@ fn main() {
         Constraint::unary_foreign_key(shipment, item, part, pid),
         Constraint::unary_inclusion(shipment, by, part, owner),
     ]);
-    println!("source guarantees over the mediator interface:\n{}\n", sigma.render(&dtd));
+    println!(
+        "source guarantees over the mediator interface:\n{}\n",
+        sigma.render(&dtd)
+    );
 
     let checker = ImplicationChecker::new();
     let queries = vec![
-        ("every shipment.by is a known supplier (shipment.by ⊆ supplier.sid)",
-            Constraint::unary_inclusion(shipment, by, supplier, sid)),
-        ("shipment.item identifies the shipment (shipment.item → shipment)",
-            Constraint::unary_key(shipment, item)),
-        ("part.owner identifies the part (part.owner → part)",
-            Constraint::unary_key(part, owner)),
+        (
+            "every shipment.by is a known supplier (shipment.by ⊆ supplier.sid)",
+            Constraint::unary_inclusion(shipment, by, supplier, sid),
+        ),
+        (
+            "shipment.item identifies the shipment (shipment.item → shipment)",
+            Constraint::unary_key(shipment, item),
+        ),
+        (
+            "part.owner identifies the part (part.owner → part)",
+            Constraint::unary_key(part, owner),
+        ),
     ];
     for (label, phi) in queries {
-        let outcome = checker.implies(&dtd, &sigma, &phi).expect("well-formed query");
+        let outcome = checker
+            .implies(&dtd, &sigma, &phi)
+            .expect("well-formed query");
         println!("can clients rely on: {label}?");
         match &outcome {
             xml_integrity_constraints::core::ImplicationOutcome::Implied { explanation } => {
@@ -64,7 +75,10 @@ fn main() {
             } => {
                 println!("  no — {explanation}");
                 if let Some(doc) = counterexample {
-                    println!("  counterexample feed:\n{}", indent(&write_document(doc, &dtd)));
+                    println!(
+                        "  counterexample feed:\n{}",
+                        indent(&write_document(doc, &dtd))
+                    );
                 }
             }
             xml_integrity_constraints::core::ImplicationOutcome::Unknown { explanation } => {
@@ -75,5 +89,8 @@ fn main() {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

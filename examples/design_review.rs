@@ -48,7 +48,9 @@ fn main() {
     println!("{}", sigma.render(&dtd));
 
     let checker = ConsistencyChecker::new();
-    let verdict = checker.check(&dtd, &sigma).expect("well-formed specification");
+    let verdict = checker
+        .check(&dtd, &sigma)
+        .expect("well-formed specification");
     if verdict.is_consistent() {
         println!("verdict: consistent — nothing to review");
         return;
@@ -56,14 +58,17 @@ fn main() {
     println!("verdict: INCONSISTENT — no conforming document can satisfy these constraints\n");
 
     println!("== diagnosis ==");
-    let diagnosis =
-        diagnose(&dtd, &sigma, &CheckerConfig::default()).expect("unary specification");
+    let diagnosis = diagnose(&dtd, &sigma, &CheckerConfig::default()).expect("unary specification");
     println!("{}", diagnosis.render(&dtd));
 
     // Propose a repair: keep everything outside the minimal core, and keep
     // the core minus its weakest member (here: drop the talk key, which is
     // what forces |talk.speaker| = |talk| = 2·|session|).
-    let Diagnosis::Core { constraints: core, innocent } = &diagnosis else {
+    let Diagnosis::Core {
+        constraints: core,
+        innocent,
+    } = &diagnosis
+    else {
         return;
     };
     println!("== proposed repair ==");
@@ -77,8 +82,13 @@ fn main() {
     println!("keep:\n{}", repaired.render(&dtd));
     println!("drop: {}", core[0].render(&dtd));
 
-    let verdict = checker.check(&dtd, &repaired).expect("well-formed specification");
-    assert!(verdict.is_consistent(), "the repaired specification must be consistent");
+    let verdict = checker
+        .check(&dtd, &repaired)
+        .expect("well-formed specification");
+    assert!(
+        verdict.is_consistent(),
+        "the repaired specification must be consistent"
+    );
     println!("\nthe repaired specification is consistent; an example document:");
     if let Some(witness) = verdict.witness() {
         println!("{}", write_document(witness, &dtd));

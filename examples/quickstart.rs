@@ -43,7 +43,14 @@ fn main() {
     println!("== D1 with Σ1 (the paper's Section 1 example) ==");
     println!("{}", sigma1.render(&d1));
     let outcome = checker.check(&d1, &sigma1).expect("well-formed spec");
-    println!("verdict: {}", if outcome.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" });
+    println!(
+        "verdict: {}",
+        if outcome.is_consistent() {
+            "CONSISTENT"
+        } else {
+            "INCONSISTENT"
+        }
+    );
     println!("why: {}\n", outcome.explanation());
 
     // Drop the subject key: the specification becomes meaningful.
@@ -53,15 +60,34 @@ fn main() {
     ]);
     println!("== D1 with Σ1 minus the subject key ==");
     let outcome = checker.check(&d1, &relaxed).expect("well-formed spec");
-    println!("verdict: {}", if outcome.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" });
+    println!(
+        "verdict: {}",
+        if outcome.is_consistent() {
+            "CONSISTENT"
+        } else {
+            "INCONSISTENT"
+        }
+    );
     if let Some(witness) = outcome.witness() {
-        println!("a smallest witness document:\n{}", write_document(witness, &d1));
+        println!(
+            "a smallest witness document:\n{}",
+            write_document(witness, &d1)
+        );
     }
 
     // D2 has no finite valid tree at all.
     let d2 = example_d2();
     println!("== D2 = <!ELEMENT db (foo)> <!ELEMENT foo (foo)> with no constraints ==");
-    let outcome = checker.check(&d2, &ConstraintSet::new()).expect("well-formed spec");
-    println!("verdict: {}", if outcome.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" });
+    let outcome = checker
+        .check(&d2, &ConstraintSet::new())
+        .expect("well-formed spec");
+    println!(
+        "verdict: {}",
+        if outcome.is_consistent() {
+            "CONSISTENT"
+        } else {
+            "INCONSISTENT"
+        }
+    );
     println!("why: {}", outcome.explanation());
 }

@@ -23,10 +23,17 @@ fn main() {
     let outcome = checker.check(&d3, &sigma3).expect("well-formed spec");
     println!(
         "consistency of the registrar specification: {}",
-        if outcome.is_consistent() { "CONSISTENT" } else { outcome.explanation() }
+        if outcome.is_consistent() {
+            "CONSISTENT"
+        } else {
+            outcome.explanation()
+        }
     );
     if let Some(witness) = outcome.witness() {
-        println!("example registrar document:\n{}", write_document(witness, &d3));
+        println!(
+            "example registrar document:\n{}",
+            write_document(witness, &d3)
+        );
     }
 
     // What do the constraints imply?
@@ -42,13 +49,19 @@ fn main() {
             "enroll[student_id, dept, course_no] → enroll (restated)",
             Constraint::key(enroll, vec![student_id, dept, course_no]),
         ),
-        ("enroll[student_id] → enroll (a student enrols only once?)",
-            Constraint::key(enroll, vec![student_id])),
-        ("student[student_id, student_id] → student (superkey of the student key)",
-            Constraint::key(student, vec![student_id, student_id])),
+        (
+            "enroll[student_id] → enroll (a student enrols only once?)",
+            Constraint::key(enroll, vec![student_id]),
+        ),
+        (
+            "student[student_id, student_id] → student (superkey of the student key)",
+            Constraint::key(student, vec![student_id, student_id]),
+        ),
     ];
     for (label, phi) in queries {
-        let outcome = implication.implies(&d3, &sigma3, &phi).expect("well-formed query");
+        let outcome = implication
+            .implies(&d3, &sigma3, &phi)
+            .expect("well-formed query");
         println!("implied? {:<62} {}", label, summary(&outcome));
     }
 }
@@ -59,7 +72,11 @@ fn summary(outcome: &xml_integrity_constraints::core::ImplicationOutcome) -> Str
         O::Implied { .. } => "yes".to_string(),
         O::NotImplied { counterexample, .. } => format!(
             "no{}",
-            if counterexample.is_some() { " (counterexample document available)" } else { "" }
+            if counterexample.is_some() {
+                " (counterexample document available)"
+            } else {
+                ""
+            }
         ),
         O::Unknown { .. } => "undetermined (undecidable class)".to_string(),
     }

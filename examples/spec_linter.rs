@@ -57,10 +57,16 @@ fn main() {
         system.program().num_constraints(),
         system.program().num_conditionals()
     );
-    let outcome = ConsistencyChecker::new().check(&dtd, &sigma).expect("well-formed spec");
+    let outcome = ConsistencyChecker::new()
+        .check(&dtd, &sigma)
+        .expect("well-formed spec");
     println!(
         "specification verdict: {}",
-        if outcome.is_consistent() { "consistent — documents can exist" } else { "INCONSISTENT" }
+        if outcome.is_consistent() {
+            "consistent — documents can exist"
+        } else {
+            "INCONSISTENT"
+        }
     );
     println!();
 

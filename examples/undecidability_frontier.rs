@@ -29,11 +29,19 @@ fn main() {
 
     println!("== relational side: chase-based FD implication ==");
     for (label, lhs, rhs) in [
-        ("enrol: student,course → grade (restated)", vec!["student", "course"], vec!["grade"]),
+        (
+            "enrol: student,course → grade (restated)",
+            vec!["student", "course"],
+            vec!["grade"],
+        ),
         ("enrol: student → grade", vec!["student"], vec!["grade"]),
         ("course: cid → dept (restated)", vec!["cid"], vec!["dept"]),
     ] {
-        let rel = if label.starts_with("enrol") { enrol } else { course };
+        let rel = if label.starts_with("enrol") {
+            enrol
+        } else {
+            course
+        };
         let result = implies_fd(
             &schema,
             &sigma,
@@ -64,9 +72,14 @@ fn main() {
     println!("\n== Theorem 3.1: keys/foreign keys as an XML specification ==");
     let key_sigma = vec![RelConstraint::key(course, &["cid"])];
     let spec = relational_to_spec(&schema, &key_sigma, course, &["cid".to_string()]);
-    println!("  generated DTD with {} element types:", spec.dtd.num_types());
+    println!(
+        "  generated DTD with {} element types:",
+        spec.dtd.num_types()
+    );
     println!("{}", indent(&spec.dtd.render()));
-    let outcome = ConsistencyChecker::new().check(&spec.dtd, &spec.sigma).expect("well-formed");
+    let outcome = ConsistencyChecker::new()
+        .check(&spec.dtd, &spec.sigma)
+        .expect("well-formed");
     println!(
         "  consistency of the generated XML specification: {}",
         if outcome.is_consistent() {
@@ -88,5 +101,8 @@ fn describe(result: &ChaseResult) -> &'static str {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

@@ -10,7 +10,11 @@
 pub use xic_constraints as constraints;
 pub use xic_core as core;
 pub use xic_dtd as dtd;
+pub use xic_engine as engine;
 pub use xic_gen as gen;
 pub use xic_ilp as ilp;
 pub use xic_relational as relational;
 pub use xic_xml as xml;
+
+// The production entry points, re-exported flat for discoverability.
+pub use xic_engine::{BatchDoc, BatchEngine, CompiledSpec, Engine, VerdictCache};

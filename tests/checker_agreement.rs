@@ -18,11 +18,19 @@ use xml_integrity_constraints::gen::{
 use xml_integrity_constraints::xml::validate;
 
 fn checker(synthesize_witness: bool) -> ConsistencyChecker {
-    ConsistencyChecker::with_config(CheckerConfig { synthesize_witness, ..Default::default() })
+    ConsistencyChecker::with_config(CheckerConfig {
+        synthesize_witness,
+        ..Default::default()
+    })
 }
 
 /// All (type, attribute) slots of a DTD, used to draw random constraints.
-fn attribute_slots(dtd: &Dtd) -> Vec<(xml_integrity_constraints::dtd::ElemId, xml_integrity_constraints::dtd::AttrId)> {
+fn attribute_slots(
+    dtd: &Dtd,
+) -> Vec<(
+    xml_integrity_constraints::dtd::ElemId,
+    xml_integrity_constraints::dtd::AttrId,
+)> {
     let mut slots = Vec::new();
     for ty in dtd.types() {
         for &attr in dtd.attrs_of(ty) {
@@ -140,18 +148,34 @@ proptest! {
 #[test]
 fn inconsistency_is_attributed_to_constraints_or_dtd() {
     for seed in 0..40u64 {
-        let dtd = random_dtd(&DtdGenConfig { seed, num_types: 5, ..Default::default() });
+        let dtd = random_dtd(&DtdGenConfig {
+            seed,
+            num_types: 5,
+            ..Default::default()
+        });
         let sigma = random_unary_constraints(
             &dtd,
-            &ConstraintGenConfig { keys: 2, foreign_keys: 2, seed, ..Default::default() },
+            &ConstraintGenConfig {
+                keys: 2,
+                foreign_keys: 2,
+                seed,
+                ..Default::default()
+            },
         );
         let with_sigma = checker(false).check(&dtd, &sigma).unwrap();
         let without = checker(false)
-            .check(&dtd, &xml_integrity_constraints::constraints::ConstraintSet::new())
+            .check(
+                &dtd,
+                &xml_integrity_constraints::constraints::ConstraintSet::new(),
+            )
             .unwrap();
         if with_sigma.is_consistent() {
             // A consistent specification requires a satisfiable DTD.
-            assert!(without.is_consistent(), "seed {seed}: {}", without.explanation());
+            assert!(
+                without.is_consistent(),
+                "seed {seed}: {}",
+                without.explanation()
+            );
         }
     }
 }

@@ -12,7 +12,10 @@ use xml_integrity_constraints::gen::{
 };
 
 fn fast_config() -> CheckerConfig {
-    CheckerConfig { synthesize_witness: false, ..Default::default() }
+    CheckerConfig {
+        synthesize_witness: false,
+        ..Default::default()
+    }
 }
 
 proptest! {
@@ -101,6 +104,12 @@ fn implied_constraints_can_be_added_without_changing_consistency() {
     // subject.taught_by ⊆ teacher.name is implied (member); adding it keeps
     // consistency.
     let phi = Constraint::unary_inclusion(subject, taught_by, teacher, name);
-    assert!(implication.implies(&dtd, &sigma, &phi).unwrap().is_implied());
-    assert!(consistency.check(&dtd, &sigma.with(phi)).unwrap().is_consistent());
+    assert!(implication
+        .implies(&dtd, &sigma, &phi)
+        .unwrap()
+        .is_implied());
+    assert!(consistency
+        .check(&dtd, &sigma.with(phi))
+        .unwrap()
+        .is_consistent());
 }

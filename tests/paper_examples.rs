@@ -51,7 +51,9 @@ fn section1_specification_is_inconsistent() {
 #[test]
 fn section1_d2_has_no_valid_document() {
     let d2 = example_d2();
-    let outcome = ConsistencyChecker::new().check(&d2, &ConstraintSet::new()).unwrap();
+    let outcome = ConsistencyChecker::new()
+        .check(&d2, &ConstraintSet::new())
+        .unwrap();
     assert!(outcome.is_inconsistent());
 }
 

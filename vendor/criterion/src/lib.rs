@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no network access, so the real crates.io
+//! `criterion` cannot be fetched.  This shim implements the subset the bench
+//! targets use — `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_with_input`, `BenchmarkId` and `Bencher::iter` — and reports the
+//! median and total time per benchmark on stdout.  It aims for honest wall
+//! clock numbers, not statistical rigor.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` runs of `routine`.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let value = routine();
+            self.samples.push(start.elapsed());
+            drop(std::hint::black_box(value));
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed runs each benchmark performs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs exactly
+    /// `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (purely cosmetic in the shim).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[Duration]) {
+        let _ = &self.criterion; // group lifetime is tied to the runner
+        if samples.is_empty() {
+            println!("{}/{:<40} (no samples)", self.name, id);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = samples.iter().sum();
+        println!(
+            "{}/{}: median {:>12.3?}  ({} samples, total {:.3?})",
+            self.name,
+            id,
+            median,
+            samples.len(),
+            total
+        );
+    }
+}
+
+/// Mirror of `criterion::Criterion`, the benchmark runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Final report hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Mirror of `criterion::black_box` (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
