@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker_agreement-2a46b5ad9b370965.d: tests/checker_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker_agreement-2a46b5ad9b370965.rmeta: tests/checker_agreement.rs Cargo.toml
+
+tests/checker_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker_agreement-feec764b22717e02.d: tests/checker_agreement.rs
+
+/root/repo/target/debug/deps/checker_agreement-feec764b22717e02: tests/checker_agreement.rs
+
+tests/checker_agreement.rs:

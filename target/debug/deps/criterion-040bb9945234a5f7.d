@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-040bb9945234a5f7.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-040bb9945234a5f7: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-bd4705b7b544b80f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bd4705b7b544b80f.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bd4705b7b544b80f.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_encoding-65d5cf86869fab21.d: crates/bench/benches/e10_encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_encoding-65d5cf86869fab21.rmeta: crates/bench/benches/e10_encoding.rs Cargo.toml
+
+crates/bench/benches/e10_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

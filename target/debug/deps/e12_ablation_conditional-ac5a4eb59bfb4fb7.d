@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_ablation_conditional-ac5a4eb59bfb4fb7.d: crates/bench/benches/e12_ablation_conditional.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_ablation_conditional-ac5a4eb59bfb4fb7.rmeta: crates/bench/benches/e12_ablation_conditional.rs Cargo.toml
+
+crates/bench/benches/e12_ablation_conditional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_general_kfk-b5e001d82cfd3e7c.d: crates/bench/benches/e2_general_kfk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_general_kfk-b5e001d82cfd3e7c.rmeta: crates/bench/benches/e2_general_kfk.rs Cargo.toml
+
+crates/bench/benches/e2_general_kfk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

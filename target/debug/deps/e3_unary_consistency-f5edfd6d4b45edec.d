@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_unary_consistency-f5edfd6d4b45edec.d: crates/bench/benches/e3_unary_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_unary_consistency-f5edfd6d4b45edec.rmeta: crates/bench/benches/e3_unary_consistency.rs Cargo.toml
+
+crates/bench/benches/e3_unary_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

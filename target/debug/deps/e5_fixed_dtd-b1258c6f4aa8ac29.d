@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_fixed_dtd-b1258c6f4aa8ac29.d: crates/bench/benches/e5_fixed_dtd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_fixed_dtd-b1258c6f4aa8ac29.rmeta: crates/bench/benches/e5_fixed_dtd.rs Cargo.toml
+
+crates/bench/benches/e5_fixed_dtd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

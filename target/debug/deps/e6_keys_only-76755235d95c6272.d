@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_keys_only-76755235d95c6272.d: crates/bench/benches/e6_keys_only.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_keys_only-76755235d95c6272.rmeta: crates/bench/benches/e6_keys_only.rs Cargo.toml
+
+crates/bench/benches/e6_keys_only.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

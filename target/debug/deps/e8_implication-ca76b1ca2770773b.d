@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_implication-ca76b1ca2770773b.d: crates/bench/benches/e8_implication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_implication-ca76b1ca2770773b.rmeta: crates/bench/benches/e8_implication.rs Cargo.toml
+
+crates/bench/benches/e8_implication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

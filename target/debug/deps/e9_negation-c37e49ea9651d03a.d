@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_negation-c37e49ea9651d03a.d: crates/bench/benches/e9_negation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_negation-c37e49ea9651d03a.rmeta: crates/bench/benches/e9_negation.rs Cargo.toml
+
+crates/bench/benches/e9_negation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-2300be05f9152eeb.d: crates/engine/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-2300be05f9152eeb.rmeta: crates/engine/tests/engine.rs Cargo.toml
+
+crates/engine/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

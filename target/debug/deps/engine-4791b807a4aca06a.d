@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-4791b807a4aca06a.d: crates/engine/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-4791b807a4aca06a: crates/engine/tests/engine.rs
+
+crates/engine/tests/engine.rs:

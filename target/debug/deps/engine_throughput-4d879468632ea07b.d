@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_throughput-4d879468632ea07b.d: crates/bench/benches/engine_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_throughput-4d879468632ea07b.rmeta: crates/bench/benches/engine_throughput.rs Cargo.toml
+
+crates/bench/benches/engine_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5_table-fd55205855cfded9.d: crates/bench/benches/figure5_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5_table-fd55205855cfded9.rmeta: crates/bench/benches/figure5_table.rs Cargo.toml
+
+crates/bench/benches/figure5_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/implication_duality-56c9f8b71aeace6e.d: tests/implication_duality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimplication_duality-56c9f8b71aeace6e.rmeta: tests/implication_duality.rs Cargo.toml
+
+tests/implication_duality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/implication_duality-785a4383887d25bb.d: tests/implication_duality.rs
+
+/root/repo/target/debug/deps/implication_duality-785a4383887d25bb: tests/implication_duality.rs
+
+tests/implication_duality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-edb66c464ec2c9ac.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-edb66c464ec2c9ac: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-111fc40de6d57d1c.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-111fc40de6d57d1c.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-2db269f98ede54f3.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-2db269f98ede54f3.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-2db269f98ede54f3.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

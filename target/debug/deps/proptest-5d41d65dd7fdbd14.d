@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-5d41d65dd7fdbd14.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-5d41d65dd7fdbd14: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-f9593cbcd55e5cf0.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f9593cbcd55e5cf0.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

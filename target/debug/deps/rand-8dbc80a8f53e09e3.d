@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8dbc80a8f53e09e3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8dbc80a8f53e09e3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8dbc80a8f53e09e3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

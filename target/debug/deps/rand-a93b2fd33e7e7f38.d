@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a93b2fd33e7e7f38.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-a93b2fd33e7e7f38: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

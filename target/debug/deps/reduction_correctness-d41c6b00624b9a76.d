@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_correctness-d41c6b00624b9a76.d: tests/reduction_correctness.rs
+
+/root/repo/target/debug/deps/reduction_correctness-d41c6b00624b9a76: tests/reduction_correctness.rs
+
+tests/reduction_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction_correctness-ed73f5fba3ff531b.d: tests/reduction_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction_correctness-ed73f5fba3ff531b.rmeta: tests/reduction_correctness.rs Cargo.toml
+
+tests/reduction_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

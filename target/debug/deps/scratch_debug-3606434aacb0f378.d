@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_debug-3606434aacb0f378.d: tests/scratch_debug.rs
+
+/root/repo/target/debug/deps/scratch_debug-3606434aacb0f378: tests/scratch_debug.rs
+
+tests/scratch_debug.rs:

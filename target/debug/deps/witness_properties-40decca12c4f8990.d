@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/witness_properties-40decca12c4f8990.d: tests/witness_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwitness_properties-40decca12c4f8990.rmeta: tests/witness_properties.rs Cargo.toml
+
+tests/witness_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/witness_properties-5d635c4b0a83deb2.d: tests/witness_properties.rs
+
+/root/repo/target/debug/deps/witness_properties-5d635c4b0a83deb2: tests/witness_properties.rs
+
+tests/witness_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xic-493c68d06696f4ed.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic-493c68d06696f4ed.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xic-b667b354abd64c27.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/xic-b667b354abd64c27: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xic_bench-124076145d1a2f0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxic_bench-124076145d1a2f0e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxic_bench-124076145d1a2f0e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

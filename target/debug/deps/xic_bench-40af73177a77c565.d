@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xic_bench-40af73177a77c565.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xic_bench-40af73177a77c565: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xic_bench-6fa3a5d28a79de9d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_bench-6fa3a5d28a79de9d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

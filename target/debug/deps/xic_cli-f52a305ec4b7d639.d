@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xic_cli-f52a305ec4b7d639.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/debug/deps/xic_cli-f52a305ec4b7d639: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/error.rs:

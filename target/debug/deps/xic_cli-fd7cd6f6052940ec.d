@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xic_cli-fd7cd6f6052940ec.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/debug/deps/libxic_cli-fd7cd6f6052940ec.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/debug/deps/libxic_cli-fd7cd6f6052940ec.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/error.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xic_constraints-1bac2799d08e8ec3.d: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+/root/repo/target/debug/deps/xic_constraints-1bac2799d08e8ec3: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/classes.rs:
+crates/constraints/src/constraint.rs:
+crates/constraints/src/parser.rs:
+crates/constraints/src/satisfy.rs:

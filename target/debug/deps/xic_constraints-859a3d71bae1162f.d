@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xic_constraints-859a3d71bae1162f.d: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+/root/repo/target/debug/deps/libxic_constraints-859a3d71bae1162f.rlib: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+/root/repo/target/debug/deps/libxic_constraints-859a3d71bae1162f.rmeta: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/classes.rs:
+crates/constraints/src/constraint.rs:
+crates/constraints/src/parser.rs:
+crates/constraints/src/satisfy.rs:

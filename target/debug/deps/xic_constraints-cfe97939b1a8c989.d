@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xic_constraints-cfe97939b1a8c989.d: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_constraints-cfe97939b1a8c989.rmeta: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs Cargo.toml
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/classes.rs:
+crates/constraints/src/constraint.rs:
+crates/constraints/src/parser.rs:
+crates/constraints/src/satisfy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

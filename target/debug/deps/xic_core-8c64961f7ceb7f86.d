@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xic_core-8c64961f7ceb7f86.d: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+/root/repo/target/debug/deps/libxic_core-8c64961f7ceb7f86.rlib: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+/root/repo/target/debug/deps/libxic_core-8c64961f7ceb7f86.rmeta: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bounded.rs:
+crates/core/src/consistency.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/error.rs:
+crates/core/src/implication.rs:
+crates/core/src/reductions.rs:
+crates/core/src/system.rs:
+crates/core/src/witness.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xic_core-ae2a4961be9c228e.d: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_core-ae2a4961be9c228e.rmeta: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bounded.rs:
+crates/core/src/consistency.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/error.rs:
+crates/core/src/implication.rs:
+crates/core/src/reductions.rs:
+crates/core/src/system.rs:
+crates/core/src/witness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

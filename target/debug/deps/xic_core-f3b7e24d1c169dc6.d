@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xic_core-f3b7e24d1c169dc6.d: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+/root/repo/target/debug/deps/xic_core-f3b7e24d1c169dc6: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bounded.rs:
+crates/core/src/consistency.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/error.rs:
+crates/core/src/implication.rs:
+crates/core/src/reductions.rs:
+crates/core/src/system.rs:
+crates/core/src/witness.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xic_dtd-b5091ce9513f5c24.d: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+/root/repo/target/debug/deps/libxic_dtd-b5091ce9513f5c24.rlib: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+/root/repo/target/debug/deps/libxic_dtd-b5091ce9513f5c24.rmeta: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+crates/dtd/src/lib.rs:
+crates/dtd/src/analysis.rs:
+crates/dtd/src/content.rs:
+crates/dtd/src/deriv.rs:
+crates/dtd/src/dtd.rs:
+crates/dtd/src/error.rs:
+crates/dtd/src/glushkov.rs:
+crates/dtd/src/parser.rs:
+crates/dtd/src/simplify.rs:

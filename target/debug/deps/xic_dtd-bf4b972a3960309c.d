@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xic_dtd-bf4b972a3960309c.d: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+/root/repo/target/debug/deps/xic_dtd-bf4b972a3960309c: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+crates/dtd/src/lib.rs:
+crates/dtd/src/analysis.rs:
+crates/dtd/src/content.rs:
+crates/dtd/src/deriv.rs:
+crates/dtd/src/dtd.rs:
+crates/dtd/src/error.rs:
+crates/dtd/src/glushkov.rs:
+crates/dtd/src/parser.rs:
+crates/dtd/src/simplify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xic_dtd-d1a8136fc2bc7369.d: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_dtd-d1a8136fc2bc7369.rmeta: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs Cargo.toml
+
+crates/dtd/src/lib.rs:
+crates/dtd/src/analysis.rs:
+crates/dtd/src/content.rs:
+crates/dtd/src/deriv.rs:
+crates/dtd/src/dtd.rs:
+crates/dtd/src/error.rs:
+crates/dtd/src/glushkov.rs:
+crates/dtd/src/parser.rs:
+crates/dtd/src/simplify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xic_engine-64f7911df129b317.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_engine-64f7911df129b317.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xic_engine-815da3c1086e2bb0.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+/root/repo/target/debug/deps/libxic_engine-815da3c1086e2bb0.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+/root/repo/target/debug/deps/libxic_engine-815da3c1086e2bb0.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xic_engine-e057635e43a91f26.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+/root/repo/target/debug/deps/xic_engine-e057635e43a91f26: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xic_gen-5a0a590a8f58176d.d: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/debug/deps/xic_gen-5a0a590a8f58176d: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/constraint_gen.rs:
+crates/gen/src/doc_gen.rs:
+crates/gen/src/dtd_gen.rs:
+crates/gen/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xic_gen-7afb2b90304b52a3.d: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_gen-7afb2b90304b52a3.rmeta: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/constraint_gen.rs:
+crates/gen/src/doc_gen.rs:
+crates/gen/src/dtd_gen.rs:
+crates/gen/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

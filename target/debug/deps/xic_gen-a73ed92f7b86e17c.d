@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xic_gen-a73ed92f7b86e17c.d: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/debug/deps/libxic_gen-a73ed92f7b86e17c.rlib: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/debug/deps/libxic_gen-a73ed92f7b86e17c.rmeta: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/constraint_gen.rs:
+crates/gen/src/doc_gen.rs:
+crates/gen/src/dtd_gen.rs:
+crates/gen/src/workloads.rs:

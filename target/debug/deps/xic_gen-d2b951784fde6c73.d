@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xic_gen-d2b951784fde6c73.d: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/debug/deps/libxic_gen-d2b951784fde6c73.rlib: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/debug/deps/libxic_gen-d2b951784fde6c73.rmeta: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/constraint_gen.rs:
+crates/gen/src/doc_gen.rs:
+crates/gen/src/dtd_gen.rs:
+crates/gen/src/workloads.rs:

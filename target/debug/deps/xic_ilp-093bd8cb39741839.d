@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xic_ilp-093bd8cb39741839.d: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+/root/repo/target/debug/deps/xic_ilp-093bd8cb39741839: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bignum.rs:
+crates/ilp/src/bounds.rs:
+crates/ilp/src/enumerate.rs:
+crates/ilp/src/linear.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:
+crates/ilp/src/solver.rs:

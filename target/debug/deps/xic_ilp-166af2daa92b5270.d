@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xic_ilp-166af2daa92b5270.d: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+/root/repo/target/debug/deps/libxic_ilp-166af2daa92b5270.rlib: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+/root/repo/target/debug/deps/libxic_ilp-166af2daa92b5270.rmeta: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bignum.rs:
+crates/ilp/src/bounds.rs:
+crates/ilp/src/enumerate.rs:
+crates/ilp/src/linear.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:
+crates/ilp/src/solver.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xic_ilp-c98e842e9c7243b0.d: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_ilp-c98e842e9c7243b0.rmeta: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs Cargo.toml
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bignum.rs:
+crates/ilp/src/bounds.rs:
+crates/ilp/src/enumerate.rs:
+crates/ilp/src/linear.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:
+crates/ilp/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xic_relational-16083490459228ef.d: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_relational-16083490459228ef.rmeta: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs Cargo.toml
+
+crates/relational/src/lib.rs:
+crates/relational/src/chase.rs:
+crates/relational/src/encode.rs:
+crates/relational/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

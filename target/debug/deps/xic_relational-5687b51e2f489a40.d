@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xic_relational-5687b51e2f489a40.d: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+/root/repo/target/debug/deps/xic_relational-5687b51e2f489a40: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+crates/relational/src/lib.rs:
+crates/relational/src/chase.rs:
+crates/relational/src/encode.rs:
+crates/relational/src/model.rs:

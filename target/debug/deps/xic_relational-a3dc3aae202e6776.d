@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xic_relational-a3dc3aae202e6776.d: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+/root/repo/target/debug/deps/libxic_relational-a3dc3aae202e6776.rlib: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+/root/repo/target/debug/deps/libxic_relational-a3dc3aae202e6776.rmeta: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+crates/relational/src/lib.rs:
+crates/relational/src/chase.rs:
+crates/relational/src/encode.rs:
+crates/relational/src/model.rs:

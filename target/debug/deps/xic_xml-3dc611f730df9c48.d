@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xic_xml-3dc611f730df9c48.d: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+/root/repo/target/debug/deps/xic_xml-3dc611f730df9c48: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+crates/xmltree/src/lib.rs:
+crates/xmltree/src/error.rs:
+crates/xmltree/src/parser.rs:
+crates/xmltree/src/tree.rs:
+crates/xmltree/src/validate.rs:
+crates/xmltree/src/writer.rs:

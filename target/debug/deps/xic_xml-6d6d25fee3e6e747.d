@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xic_xml-6d6d25fee3e6e747.d: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxic_xml-6d6d25fee3e6e747.rmeta: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs Cargo.toml
+
+crates/xmltree/src/lib.rs:
+crates/xmltree/src/error.rs:
+crates/xmltree/src/parser.rs:
+crates/xmltree/src/tree.rs:
+crates/xmltree/src/validate.rs:
+crates/xmltree/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

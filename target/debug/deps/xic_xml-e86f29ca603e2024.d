@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xic_xml-e86f29ca603e2024.d: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+/root/repo/target/debug/deps/libxic_xml-e86f29ca603e2024.rlib: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+/root/repo/target/debug/deps/libxic_xml-e86f29ca603e2024.rmeta: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+crates/xmltree/src/lib.rs:
+crates/xmltree/src/error.rs:
+crates/xmltree/src/parser.rs:
+crates/xmltree/src/tree.rs:
+crates/xmltree/src/validate.rs:
+crates/xmltree/src/writer.rs:

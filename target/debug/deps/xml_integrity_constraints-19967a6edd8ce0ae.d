@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xml_integrity_constraints-19967a6edd8ce0ae.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxml_integrity_constraints-19967a6edd8ce0ae.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

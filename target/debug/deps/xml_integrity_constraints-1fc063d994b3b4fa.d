@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xml_integrity_constraints-1fc063d994b3b4fa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxml_integrity_constraints-1fc063d994b3b4fa.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxml_integrity_constraints-1fc063d994b3b4fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xml_integrity_constraints-c4959ef925f73ac3.d: src/lib.rs
+
+/root/repo/target/debug/deps/xml_integrity_constraints-c4959ef925f73ac3: src/lib.rs
+
+src/lib.rs:

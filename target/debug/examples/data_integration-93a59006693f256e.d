@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_integration-93a59006693f256e.d: examples/data_integration.rs
+
+/root/repo/target/debug/examples/data_integration-93a59006693f256e: examples/data_integration.rs
+
+examples/data_integration.rs:

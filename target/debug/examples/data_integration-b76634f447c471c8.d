@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_integration-b76634f447c471c8.d: examples/data_integration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_integration-b76634f447c471c8.rmeta: examples/data_integration.rs Cargo.toml
+
+examples/data_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_review-3b3787d91062c352.d: examples/design_review.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_review-3b3787d91062c352.rmeta: examples/design_review.rs Cargo.toml
+
+examples/design_review.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_review-af01558aced4df45.d: examples/design_review.rs
+
+/root/repo/target/debug/examples/design_review-af01558aced4df45: examples/design_review.rs
+
+examples/design_review.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5e224c7c353b9a18.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5e224c7c353b9a18: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/school_registrar-a2ec010602912ec1.d: examples/school_registrar.rs
+
+/root/repo/target/debug/examples/school_registrar-a2ec010602912ec1: examples/school_registrar.rs
+
+examples/school_registrar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/school_registrar-feb0c9e519abcaed.d: examples/school_registrar.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschool_registrar-feb0c9e519abcaed.rmeta: examples/school_registrar.rs Cargo.toml
+
+examples/school_registrar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spec_linter-567877ff6d2b910c.d: examples/spec_linter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspec_linter-567877ff6d2b910c.rmeta: examples/spec_linter.rs Cargo.toml
+
+examples/spec_linter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec_linter-b8b87ad13c2dfb43.d: examples/spec_linter.rs
+
+/root/repo/target/debug/examples/spec_linter-b8b87ad13c2dfb43: examples/spec_linter.rs
+
+examples/spec_linter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/undecidability_frontier-981c42eeb4e8b6c8.d: examples/undecidability_frontier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libundecidability_frontier-981c42eeb4e8b6c8.rmeta: examples/undecidability_frontier.rs Cargo.toml
+
+examples/undecidability_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/undecidability_frontier-aedee470b1af98d2.d: examples/undecidability_frontier.rs
+
+/root/repo/target/debug/examples/undecidability_frontier-aedee470b1af98d2: examples/undecidability_frontier.rs
+
+examples/undecidability_frontier.rs:

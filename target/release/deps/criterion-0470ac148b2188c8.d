@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0470ac148b2188c8.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0470ac148b2188c8.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0470ac148b2188c8.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_throughput-a0a0b3527c7bd5cd.d: crates/bench/benches/engine_throughput.rs
+
+/root/repo/target/release/deps/engine_throughput-a0a0b3527c7bd5cd: crates/bench/benches/engine_throughput.rs
+
+crates/bench/benches/engine_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5_table-3fcdcf24244aefe1.d: crates/bench/benches/figure5_table.rs
+
+/root/repo/target/release/deps/figure5_table-3fcdcf24244aefe1: crates/bench/benches/figure5_table.rs
+
+crates/bench/benches/figure5_table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-16f6512e3533e775.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-16f6512e3533e775.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-16f6512e3533e775.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c8a565d7dc9c3f63.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c8a565d7dc9c3f63.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c8a565d7dc9c3f63.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

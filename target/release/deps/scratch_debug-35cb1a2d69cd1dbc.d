@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_debug-35cb1a2d69cd1dbc.d: tests/scratch_debug.rs
+
+/root/repo/target/release/deps/scratch_debug-35cb1a2d69cd1dbc: tests/scratch_debug.rs
+
+tests/scratch_debug.rs:

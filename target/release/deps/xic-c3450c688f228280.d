@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xic-c3450c688f228280.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/xic-c3450c688f228280: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

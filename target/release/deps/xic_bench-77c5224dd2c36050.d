@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xic_bench-77c5224dd2c36050.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxic_bench-77c5224dd2c36050.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxic_bench-77c5224dd2c36050.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

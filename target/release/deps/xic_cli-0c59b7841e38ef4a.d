@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xic_cli-0c59b7841e38ef4a.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/release/deps/libxic_cli-0c59b7841e38ef4a.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+/root/repo/target/release/deps/libxic_cli-0c59b7841e38ef4a.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/error.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/error.rs:

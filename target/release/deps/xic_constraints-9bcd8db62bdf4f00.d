@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xic_constraints-9bcd8db62bdf4f00.d: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+/root/repo/target/release/deps/libxic_constraints-9bcd8db62bdf4f00.rlib: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+/root/repo/target/release/deps/libxic_constraints-9bcd8db62bdf4f00.rmeta: crates/constraints/src/lib.rs crates/constraints/src/classes.rs crates/constraints/src/constraint.rs crates/constraints/src/parser.rs crates/constraints/src/satisfy.rs
+
+crates/constraints/src/lib.rs:
+crates/constraints/src/classes.rs:
+crates/constraints/src/constraint.rs:
+crates/constraints/src/parser.rs:
+crates/constraints/src/satisfy.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xic_core-be3497b9cec424a6.d: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+/root/repo/target/release/deps/libxic_core-be3497b9cec424a6.rlib: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+/root/repo/target/release/deps/libxic_core-be3497b9cec424a6.rmeta: crates/core/src/lib.rs crates/core/src/bounded.rs crates/core/src/consistency.rs crates/core/src/diagnose.rs crates/core/src/error.rs crates/core/src/implication.rs crates/core/src/reductions.rs crates/core/src/system.rs crates/core/src/witness.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bounded.rs:
+crates/core/src/consistency.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/error.rs:
+crates/core/src/implication.rs:
+crates/core/src/reductions.rs:
+crates/core/src/system.rs:
+crates/core/src/witness.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xic_dtd-f04425d353310fb9.d: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+/root/repo/target/release/deps/libxic_dtd-f04425d353310fb9.rlib: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+/root/repo/target/release/deps/libxic_dtd-f04425d353310fb9.rmeta: crates/dtd/src/lib.rs crates/dtd/src/analysis.rs crates/dtd/src/content.rs crates/dtd/src/deriv.rs crates/dtd/src/dtd.rs crates/dtd/src/error.rs crates/dtd/src/glushkov.rs crates/dtd/src/parser.rs crates/dtd/src/simplify.rs
+
+crates/dtd/src/lib.rs:
+crates/dtd/src/analysis.rs:
+crates/dtd/src/content.rs:
+crates/dtd/src/deriv.rs:
+crates/dtd/src/dtd.rs:
+crates/dtd/src/error.rs:
+crates/dtd/src/glushkov.rs:
+crates/dtd/src/parser.rs:
+crates/dtd/src/simplify.rs:

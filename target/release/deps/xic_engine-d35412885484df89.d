@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xic_engine-d35412885484df89.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+/root/repo/target/release/deps/libxic_engine-d35412885484df89.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+/root/repo/target/release/deps/libxic_engine-d35412885484df89.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/cache.rs crates/engine/src/hash.rs crates/engine/src/spec.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xic_gen-6588b1e42438943f.d: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/release/deps/libxic_gen-6588b1e42438943f.rlib: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+/root/repo/target/release/deps/libxic_gen-6588b1e42438943f.rmeta: crates/gen/src/lib.rs crates/gen/src/constraint_gen.rs crates/gen/src/doc_gen.rs crates/gen/src/dtd_gen.rs crates/gen/src/workloads.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/constraint_gen.rs:
+crates/gen/src/doc_gen.rs:
+crates/gen/src/dtd_gen.rs:
+crates/gen/src/workloads.rs:

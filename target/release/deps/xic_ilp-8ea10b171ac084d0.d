@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xic_ilp-8ea10b171ac084d0.d: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+/root/repo/target/release/deps/libxic_ilp-8ea10b171ac084d0.rlib: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+/root/repo/target/release/deps/libxic_ilp-8ea10b171ac084d0.rmeta: crates/ilp/src/lib.rs crates/ilp/src/bignum.rs crates/ilp/src/bounds.rs crates/ilp/src/enumerate.rs crates/ilp/src/linear.rs crates/ilp/src/rational.rs crates/ilp/src/simplex.rs crates/ilp/src/solver.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bignum.rs:
+crates/ilp/src/bounds.rs:
+crates/ilp/src/enumerate.rs:
+crates/ilp/src/linear.rs:
+crates/ilp/src/rational.rs:
+crates/ilp/src/simplex.rs:
+crates/ilp/src/solver.rs:

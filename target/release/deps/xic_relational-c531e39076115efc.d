@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xic_relational-c531e39076115efc.d: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+/root/repo/target/release/deps/libxic_relational-c531e39076115efc.rlib: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+/root/repo/target/release/deps/libxic_relational-c531e39076115efc.rmeta: crates/relational/src/lib.rs crates/relational/src/chase.rs crates/relational/src/encode.rs crates/relational/src/model.rs
+
+crates/relational/src/lib.rs:
+crates/relational/src/chase.rs:
+crates/relational/src/encode.rs:
+crates/relational/src/model.rs:

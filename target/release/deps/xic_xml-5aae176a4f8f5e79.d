@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xic_xml-5aae176a4f8f5e79.d: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+/root/repo/target/release/deps/libxic_xml-5aae176a4f8f5e79.rlib: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+/root/repo/target/release/deps/libxic_xml-5aae176a4f8f5e79.rmeta: crates/xmltree/src/lib.rs crates/xmltree/src/error.rs crates/xmltree/src/parser.rs crates/xmltree/src/tree.rs crates/xmltree/src/validate.rs crates/xmltree/src/writer.rs
+
+crates/xmltree/src/lib.rs:
+crates/xmltree/src/error.rs:
+crates/xmltree/src/parser.rs:
+crates/xmltree/src/tree.rs:
+crates/xmltree/src/validate.rs:
+crates/xmltree/src/writer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xml_integrity_constraints-85917cf90f9434c4.d: src/lib.rs
+
+/root/repo/target/release/deps/libxml_integrity_constraints-85917cf90f9434c4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxml_integrity_constraints-85917cf90f9434c4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-165e52af108f5dc5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-165e52af108f5dc5: examples/quickstart.rs
+
+examples/quickstart.rs:
