@@ -1,0 +1,187 @@
+//! DocIndex — interned values vs. the seed-path string checker.
+//!
+//! Measures `T ⊨ Σ` on a multi-constraint generated workload three ways:
+//!
+//! 1. **reference, cold** — the retained seed-algorithm checker
+//!    (`SatisfactionChecker`): string-valued tuples, one scan per
+//!    constraint, a `Vec<String>` allocation per node probed;
+//! 2. **DocIndex, cold** — build the interned-tuple indexes in one pass and
+//!    check every constraint (this is what `CompiledSpec::check_document`
+//!    does per document);
+//! 3. **DocIndex, warm** — re-check all constraints on a prebuilt index
+//!    (the incremental / multi-query shape).
+//!
+//! It also measures parsing with a fresh pool per document vs. one pool
+//! threaded through the corpus (the `BatchEngine` worker shape), and writes
+//! every number to `BENCH_docindex.json` at the workspace root.
+//!
+//! The cold DocIndex path must be ≥ 3× faster than the reference checker on
+//! this workload (asserted).  Not a statistical benchmark: like
+//! `engine_throughput`, it prints a table of median wall-clock times.
+
+use std::time::Duration;
+
+use xic_bench::{fmt_us, median_time};
+use xic_constraints::{DocIndex, IndexPlan, SatisfactionChecker};
+use xic_gen::{
+    catalogue_dtd, random_document, random_unary_constraints, ConstraintGenConfig, DocGenConfig,
+};
+use xic_xml::{parse_document, parse_document_pooled, write_document, ValuePool};
+
+const KINDS: usize = 12;
+const RUNS: usize = 9;
+
+fn main() {
+    let dtd = catalogue_dtd(KINDS);
+    // A multi-constraint Σ: keys and foreign keys share (τ, X̄) slots, which
+    // the single-pass index exploits and the per-constraint scanner cannot.
+    let sigma = random_unary_constraints(
+        &dtd,
+        &ConstraintGenConfig {
+            keys: 14,
+            foreign_keys: 14,
+            inclusions: 6,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let tree = random_document(
+        &dtd,
+        &DocGenConfig {
+            seed: 7,
+            max_elements: 40_000,
+            // The catalogue DTD is one star per kind under the root, so the
+            // fanout of those stars is what sizes the document.
+            star_fanout: 3_000,
+            // A huge value pool keeps keys mostly clash-free, so neither
+            // checker gets to exit a scan early: this measures full passes.
+            value_pool: 100_000_000,
+            ..Default::default()
+        },
+    )
+    .expect("catalogue DTD is satisfiable");
+    let plan = IndexPlan::for_set(&sigma);
+
+    println!();
+    println!("doc_index — interned single-pass indexes vs. seed-path checker");
+    println!("--------------------------------------------------------------------");
+    println!(
+        "{:<44} {:>7} nodes, {} constraints, {} key + {} tuple slots",
+        "workload",
+        tree.num_nodes(),
+        sigma.len(),
+        plan.key_slots().len(),
+        plan.tuple_slots().len(),
+    );
+
+    // Verdicts must agree before any timing is meaningful.
+    let fast = DocIndex::build(&dtd, &tree, &plan).check_all(&sigma);
+    let reference = SatisfactionChecker::new(&dtd, &tree).check_all(&sigma);
+    assert_eq!(
+        fast, reference,
+        "checkers disagree — timings are meaningless"
+    );
+    println!(
+        "{:<44} {:>7} violations (identical either path)",
+        "verdict agreement",
+        fast.len()
+    );
+
+    let reference_cold = median_time(RUNS, || {
+        let mut checker = SatisfactionChecker::new(&dtd, &tree);
+        std::hint::black_box(checker.check_all(&sigma));
+    });
+    let docindex_cold = median_time(RUNS, || {
+        let index = DocIndex::build(&dtd, &tree, &plan);
+        std::hint::black_box(index.check_all(&sigma));
+    });
+    let prebuilt = DocIndex::build(&dtd, &tree, &plan);
+    let docindex_warm = median_time(RUNS, || {
+        std::hint::black_box(prebuilt.check_all(&sigma));
+    });
+
+    let speedup_cold = reference_cold.as_secs_f64() / docindex_cold.as_secs_f64().max(1e-9);
+    let speedup_warm = reference_cold.as_secs_f64() / docindex_warm.as_secs_f64().max(1e-9);
+    println!(
+        "{:<44} {:>12}",
+        "reference checker, cold (seed path)",
+        fmt_us(reference_cold)
+    );
+    println!(
+        "{:<44} {:>12}",
+        "DocIndex, cold (build + check)",
+        fmt_us(docindex_cold)
+    );
+    println!(
+        "{:<44} {:>12}",
+        "DocIndex, warm (prebuilt index)",
+        fmt_us(docindex_warm)
+    );
+    println!("{:<44} {:>11.1}x", "cold speedup", speedup_cold);
+    println!("{:<44} {:>11.1}x", "warm speedup", speedup_warm);
+
+    // Parsing: fresh interner per document vs. one pool threaded through a
+    // small corpus of identical-vocabulary documents.
+    let source = write_document(&tree, &dtd);
+    let parse_fresh = median_time(5, || {
+        for _ in 0..4 {
+            std::hint::black_box(parse_document(&source, &dtd).unwrap());
+        }
+    });
+    let parse_shared = median_time(5, || {
+        let mut pool = ValuePool::new();
+        for _ in 0..4 {
+            let t = parse_document_pooled(&source, &dtd, pool).unwrap();
+            pool = std::hint::black_box(t).into_pool();
+        }
+    });
+    println!(
+        "{:<44} {:>12}",
+        "parse ×4, fresh pool each",
+        fmt_us(parse_fresh)
+    );
+    println!(
+        "{:<44} {:>12}",
+        "parse ×4, one shared pool",
+        fmt_us(parse_shared)
+    );
+
+    let json = render_json(&[
+        ("nodes", tree.num_nodes() as f64),
+        ("constraints", sigma.len() as f64),
+        ("key_slots", plan.key_slots().len() as f64),
+        ("tuple_slots", plan.tuple_slots().len() as f64),
+        ("reference_cold_us", us(reference_cold)),
+        ("docindex_cold_us", us(docindex_cold)),
+        ("docindex_warm_us", us(docindex_warm)),
+        ("parse_x4_fresh_pool_us", us(parse_fresh)),
+        ("parse_x4_shared_pool_us", us(parse_shared)),
+        ("speedup_cold", speedup_cold),
+        ("speedup_warm", speedup_warm),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_docindex.json");
+    std::fs::write(out, &json).expect("write BENCH_docindex.json");
+    println!("{:<44} {:>12}", "recorded", "BENCH_docindex.json");
+    println!("--------------------------------------------------------------------");
+
+    assert!(
+        speedup_cold >= 3.0,
+        "DocIndex (cold) must be ≥ 3× faster than the seed-path checker on \
+         the multi-constraint workload (got {speedup_cold:.1}×)"
+    );
+}
+
+fn us(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6 * 10.0).round() / 10.0
+}
+
+/// Tiny flat-object JSON rendering (the workspace is dependency-free).
+fn render_json(fields: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value}"));
+        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}

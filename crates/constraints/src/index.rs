@@ -1,0 +1,478 @@
+//! `DocIndex` — single-pass, interned-value indexes for `T ⊨ Σ`.
+//!
+//! The satisfaction relation of Section 2.2 only ever asks two questions of
+//! a document: which elements have type `τ` (`ext(τ)`), and which attribute
+//! tuples `x[X̄]` occur over them.  A [`DocIndex`] answers both from flat
+//! structures built in **one pass** over the tree, driven by the
+//! [`IndexPlan`] of the constraint set being checked:
+//!
+//! * one `Vec<NodeId>` per planned `ext(τ)`, filled in document order;
+//! * one `HashMap<Box<[ValueId]>, NodeId>` per planned key slot `(τ, X̄)`,
+//!   mapping each interned tuple to its first carrier — with the first
+//!   clashing pair recorded on the way, so checking a key afterwards is O(1);
+//! * one `HashSet<Box<[ValueId]>>` per planned inclusion target slot.
+//!
+//! Because values are interned ([`xic_xml::ValuePool`]), tuples are small
+//! integer slices: probing allocates nothing (a caller-owned scratch buffer
+//! is reused across nodes) and hashing touches no string bytes.  Violations
+//! resolve their witness tuples back to strings only at construction, so
+//! reporting stays string-based at the edges.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use xic_dtd::{AttrId, Dtd, ElemId};
+use xic_xml::{NodeId, ValueId, XmlTree};
+
+use crate::classes::ConstraintSet;
+use crate::constraint::{Constraint, InclusionSpec, KeySpec};
+use crate::satisfy::{IndexPlan, Violation};
+
+/// A multiply-rotate hasher (FxHash-style) for the interned-tuple maps.
+///
+/// Tuple keys are short slices of `u32` symbols drawn from a dense pool, so
+/// the DoS-resistant SipHash default is pure overhead on this hot path; a
+/// two-instruction mix per word is both faster and well distributed here.
+#[derive(Debug, Default, Clone)]
+pub struct TupleHasher {
+    hash: u64,
+}
+
+impl TupleHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for TupleHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type TupleMap<K, V> = HashMap<K, V, BuildHasherDefault<TupleHasher>>;
+type TupleSet<K> = HashSet<K, BuildHasherDefault<TupleHasher>>;
+
+/// A key slot `(τ, X̄)`: the tuple → first-carrier map and the first clash.
+#[derive(Debug)]
+struct KeySlot {
+    ty: ElemId,
+    attrs: Vec<AttrId>,
+    /// Each distinct interned tuple, mapped to the first element carrying it.
+    index: TupleMap<Box<[ValueId]>, NodeId>,
+    /// The first (in document order) pair of distinct elements agreeing on
+    /// the tuple, with the shared tuple.
+    clash: Option<(NodeId, NodeId, Box<[ValueId]>)>,
+}
+
+/// An inclusion target slot `(τ, X̄)`: the set of interned tuples provided.
+#[derive(Debug)]
+struct TupleSlot {
+    ty: ElemId,
+    attrs: Vec<AttrId>,
+    set: TupleSet<Box<[ValueId]>>,
+}
+
+/// Precomputed per-document indexes for checking a fixed constraint set.
+///
+/// Built once per `(document, plan)` pair; checking every constraint of the
+/// planned set afterwards performs only hash probes over integer tuples —
+/// zero per-constraint allocation or cloning.
+#[derive(Debug)]
+pub struct DocIndex<'a> {
+    dtd: &'a Dtd,
+    tree: &'a XmlTree,
+    ext: HashMap<ElemId, Vec<NodeId>>,
+    keys: Vec<KeySlot>,
+    tuples: Vec<TupleSlot>,
+}
+
+impl<'a> DocIndex<'a> {
+    /// Builds every index the plan names in a single document-order pass
+    /// over the tree.
+    pub fn build(dtd: &'a Dtd, tree: &'a XmlTree, plan: &IndexPlan) -> DocIndex<'a> {
+        let mut ext: HashMap<ElemId, Vec<NodeId>> = plan
+            .ext_types()
+            .iter()
+            .map(|&ty| (ty, Vec::new()))
+            .collect();
+        let mut keys: Vec<KeySlot> = plan
+            .key_slots()
+            .iter()
+            .map(|(ty, attrs)| KeySlot {
+                ty: *ty,
+                attrs: attrs.clone(),
+                index: TupleMap::default(),
+                clash: None,
+            })
+            .collect();
+        let mut tuples: Vec<TupleSlot> = plan
+            .tuple_slots()
+            .iter()
+            .map(|(ty, attrs)| TupleSlot {
+                ty: *ty,
+                attrs: attrs.clone(),
+                set: TupleSet::default(),
+            })
+            .collect();
+
+        // Group the slots by element type so the pass dispatches each node
+        // in O(slots of its type).
+        let mut key_slots_of: HashMap<ElemId, Vec<usize>> = HashMap::new();
+        for (i, slot) in keys.iter().enumerate() {
+            key_slots_of.entry(slot.ty).or_default().push(i);
+        }
+        let mut tuple_slots_of: HashMap<ElemId, Vec<usize>> = HashMap::new();
+        for (i, slot) in tuples.iter().enumerate() {
+            tuple_slots_of.entry(slot.ty).or_default().push(i);
+        }
+
+        let mut scratch: Vec<ValueId> = Vec::new();
+        for node in tree.elements() {
+            let Some(ty) = tree.element_type(node) else {
+                continue;
+            };
+            if let Some(list) = ext.get_mut(&ty) {
+                list.push(node);
+            }
+            for &i in key_slots_of.get(&ty).into_iter().flatten() {
+                let slot = &mut keys[i];
+                if !tree.attr_value_ids(node, &slot.attrs, &mut scratch) {
+                    // Elements missing an attribute cannot clash (the key's
+                    // conjunction of equalities is vacuously false).
+                    continue;
+                }
+                match slot.index.get(scratch.as_slice()) {
+                    Some(&prev) => {
+                        if slot.clash.is_none() {
+                            slot.clash = Some((prev, node, scratch.as_slice().into()));
+                        }
+                    }
+                    None => {
+                        slot.index.insert(scratch.as_slice().into(), node);
+                    }
+                }
+            }
+            for &i in tuple_slots_of.get(&ty).into_iter().flatten() {
+                let slot = &mut tuples[i];
+                if tree.attr_value_ids(node, &slot.attrs, &mut scratch)
+                    && !slot.set.contains(scratch.as_slice())
+                {
+                    slot.set.insert(scratch.as_slice().into());
+                }
+            }
+        }
+        DocIndex {
+            dtd,
+            tree,
+            ext,
+            keys,
+            tuples,
+        }
+    }
+
+    /// The tree the index was built over.
+    pub fn tree(&self) -> &XmlTree {
+        self.tree
+    }
+
+    /// `ext(τ)` in document order (empty slice for types outside the plan
+    /// that have no elements — see [`DocIndex::check`] for the fallback).
+    fn ext_of(&self, ty: ElemId) -> Option<&[NodeId]> {
+        self.ext.get(&ty).map(Vec::as_slice)
+    }
+
+    fn key_slot(&self, ty: ElemId, attrs: &[AttrId]) -> Option<&KeySlot> {
+        self.keys.iter().find(|s| s.ty == ty && s.attrs == attrs)
+    }
+
+    fn tuple_slot(&self, ty: ElemId, attrs: &[AttrId]) -> Option<&TupleSlot> {
+        self.tuples.iter().find(|s| s.ty == ty && s.attrs == attrs)
+    }
+
+    fn resolve_tuple(&self, tuple: &[ValueId]) -> Vec<String> {
+        tuple
+            .iter()
+            .map(|&id| self.tree.resolve(id).to_string())
+            .collect()
+    }
+
+    /// The first key clash for `(τ, X̄)`, from the prebuilt slot or — for
+    /// keys outside the plan — recomputed on the fly.
+    fn key_clash(&self, k: &KeySpec) -> Option<(NodeId, NodeId, Vec<String>)> {
+        if let Some(slot) = self.key_slot(k.ty, &k.attrs) {
+            return slot
+                .clash
+                .as_ref()
+                .map(|(a, b, t)| (*a, *b, self.resolve_tuple(t)));
+        }
+        // Cold path: the constraint is not covered by the plan the index was
+        // built with.  Scan once without caching.
+        let nodes = self.nodes_of(k.ty);
+        let mut seen: TupleMap<Box<[ValueId]>, NodeId> = TupleMap::default();
+        let mut scratch = Vec::new();
+        for &n in nodes.iter() {
+            if !self.tree.attr_value_ids(n, &k.attrs, &mut scratch) {
+                continue;
+            }
+            if let Some(&prev) = seen.get(scratch.as_slice()) {
+                return Some((prev, n, self.resolve_tuple(&scratch)));
+            }
+            seen.insert(scratch.as_slice().into(), n);
+        }
+        None
+    }
+
+    /// `ext(τ)` as an owned-or-borrowed list (borrowed when planned).
+    fn nodes_of(&self, ty: ElemId) -> std::borrow::Cow<'_, [NodeId]> {
+        match self.ext_of(ty) {
+            Some(nodes) => std::borrow::Cow::Borrowed(nodes),
+            None => std::borrow::Cow::Owned(self.tree.ext(ty)),
+        }
+    }
+
+    /// The first inclusion violation: a source node whose tuple is missing
+    /// from the target slot (`Some(values)`), or missing attributes (`None`).
+    fn first_inclusion_violation(
+        &self,
+        i: &InclusionSpec,
+    ) -> Option<(NodeId, Option<Vec<String>>)> {
+        let mut scratch = Vec::new();
+        // Foreign keys register only a key slot for their target; its
+        // tuple → first-carrier map holds exactly the target tuple set, so
+        // either prebuilt structure answers the membership probe.
+        if let Some(slot) = self.tuple_slot(i.to_ty, &i.to_attrs) {
+            return self.scan_sources(i, &mut scratch, |t| slot.set.contains(t));
+        }
+        if let Some(slot) = self.key_slot(i.to_ty, &i.to_attrs) {
+            return self.scan_sources(i, &mut scratch, |t| slot.index.contains_key(t));
+        }
+        // Cold path: build the target tuple set once without caching.
+        let targets = self.nodes_of(i.to_ty);
+        let mut set: TupleSet<Box<[ValueId]>> = TupleSet::default();
+        for &n in targets.iter() {
+            if self.tree.attr_value_ids(n, &i.to_attrs, &mut scratch)
+                && !set.contains(scratch.as_slice())
+            {
+                set.insert(scratch.as_slice().into());
+            }
+        }
+        self.scan_sources(i, &mut scratch, |t| set.contains(t))
+    }
+
+    /// Scans `ext(from_ty)` in document order, returning the first source
+    /// whose tuple fails the membership probe.
+    fn scan_sources(
+        &self,
+        i: &InclusionSpec,
+        scratch: &mut Vec<ValueId>,
+        contains: impl Fn(&[ValueId]) -> bool,
+    ) -> Option<(NodeId, Option<Vec<String>>)> {
+        let sources = self.nodes_of(i.from_ty);
+        for &n in sources.iter() {
+            if !self.tree.attr_value_ids(n, &i.from_attrs, scratch) {
+                return Some((n, None));
+            }
+            if !contains(scratch.as_slice()) {
+                return Some((n, Some(self.resolve_tuple(scratch))));
+            }
+        }
+        None
+    }
+
+    fn check_key(&self, k: &KeySpec, original: &Constraint) -> Option<Violation> {
+        self.key_clash(k)
+            .map(|(a, b, values)| Violation::KeyViolation {
+                constraint: original.render(self.dtd),
+                witnesses: (a, b),
+                values,
+            })
+    }
+
+    fn check_inclusion(&self, i: &InclusionSpec, original: &Constraint) -> Option<Violation> {
+        match self.first_inclusion_violation(i) {
+            None => None,
+            Some((witness, None)) => Some(Violation::MissingAttributes {
+                constraint: original.render(self.dtd),
+                witness,
+            }),
+            Some((witness, Some(values))) => Some(Violation::InclusionViolation {
+                constraint: original.render(self.dtd),
+                witness,
+                values,
+            }),
+        }
+    }
+
+    /// Checks a single constraint, returning its violation if any.  Verdicts
+    /// and witnesses are identical to [`crate::SatisfactionChecker`]'s.
+    pub fn check(&self, constraint: &Constraint) -> Option<Violation> {
+        match constraint {
+            Constraint::Key(k) => self.check_key(k, constraint),
+            Constraint::Inclusion(i) => self.check_inclusion(i, constraint),
+            Constraint::ForeignKey(i) => {
+                let key = KeySpec::new(i.to_ty, i.to_attrs.clone());
+                self.check_key(&key, constraint)
+                    .or_else(|| self.check_inclusion(i, constraint))
+            }
+            Constraint::NotKey(k) => {
+                if self.key_clash(k).is_some() {
+                    None
+                } else {
+                    Some(Violation::NegationUnsatisfied {
+                        constraint: constraint.render(self.dtd),
+                    })
+                }
+            }
+            Constraint::NotInclusion(i) => {
+                if self.first_inclusion_violation(i).is_none() {
+                    Some(Violation::NegationUnsatisfied {
+                        constraint: constraint.render(self.dtd),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `T ⊨ φ`.
+    pub fn satisfies(&self, constraint: &Constraint) -> bool {
+        self.check(constraint).is_none()
+    }
+
+    /// `T ⊨ Σ`: returns every violation, in Σ order.
+    pub fn check_all(&self, sigma: &ConstraintSet) -> Vec<Violation> {
+        sigma.iter().filter_map(|c| self.check(c)).collect()
+    }
+
+    /// `T ⊨ Σ` as a boolean.
+    pub fn satisfies_all(&self, sigma: &ConstraintSet) -> bool {
+        sigma.iter().all(|c| self.check(c).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{example_sigma1, example_sigma3};
+    use crate::satisfy::SatisfactionChecker;
+    use xic_dtd::{example_d1, example_d3};
+
+    fn figure1(dtd: &Dtd) -> XmlTree {
+        let teachers = dtd.type_by_name("teachers").unwrap();
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let teach = dtd.type_by_name("teach").unwrap();
+        let research = dtd.type_by_name("research").unwrap();
+        let subject = dtd.type_by_name("subject").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let taught_by = dtd.attr_by_name("taught_by").unwrap();
+        let mut t = XmlTree::new(teachers);
+        for teacher_name in ["Joe", "Joe"] {
+            let te = t.add_element(t.root(), teacher);
+            t.set_attr(te, name, teacher_name);
+            let th = t.add_element(te, teach);
+            for s in ["XML", "DB"] {
+                let sn = t.add_element(th, subject);
+                t.set_attr(sn, taught_by, teacher_name);
+                t.add_text(sn, s);
+            }
+            let r = t.add_element(te, research);
+            t.add_text(r, "Web DB");
+        }
+        t
+    }
+
+    #[test]
+    fn agrees_with_the_reference_checker_on_the_paper_examples() {
+        let d1 = example_d1();
+        let t = figure1(&d1);
+        let sigma1 = example_sigma1(&d1);
+        let plan = IndexPlan::for_set(&sigma1);
+        let index = DocIndex::build(&d1, &t, &plan);
+        let fast = index.check_all(&sigma1);
+        let reference = SatisfactionChecker::new(&d1, &t).check_all(&sigma1);
+        assert_eq!(fast, reference);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn multiattribute_slots_agree_on_d3() {
+        let d3 = example_d3();
+        let school = d3.type_by_name("school").unwrap();
+        let enroll = d3.type_by_name("enroll").unwrap();
+        let dept = d3.attr_by_name("dept").unwrap();
+        let course_no = d3.attr_by_name("course_no").unwrap();
+        let student_id = d3.attr_by_name("student_id").unwrap();
+        let mut t = XmlTree::new(school);
+        let en = t.add_element(t.root(), enroll);
+        t.set_attr(en, student_id, "s1");
+        t.set_attr(en, dept, "physics");
+        t.set_attr(en, course_no, "999");
+        t.add_text(en, "enrolled");
+        let sigma3 = example_sigma3(&d3);
+        let plan = IndexPlan::for_set(&sigma3);
+        let index = DocIndex::build(&d3, &t, &plan);
+        let fast = index.check_all(&sigma3);
+        let reference = SatisfactionChecker::new(&d3, &t).check_all(&sigma3);
+        assert_eq!(fast, reference);
+        assert!(fast
+            .iter()
+            .any(|v| matches!(v, Violation::InclusionViolation { .. })));
+    }
+
+    #[test]
+    fn constraints_outside_the_plan_fall_back_without_an_index() {
+        let d1 = example_d1();
+        let t = figure1(&d1);
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        // Empty plan: every check takes the cold path.
+        let plan = IndexPlan::default();
+        let index = DocIndex::build(&d1, &t, &plan);
+        let key = Constraint::unary_key(teacher, name);
+        let fast = index.check(&key);
+        let reference = SatisfactionChecker::new(&d1, &t).check(&key);
+        assert_eq!(fast, reference);
+        assert!(fast.is_some());
+        assert!(index.satisfies(&Constraint::not_unary_key(teacher, name)));
+    }
+
+    #[test]
+    fn empty_document_satisfies_everything() {
+        let d3 = example_d3();
+        let school = d3.type_by_name("school").unwrap();
+        let t = XmlTree::new(school);
+        let sigma3 = example_sigma3(&d3);
+        let plan = IndexPlan::for_set(&sigma3);
+        let index = DocIndex::build(&d3, &t, &plan);
+        assert!(index.satisfies_all(&sigma3));
+        assert!(index.check_all(&sigma3).is_empty());
+    }
+}

@@ -10,8 +10,10 @@
 //! * [`classes`] — the constraint classes (`C_{K,FK}`, `C^Unary_{K,FK}`,
 //!   `C^Unary_{K¬,IC}`, `C^Unary_{K¬,IC¬}`, keys-only `C_K`), the
 //!   primary-key restriction, and the paper's example sets Σ1 / Σ3;
-//! * [`satisfy`] — hash-indexed satisfaction checking with violation
-//!   witnesses;
+//! * [`satisfy`] — the satisfaction relation, index planning and the
+//!   retained string-valued reference checker;
+//! * [`index`] — [`index::DocIndex`], the production `T ⊨ Σ` path: interned
+//!   values, single-pass index construction, zero-allocation probing;
 //! * [`parser`] — a plain-text surface syntax (`teacher.name -> teacher`,
 //!   `subject.taught_by ⊆ teacher.name`, …) so constraint sets can live in
 //!   files next to their DTDs.
@@ -21,10 +23,12 @@
 
 pub mod classes;
 pub mod constraint;
+pub mod index;
 pub mod parser;
 pub mod satisfy;
 
 pub use classes::{example_sigma1, example_sigma3, ConstraintClass, ConstraintSet};
 pub use constraint::{Constraint, ConstraintError, InclusionSpec, KeySpec};
+pub use index::DocIndex;
 pub use parser::{parse_constraint, parse_constraint_set, ParseError};
 pub use satisfy::{check_document, document_satisfies, IndexPlan, SatisfactionChecker, Violation};

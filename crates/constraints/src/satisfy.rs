@@ -92,8 +92,14 @@ impl Violation {
     }
 }
 
-/// A satisfaction checker over one document, with per-(type, attribute-list)
-/// tuple indexes built lazily and cached.
+/// The retained **reference** satisfaction checker: string-valued tuples,
+/// lazily built per-(type, attribute-list) indexes.
+///
+/// The production path is [`crate::DocIndex`], which interns values and
+/// builds every index in one pass; this checker keeps the seed algorithm
+/// alive as the differential-testing baseline (`tests/docindex_agreement`)
+/// and as the ad-hoc single-constraint checker used by the witness search.
+/// Its caches hand out borrows — not clones — of their entries.
 pub struct SatisfactionChecker<'a> {
     dtd: &'a Dtd,
     tree: &'a XmlTree,
@@ -101,46 +107,61 @@ pub struct SatisfactionChecker<'a> {
     tuple_cache: HashMap<(ElemId, Vec<AttrId>), HashSet<Vec<String>>>,
 }
 
-/// The extension lists and tuple indexes that checking a fixed constraint
-/// set will consult, computed once per specification so that per-document
-/// checkers can build every index in a single pass over the tree (see
-/// [`SatisfactionChecker::prewarm`]).
+/// The extension lists, key slots and tuple indexes that checking a fixed
+/// constraint set will consult, computed once per specification so that
+/// per-document indexes ([`crate::DocIndex`], or the reference checker's
+/// [`SatisfactionChecker::prewarm`]) can be built in a single pass over the
+/// tree.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IndexPlan {
     ext_types: Vec<ElemId>,
+    key_slots: Vec<(ElemId, Vec<AttrId>)>,
     tuple_slots: Vec<(ElemId, Vec<AttrId>)>,
 }
 
 impl IndexPlan {
-    /// Derives the plan for a constraint set: which `ext(τ)` lists and which
-    /// `(τ, X)` tuple sets its satisfaction check touches.
+    /// Derives the plan for a constraint set: which `ext(τ)` lists, which
+    /// key slots `(τ, X̄)` and which `(τ, X̄)` tuple sets its satisfaction
+    /// check touches.
     pub fn for_set(sigma: &ConstraintSet) -> IndexPlan {
         let mut ext_types = Vec::new();
-        let mut tuple_slots = Vec::new();
+        let mut key_slots: Vec<(ElemId, Vec<AttrId>)> = Vec::new();
+        let mut tuple_slots: Vec<(ElemId, Vec<AttrId>)> = Vec::new();
         let push_ext = |v: &mut Vec<ElemId>, ty: ElemId| {
             if !v.contains(&ty) {
                 v.push(ty);
+            }
+        };
+        let push_slot = |v: &mut Vec<(ElemId, Vec<AttrId>)>, ty: ElemId, attrs: &[AttrId]| {
+            if !v.iter().any(|(t, a)| *t == ty && a == attrs) {
+                v.push((ty, attrs.to_vec()));
             }
         };
         for c in sigma.iter() {
             match c {
                 Constraint::Key(k) | Constraint::NotKey(k) => {
                     push_ext(&mut ext_types, k.ty);
+                    push_slot(&mut key_slots, k.ty, &k.attrs);
                 }
-                Constraint::Inclusion(i)
-                | Constraint::NotInclusion(i)
-                | Constraint::ForeignKey(i) => {
+                Constraint::Inclusion(i) | Constraint::NotInclusion(i) => {
                     push_ext(&mut ext_types, i.from_ty);
                     push_ext(&mut ext_types, i.to_ty);
-                    let slot = (i.to_ty, i.to_attrs.clone());
-                    if !tuple_slots.contains(&slot) {
-                        tuple_slots.push(slot);
-                    }
+                    push_slot(&mut tuple_slots, i.to_ty, &i.to_attrs);
+                }
+                Constraint::ForeignKey(i) => {
+                    push_ext(&mut ext_types, i.from_ty);
+                    push_ext(&mut ext_types, i.to_ty);
+                    // The key slot's tuple → first-carrier map already holds
+                    // exactly the target tuple set, so a separate tuple slot
+                    // would double the build work; inclusion checks probe
+                    // the key slot instead (see `DocIndex`).
+                    push_slot(&mut key_slots, i.to_ty, &i.to_attrs);
                 }
             }
         }
         IndexPlan {
             ext_types,
+            key_slots,
             tuple_slots,
         }
     }
@@ -150,7 +171,12 @@ impl IndexPlan {
         &self.ext_types
     }
 
-    /// The `(τ, X)` tuple indexes the check reads.
+    /// The key slots `(τ, X̄)` the check probes for clashes.
+    pub fn key_slots(&self) -> &[(ElemId, Vec<AttrId>)] {
+        &self.key_slots
+    }
+
+    /// The `(τ, X̄)` tuple indexes the check reads.
     pub fn tuple_slots(&self) -> &[(ElemId, Vec<AttrId>)] {
         &self.tuple_slots
     }
@@ -170,10 +196,11 @@ impl<'a> SatisfactionChecker<'a> {
     /// Builds every index named by `plan` in one document-order pass over the
     /// tree, instead of one full traversal per `ext(τ)` the lazy path pays.
     pub fn prewarm(&mut self, plan: &IndexPlan) {
+        let tree = self.tree;
         let mut lists: HashMap<ElemId, Vec<NodeId>> =
             plan.ext_types.iter().map(|&ty| (ty, Vec::new())).collect();
-        for node in self.tree.elements() {
-            if let Some(ty) = self.tree.element_type(node) {
+        for node in tree.elements() {
+            if let Some(ty) = tree.element_type(node) {
                 if let Some(list) = lists.get_mut(&ty) {
                     list.push(node);
                 }
@@ -181,34 +208,8 @@ impl<'a> SatisfactionChecker<'a> {
         }
         self.ext_cache.extend(lists);
         for (ty, attrs) in &plan.tuple_slots {
-            let nodes = self.ext(*ty);
-            let set: HashSet<Vec<String>> = nodes
-                .iter()
-                .filter_map(|&n| self.tree.attr_values(n, attrs))
-                .collect();
-            self.tuple_cache.insert((*ty, attrs.clone()), set);
+            tuples_entry(&mut self.tuple_cache, &mut self.ext_cache, tree, *ty, attrs);
         }
-    }
-
-    fn ext(&mut self, ty: ElemId) -> Vec<NodeId> {
-        self.ext_cache
-            .entry(ty)
-            .or_insert_with(|| self.tree.ext(ty))
-            .clone()
-    }
-
-    fn tuples(&mut self, ty: ElemId, attrs: &[AttrId]) -> HashSet<Vec<String>> {
-        let key = (ty, attrs.to_vec());
-        if let Some(t) = self.tuple_cache.get(&key) {
-            return t.clone();
-        }
-        let nodes = self.ext(ty);
-        let set: HashSet<Vec<String>> = nodes
-            .iter()
-            .filter_map(|&n| self.tree.attr_values(n, attrs))
-            .collect();
-        self.tuple_cache.insert(key, set.clone());
-        set
     }
 
     /// Checks a single constraint, returning its violation if any.
@@ -261,10 +262,11 @@ impl<'a> SatisfactionChecker<'a> {
     /// Returns `None` if the key holds, or a violation describing the first
     /// pair of clashing elements.
     fn key_holds(&mut self, k: &KeySpec) -> Option<Violation> {
-        let nodes = self.ext(k.ty);
+        let tree = self.tree;
+        let nodes = ext_entry(&mut self.ext_cache, tree, k.ty);
         let mut seen: HashMap<Vec<String>, NodeId> = HashMap::new();
-        for n in nodes {
-            let Some(values) = self.tree.attr_values(n, &k.attrs) else {
+        for &n in nodes {
+            let Some(values) = tree.attr_values(n, &k.attrs) else {
                 // Elements missing an attribute cannot clash (the conjunction
                 // of equalities in the key definition is vacuously false), so
                 // they are skipped; validity against the DTD is checked
@@ -304,10 +306,19 @@ impl<'a> SatisfactionChecker<'a> {
         &mut self,
         i: &InclusionSpec,
     ) -> Option<(NodeId, Option<Vec<String>>)> {
-        let targets = self.tuples(i.to_ty, &i.to_attrs);
-        let sources = self.ext(i.from_ty);
-        for n in sources {
-            match self.tree.attr_values(n, &i.from_attrs) {
+        let tree = self.tree;
+        // Split borrows: the target set borrows `tuple_cache`, the source
+        // list borrows `ext_cache` — disjoint fields, no cloning.
+        let targets = tuples_entry(
+            &mut self.tuple_cache,
+            &mut self.ext_cache,
+            tree,
+            i.to_ty,
+            &i.to_attrs,
+        );
+        let sources = ext_entry(&mut self.ext_cache, tree, i.from_ty);
+        for &n in sources {
+            match tree.attr_values(n, &i.from_attrs) {
                 None => return Some((n, None)),
                 Some(values) => {
                     if !targets.contains(&values) {
@@ -335,14 +346,50 @@ impl<'a> SatisfactionChecker<'a> {
     }
 }
 
-/// One-shot check of a full constraint set against a document.
+/// The `ext(τ)` cache entry, computed on first use.  A free function over
+/// the cache field so callers can keep borrowing the tree alongside it.
+fn ext_entry<'c>(
+    ext_cache: &'c mut HashMap<ElemId, Vec<NodeId>>,
+    tree: &XmlTree,
+    ty: ElemId,
+) -> &'c [NodeId] {
+    ext_cache.entry(ty).or_insert_with(|| tree.ext(ty))
+}
+
+/// The `(τ, X̄)` tuple-set cache entry, computed on first use.  The returned
+/// borrow is tied to `tuple_cache` only, so the caller may re-borrow
+/// `ext_cache` while holding it.
+fn tuples_entry<'c>(
+    tuple_cache: &'c mut HashMap<(ElemId, Vec<AttrId>), HashSet<Vec<String>>>,
+    ext_cache: &mut HashMap<ElemId, Vec<NodeId>>,
+    tree: &XmlTree,
+    ty: ElemId,
+    attrs: &[AttrId],
+) -> &'c HashSet<Vec<String>> {
+    match tuple_cache.entry((ty, attrs.to_vec())) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let nodes = ext_entry(ext_cache, tree, ty);
+            let set: HashSet<Vec<String>> = nodes
+                .iter()
+                .filter_map(|&n| tree.attr_values(n, attrs))
+                .collect();
+            e.insert(set)
+        }
+    }
+}
+
+/// One-shot check of a full constraint set against a document, through the
+/// interned-value [`crate::DocIndex`] fast path.
 pub fn check_document(dtd: &Dtd, tree: &XmlTree, sigma: &ConstraintSet) -> Vec<Violation> {
-    SatisfactionChecker::new(dtd, tree).check_all(sigma)
+    let plan = IndexPlan::for_set(sigma);
+    crate::index::DocIndex::build(dtd, tree, &plan).check_all(sigma)
 }
 
 /// One-shot `T ⊨ Σ`.
 pub fn document_satisfies(dtd: &Dtd, tree: &XmlTree, sigma: &ConstraintSet) -> bool {
-    SatisfactionChecker::new(dtd, tree).satisfies_all(sigma)
+    let plan = IndexPlan::for_set(sigma);
+    crate::index::DocIndex::build(dtd, tree, &plan).satisfies_all(sigma)
 }
 
 #[cfg(test)]

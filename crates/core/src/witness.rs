@@ -543,7 +543,7 @@ fn assign_attribute_values(
             };
             for (j, &node) in nodes.iter().enumerate() {
                 let idx = j.min(values.len() - 1);
-                tree.set_attr(node, attr, values[idx].clone());
+                tree.set_attr(node, attr, &values[idx]);
             }
         }
     }

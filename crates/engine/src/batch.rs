@@ -11,6 +11,8 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
 
+use xic_xml::ValuePool;
+
 use crate::spec::CompiledSpec;
 
 /// One document submitted to a batch: a label (typically its path) and its
@@ -136,15 +138,36 @@ impl BatchEngine {
         self.threads
     }
 
-    /// Validates every document against the spec: parse, `T ⊨ D` with the
-    /// precompiled automata, `T ⊨ Σ` with the precomputed index plan.
+    /// The worker count actually used: on a single hardware thread the pool
+    /// is pure overhead (timeslicing costs ~30% with no parallelism to win),
+    /// so `--threads N` degrades to the sequential path and is never a
+    /// pessimization.
+    pub fn effective_threads(&self) -> usize {
+        // Degrade only when the hardware is *known* to be single-threaded;
+        // if parallelism cannot be queried, honor the configured width
+        // rather than silently discarding an explicit `--threads N`.
+        match thread::available_parallelism() {
+            Ok(n) if n.get() == 1 => 1,
+            _ => self.threads,
+        }
+    }
+
+    /// Validates every document against the spec: parse (interning values),
+    /// `T ⊨ D` with the precompiled automata, `T ⊨ Σ` through a single-pass
+    /// [`xic_constraints::DocIndex`].
+    ///
+    /// One [`ValuePool`] is threaded through each worker's documents (one
+    /// pool total on the sequential path), so values repeated across the
+    /// corpus are interned once per worker.
     pub fn validate_batch(&self, spec: &CompiledSpec, docs: &[BatchDoc]) -> BatchReport {
-        if self.threads == 1 || docs.len() <= 1 {
-            let reports = docs
-                .iter()
-                .enumerate()
-                .map(|(i, d)| process_doc(spec, i, d))
-                .collect();
+        if self.effective_threads() == 1 || docs.len() <= 1 {
+            let mut pool = ValuePool::new();
+            let mut reports = Vec::with_capacity(docs.len());
+            for (i, d) in docs.iter().enumerate() {
+                let (report, recycled) = process_doc(spec, i, d, pool);
+                reports.push(report);
+                pool = recycled;
+            }
             return BatchReport { reports };
         }
 
@@ -162,12 +185,14 @@ impl BatchEngine {
                 let job_rx = &job_rx;
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
+                    let mut pool = ValuePool::new();
                     loop {
                         // Hold the receiver lock only for the pop, not the work.
                         let job = job_rx.lock().expect("job receiver poisoned").try_recv();
                         match job {
                             Ok((index, doc)) => {
-                                let report = process_doc(spec, index, doc);
+                                let (report, recycled) = process_doc(spec, index, doc, pool);
+                                pool = recycled;
                                 if result_tx.send(report).is_err() {
                                     return;
                                 }
@@ -193,18 +218,28 @@ impl BatchEngine {
 }
 
 /// The per-document pipeline shared by the sequential and parallel paths.
-fn process_doc(spec: &CompiledSpec, index: usize, doc: &BatchDoc) -> DocReport {
+/// Takes and returns the caller's [`ValuePool`] so the interner stays warm
+/// across documents.
+fn process_doc(
+    spec: &CompiledSpec,
+    index: usize,
+    doc: &BatchDoc,
+    pool: ValuePool,
+) -> (DocReport, ValuePool) {
     let label = doc.label.clone();
-    let tree = match spec.parse_document(&doc.content) {
+    let tree = match spec.parse_document_pooled(&doc.content, pool) {
         Ok(tree) => tree,
-        Err(err) => {
-            return DocReport {
-                index,
-                label,
-                parse_error: Some(err.to_string()),
-                validation_errors: Vec::new(),
-                violations: Vec::new(),
-            }
+        Err((err, pool)) => {
+            return (
+                DocReport {
+                    index,
+                    label,
+                    parse_error: Some(err.to_string()),
+                    validation_errors: Vec::new(),
+                    violations: Vec::new(),
+                },
+                pool,
+            )
         }
     };
     let validation_errors = spec
@@ -218,13 +253,16 @@ fn process_doc(spec: &CompiledSpec, index: usize, doc: &BatchDoc) -> DocReport {
         .iter()
         .map(|v| v.to_string())
         .collect();
-    DocReport {
-        index,
-        label,
-        parse_error: None,
-        validation_errors,
-        violations,
-    }
+    (
+        DocReport {
+            index,
+            label,
+            parse_error: None,
+            validation_errors,
+            violations,
+        },
+        tree.into_pool(),
+    )
 }
 
 #[cfg(test)]
@@ -279,6 +317,30 @@ mod tests {
             assert_eq!(parallel, sequential);
             assert_eq!(parallel.render(), sequential.render());
         }
+    }
+
+    #[test]
+    fn single_core_degrades_to_sequential_and_verdicts_match() {
+        let spec = school_spec();
+        let docs = docs();
+        let engine = BatchEngine::new(8);
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // On one hardware thread the pool is skipped entirely; otherwise the
+        // requested width is honored.  Either way `threads()` reports the
+        // configured value.
+        assert_eq!(engine.threads(), 8);
+        if hardware == 1 {
+            assert_eq!(engine.effective_threads(), 1);
+        } else {
+            assert_eq!(engine.effective_threads(), 8);
+        }
+        // The verdict reports are identical whichever path runs.
+        let sequential = BatchEngine::new(1).validate_batch(&spec, &docs);
+        let scheduled = engine.validate_batch(&spec, &docs);
+        assert_eq!(scheduled, sequential);
+        assert_eq!(scheduled.render(), sequential.render());
     }
 
     #[test]

@@ -4,14 +4,17 @@ use std::collections::HashMap;
 use std::fmt;
 
 use xic_constraints::{
-    parse_constraint_set, ConstraintClass, ConstraintSet, IndexPlan, SatisfactionChecker, Violation,
+    parse_constraint_set, ConstraintClass, ConstraintSet, DocIndex, IndexPlan, Violation,
 };
 use xic_core::{
     CardinalitySystem, CheckerConfig, ConsistencyChecker, ConsistencyOutcome, ImplicationChecker,
     ImplicationOutcome, SpecError,
 };
 use xic_dtd::{analyze, parse_dtd, Dtd, DtdAnalysis, ElemId, Glushkov, SimpleDtd};
-use xic_xml::{compile_automata, parse_document, Validator, XmlError, XmlTree};
+use xic_xml::{
+    compile_automata, parse_document, parse_document_pooled, Validator, ValuePool, XmlError,
+    XmlTree,
+};
 
 use crate::hash::fnv1a_parts_wide;
 
@@ -213,12 +216,28 @@ impl CompiledSpec {
         parse_document(source, &self.dtd)
     }
 
-    /// Checks `T ⊨ Σ` using the precomputed index plan; returns every
-    /// violation.
+    /// Parses a document interning its values into an existing pool; on
+    /// failure the pool is handed back so batch loops keep their warm
+    /// interner (see [`crate::BatchEngine`]).
+    pub fn parse_document_pooled(
+        &self,
+        source: &str,
+        pool: ValuePool,
+    ) -> Result<XmlTree, (XmlError, ValuePool)> {
+        parse_document_pooled(source, &self.dtd, pool)
+    }
+
+    /// Builds the document's satisfaction indexes ([`DocIndex`]) in one pass
+    /// over the tree, driven by the precomputed plan.
+    pub fn index_document<'t>(&'t self, tree: &'t XmlTree) -> DocIndex<'t> {
+        DocIndex::build(&self.dtd, tree, &self.plan)
+    }
+
+    /// Checks `T ⊨ Σ` through a freshly built [`DocIndex`]; returns every
+    /// violation.  To check several constraint subsets against one document,
+    /// build the index once with [`CompiledSpec::index_document`].
     pub fn check_document(&self, tree: &XmlTree) -> Vec<Violation> {
-        let mut checker = SatisfactionChecker::new(&self.dtd, tree);
-        checker.prewarm(&self.plan);
-        checker.check_all(&self.sigma)
+        self.index_document(tree).check_all(&self.sigma)
     }
 
     /// Consistency of the compiled specification, dispatching to the

@@ -7,6 +7,9 @@
 //!
 //! * [`tree::XmlTree`] — an arena-based tree with the paper's `ext(τ)` /
 //!   `ext(τ.l)` / `x[X]` accessors;
+//! * [`pool::ValuePool`] — the string interner behind the tree: attribute
+//!   and text values are stored as dense [`pool::ValueId`] symbols, so the
+//!   string-value equality of Section 2.2 is integer equality;
 //! * [`parser::parse_document`] / [`writer::write_document`] — a DTD-aware
 //!   XML parser and serializer (from scratch, no external XML crates);
 //! * [`validate`] — the `T ⊨ D` validity test of Definition 2.2, with
@@ -17,12 +20,14 @@
 
 pub mod error;
 pub mod parser;
+pub mod pool;
 pub mod tree;
 pub mod validate;
 pub mod writer;
 
 pub use error::XmlError;
-pub use parser::parse_document;
+pub use parser::{parse_document, parse_document_pooled};
+pub use pool::{ValueId, ValuePool};
 pub use tree::{NodeId, NodeLabel, XmlTree};
 pub use validate::{compile_automata, is_valid, validate, ValidationError, Validator};
 pub use writer::{write_document, write_document_with, WriteOptions};

@@ -11,6 +11,7 @@
 use xic_dtd::Dtd;
 
 use crate::error::XmlError;
+use crate::pool::ValuePool;
 use crate::tree::{NodeId, XmlTree};
 
 /// Parses an XML document against a DTD.
@@ -19,17 +20,34 @@ use crate::tree::{NodeId, XmlTree};
 /// meaningful in the paper's model); all other text is kept verbatim after
 /// entity expansion.
 pub fn parse_document(input: &str, dtd: &Dtd) -> Result<XmlTree, XmlError> {
+    parse_document_pooled(input, dtd, ValuePool::new()).map_err(|(err, _)| err)
+}
+
+/// Parses a document interning its values into an existing pool.
+///
+/// The pool is moved into the resulting tree (recover it with
+/// [`XmlTree::into_pool`]); on a parse error it is handed back alongside the
+/// error so a caller looping over a corpus never loses its warm interner.
+pub fn parse_document_pooled(
+    input: &str,
+    dtd: &Dtd,
+    pool: ValuePool,
+) -> Result<XmlTree, (XmlError, ValuePool)> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
         dtd,
     };
-    p.skip_prolog()?;
-    let (name, tree) = p.parse_root()?;
-    let _ = name;
+    if let Err(err) = p.skip_prolog() {
+        return Err((err, pool));
+    }
+    let tree = p.parse_root(pool)?;
     p.skip_misc();
     if !p.eof() {
-        return Err(p.error("trailing content after the root element"));
+        return Err((
+            p.error("trailing content after the root element"),
+            tree.into_pool(),
+        ));
     }
     Ok(tree)
 }
@@ -131,24 +149,34 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
     }
 
-    fn parse_root(&mut self) -> Result<(String, XmlTree), XmlError> {
+    fn parse_root(&mut self, pool: ValuePool) -> Result<XmlTree, (XmlError, ValuePool)> {
         self.skip_ws();
         if self.peek() != Some(b'<') {
-            return Err(self.error("expected the root element"));
+            return Err((self.error("expected the root element"), pool));
         }
         self.pos += 1;
-        let name = self.name()?;
-        let ty = self
-            .dtd
-            .type_by_name(&name)
-            .ok_or_else(|| XmlError::UnknownElement(name.clone()))?;
-        let mut tree = XmlTree::new(ty);
+        let name = match self.name() {
+            Ok(name) => name,
+            Err(err) => return Err((err, pool)),
+        };
+        let Some(ty) = self.dtd.type_by_name(&name) else {
+            return Err((XmlError::UnknownElement(name), pool));
+        };
+        let mut tree = XmlTree::with_pool(ty, pool);
         let root = tree.root();
-        let self_closing = self.parse_attributes(&mut tree, root, &name)?;
-        if !self_closing {
-            self.parse_children(&mut tree, root, &name)?;
+        let body = self
+            .parse_attributes(&mut tree, root, &name)
+            .and_then(|self_closing| {
+                if self_closing {
+                    Ok(())
+                } else {
+                    self.parse_children(&mut tree, root, &name)
+                }
+            });
+        match body {
+            Ok(()) => Ok(tree),
+            Err(err) => Err((err, tree.into_pool())),
         }
-        Ok((name, tree))
     }
 
     /// Parses attributes of the current element; returns `true` if the
@@ -390,6 +418,25 @@ mod tests {
         let dtd = example_d1();
         let err = parse_document("<teachers></teachers><teachers/>", &dtd).unwrap_err();
         assert!(matches!(err, XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn pooled_parse_shares_the_interner_across_documents() {
+        let dtd = example_d1();
+        let tree = parse_document(DOC, &dtd).unwrap();
+        let distinct = tree.pool().len();
+        assert!(distinct > 0);
+        // Re-parsing the same document over the recovered pool interns
+        // nothing new: every value is already a symbol.
+        let tree2 = parse_document_pooled(DOC, &dtd, tree.into_pool()).unwrap();
+        assert_eq!(tree2.pool().len(), distinct);
+        // A parse error hands the warm pool back instead of dropping it.
+        let (err, pool) = parse_document_pooled("<bogus/>", &dtd, tree2.into_pool()).unwrap_err();
+        assert!(matches!(err, XmlError::UnknownElement(_)));
+        assert_eq!(pool.len(), distinct);
+        // Mid-document failures (after the tree exists) also recover it.
+        let (_, pool) = parse_document_pooled("<teachers><teacher>", &dtd, pool).unwrap_err();
+        assert_eq!(pool.len(), distinct);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use std::collections::{HashMap, HashSet};
 
 use xic_dtd::{AttrId, Dtd, ElemId};
 
+use crate::pool::{ValueId, ValuePool};
+
 /// Identifier of a node within an [`XmlTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
@@ -44,8 +46,8 @@ pub enum NodeLabel {
 struct Node {
     label: NodeLabel,
     parent: Option<NodeId>,
-    /// String value; `Some` exactly for attribute and text nodes.
-    value: Option<String>,
+    /// Interned string value; `Some` exactly for attribute and text nodes.
+    value: Option<ValueId>,
     /// Ordered subelement / text children (the `ele` function).
     children: Vec<NodeId>,
     /// Attribute children, identified by attribute id (the `att` function).
@@ -53,15 +55,31 @@ struct Node {
 }
 
 /// An XML tree (Definition 2.2).
+///
+/// Attribute and text values are interned in the tree's [`ValuePool`]:
+/// nodes store dense [`ValueId`] symbols, and the string-value equality the
+/// paper's constraints are built on becomes integer equality.  The string
+/// accessors ([`XmlTree::value`], [`XmlTree::attr_value`], …) resolve
+/// through the pool, so the external API is unchanged.
 #[derive(Debug, Clone)]
 pub struct XmlTree {
     nodes: Vec<Node>,
     root: NodeId,
+    pool: ValuePool,
 }
 
 impl XmlTree {
     /// Creates a tree consisting of a single root element of type `root_type`.
     pub fn new(root_type: ElemId) -> XmlTree {
+        XmlTree::with_pool(root_type, ValuePool::new())
+    }
+
+    /// Creates a tree over an existing (possibly pre-warmed) value pool.
+    ///
+    /// Threading one pool through a sequence of documents means values they
+    /// share are interned — and allocated — exactly once; `xic-engine`'s
+    /// batch validator does this per worker.
+    pub fn with_pool(root_type: ElemId, pool: ValuePool) -> XmlTree {
         let root = Node {
             label: NodeLabel::Element(root_type),
             parent: None,
@@ -72,7 +90,18 @@ impl XmlTree {
         XmlTree {
             nodes: vec![root],
             root: NodeId(0),
+            pool,
         }
+    }
+
+    /// The tree's value pool.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Consumes the tree, recovering its value pool for reuse.
+    pub fn into_pool(self) -> ValuePool {
+        self.pool
     }
 
     /// The root node.
@@ -105,7 +134,19 @@ impl XmlTree {
 
     /// String value of a node (`Some` for attribute and text nodes).
     pub fn value(&self, node: NodeId) -> Option<&str> {
-        self.nodes[node.index()].value.as_deref()
+        self.nodes[node.index()]
+            .value
+            .map(|id| self.pool.resolve(id))
+    }
+
+    /// Interned value of a node (`Some` for attribute and text nodes).
+    pub fn value_id(&self, node: NodeId) -> Option<ValueId> {
+        self.nodes[node.index()].value
+    }
+
+    /// Resolves an interned value back to its string.
+    pub fn resolve(&self, id: ValueId) -> &str {
+        self.pool.resolve(id)
     }
 
     /// Ordered subelement/text children of an element (the `ele` function).
@@ -120,11 +161,17 @@ impl XmlTree {
 
     /// The value of attribute `attr` of element `node` (the `x.l` notation).
     pub fn attr_value(&self, node: NodeId, attr: AttrId) -> Option<&str> {
+        self.attr_value_id(node, attr)
+            .map(|id| self.pool.resolve(id))
+    }
+
+    /// The interned value of attribute `attr` of element `node`.
+    pub fn attr_value_id(&self, node: NodeId, attr: AttrId) -> Option<ValueId> {
         self.nodes[node.index()]
             .attrs
             .iter()
             .find(|(a, _)| *a == attr)
-            .and_then(|(_, n)| self.value(*n))
+            .and_then(|(_, n)| self.value_id(*n))
     }
 
     /// The list of attribute values `x[X]` for a list of attributes `X`.
@@ -134,6 +181,22 @@ impl XmlTree {
             .iter()
             .map(|&a| self.attr_value(node, a).map(str::to_string))
             .collect()
+    }
+
+    /// Fills `out` with the interned tuple `x[X]`, clearing it first.
+    /// Returns `false` (leaving `out` in an unspecified state) if any
+    /// attribute is missing.  This is the zero-allocation probe the
+    /// constraint indexes are built on: `out` is a caller-owned scratch
+    /// buffer reused across nodes.
+    pub fn attr_value_ids(&self, node: NodeId, attrs: &[AttrId], out: &mut Vec<ValueId>) -> bool {
+        out.clear();
+        for &a in attrs {
+            match self.attr_value_id(node, a) {
+                Some(id) => out.push(id),
+                None => return false,
+            }
+        }
+        true
     }
 
     /// Adds an element child of type `ty` under `parent` and returns its id.
@@ -151,12 +214,13 @@ impl XmlTree {
     }
 
     /// Adds a text child with the given value under `parent`.
-    pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+    pub fn add_text(&mut self, parent: NodeId, value: impl AsRef<str>) -> NodeId {
+        let value = self.pool.intern(value.as_ref());
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             label: NodeLabel::Text,
             parent: Some(parent),
-            value: Some(value.into()),
+            value: Some(value),
             children: Vec::new(),
             attrs: Vec::new(),
         });
@@ -166,8 +230,8 @@ impl XmlTree {
 
     /// Sets (or replaces) attribute `attr` of element `node` to `value`,
     /// returning the attribute node id.
-    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: impl Into<String>) -> NodeId {
-        let value = value.into();
+    pub fn set_attr(&mut self, node: NodeId, attr: AttrId, value: impl AsRef<str>) -> NodeId {
+        let value = self.pool.intern(value.as_ref());
         if let Some(&(_, existing)) = self.nodes[node.index()]
             .attrs
             .iter()
@@ -217,7 +281,8 @@ impl XmlTree {
             .collect()
     }
 
-    /// Concatenated text content of an element's direct text children.
+    /// Concatenated text content of an element's direct text children,
+    /// folded into one string in a single pass (no intermediate `Vec`).
     pub fn text_of(&self, node: NodeId) -> String {
         self.children(node)
             .iter()
@@ -225,15 +290,18 @@ impl XmlTree {
                 NodeLabel::Text => self.value(c),
                 _ => None,
             })
-            .collect::<Vec<_>>()
-            .join("")
+            .fold(String::new(), |mut acc, piece| {
+                acc.push_str(piece);
+                acc
+            })
     }
 
     /// Per-type element counts (used by the Lemma 4.3 preservation tests).
+    /// One walk over the arena, matching each node's label exactly once.
     pub fn type_histogram(&self) -> HashMap<ElemId, usize> {
         let mut hist = HashMap::new();
-        for n in self.elements() {
-            if let Some(ty) = self.element_type(n) {
+        for node in &self.nodes {
+            if let NodeLabel::Element(ty) = node.label {
                 *hist.entry(ty).or_insert(0) += 1;
             }
         }
@@ -362,6 +430,32 @@ mod tests {
         t.add_text(t.root(), "Web ");
         t.add_text(t.root(), "DB");
         assert_eq!(t.text_of(t.root()), "Web DB");
+    }
+
+    #[test]
+    fn values_are_interned_once() {
+        let dtd = example_d1();
+        let t = figure1_tree(&dtd);
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let subject = dtd.type_by_name("subject").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let taught_by = dtd.attr_by_name("taught_by").unwrap();
+        // "Joe" appears on two teachers and four subjects but is one symbol.
+        let teachers = t.ext(teacher);
+        let joe = t.attr_value_id(teachers[0], name).unwrap();
+        assert_eq!(t.attr_value_id(teachers[1], name), Some(joe));
+        for s in t.ext(subject) {
+            assert_eq!(t.attr_value_id(s, taught_by), Some(joe));
+        }
+        assert_eq!(t.resolve(joe), "Joe");
+        assert_eq!(t.pool().get("Joe"), Some(joe));
+        // Distinct values: Joe, XML, DB, Web DB.
+        assert_eq!(t.pool().len(), 4);
+        // Tuple probing through the scratch-buffer API.
+        let mut scratch = Vec::new();
+        assert!(t.attr_value_ids(teachers[0], &[name], &mut scratch));
+        assert_eq!(scratch, vec![joe]);
+        assert!(!t.attr_value_ids(t.root(), &[name], &mut scratch));
     }
 
     #[test]
