@@ -32,6 +32,25 @@ pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
     times[times.len() / 2]
 }
 
+/// Runs a closure `runs` times and returns the **minimum** duration.
+///
+/// On a shared single-core box (this container routinely sees load > 1 from
+/// neighbours), a short timed section that straddles a preemption balloons
+/// by tens of milliseconds; the median of a handful of runs is then
+/// dominated by scheduler luck.  The minimum is the run the scheduler left
+/// alone, i.e. the actual cost of the code — use it for sections much
+/// shorter than a timeslice.
+pub fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
 /// Formats a duration in microseconds with three significant digits.
 pub fn fmt_us(d: Duration) -> String {
     format!("{:.1} µs", d.as_secs_f64() * 1e6)
@@ -50,5 +69,9 @@ mod tests {
             std::hint::black_box(1 + 1);
         });
         assert!(fmt_us(m).contains("µs"));
+        // min_time runs the closure exactly `runs` times.
+        let mut n = 0u64;
+        let _ = min_time(5, || n = std::hint::black_box(n + 1));
+        assert_eq!(n, 5);
     }
 }

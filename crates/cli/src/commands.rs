@@ -9,6 +9,7 @@ use std::path::Path;
 
 use xic_constraints::{
     check_document, parse_constraint, parse_constraint_set, ConstraintClass, ConstraintSet,
+    Violation,
 };
 use xic_core::{
     diagnose as diagnose_spec, CardinalitySystem, CheckerConfig, ConsistencyChecker,
@@ -20,6 +21,68 @@ use xic_xml::{parse_document, validate, write_document};
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
+use crate::json::JsonValue;
+
+/// The report format selected by `--format` (plain text by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Text,
+    Json,
+}
+
+fn report_format(args: &ParsedArgs) -> Result<ReportFormat, CliError> {
+    match args.get("format") {
+        None | Some("text") => Ok(ReportFormat::Text),
+        Some("json") => Ok(ReportFormat::Json),
+        Some(other) => Err(CliError::Usage(format!(
+            "option `--format` expects `text` or `json`, got `{other}`"
+        ))),
+    }
+}
+
+/// A machine-readable view of one violation, witnesses included.
+fn violation_json(v: &Violation) -> JsonValue {
+    match v {
+        Violation::KeyViolation {
+            constraint,
+            witnesses,
+            values,
+        } => JsonValue::object(vec![
+            ("kind", JsonValue::string("key_violation")),
+            ("constraint", JsonValue::string(constraint.clone())),
+            (
+                "witnesses",
+                JsonValue::Array(vec![
+                    JsonValue::int(witnesses.0.index()),
+                    JsonValue::int(witnesses.1.index()),
+                ]),
+            ),
+            ("values", JsonValue::strings(values.iter().cloned())),
+        ]),
+        Violation::InclusionViolation {
+            constraint,
+            witness,
+            values,
+        } => JsonValue::object(vec![
+            ("kind", JsonValue::string("inclusion_violation")),
+            ("constraint", JsonValue::string(constraint.clone())),
+            ("witness", JsonValue::int(witness.index())),
+            ("values", JsonValue::strings(values.iter().cloned())),
+        ]),
+        Violation::MissingAttributes {
+            constraint,
+            witness,
+        } => JsonValue::object(vec![
+            ("kind", JsonValue::string("missing_attributes")),
+            ("constraint", JsonValue::string(constraint.clone())),
+            ("witness", JsonValue::int(witness.index())),
+        ]),
+        Violation::NegationUnsatisfied { constraint } => JsonValue::object(vec![
+            ("kind", JsonValue::string("negation_unsatisfied")),
+            ("constraint", JsonValue::string(constraint.clone())),
+        ]),
+    }
+}
 
 /// The result of running a subcommand: a human-readable report plus the
 /// process exit code (`0` positive verdict, `1` negative verdict, `2`
@@ -155,15 +218,38 @@ pub fn implies(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 
 /// `xic validate` — dynamic validation of a document against DTD and Σ.
 pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
     let (dtd, sigma) = spec_inputs(args)?;
     let doc_path = args.require("doc")?;
     let text = read_file(doc_path)?;
     let tree =
         parse_document(&text, &dtd).map_err(|e| CliError::Document(format!("{doc_path}: {e}")))?;
 
-    let mut report = String::new();
     let structural = validate(&tree, &dtd);
     let violations = check_document(&dtd, &tree, &sigma);
+    if format == ReportFormat::Json {
+        let ok = structural.is_empty() && violations.is_empty();
+        let json = JsonValue::object(vec![
+            ("command", JsonValue::string("validate")),
+            ("doc", JsonValue::string(doc_path)),
+            ("nodes", JsonValue::int(tree.num_nodes())),
+            ("elements", JsonValue::int(tree.elements().count())),
+            (
+                "structure_errors",
+                JsonValue::strings(structural.iter().map(|e| e.to_string())),
+            ),
+            (
+                "violations",
+                JsonValue::Array(violations.iter().map(violation_json).collect()),
+            ),
+            ("clean", JsonValue::Bool(ok)),
+        ]);
+        let mut report = json.render();
+        report.push('\n');
+        return Ok(CommandOutcome::new(report, if ok { 0 } else { 1 }));
+    }
+
+    let mut report = String::new();
     report.push_str(&format!(
         "document: {} nodes ({} elements)\n",
         tree.num_nodes(),
@@ -352,6 +438,7 @@ pub fn explain(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 /// machine's parallelism).  The per-document report is ordered by manifest
 /// position regardless of the thread count.
 pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
     let (dtd, sigma) = spec_inputs(args)?;
     let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
         .map_err(|e| CliError::Spec(e.to_string()))?;
@@ -378,6 +465,46 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
         None => BatchEngine::default(),
     };
     let report_data = engine.validate_batch(&spec, &docs);
+    let all_clean = report_data.clean_count() == report_data.total();
+
+    if format == ReportFormat::Json {
+        let reports: Vec<JsonValue> = report_data
+            .reports()
+            .iter()
+            .map(|r| {
+                JsonValue::object(vec![
+                    ("index", JsonValue::int(r.index)),
+                    ("label", JsonValue::string(r.label.clone())),
+                    (
+                        "parse_error",
+                        r.parse_error
+                            .as_ref()
+                            .map(|e| JsonValue::string(e.clone()))
+                            .unwrap_or(JsonValue::Null),
+                    ),
+                    (
+                        "validation_errors",
+                        JsonValue::strings(r.validation_errors.iter().cloned()),
+                    ),
+                    (
+                        "violations",
+                        JsonValue::Array(r.violations.iter().map(violation_json).collect()),
+                    ),
+                    ("clean", JsonValue::Bool(r.is_clean())),
+                ])
+            })
+            .collect();
+        let json = JsonValue::object(vec![
+            ("command", JsonValue::string("batch")),
+            ("spec", JsonValue::string(spec.id().to_string())),
+            ("total", JsonValue::int(report_data.total())),
+            ("clean", JsonValue::int(report_data.clean_count())),
+            ("reports", JsonValue::Array(reports)),
+        ]);
+        let mut report = json.render();
+        report.push('\n');
+        return Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }));
+    }
 
     let mut report = String::new();
     report.push_str(&format!(
@@ -395,7 +522,6 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             report_data.total()
         ));
     }
-    let all_clean = report_data.clean_count() == report_data.total();
     Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }))
 }
 
@@ -648,6 +774,154 @@ mod tests {
         assert_eq!(out.exit_code, 0);
         assert!(out.report.contains("cardinality system"), "{}", out.report);
         assert!(out.report.contains("ext(teacher)"), "{}", out.report);
+    }
+
+    #[test]
+    fn validate_json_round_trips_with_witnesses() {
+        use crate::json::JsonValue;
+        let dtd = temp_file("json.dtd", TEACHERS_DTD);
+        let sigma = temp_file("json.xic", SIGMA1);
+        // Duplicate names ("quoted \"Joe\"" exercises string escaping) break
+        // the teacher key.
+        let doc = temp_file(
+            "json-doc.xml",
+            r#"<teachers>
+                 <teacher name='quoted "Joe"'><teach>
+                   <subject taught_by='quoted "Joe"'>XML</subject>
+                   <subject taught_by='quoted "Joe"'>DB</subject>
+                 </teach><research>Web DB</research></teacher>
+                 <teacher name='quoted "Joe"'><teach>
+                   <subject taught_by='quoted "Joe"'>A</subject>
+                   <subject taught_by='quoted "Joe"'>B</subject>
+                 </teach><research>DB</research></teacher>
+               </teachers>"#,
+        );
+        let out = run(
+            validate_doc,
+            &[
+                "validate",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--doc",
+                doc.to_str().unwrap(),
+                "--format",
+                "json",
+            ],
+        );
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+
+        // The report parses back, and re-rendering the parsed value parses
+        // to the same structure (full round-trip through our own parser).
+        let parsed = JsonValue::parse(out.report.trim()).expect("valid JSON");
+        let reparsed = JsonValue::parse(&parsed.render()).unwrap();
+        assert_eq!(parsed, reparsed);
+
+        assert_eq!(
+            parsed.get("command").and_then(JsonValue::as_str),
+            Some("validate")
+        );
+        assert_eq!(parsed.get("clean"), Some(&JsonValue::Bool(false)));
+        let violations = parsed
+            .get("violations")
+            .and_then(JsonValue::as_array)
+            .expect("violations array");
+        assert!(!violations.is_empty());
+        // Key violations carry both witness node ids and the escaped value.
+        let key = violations
+            .iter()
+            .find(|v| v.get("kind").and_then(JsonValue::as_str) == Some("key_violation"))
+            .expect("a key violation");
+        assert_eq!(
+            key.get("witnesses")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+        let values = key.get("values").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(values[0].as_str(), Some("quoted \"Joe\""));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_formats() {
+        let dtd = temp_file("badfmt.dtd", TEACHERS_DTD);
+        let parsed = ParsedArgs::parse(
+            [
+                "validate",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--doc",
+                "x.xml",
+                "--format",
+                "yaml",
+            ],
+            &SPEC,
+        )
+        .unwrap();
+        let err = validate_doc(&parsed).unwrap_err();
+        assert!(err.to_string().contains("yaml"), "{err}");
+    }
+
+    #[test]
+    fn batch_json_round_trips() {
+        use crate::json::JsonValue;
+        let dtd = temp_file("jbatch.dtd", SCHOOL_DTD);
+        let sigma = temp_file("jbatch.xic", "teacher.name -> teacher");
+        let ok = temp_file("jbatch-ok.xml", "<school><teacher name=\"Joe\"/></school>");
+        let dup = temp_file(
+            "jbatch-dup.xml",
+            "<school><teacher name=\"Joe\"/><teacher name=\"Joe\"/></school>",
+        );
+        let manifest = temp_file(
+            "jbatch-manifest.txt",
+            &format!(
+                "{}\n{}\n",
+                ok.file_name().unwrap().to_str().unwrap(),
+                dup.file_name().unwrap().to_str().unwrap()
+            ),
+        );
+        let out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--format",
+                "json",
+            ],
+        );
+        assert_eq!(out.exit_code, 1, "{}", out.report);
+        let parsed = JsonValue::parse(out.report.trim()).expect("valid JSON");
+        assert_eq!(JsonValue::parse(&parsed.render()).unwrap(), parsed);
+        assert_eq!(parsed.get("total"), Some(&JsonValue::Number(2.0)));
+        assert_eq!(parsed.get("clean"), Some(&JsonValue::Number(1.0)));
+        let reports = parsed.get("reports").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].get("clean"), Some(&JsonValue::Bool(true)));
+        assert_eq!(reports[1].get("clean"), Some(&JsonValue::Bool(false)));
+        assert_eq!(reports[1].get("parse_error"), Some(&JsonValue::Null));
+        // Batch violations are structured like validate's: kind + witnesses.
+        let violations = reports[1]
+            .get("violations")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(!violations.is_empty());
+        assert_eq!(
+            violations[0].get("kind").and_then(JsonValue::as_str),
+            Some("key_violation")
+        );
+        assert_eq!(
+            violations[0]
+                .get("witnesses")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Minimal JSON support for `--format json` output.
+//!
+//! The workspace is dependency-free, so this module provides the two halves
+//! the CLI needs: a writer ([`JsonValue::render`], plus builder helpers)
+//! used by `xic validate` / `xic batch`, and a strict recursive-descent
+//! parser ([`JsonValue::parse`]) used by the round-trip tests (and by any
+//! script that wants to validate our output without an external tool).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value (objects keep key order via `BTreeMap` — deterministic
+/// rendering matters more to the CLI than insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (the CLI only emits integers, but the parser accepts
+    /// fractions and exponents).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array of strings.
+    pub fn strings<I: IntoIterator<Item = S>, S: Into<String>>(items: I) -> JsonValue {
+        JsonValue::Array(
+            items
+                .into_iter()
+                .map(|s| JsonValue::String(s.into()))
+                .collect(),
+        )
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// An integer value.
+    pub fn int(n: usize) -> JsonValue {
+        JsonValue::Number(n as f64)
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value (compact, deterministic key order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(text, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => Ok(JsonValue::String(parse_string(text, bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(text, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(text, bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(text, bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+/// Parses a number by the JSON grammar itself — stricter than
+/// `f64::from_str`, which would also accept `+5`, `1.` or `.5`.
+fn parse_number(text: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    let err = || format!("invalid number at byte {start}");
+    let digits = |pos: &mut usize| {
+        let from = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: `0` alone, or a nonzero digit followed by more digits.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            digits(pos);
+        }
+        _ => return Err(err()),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(pos) {
+            return Err(err());
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(pos) {
+            return Err(err());
+        }
+    }
+    text[start..*pos]
+        .parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| err())
+}
+
+fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let mut chars = text[*pos..].char_indices();
+    while let Some((offset, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += offset + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'b')) => out.push('\u{8}'),
+                Some((_, 'f')) => out.push('\u{c}'),
+                Some((escape_at, 'u')) => {
+                    let hex_start = *pos + escape_at + 1;
+                    let hex = text
+                        .get(hex_start..hex_start + 4)
+                        .ok_or("truncated \\u escape")?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| "invalid \\u escape".to_string())?;
+                    let mut consumed = 4;
+                    let scalar = match code {
+                        // A high surrogate must be followed by an escaped low
+                        // surrogate; the pair encodes one supplementary char.
+                        0xD800..=0xDBFF => {
+                            let low_hex = text
+                                .get(hex_start + 4..hex_start + 10)
+                                .filter(|s| s.starts_with("\\u"))
+                                .ok_or("unpaired high surrogate")?;
+                            let low = u32::from_str_radix(&low_hex[2..], 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err("unpaired high surrogate".to_string());
+                            }
+                            consumed += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        }
+                        0xDC00..=0xDFFF => return Err("unpaired low surrogate".to_string()),
+                        code => code,
+                    };
+                    out.push(char::from_u32(scalar).ok_or("invalid \\u code point")?);
+                    for _ in 0..consumed {
+                        chars.next();
+                    }
+                }
+                other => return Err(format!("invalid escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_shape() {
+        let value = JsonValue::object(vec![
+            ("string", JsonValue::string("with \"quotes\", \\ and \n")),
+            ("int", JsonValue::int(42)),
+            ("float", JsonValue::Number(1.5)),
+            ("yes", JsonValue::Bool(true)),
+            ("no", JsonValue::Bool(false)),
+            ("nothing", JsonValue::Null),
+            ("list", JsonValue::strings(["a", "b"])),
+            ("empty_list", JsonValue::Array(vec![])),
+            ("nested", JsonValue::object(vec![("k", JsonValue::int(0))])),
+        ]);
+        let rendered = value.render();
+        let parsed = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(parsed, value);
+        // Idempotent: parse(render(parse(x))) == parse(x).
+        assert_eq!(JsonValue::parse(&parsed.render()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("{} garbage").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+        // Numbers follow the JSON grammar, not Rust's float grammar.
+        assert!(JsonValue::parse("+5").is_err());
+        assert!(JsonValue::parse("1.").is_err());
+        assert!(JsonValue::parse(".5").is_err());
+        assert!(JsonValue::parse("01").is_err());
+        assert!(JsonValue::parse("1e").is_err());
+        for ok in ["0", "-0.5", "12.25", "2e3", "-4E-2"] {
+            assert!(JsonValue::parse(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_character() {
+        // serde_json/python emit non-BMP characters as escaped pairs.
+        let parsed = JsonValue::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("\u{1F600}"));
+        // The unescaped character is equally valid JSON.
+        assert_eq!(
+            JsonValue::parse("\"\u{1F600}\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err()); // unpaired high
+        assert!(JsonValue::parse(r#""\ude00""#).is_err()); // unpaired low
+        assert!(JsonValue::parse(r#""\ud83dx""#).is_err());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let rendered = JsonValue::string("bell\u{7}").render();
+        assert_eq!(rendered, "\"bell\\u0007\"");
+        assert_eq!(
+            JsonValue::parse(&rendered).unwrap().as_str(),
+            Some("bell\u{7}")
+        );
+    }
+}

@@ -27,12 +27,14 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod json;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use commands::{
     batch, check, classify, diagnose, explain, implies, validate_doc, CommandOutcome,
 };
 pub use error::CliError;
+pub use json::JsonValue;
 
 /// The options accepted by every subcommand (unknown ones are rejected with
 /// a usage error naming the offending option).
@@ -46,6 +48,7 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "witness-out",
         "manifest",
         "threads",
+        "format",
     ],
     flags: &["quiet", "no-witness", "help"],
 };
@@ -75,6 +78,8 @@ OPTIONS:
     --query CONSTRAINT    the constraint to test for implication (implies only)
     --manifest FILE       file listing one document path per line (batch only)
     --threads N           worker threads for batch validation (default: all cores)
+    --format FORMAT       report format: text (default) or json, with structured
+                          verdicts and violation witnesses (validate/batch only)
     --witness-out FILE    write the witness document to FILE instead of stdout (check only)
     --no-witness          skip witness synthesis (faster; check/implies only)
     --quiet               do not print witness or counterexample documents

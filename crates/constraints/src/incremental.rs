@@ -1,0 +1,979 @@
+//! `IncrementalIndex` — `T ⊨ Σ` maintained under point edits in O(edit).
+//!
+//! [`crate::DocIndex`] answers the checking problem for a *frozen* document:
+//! one pass builds every index the plan names, and checking is O(1) probes.
+//! A long-lived session needs the same answers while the document *changes*.
+//! Rebuilding after every edit costs O(document); this module maintains the
+//! answers under [`xic_xml::EditEffect`] deltas at a cost proportional to
+//! the edit instead:
+//!
+//! * one **slot** per distinct `(τ, X̄)` a constraint mentions, holding the
+//!   refcounted tuple → carrier map `{x[X̄] ↦ {elements carrying it}}` as
+//!   ordered carrier sets — presence of a tuple is "carrier set non-empty",
+//!   which doubles as the inclusion target multiset;
+//! * per key slot, a **clash-witness order**: every tuple with ≥ 2 carriers
+//!   is indexed by its second-smallest carrier, so "the first key clash" in
+//!   [`xic_xml::XmlTree::elements`] order — the exact witness a fresh
+//!   [`crate::DocIndex`] build reports — is a single `first_key_value`
+//!   lookup;
+//! * per inclusion constraint, the **source states**: sources bucketed by
+//!   tuple, plus ordered sets of sources with missing attributes and of
+//!   *dangling* sources (tuple absent from the target slot).  Target slots
+//!   notify their watching inclusions on present ↔ absent transitions, so
+//!   dangling sets stay exact without rescanning;
+//! * a **dirty set** over the constraints of Σ, driven by the touch maps of
+//!   the [`crate::IndexPlan`] slot structure: an edit marks only the
+//!   constraints whose slots mention the touched `(type, attribute)`;
+//!   verdict extraction re-renders violations for those and reuses the
+//!   cached answer for everything else.
+//!
+//! The invariant, enforced by `tests/session_agreement.rs`, is *witness
+//! identity*: after any edit sequence, [`IncrementalIndex::check_all`]
+//! equals `DocIndex::build(..).check_all(..)` on the edited tree — same
+//! violations, same witnesses, same order.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::BuildHasherDefault;
+
+use xic_dtd::{AttrId, Dtd, ElemId};
+use xic_xml::{EditEffect, NodeId, ValueId, XmlTree};
+
+use crate::classes::ConstraintSet;
+use crate::constraint::{Constraint, InclusionSpec};
+use crate::index::TupleHasher;
+use crate::satisfy::Violation;
+
+type TupleMap<V> = HashMap<Box<[ValueId]>, V, BuildHasherDefault<TupleHasher>>;
+
+/// One `(τ, X̄)` slot: the refcounted tuple → carrier map shared by every
+/// key / foreign-key / inclusion-target that names it.
+#[derive(Debug)]
+struct SlotState {
+    ty: ElemId,
+    attrs: Vec<AttrId>,
+    /// Every tuple present in the document, with the ordered set of
+    /// elements carrying it (the "multiset" view: multiplicity = set size).
+    carriers: TupleMap<BTreeSet<NodeId>>,
+    /// Second-smallest carrier → tuple, for every tuple with ≥ 2 carriers.
+    /// Each element carries exactly one tuple per slot, so the keys are
+    /// unique; the first entry is the traversal-order first clash (the
+    /// ascending-id order of [`xic_xml::XmlTree::elements`], which every
+    /// checker in the workspace scans in).
+    clashes: BTreeMap<NodeId, Box<[ValueId]>>,
+    /// Whether any key constraint reads `clashes` (pure inclusion targets
+    /// skip clash bookkeeping).
+    track_clash: bool,
+    /// Indices into `sources` to notify on tuple present ↔ absent flips.
+    watchers: Vec<usize>,
+}
+
+/// Source-side state of one inclusion constraint `τ1[X̄] ⊆ τ2[Ȳ]`.
+#[derive(Debug)]
+struct SourceState {
+    from_ty: ElemId,
+    from_attrs: Vec<AttrId>,
+    /// The slot holding the target tuple multiset.
+    target: usize,
+    /// Live sources bucketed by their tuple.
+    by_tuple: TupleMap<BTreeSet<NodeId>>,
+    /// Sources missing one of `from_attrs` (a violation of its own kind).
+    missing: BTreeSet<NodeId>,
+    /// Sources whose tuple is absent from the target slot.
+    dangling: BTreeSet<NodeId>,
+}
+
+/// How one constraint of Σ reads the maintained state.
+#[derive(Debug, Clone, Copy)]
+enum Check {
+    Key { slot: usize },
+    NotKey { slot: usize },
+    Inclusion { source: usize },
+    NotInclusion { source: usize },
+    ForeignKey { slot: usize, source: usize },
+}
+
+/// Incrementally maintained satisfaction indexes for one `(Σ, T)` pair.
+///
+/// Built once with [`IncrementalIndex::build`]; kept exact by feeding every
+/// [`EditEffect`] the tree produces to [`IncrementalIndex::apply`] —
+/// *immediately* after the edit, against the already-mutated tree (removed
+/// subtrees stay readable as tombstones, which retraction relies on).
+/// [`IncrementalIndex::check_all`] then reproduces the full-rebuild verdict
+/// from cached per-constraint answers, recomputing only the dirty ones.
+#[derive(Debug)]
+pub struct IncrementalIndex {
+    checks: Vec<(Check, String)>,
+    slots: Vec<SlotState>,
+    sources: Vec<SourceState>,
+    /// Slot indices to update when an element of the type appears/vanishes.
+    slots_of_ty: HashMap<ElemId, Vec<usize>>,
+    /// Source indices to update, keyed the same way.
+    sources_of_ty: HashMap<ElemId, Vec<usize>>,
+    /// Constraints whose verdict can change when the type's extension does.
+    checks_of_ty: HashMap<ElemId, Vec<usize>>,
+    /// Constraints whose verdict can change when `(τ, l)` values do.
+    checks_of_attr: HashMap<(ElemId, AttrId), Vec<usize>>,
+    dirty_flags: Vec<bool>,
+    dirty: Vec<usize>,
+    cache: Vec<Option<Violation>>,
+    /// How many constraints the last [`IncrementalIndex::check_all`] had to
+    /// recompute (the rest came from cache) — the observable O(edit) claim.
+    rechecked: usize,
+}
+
+impl IncrementalIndex {
+    /// Lays out slots, source states and touch maps for Σ, then populates
+    /// them from `tree` in one traversal-order pass (every constraint starts
+    /// dirty, so the first verdict is computed, not assumed).
+    pub fn build(dtd: &Dtd, sigma: &ConstraintSet, tree: &XmlTree) -> IncrementalIndex {
+        let mut index = IncrementalIndex::layout(dtd, sigma);
+        for node in tree.elements() {
+            if let Some(ty) = tree.element_type(node) {
+                index.insert_element(tree, node, ty);
+            }
+        }
+        index
+    }
+
+    fn layout(dtd: &Dtd, sigma: &ConstraintSet) -> IncrementalIndex {
+        let mut slots: Vec<SlotState> = Vec::new();
+        let mut sources: Vec<SourceState> = Vec::new();
+        let mut checks: Vec<(Check, String)> = Vec::new();
+
+        for c in sigma.iter() {
+            let rendered = c.render(dtd);
+            let check = match c {
+                Constraint::Key(k) => Check::Key {
+                    slot: slot_index(&mut slots, k.ty, &k.attrs, true),
+                },
+                Constraint::NotKey(k) => Check::NotKey {
+                    slot: slot_index(&mut slots, k.ty, &k.attrs, true),
+                },
+                Constraint::Inclusion(i) => Check::Inclusion {
+                    source: source_index(&mut sources, &mut slots, i),
+                },
+                Constraint::NotInclusion(i) => Check::NotInclusion {
+                    source: source_index(&mut sources, &mut slots, i),
+                },
+                Constraint::ForeignKey(i) => Check::ForeignKey {
+                    slot: slot_index(&mut slots, i.to_ty, &i.to_attrs, true),
+                    source: source_index(&mut sources, &mut slots, i),
+                },
+            };
+            checks.push((check, rendered));
+        }
+
+        // Register watchers now that source targets are final.
+        for (qi, src) in sources.iter().enumerate() {
+            let watchers = &mut slots[src.target].watchers;
+            if !watchers.contains(&qi) {
+                watchers.push(qi);
+            }
+        }
+
+        let mut slots_of_ty: HashMap<ElemId, Vec<usize>> = HashMap::new();
+        for (i, s) in slots.iter().enumerate() {
+            slots_of_ty.entry(s.ty).or_default().push(i);
+        }
+        let mut sources_of_ty: HashMap<ElemId, Vec<usize>> = HashMap::new();
+        for (i, s) in sources.iter().enumerate() {
+            sources_of_ty.entry(s.from_ty).or_default().push(i);
+        }
+
+        // Touch maps: which constraints can change verdict when a type's
+        // extension changes, or when a (type, attribute) value changes.
+        // This is the IndexPlan touch-graph restricted to Σ's own slots.
+        let mut checks_of_ty: HashMap<ElemId, Vec<usize>> = HashMap::new();
+        let mut checks_of_attr: HashMap<(ElemId, AttrId), Vec<usize>> = HashMap::new();
+        let touch = |map: &mut HashMap<ElemId, Vec<usize>>,
+                     attr_map: &mut HashMap<(ElemId, AttrId), Vec<usize>>,
+                     idx: usize,
+                     ty: ElemId,
+                     attrs: &[AttrId]| {
+            let list = map.entry(ty).or_default();
+            if !list.contains(&idx) {
+                list.push(idx);
+            }
+            for &a in attrs {
+                let list = attr_map.entry((ty, a)).or_default();
+                if !list.contains(&idx) {
+                    list.push(idx);
+                }
+            }
+        };
+        for (idx, c) in sigma.iter().enumerate() {
+            match c {
+                Constraint::Key(k) | Constraint::NotKey(k) => {
+                    touch(&mut checks_of_ty, &mut checks_of_attr, idx, k.ty, &k.attrs);
+                }
+                Constraint::Inclusion(i)
+                | Constraint::NotInclusion(i)
+                | Constraint::ForeignKey(i) => {
+                    touch(
+                        &mut checks_of_ty,
+                        &mut checks_of_attr,
+                        idx,
+                        i.from_ty,
+                        &i.from_attrs,
+                    );
+                    touch(
+                        &mut checks_of_ty,
+                        &mut checks_of_attr,
+                        idx,
+                        i.to_ty,
+                        &i.to_attrs,
+                    );
+                }
+            }
+        }
+
+        let n = checks.len();
+        IncrementalIndex {
+            checks,
+            slots,
+            sources,
+            slots_of_ty,
+            sources_of_ty,
+            checks_of_ty,
+            checks_of_attr,
+            dirty_flags: vec![true; n],
+            dirty: (0..n).collect(),
+            cache: vec![None; n],
+            rechecked: 0,
+        }
+    }
+
+    /// How many constraints the last verdict extraction recomputed.
+    pub fn rechecked(&self) -> usize {
+        self.rechecked
+    }
+
+    /// Number of constraints currently marked dirty.
+    pub fn pending(&self) -> usize {
+        self.dirty.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Edit application
+    // ------------------------------------------------------------------
+
+    /// Folds one applied edit into the maintained state.  Must be called
+    /// with the tree the effect was produced on, *after* the edit.
+    pub fn apply(&mut self, tree: &XmlTree, effect: &EditEffect) {
+        match effect {
+            EditEffect::AttrSet {
+                element,
+                ty,
+                attr,
+                old,
+                new,
+            } => {
+                if *old == Some(*new) {
+                    return;
+                }
+                self.mark_dirty_attr(*ty, *attr);
+                // The per-type routing lists are moved out of their maps for
+                // the duration of the loop (nothing below touches the maps),
+                // so the hot path allocates nothing.
+                let slot_ids = self.slots_of_ty.remove(ty).unwrap_or_default();
+                for &si in &slot_ids {
+                    if !self.slots[si].attrs.contains(attr) {
+                        continue;
+                    }
+                    let old_tuple =
+                        tuple_with_displaced(tree, *element, &self.slots[si].attrs, *attr, *old);
+                    let new_tuple = tuple_of(tree, *element, &self.slots[si].attrs);
+                    if old_tuple == new_tuple {
+                        continue;
+                    }
+                    if let Some(t) = old_tuple {
+                        self.remove_carrier(si, &t, *element);
+                    }
+                    if let Some(t) = new_tuple {
+                        self.add_carrier(si, &t, *element);
+                    }
+                }
+                self.slots_of_ty.insert(*ty, slot_ids);
+                let source_ids = self.sources_of_ty.remove(ty).unwrap_or_default();
+                for &qi in &source_ids {
+                    if !self.sources[qi].from_attrs.contains(attr) {
+                        continue;
+                    }
+                    let old_tuple = tuple_with_displaced(
+                        tree,
+                        *element,
+                        &self.sources[qi].from_attrs,
+                        *attr,
+                        *old,
+                    );
+                    let new_tuple = tuple_of(tree, *element, &self.sources[qi].from_attrs);
+                    if old_tuple == new_tuple {
+                        continue;
+                    }
+                    self.remove_source(qi, old_tuple.as_deref(), *element);
+                    self.add_source(qi, new_tuple.as_deref(), *element);
+                }
+                self.sources_of_ty.insert(*ty, source_ids);
+            }
+            EditEffect::ElementAdded { element, ty, .. } => {
+                self.mark_dirty_ty(*ty);
+                self.insert_element(tree, *element, *ty);
+            }
+            EditEffect::TextAdded { .. } => {
+                // Text values are invisible to attribute-based constraints.
+            }
+            EditEffect::SubtreeRemoved { elements, .. } => {
+                for &(node, ty) in elements {
+                    self.mark_dirty_ty(ty);
+                    self.retract_element(tree, node, ty);
+                }
+            }
+        }
+    }
+
+    fn insert_element(&mut self, tree: &XmlTree, node: NodeId, ty: ElemId) {
+        let slot_ids = self.slots_of_ty.remove(&ty).unwrap_or_default();
+        for &si in &slot_ids {
+            if let Some(t) = tuple_of(tree, node, &self.slots[si].attrs) {
+                self.add_carrier(si, &t, node);
+            }
+        }
+        self.slots_of_ty.insert(ty, slot_ids);
+        let source_ids = self.sources_of_ty.remove(&ty).unwrap_or_default();
+        for &qi in &source_ids {
+            let t = tuple_of(tree, node, &self.sources[qi].from_attrs);
+            self.add_source(qi, t.as_deref(), node);
+        }
+        self.sources_of_ty.insert(ty, source_ids);
+    }
+
+    /// Retracts a removed element; its attribute values are read from the
+    /// tombstoned arena slot, which [`XmlTree::remove_subtree`] preserves.
+    fn retract_element(&mut self, tree: &XmlTree, node: NodeId, ty: ElemId) {
+        let slot_ids = self.slots_of_ty.remove(&ty).unwrap_or_default();
+        for &si in &slot_ids {
+            if let Some(t) = tuple_of(tree, node, &self.slots[si].attrs) {
+                self.remove_carrier(si, &t, node);
+            }
+        }
+        self.slots_of_ty.insert(ty, slot_ids);
+        let source_ids = self.sources_of_ty.remove(&ty).unwrap_or_default();
+        for &qi in &source_ids {
+            let t = tuple_of(tree, node, &self.sources[qi].from_attrs);
+            self.remove_source(qi, t.as_deref(), node);
+        }
+        self.sources_of_ty.insert(ty, source_ids);
+    }
+
+    fn add_carrier(&mut self, si: usize, tuple: &[ValueId], node: NodeId) {
+        let became_present;
+        {
+            let slot = &mut self.slots[si];
+            let set = match slot.carriers.get_mut(tuple) {
+                Some(set) => set,
+                None => slot.carriers.entry(tuple.into()).or_default(),
+            };
+            became_present = set.is_empty();
+            let old_second = set.iter().nth(1).copied();
+            set.insert(node);
+            let new_second = set.iter().nth(1).copied();
+            if slot.track_clash && old_second != new_second {
+                if let Some(s) = old_second {
+                    slot.clashes.remove(&s);
+                }
+                if let Some(s) = new_second {
+                    slot.clashes.insert(s, tuple.into());
+                }
+            }
+        }
+        if became_present {
+            self.notify_presence(si, tuple, true);
+        }
+    }
+
+    fn remove_carrier(&mut self, si: usize, tuple: &[ValueId], node: NodeId) {
+        let became_absent;
+        {
+            let slot = &mut self.slots[si];
+            let Some(set) = slot.carriers.get_mut(tuple) else {
+                debug_assert!(false, "removing a carrier that was never added");
+                return;
+            };
+            let old_second = set.iter().nth(1).copied();
+            set.remove(&node);
+            let new_second = set.iter().nth(1).copied();
+            if slot.track_clash && old_second != new_second {
+                if let Some(s) = old_second {
+                    slot.clashes.remove(&s);
+                }
+                if let Some(s) = new_second {
+                    slot.clashes.insert(s, tuple.into());
+                }
+            }
+            became_absent = set.is_empty();
+            if became_absent {
+                slot.carriers.remove(tuple);
+            }
+        }
+        if became_absent {
+            self.notify_presence(si, tuple, false);
+        }
+    }
+
+    /// Re-files the sources carrying `tuple` when its target-slot presence
+    /// flips (the 0 ↔ 1 multiset transitions the issue calls out).
+    fn notify_presence(&mut self, si: usize, tuple: &[ValueId], present: bool) {
+        // The watcher list is moved out for the loop (sources never touch
+        // slot watchers), so presence flips allocate nothing.
+        let watchers = std::mem::take(&mut self.slots[si].watchers);
+        for &qi in &watchers {
+            let SourceState {
+                by_tuple, dangling, ..
+            } = &mut self.sources[qi];
+            if let Some(nodes) = by_tuple.get(tuple) {
+                for &n in nodes {
+                    if present {
+                        dangling.remove(&n);
+                    } else {
+                        dangling.insert(n);
+                    }
+                }
+            }
+        }
+        self.slots[si].watchers = watchers;
+    }
+
+    fn add_source(&mut self, qi: usize, tuple: Option<&[ValueId]>, node: NodeId) {
+        match tuple {
+            None => {
+                self.sources[qi].missing.insert(node);
+            }
+            Some(t) => {
+                let target = self.sources[qi].target;
+                let present = self.slots[target].carriers.contains_key(t);
+                let src = &mut self.sources[qi];
+                match src.by_tuple.get_mut(t) {
+                    Some(set) => {
+                        set.insert(node);
+                    }
+                    None => {
+                        src.by_tuple.entry(t.into()).or_default().insert(node);
+                    }
+                }
+                if !present {
+                    src.dangling.insert(node);
+                }
+            }
+        }
+    }
+
+    fn remove_source(&mut self, qi: usize, tuple: Option<&[ValueId]>, node: NodeId) {
+        let src = &mut self.sources[qi];
+        match tuple {
+            None => {
+                src.missing.remove(&node);
+            }
+            Some(t) => {
+                if let Some(set) = src.by_tuple.get_mut(t) {
+                    set.remove(&node);
+                    if set.is_empty() {
+                        src.by_tuple.remove(t);
+                    }
+                }
+                src.dangling.remove(&node);
+            }
+        }
+    }
+
+    fn mark_dirty_ty(&mut self, ty: ElemId) {
+        if let Some(list) = self.checks_of_ty.get(&ty) {
+            for &i in list {
+                if !self.dirty_flags[i] {
+                    self.dirty_flags[i] = true;
+                    self.dirty.push(i);
+                }
+            }
+        }
+    }
+
+    fn mark_dirty_attr(&mut self, ty: ElemId, attr: AttrId) {
+        if let Some(list) = self.checks_of_attr.get(&(ty, attr)) {
+            for &i in list {
+                if !self.dirty_flags[i] {
+                    self.dirty_flags[i] = true;
+                    self.dirty.push(i);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Verdict extraction
+    // ------------------------------------------------------------------
+
+    /// `T ⊨ Σ`: every violation, in Σ order — identical (violations,
+    /// witnesses and all) to a from-scratch [`crate::DocIndex`] rebuild on
+    /// the current tree.  Only dirty constraints are recomputed.
+    pub fn check_all(&mut self, tree: &XmlTree) -> Vec<Violation> {
+        let dirty = std::mem::take(&mut self.dirty);
+        self.rechecked = dirty.len();
+        for i in dirty {
+            self.dirty_flags[i] = false;
+            self.cache[i] = self.violation_of(i, tree);
+        }
+        self.cache.iter().flatten().cloned().collect()
+    }
+
+    /// `T ⊨ Σ` as a boolean.
+    pub fn satisfies_all(&mut self, tree: &XmlTree) -> bool {
+        self.check_all(tree).is_empty()
+    }
+
+    fn violation_of(&self, idx: usize, tree: &XmlTree) -> Option<Violation> {
+        let (check, rendered) = &self.checks[idx];
+        match *check {
+            Check::Key { slot } => self.key_violation(slot, rendered, tree),
+            Check::NotKey { slot } => match self.key_clash(slot) {
+                Some(_) => None,
+                None => Some(Violation::NegationUnsatisfied {
+                    constraint: rendered.clone(),
+                }),
+            },
+            Check::Inclusion { source } => self.inclusion_violation(source, rendered, tree),
+            Check::NotInclusion { source } => {
+                if self.first_bad_source(source).is_none() {
+                    Some(Violation::NegationUnsatisfied {
+                        constraint: rendered.clone(),
+                    })
+                } else {
+                    None
+                }
+            }
+            Check::ForeignKey { slot, source } => self
+                .key_violation(slot, rendered, tree)
+                .or_else(|| self.inclusion_violation(source, rendered, tree)),
+        }
+    }
+
+    /// The first clash of a key slot: `(first carrier, second occurrence,
+    /// shared tuple)`, exactly as a full [`crate::DocIndex`] scan reports it.
+    fn key_clash(&self, si: usize) -> Option<(NodeId, NodeId, &[ValueId])> {
+        let slot = &self.slots[si];
+        debug_assert!(slot.track_clash, "clash read on a non-key slot");
+        let (&second, tuple) = slot.clashes.first_key_value()?;
+        let first = *slot
+            .carriers
+            .get(tuple.as_ref())
+            .and_then(|set| set.first())
+            .expect("clash entries always name live tuples");
+        Some((first, second, tuple))
+    }
+
+    fn key_violation(&self, si: usize, rendered: &str, tree: &XmlTree) -> Option<Violation> {
+        self.key_clash(si)
+            .map(|(first, second, tuple)| Violation::KeyViolation {
+                constraint: rendered.to_string(),
+                witnesses: (first, second),
+                values: resolve_tuple(tree, tuple),
+            })
+    }
+
+    /// The traversal-order first violating source: missing attributes or
+    /// dangling tuple, whichever node comes first.
+    fn first_bad_source(&self, qi: usize) -> Option<(NodeId, bool)> {
+        let src = &self.sources[qi];
+        let missing = src.missing.first().copied();
+        let dangling = src.dangling.first().copied();
+        match (missing, dangling) {
+            (None, None) => None,
+            (Some(m), None) => Some((m, true)),
+            (None, Some(d)) => Some((d, false)),
+            (Some(m), Some(d)) => {
+                if m < d {
+                    Some((m, true))
+                } else {
+                    Some((d, false))
+                }
+            }
+        }
+    }
+
+    fn inclusion_violation(&self, qi: usize, rendered: &str, tree: &XmlTree) -> Option<Violation> {
+        let (witness, is_missing) = self.first_bad_source(qi)?;
+        if is_missing {
+            return Some(Violation::MissingAttributes {
+                constraint: rendered.to_string(),
+                witness,
+            });
+        }
+        let tuple = tuple_of(tree, witness, &self.sources[qi].from_attrs)
+            .expect("dangling sources carry a full tuple");
+        Some(Violation::InclusionViolation {
+            constraint: rendered.to_string(),
+            witness,
+            values: resolve_tuple(tree, &tuple),
+        })
+    }
+}
+
+/// Registers (or reuses) the slot for `(τ, X̄)`; `clash` upgrades it to a
+/// key slot (clash bookkeeping on top of the carrier map).
+fn slot_index(slots: &mut Vec<SlotState>, ty: ElemId, attrs: &[AttrId], clash: bool) -> usize {
+    if let Some(i) = slots.iter().position(|s| s.ty == ty && s.attrs == attrs) {
+        slots[i].track_clash |= clash;
+        return i;
+    }
+    slots.push(SlotState {
+        ty,
+        attrs: attrs.to_vec(),
+        carriers: TupleMap::default(),
+        clashes: BTreeMap::new(),
+        track_clash: clash,
+        watchers: Vec::new(),
+    });
+    slots.len() - 1
+}
+
+/// Registers (or reuses) the source state of an inclusion constraint; the
+/// target slot is a key slot for foreign keys (its carrier map doubles as
+/// the target multiset) and a plain slot otherwise.
+fn source_index(
+    sources: &mut Vec<SourceState>,
+    slots: &mut Vec<SlotState>,
+    i: &InclusionSpec,
+) -> usize {
+    let target = slot_index(slots, i.to_ty, &i.to_attrs, false);
+    if let Some(q) = sources
+        .iter()
+        .position(|s| s.from_ty == i.from_ty && s.from_attrs == i.from_attrs && s.target == target)
+    {
+        return q;
+    }
+    sources.push(SourceState {
+        from_ty: i.from_ty,
+        from_attrs: i.from_attrs.clone(),
+        target,
+        by_tuple: TupleMap::default(),
+        missing: BTreeSet::new(),
+        dangling: BTreeSet::new(),
+    });
+    sources.len() - 1
+}
+
+/// The interned tuple `x[X̄]`, or `None` if any attribute is missing.
+fn tuple_of(tree: &XmlTree, node: NodeId, attrs: &[AttrId]) -> Option<Vec<ValueId>> {
+    attrs.iter().map(|&a| tree.attr_value_id(node, a)).collect()
+}
+
+/// The tuple the element carried *before* a `SetAttr` on `changed`: the
+/// current values everywhere except `changed`, which reads the displaced
+/// value (`None` if the attribute did not exist).
+fn tuple_with_displaced(
+    tree: &XmlTree,
+    node: NodeId,
+    attrs: &[AttrId],
+    changed: AttrId,
+    displaced: Option<ValueId>,
+) -> Option<Vec<ValueId>> {
+    attrs
+        .iter()
+        .map(|&a| {
+            if a == changed {
+                displaced
+            } else {
+                tree.attr_value_id(node, a)
+            }
+        })
+        .collect()
+}
+
+fn resolve_tuple(tree: &XmlTree, tuple: &[ValueId]) -> Vec<String> {
+    tuple
+        .iter()
+        .map(|&id| tree.resolve(id).to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::example_sigma1;
+    use crate::index::DocIndex;
+    use crate::satisfy::IndexPlan;
+    use xic_dtd::example_d1;
+    use xic_xml::EditOp;
+
+    fn rebuild(dtd: &Dtd, sigma: &ConstraintSet, tree: &XmlTree) -> Vec<Violation> {
+        let plan = IndexPlan::for_set(sigma);
+        DocIndex::build(dtd, tree, &plan).check_all(sigma)
+    }
+
+    /// Drives one op through tree + index and asserts verdict identity with
+    /// a from-scratch rebuild.
+    fn step(
+        dtd: &Dtd,
+        sigma: &ConstraintSet,
+        tree: &mut XmlTree,
+        index: &mut IncrementalIndex,
+        op: &EditOp,
+    ) -> Vec<Violation> {
+        let effect = tree.apply_edit(op).expect("valid op");
+        index.apply(tree, &effect);
+        let fast = index.check_all(tree);
+        assert_eq!(fast, rebuild(dtd, sigma, tree), "after {op:?}");
+        fast
+    }
+
+    /// Like [`step`], but returns the node the op created.
+    fn step_add(
+        dtd: &Dtd,
+        sigma: &ConstraintSet,
+        tree: &mut XmlTree,
+        index: &mut IncrementalIndex,
+        parent: NodeId,
+        ty: ElemId,
+    ) -> NodeId {
+        let effect = tree
+            .apply_edit(&EditOp::AddElement { parent, ty })
+            .expect("valid op");
+        let EditEffect::ElementAdded { element, .. } = effect else {
+            unreachable!()
+        };
+        index.apply(tree, &effect);
+        assert_eq!(index.check_all(tree), rebuild(dtd, sigma, tree));
+        element
+    }
+
+    #[test]
+    fn edits_track_the_paper_example() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let teachers = d1.type_by_name("teachers").unwrap();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let teach = d1.type_by_name("teach").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+
+        let mut tree = XmlTree::new(teachers);
+        let mut index = IncrementalIndex::build(&d1, &sigma1, &tree);
+        assert_eq!(index.check_all(&tree), rebuild(&d1, &sigma1, &tree));
+
+        // Grow two teachers that clash on name, watching every prefix.
+        let mut last = Vec::new();
+        let mut teacher_nodes = Vec::new();
+        for n in ["Joe", "Joe"] {
+            let root = tree.root();
+            let element = step_add(&d1, &sigma1, &mut tree, &mut index, root, teacher);
+            teacher_nodes.push(element);
+            last = step(
+                &d1,
+                &sigma1,
+                &mut tree,
+                &mut index,
+                &EditOp::SetAttr {
+                    element,
+                    attr: name,
+                    value: n.into(),
+                },
+            );
+        }
+        assert!(last
+            .iter()
+            .any(|v| matches!(v, Violation::KeyViolation { .. })));
+
+        // Renaming the second teacher clears the key clash.
+        let last = step(
+            &d1,
+            &sigma1,
+            &mut tree,
+            &mut index,
+            &EditOp::SetAttr {
+                element: teacher_nodes[1],
+                attr: name,
+                value: "Ann".into(),
+            },
+        );
+        assert!(!last.iter().any(
+            |v| matches!(v, Violation::KeyViolation { constraint, .. } if constraint.contains("teacher.name"))
+        ));
+
+        // A subject taught by nobody dangles; pointing it at Ann heals it;
+        // removing Ann's subtree re-breaks it.
+        let th = step_add(&d1, &sigma1, &mut tree, &mut index, teacher_nodes[0], teach);
+        step(
+            &d1,
+            &sigma1,
+            &mut tree,
+            &mut index,
+            &EditOp::AddText {
+                parent: th,
+                value: "x".into(),
+            },
+        );
+        let sub = step_add(&d1, &sigma1, &mut tree, &mut index, th, subject);
+        let last = step(
+            &d1,
+            &sigma1,
+            &mut tree,
+            &mut index,
+            &EditOp::SetAttr {
+                element: sub,
+                attr: taught_by,
+                value: "Bob".into(),
+            },
+        );
+        assert!(last
+            .iter()
+            .any(|v| matches!(v, Violation::InclusionViolation { .. })));
+        step(
+            &d1,
+            &sigma1,
+            &mut tree,
+            &mut index,
+            &EditOp::SetAttr {
+                element: sub,
+                attr: taught_by,
+                value: "Ann".into(),
+            },
+        );
+        let last = step(
+            &d1,
+            &sigma1,
+            &mut tree,
+            &mut index,
+            &EditOp::RemoveSubtree {
+                element: teacher_nodes[1],
+            },
+        );
+        assert!(last
+            .iter()
+            .any(|v| matches!(v, Violation::InclusionViolation { values, .. } if values == &vec!["Ann".to_string()])));
+    }
+
+    /// Multi-attribute slots: rewriting ONE attribute of a composite tuple
+    /// goes through `tuple_with_displaced` (old tuple = displaced value +
+    /// unchanged neighbours) — every step is checked against a rebuild.
+    #[test]
+    fn multiattribute_edits_agree_with_rebuild() {
+        let d3 = xic_dtd::example_d3();
+        let sigma3 = crate::classes::example_sigma3(&d3);
+        let school = d3.type_by_name("school").unwrap();
+        let course = d3.type_by_name("course").unwrap();
+        let enroll = d3.type_by_name("enroll").unwrap();
+        let dept = d3.attr_by_name("dept").unwrap();
+        let course_no = d3.attr_by_name("course_no").unwrap();
+        let student_id = d3.attr_by_name("student_id").unwrap();
+
+        let mut tree = XmlTree::new(school);
+        let mut index = IncrementalIndex::build(&d3, &sigma3, &tree);
+        assert_eq!(index.check_all(&tree), rebuild(&d3, &sigma3, &tree));
+
+        // Two courses sharing a course number in different departments: the
+        // composite key (dept, course_no) holds.
+        let mut courses = Vec::new();
+        for (d, n) in [("cs", "101"), ("math", "101")] {
+            let root = tree.root();
+            let c = step_add(&d3, &sigma3, &mut tree, &mut index, root, course);
+            courses.push(c);
+            for (attr, value) in [(dept, d), (course_no, n)] {
+                step(
+                    &d3,
+                    &sigma3,
+                    &mut tree,
+                    &mut index,
+                    &EditOp::SetAttr {
+                        element: c,
+                        attr,
+                        value: value.into(),
+                    },
+                );
+            }
+        }
+        // Rewriting ONE component (math → cs) collides the whole tuple.
+        let last = step(
+            &d3,
+            &sigma3,
+            &mut tree,
+            &mut index,
+            &EditOp::SetAttr {
+                element: courses[1],
+                attr: dept,
+                value: "cs".into(),
+            },
+        );
+        assert!(last
+            .iter()
+            .any(|v| matches!(v, Violation::KeyViolation { values, .. }
+                if values == &vec!["cs".to_string(), "101".to_string()])));
+
+        // An enrolment referencing (cs, 101) through the composite foreign
+        // key: healthy, until the referenced component is renamed away.
+        let root = tree.root();
+        let en = step_add(&d3, &sigma3, &mut tree, &mut index, root, enroll);
+        for (attr, value) in [(student_id, "s1"), (dept, "cs"), (course_no, "101")] {
+            step(
+                &d3,
+                &sigma3,
+                &mut tree,
+                &mut index,
+                &EditOp::SetAttr {
+                    element: en,
+                    attr,
+                    value: value.into(),
+                },
+            );
+        }
+        for (i, c) in courses.iter().enumerate() {
+            let last = step(
+                &d3,
+                &sigma3,
+                &mut tree,
+                &mut index,
+                &EditOp::SetAttr {
+                    element: *c,
+                    attr: course_no,
+                    value: format!("90{i}"),
+                },
+            );
+            if i == courses.len() - 1 {
+                assert!(last
+                    .iter()
+                    .any(|v| matches!(v, Violation::InclusionViolation { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_set_is_proportional_to_the_edit() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let teachers = d1.type_by_name("teachers").unwrap();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let mut tree = XmlTree::new(teachers);
+        let te = tree.add_element(tree.root(), teacher);
+        tree.set_attr(te, name, "Joe");
+        let mut index = IncrementalIndex::build(&d1, &sigma1, &tree);
+        index.check_all(&tree);
+        assert_eq!(index.rechecked(), sigma1.len());
+
+        // teacher.name touches the teacher key and the foreign key's target
+        // side, but not the subject key.
+        let effect = tree
+            .apply_edit(&EditOp::SetAttr {
+                element: te,
+                attr: name,
+                value: "Ann".into(),
+            })
+            .unwrap();
+        index.apply(&tree, &effect);
+        assert!(index.pending() < sigma1.len());
+        index.check_all(&tree);
+        assert!(index.rechecked() < sigma1.len());
+
+        // A clean verdict re-read recomputes nothing.
+        index.check_all(&tree);
+        assert_eq!(index.rechecked(), 0);
+    }
+}

@@ -253,7 +253,7 @@ impl<'a> DocIndex<'a> {
     fn nodes_of(&self, ty: ElemId) -> std::borrow::Cow<'_, [NodeId]> {
         match self.ext_of(ty) {
             Some(nodes) => std::borrow::Cow::Borrowed(nodes),
-            None => std::borrow::Cow::Owned(self.tree.ext(ty)),
+            None => std::borrow::Cow::Owned(self.tree.ext(ty).collect()),
         }
     }
 

@@ -12,8 +12,12 @@
 //!   primary-key restriction, and the paper's example sets Σ1 / Σ3;
 //! * [`satisfy`] — the satisfaction relation, index planning and the
 //!   retained string-valued reference checker;
-//! * [`index`] — [`index::DocIndex`], the production `T ⊨ Σ` path: interned
-//!   values, single-pass index construction, zero-allocation probing;
+//! * [`index`] — [`index::DocIndex`], the production one-shot `T ⊨ Σ` path:
+//!   interned values, single-pass index construction, zero-alloc probing;
+//! * [`incremental`] — [`incremental::IncrementalIndex`], the session path:
+//!   the same answers maintained in O(edit) under typed tree edits
+//!   (refcounted slot carrier maps, clash-witness ordering, inclusion
+//!   target multisets, constraint dirty-sets);
 //! * [`parser`] — a plain-text surface syntax (`teacher.name -> teacher`,
 //!   `subject.taught_by ⊆ teacher.name`, …) so constraint sets can live in
 //!   files next to their DTDs.
@@ -23,12 +27,14 @@
 
 pub mod classes;
 pub mod constraint;
+pub mod incremental;
 pub mod index;
 pub mod parser;
 pub mod satisfy;
 
 pub use classes::{example_sigma1, example_sigma3, ConstraintClass, ConstraintSet};
 pub use constraint::{Constraint, ConstraintError, InclusionSpec, KeySpec};
+pub use incremental::IncrementalIndex;
 pub use index::DocIndex;
 pub use parser::{parse_constraint, parse_constraint_set, ParseError};
 pub use satisfy::{check_document, document_satisfies, IndexPlan, SatisfactionChecker, Violation};

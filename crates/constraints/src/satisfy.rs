@@ -353,7 +353,9 @@ fn ext_entry<'c>(
     tree: &XmlTree,
     ty: ElemId,
 ) -> &'c [NodeId] {
-    ext_cache.entry(ty).or_insert_with(|| tree.ext(ty))
+    ext_cache
+        .entry(ty)
+        .or_insert_with(|| tree.ext(ty).collect())
 }
 
 /// The `(τ, X̄)` tuple-set cache entry, computed on first use.  The returned

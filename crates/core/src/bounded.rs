@@ -323,7 +323,7 @@ fn repair_inclusion(
         if inc.from_ty != source_ty {
             continue;
         }
-        let targets = tree.ext(inc.to_ty);
+        let targets: Vec<_> = tree.ext(inc.to_ty).collect();
         if targets.is_empty() {
             continue;
         }

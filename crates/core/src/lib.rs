@@ -19,7 +19,7 @@
 //!   consistency of Σ ∪ {¬φ} (Theorem 4.10, Theorem 5.4);
 //! * [`witness`] — synthesis of concrete witness documents from integer
 //!   solutions (Lemmas 4.4–4.6, 5.2), with realizability cuts;
-//! * [`diagnose`] — minimal-inconsistent-core extraction for inconsistent
+//! * [`mod@diagnose`] — minimal-inconsistent-core extraction for inconsistent
 //!   specifications (a first step towards the "design theory" the paper's
 //!   conclusion calls for);
 //! * [`bounded`] — the bounded model search used for the general class;

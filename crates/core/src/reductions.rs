@@ -39,11 +39,9 @@ impl LipSpec {
         self.column_cells
             .iter()
             .map(|cells| {
-                cells.iter().any(|&cell| {
-                    tree.ext(cell)
-                        .iter()
-                        .any(|&node| !tree.children(node).is_empty())
-                })
+                cells
+                    .iter()
+                    .any(|&cell| tree.ext(cell).any(|node| !tree.children(node).is_empty()))
             })
             .collect()
     }

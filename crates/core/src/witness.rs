@@ -517,7 +517,7 @@ fn assign_attribute_values(
     let _ = sigma;
 
     for ty in dtd.types() {
-        let nodes = tree.ext(ty);
+        let nodes: Vec<_> = tree.ext(ty).collect();
         if nodes.is_empty() {
             continue;
         }

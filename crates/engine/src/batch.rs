@@ -11,6 +11,7 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
 
+use xic_constraints::Violation;
 use xic_xml::ValuePool;
 
 use crate::spec::CompiledSpec;
@@ -47,8 +48,10 @@ pub struct DocReport {
     pub parse_error: Option<String>,
     /// Rendered `T ⊨ D` violations.
     pub validation_errors: Vec<String>,
-    /// Rendered `T ⊨ Σ` violations.
-    pub violations: Vec<String>,
+    /// `T ⊨ Σ` violations, with structured witnesses (render with
+    /// `Display`, or consume the witness nodes/values directly — the CLI's
+    /// `--format json` does the latter).
+    pub violations: Vec<Violation>,
 }
 
 impl DocReport {
@@ -248,11 +251,7 @@ fn process_doc(
         .iter()
         .map(|e| e.to_string())
         .collect();
-    let violations = spec
-        .check_document(&tree)
-        .iter()
-        .map(|v| v.to_string())
-        .collect();
+    let violations = spec.check_document(&tree);
     (
         DocReport {
             index,

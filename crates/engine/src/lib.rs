@@ -18,6 +18,11 @@
 //!   documents against one compiled spec in parallel and aggregates
 //!   per-document reports deterministically (ordered by input index, so a
 //!   multi-threaded run renders byte-identically to a sequential one);
+//! * [`Session`] — long-lived document sessions: open a document once,
+//!   mutate it through typed [`xic_xml::EditOp`]s, and get a fresh verdict
+//!   after every edit batch at O(edit) cost — the incremental indexes
+//!   ([`xic_constraints::IncrementalIndex`]) are maintained under each
+//!   edit instead of rebuilt, with witnesses identical to a full rebuild;
 //! * [`Engine`] — the façade combining a cache with the checkers, exposing
 //!   memoized [`Engine::consistency`] and [`Engine::implication`].
 //!
@@ -55,11 +60,13 @@
 pub mod batch;
 pub mod cache;
 pub mod hash;
+pub mod session;
 pub mod spec;
 
 pub use batch::{BatchDoc, BatchEngine, BatchReport, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
 pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
+pub use session::{DocHandle, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, SpecId};
 
 use xic_constraints::Constraint;

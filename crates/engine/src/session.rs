@@ -1,0 +1,387 @@
+//! Long-lived validation sessions: the edit-and-recheck front end.
+//!
+//! The one-shot surface (`CompiledSpec::check_document`) answers `T ⊨ Σ`
+//! for a document it will never see again.  Edit-heavy workloads — document
+//! repair loops, collaborative editors, write-access-control checking —
+//! re-validate the *same* document after every small change, and a rebuild
+//! per edit costs O(document) each time.
+//!
+//! A [`Session`] owns one [`CompiledSpec`] reference and any number of open
+//! documents, each addressed by a [`DocHandle`].  Mutation goes exclusively
+//! through [`Session::apply`] as typed [`EditOp`]s: the session routes every
+//! edit through [`xic_xml::XmlTree::apply_edit`], feeds the resulting
+//! [`xic_xml::EditEffect`] to the document's
+//! [`xic_constraints::IncrementalIndex`], journals it, and returns a fresh
+//! [`SessionVerdict`].  Because the session hands out only `&XmlTree`, raw
+//! `&mut` mutation can no longer bypass index maintenance.
+//!
+//! Verdicts are **witness-identical** to a from-scratch rebuild (asserted
+//! by `tests/session_agreement.rs`), at O(edit) maintenance cost instead of
+//! O(rebuild) — the `session_edit` bench records the gap.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xic_constraints::{IncrementalIndex, Violation};
+use xic_xml::{EditError, EditJournal, EditOp, XmlError, XmlTree};
+
+use crate::spec::CompiledSpec;
+
+/// Identifier of a document opened in a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocHandle(u64);
+
+impl fmt::Display for DocHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc-{}", self.0)
+    }
+}
+
+/// Why a session operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The handle names no open document (closed, or from another session).
+    UnknownHandle(DocHandle),
+    /// An edit op was rejected; the `index` ops of the batch preceding it
+    /// were applied (the indexes remain exact for the partially edited
+    /// document — ask for a verdict to see its state).
+    Edit {
+        /// Position of the rejected op in the submitted batch (equivalently:
+        /// how many earlier ops of the batch were applied).
+        index: usize,
+        /// The underlying rejection.
+        error: EditError,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownHandle(h) => write!(f, "unknown document handle {h}"),
+            SessionError::Edit { index, error } => write!(
+                f,
+                "edit op #{index} rejected ({error}); the {index} earlier ops of the batch were applied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The outcome of re-checking one session document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionVerdict {
+    violations: Vec<Violation>,
+    rechecked: usize,
+    edits_applied: u64,
+}
+
+impl SessionVerdict {
+    /// `T ⊨ Σ`?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Every violation, in Σ order — identical to what a full
+    /// [`xic_constraints::DocIndex`] rebuild would report.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// How many of Σ's constraints this verdict had to recompute (the rest
+    /// were served from the per-constraint cache): the observable dirty-set
+    /// size.
+    pub fn rechecked(&self) -> usize {
+        self.rechecked
+    }
+
+    /// Total edits applied to the document since it was opened.
+    pub fn edits_applied(&self) -> u64 {
+        self.edits_applied
+    }
+}
+
+#[derive(Debug)]
+struct SessionDoc {
+    tree: XmlTree,
+    index: IncrementalIndex,
+    journal: EditJournal,
+    edits_applied: u64,
+}
+
+/// A long-lived validation session over one compiled specification.
+///
+/// ```
+/// use xic_engine::{CompiledSpec, Session};
+/// use xic_xml::EditOp;
+///
+/// let spec = CompiledSpec::from_sources(
+///     "<!ELEMENT school (teacher*)>\n\
+///      <!ELEMENT teacher EMPTY>\n\
+///      <!ATTLIST teacher name CDATA #REQUIRED>",
+///     Some("school"),
+///     "teacher.name -> teacher",
+/// )
+/// .unwrap();
+///
+/// let mut session = Session::new(&spec);
+/// let doc = session
+///     .open_source("<school><teacher name=\"Joe\"/><teacher name=\"Ann\"/></school>")
+///     .unwrap();
+/// assert!(session.verdict(doc).unwrap().is_clean());
+///
+/// // Renaming Ann to Joe breaks the key — only the touched constraint is
+/// // re-checked, not the whole document.
+/// let ann = session.tree(doc).unwrap().elements().nth(2).unwrap();
+/// let verdict = session
+///     .apply(
+///         doc,
+///         &[EditOp::SetAttr { element: ann, attr: spec.dtd().attr_by_name("name").unwrap(), value: "Joe".into() }],
+///     )
+///     .unwrap();
+/// assert!(!verdict.is_clean());
+/// ```
+#[derive(Debug)]
+pub struct Session<'s> {
+    spec: &'s CompiledSpec,
+    docs: HashMap<u64, SessionDoc>,
+    next_handle: u64,
+}
+
+impl<'s> Session<'s> {
+    /// A session over the given compiled specification.
+    pub fn new(spec: &'s CompiledSpec) -> Session<'s> {
+        Session {
+            spec,
+            docs: HashMap::new(),
+            next_handle: 0,
+        }
+    }
+
+    /// The specification the session validates against.
+    pub fn spec(&self) -> &CompiledSpec {
+        self.spec
+    }
+
+    /// Number of open documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Opens a document, taking ownership of the tree (mutation from here
+    /// on goes through [`Session::apply`] only).  Builds the incremental
+    /// indexes in one pass over the tree.
+    pub fn open(&mut self, tree: XmlTree) -> DocHandle {
+        let index = IncrementalIndex::build(self.spec.dtd(), self.spec.sigma(), &tree);
+        let handle = DocHandle(self.next_handle);
+        self.next_handle += 1;
+        self.docs.insert(
+            handle.0,
+            SessionDoc {
+                tree,
+                index,
+                journal: EditJournal::new(),
+                edits_applied: 0,
+            },
+        );
+        handle
+    }
+
+    /// Parses XML source against the spec's DTD and opens the document.
+    pub fn open_source(&mut self, source: &str) -> Result<DocHandle, XmlError> {
+        let tree = self.spec.parse_document(source)?;
+        Ok(self.open(tree))
+    }
+
+    /// Read-only access to an open document's tree.
+    pub fn tree(&self, handle: DocHandle) -> Result<&XmlTree, SessionError> {
+        self.docs
+            .get(&handle.0)
+            .map(|d| &d.tree)
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// The document's complete edit history since it was opened.
+    pub fn journal(&self, handle: DocHandle) -> Result<&EditJournal, SessionError> {
+        self.docs
+            .get(&handle.0)
+            .map(|d| &d.journal)
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// Applies a batch of edits to one document and returns the fresh
+    /// verdict.  Each op is validated, applied to the tree, folded into the
+    /// incremental indexes and journaled before the next op runs; if an op
+    /// is rejected, the earlier ops of the batch stay applied (the error
+    /// reports how many) and the indexes remain exact.
+    pub fn apply(
+        &mut self,
+        handle: DocHandle,
+        ops: &[EditOp],
+    ) -> Result<SessionVerdict, SessionError> {
+        let doc = self
+            .docs
+            .get_mut(&handle.0)
+            .ok_or(SessionError::UnknownHandle(handle))?;
+        for (i, op) in ops.iter().enumerate() {
+            let effect = doc
+                .tree
+                .apply_edit(op)
+                .map_err(|error| SessionError::Edit { index: i, error })?;
+            doc.index.apply(&doc.tree, &effect);
+            doc.journal.record(effect);
+            doc.edits_applied += 1;
+        }
+        Ok(Self::verdict_of(doc))
+    }
+
+    /// The current verdict of one document (recomputing only constraints
+    /// left dirty by edits since the last verdict).
+    pub fn verdict(&mut self, handle: DocHandle) -> Result<SessionVerdict, SessionError> {
+        let doc = self
+            .docs
+            .get_mut(&handle.0)
+            .ok_or(SessionError::UnknownHandle(handle))?;
+        Ok(Self::verdict_of(doc))
+    }
+
+    fn verdict_of(doc: &mut SessionDoc) -> SessionVerdict {
+        let violations = doc.index.check_all(&doc.tree);
+        SessionVerdict {
+            violations,
+            rechecked: doc.index.rechecked(),
+            edits_applied: doc.edits_applied,
+        }
+    }
+
+    /// Closes a document, handing its (edited) tree back to the caller.
+    pub fn close(&mut self, handle: DocHandle) -> Result<XmlTree, SessionError> {
+        self.docs
+            .remove(&handle.0)
+            .map(|d| d.tree)
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// One-shot `T ⊨ Σ` for a throwaway document: since no edit can ever
+    /// arrive, the incremental bookkeeping (carrier sets, watcher lists,
+    /// journals) would be built and thrown away — so this takes the plain
+    /// [`xic_constraints::DocIndex`] build instead.  Verdicts and witnesses
+    /// are identical to the session path (`tests/session_agreement.rs`
+    /// asserts the equality on random documents and edit histories).  This
+    /// is what `CompiledSpec::check_document` wraps.
+    pub fn check_once(spec: &CompiledSpec, tree: &XmlTree) -> Vec<Violation> {
+        spec.index_document(tree).check_all(spec.sigma())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_constraints::{DocIndex, IndexPlan};
+
+    fn spec() -> CompiledSpec {
+        CompiledSpec::from_sources(
+            "<!ELEMENT school (teacher*)>\n\
+             <!ELEMENT teacher EMPTY>\n\
+             <!ATTLIST teacher name CDATA #REQUIRED>",
+            Some("school"),
+            "teacher.name -> teacher",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edits_flow_through_and_verdicts_match_rebuild() {
+        let spec = spec();
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let name = spec.dtd().attr_by_name("name").unwrap();
+        let mut session = Session::new(&spec);
+        let doc = session
+            .open_source("<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        assert!(session.verdict(doc).unwrap().is_clean());
+
+        let root = session.tree(doc).unwrap().root();
+        let verdict = session
+            .apply(
+                doc,
+                &[EditOp::AddElement {
+                    parent: root,
+                    ty: teacher,
+                }],
+            )
+            .unwrap();
+        // The new teacher has no name yet: keys skip attribute-less
+        // elements, so the document is still clean.
+        assert!(verdict.is_clean());
+        let added = session.tree(doc).unwrap().ext(teacher).nth(1).unwrap();
+        let verdict = session
+            .apply(
+                doc,
+                &[EditOp::SetAttr {
+                    element: added,
+                    attr: name,
+                    value: "Joe".into(),
+                }],
+            )
+            .unwrap();
+        assert!(!verdict.is_clean());
+        assert_eq!(verdict.edits_applied(), 2);
+
+        // Witness identity with a from-scratch rebuild.
+        let tree = session.tree(doc).unwrap();
+        let plan = IndexPlan::for_set(spec.sigma());
+        let rebuilt = DocIndex::build(spec.dtd(), tree, &plan).check_all(spec.sigma());
+        assert_eq!(verdict.violations(), rebuilt.as_slice());
+
+        // Closing hands the edited tree back; the handle dies.
+        let tree = session.close(doc).unwrap();
+        assert_eq!(tree.ext_count(teacher), 2);
+        assert_eq!(session.verdict(doc), Err(SessionError::UnknownHandle(doc)));
+    }
+
+    #[test]
+    fn rejected_ops_report_the_applied_prefix() {
+        let spec = spec();
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let mut session = Session::new(&spec);
+        let doc = session
+            .open_source("<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let root = session.tree(doc).unwrap().root();
+        let err = session
+            .apply(
+                doc,
+                &[
+                    EditOp::AddElement {
+                        parent: root,
+                        ty: teacher,
+                    },
+                    EditOp::RemoveSubtree { element: root },
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Edit {
+                index: 1,
+                error: xic_xml::EditError::RemoveRoot
+            }
+        );
+        // The applied prefix is visible and the indexes stayed exact.
+        assert_eq!(session.tree(doc).unwrap().ext_count(teacher), 2);
+        assert!(session.verdict(doc).unwrap().is_clean());
+    }
+
+    #[test]
+    fn check_once_agrees_with_docindex() {
+        let spec = spec();
+        let tree = spec
+            .parse_document("<school><teacher name=\"A\"/><teacher name=\"A\"/></school>")
+            .unwrap();
+        let plan = IndexPlan::for_set(spec.sigma());
+        let rebuilt = DocIndex::build(spec.dtd(), &tree, &plan).check_all(spec.sigma());
+        assert_eq!(Session::check_once(&spec, &tree), rebuilt);
+        assert_eq!(spec.check_document(&tree), rebuilt);
+    }
+}

@@ -233,11 +233,14 @@ impl CompiledSpec {
         DocIndex::build(&self.dtd, tree, &self.plan)
     }
 
-    /// Checks `T ⊨ Σ` through a freshly built [`DocIndex`]; returns every
-    /// violation.  To check several constraint subsets against one document,
-    /// build the index once with [`CompiledSpec::index_document`].
+    /// One-shot `T ⊨ Σ`: a thin wrapper over a throwaway session check
+    /// ([`crate::Session::check_once`]), which takes the [`DocIndex`] build
+    /// (a never-edited document needs none of the incremental bookkeeping)
+    /// and reports exactly the witnesses the session path would.  To check
+    /// several constraint subsets against one document, build the index
+    /// once with [`CompiledSpec::index_document`].
     pub fn check_document(&self, tree: &XmlTree) -> Vec<Violation> {
-        self.index_document(tree).check_all(&self.sigma)
+        crate::Session::check_once(self, tree)
     }
 
     /// Consistency of the compiled specification, dispatching to the

@@ -10,14 +10,19 @@
 //! * [`pool::ValuePool`] — the string interner behind the tree: attribute
 //!   and text values are stored as dense [`pool::ValueId`] symbols, so the
 //!   string-value equality of Section 2.2 is integer equality;
+//! * [`edit`] — typed point edits ([`edit::EditOp`]) applied through
+//!   [`tree::XmlTree::apply_edit`], which returns delta records
+//!   ([`edit::EditEffect`]) that incremental indexes consume; sessions keep
+//!   them in an [`edit::EditJournal`];
 //! * [`parser::parse_document`] / [`writer::write_document`] — a DTD-aware
 //!   XML parser and serializer (from scratch, no external XML crates);
-//! * [`validate`] — the `T ⊨ D` validity test of Definition 2.2, with
+//! * [`mod@validate`] — the `T ⊨ D` validity test of Definition 2.2, with
 //!   detailed per-node error reporting.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod edit;
 pub mod error;
 pub mod parser;
 pub mod pool;
@@ -25,6 +30,7 @@ pub mod tree;
 pub mod validate;
 pub mod writer;
 
+pub use edit::{EditEffect, EditError, EditJournal, EditOp};
 pub use error::XmlError;
 pub use parser::{parse_document, parse_document_pooled};
 pub use pool::{ValueId, ValuePool};

@@ -357,7 +357,7 @@ mod tests {
         let taught_by = dtd.attr_by_name("taught_by").unwrap();
         assert_eq!(tree.ext_count(teacher), 1);
         assert_eq!(tree.ext_count(subject), 2);
-        let s = tree.ext(subject)[0];
+        let s = tree.ext(subject).next().unwrap();
         assert_eq!(tree.attr_value(s, taught_by), Some("Joe"));
         assert_eq!(tree.text_of(s), "XML");
         assert!(is_valid(&tree, &dtd));

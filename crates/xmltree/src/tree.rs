@@ -11,7 +11,7 @@
 //!
 //! The structure is DTD-aware in the sense that labels are the interned
 //! [`ElemId`] / [`AttrId`] identifiers of a [`Dtd`]; the tree itself does not
-//! enforce validity — that is the job of [`crate::validate`].
+//! enforce validity — that is the job of [`mod@crate::validate`].
 
 use std::collections::{HashMap, HashSet};
 
@@ -52,6 +52,11 @@ struct Node {
     children: Vec<NodeId>,
     /// Attribute children, identified by attribute id (the `att` function).
     attrs: Vec<(AttrId, NodeId)>,
+    /// Whether the node has been removed from the document.  The arena slot
+    /// is kept (ids stay stable and the node's values stay readable, which
+    /// incremental index maintenance relies on), but detached nodes are
+    /// invisible to every document-level accessor.
+    detached: bool,
 }
 
 /// An XML tree (Definition 2.2).
@@ -66,6 +71,9 @@ pub struct XmlTree {
     nodes: Vec<Node>,
     root: NodeId,
     pool: ValuePool,
+    /// Number of nodes that are not detached (arena slots of removed
+    /// subtrees are tombstoned, not reclaimed).
+    live: usize,
 }
 
 impl XmlTree {
@@ -86,11 +94,13 @@ impl XmlTree {
             value: None,
             children: Vec::new(),
             attrs: Vec::new(),
+            detached: false,
         };
         XmlTree {
             nodes: vec![root],
             root: NodeId(0),
             pool,
+            live: 1,
         }
     }
 
@@ -109,9 +119,23 @@ impl XmlTree {
         self.root
     }
 
-    /// Total number of nodes (elements, attributes and text nodes).
+    /// Total number of live nodes (elements, attributes and text nodes;
+    /// detached subtrees are not counted).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.live
+    }
+
+    /// Whether the id names a node of this tree (live or detached).
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.nodes.len()
+    }
+
+    /// Whether the node has been removed from the document by
+    /// [`XmlTree::remove_subtree`].  Detached nodes keep their label, value
+    /// and attributes readable (index maintenance needs the old state) but
+    /// no longer appear in [`XmlTree::elements`] or any extension.
+    pub fn is_detached(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].detached
     }
 
     /// Label of a node.
@@ -208,8 +232,10 @@ impl XmlTree {
             value: None,
             children: Vec::new(),
             attrs: Vec::new(),
+            detached: false,
         });
         self.nodes[parent.index()].children.push(id);
+        self.live += 1;
         id
     }
 
@@ -223,8 +249,10 @@ impl XmlTree {
             value: Some(value),
             children: Vec::new(),
             attrs: Vec::new(),
+            detached: false,
         });
         self.nodes[parent.index()].children.push(id);
+        self.live += 1;
         id
     }
 
@@ -247,37 +275,90 @@ impl XmlTree {
             value: Some(value),
             children: Vec::new(),
             attrs: Vec::new(),
+            detached: false,
         });
         self.nodes[node.index()].attrs.push((attr, id));
+        self.live += 1;
         id
     }
 
-    /// Iterates over all element nodes in document (pre-)order.
-    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32)
-            .map(NodeId)
-            .filter(move |&n| matches!(self.label(n), NodeLabel::Element(_)))
+    /// Removes the subtree rooted at `element` from the document: the node
+    /// is unlinked from its parent and every node below it (elements, text
+    /// and attribute nodes) is tombstoned.  Returns the removed **element**
+    /// nodes with their types, in ascending id order — exactly the list an
+    /// incremental index needs to retract.
+    ///
+    /// Returns `None` — and changes nothing — if `element` is not a live,
+    /// non-root element node.  Detached nodes keep their labels, values and
+    /// attribute lists readable so that retraction can still ask for the
+    /// tuples the removed elements used to carry.
+    pub fn remove_subtree(&mut self, element: NodeId) -> Option<Vec<(NodeId, ElemId)>> {
+        if !self.contains(element)
+            || self.is_detached(element)
+            || element == self.root
+            || self.element_type(element).is_none()
+        {
+            return None;
+        }
+        let parent = self.nodes[element.index()].parent.expect("non-root");
+        let siblings = &mut self.nodes[parent.index()].children;
+        let pos = siblings.iter().position(|&c| c == element)?;
+        siblings.remove(pos);
+
+        let mut removed = Vec::new();
+        let mut stack = vec![element];
+        while let Some(n) = stack.pop() {
+            let node = &mut self.nodes[n.index()];
+            debug_assert!(!node.detached, "subtrees never share nodes");
+            node.detached = true;
+            self.live -= 1;
+            if let NodeLabel::Element(ty) = node.label {
+                removed.push((n, ty));
+            }
+            stack.extend(node.children.iter().copied());
+            let attr_nodes: Vec<NodeId> = node.attrs.iter().map(|&(_, a)| a).collect();
+            for attr_node in attr_nodes {
+                self.nodes[attr_node.index()].detached = true;
+                self.live -= 1;
+            }
+        }
+        removed.sort();
+        Some(removed)
     }
 
-    /// `ext(τ)`: all element nodes of type `ty`.
-    pub fn ext(&self, ty: ElemId) -> Vec<NodeId> {
+    /// Iterates over all live element nodes in ascending id (creation)
+    /// order.  For a parsed or top-down-built document this *is* document
+    /// pre-order; after edits insert under earlier parents the two can
+    /// diverge, and id order is the canonical traversal every checker in
+    /// the workspace uses — witnesses are "first" in this order.
+    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId).filter(move |&n| {
+            matches!(self.label(n), NodeLabel::Element(_)) && !self.is_detached(n)
+        })
+    }
+
+    /// `ext(τ)`: the element nodes of type `ty`, in the order of
+    /// [`XmlTree::elements`].
+    ///
+    /// Returns a lazy iterator — callers that need a materialized list
+    /// `collect()` it themselves; most probes (`first`, `any`, counting)
+    /// never allocate.
+    pub fn ext(&self, ty: ElemId) -> impl Iterator<Item = NodeId> + '_ {
         self.elements()
-            .filter(|&n| self.element_type(n) == Some(ty))
-            .collect()
+            .filter(move |&n| self.element_type(n) == Some(ty))
     }
 
     /// `|ext(τ)|` without materialising the node list.
     pub fn ext_count(&self, ty: ElemId) -> usize {
-        self.elements()
-            .filter(|&n| self.element_type(n) == Some(ty))
-            .count()
+        self.ext(ty).count()
     }
 
-    /// `ext(τ.l)`: the set of `l`-attribute values over all `τ` elements.
-    pub fn ext_attr(&self, ty: ElemId, attr: AttrId) -> HashSet<String> {
+    /// `ext(τ.l)`: the set of `l`-attribute values over all `τ` elements,
+    /// as interned [`ValueId`] symbols (string-value equality is id equality
+    /// within one tree; resolve through [`XmlTree::resolve`] at the edges).
+    pub fn ext_attr(&self, ty: ElemId, attr: AttrId) -> HashSet<ValueId> {
         self.ext(ty)
-            .into_iter()
-            .filter_map(|n| self.attr_value(n, attr).map(str::to_string))
+            .filter_map(|n| self.attr_value_id(n, attr))
             .collect()
     }
 
@@ -297,10 +378,14 @@ impl XmlTree {
     }
 
     /// Per-type element counts (used by the Lemma 4.3 preservation tests).
-    /// One walk over the arena, matching each node's label exactly once.
+    /// One walk over the arena, matching each node's label exactly once;
+    /// detached nodes are skipped, so the counts agree with [`XmlTree::ext`].
     pub fn type_histogram(&self) -> HashMap<ElemId, usize> {
         let mut hist = HashMap::new();
         for node in &self.nodes {
+            if node.detached {
+                continue;
+            }
             if let NodeLabel::Element(ty) = node.label {
                 *hist.entry(ty).or_insert(0) += 1;
             }
@@ -392,7 +477,7 @@ mod tests {
         let t = figure1_tree(&dtd);
         let teacher = dtd.type_by_name("teacher").unwrap();
         let name = dtd.attr_by_name("name").unwrap();
-        let first = t.ext(teacher)[0];
+        let first = t.ext(teacher).next().unwrap();
         assert_eq!(t.attr_value(first, name), Some("Joe"));
         assert_eq!(t.attr_values(first, &[name]), Some(vec!["Joe".to_string()]));
         // ext(teacher.name) collapses duplicates: both teachers are "Joe".
@@ -441,7 +526,7 @@ mod tests {
         let name = dtd.attr_by_name("name").unwrap();
         let taught_by = dtd.attr_by_name("taught_by").unwrap();
         // "Joe" appears on two teachers and four subjects but is one symbol.
-        let teachers = t.ext(teacher);
+        let teachers: Vec<NodeId> = t.ext(teacher).collect();
         let joe = t.attr_value_id(teachers[0], name).unwrap();
         assert_eq!(t.attr_value_id(teachers[1], name), Some(joe));
         for s in t.ext(subject) {
@@ -459,13 +544,43 @@ mod tests {
     }
 
     #[test]
+    fn remove_subtree_detaches_and_keeps_tombstones_readable() {
+        let dtd = example_d1();
+        let mut t = figure1_tree(&dtd);
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let subject = dtd.type_by_name("subject").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        let before = t.num_nodes();
+        let victim = t.ext(teacher).next().unwrap();
+        let removed = t.remove_subtree(victim).unwrap();
+        // One teacher, one teach, two subjects, one research element removed.
+        assert_eq!(removed.len(), 5);
+        assert!(removed.contains(&(victim, teacher)));
+        assert_eq!(t.ext_count(teacher), 1);
+        assert_eq!(t.ext_count(subject), 2);
+        // 5 elements + 3 text nodes + 3 attribute nodes are gone.
+        assert_eq!(t.num_nodes(), before - 11);
+        // The histogram agrees with the extensions.
+        assert_eq!(t.type_histogram()[&teacher], 1);
+        assert_eq!(t.type_histogram()[&subject], 2);
+        // The tombstone keeps its label and values readable…
+        assert!(t.is_detached(victim));
+        assert_eq!(t.attr_value(victim, name), Some("Joe"));
+        // …but is invisible to extensions, and cannot be removed twice.
+        assert!(t.ext(teacher).all(|n| n != victim));
+        assert!(t.remove_subtree(victim).is_none());
+        // The root can never be removed.
+        assert!(t.remove_subtree(t.root()).is_none());
+    }
+
+    #[test]
     fn histogram_and_paths() {
         let dtd = example_d1();
         let t = figure1_tree(&dtd);
         let hist = t.type_histogram();
         let subject = dtd.type_by_name("subject").unwrap();
         assert_eq!(hist[&subject], 4);
-        let second_subject = t.ext(subject)[1];
+        let second_subject = t.ext(subject).nth(1).unwrap();
         let path = t.path_of(&dtd, second_subject);
         assert!(
             path.starts_with("teachers/teacher[1]/teach[1]/subject[2]"),

@@ -311,7 +311,7 @@ mod tests {
         // Add an extra subject without taught_by under teach.
         let teach = dtd.type_by_name("teach").unwrap();
         let subject = dtd.type_by_name("subject").unwrap();
-        let teach_node = t.ext(teach)[0];
+        let teach_node = t.ext(teach).next().unwrap();
         t.add_element(teach_node, subject);
         let errors = validate(&t, &dtd);
         assert!(errors
@@ -341,7 +341,7 @@ mod tests {
         let mut t = d1_tree(&dtd);
         let teach = dtd.type_by_name("teach").unwrap();
         let name = dtd.attr_by_name("name").unwrap();
-        let teach_node = t.ext(teach)[0];
+        let teach_node = t.ext(teach).next().unwrap();
         t.set_attr(teach_node, name, "oops");
         let errors = validate(&t, &dtd);
         assert!(errors
