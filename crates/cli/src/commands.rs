@@ -9,19 +9,19 @@ use std::path::Path;
 
 use xic_constraints::{
     check_document, parse_constraint, parse_constraint_set, ConstraintClass, ConstraintSet,
-    Violation,
 };
 use xic_core::{
     diagnose as diagnose_spec, CardinalitySystem, CheckerConfig, ConsistencyChecker,
     ConsistencyOutcome, Diagnosis, ImplicationChecker, SystemOptions,
 };
 use xic_dtd::{analyze, parse_dtd, Dtd};
-use xic_engine::{BatchDoc, BatchEngine, CompiledSpec};
-use xic_xml::{parse_document, validate, write_document};
+use xic_engine::{BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusSession};
+use xic_xml::{parse_document, validate, write_document, EditOp, NodeId};
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
 use crate::json::JsonValue;
+use crate::report::{delta_json, doc_report_json, violation_json};
 
 /// The report format selected by `--format` (plain text by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,50 +37,6 @@ fn report_format(args: &ParsedArgs) -> Result<ReportFormat, CliError> {
         Some(other) => Err(CliError::Usage(format!(
             "option `--format` expects `text` or `json`, got `{other}`"
         ))),
-    }
-}
-
-/// A machine-readable view of one violation, witnesses included.
-fn violation_json(v: &Violation) -> JsonValue {
-    match v {
-        Violation::KeyViolation {
-            constraint,
-            witnesses,
-            values,
-        } => JsonValue::object(vec![
-            ("kind", JsonValue::string("key_violation")),
-            ("constraint", JsonValue::string(constraint.clone())),
-            (
-                "witnesses",
-                JsonValue::Array(vec![
-                    JsonValue::int(witnesses.0.index()),
-                    JsonValue::int(witnesses.1.index()),
-                ]),
-            ),
-            ("values", JsonValue::strings(values.iter().cloned())),
-        ]),
-        Violation::InclusionViolation {
-            constraint,
-            witness,
-            values,
-        } => JsonValue::object(vec![
-            ("kind", JsonValue::string("inclusion_violation")),
-            ("constraint", JsonValue::string(constraint.clone())),
-            ("witness", JsonValue::int(witness.index())),
-            ("values", JsonValue::strings(values.iter().cloned())),
-        ]),
-        Violation::MissingAttributes {
-            constraint,
-            witness,
-        } => JsonValue::object(vec![
-            ("kind", JsonValue::string("missing_attributes")),
-            ("constraint", JsonValue::string(constraint.clone())),
-            ("witness", JsonValue::int(witness.index())),
-        ]),
-        Violation::NegationUnsatisfied { constraint } => JsonValue::object(vec![
-            ("kind", JsonValue::string("negation_unsatisfied")),
-            ("constraint", JsonValue::string(constraint.clone())),
-        ]),
     }
 }
 
@@ -443,21 +399,20 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
         .map_err(|e| CliError::Spec(e.to_string()))?;
 
-    let manifest_path = args.require("manifest")?;
-    let manifest = read_file(manifest_path)?;
-    let base = Path::new(manifest_path)
-        .parent()
-        .map(Path::to_path_buf)
-        .unwrap_or_default();
-    let mut docs = Vec::new();
-    for line in manifest.lines() {
-        let entry = line.trim();
-        if entry.is_empty() || entry.starts_with('#') {
-            continue;
+    let docs = match args.get("manifest") {
+        Some(path) => load_manifest(path)?,
+        None => {
+            // `--session` scripts can open their own documents; plain
+            // batch runs need the manifest.
+            if args.get("session").is_none() {
+                args.require("manifest")?;
+            }
+            Vec::new()
         }
-        let path = base.join(entry);
-        let content = read_file(&path.to_string_lossy())?;
-        docs.push(BatchDoc::new(entry, content));
+    };
+
+    if let Some(script_path) = args.get("session") {
+        return batch_session(&spec, docs, script_path, format, args.has_flag("quiet"));
     }
 
     let engine = match args.get_usize("threads")? {
@@ -468,32 +423,7 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let all_clean = report_data.clean_count() == report_data.total();
 
     if format == ReportFormat::Json {
-        let reports: Vec<JsonValue> = report_data
-            .reports()
-            .iter()
-            .map(|r| {
-                JsonValue::object(vec![
-                    ("index", JsonValue::int(r.index)),
-                    ("label", JsonValue::string(r.label.clone())),
-                    (
-                        "parse_error",
-                        r.parse_error
-                            .as_ref()
-                            .map(|e| JsonValue::string(e.clone()))
-                            .unwrap_or(JsonValue::Null),
-                    ),
-                    (
-                        "validation_errors",
-                        JsonValue::strings(r.validation_errors.iter().cloned()),
-                    ),
-                    (
-                        "violations",
-                        JsonValue::Array(r.violations.iter().map(violation_json).collect()),
-                    ),
-                    ("clean", JsonValue::Bool(r.is_clean())),
-                ])
-            })
-            .collect();
+        let reports: Vec<JsonValue> = report_data.reports().iter().map(doc_report_json).collect();
         let json = JsonValue::object(vec![
             ("command", JsonValue::string("batch")),
             ("spec", JsonValue::string(spec.id().to_string())),
@@ -523,6 +453,245 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
         ));
     }
     Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }))
+}
+
+/// Reads a batch manifest: one document path per line, blank lines and `#`
+/// comments skipped, relative paths resolved against the manifest's
+/// directory.
+fn load_manifest(manifest_path: &str) -> Result<Vec<BatchDoc>, CliError> {
+    let manifest = read_file(manifest_path)?;
+    let base = Path::new(manifest_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let mut docs = Vec::new();
+    for line in manifest.lines() {
+        let entry = line.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let path = base.join(entry);
+        let content = read_file(&path.to_string_lossy())?;
+        docs.push(BatchDoc::new(entry, content));
+    }
+    Ok(docs)
+}
+
+/// `xic batch --session SCRIPT` — replay an edit script over a corpus
+/// session and report the [`BatchDelta`] of every commit.
+///
+/// The manifest documents (if any) are opened first; the script then drives
+/// a [`CorpusSession`], one directive per line (blank lines and `#`
+/// comments skipped; `<node>` is a node id as printed in JSON witnesses):
+///
+/// ```text
+/// open   <label> <path>            # parse a document and open it
+/// set    <label> <node> <attr> <value…>
+/// add    <label> <parent-node> <element-type>
+/// text   <label> <parent-node> <value…>
+/// remove <label> <node>
+/// close  <label>
+/// commit                           # emit the delta since the last commit
+/// ```
+///
+/// Every `commit` emits one delta (only edited documents are re-checked); a
+/// trailing commit is implied if the script ends with uncommitted actions.
+/// With `--format json` the outcome is one object carrying the `deltas`
+/// stream and the final per-document `reports`.
+fn batch_session(
+    spec: &CompiledSpec,
+    docs: Vec<BatchDoc>,
+    script_path: &str,
+    format: ReportFormat,
+    quiet: bool,
+) -> Result<CommandOutcome, CliError> {
+    let script = read_file(script_path)?;
+    let base = Path::new(script_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+
+    let mut corpus = CorpusSession::new(spec);
+    for doc in docs {
+        corpus
+            .open_source(&doc.label, &doc.content)
+            .map_err(|e| CliError::Document(format!("{}: {e}", doc.label)))?;
+    }
+    let mut pending = corpus.num_docs() > 0;
+    let mut deltas: Vec<BatchDelta> = Vec::new();
+
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| CliError::Usage(format!("{script_path}:{}: {msg}", lineno + 1));
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line has a first word");
+        match directive {
+            "commit" => {
+                deltas.push(corpus.commit());
+                pending = false;
+                continue;
+            }
+            "open" => {
+                let label = words
+                    .next()
+                    .ok_or_else(|| err("`open` expects a label".into()))?;
+                let path = words
+                    .next()
+                    .ok_or_else(|| err("`open` expects a path".into()))?;
+                let content = read_file(&base.join(path).to_string_lossy())?;
+                corpus
+                    .open_source(label, &content)
+                    .map_err(|e| CliError::Document(format!("{label}: {e}")))?;
+                pending = true;
+                continue;
+            }
+            _ => {}
+        }
+        // Everything else targets an open document by label.
+        let label = words
+            .next()
+            .ok_or_else(|| err(format!("`{directive}` expects a document label")))?;
+        let handle = corpus
+            .handle_by_label(label)
+            .ok_or_else(|| err(format!("no open document labelled `{label}`")))?;
+        let mut node_arg = |what: &str| -> Result<NodeId, CliError> {
+            let word = words
+                .next()
+                .ok_or_else(|| err(format!("`{directive}` expects a {what} node id")))?;
+            word.parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| err(format!("`{word}` is not a node id")))
+        };
+        let op = match directive {
+            "set" => {
+                let element = node_arg("target")?;
+                let attr_name = words
+                    .next()
+                    .ok_or_else(|| err("`set` expects an attribute name".into()))?;
+                let attr = spec
+                    .dtd()
+                    .attr_by_name(attr_name)
+                    .ok_or_else(|| err(format!("unknown attribute `{attr_name}`")))?;
+                let value = words.collect::<Vec<_>>().join(" ");
+                EditOp::SetAttr {
+                    element,
+                    attr,
+                    value,
+                }
+            }
+            "add" => {
+                let parent = node_arg("parent")?;
+                let ty_name = words
+                    .next()
+                    .ok_or_else(|| err("`add` expects an element type".into()))?;
+                let ty = spec
+                    .dtd()
+                    .type_by_name(ty_name)
+                    .ok_or_else(|| err(format!("unknown element type `{ty_name}`")))?;
+                EditOp::AddElement { parent, ty }
+            }
+            "text" => EditOp::AddText {
+                parent: node_arg("parent")?,
+                value: words.collect::<Vec<_>>().join(" "),
+            },
+            "remove" => EditOp::RemoveSubtree {
+                element: node_arg("target")?,
+            },
+            "close" => {
+                corpus
+                    .close(handle)
+                    .map_err(|e| CliError::Document(e.to_string()))?;
+                pending = true;
+                continue;
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        };
+        corpus
+            .apply(handle, std::slice::from_ref(&op))
+            .map_err(|e| {
+                CliError::Document(format!("{script_path}:{}: {label}: {e}", lineno + 1))
+            })?;
+        pending = true;
+    }
+    if pending {
+        deltas.push(corpus.commit());
+    }
+
+    let final_report = corpus.report();
+    let all_clean = final_report.clean_count() == final_report.total();
+    let code = if all_clean { 0 } else { 1 };
+
+    if format == ReportFormat::Json {
+        let json = JsonValue::object(vec![
+            ("command", JsonValue::string("batch-session")),
+            ("spec", JsonValue::string(spec.id().to_string())),
+            ("script", JsonValue::string(script_path)),
+            (
+                "deltas",
+                JsonValue::Array(deltas.iter().map(delta_json).collect()),
+            ),
+            ("total", JsonValue::int(final_report.total())),
+            ("clean", JsonValue::int(final_report.clean_count())),
+            (
+                "reports",
+                JsonValue::Array(final_report.reports().iter().map(doc_report_json).collect()),
+            ),
+        ]);
+        let mut report = json.render();
+        report.push('\n');
+        return Ok(CommandOutcome::new(report, code));
+    }
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "spec {}: corpus session over {} commits\n",
+        spec.id(),
+        deltas.len()
+    ));
+    for delta in &deltas {
+        report.push_str(&format!(
+            "commit {}: {}/{} documents clean ({} rechecked)\n",
+            delta.seq, delta.clean, delta.total, delta.rechecked_docs
+        ));
+        for change in &delta.changes {
+            let transition = match (change.was_clean, change.now_clean()) {
+                (None, true) => "opened clean",
+                (None, false) => "opened violating",
+                (Some(true), false) => "clean -> violating",
+                (Some(false), true) => "violating -> clean",
+                (Some(true), true) => "still clean",
+                // Violating before and after, but the violation set moved.
+                (Some(false), false) => "still violating (changed)",
+            };
+            report.push_str(&format!(
+                "  ~ [{}] {}: {}\n",
+                change.report.index, change.report.label, transition
+            ));
+            if !quiet {
+                for e in &change.report.validation_errors {
+                    report.push_str(&format!("      invalid: {e}\n"));
+                }
+                for v in &change.report.violations {
+                    report.push_str(&format!("      violation: {v}\n"));
+                }
+            }
+        }
+        for closed in &delta.closed {
+            report.push_str(&format!(
+                "  - closed {} ({})\n",
+                closed.label, closed.handle
+            ));
+        }
+    }
+    report.push_str(&format!(
+        "final: {}/{} documents clean\n",
+        final_report.clean_count(),
+        final_report.total()
+    ));
+    Ok(CommandOutcome::new(report, code))
 }
 
 #[cfg(test)]
@@ -922,6 +1091,184 @@ mod tests {
                 .map(<[JsonValue]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn batch_session_replays_edits_and_streams_deltas() {
+        let dtd = temp_file("sess.dtd", SCHOOL_DTD);
+        let sigma = temp_file("sess.xic", "teacher.name -> teacher");
+        let a = temp_file("sess-a.xml", "<school><teacher name=\"Joe\"/></school>");
+        let b = temp_file("sess-b.xml", "<school><teacher name=\"Ann\"/></school>");
+        let manifest = temp_file(
+            "sess-manifest.txt",
+            &format!("{}\n", a.file_name().unwrap().to_str().unwrap()),
+        );
+        let a_label = a.file_name().unwrap().to_str().unwrap();
+        let b_name = b.file_name().unwrap().to_str().unwrap();
+        // Open b, break a's key (duplicate name on a fresh teacher), commit;
+        // heal it again; close b and commit once more.
+        let script = temp_file(
+            "sess-script.txt",
+            &format!(
+                "# corpus edit script\n\
+                 open b {b_name}\n\
+                 commit\n\
+                 add {a_label} 0 teacher\n\
+                 set {a_label} 3 name Joe\n\
+                 commit\n\
+                 set {a_label} 3 name Sue\n\
+                 close b\n"
+            ),
+        );
+        let out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("commit 1: 2/2"), "{}", out.report);
+        assert!(out.report.contains("clean -> violating"), "{}", out.report);
+        assert!(out.report.contains("violating -> clean"), "{}", out.report);
+        assert!(out.report.contains("- closed b"), "{}", out.report);
+        assert!(
+            out.report.contains("final: 1/1 documents clean"),
+            "{}",
+            out.report
+        );
+
+        // The JSON form round-trips and carries the delta stream.
+        let json_out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+                "--format",
+                "json",
+            ],
+        );
+        assert_eq!(json_out.exit_code, 0, "{}", json_out.report);
+        let parsed = JsonValue::parse(json_out.report.trim()).expect("valid JSON");
+        assert_eq!(JsonValue::parse(&parsed.render()).unwrap(), parsed);
+        assert_eq!(
+            parsed.get("command").and_then(JsonValue::as_str),
+            Some("batch-session")
+        );
+        let deltas = parsed.get("deltas").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(deltas.len(), 3);
+        // Commit 2 re-checked exactly the one edited document and reported
+        // the flip with a structured key-violation witness.
+        assert_eq!(deltas[1].get("rechecked"), Some(&JsonValue::Number(1.0)));
+        let changes = deltas[1]
+            .get("changes")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].get("was_clean"), Some(&JsonValue::Bool(true)));
+        assert_eq!(changes[0].get("clean"), Some(&JsonValue::Bool(false)));
+        let violations = changes[0]
+            .get("report")
+            .and_then(|r| r.get("violations"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(
+            violations[0].get("kind").and_then(JsonValue::as_str),
+            Some("key_violation")
+        );
+        // The trailing uncommitted edits imply a final commit with the close.
+        let closed = deltas[2]
+            .get("closed")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        // Closed docs are identified by label AND stable handle (labels
+        // need not be unique), as are change entries.
+        assert_eq!(
+            closed[0].get("label").and_then(JsonValue::as_str),
+            Some("b")
+        );
+        assert_eq!(
+            closed[0].get("doc").and_then(JsonValue::as_str),
+            Some("doc-1")
+        );
+        assert_eq!(
+            changes[0].get("doc").and_then(JsonValue::as_str),
+            Some("doc-0")
+        );
+    }
+
+    #[test]
+    fn batch_session_scripts_report_errors_with_line_numbers() {
+        let dtd = temp_file("sesserr.dtd", SCHOOL_DTD);
+        let script = temp_file("sesserr-script.txt", "frobnicate doc-0 1\n");
+        let parsed = ParsedArgs::parse(
+            [
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+            ],
+            &SPEC,
+        )
+        .unwrap();
+        let err = batch(&parsed).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(":1:"), "{msg}");
+        assert!(msg.contains("no open document"), "{msg}");
+
+        // Unknown directives on an open document, unknown attributes, and
+        // bad node ids all name the line.
+        let doc = temp_file("sesserr-doc.xml", "<school/>");
+        let doc_name = doc.file_name().unwrap().to_str().unwrap();
+        for (line, needle) in [
+            (
+                format!("open d {doc_name}\nfrobnicate d 0"),
+                "unknown directive",
+            ),
+            (
+                format!("open d {doc_name}\nset d 0 bogus x"),
+                "unknown attribute",
+            ),
+            (
+                format!("open d {doc_name}\nset d zero name x"),
+                "not a node id",
+            ),
+            (
+                format!("open d {doc_name}\nadd d 0 bogus"),
+                "unknown element type",
+            ),
+        ] {
+            let script = temp_file("sesserr-script2.txt", &line);
+            let parsed = ParsedArgs::parse(
+                [
+                    "batch",
+                    "--dtd",
+                    dtd.to_str().unwrap(),
+                    "--session",
+                    script.to_str().unwrap(),
+                ],
+                &SPEC,
+            )
+            .unwrap();
+            let err = batch(&parsed).unwrap_err().to_string();
+            assert!(err.contains(":2:"), "{err}");
+            assert!(err.contains(needle), "{err}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod args;
 pub mod commands;
 pub mod error;
 pub mod json;
+pub mod report;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use commands::{
@@ -35,6 +36,9 @@ pub use commands::{
 };
 pub use error::CliError;
 pub use json::JsonValue;
+pub use report::{
+    delta_json, doc_report_from_json, doc_report_json, violation_from_json, violation_json,
+};
 
 /// The options accepted by every subcommand (unknown ones are rejected with
 /// a usage error naming the offending option).
@@ -49,6 +53,7 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "manifest",
         "threads",
         "format",
+        "session",
     ],
     flags: &["quiet", "no-witness", "help"],
 };
@@ -77,6 +82,10 @@ OPTIONS:
     --doc FILE            the XML document to validate (validate only)
     --query CONSTRAINT    the constraint to test for implication (implies only)
     --manifest FILE       file listing one document path per line (batch only)
+    --session FILE        replay an edit script over a corpus session instead of a
+                          one-shot batch: open/set/add/text/remove/close/commit
+                          directives, one per line; every commit re-checks only the
+                          edited documents and reports the delta (batch only)
     --threads N           worker threads for batch validation (default: all cores)
     --format FORMAT       report format: text (default) or json, with structured
                           verdicts and violation witnesses (validate/batch only)

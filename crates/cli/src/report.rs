@@ -1,0 +1,232 @@
+//! JSON views of engine report types — and their inverses.
+//!
+//! `--format json` output is consumed by scripts and by the delta
+//! subscribers of `xic batch --session`, so the mapping between
+//! [`Violation`] / [`DocReport`] / [`BatchDelta`] and [`JsonValue`] lives
+//! here as a total, *invertible* pair of functions per type: `*_json`
+//! renders, `*_from_json` parses back.  Round-tripping is property-tested
+//! in `crates/cli/tests/json_roundtrip.rs` over arbitrary values (surrogate
+//! pairs, extreme numbers, the lot) — any report the CLI can emit can be
+//! reconstructed from its own output without an external JSON library.
+
+use xic_constraints::Violation;
+use xic_engine::{BatchDelta, DocChange, DocReport};
+use xic_xml::NodeId;
+
+use crate::json::JsonValue;
+
+/// A machine-readable view of one violation, witnesses included.
+pub fn violation_json(v: &Violation) -> JsonValue {
+    match v {
+        Violation::KeyViolation {
+            constraint,
+            witnesses,
+            values,
+        } => JsonValue::object(vec![
+            ("kind", JsonValue::string("key_violation")),
+            ("constraint", JsonValue::string(constraint.clone())),
+            (
+                "witnesses",
+                JsonValue::Array(vec![
+                    JsonValue::int(witnesses.0.index()),
+                    JsonValue::int(witnesses.1.index()),
+                ]),
+            ),
+            ("values", JsonValue::strings(values.iter().cloned())),
+        ]),
+        Violation::InclusionViolation {
+            constraint,
+            witness,
+            values,
+        } => JsonValue::object(vec![
+            ("kind", JsonValue::string("inclusion_violation")),
+            ("constraint", JsonValue::string(constraint.clone())),
+            ("witness", JsonValue::int(witness.index())),
+            ("values", JsonValue::strings(values.iter().cloned())),
+        ]),
+        Violation::MissingAttributes {
+            constraint,
+            witness,
+        } => JsonValue::object(vec![
+            ("kind", JsonValue::string("missing_attributes")),
+            ("constraint", JsonValue::string(constraint.clone())),
+            ("witness", JsonValue::int(witness.index())),
+        ]),
+        Violation::NegationUnsatisfied { constraint } => JsonValue::object(vec![
+            ("kind", JsonValue::string("negation_unsatisfied")),
+            ("constraint", JsonValue::string(constraint.clone())),
+        ]),
+    }
+}
+
+/// Parses a [`violation_json`] rendering back into a [`Violation`].
+pub fn violation_from_json(json: &JsonValue) -> Result<Violation, String> {
+    let kind = require_str(json, "kind")?;
+    let constraint = require_str(json, "constraint")?.to_string();
+    match kind {
+        "key_violation" => {
+            let witnesses = json
+                .get("witnesses")
+                .and_then(JsonValue::as_array)
+                .ok_or("key_violation: missing `witnesses` array")?;
+            let [first, second] = witnesses else {
+                return Err(format!(
+                    "key_violation: expected 2 witnesses, got {}",
+                    witnesses.len()
+                ));
+            };
+            Ok(Violation::KeyViolation {
+                constraint,
+                witnesses: (node_id(first)?, node_id(second)?),
+                values: string_array(json, "values")?,
+            })
+        }
+        "inclusion_violation" => Ok(Violation::InclusionViolation {
+            constraint,
+            witness: node_id(
+                json.get("witness")
+                    .ok_or("inclusion_violation: missing `witness`")?,
+            )?,
+            values: string_array(json, "values")?,
+        }),
+        "missing_attributes" => Ok(Violation::MissingAttributes {
+            constraint,
+            witness: node_id(
+                json.get("witness")
+                    .ok_or("missing_attributes: missing `witness`")?,
+            )?,
+        }),
+        "negation_unsatisfied" => Ok(Violation::NegationUnsatisfied { constraint }),
+        other => Err(format!("unknown violation kind `{other}`")),
+    }
+}
+
+/// A machine-readable view of one per-document report (the element shape of
+/// `xic batch --format json`'s `reports` array).
+pub fn doc_report_json(r: &DocReport) -> JsonValue {
+    JsonValue::object(vec![
+        ("index", JsonValue::int(r.index)),
+        ("label", JsonValue::string(r.label.clone())),
+        (
+            "parse_error",
+            r.parse_error
+                .as_ref()
+                .map(|e| JsonValue::string(e.clone()))
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "validation_errors",
+            JsonValue::strings(r.validation_errors.iter().cloned()),
+        ),
+        (
+            "violations",
+            JsonValue::Array(r.violations.iter().map(violation_json).collect()),
+        ),
+        ("clean", JsonValue::Bool(r.is_clean())),
+    ])
+}
+
+/// Parses a [`doc_report_json`] rendering back into a [`DocReport`] (the
+/// derived `clean` member is ignored — it is recomputed from the parts).
+pub fn doc_report_from_json(json: &JsonValue) -> Result<DocReport, String> {
+    let parse_error = match json.get("parse_error") {
+        None | Some(JsonValue::Null) => None,
+        Some(JsonValue::String(s)) => Some(s.clone()),
+        Some(other) => return Err(format!("`parse_error` must be null or a string: {other:?}")),
+    };
+    let violations = json
+        .get("violations")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `violations` array")?
+        .iter()
+        .map(violation_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DocReport {
+        index: usize_field(json, "index")?,
+        label: require_str(json, "label")?.to_string(),
+        parse_error,
+        validation_errors: string_array(json, "validation_errors")?,
+        violations,
+    })
+}
+
+/// A machine-readable view of one commit delta of `xic batch --session`.
+/// Documents are identified by their handle (`doc-N`) — the stable identity
+/// a subscriber keys its replica on, since labels need not be unique.
+pub fn delta_json(delta: &BatchDelta) -> JsonValue {
+    JsonValue::object(vec![
+        ("seq", JsonValue::int(delta.seq as usize)),
+        ("rechecked", JsonValue::int(delta.rechecked_docs)),
+        ("total", JsonValue::int(delta.total)),
+        ("clean", JsonValue::int(delta.clean)),
+        (
+            "closed",
+            JsonValue::Array(
+                delta
+                    .closed
+                    .iter()
+                    .map(|c| {
+                        JsonValue::object(vec![
+                            ("doc", JsonValue::string(c.handle.to_string())),
+                            ("label", JsonValue::string(c.label.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "changes",
+            JsonValue::Array(delta.changes.iter().map(doc_change_json).collect()),
+        ),
+    ])
+}
+
+fn doc_change_json(change: &DocChange) -> JsonValue {
+    JsonValue::object(vec![
+        ("doc", JsonValue::string(change.handle.to_string())),
+        (
+            "was_clean",
+            match change.was_clean {
+                None => JsonValue::Null,
+                Some(b) => JsonValue::Bool(b),
+            },
+        ),
+        ("clean", JsonValue::Bool(change.now_clean())),
+        ("report", doc_report_json(&change.report)),
+    ])
+}
+
+fn require_str<'j>(json: &'j JsonValue, key: &str) -> Result<&'j str, String> {
+    json.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string member `{key}`"))
+}
+
+fn string_array(json: &JsonValue, key: &str) -> Result<Vec<String>, String> {
+    json.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing array member `{key}`"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{key}` holds a non-string element"))
+        })
+        .collect()
+}
+
+fn usize_field(json: &JsonValue, key: &str) -> Result<usize, String> {
+    match json.get(key) {
+        Some(JsonValue::Number(n)) if n.fract() == 0.0 && *n >= 0.0 && *n < 9e15 => Ok(*n as usize),
+        other => Err(format!("`{key}` must be a non-negative integer: {other:?}")),
+    }
+}
+
+fn node_id(json: &JsonValue) -> Result<NodeId, String> {
+    match json {
+        JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u32::MAX as f64 => {
+            Ok(NodeId(*n as u32))
+        }
+        other => Err(format!("witness must be a u32 node id: {other:?}")),
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the CLI's JSON layer: arbitrary `DocReport` /
+//! `Violation` values — hostile strings (quotes, backslashes, control
+//! characters, non-BMP scalars that serializers emit as surrogate pairs)
+//! and extreme numbers included — must survive the writer → parser →
+//! reconstructor round trip bit-for-bit.
+
+use std::fmt::Write as _;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use xic_cli::report::{doc_report_from_json, doc_report_json, violation_from_json, violation_json};
+use xic_cli::JsonValue;
+use xic_constraints::Violation;
+use xic_engine::DocReport;
+use xic_xml::NodeId;
+
+/// Characters chosen to stress every escaping path: ASCII, the JSON
+/// two-character escapes, raw control characters, BMP extremes, and
+/// supplementary-plane scalars (the ones other serializers write as
+/// `😀`-style surrogate pairs).
+fn arb_char() -> BoxedStrategy<char> {
+    prop_oneof![
+        (0x20u32..0x7F).prop_map(|c| char::from_u32(c).unwrap()),
+        Just('"'),
+        Just('\\'),
+        Just('/'),
+        Just('\n'),
+        Just('\r'),
+        Just('\t'),
+        Just('\u{0}'),
+        Just('\u{7}'),
+        Just('\u{1B}'),
+        Just('é'),
+        Just('\u{D7FF}'),
+        Just('\u{E000}'),
+        Just('\u{FFFD}'),
+        Just('\u{FFFF}'),
+        Just('\u{1F600}'),
+        Just('\u{10000}'),
+        Just('\u{10FFFF}'),
+    ]
+    .boxed()
+}
+
+fn arb_string() -> BoxedStrategy<String> {
+    vec(arb_char(), 0..12)
+        .prop_map(|chars| chars.into_iter().collect())
+        .boxed()
+}
+
+/// Numbers at the edges of what `f64` (and the writer's integer shortcut
+/// at `|n| < 9e15`) can represent.
+fn arb_number() -> BoxedStrategy<f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(1.5),
+        Just(-2.25),
+        Just(1e308),
+        Just(-1e308),
+        Just(5e-324),
+        Just(-5e-324),
+        Just(9e15),
+        Just(9007199254740991.0), // 2^53 - 1
+        Just(-9007199254740991.0),
+        Just(1e16),
+        Just(0.1),
+        (0i64..10_000).prop_map(|n| n as f64),
+        (-1_000_000i64..1_000_000).prop_map(|n| n as f64 / 1024.0),
+    ]
+    .boxed()
+}
+
+fn arb_node() -> BoxedStrategy<NodeId> {
+    prop_oneof![
+        (0u32..64).boxed(),
+        Just(u32::MAX - 1).boxed(),
+        Just(u32::MAX).boxed(),
+    ]
+    .prop_map(NodeId)
+    .boxed()
+}
+
+fn arb_violation() -> BoxedStrategy<Violation> {
+    prop_oneof![
+        (
+            arb_string(),
+            arb_node(),
+            arb_node(),
+            vec(arb_string(), 0..4)
+        )
+            .prop_map(|(constraint, a, b, values)| Violation::KeyViolation {
+                constraint,
+                witnesses: (a, b),
+                values,
+            }),
+        (arb_string(), arb_node(), vec(arb_string(), 0..4)).prop_map(
+            |(constraint, witness, values)| Violation::InclusionViolation {
+                constraint,
+                witness,
+                values,
+            }
+        ),
+        (arb_string(), arb_node()).prop_map(|(constraint, witness)| {
+            Violation::MissingAttributes {
+                constraint,
+                witness,
+            }
+        }),
+        arb_string().prop_map(|constraint| Violation::NegationUnsatisfied { constraint }),
+    ]
+    .boxed()
+}
+
+fn arb_report() -> BoxedStrategy<DocReport> {
+    (
+        (0usize..10_000).boxed(),
+        arb_string(),
+        prop_oneof![Just(None).boxed(), arb_string().prop_map(Some).boxed()],
+        vec(arb_string(), 0..3),
+        vec(arb_violation(), 0..4),
+    )
+        .prop_map(
+            |(index, label, parse_error, validation_errors, violations)| DocReport {
+                index,
+                label,
+                parse_error,
+                validation_errors,
+                violations,
+            },
+        )
+        .boxed()
+}
+
+/// Arbitrary JSON values, for the generic writer ↔ parser round trip.
+fn arb_json() -> BoxedStrategy<JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        Just(JsonValue::Bool(true)),
+        Just(JsonValue::Bool(false)),
+        arb_number().prop_map(JsonValue::Number),
+        arb_string().prop_map(JsonValue::String),
+    ]
+    .boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            vec((arb_string(), inner), 0..4)
+                .prop_map(|pairs| JsonValue::Object(pairs.into_iter().collect())),
+        ]
+    })
+}
+
+/// Escapes every character as `\uXXXX` sequences — surrogate *pairs* for
+/// supplementary-plane scalars — the way conservative serializers do, so
+/// the parser's pair decoding is exercised on arbitrary content.
+fn escape_everything(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        let mut units = [0u16; 2];
+        for unit in c.encode_utf16(&mut units) {
+            let _ = write!(out, "\\u{unit:04x}");
+        }
+    }
+    out.push('"');
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `violation_json` → render → parse → `violation_from_json` is the
+    /// identity on arbitrary violations.
+    #[test]
+    fn violations_round_trip(v in arb_violation()) {
+        let rendered = violation_json(&v).render();
+        let parsed = JsonValue::parse(&rendered).expect("writer output is valid JSON");
+        let back = violation_from_json(&parsed).expect("parsed violation reconstructs");
+        prop_assert_eq!(back, v);
+    }
+
+    /// `doc_report_json` → render → parse → `doc_report_from_json` is the
+    /// identity on arbitrary reports (the derived `clean` member included:
+    /// it must match the reconstruction's recomputation).
+    #[test]
+    fn doc_reports_round_trip(r in arb_report()) {
+        let json = doc_report_json(&r);
+        let parsed = JsonValue::parse(&json.render()).expect("writer output is valid JSON");
+        prop_assert_eq!(
+            parsed.get("clean"),
+            Some(&JsonValue::Bool(r.is_clean())),
+            "the derived member mirrors is_clean()"
+        );
+        let back = doc_report_from_json(&parsed).expect("parsed report reconstructs");
+        prop_assert_eq!(back, r);
+    }
+
+    /// The generic writer ↔ parser pair is the identity on arbitrary JSON
+    /// values (numbers included: Rust's shortest-repr float formatting is
+    /// read back to the same bits, and the integer shortcut below 9e15 is
+    /// value-preserving).
+    #[test]
+    fn arbitrary_json_round_trips(value in arb_json()) {
+        let rendered = value.render();
+        let parsed = JsonValue::parse(&rendered).expect("writer output is valid JSON");
+        prop_assert_eq!(&parsed, &value);
+        // Idempotence: a second trip changes nothing.
+        prop_assert_eq!(JsonValue::parse(&parsed.render()).unwrap(), parsed);
+    }
+
+    /// Fully `\uXXXX`-escaped input — surrogate pairs and all — decodes to
+    /// the original string, so reports from escape-happy producers parse
+    /// identically to our own compact output.
+    #[test]
+    fn surrogate_pair_escapes_decode(s in arb_string()) {
+        let parsed = JsonValue::parse(&escape_everything(&s)).expect("escaped string parses");
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+}

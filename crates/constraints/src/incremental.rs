@@ -5,35 +5,44 @@
 //! A long-lived session needs the same answers while the document *changes*.
 //! Rebuilding after every edit costs O(document); this module maintains the
 //! answers under [`xic_xml::EditEffect`] deltas at a cost proportional to
-//! the edit instead:
+//! the edit instead.
 //!
-//! * one **slot** per distinct `(τ, X̄)` a constraint mentions, holding the
+//! The machinery splits along a `(D, Σ)` / `T` boundary:
+//!
+//! * [`IncrementalLayout`] is the **document-independent** half: one **slot**
+//!   per distinct `(τ, X̄)` a constraint mentions, the source descriptors and
+//!   watcher lists of every inclusion constraint, and the `(type, attribute)`
+//!   touch maps that drive dirty tracking.  It depends only on the
+//!   specification, so corpus-scale consumers (`xic-engine`'s
+//!   `CompiledSpec`) derive it **once** and share it — behind an `Arc` —
+//!   across every open document;
+//! * [`IncrementalIndex`] is the **per-document** half: for each slot, the
 //!   refcounted tuple → carrier map `{x[X̄] ↦ {elements carrying it}}` as
 //!   ordered carrier sets — presence of a tuple is "carrier set non-empty",
-//!   which doubles as the inclusion target multiset;
-//! * per key slot, a **clash-witness order**: every tuple with ≥ 2 carriers
-//!   is indexed by its second-smallest carrier, so "the first key clash" in
+//!   which doubles as the inclusion target multiset; per key slot, a
+//!   **clash-witness order** (every tuple with ≥ 2 carriers indexed by its
+//!   second-smallest carrier, so "the first key clash" in
 //!   [`xic_xml::XmlTree::elements`] order — the exact witness a fresh
 //!   [`crate::DocIndex`] build reports — is a single `first_key_value`
-//!   lookup;
-//! * per inclusion constraint, the **source states**: sources bucketed by
-//!   tuple, plus ordered sets of sources with missing attributes and of
-//!   *dangling* sources (tuple absent from the target slot).  Target slots
-//!   notify their watching inclusions on present ↔ absent transitions, so
-//!   dangling sets stay exact without rescanning;
-//! * a **dirty set** over the constraints of Σ, driven by the touch maps of
-//!   the [`crate::IndexPlan`] slot structure: an edit marks only the
-//!   constraints whose slots mention the touched `(type, attribute)`;
-//!   verdict extraction re-renders violations for those and reuses the
+//!   lookup); per inclusion constraint, the **source states** (sources
+//!   bucketed by tuple, plus ordered sets of sources with missing attributes
+//!   and of *dangling* sources whose tuple is absent from the target slot —
+//!   target slots notify their watching inclusions on present ↔ absent
+//!   transitions, so dangling sets stay exact without rescanning); and a
+//!   **dirty set** over the constraints of Σ: an edit marks only the
+//!   constraints whose slots mention the touched `(type, attribute)`, and
+//!   verdict extraction re-renders violations for those while reusing the
 //!   cached answer for everything else.
 //!
-//! The invariant, enforced by `tests/session_agreement.rs`, is *witness
-//! identity*: after any edit sequence, [`IncrementalIndex::check_all`]
-//! equals `DocIndex::build(..).check_all(..)` on the edited tree — same
-//! violations, same witnesses, same order.
+//! The invariant, enforced by `tests/session_agreement.rs` and
+//! `tests/corpus_agreement.rs`, is *witness identity*: after any edit
+//! sequence, [`IncrementalIndex::check_all`] equals
+//! `DocIndex::build(..).check_all(..)` on the edited tree — same violations,
+//! same witnesses, same order.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::BuildHasherDefault;
+use std::sync::Arc;
 
 use xic_dtd::{AttrId, Dtd, ElemId};
 use xic_xml::{EditEffect, NodeId, ValueId, XmlTree};
@@ -45,41 +54,27 @@ use crate::satisfy::Violation;
 
 type TupleMap<V> = HashMap<Box<[ValueId]>, V, BuildHasherDefault<TupleHasher>>;
 
-/// One `(τ, X̄)` slot: the refcounted tuple → carrier map shared by every
-/// key / foreign-key / inclusion-target that names it.
+/// The document-independent descriptor of one `(τ, X̄)` slot.
 #[derive(Debug)]
-struct SlotState {
+struct SlotSpec {
     ty: ElemId,
     attrs: Vec<AttrId>,
-    /// Every tuple present in the document, with the ordered set of
-    /// elements carrying it (the "multiset" view: multiplicity = set size).
-    carriers: TupleMap<BTreeSet<NodeId>>,
-    /// Second-smallest carrier → tuple, for every tuple with ≥ 2 carriers.
-    /// Each element carries exactly one tuple per slot, so the keys are
-    /// unique; the first entry is the traversal-order first clash (the
-    /// ascending-id order of [`xic_xml::XmlTree::elements`], which every
-    /// checker in the workspace scans in).
-    clashes: BTreeMap<NodeId, Box<[ValueId]>>,
-    /// Whether any key constraint reads `clashes` (pure inclusion targets
-    /// skip clash bookkeeping).
+    /// Whether any key constraint reads this slot's clashes (pure inclusion
+    /// targets skip clash bookkeeping).
     track_clash: bool,
-    /// Indices into `sources` to notify on tuple present ↔ absent flips.
+    /// Indices into the source table to notify on tuple present ↔ absent
+    /// flips.
     watchers: Vec<usize>,
 }
 
-/// Source-side state of one inclusion constraint `τ1[X̄] ⊆ τ2[Ȳ]`.
+/// The document-independent descriptor of one inclusion constraint's source
+/// side `τ1[X̄] ⊆ τ2[Ȳ]`.
 #[derive(Debug)]
-struct SourceState {
+struct SourceSpec {
     from_ty: ElemId,
     from_attrs: Vec<AttrId>,
     /// The slot holding the target tuple multiset.
     target: usize,
-    /// Live sources bucketed by their tuple.
-    by_tuple: TupleMap<BTreeSet<NodeId>>,
-    /// Sources missing one of `from_attrs` (a violation of its own kind).
-    missing: BTreeSet<NodeId>,
-    /// Sources whose tuple is absent from the target slot.
-    dangling: BTreeSet<NodeId>,
 }
 
 /// How one constraint of Σ reads the maintained state.
@@ -92,19 +87,20 @@ enum Check {
     ForeignKey { slot: usize, source: usize },
 }
 
-/// Incrementally maintained satisfaction indexes for one `(Σ, T)` pair.
+/// The `(D, Σ)`-only layout of an [`IncrementalIndex`]: slot and source
+/// descriptors, watcher lists, and the `(type, attribute)` touch maps that
+/// drive constraint dirty tracking.
 ///
-/// Built once with [`IncrementalIndex::build`]; kept exact by feeding every
-/// [`EditEffect`] the tree produces to [`IncrementalIndex::apply`] —
-/// *immediately* after the edit, against the already-mutated tree (removed
-/// subtrees stay readable as tombstones, which retraction relies on).
-/// [`IncrementalIndex::check_all`] then reproduces the full-rebuild verdict
-/// from cached per-constraint answers, recomputing only the dirty ones.
+/// Deriving the layout walks Σ once and the document never; it is therefore
+/// computed **per specification**, not per document.  `xic-engine` stores
+/// one on every `CompiledSpec` (next to the [`crate::IndexPlan`] it
+/// mirrors), and every document opened against that spec shares it through
+/// [`IncrementalIndex::with_layout`].
 #[derive(Debug)]
-pub struct IncrementalIndex {
+pub struct IncrementalLayout {
     checks: Vec<(Check, String)>,
-    slots: Vec<SlotState>,
-    sources: Vec<SourceState>,
+    slots: Vec<SlotSpec>,
+    sources: Vec<SourceSpec>,
     /// Slot indices to update when an element of the type appears/vanishes.
     slots_of_ty: HashMap<ElemId, Vec<usize>>,
     /// Source indices to update, keyed the same way.
@@ -113,31 +109,14 @@ pub struct IncrementalIndex {
     checks_of_ty: HashMap<ElemId, Vec<usize>>,
     /// Constraints whose verdict can change when `(τ, l)` values do.
     checks_of_attr: HashMap<(ElemId, AttrId), Vec<usize>>,
-    dirty_flags: Vec<bool>,
-    dirty: Vec<usize>,
-    cache: Vec<Option<Violation>>,
-    /// How many constraints the last [`IncrementalIndex::check_all`] had to
-    /// recompute (the rest came from cache) — the observable O(edit) claim.
-    rechecked: usize,
 }
 
-impl IncrementalIndex {
-    /// Lays out slots, source states and touch maps for Σ, then populates
-    /// them from `tree` in one traversal-order pass (every constraint starts
-    /// dirty, so the first verdict is computed, not assumed).
-    pub fn build(dtd: &Dtd, sigma: &ConstraintSet, tree: &XmlTree) -> IncrementalIndex {
-        let mut index = IncrementalIndex::layout(dtd, sigma);
-        for node in tree.elements() {
-            if let Some(ty) = tree.element_type(node) {
-                index.insert_element(tree, node, ty);
-            }
-        }
-        index
-    }
-
-    fn layout(dtd: &Dtd, sigma: &ConstraintSet) -> IncrementalIndex {
-        let mut slots: Vec<SlotState> = Vec::new();
-        let mut sources: Vec<SourceState> = Vec::new();
+impl IncrementalLayout {
+    /// Lays out slots, source descriptors, watcher lists and touch maps for
+    /// Σ.  Pure in `(D, Σ)`: no document is consulted.
+    pub fn new(dtd: &Dtd, sigma: &ConstraintSet) -> IncrementalLayout {
+        let mut slots: Vec<SlotSpec> = Vec::new();
+        let mut sources: Vec<SourceSpec> = Vec::new();
         let mut checks: Vec<(Check, String)> = Vec::new();
 
         for c in sigma.iter() {
@@ -227,8 +206,7 @@ impl IncrementalIndex {
             }
         }
 
-        let n = checks.len();
-        IncrementalIndex {
+        IncrementalLayout {
             checks,
             slots,
             sources,
@@ -236,11 +214,113 @@ impl IncrementalIndex {
             sources_of_ty,
             checks_of_ty,
             checks_of_attr,
+        }
+    }
+
+    /// Number of constraints in Σ (one cached verdict each).
+    pub fn num_checks(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Number of distinct `(τ, X̄)` slots the layout maintains.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of inclusion source states.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// Per-document mutable state of one slot (the spec half lives in
+/// [`IncrementalLayout`]).
+#[derive(Debug, Default)]
+struct SlotData {
+    /// Every tuple present in the document, with the ordered set of
+    /// elements carrying it (the "multiset" view: multiplicity = set size).
+    carriers: TupleMap<BTreeSet<NodeId>>,
+    /// Second-smallest carrier → tuple, for every tuple with ≥ 2 carriers.
+    /// Each element carries exactly one tuple per slot, so the keys are
+    /// unique; the first entry is the traversal-order first clash (the
+    /// ascending-id order of [`xic_xml::XmlTree::elements`], which every
+    /// checker in the workspace scans in).
+    clashes: BTreeMap<NodeId, Box<[ValueId]>>,
+}
+
+/// Per-document mutable state of one inclusion source.
+#[derive(Debug, Default)]
+struct SourceData {
+    /// Live sources bucketed by their tuple.
+    by_tuple: TupleMap<BTreeSet<NodeId>>,
+    /// Sources missing one of `from_attrs` (a violation of its own kind).
+    missing: BTreeSet<NodeId>,
+    /// Sources whose tuple is absent from the target slot.
+    dangling: BTreeSet<NodeId>,
+}
+
+/// Incrementally maintained satisfaction indexes for one `(Σ, T)` pair.
+///
+/// Built once with [`IncrementalIndex::build`] (standalone) or
+/// [`IncrementalIndex::with_layout`] (sharing a precomputed spec-level
+/// [`IncrementalLayout`]); kept exact by feeding every [`EditEffect`] the
+/// tree produces to [`IncrementalIndex::apply`] — *immediately* after the
+/// edit, against the already-mutated tree (removed subtrees stay readable as
+/// tombstones, which retraction relies on).
+/// [`IncrementalIndex::check_all`] then reproduces the full-rebuild verdict
+/// from cached per-constraint answers, recomputing only the dirty ones.
+#[derive(Debug)]
+pub struct IncrementalIndex {
+    layout: Arc<IncrementalLayout>,
+    slots: Vec<SlotData>,
+    sources: Vec<SourceData>,
+    dirty_flags: Vec<bool>,
+    dirty: Vec<usize>,
+    cache: Vec<Option<Violation>>,
+    /// How many constraints the last [`IncrementalIndex::check_all`] had to
+    /// recompute (the rest came from cache) — the observable O(edit) claim.
+    rechecked: usize,
+}
+
+impl IncrementalIndex {
+    /// Standalone build: derives a fresh layout for `(D, Σ)`, then populates
+    /// it from `tree`.  Single-document callers use this; corpus-scale
+    /// callers derive the layout once and use
+    /// [`IncrementalIndex::with_layout`].
+    pub fn build(dtd: &Dtd, sigma: &ConstraintSet, tree: &XmlTree) -> IncrementalIndex {
+        IncrementalIndex::with_layout(Arc::new(IncrementalLayout::new(dtd, sigma)), tree)
+    }
+
+    /// Populates per-document state over a shared, precomputed layout in one
+    /// traversal-order pass (every constraint starts dirty, so the first
+    /// verdict is computed, not assumed).  No layout derivation happens
+    /// here: the `Arc` is the only thing cloned.
+    pub fn with_layout(layout: Arc<IncrementalLayout>, tree: &XmlTree) -> IncrementalIndex {
+        let n = layout.checks.len();
+        let mut index = IncrementalIndex {
+            slots: layout.slots.iter().map(|_| SlotData::default()).collect(),
+            sources: layout
+                .sources
+                .iter()
+                .map(|_| SourceData::default())
+                .collect(),
+            layout,
             dirty_flags: vec![true; n],
             dirty: (0..n).collect(),
             cache: vec![None; n],
             rechecked: 0,
+        };
+        for node in tree.elements() {
+            if let Some(ty) = tree.element_type(node) {
+                index.insert_element(tree, node, ty);
+            }
         }
+        index
+    }
+
+    /// The shared spec-level layout this index populates.
+    pub fn layout(&self) -> &Arc<IncrementalLayout> {
+        &self.layout
     }
 
     /// How many constraints the last verdict extraction recomputed.
@@ -260,6 +340,10 @@ impl IncrementalIndex {
     /// Folds one applied edit into the maintained state.  Must be called
     /// with the tree the effect was produced on, *after* the edit.
     pub fn apply(&mut self, tree: &XmlTree, effect: &EditEffect) {
+        // The immutable layout is read alongside the mutable per-document
+        // state throughout; an Arc clone (one refcount bump) decouples the
+        // two borrows without moving anything.
+        let layout = Arc::clone(&self.layout);
         match effect {
             EditEffect::AttrSet {
                 element,
@@ -271,52 +355,41 @@ impl IncrementalIndex {
                 if *old == Some(*new) {
                     return;
                 }
-                self.mark_dirty_attr(*ty, *attr);
-                // The per-type routing lists are moved out of their maps for
-                // the duration of the loop (nothing below touches the maps),
-                // so the hot path allocates nothing.
-                let slot_ids = self.slots_of_ty.remove(ty).unwrap_or_default();
-                for &si in &slot_ids {
-                    if !self.slots[si].attrs.contains(attr) {
+                self.mark_dirty_attr(&layout, *ty, *attr);
+                for si in layout.slots_of_ty.get(ty).into_iter().flatten() {
+                    let spec = &layout.slots[*si];
+                    if !spec.attrs.contains(attr) {
                         continue;
                     }
-                    let old_tuple =
-                        tuple_with_displaced(tree, *element, &self.slots[si].attrs, *attr, *old);
-                    let new_tuple = tuple_of(tree, *element, &self.slots[si].attrs);
+                    let old_tuple = tuple_with_displaced(tree, *element, &spec.attrs, *attr, *old);
+                    let new_tuple = tuple_of(tree, *element, &spec.attrs);
                     if old_tuple == new_tuple {
                         continue;
                     }
                     if let Some(t) = old_tuple {
-                        self.remove_carrier(si, &t, *element);
+                        self.remove_carrier(&layout, *si, &t, *element);
                     }
                     if let Some(t) = new_tuple {
-                        self.add_carrier(si, &t, *element);
+                        self.add_carrier(&layout, *si, &t, *element);
                     }
                 }
-                self.slots_of_ty.insert(*ty, slot_ids);
-                let source_ids = self.sources_of_ty.remove(ty).unwrap_or_default();
-                for &qi in &source_ids {
-                    if !self.sources[qi].from_attrs.contains(attr) {
+                for qi in layout.sources_of_ty.get(ty).into_iter().flatten() {
+                    let spec = &layout.sources[*qi];
+                    if !spec.from_attrs.contains(attr) {
                         continue;
                     }
-                    let old_tuple = tuple_with_displaced(
-                        tree,
-                        *element,
-                        &self.sources[qi].from_attrs,
-                        *attr,
-                        *old,
-                    );
-                    let new_tuple = tuple_of(tree, *element, &self.sources[qi].from_attrs);
+                    let old_tuple =
+                        tuple_with_displaced(tree, *element, &spec.from_attrs, *attr, *old);
+                    let new_tuple = tuple_of(tree, *element, &spec.from_attrs);
                     if old_tuple == new_tuple {
                         continue;
                     }
-                    self.remove_source(qi, old_tuple.as_deref(), *element);
-                    self.add_source(qi, new_tuple.as_deref(), *element);
+                    self.remove_source(&layout, *qi, old_tuple.as_deref(), *element);
+                    self.add_source(&layout, *qi, new_tuple.as_deref(), *element);
                 }
-                self.sources_of_ty.insert(*ty, source_ids);
             }
             EditEffect::ElementAdded { element, ty, .. } => {
-                self.mark_dirty_ty(*ty);
+                self.mark_dirty_ty(&layout, *ty);
                 self.insert_element(tree, *element, *ty);
             }
             EditEffect::TextAdded { .. } => {
@@ -324,7 +397,7 @@ impl IncrementalIndex {
             }
             EditEffect::SubtreeRemoved { elements, .. } => {
                 for &(node, ty) in elements {
-                    self.mark_dirty_ty(ty);
+                    self.mark_dirty_ty(&layout, ty);
                     self.retract_element(tree, node, ty);
                 }
             }
@@ -332,40 +405,40 @@ impl IncrementalIndex {
     }
 
     fn insert_element(&mut self, tree: &XmlTree, node: NodeId, ty: ElemId) {
-        let slot_ids = self.slots_of_ty.remove(&ty).unwrap_or_default();
-        for &si in &slot_ids {
-            if let Some(t) = tuple_of(tree, node, &self.slots[si].attrs) {
-                self.add_carrier(si, &t, node);
+        let layout = Arc::clone(&self.layout);
+        for si in layout.slots_of_ty.get(&ty).into_iter().flatten() {
+            if let Some(t) = tuple_of(tree, node, &layout.slots[*si].attrs) {
+                self.add_carrier(&layout, *si, &t, node);
             }
         }
-        self.slots_of_ty.insert(ty, slot_ids);
-        let source_ids = self.sources_of_ty.remove(&ty).unwrap_or_default();
-        for &qi in &source_ids {
-            let t = tuple_of(tree, node, &self.sources[qi].from_attrs);
-            self.add_source(qi, t.as_deref(), node);
+        for qi in layout.sources_of_ty.get(&ty).into_iter().flatten() {
+            let t = tuple_of(tree, node, &layout.sources[*qi].from_attrs);
+            self.add_source(&layout, *qi, t.as_deref(), node);
         }
-        self.sources_of_ty.insert(ty, source_ids);
     }
 
     /// Retracts a removed element; its attribute values are read from the
     /// tombstoned arena slot, which [`XmlTree::remove_subtree`] preserves.
     fn retract_element(&mut self, tree: &XmlTree, node: NodeId, ty: ElemId) {
-        let slot_ids = self.slots_of_ty.remove(&ty).unwrap_or_default();
-        for &si in &slot_ids {
-            if let Some(t) = tuple_of(tree, node, &self.slots[si].attrs) {
-                self.remove_carrier(si, &t, node);
+        let layout = Arc::clone(&self.layout);
+        for si in layout.slots_of_ty.get(&ty).into_iter().flatten() {
+            if let Some(t) = tuple_of(tree, node, &layout.slots[*si].attrs) {
+                self.remove_carrier(&layout, *si, &t, node);
             }
         }
-        self.slots_of_ty.insert(ty, slot_ids);
-        let source_ids = self.sources_of_ty.remove(&ty).unwrap_or_default();
-        for &qi in &source_ids {
-            let t = tuple_of(tree, node, &self.sources[qi].from_attrs);
-            self.remove_source(qi, t.as_deref(), node);
+        for qi in layout.sources_of_ty.get(&ty).into_iter().flatten() {
+            let t = tuple_of(tree, node, &layout.sources[*qi].from_attrs);
+            self.remove_source(&layout, *qi, t.as_deref(), node);
         }
-        self.sources_of_ty.insert(ty, source_ids);
     }
 
-    fn add_carrier(&mut self, si: usize, tuple: &[ValueId], node: NodeId) {
+    fn add_carrier(
+        &mut self,
+        layout: &IncrementalLayout,
+        si: usize,
+        tuple: &[ValueId],
+        node: NodeId,
+    ) {
         let became_present;
         {
             let slot = &mut self.slots[si];
@@ -377,7 +450,7 @@ impl IncrementalIndex {
             let old_second = set.iter().nth(1).copied();
             set.insert(node);
             let new_second = set.iter().nth(1).copied();
-            if slot.track_clash && old_second != new_second {
+            if layout.slots[si].track_clash && old_second != new_second {
                 if let Some(s) = old_second {
                     slot.clashes.remove(&s);
                 }
@@ -387,11 +460,17 @@ impl IncrementalIndex {
             }
         }
         if became_present {
-            self.notify_presence(si, tuple, true);
+            self.notify_presence(layout, si, tuple, true);
         }
     }
 
-    fn remove_carrier(&mut self, si: usize, tuple: &[ValueId], node: NodeId) {
+    fn remove_carrier(
+        &mut self,
+        layout: &IncrementalLayout,
+        si: usize,
+        tuple: &[ValueId],
+        node: NodeId,
+    ) {
         let became_absent;
         {
             let slot = &mut self.slots[si];
@@ -402,7 +481,7 @@ impl IncrementalIndex {
             let old_second = set.iter().nth(1).copied();
             set.remove(&node);
             let new_second = set.iter().nth(1).copied();
-            if slot.track_clash && old_second != new_second {
+            if layout.slots[si].track_clash && old_second != new_second {
                 if let Some(s) = old_second {
                     slot.clashes.remove(&s);
                 }
@@ -416,18 +495,21 @@ impl IncrementalIndex {
             }
         }
         if became_absent {
-            self.notify_presence(si, tuple, false);
+            self.notify_presence(layout, si, tuple, false);
         }
     }
 
     /// Re-files the sources carrying `tuple` when its target-slot presence
-    /// flips (the 0 ↔ 1 multiset transitions the issue calls out).
-    fn notify_presence(&mut self, si: usize, tuple: &[ValueId], present: bool) {
-        // The watcher list is moved out for the loop (sources never touch
-        // slot watchers), so presence flips allocate nothing.
-        let watchers = std::mem::take(&mut self.slots[si].watchers);
-        for &qi in &watchers {
-            let SourceState {
+    /// flips (the 0 ↔ 1 multiset transitions the dangling sets hinge on).
+    fn notify_presence(
+        &mut self,
+        layout: &IncrementalLayout,
+        si: usize,
+        tuple: &[ValueId],
+        present: bool,
+    ) {
+        for &qi in &layout.slots[si].watchers {
+            let SourceData {
                 by_tuple, dangling, ..
             } = &mut self.sources[qi];
             if let Some(nodes) = by_tuple.get(tuple) {
@@ -440,16 +522,21 @@ impl IncrementalIndex {
                 }
             }
         }
-        self.slots[si].watchers = watchers;
     }
 
-    fn add_source(&mut self, qi: usize, tuple: Option<&[ValueId]>, node: NodeId) {
+    fn add_source(
+        &mut self,
+        layout: &IncrementalLayout,
+        qi: usize,
+        tuple: Option<&[ValueId]>,
+        node: NodeId,
+    ) {
         match tuple {
             None => {
                 self.sources[qi].missing.insert(node);
             }
             Some(t) => {
-                let target = self.sources[qi].target;
+                let target = layout.sources[qi].target;
                 let present = self.slots[target].carriers.contains_key(t);
                 let src = &mut self.sources[qi];
                 match src.by_tuple.get_mut(t) {
@@ -467,7 +554,13 @@ impl IncrementalIndex {
         }
     }
 
-    fn remove_source(&mut self, qi: usize, tuple: Option<&[ValueId]>, node: NodeId) {
+    fn remove_source(
+        &mut self,
+        _layout: &IncrementalLayout,
+        qi: usize,
+        tuple: Option<&[ValueId]>,
+        node: NodeId,
+    ) {
         let src = &mut self.sources[qi];
         match tuple {
             None => {
@@ -485,8 +578,8 @@ impl IncrementalIndex {
         }
     }
 
-    fn mark_dirty_ty(&mut self, ty: ElemId) {
-        if let Some(list) = self.checks_of_ty.get(&ty) {
+    fn mark_dirty_ty(&mut self, layout: &IncrementalLayout, ty: ElemId) {
+        if let Some(list) = layout.checks_of_ty.get(&ty) {
             for &i in list {
                 if !self.dirty_flags[i] {
                     self.dirty_flags[i] = true;
@@ -496,8 +589,8 @@ impl IncrementalIndex {
         }
     }
 
-    fn mark_dirty_attr(&mut self, ty: ElemId, attr: AttrId) {
-        if let Some(list) = self.checks_of_attr.get(&(ty, attr)) {
+    fn mark_dirty_attr(&mut self, layout: &IncrementalLayout, ty: ElemId, attr: AttrId) {
+        if let Some(list) = layout.checks_of_attr.get(&(ty, attr)) {
             for &i in list {
                 if !self.dirty_flags[i] {
                     self.dirty_flags[i] = true;
@@ -530,7 +623,7 @@ impl IncrementalIndex {
     }
 
     fn violation_of(&self, idx: usize, tree: &XmlTree) -> Option<Violation> {
-        let (check, rendered) = &self.checks[idx];
+        let (check, rendered) = &self.layout.checks[idx];
         match *check {
             Check::Key { slot } => self.key_violation(slot, rendered, tree),
             Check::NotKey { slot } => match self.key_clash(slot) {
@@ -559,7 +652,10 @@ impl IncrementalIndex {
     /// shared tuple)`, exactly as a full [`crate::DocIndex`] scan reports it.
     fn key_clash(&self, si: usize) -> Option<(NodeId, NodeId, &[ValueId])> {
         let slot = &self.slots[si];
-        debug_assert!(slot.track_clash, "clash read on a non-key slot");
+        debug_assert!(
+            self.layout.slots[si].track_clash,
+            "clash read on a non-key slot"
+        );
         let (&second, tuple) = slot.clashes.first_key_value()?;
         let first = *slot
             .carriers
@@ -606,7 +702,7 @@ impl IncrementalIndex {
                 witness,
             });
         }
-        let tuple = tuple_of(tree, witness, &self.sources[qi].from_attrs)
+        let tuple = tuple_of(tree, witness, &self.layout.sources[qi].from_attrs)
             .expect("dangling sources carry a full tuple");
         Some(Violation::InclusionViolation {
             constraint: rendered.to_string(),
@@ -618,28 +714,26 @@ impl IncrementalIndex {
 
 /// Registers (or reuses) the slot for `(τ, X̄)`; `clash` upgrades it to a
 /// key slot (clash bookkeeping on top of the carrier map).
-fn slot_index(slots: &mut Vec<SlotState>, ty: ElemId, attrs: &[AttrId], clash: bool) -> usize {
+fn slot_index(slots: &mut Vec<SlotSpec>, ty: ElemId, attrs: &[AttrId], clash: bool) -> usize {
     if let Some(i) = slots.iter().position(|s| s.ty == ty && s.attrs == attrs) {
         slots[i].track_clash |= clash;
         return i;
     }
-    slots.push(SlotState {
+    slots.push(SlotSpec {
         ty,
         attrs: attrs.to_vec(),
-        carriers: TupleMap::default(),
-        clashes: BTreeMap::new(),
         track_clash: clash,
         watchers: Vec::new(),
     });
     slots.len() - 1
 }
 
-/// Registers (or reuses) the source state of an inclusion constraint; the
-/// target slot is a key slot for foreign keys (its carrier map doubles as
-/// the target multiset) and a plain slot otherwise.
+/// Registers (or reuses) the source descriptor of an inclusion constraint;
+/// the target slot is a key slot for foreign keys (its carrier map doubles
+/// as the target multiset) and a plain slot otherwise.
 fn source_index(
-    sources: &mut Vec<SourceState>,
-    slots: &mut Vec<SlotState>,
+    sources: &mut Vec<SourceSpec>,
+    slots: &mut Vec<SlotSpec>,
     i: &InclusionSpec,
 ) -> usize {
     let target = slot_index(slots, i.to_ty, &i.to_attrs, false);
@@ -649,13 +743,10 @@ fn source_index(
     {
         return q;
     }
-    sources.push(SourceState {
+    sources.push(SourceSpec {
         from_ty: i.from_ty,
         from_attrs: i.from_attrs.clone(),
         target,
-        by_tuple: TupleMap::default(),
-        missing: BTreeSet::new(),
-        dangling: BTreeSet::new(),
     });
     sources.len() - 1
 }
@@ -975,5 +1066,36 @@ mod tests {
         // A clean verdict re-read recomputes nothing.
         index.check_all(&tree);
         assert_eq!(index.rechecked(), 0);
+    }
+
+    /// One layout, many documents: indexes populated through a shared
+    /// [`IncrementalLayout`] are verdict-identical to standalone builds, and
+    /// the layout is derived exactly once (same `Arc` across documents).
+    #[test]
+    fn one_layout_serves_many_documents() {
+        let d1 = example_d1();
+        let sigma1 = example_sigma1(&d1);
+        let teachers = d1.type_by_name("teachers").unwrap();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+
+        let layout = Arc::new(IncrementalLayout::new(&d1, &sigma1));
+        assert_eq!(layout.num_checks(), sigma1.len());
+        assert!(layout.num_slots() > 0);
+
+        for names in [&["Joe", "Ann"][..], &["Joe", "Joe"][..], &[][..]] {
+            let mut tree = XmlTree::new(teachers);
+            for n in names {
+                let te = tree.add_element(tree.root(), teacher);
+                tree.set_attr(te, name, n);
+            }
+            let mut shared = IncrementalIndex::with_layout(Arc::clone(&layout), &tree);
+            let mut standalone = IncrementalIndex::build(&d1, &sigma1, &tree);
+            assert_eq!(shared.check_all(&tree), standalone.check_all(&tree));
+            assert_eq!(shared.check_all(&tree), rebuild(&d1, &sigma1, &tree));
+            assert!(Arc::ptr_eq(shared.layout(), &layout));
+        }
+        // Two docs open at once still share the one layout allocation.
+        assert_eq!(Arc::strong_count(&layout), 1);
     }
 }

@@ -17,7 +17,9 @@
 //! * [`incremental`] — [`incremental::IncrementalIndex`], the session path:
 //!   the same answers maintained in O(edit) under typed tree edits
 //!   (refcounted slot carrier maps, clash-witness ordering, inclusion
-//!   target multisets, constraint dirty-sets);
+//!   target multisets, constraint dirty-sets), over a spec-level
+//!   [`incremental::IncrementalLayout`] shared across every document opened
+//!   against one `(D, Σ)`;
 //! * [`parser`] — a plain-text surface syntax (`teacher.name -> teacher`,
 //!   `subject.taught_by ⊆ teacher.name`, …) so constraint sets can live in
 //!   files next to their DTDs.
@@ -34,7 +36,7 @@ pub mod satisfy;
 
 pub use classes::{example_sigma1, example_sigma3, ConstraintClass, ConstraintSet};
 pub use constraint::{Constraint, ConstraintError, InclusionSpec, KeySpec};
-pub use incremental::IncrementalIndex;
+pub use incremental::{IncrementalIndex, IncrementalLayout};
 pub use index::DocIndex;
 pub use parser::{parse_constraint, parse_constraint_set, ParseError};
 pub use satisfy::{check_document, document_satisfies, IndexPlan, SatisfactionChecker, Violation};

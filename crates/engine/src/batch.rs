@@ -12,7 +12,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use xic_constraints::Violation;
-use xic_xml::ValuePool;
+use xic_xml::{ValuePool, XmlTree};
 
 use crate::spec::CompiledSpec;
 
@@ -70,6 +70,12 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
+    /// Assembles a report from already-ordered per-document reports (used
+    /// by [`crate::CorpusSession::report`] to materialize snapshots).
+    pub(crate) fn from_reports(reports: Vec<DocReport>) -> BatchReport {
+        BatchReport { reports }
+    }
+
     /// Per-document reports, ordered by input index.
     pub fn reports(&self) -> &[DocReport] {
         &self.reports
@@ -153,6 +159,35 @@ impl BatchEngine {
             Ok(n) if n.get() == 1 => 1,
             _ => self.threads,
         }
+    }
+
+    /// Validates already-parsed trees against the spec: `T ⊨ D` with the
+    /// precompiled automata, `T ⊨ Σ` through a single-pass
+    /// [`xic_constraints::DocIndex`] — the cold half of
+    /// [`BatchEngine::validate_batch`] without the parse.  Runs
+    /// sequentially (resident trees have no parse cost to amortize over
+    /// workers) and reports in input order, so it doubles as the
+    /// witness-exact rebuild oracle the corpus-session differential tests
+    /// compare against: node ids come from the trees themselves, not from a
+    /// reparse that would renumber them.
+    pub fn validate_trees(&self, spec: &CompiledSpec, docs: &[(&str, &XmlTree)]) -> BatchReport {
+        let validator = spec.validator();
+        let reports = docs
+            .iter()
+            .enumerate()
+            .map(|(index, (label, tree))| DocReport {
+                index,
+                label: (*label).to_string(),
+                parse_error: None,
+                validation_errors: validator
+                    .validate(tree)
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect(),
+                violations: spec.check_document(tree),
+            })
+            .collect();
+        BatchReport { reports }
     }
 
     /// Validates every document against the spec: parse (interning values),
@@ -340,6 +375,31 @@ mod tests {
         let scheduled = engine.validate_batch(&spec, &docs);
         assert_eq!(scheduled, sequential);
         assert_eq!(scheduled.render(), sequential.render());
+    }
+
+    #[test]
+    fn validate_trees_is_the_parse_free_half_of_validate_batch() {
+        let spec = school_spec();
+        // The parseable documents of the standard batch, pre-parsed.
+        let sources = [
+            ("ok", "<school><teacher name=\"Joe\"/></school>"),
+            (
+                "dup-key",
+                "<school><teacher name=\"Joe\"/><teacher name=\"Joe\"/></school>",
+            ),
+        ];
+        let trees: Vec<(&str, xic_xml::XmlTree)> = sources
+            .iter()
+            .map(|(label, src)| (*label, spec.parse_document(src).unwrap()))
+            .collect();
+        let borrowed: Vec<(&str, &XmlTree)> =
+            trees.iter().map(|(label, tree)| (*label, tree)).collect();
+        let from_trees = BatchEngine::new(1).validate_trees(&spec, &borrowed);
+        let from_sources = BatchEngine::new(1).validate_batch(
+            &spec,
+            &sources.map(|(label, src)| BatchDoc::new(label, src)),
+        );
+        assert_eq!(from_trees, from_sources);
     }
 
     #[test]

@@ -1,0 +1,718 @@
+//! Corpus-scale sessions: many open documents, one spec, one value pool,
+//! O(edited documents) re-verdicts.
+//!
+//! [`crate::Session`] made re-validating one *document* O(edit); a corpus
+//! still paid O(corpus) per change, because the only batch surface was
+//! [`crate::BatchEngine::validate_batch`] — a cold parse + validate + index
+//! of every document, every time.  A [`CorpusSession`] closes that gap:
+//!
+//! * **one spec, many documents** — every open document shares the
+//!   [`CompiledSpec`]'s precompiled automata and its spec-level
+//!   [`xic_constraints::IncrementalLayout`] (opening a document derives no
+//!   layout, it clones an `Arc`);
+//! * **one value pool** — the corpus keeps a master
+//!   [`xic_xml::ValuePool`]; documents parsed through the session inherit
+//!   it by [`xic_xml::ValuePool::fork`] (shared allocations, shared prefix
+//!   ids) and documents opened from pre-built trees are
+//!   [`xic_xml::ValuePool::absorb`]ed, so a value repeated across the
+//!   corpus is allocated once;
+//! * **per-document dirty tracking** — edits route through
+//!   [`CorpusSession::apply`] per [`DocHandle`] and mark only that document
+//!   dirty; [`CorpusSession::commit`] re-checks *exactly the dirty
+//!   documents* (structural `T ⊨ D` re-validation plus the incremental
+//!   `T ⊨ Σ` verdict) and serves every clean document's report from cache.
+//!   The commit itself is O(dirty documents) too: corpus-wide counters are
+//!   maintained incrementally, and open-order positions are only
+//!   renumbered after a close;
+//! * **delta stream** — each commit returns a [`BatchDelta`]: the documents
+//!   whose *report changed* — newly opened, flipped clean ↔ violating, or
+//!   still violating with a different violation/error set — each with its
+//!   full fresh [`crate::DocReport`] (structured [`Violation`] witnesses
+//!   included), plus the documents closed since the last commit, under a
+//!   monotone sequence number.  Subscribers that apply the delta stream to
+//!   a replica of the last [`CorpusSession::report`] reconstruct the
+//!   current report exactly — `tests/corpus_agreement.rs` proves both
+//!   halves against cold [`crate::BatchEngine`] rebuilds.
+//!
+//! The `corpus_edit` bench (`BENCH_corpus.json`) records the headline
+//! number: a single-document edit re-verdict is ≥ 20× faster than a full
+//! `BatchEngine` revalidation of the corpus.
+
+use std::collections::BTreeMap;
+
+use xic_constraints::{IncrementalIndex, Violation};
+use xic_xml::{EditJournal, EditOp, ValuePool, XmlError, XmlTree};
+
+use crate::batch::{BatchReport, DocReport};
+use crate::session::{apply_ops, DocHandle, SessionError};
+use crate::spec::CompiledSpec;
+
+/// One document's entry in a [`BatchDelta`]: its state transition and the
+/// full fresh report (structured [`Violation`] witnesses included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocChange {
+    /// The document's handle — the stable identity to key a replica on
+    /// (labels need not be unique).
+    pub handle: DocHandle,
+    /// Its clean state at the previous commit — `None` for documents opened
+    /// since then.
+    pub was_clean: Option<bool>,
+    /// The fresh report (label, structural errors, Σ violations).
+    pub report: DocReport,
+}
+
+impl DocChange {
+    /// Whether the document is clean after this change.
+    pub fn now_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// A document closed since the previous commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedDoc {
+    /// The closed document's (now dead) handle — the stable identity, since
+    /// labels need not be unique.
+    pub handle: DocHandle,
+    /// Its label.
+    pub label: String,
+}
+
+/// The diff a [`CorpusSession::commit`] emits: what changed since the
+/// previous commit, plus corpus-level counters.  The sequence of deltas is
+/// the subscription stream — applying them in `seq` order to a copy of an
+/// earlier [`CorpusSession::report`] reproduces the current one (replace
+/// the report of every change, drop every closed handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchDelta {
+    /// Monotone commit number (the first commit of a session is `1`).
+    pub seq: u64,
+    /// Documents whose report changed — opened, flipped clean ↔ violating,
+    /// or re-checked to a different violation/error set — in open order.
+    pub changes: Vec<DocChange>,
+    /// Documents closed since the previous commit, in close order.
+    pub closed: Vec<ClosedDoc>,
+    /// How many documents this commit actually re-checked (the dirty set).
+    pub rechecked_docs: usize,
+    /// Open documents after the commit.
+    pub total: usize,
+    /// Clean documents after the commit.
+    pub clean: usize,
+}
+
+impl BatchDelta {
+    /// Whether nothing observable changed (no report changes, opens or
+    /// closes).
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.closed.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct CorpusDoc {
+    label: String,
+    tree: XmlTree,
+    index: IncrementalIndex,
+    journal: EditJournal,
+    /// Position in open order (recomputed only after a close).
+    position: usize,
+    /// Report as of the last commit; `None` before the first commit that
+    /// sees this document.
+    report: Option<DocReport>,
+    /// Clean state at the last commit; `None` until then.
+    committed_clean: Option<bool>,
+}
+
+/// A corpus-level validation session: many open documents validated against
+/// one [`CompiledSpec`], sharing one value pool and one incremental layout,
+/// with per-document dirty tracking and [`BatchDelta`] diff commits.
+///
+/// ```
+/// use xic_engine::{CompiledSpec, CorpusSession};
+/// use xic_xml::EditOp;
+///
+/// let spec = CompiledSpec::from_sources(
+///     "<!ELEMENT school (teacher*)>\n\
+///      <!ELEMENT teacher EMPTY>\n\
+///      <!ATTLIST teacher name CDATA #REQUIRED>",
+///     Some("school"),
+///     "teacher.name -> teacher",
+/// )
+/// .unwrap();
+///
+/// let mut corpus = CorpusSession::new(&spec);
+/// let a = corpus
+///     .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+///     .unwrap();
+/// let b = corpus
+///     .open_source("b.xml", "<school><teacher name=\"Ann\"/></school>")
+///     .unwrap();
+/// let delta = corpus.commit();
+/// assert_eq!((delta.total, delta.clean), (2, 2));
+///
+/// // One edit dirties one document; the next commit re-checks only it.
+/// let ann = corpus.tree(b).unwrap().elements().nth(1).unwrap();
+/// let name = spec.dtd().attr_by_name("name").unwrap();
+/// corpus
+///     .apply(b, &[EditOp::SetAttr { element: ann, attr: name, value: "Joe".into() }])
+///     .unwrap();
+/// let delta = corpus.commit();
+/// assert_eq!(delta.rechecked_docs, 1);
+/// assert!(delta.is_empty(), "b is still clean on its own — no change to report");
+/// # let _ = a;
+/// ```
+#[derive(Debug)]
+pub struct CorpusSession<'s> {
+    spec: &'s CompiledSpec,
+    /// Open documents in handle (= open) order.
+    docs: BTreeMap<u64, CorpusDoc>,
+    /// The corpus interner: forked into every parse, re-forked back after,
+    /// so the whole corpus shares value allocations and prefix ids.
+    pool: ValuePool,
+    /// Handles dirtied (opened or edited) since the last commit, in order.
+    dirty: Vec<u64>,
+    /// Documents closed since the last commit, in close order.
+    closed: Vec<ClosedDoc>,
+    /// Number of open documents whose *committed* state is clean.
+    clean_docs: usize,
+    /// Whether a close invalidated the cached open-order positions.
+    positions_stale: bool,
+    next_handle: u64,
+    commits: u64,
+}
+
+impl<'s> CorpusSession<'s> {
+    /// An empty corpus over the given compiled specification.
+    pub fn new(spec: &'s CompiledSpec) -> CorpusSession<'s> {
+        CorpusSession {
+            spec,
+            docs: BTreeMap::new(),
+            pool: ValuePool::new(),
+            dirty: Vec::new(),
+            closed: Vec::new(),
+            clean_docs: 0,
+            positions_stale: false,
+            next_handle: 0,
+            commits: 0,
+        }
+    }
+
+    /// The specification the corpus validates against.
+    pub fn spec(&self) -> &CompiledSpec {
+        self.spec
+    }
+
+    /// Number of open documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The corpus-level value pool (the master interner documents fork).
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Open handles in open order.
+    pub fn handles(&self) -> impl Iterator<Item = DocHandle> + '_ {
+        self.docs.keys().map(|&raw| DocHandle::new(raw))
+    }
+
+    /// Parses XML source against the spec's DTD and opens it under `label`.
+    /// The parse inherits the corpus pool by [`ValuePool::fork`]; the grown
+    /// pool is re-forked back, so every value the document introduced is
+    /// already interned for the next open or edit.
+    pub fn open_source(
+        &mut self,
+        label: impl Into<String>,
+        source: &str,
+    ) -> Result<DocHandle, XmlError> {
+        let tree = match self.spec.parse_document_pooled(source, self.pool.fork()) {
+            Ok(tree) => tree,
+            Err((err, _)) => return Err(err),
+        };
+        self.pool = tree.pool().fork();
+        Ok(self.admit(label.into(), tree))
+    }
+
+    /// Opens a pre-built tree under `label`.  Its values are absorbed into
+    /// the corpus pool (allocations shared, ids untouched) so future opens
+    /// and edits stay warm.
+    pub fn open(&mut self, label: impl Into<String>, tree: XmlTree) -> DocHandle {
+        self.pool.absorb(tree.pool());
+        self.admit(label.into(), tree)
+    }
+
+    fn admit(&mut self, label: String, tree: XmlTree) -> DocHandle {
+        let layout = std::sync::Arc::clone(self.spec.incremental_layout());
+        let index = IncrementalIndex::with_layout(layout, &tree);
+        let handle = DocHandle::new(self.next_handle);
+        self.next_handle += 1;
+        // Handles grow monotonically, so the newcomer is last in open order.
+        let position = self.docs.len();
+        self.docs.insert(
+            handle.raw(),
+            CorpusDoc {
+                label,
+                tree,
+                index,
+                journal: EditJournal::new(),
+                position,
+                report: None,
+                committed_clean: None,
+            },
+        );
+        self.dirty.push(handle.raw());
+        handle
+    }
+
+    /// Read-only access to an open document's tree.
+    pub fn tree(&self, handle: DocHandle) -> Result<&XmlTree, SessionError> {
+        self.docs
+            .get(&handle.raw())
+            .map(|d| &d.tree)
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// An open document's label.
+    pub fn label(&self, handle: DocHandle) -> Result<&str, SessionError> {
+        self.docs
+            .get(&handle.raw())
+            .map(|d| d.label.as_str())
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// The handle of the open document labelled `label`, if any (first
+    /// match in open order; labels need not be unique — handles are the
+    /// stable identity).
+    pub fn handle_by_label(&self, label: &str) -> Option<DocHandle> {
+        self.docs
+            .iter()
+            .find(|(_, d)| d.label == label)
+            .map(|(&raw, _)| DocHandle::new(raw))
+    }
+
+    /// The document's complete edit history since it was opened.
+    pub fn journal(&self, handle: DocHandle) -> Result<&EditJournal, SessionError> {
+        self.docs
+            .get(&handle.raw())
+            .map(|d| &d.journal)
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// Applies a batch of edits to one document; the document joins the
+    /// dirty set and is re-checked at the next [`CorpusSession::commit`].
+    /// Rejected ops leave the earlier ops of the batch applied (the error
+    /// reports how many) with indexes still exact.
+    pub fn apply(&mut self, handle: DocHandle, ops: &[EditOp]) -> Result<(), SessionError> {
+        let doc = self
+            .docs
+            .get_mut(&handle.raw())
+            .ok_or(SessionError::UnknownHandle(handle))?;
+        if !self.dirty.contains(&handle.raw()) {
+            self.dirty.push(handle.raw());
+        }
+        apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops)
+    }
+
+    /// Closes a document, handing its (edited) tree back.  The close is
+    /// reported in the next commit's [`BatchDelta::closed`].
+    pub fn close(&mut self, handle: DocHandle) -> Result<XmlTree, SessionError> {
+        let doc = self
+            .docs
+            .remove(&handle.raw())
+            .ok_or(SessionError::UnknownHandle(handle))?;
+        self.dirty.retain(|&raw| raw != handle.raw());
+        if doc.committed_clean == Some(true) {
+            self.clean_docs -= 1;
+        }
+        self.positions_stale = true;
+        self.closed.push(ClosedDoc {
+            handle,
+            label: doc.label,
+        });
+        Ok(doc.tree)
+    }
+
+    /// Re-checks exactly the dirty documents (structural `T ⊨ D` plus the
+    /// incrementally maintained `T ⊨ Σ`) and returns the diff against the
+    /// previous commit.  Clean documents cost nothing — their reports are
+    /// cached from the commit that produced them, the corpus-wide counters
+    /// are maintained incrementally, and open-order positions are
+    /// renumbered only when a close shifted them.
+    pub fn commit(&mut self) -> BatchDelta {
+        self.commits += 1;
+        let dirty = std::mem::take(&mut self.dirty);
+        let closed = std::mem::take(&mut self.closed);
+        let rechecked_docs = dirty.len();
+
+        if self.positions_stale {
+            for (position, doc) in self.docs.values_mut().enumerate() {
+                doc.position = position;
+            }
+            self.positions_stale = false;
+        }
+
+        let validator = self.spec.validator();
+        let mut changes = Vec::new();
+        for raw in dirty {
+            let Some(doc) = self.docs.get_mut(&raw) else {
+                // Dirtied, then closed before the commit (close() retains
+                // the dirty list, but guard against future reorderings).
+                continue;
+            };
+            let validation_errors: Vec<String> = validator
+                .validate(&doc.tree)
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            let violations: Vec<Violation> = doc.index.check_all(&doc.tree);
+            let fresh = DocReport {
+                index: doc.position,
+                label: doc.label.clone(),
+                parse_error: None,
+                validation_errors,
+                violations,
+            };
+            let was_clean = doc.committed_clean;
+            let now_clean = fresh.is_clean();
+            match (was_clean, now_clean) {
+                (Some(true), false) => self.clean_docs -= 1,
+                (Some(false), true) | (None, true) => self.clean_docs += 1,
+                _ => {}
+            }
+            // Any observable difference enters the stream — not just
+            // clean ↔ violating flips: a document that trades one violation
+            // for another must reach subscribers too, or their replicas
+            // drift from `report()`.
+            let changed = match &doc.report {
+                None => true,
+                Some(previous) => {
+                    previous.validation_errors != fresh.validation_errors
+                        || previous.violations != fresh.violations
+                }
+            };
+            doc.committed_clean = Some(now_clean);
+            doc.report = Some(fresh.clone());
+            if changed {
+                changes.push(DocChange {
+                    handle: DocHandle::new(raw),
+                    was_clean,
+                    report: fresh,
+                });
+            }
+        }
+        // The dirty list is in dirtying order; the stream contract is open
+        // order.
+        changes.sort_by_key(|c| c.handle);
+
+        BatchDelta {
+            seq: self.commits,
+            changes,
+            closed,
+            rechecked_docs,
+            total: self.docs.len(),
+            clean: self.clean_docs,
+        }
+    }
+
+    /// Materializes the full corpus report, ordered like a
+    /// [`crate::BatchEngine::validate_batch`] run over the open documents in
+    /// open order — and *identical* to one on the current trees
+    /// (`tests/corpus_agreement.rs` holds it to that).  O(corpus): use the
+    /// [`BatchDelta`] stream for change tracking and this for snapshots.
+    ///
+    /// # Panics
+    /// Panics if a document was opened or edited after the last commit
+    /// (commit first — a snapshot of half-applied edits would be stale).
+    pub fn report(&self) -> BatchReport {
+        assert!(
+            self.dirty.is_empty(),
+            "report() requires a commit after every open/edit"
+        );
+        let reports = self
+            .docs
+            .values()
+            .enumerate()
+            .map(|(position, doc)| {
+                let mut report = doc
+                    .report
+                    .clone()
+                    .expect("committed documents always carry a report");
+                report.index = position;
+                report
+            })
+            .collect();
+        BatchReport::from_reports(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchDoc, BatchEngine};
+    use xic_xml::{write_document, EditError};
+
+    fn spec() -> CompiledSpec {
+        CompiledSpec::from_sources(
+            "<!ELEMENT school (teacher*)>\n\
+             <!ELEMENT teacher EMPTY>\n\
+             <!ATTLIST teacher name CDATA #REQUIRED>",
+            Some("school"),
+            "teacher.name -> teacher",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn commits_recheck_only_dirty_docs_and_flips_stream_out() {
+        let spec = spec();
+        let name = spec.dtd().attr_by_name("name").unwrap();
+        let mut corpus = CorpusSession::new(&spec);
+        let a = corpus
+            .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let b = corpus
+            .open_source("b.xml", "<school><teacher name=\"Ann\"/></school>")
+            .unwrap();
+
+        // First commit checks both (both newly opened ⇒ both in the delta).
+        let delta = corpus.commit();
+        assert_eq!(delta.seq, 1);
+        assert_eq!(delta.rechecked_docs, 2);
+        assert_eq!(delta.changes.len(), 2);
+        assert!(delta
+            .changes
+            .iter()
+            .all(|c| c.was_clean.is_none() && c.now_clean()));
+        assert_eq!((delta.total, delta.clean), (2, 2));
+
+        // Break b's key: one dirty doc, one flip.
+        let ann = corpus.tree(b).unwrap().elements().nth(1).unwrap();
+        corpus
+            .apply(
+                b,
+                &[
+                    EditOp::AddElement {
+                        parent: corpus.tree(b).unwrap().root(),
+                        ty: spec.dtd().type_by_name("teacher").unwrap(),
+                    },
+                    EditOp::SetAttr {
+                        element: ann,
+                        attr: name,
+                        value: "Dup".into(),
+                    },
+                ],
+            )
+            .unwrap();
+        let added = corpus.tree(b).unwrap().elements().nth(2).unwrap();
+        corpus
+            .apply(
+                b,
+                &[EditOp::SetAttr {
+                    element: added,
+                    attr: name,
+                    value: "Dup".into(),
+                }],
+            )
+            .unwrap();
+        let delta = corpus.commit();
+        assert_eq!(delta.rechecked_docs, 1);
+        assert_eq!(delta.changes.len(), 1);
+        let change = &delta.changes[0];
+        assert_eq!(change.handle, b);
+        assert_eq!(change.was_clean, Some(true));
+        assert!(!change.now_clean());
+        assert!(matches!(
+            change.report.violations[0],
+            Violation::KeyViolation { .. }
+        ));
+        assert_eq!((delta.total, delta.clean), (2, 1));
+
+        // Nothing dirty ⇒ empty delta, zero rechecks.
+        let delta = corpus.commit();
+        assert!(delta.is_empty());
+        assert_eq!(delta.rechecked_docs, 0);
+
+        // Close b: handle + label show up once, in the next delta only.
+        corpus.close(b).unwrap();
+        let delta = corpus.commit();
+        assert_eq!(
+            delta.closed,
+            vec![ClosedDoc {
+                handle: b,
+                label: "b.xml".to_string()
+            }]
+        );
+        assert_eq!((delta.total, delta.clean), (1, 1));
+        assert!(corpus.tree(b).is_err());
+        let _ = a;
+    }
+
+    /// A violating document that trades one violation for another stays
+    /// violating — and still enters the delta stream, because its report
+    /// changed.
+    #[test]
+    fn violation_content_changes_reach_the_stream() {
+        let spec = spec();
+        let name = spec.dtd().attr_by_name("name").unwrap();
+        let mut corpus = CorpusSession::new(&spec);
+        let a = corpus
+            .open_source(
+                "a.xml",
+                "<school><teacher name=\"X\"/><teacher name=\"X\"/>\
+                 <teacher name=\"Y\"/><teacher name=\"Y\"/></school>",
+            )
+            .unwrap();
+        corpus.commit();
+
+        // Heal the X clash; the Y clash remains: clean state is unchanged
+        // (violating → violating) but the witness values moved X → Y.
+        let first_x = corpus.tree(a).unwrap().elements().nth(1).unwrap();
+        corpus
+            .apply(
+                a,
+                &[EditOp::SetAttr {
+                    element: first_x,
+                    attr: name,
+                    value: "Z".into(),
+                }],
+            )
+            .unwrap();
+        let delta = corpus.commit();
+        assert_eq!(delta.changes.len(), 1);
+        let change = &delta.changes[0];
+        assert_eq!(change.was_clean, Some(false));
+        assert!(!change.now_clean());
+        assert!(matches!(
+            &change.report.violations[0],
+            Violation::KeyViolation { values, .. } if values == &vec!["Y".to_string()]
+        ));
+        // The stream now reconstructs report(): same report object.
+        assert_eq!(&change.report, &corpus.report().reports()[0]);
+
+        // A no-op rewrite (same value) leaves the report unchanged: the doc
+        // is rechecked but nothing enters the stream.
+        let first = corpus.tree(a).unwrap().elements().nth(1).unwrap();
+        corpus
+            .apply(
+                a,
+                &[EditOp::SetAttr {
+                    element: first,
+                    attr: name,
+                    value: "Z".into(),
+                }],
+            )
+            .unwrap();
+        let delta = corpus.commit();
+        assert_eq!(delta.rechecked_docs, 1);
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn report_matches_a_cold_batch_engine_run() {
+        let spec = spec();
+        let name = spec.dtd().attr_by_name("name").unwrap();
+        let mut corpus = CorpusSession::new(&spec);
+        let docs = [
+            ("ok.xml", "<school><teacher name=\"Joe\"/></school>"),
+            (
+                "dup.xml",
+                "<school><teacher name=\"A\"/><teacher name=\"A\"/></school>",
+            ),
+        ];
+        let mut handles = Vec::new();
+        for (label, src) in docs {
+            handles.push(corpus.open_source(label, src).unwrap());
+        }
+        corpus.commit();
+        let joe = corpus.tree(handles[0]).unwrap().elements().nth(1).unwrap();
+        corpus
+            .apply(
+                handles[0],
+                &[EditOp::SetAttr {
+                    element: joe,
+                    attr: name,
+                    value: "Renamed".into(),
+                }],
+            )
+            .unwrap();
+        corpus.commit();
+
+        // Serialize the *current* trees and run the cold path.
+        let batch_docs: Vec<BatchDoc> = handles
+            .iter()
+            .map(|&h| {
+                BatchDoc::new(
+                    corpus.label(h).unwrap(),
+                    write_document(corpus.tree(h).unwrap(), spec.dtd()),
+                )
+            })
+            .collect();
+        let cold = BatchEngine::new(1).validate_batch(&spec, &batch_docs);
+        assert_eq!(corpus.report(), cold);
+    }
+
+    #[test]
+    fn errors_name_the_handle_and_partial_batches_stay_applied() {
+        let spec = spec();
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let mut corpus = CorpusSession::new(&spec);
+        let a = corpus
+            .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let root = corpus.tree(a).unwrap().root();
+        let err = corpus
+            .apply(
+                a,
+                &[
+                    EditOp::AddElement {
+                        parent: root,
+                        ty: teacher,
+                    },
+                    EditOp::RemoveSubtree { element: root },
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Edit {
+                index: 1,
+                error: EditError::RemoveRoot
+            }
+        );
+        // The applied prefix is visible; commit re-checks the partially
+        // edited doc exactly.
+        assert_eq!(corpus.tree(a).unwrap().ext_count(teacher), 2);
+        let delta = corpus.commit();
+        assert_eq!(delta.rechecked_docs, 1);
+
+        let dead = corpus.close(a).unwrap();
+        assert_eq!(dead.ext_count(teacher), 2);
+        assert_eq!(
+            corpus.apply(a, &[]),
+            Err(SessionError::UnknownHandle(a)),
+            "closed handles are rejected"
+        );
+    }
+
+    #[test]
+    fn corpus_pool_is_shared_across_documents() {
+        let spec = spec();
+        let mut corpus = CorpusSession::new(&spec);
+        let a = corpus
+            .open_source("a.xml", "<school><teacher name=\"Shared\"/></school>")
+            .unwrap();
+        let b = corpus
+            .open_source("b.xml", "<school><teacher name=\"Shared\"/></school>")
+            .unwrap();
+        // Both documents resolve "Shared" out of one allocation, and the
+        // common prefix even shares ids.
+        let ta = corpus.tree(a).unwrap();
+        let tb = corpus.tree(b).unwrap();
+        let ia = ta.pool().get("Shared").unwrap();
+        let ib = tb.pool().get("Shared").unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(ta.resolve(ia).as_ptr(), tb.resolve(ib).as_ptr());
+        assert!(corpus.pool().get("Shared").is_some());
+    }
+}

@@ -23,6 +23,14 @@
 //!   after every edit batch at O(edit) cost — the incremental indexes
 //!   ([`xic_constraints::IncrementalIndex`]) are maintained under each
 //!   edit instead of rebuilt, with witnesses identical to a full rebuild;
+//!   the slot/watcher/touch-map layout they populate is derived once per
+//!   spec ([`xic_constraints::IncrementalLayout`], stored on the
+//!   [`CompiledSpec`]), not once per document;
+//! * [`CorpusSession`] — the corpus-scale session: many open documents
+//!   sharing one spec and one value pool, per-document dirty tracking,
+//!   commits that re-check only edited documents, and a [`BatchDelta`]
+//!   diff stream (clean ↔ violating flips with structured witnesses) for
+//!   subscribers;
 //! * [`Engine`] — the façade combining a cache with the checkers, exposing
 //!   memoized [`Engine::consistency`] and [`Engine::implication`].
 //!
@@ -59,12 +67,14 @@
 
 pub mod batch;
 pub mod cache;
+pub mod corpus;
 pub mod hash;
 pub mod session;
 pub mod spec;
 
 pub use batch::{BatchDoc, BatchEngine, BatchReport, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
+pub use corpus::{BatchDelta, ClosedDoc, CorpusSession, DocChange};
 pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
 pub use session::{DocHandle, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, SpecId};

@@ -27,9 +27,22 @@ use xic_xml::{EditError, EditJournal, EditOp, XmlError, XmlTree};
 
 use crate::spec::CompiledSpec;
 
-/// Identifier of a document opened in a [`Session`].
+/// Identifier of a document opened in a [`Session`] or a
+/// [`crate::CorpusSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DocHandle(u64);
+
+impl DocHandle {
+    /// Crate-internal constructor (handles are only minted by sessions).
+    pub(crate) fn new(raw: u64) -> DocHandle {
+        DocHandle(raw)
+    }
+
+    /// The raw handle number (stable for the lifetime of the session).
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 impl fmt::Display for DocHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -101,6 +114,27 @@ impl SessionVerdict {
     }
 }
 
+/// Applies a batch of ops to one `(tree, index, journal)` triple: each op
+/// is validated, applied, folded into the incremental indexes and journaled
+/// before the next op runs.  On rejection the applied prefix stays (the
+/// error's `index` reports its length) and the indexes remain exact.  The
+/// one edit loop shared by [`Session`] and [`crate::CorpusSession`].
+pub(crate) fn apply_ops(
+    tree: &mut XmlTree,
+    index: &mut IncrementalIndex,
+    journal: &mut EditJournal,
+    ops: &[EditOp],
+) -> Result<(), SessionError> {
+    for (i, op) in ops.iter().enumerate() {
+        let effect = tree
+            .apply_edit(op)
+            .map_err(|error| SessionError::Edit { index: i, error })?;
+        index.apply(tree, &effect);
+        journal.record(op.clone(), effect);
+    }
+    Ok(())
+}
+
 #[derive(Debug)]
 struct SessionDoc {
     tree: XmlTree,
@@ -169,10 +203,14 @@ impl<'s> Session<'s> {
     }
 
     /// Opens a document, taking ownership of the tree (mutation from here
-    /// on goes through [`Session::apply`] only).  Builds the incremental
-    /// indexes in one pass over the tree.
+    /// on goes through [`Session::apply`] only).  Populates the incremental
+    /// indexes in one pass over the tree; the slot/watcher/touch-map layout
+    /// is **not** derived here — it lives on the [`CompiledSpec`]
+    /// ([`CompiledSpec::incremental_layout`], computed once per spec), so
+    /// opening costs one `Arc` clone plus the document pass.
     pub fn open(&mut self, tree: XmlTree) -> DocHandle {
-        let index = IncrementalIndex::build(self.spec.dtd(), self.spec.sigma(), &tree);
+        let layout = std::sync::Arc::clone(self.spec.incremental_layout());
+        let index = IncrementalIndex::with_layout(layout, &tree);
         let handle = DocHandle(self.next_handle);
         self.next_handle += 1;
         self.docs.insert(
@@ -223,15 +261,13 @@ impl<'s> Session<'s> {
             .docs
             .get_mut(&handle.0)
             .ok_or(SessionError::UnknownHandle(handle))?;
-        for (i, op) in ops.iter().enumerate() {
-            let effect = doc
-                .tree
-                .apply_edit(op)
-                .map_err(|error| SessionError::Edit { index: i, error })?;
-            doc.index.apply(&doc.tree, &effect);
-            doc.journal.record(effect);
-            doc.edits_applied += 1;
+        let outcome = apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops);
+        match outcome {
+            Ok(()) => doc.edits_applied += ops.len() as u64,
+            Err(SessionError::Edit { index, .. }) => doc.edits_applied += index as u64,
+            Err(_) => unreachable!("apply_ops only raises Edit errors"),
         }
+        outcome?;
         Ok(Self::verdict_of(doc))
     }
 

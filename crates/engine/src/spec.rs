@@ -2,9 +2,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use xic_constraints::{
-    parse_constraint_set, ConstraintClass, ConstraintSet, DocIndex, IndexPlan, Violation,
+    parse_constraint_set, ConstraintClass, ConstraintSet, DocIndex, IncrementalLayout, IndexPlan,
+    Violation,
 };
 use xic_core::{
     CardinalitySystem, CheckerConfig, ConsistencyChecker, ConsistencyOutcome, ImplicationChecker,
@@ -64,6 +66,8 @@ impl std::error::Error for CompileError {}
 /// * the linear-time DTD analysis (satisfiability, occurrence facts),
 /// * the constraint-class classification (procedure dispatch),
 /// * the satisfaction [`IndexPlan`] (which indexes `T ⊨ Σ` will consult),
+/// * the incremental-index [`IncrementalLayout`] (slot/watcher/touch-map
+///   structure shared by every session document opened against this spec),
 /// * the cardinality system Ψ(D,Σ) when Σ is unary (Theorem 4.1 / 5.1).
 #[derive(Debug)]
 pub struct CompiledSpec {
@@ -75,6 +79,7 @@ pub struct CompiledSpec {
     automata: HashMap<ElemId, Glushkov>,
     class: Option<ConstraintClass>,
     plan: IndexPlan,
+    incremental: Arc<IncrementalLayout>,
     system: Option<CardinalitySystem>,
     config: CheckerConfig,
 }
@@ -107,6 +112,7 @@ impl CompiledSpec {
         let automata = compile_automata(&dtd);
         let class = sigma.smallest_class();
         let plan = IndexPlan::for_set(&sigma);
+        let incremental = Arc::new(IncrementalLayout::new(&dtd, &sigma));
         // Ψ(D,Σ) exists exactly for the unary classes the ILP procedures
         // decide (the keys-only and general classes are dispatched
         // elsewhere), and for those classes a build failure is a spec error —
@@ -132,6 +138,7 @@ impl CompiledSpec {
             automata,
             class,
             plan,
+            incremental,
             system,
             config,
         })
@@ -188,6 +195,14 @@ impl CompiledSpec {
     /// The satisfaction index plan for Σ.
     pub fn plan(&self) -> &IndexPlan {
         &self.plan
+    }
+
+    /// The incremental-index layout for Σ — the `(D, Σ)`-only slot, watcher
+    /// and touch-map structure every session document shares.  Derived once
+    /// at compile time; [`crate::Session::open`] and
+    /// [`crate::CorpusSession`] only clone the `Arc`.
+    pub fn incremental_layout(&self) -> &Arc<IncrementalLayout> {
+        &self.incremental
     }
 
     /// The precomputed cardinality system Ψ(D,Σ), when Σ is unary.

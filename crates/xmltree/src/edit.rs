@@ -129,14 +129,19 @@ impl fmt::Display for EditError {
 
 impl std::error::Error for EditError {}
 
-/// The ordered log of effects applied to one document.
+/// The ordered log of edits applied to one document: each entry pairs the
+/// submitted [`EditOp`] with the [`EditEffect`] its application produced.
 ///
 /// A session drains nothing: the journal is the complete edit history since
-/// the document was opened, usable for audit, replay, or shipping a delta to
-/// another replica (cf. distributed XML design).
+/// the document was opened.  Storing the *ops* (not just the effects) makes
+/// the journal replayable: applying [`EditJournal::ops`] in order to a copy
+/// of the original tree reproduces the edited tree node-for-node (the arena
+/// allocates ids deterministically), which is what close/re-open recovery,
+/// audit, and shipping a delta log to another replica (cf. distributed XML
+/// design) all rest on.
 #[derive(Debug, Clone, Default)]
 pub struct EditJournal {
-    effects: Vec<EditEffect>,
+    entries: Vec<(EditOp, EditEffect)>,
 }
 
 impl EditJournal {
@@ -145,29 +150,39 @@ impl EditJournal {
         EditJournal::default()
     }
 
-    /// Appends one applied effect.
-    pub fn record(&mut self, effect: EditEffect) {
-        self.effects.push(effect);
+    /// Appends one applied edit with the effect it produced.
+    pub fn record(&mut self, op: EditOp, effect: EditEffect) {
+        self.entries.push((op, effect));
     }
 
-    /// Number of recorded effects.
+    /// Number of recorded edits.
     pub fn len(&self) -> usize {
-        self.effects.len()
+        self.entries.len()
     }
 
     /// Whether the journal is empty.
     pub fn is_empty(&self) -> bool {
-        self.effects.is_empty()
+        self.entries.is_empty()
+    }
+
+    /// The recorded `(op, effect)` entries, oldest first.
+    pub fn entries(&self) -> &[(EditOp, EditEffect)] {
+        &self.entries
+    }
+
+    /// The recorded ops, oldest first — the replayable half of the log.
+    pub fn ops(&self) -> impl Iterator<Item = &EditOp> {
+        self.entries.iter().map(|(op, _)| op)
     }
 
     /// The recorded effects, oldest first.
-    pub fn effects(&self) -> &[EditEffect] {
-        &self.effects
+    pub fn effects(&self) -> impl Iterator<Item = &EditEffect> {
+        self.entries.iter().map(|(_, effect)| effect)
     }
 
-    /// Iterates over the recorded effects, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &EditEffect> {
-        self.effects.iter()
+    /// Iterates over the recorded entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(EditOp, EditEffect)> {
+        self.entries.iter()
     }
 }
 
@@ -258,16 +273,15 @@ mod tests {
         let mut t = XmlTree::new(teachers);
         let mut journal = EditJournal::new();
 
-        let added = t
-            .apply_edit(&EditOp::AddElement {
-                parent: t.root(),
-                ty: teacher,
-            })
-            .unwrap();
+        let add_op = EditOp::AddElement {
+            parent: t.root(),
+            ty: teacher,
+        };
+        let added = t.apply_edit(&add_op).unwrap();
         let EditEffect::ElementAdded { element, .. } = added else {
             panic!("expected ElementAdded, got {added:?}");
         };
-        journal.record(added.clone());
+        journal.record(add_op, added.clone());
 
         let first = t
             .apply_edit(&EditOp::SetAttr {
@@ -298,13 +312,20 @@ mod tests {
         assert_eq!(t.resolve(old), "Joe");
         assert_eq!(t.resolve(new), "Sue");
 
-        let removed = t.apply_edit(&EditOp::RemoveSubtree { element }).unwrap();
+        let remove_op = EditOp::RemoveSubtree { element };
+        let removed = t.apply_edit(&remove_op).unwrap();
         assert!(
             matches!(&removed, EditEffect::SubtreeRemoved { elements, .. }
                 if elements == &vec![(element, teacher)])
         );
-        journal.record(removed);
+        journal.record(remove_op, removed);
         assert_eq!(journal.len(), 2);
+        assert_eq!(journal.ops().count(), 2);
+        assert_eq!(journal.effects().count(), 2);
+        assert!(matches!(
+            journal.entries()[0],
+            (EditOp::AddElement { .. }, EditEffect::ElementAdded { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Corpus sessions: keep a whole fleet of documents open against one spec
+//! and re-verdict in O(edited documents) per change.
+//!
+//! The scenario: a registrar system holds one document per department, all
+//! validated against the same `(DTD, Σ)`.  Change notifications arrive for
+//! one department at a time; after each, the system wants the corpus-wide
+//! verdict *and* a diff it can push to subscribers — without re-validating
+//! the departments that did not change.
+//!
+//! Run with: `cargo run --example corpus_validation`
+
+use xml_integrity_constraints::engine::{CompiledSpec, CorpusSession};
+use xml_integrity_constraints::xml::EditOp;
+
+const DTD: &str = r#"
+    <!ELEMENT department (course*, enroll*)>
+    <!ELEMENT course EMPTY>
+    <!ELEMENT enroll EMPTY>
+    <!ATTLIST course code CDATA #REQUIRED>
+    <!ATTLIST enroll course CDATA #REQUIRED>
+"#;
+
+const SIGMA: &str = "
+    course.code -> course
+    enroll.course ref course.code
+";
+
+fn main() {
+    let spec = CompiledSpec::from_sources(DTD, Some("department"), SIGMA).expect("spec compiles");
+    let code = spec.dtd().attr_by_name("code").unwrap();
+
+    // Open one document per department.  They share the spec's compiled
+    // automata, its incremental-index layout (derived once, not per
+    // document) and one value pool — "db101" below is interned exactly
+    // once for the whole corpus.
+    let mut corpus = CorpusSession::new(&spec);
+    let math = corpus
+        .open_source(
+            "math.xml",
+            r#"<department><course code="db101"/><enroll course="db101"/></department>"#,
+        )
+        .expect("parses");
+    let physics = corpus
+        .open_source(
+            "physics.xml",
+            r#"<department><course code="qm200"/><enroll course="qm200"/></department>"#,
+        )
+        .expect("parses");
+
+    // The first commit checks everything once and admits both documents
+    // into the delta stream.
+    let delta = corpus.commit();
+    println!(
+        "commit {}: {}/{} clean ({} checked)",
+        delta.seq, delta.clean, delta.total, delta.rechecked_docs
+    );
+
+    // A change notification for math: rename its course so the enrolment
+    // dangles.  Only math is dirty — physics is never re-checked.
+    let course_node = corpus.tree(math).unwrap().elements().nth(1).unwrap();
+    corpus
+        .apply(
+            math,
+            &[EditOp::SetAttr {
+                element: course_node,
+                attr: code,
+                value: "db102".into(),
+            }],
+        )
+        .expect("edit applies");
+    let delta = corpus.commit();
+    println!(
+        "commit {}: {}/{} clean ({} checked)",
+        delta.seq, delta.clean, delta.total, delta.rechecked_docs
+    );
+    assert_eq!(delta.rechecked_docs, 1, "physics was served from cache");
+    for change in &delta.changes {
+        println!(
+            "  {} flipped: clean {:?} -> {}",
+            change.report.label,
+            change.was_clean,
+            change.now_clean()
+        );
+        for v in &change.report.violations {
+            println!("    {v}");
+        }
+    }
+
+    // Healing the edit flips it back; subscribers see exactly one change.
+    corpus
+        .apply(
+            math,
+            &[EditOp::SetAttr {
+                element: course_node,
+                attr: code,
+                value: "db101".into(),
+            }],
+        )
+        .expect("edit applies");
+    let delta = corpus.commit();
+    assert!(delta.changes.len() == 1 && delta.changes[0].now_clean());
+    println!(
+        "commit {}: {}/{} clean again",
+        delta.seq, delta.clean, delta.total
+    );
+
+    // Snapshots on demand: the full report equals what a cold batch run
+    // over the current trees would say, ordered by open order.
+    let report = corpus.report();
+    println!("{}", report.render());
+    let _ = physics;
+}

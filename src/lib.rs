@@ -18,6 +18,7 @@ pub use xic_xml as xml;
 
 // The production entry points, re-exported flat for discoverability.
 pub use xic_engine::{
-    BatchDoc, BatchEngine, CompiledSpec, DocHandle, Engine, Session, SessionVerdict, VerdictCache,
+    BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusSession, DocHandle, Engine, Session,
+    SessionVerdict, VerdictCache,
 };
 pub use xic_xml::{EditJournal, EditOp};

@@ -16,8 +16,8 @@ use rand::{Rng, SeedableRng};
 use xml_integrity_constraints::constraints::{DocIndex, IndexPlan};
 use xml_integrity_constraints::engine::{CompiledSpec, Session};
 use xml_integrity_constraints::gen::{
-    random_document, random_dtd, random_unary_constraints, ConstraintGenConfig, DocGenConfig,
-    DtdGenConfig,
+    fixed_dtd_growing_sigma, keys_only_family, primary_key_family, random_document, random_dtd,
+    random_unary_constraints, ConstraintGenConfig, DocGenConfig, DtdGenConfig,
 };
 use xml_integrity_constraints::xml::{EditOp, NodeId, XmlTree};
 
@@ -172,4 +172,54 @@ proptest! {
         let verdict = reopened.verdict(doc).unwrap();
         prop_assert_eq!(verdict.violations(), rebuilt.as_slice());
     }
+}
+
+/// The named `xic-gen` workload families drive the single-document
+/// differential too, so the agreement suite covers generated DTD/Σ shapes
+/// (primary-key-restricted, keys-only, fixed DTD under growing Σ) beyond
+/// the uniform random sampler above.
+#[test]
+fn workload_families_agree_with_rebuild_after_every_edit() {
+    let instances = primary_key_family(&[4, 6], 21)
+        .into_iter()
+        .chain(keys_only_family(&[4, 6], 22))
+        .chain(fixed_dtd_growing_sigma(5, &[4, 8], 23));
+    let mut driven = 0usize;
+    for instance in instances {
+        let label = instance.label.clone();
+        let spec = match CompiledSpec::compile(instance.dtd, instance.sigma) {
+            Ok(spec) => spec,
+            Err(_) => continue, // Ψ(D,Σ) rejected the instance
+        };
+        let plan = IndexPlan::for_set(spec.sigma());
+        let Some(tree) = random_document(
+            spec.dtd(),
+            &DocGenConfig {
+                seed: 29,
+                value_pool: 3,
+                ..Default::default()
+            },
+        ) else {
+            continue;
+        };
+        let mut session = Session::new(&spec);
+        let doc = session.open(tree);
+        let mut rng = StdRng::seed_from_u64(0xfeed ^ driven as u64);
+        for step in 0..24 {
+            let op = random_op(&mut rng, spec.dtd(), session.tree(doc).unwrap());
+            let verdict = session.apply(doc, std::slice::from_ref(&op)).unwrap();
+            let rebuilt = DocIndex::build(spec.dtd(), session.tree(doc).unwrap(), &plan)
+                .check_all(spec.sigma());
+            assert_eq!(
+                verdict.violations(),
+                rebuilt.as_slice(),
+                "{label}: diverged at step {step} after {op:?}"
+            );
+        }
+        driven += 1;
+    }
+    assert!(
+        driven >= 4,
+        "the workload families must actually exercise the differential (drove {driven})"
+    );
 }

@@ -23,8 +23,20 @@ pub mod test_runner {
     }
 
     impl Config {
-        /// A config running `cases` random cases per property.
+        /// A config running `cases` random cases per property — unless the
+        /// `PROPTEST_CASES` environment variable is set, which pins the
+        /// count for every property in the process.
+        ///
+        /// Divergence from real proptest (where the env var only overrides
+        /// the *default* and an explicit field wins): the workspace's
+        /// suites all pass explicit per-test counts, so CI pins the env var
+        /// to run them under optimizations with a deterministic budget
+        /// (`PROPTEST_CASES=… cargo test --release`).
         pub fn with_cases(cases: u32) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(cases);
             Config {
                 cases,
                 max_global_rejects: 65536,
@@ -35,6 +47,33 @@ pub mod test_runner {
     impl Default for Config {
         fn default() -> Self {
             Config::with_cases(256)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::Config;
+
+        /// The only test in this crate that touches `PROPTEST_CASES`, so
+        /// there is no parallel-test race on the process environment.  The
+        /// ambient value is saved and restored: CI legitimately runs the
+        /// whole workspace (this crate included) with the variable pinned.
+        #[test]
+        fn proptest_cases_env_pins_the_case_count() {
+            let ambient = std::env::var("PROPTEST_CASES").ok();
+            std::env::remove_var("PROPTEST_CASES");
+            assert_eq!(Config::with_cases(24).cases, 24);
+            assert_eq!(Config::default().cases, 256);
+            std::env::set_var("PROPTEST_CASES", "7");
+            assert_eq!(Config::with_cases(24).cases, 7);
+            assert_eq!(Config::default().cases, 7);
+            // Malformed values fall back to the explicit count.
+            std::env::set_var("PROPTEST_CASES", "many");
+            assert_eq!(Config::with_cases(24).cases, 24);
+            match ambient {
+                Some(value) => std::env::set_var("PROPTEST_CASES", value),
+                None => std::env::remove_var("PROPTEST_CASES"),
+            }
         }
     }
 
