@@ -15,7 +15,8 @@ use xic_core::{
     ConsistencyOutcome, Diagnosis, ImplicationChecker, SystemOptions,
 };
 use xic_dtd::{analyze, parse_dtd, Dtd};
-use xic_engine::{BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusSession};
+use xic_engine::journal::{inspect_log, read_delta_log, write_delta_log};
+use xic_engine::{BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusReplica, CorpusSession};
 use xic_xml::{parse_document, validate, write_document, EditOp, NodeId};
 
 use crate::args::ParsedArgs;
@@ -477,12 +478,12 @@ fn load_manifest(manifest_path: &str) -> Result<Vec<BatchDoc>, CliError> {
     Ok(docs)
 }
 
-/// `xic batch --session SCRIPT` — replay an edit script over a corpus
-/// session and report the [`BatchDelta`] of every commit.
+/// Drives a [`CorpusSession`] from an edit script: the shared engine
+/// behind `xic batch --session` and `xic journal record`.
 ///
-/// The manifest documents (if any) are opened first; the script then drives
-/// a [`CorpusSession`], one directive per line (blank lines and `#`
-/// comments skipped; `<node>` is a node id as printed in JSON witnesses):
+/// The manifest documents (if any) are opened first; the script then
+/// issues one directive per line (blank lines and `#` comments skipped;
+/// `<node>` is a node id as printed in JSON witnesses):
 ///
 /// ```text
 /// open   <label> <path>            # parse a document and open it
@@ -496,15 +497,14 @@ fn load_manifest(manifest_path: &str) -> Result<Vec<BatchDoc>, CliError> {
 ///
 /// Every `commit` emits one delta (only edited documents are re-checked); a
 /// trailing commit is implied if the script ends with uncommitted actions.
-/// With `--format json` the outcome is one object carrying the `deltas`
-/// stream and the final per-document `reports`.
-fn batch_session(
-    spec: &CompiledSpec,
+/// This script syntax is the human-readable twin of the binary journal:
+/// `xic journal record` turns a run of it into a delta log, and
+/// `xic journal inspect` renders op records back in the same syntax.
+fn run_session_script<'s>(
+    spec: &'s CompiledSpec,
     docs: Vec<BatchDoc>,
     script_path: &str,
-    format: ReportFormat,
-    quiet: bool,
-) -> Result<CommandOutcome, CliError> {
+) -> Result<(CorpusSession<'s>, Vec<BatchDelta>), CliError> {
     let script = read_file(script_path)?;
     let base = Path::new(script_path)
         .parent()
@@ -619,16 +619,51 @@ fn batch_session(
     if pending {
         deltas.push(corpus.commit());
     }
+    Ok((corpus, deltas))
+}
 
-    let final_report = corpus.report();
+/// How a delta stream should be presented: the command identity, extra
+/// JSON fields, and text-mode options (see [`render_delta_stream`]).
+struct DeltaStreamView<'a> {
+    command: &'a str,
+    headline: &'a str,
+    extra: &'a [(&'a str, JsonValue)],
+    notes: &'a [String],
+    format: ReportFormat,
+    quiet: bool,
+}
+
+/// Renders a delta stream plus final reports — the shared output shape of
+/// `xic batch --session`, `xic journal record` and `xic journal replay`.
+/// The `deltas` and `reports` JSON arrays are rendered identically across
+/// the three commands, so a recorded log replayed from disk reproduces the
+/// original delta stream byte for byte.
+fn render_delta_stream(
+    view: &DeltaStreamView<'_>,
+    spec: &CompiledSpec,
+    deltas: &[BatchDelta],
+    final_report: &xic_engine::BatchReport,
+) -> CommandOutcome {
+    let &DeltaStreamView {
+        command,
+        headline,
+        extra,
+        notes,
+        format,
+        quiet,
+    } = view;
     let all_clean = final_report.clean_count() == final_report.total();
     let code = if all_clean { 0 } else { 1 };
 
     if format == ReportFormat::Json {
-        let json = JsonValue::object(vec![
-            ("command", JsonValue::string("batch-session")),
+        let mut fields = vec![
+            ("command", JsonValue::string(command)),
             ("spec", JsonValue::string(spec.id().to_string())),
-            ("script", JsonValue::string(script_path)),
+        ];
+        for (key, value) in extra {
+            fields.push((key, value.clone()));
+        }
+        fields.extend([
             (
                 "deltas",
                 JsonValue::Array(deltas.iter().map(delta_json).collect()),
@@ -640,18 +675,22 @@ fn batch_session(
                 JsonValue::Array(final_report.reports().iter().map(doc_report_json).collect()),
             ),
         ]);
+        let json = JsonValue::object(fields);
         let mut report = json.render();
         report.push('\n');
-        return Ok(CommandOutcome::new(report, code));
+        return CommandOutcome::new(report, code);
     }
 
     let mut report = String::new();
     report.push_str(&format!(
-        "spec {}: corpus session over {} commits\n",
+        "spec {}: {headline} over {} commits\n",
         spec.id(),
         deltas.len()
     ));
-    for delta in &deltas {
+    for note in notes {
+        report.push_str(&format!("note: {note}\n"));
+    }
+    for delta in deltas {
         report.push_str(&format!(
             "commit {}: {}/{} documents clean ({} rechecked)\n",
             delta.seq, delta.clean, delta.total, delta.rechecked_docs
@@ -691,7 +730,222 @@ fn batch_session(
         final_report.clean_count(),
         final_report.total()
     ));
-    Ok(CommandOutcome::new(report, code))
+    CommandOutcome::new(report, code)
+}
+
+/// `xic batch --session SCRIPT` — replay an edit script over a corpus
+/// session and report the [`BatchDelta`] of every commit (see
+/// [`run_session_script`] for the directive syntax).  With `--format json`
+/// the outcome is one object carrying the `deltas` stream and the final
+/// per-document `reports`.
+fn batch_session(
+    spec: &CompiledSpec,
+    docs: Vec<BatchDoc>,
+    script_path: &str,
+    format: ReportFormat,
+    quiet: bool,
+) -> Result<CommandOutcome, CliError> {
+    let (corpus, deltas) = run_session_script(spec, docs, script_path)?;
+    let final_report = corpus.report();
+    Ok(render_delta_stream(
+        &DeltaStreamView {
+            command: "batch-session",
+            headline: "corpus session",
+            extra: &[("script", JsonValue::string(script_path))],
+            notes: &[],
+            format,
+            quiet,
+        },
+        spec,
+        &deltas,
+        &final_report,
+    ))
+}
+
+/// `xic journal <record|replay|inspect>` — the durable-journal surface.
+///
+/// * `record` runs a session script (the `xic batch --session` directive
+///   syntax — the human-readable twin of the binary log) and persists the
+///   resulting [`BatchDelta`] stream to `--log` as a delta-stream journal;
+/// * `replay` feeds a recorded log to a [`CorpusReplica`] and reproduces
+///   the original delta stream and final reports — from the log alone, no
+///   document is re-shipped or re-parsed (a torn tail from a crash is
+///   truncated and the durable prefix replayed);
+/// * `inspect` prints the self-describing header and per-record summary of
+///   any journal file (ops rendered back in the script syntax; pass
+///   `--dtd` to resolve attribute and element names).
+pub fn journal(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    match args.positional.first().map(String::as_str) {
+        Some("record") => journal_record(args),
+        Some("replay") => journal_replay(args),
+        Some("inspect") => journal_inspect(args),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown journal action `{other}` (expected record, replay or inspect)"
+        ))),
+        None => Err(CliError::Usage(
+            "`journal` expects an action: record, replay or inspect".to_string(),
+        )),
+    }
+}
+
+fn journal_record(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
+    let (dtd, sigma) = spec_inputs(args)?;
+    let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+    let docs = match args.get("manifest") {
+        Some(path) => load_manifest(path)?,
+        None => Vec::new(),
+    };
+    let script_path = args.require("script")?;
+    let log_path = args.require("log")?;
+    let (corpus, deltas) = run_session_script(&spec, docs, script_path)?;
+    let receipt = write_delta_log(log_path, spec.id(), &deltas)
+        .map_err(|e| CliError::Journal(format!("{log_path}: {e}")))?;
+    let final_report = corpus.report();
+    Ok(render_delta_stream(
+        &DeltaStreamView {
+            command: "journal-record",
+            headline: "journal record",
+            extra: &[
+                ("script", JsonValue::string(script_path)),
+                ("log", JsonValue::string(log_path)),
+            ],
+            notes: &[format!(
+                "recorded {} deltas ({} bytes) to {log_path}",
+                receipt.records_written, receipt.durable_bytes
+            )],
+            format,
+            quiet: args.has_flag("quiet"),
+        },
+        &spec,
+        &deltas,
+        &final_report,
+    ))
+}
+
+fn journal_replay(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
+    let (dtd, sigma) = spec_inputs(args)?;
+    let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+    let log_path = args.require("log")?;
+    let log = read_delta_log(log_path, spec.id())
+        .map_err(|e| CliError::Journal(format!("{log_path}: {e}")))?;
+    let mut replica = CorpusReplica::new(spec.id());
+    replica
+        .apply_deltas(&log.deltas)
+        .map_err(|e| CliError::Journal(format!("{log_path}: {e}")))?;
+    let final_report = replica.report();
+    let mut notes = Vec::new();
+    if log.truncated {
+        notes.push(format!(
+            "torn trailing record dropped; replayed the durable prefix ({} commits)",
+            log.deltas.len()
+        ));
+    }
+    Ok(render_delta_stream(
+        &DeltaStreamView {
+            command: "journal-replay",
+            headline: "journal replay",
+            // `truncated` is machine-readable: JSON consumers must be able
+            // to tell a crash-truncated durable prefix from a complete log.
+            extra: &[
+                ("log", JsonValue::string(log_path)),
+                ("truncated", JsonValue::Bool(log.truncated)),
+            ],
+            notes: &notes,
+            format,
+            quiet: args.has_flag("quiet"),
+        },
+        &spec,
+        &log.deltas,
+        &final_report,
+    ))
+}
+
+fn journal_inspect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
+    let log_path = args.require("log")?;
+    let dtd = match args.get("dtd") {
+        Some(path) => Some(load_dtd(path, args.get("root"))?),
+        None => None,
+    };
+    let summary = inspect_log(log_path, dtd.as_ref())
+        .map_err(|e| CliError::Journal(format!("{log_path}: {e}")))?;
+    let damaged = summary.corrupt.is_some();
+    let kind = summary
+        .kind
+        .map(|k| k.to_string())
+        .unwrap_or_else(|| format!("unknown (kind byte {})", summary.kind_code));
+
+    if format == ReportFormat::Json {
+        let records: Vec<JsonValue> = summary
+            .records
+            .iter()
+            .map(|r| {
+                JsonValue::object(vec![
+                    ("seq", JsonValue::int(r.seq as usize)),
+                    ("offset", JsonValue::int(r.offset as usize)),
+                    ("kind", JsonValue::string(r.kind.clone())),
+                    ("bytes", JsonValue::int(r.bytes)),
+                    ("detail", JsonValue::string(r.detail.clone())),
+                ])
+            })
+            .collect();
+        let json = JsonValue::object(vec![
+            ("command", JsonValue::string("journal-inspect")),
+            ("log", JsonValue::string(log_path)),
+            ("kind", JsonValue::string(kind)),
+            ("spec", JsonValue::string(summary.spec.to_string())),
+            ("records", JsonValue::Array(records)),
+            (
+                "durable_bytes",
+                JsonValue::int(summary.durable_bytes as usize),
+            ),
+            ("torn_bytes", JsonValue::int(summary.torn_bytes as usize)),
+            (
+                "corrupt",
+                summary
+                    .corrupt
+                    .as_ref()
+                    .map(|c| JsonValue::string(c.clone()))
+                    .unwrap_or(JsonValue::Null),
+            ),
+        ]);
+        let mut report = json.render();
+        report.push('\n');
+        return Ok(CommandOutcome::new(report, i32::from(damaged)));
+    }
+
+    let mut report = String::new();
+    report.push_str(&format!("journal: {log_path}\n"));
+    report.push_str(&format!(
+        "kind: {kind} (format v{})\n",
+        xic_engine::journal::FORMAT_VERSION
+    ));
+    report.push_str(&format!("spec: {}\n", summary.spec));
+    report.push_str(&format!(
+        "records: {} ({} durable bytes)\n",
+        summary.records.len(),
+        summary.durable_bytes
+    ));
+    for record in &summary.records {
+        report.push_str(&format!(
+            "  #{:<4} @{:<8} {:<6} {:>6} B  {}\n",
+            record.seq, record.offset, record.kind, record.bytes, record.detail
+        ));
+    }
+    if summary.torn_bytes > 0 {
+        report.push_str(&format!(
+            "torn tail: {} trailing bytes are not a complete record (recovery truncates them)\n",
+            summary.torn_bytes
+        ));
+    }
+    if let Some(corrupt) = &summary.corrupt {
+        report.push_str(&format!("CORRUPT: {corrupt}\n"));
+    }
+    Ok(CommandOutcome::new(report, i32::from(damaged)))
 }
 
 #[cfg(test)]

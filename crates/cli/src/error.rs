@@ -23,6 +23,8 @@ pub enum CliError {
     /// The specification was rejected by the analyzer (e.g. a constraint
     /// references an attribute the DTD does not define).
     Spec(String),
+    /// A journal log could not be written, read or replayed.
+    Journal(String),
 }
 
 impl fmt::Display for CliError {
@@ -34,6 +36,7 @@ impl fmt::Display for CliError {
             CliError::Constraints(msg) => write!(f, "constraint error: {msg}"),
             CliError::Document(msg) => write!(f, "document error: {msg}"),
             CliError::Spec(msg) => write!(f, "specification error: {msg}"),
+            CliError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }
 }

@@ -11,6 +11,9 @@
 //! xic classify --dtd school.dtd --constraints school.xic
 //! xic explain  --dtd school.dtd --constraints school.xic
 //! xic batch    --dtd school.dtd --constraints school.xic --manifest docs.txt --threads 8
+//! xic journal record  --dtd school.dtd --constraints school.xic --script edits.txt --log run.xicj
+//! xic journal replay  --dtd school.dtd --constraints school.xic --log run.xicj
+//! xic journal inspect --log run.xicj --dtd school.dtd
 //! ```
 //!
 //! Exit codes are script-friendly: `0` for a positive verdict (consistent /
@@ -32,12 +35,13 @@ pub mod report;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use commands::{
-    batch, check, classify, diagnose, explain, implies, validate_doc, CommandOutcome,
+    batch, check, classify, diagnose, explain, implies, journal, validate_doc, CommandOutcome,
 };
 pub use error::CliError;
 pub use json::JsonValue;
 pub use report::{
-    delta_json, doc_report_from_json, doc_report_json, violation_from_json, violation_json,
+    delta_from_json, delta_json, doc_change_from_json, doc_report_from_json, doc_report_json,
+    violation_from_json, violation_json,
 };
 
 /// The options accepted by every subcommand (unknown ones are rejected with
@@ -54,6 +58,8 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "threads",
         "format",
         "session",
+        "script",
+        "log",
     ],
     flags: &["quiet", "no-witness", "help"],
 };
@@ -70,6 +76,9 @@ COMMANDS:
     implies    decide whether the specification implies a further constraint (--query)
     validate   validate a document (--doc) against the DTD and the constraints
     batch      validate every document in a manifest (--manifest) in parallel
+    journal    durable edit journals: record a session script to a binary delta
+               log (record), rebuild verdicts from a log on a replica (replay),
+               or print a log's self-describing contents (inspect)
     diagnose   explain an inconsistent specification (minimal inconsistent core)
     classify   report the constraint class and the complexity of its analyses
     explain    print the DTD analysis and the cardinality system Ψ(D,Σ)
@@ -86,6 +95,11 @@ OPTIONS:
                           one-shot batch: open/set/add/text/remove/close/commit
                           directives, one per line; every commit re-checks only the
                           edited documents and reports the delta (batch only)
+    --script FILE         the edit script to record (journal record only; same
+                          directive syntax as --session — the human-readable twin
+                          of the binary log)
+    --log FILE            the journal file to write (journal record) or read
+                          (journal replay / inspect)
     --threads N           worker threads for batch validation (default: all cores)
     --format FORMAT       report format: text (default) or json, with structured
                           verdicts and violation witnesses (validate/batch only)
@@ -123,6 +137,7 @@ where
         "implies" => commands::implies(&parsed),
         "validate" => commands::validate_doc(&parsed),
         "batch" => commands::batch(&parsed),
+        "journal" => commands::journal(&parsed),
         "diagnose" => commands::diagnose(&parsed),
         "classify" => commands::classify(&parsed),
         "explain" => commands::explain(&parsed),

@@ -10,7 +10,7 @@
 //! reconstructed from its own output without an external JSON library.
 
 use xic_constraints::Violation;
-use xic_engine::{BatchDelta, DocChange, DocReport};
+use xic_engine::{BatchDelta, ClosedDoc, DocChange, DocHandle, DocReport};
 use xic_xml::NodeId;
 
 use crate::json::JsonValue;
@@ -179,6 +179,67 @@ pub fn delta_json(delta: &BatchDelta) -> JsonValue {
             JsonValue::Array(delta.changes.iter().map(doc_change_json).collect()),
         ),
     ])
+}
+
+/// Parses a [`delta_json`] rendering back into a [`BatchDelta`] — the
+/// inverse that makes the `xic batch --session` / `xic journal` delta
+/// stream a total, round-trippable interchange format (property-tested in
+/// `crates/cli/tests/json_roundtrip.rs` next to the report and violation
+/// pairs).
+pub fn delta_from_json(json: &JsonValue) -> Result<BatchDelta, String> {
+    let closed = json
+        .get("closed")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `closed` array")?
+        .iter()
+        .map(|c| {
+            Ok(ClosedDoc {
+                handle: handle_from_json(c)?,
+                label: require_str(c, "label")?.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let changes = json
+        .get("changes")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `changes` array")?
+        .iter()
+        .map(doc_change_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BatchDelta {
+        seq: usize_field(json, "seq")? as u64,
+        changes,
+        closed,
+        rechecked_docs: usize_field(json, "rechecked")?,
+        total: usize_field(json, "total")?,
+        clean: usize_field(json, "clean")?,
+    })
+}
+
+/// Parses one element of a delta's `changes` array back into a
+/// [`DocChange`] (the derived `clean` member is ignored — it is recomputed
+/// from the report).
+pub fn doc_change_from_json(json: &JsonValue) -> Result<DocChange, String> {
+    let was_clean = match json.get("was_clean") {
+        None | Some(JsonValue::Null) => None,
+        Some(JsonValue::Bool(b)) => Some(*b),
+        Some(other) => return Err(format!("`was_clean` must be null or a bool: {other:?}")),
+    };
+    Ok(DocChange {
+        handle: handle_from_json(json)?,
+        was_clean,
+        report: doc_report_from_json(json.get("report").ok_or("missing `report` member")?)?,
+    })
+}
+
+/// Parses the `doc-N` handle rendering back into a [`DocHandle`].
+fn handle_from_json(json: &JsonValue) -> Result<DocHandle, String> {
+    let rendered = require_str(json, "doc")?;
+    let raw = rendered
+        .strip_prefix("doc-")
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| format!("`doc` must render as doc-<number>, got `{rendered}`"))?;
+    Ok(DocHandle::from_raw(raw))
 }
 
 fn doc_change_json(change: &DocChange) -> JsonValue {

@@ -9,10 +9,13 @@ use std::fmt::Write as _;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
-use xic_cli::report::{doc_report_from_json, doc_report_json, violation_from_json, violation_json};
+use xic_cli::report::{
+    delta_from_json, delta_json, doc_report_from_json, doc_report_json, violation_from_json,
+    violation_json,
+};
 use xic_cli::JsonValue;
 use xic_constraints::Violation;
-use xic_engine::DocReport;
+use xic_engine::{BatchDelta, ClosedDoc, DocChange, DocHandle, DocReport};
 use xic_xml::NodeId;
 
 /// Characters chosen to stress every escaping path: ASCII, the JSON
@@ -133,6 +136,53 @@ fn arb_report() -> BoxedStrategy<DocReport> {
         .boxed()
 }
 
+/// Handles at the edges of the `doc-N` rendering.
+fn arb_handle() -> BoxedStrategy<DocHandle> {
+    prop_oneof![
+        (0u64..64).boxed(),
+        Just(u64::MAX - 1).boxed(),
+        Just(u64::MAX).boxed(),
+    ]
+    .prop_map(DocHandle::from_raw)
+    .boxed()
+}
+
+/// Arbitrary commit deltas — the journal's record payload — covering every
+/// `was_clean` transition, closes, and hostile strings throughout.
+fn arb_delta() -> BoxedStrategy<BatchDelta> {
+    let change = (
+        arb_handle(),
+        prop_oneof![Just(None), Just(Some(true)), Just(Some(false))],
+        arb_report(),
+    )
+        .prop_map(|(handle, was_clean, report)| DocChange {
+            handle,
+            was_clean,
+            report,
+        });
+    let closed =
+        (arb_handle(), arb_string()).prop_map(|(handle, label)| ClosedDoc { handle, label });
+    (
+        (0u64..10_000).boxed(),
+        vec(change, 0..4),
+        vec(closed, 0..3),
+        (0usize..64).boxed(),
+        (0usize..64).boxed(),
+        (0usize..64).boxed(),
+    )
+        .prop_map(
+            |(seq, changes, closed, rechecked_docs, total, clean)| BatchDelta {
+                seq,
+                changes,
+                closed,
+                rechecked_docs,
+                total,
+                clean,
+            },
+        )
+        .boxed()
+}
+
 /// Arbitrary JSON values, for the generic writer ↔ parser round trip.
 fn arb_json() -> BoxedStrategy<JsonValue> {
     let leaf = prop_oneof![
@@ -194,6 +244,18 @@ proptest! {
         );
         let back = doc_report_from_json(&parsed).expect("parsed report reconstructs");
         prop_assert_eq!(back, r);
+    }
+
+    /// `delta_json` → render → parse → `delta_from_json` is the identity
+    /// on arbitrary commit deltas — the journal-record shape `xic journal
+    /// record|replay` and `xic batch --session` all emit, so the delta
+    /// stream is a total interchange format in both directions.
+    #[test]
+    fn deltas_round_trip(d in arb_delta()) {
+        let rendered = delta_json(&d).render();
+        let parsed = JsonValue::parse(&rendered).expect("writer output is valid JSON");
+        let back = delta_from_json(&parsed).expect("parsed delta reconstructs");
+        prop_assert_eq!(back, d);
     }
 
     /// The generic writer ↔ parser pair is the identity on arbitrary JSON

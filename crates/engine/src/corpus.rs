@@ -44,6 +44,7 @@ use xic_constraints::{IncrementalIndex, Violation};
 use xic_xml::{EditJournal, EditOp, ValuePool, XmlError, XmlTree};
 
 use crate::batch::{BatchReport, DocReport};
+use crate::journal::JournalError;
 use crate::session::{apply_ops, DocHandle, SessionError};
 use crate::spec::CompiledSpec;
 
@@ -179,6 +180,12 @@ pub struct CorpusSession<'s> {
     positions_stale: bool,
     next_handle: u64,
     commits: u64,
+    /// Committed deltas retained for [`CorpusSession::export_deltas`]
+    /// (contiguous; `history[0].seq == history_base`).
+    history: Vec<BatchDelta>,
+    /// Sequence number of the oldest retained delta (1 until
+    /// [`CorpusSession::prune_deltas`] drops a prefix).
+    history_base: u64,
 }
 
 impl<'s> CorpusSession<'s> {
@@ -194,6 +201,8 @@ impl<'s> CorpusSession<'s> {
             positions_stale: false,
             next_handle: 0,
             commits: 0,
+            history: Vec::new(),
+            history_base: 1,
         }
     }
 
@@ -405,14 +414,49 @@ impl<'s> CorpusSession<'s> {
         // order.
         changes.sort_by_key(|c| c.handle);
 
-        BatchDelta {
+        let delta = BatchDelta {
             seq: self.commits,
             changes,
             closed,
             rechecked_docs,
             total: self.docs.len(),
             clean: self.clean_docs,
+        };
+        self.history.push(delta.clone());
+        delta
+    }
+
+    /// The last committed sequence number (0 before the first commit).
+    pub fn last_seq(&self) -> u64 {
+        self.commits
+    }
+
+    /// The committed deltas with sequence numbers above `after_seq`, in
+    /// order — the export surface of replication: ship these to a
+    /// [`crate::CorpusReplica`] (or append them to a delta log with
+    /// [`crate::journal::append_delta_log`]) and the replica reconstructs
+    /// [`CorpusSession::report`] exactly, with no document ever re-shipped.
+    /// Fails with [`JournalError::PrunedDeltas`] when the requested window
+    /// was already dropped by [`CorpusSession::prune_deltas`].
+    pub fn export_deltas(&self, after_seq: u64) -> Result<&[BatchDelta], JournalError> {
+        if after_seq + 1 < self.history_base {
+            return Err(JournalError::PrunedDeltas {
+                first_retained: self.history_base,
+            });
         }
+        let skip = (after_seq + 1 - self.history_base) as usize;
+        Ok(&self.history[skip.min(self.history.len())..])
+    }
+
+    /// Drops retained deltas with sequence numbers `<= up_to_seq` (once
+    /// every subscriber has durably consumed them), bounding the history a
+    /// long-lived corpus keeps in memory.  Returns how many were dropped.
+    pub fn prune_deltas(&mut self, up_to_seq: u64) -> usize {
+        let droppable = (up_to_seq + 1).saturating_sub(self.history_base) as usize;
+        let drop = droppable.min(self.history.len());
+        self.history.drain(..drop);
+        self.history_base += drop as u64;
+        drop
     }
 
     /// Materializes the full corpus report, ordered like a
@@ -693,6 +737,59 @@ mod tests {
             Err(SessionError::UnknownHandle(a)),
             "closed handles are rejected"
         );
+    }
+
+    #[test]
+    fn exported_deltas_feed_a_replica_and_prune_bounds_history() {
+        use crate::journal::{CorpusReplica, JournalError};
+        let spec = spec();
+        let name = spec.dtd().attr_by_name("name").unwrap();
+        let mut corpus = CorpusSession::new(&spec);
+        let mut replica = CorpusReplica::new(spec.id());
+        let a = corpus
+            .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let b = corpus
+            .open_source("b.xml", "<school><teacher name=\"Ann\"/></school>")
+            .unwrap();
+        corpus.commit();
+        replica
+            .apply_deltas(corpus.export_deltas(replica.last_seq()).unwrap())
+            .unwrap();
+        assert_eq!(replica.report(), corpus.report());
+
+        // Edit + close; the replica follows from deltas alone.
+        let joe = corpus.tree(a).unwrap().elements().nth(1).unwrap();
+        corpus
+            .apply(
+                a,
+                &[EditOp::SetAttr {
+                    element: joe,
+                    attr: name,
+                    value: "Ann".into(),
+                }],
+            )
+            .unwrap();
+        corpus.commit();
+        corpus.close(b).unwrap();
+        corpus.commit();
+        replica
+            .apply_deltas(corpus.export_deltas(replica.last_seq()).unwrap())
+            .unwrap();
+        assert_eq!(replica.last_seq(), 3);
+        assert_eq!(replica.report(), corpus.report());
+        assert_eq!(replica.num_docs(), 1);
+
+        // Pruning consumed deltas bounds the retained history; asking for
+        // the pruned window is a structured error, newer windows still work.
+        assert_eq!(corpus.prune_deltas(2), 2);
+        assert_eq!(corpus.export_deltas(2).unwrap().len(), 1);
+        assert_eq!(
+            corpus.export_deltas(0).unwrap_err(),
+            JournalError::PrunedDeltas { first_retained: 3 }
+        );
+        assert_eq!(corpus.prune_deltas(100), 1);
+        assert_eq!(corpus.export_deltas(3).unwrap().len(), 0);
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //!   commits that re-check only edited documents, and a [`BatchDelta`]
 //!   diff stream (clean ↔ violating flips with structured witnesses) for
 //!   subscribers;
+//! * [`journal`] — durable edit journals: a versioned binary delta-log
+//!   format with CRC'd, torn-tail-tolerant records; [`Session::persist_to`]
+//!   / [`Session::recover_from`] crash recovery, [`CorpusReplica`] replicas
+//!   reconstructing corpus verdicts from [`BatchDelta`]s alone, and the
+//!   `xic journal` CLI surface on top;
 //! * [`Engine`] — the façade combining a cache with the checkers, exposing
 //!   memoized [`Engine::consistency`] and [`Engine::implication`].
 //!
@@ -69,6 +74,7 @@ pub mod batch;
 pub mod cache;
 pub mod corpus;
 pub mod hash;
+pub mod journal;
 pub mod session;
 pub mod spec;
 
@@ -76,7 +82,12 @@ pub use batch::{BatchDoc, BatchEngine, BatchReport, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
 pub use corpus::{BatchDelta, ClosedDoc, CorpusSession, DocChange};
 pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
-pub use session::{DocHandle, Session, SessionError, SessionVerdict};
+pub use journal::{
+    append_delta_log, inspect_log, read_delta_log, read_session_log, write_delta_log,
+    CorpusReplica, DeltaLog, JournalError, LogKind, LogSummary, PersistReceipt, RecordSummary,
+    SessionLog,
+};
+pub use session::{DocHandle, Recovery, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, SpecId};
 
 use xic_constraints::Constraint;

@@ -132,16 +132,22 @@ impl std::error::Error for EditError {}
 /// The ordered log of edits applied to one document: each entry pairs the
 /// submitted [`EditOp`] with the [`EditEffect`] its application produced.
 ///
-/// A session drains nothing: the journal is the complete edit history since
-/// the document was opened.  Storing the *ops* (not just the effects) makes
-/// the journal replayable: applying [`EditJournal::ops`] in order to a copy
-/// of the original tree reproduces the edited tree node-for-node (the arena
-/// allocates ids deterministically), which is what close/re-open recovery,
-/// audit, and shipping a delta log to another replica (cf. distributed XML
-/// design) all rest on.
+/// The journal is the complete edit history since the document was opened,
+/// minus any prefix explicitly [`EditJournal::compact`]ed away *after it
+/// became durable elsewhere* (written to a delta log, or folded into a
+/// persisted base snapshot).  Storing the *ops* (not just the effects)
+/// makes the journal replayable: applying [`EditJournal::ops`] in order to
+/// a copy of the original tree reproduces the edited tree node-for-node
+/// (the arena allocates ids deterministically), which is what close/re-open
+/// recovery, crash recovery from a persisted log, and shipping a delta log
+/// to another replica (cf. distributed XML design) all rest on.
 #[derive(Debug, Clone, Default)]
 pub struct EditJournal {
     entries: Vec<(EditOp, EditEffect)>,
+    /// Edits recorded before `entries[0]` that were compacted away: they
+    /// are durable in a log or folded into a base snapshot, so the global
+    /// index of `entries[i]` is `folded + i`.
+    folded: u64,
 }
 
 impl EditJournal {
@@ -150,22 +156,63 @@ impl EditJournal {
         EditJournal::default()
     }
 
+    /// A journal whose oldest `folded` edits are already durable elsewhere
+    /// (folded into a recovered base snapshot or replayed from a log):
+    /// entries recorded from here on carry global indices `folded`,
+    /// `folded + 1`, ….  This is how crash recovery re-opens a document
+    /// without re-materialising its pre-snapshot history.
+    pub fn with_folded(folded: u64) -> EditJournal {
+        EditJournal {
+            entries: Vec::new(),
+            folded,
+        }
+    }
+
     /// Appends one applied edit with the effect it produced.
     pub fn record(&mut self, op: EditOp, effect: EditEffect) {
         self.entries.push((op, effect));
     }
 
-    /// Number of recorded edits.
+    /// Drops every retained entry whose global index is below
+    /// `durable_total` — i.e. the edits already persisted to a delta log or
+    /// folded into a durable base snapshot — and returns how many were
+    /// dropped.  Long-lived sessions call this (via `Session::compact`)
+    /// after persisting so the in-memory journal holds only the
+    /// not-yet-durable suffix instead of growing without bound; recovery
+    /// still round-trips node-for-node because the log retains the full
+    /// history.
+    pub fn compact(&mut self, durable_total: u64) -> usize {
+        let droppable = durable_total.saturating_sub(self.folded);
+        let drop = (droppable.min(self.entries.len() as u64)) as usize;
+        self.entries.drain(..drop);
+        self.folded += drop as u64;
+        drop
+    }
+
+    /// Edits dropped by [`EditJournal::compact`] (they precede
+    /// [`EditJournal::entries`] in the global numbering).
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// Total edits ever recorded: the compacted prefix plus the retained
+    /// entries.
+    pub fn total_recorded(&self) -> u64 {
+        self.folded + self.entries.len() as u64
+    }
+
+    /// Number of retained (not compacted) edits.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the journal is empty.
+    /// Whether the journal retains no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// The recorded `(op, effect)` entries, oldest first.
+    /// The retained `(op, effect)` entries, oldest first (entry `i` has
+    /// global index [`EditJournal::folded`]` + i`).
     pub fn entries(&self) -> &[(EditOp, EditEffect)] {
         &self.entries
     }
@@ -326,6 +373,44 @@ mod tests {
             journal.entries()[0],
             (EditOp::AddElement { .. }, EditEffect::ElementAdded { .. })
         ));
+    }
+
+    #[test]
+    fn compaction_drops_only_the_durable_prefix() {
+        let dtd = example_d1();
+        let teachers = dtd.type_by_name("teachers").unwrap();
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let mut t = XmlTree::new(teachers);
+        let mut journal = EditJournal::new();
+        for _ in 0..4 {
+            let op = EditOp::AddElement {
+                parent: t.root(),
+                ty: teacher,
+            };
+            let effect = t.apply_edit(&op).unwrap();
+            journal.record(op, effect);
+        }
+        assert_eq!(journal.total_recorded(), 4);
+
+        // Only the durable prefix can go; the rest stays addressable.
+        assert_eq!(journal.compact(2), 2);
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.folded(), 2);
+        assert_eq!(journal.total_recorded(), 4);
+        // Compacting below what is already folded is a no-op.
+        assert_eq!(journal.compact(1), 0);
+        // A durable watermark beyond the recorded history drains everything
+        // recorded, and no more.
+        assert_eq!(journal.compact(100), 2);
+        assert_eq!(journal.folded(), 4);
+        assert!(journal.is_empty());
+        assert_eq!(journal.total_recorded(), 4);
+
+        // Recovery-style journals start with a folded base.
+        let resumed = EditJournal::with_folded(7);
+        assert_eq!(resumed.folded(), 7);
+        assert_eq!(resumed.total_recorded(), 7);
+        assert!(resumed.is_empty());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   [`tree::XmlTree::apply_edit`], which returns delta records
 //!   ([`edit::EditEffect`]) that incremental indexes consume; sessions keep
 //!   them in an [`edit::EditJournal`];
+//! * [`snapshot`] — slot-for-slot arena snapshots ([`snapshot::TreeSnapshot`])
+//!   that rebuild a tree id-exactly ([`tree::XmlTree::from_snapshot`]), the
+//!   serialization hook durable edit journals persist base documents with;
 //! * [`parser::parse_document`] / [`writer::write_document`] — a DTD-aware
 //!   XML parser and serializer (from scratch, no external XML crates);
 //! * [`mod@validate`] — the `T ⊨ D` validity test of Definition 2.2, with
@@ -26,6 +29,7 @@ pub mod edit;
 pub mod error;
 pub mod parser;
 pub mod pool;
+pub mod snapshot;
 pub mod tree;
 pub mod validate;
 pub mod writer;
@@ -34,6 +38,7 @@ pub use edit::{EditEffect, EditError, EditJournal, EditOp};
 pub use error::XmlError;
 pub use parser::{parse_document, parse_document_pooled};
 pub use pool::{ValueId, ValuePool};
+pub use snapshot::{NodeSnapshot, SnapshotError, TreeSnapshot};
 pub use tree::{NodeId, NodeLabel, XmlTree};
 pub use validate::{compile_automata, is_valid, validate, ValidationError, Validator};
 pub use writer::{write_document, write_document_with, WriteOptions};

@@ -18,6 +18,7 @@ use std::collections::{HashMap, HashSet};
 use xic_dtd::{AttrId, Dtd, ElemId};
 
 use crate::pool::{ValueId, ValuePool};
+use crate::snapshot::{NodeSnapshot, SnapshotError, TreeSnapshot};
 
 /// Identifier of a node within an [`XmlTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -393,6 +394,175 @@ impl XmlTree {
         hist
     }
 
+    /// Dumps the arena slot-for-slot into a [`TreeSnapshot`] — the
+    /// serialization hook of the durable edit journals.  The snapshot keeps
+    /// tombstones, child/attribute orders and (implicitly, by position) node
+    /// ids, so a tree rebuilt by [`XmlTree::from_snapshot`] replays journaled
+    /// [`crate::EditOp`]s id-exactly.  Values are resolved to strings: pool
+    /// symbols are tree-local and re-interned on reconstruction.
+    pub fn snapshot(&self) -> TreeSnapshot {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| NodeSnapshot {
+                label: node.label,
+                parent: node.parent,
+                value: node.value.map(|id| self.pool.resolve(id).to_string()),
+                detached: node.detached,
+                children: node.children.clone(),
+                attrs: node.attrs.clone(),
+            })
+            .collect();
+        TreeSnapshot {
+            nodes,
+            root: self.root,
+        }
+    }
+
+    /// Rebuilds a tree from a [`TreeSnapshot`], re-validating every arena
+    /// invariant first — snapshots arrive from persistence formats and must
+    /// be treated as hostile.  On success the arena (ids, orders,
+    /// tombstones, values) is indistinguishable from the snapshotted one;
+    /// on any inconsistency a structured [`SnapshotError`] is returned and
+    /// nothing is built.  Values are interned into a fresh pool (symbol
+    /// numbering may differ from the original tree's; string values, which
+    /// are what constraints compare at the edges, are identical).
+    pub fn from_snapshot(snapshot: &TreeSnapshot) -> Result<XmlTree, SnapshotError> {
+        let n = snapshot.nodes.len();
+        if n == 0 {
+            return Err(SnapshotError::global("empty arena"));
+        }
+        if n > u32::MAX as usize {
+            return Err(SnapshotError::global("arena exceeds u32 ids"));
+        }
+        let in_range = |id: NodeId| (id.index() < n).then_some(id);
+        let slot = |id: NodeId| &snapshot.nodes[id.index()];
+
+        // Root invariants.
+        let root = in_range(snapshot.root)
+            .ok_or_else(|| SnapshotError::global("root slot out of range"))?;
+        let root_node = slot(root);
+        if !matches!(root_node.label, NodeLabel::Element(_)) {
+            return Err(SnapshotError::at(root, "root is not an element"));
+        }
+        if root_node.parent.is_some() {
+            return Err(SnapshotError::at(root, "root has a parent"));
+        }
+        if root_node.detached {
+            return Err(SnapshotError::at(root, "root is detached"));
+        }
+
+        // Per-slot invariants: reference ranges, label/value coherence,
+        // leaf-ness of attribute and text nodes.
+        for (i, node) in snapshot.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            let is_element = matches!(node.label, NodeLabel::Element(_));
+            if node.value.is_some() == is_element {
+                return Err(SnapshotError::at(
+                    id,
+                    "value present iff the node is an attribute or text node",
+                ));
+            }
+            if !is_element && (!node.children.is_empty() || !node.attrs.is_empty()) {
+                return Err(SnapshotError::at(id, "non-element node with children"));
+            }
+            if id != root && node.parent.is_none() {
+                return Err(SnapshotError::at(id, "non-root node without a parent"));
+            }
+            if let Some(p) = node.parent {
+                if in_range(p).is_none() {
+                    return Err(SnapshotError::at(id, "parent out of range"));
+                }
+            }
+            for &c in node
+                .children
+                .iter()
+                .chain(node.attrs.iter().map(|(_, c)| c))
+            {
+                if in_range(c).is_none() {
+                    return Err(SnapshotError::at(id, "child reference out of range"));
+                }
+            }
+        }
+
+        // Live-structure invariants: children/attrs of live nodes are live,
+        // parent-consistent, correctly labelled, and referenced exactly
+        // once; every live node is reachable from the root.  Together these
+        // rule out cycles and shared subtrees, which edit replay (and
+        // `remove_subtree`'s stack walk in particular) relies on.
+        let live = snapshot.nodes.iter().filter(|s| !s.detached).count();
+        let mut referenced = vec![false; n];
+        let mut visited = 0usize;
+        let mut stack = vec![root];
+        referenced[root.index()] = true;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            let node = slot(id);
+            for &c in &node.children {
+                let child = slot(c);
+                if child.detached {
+                    return Err(SnapshotError::at(id, "live node lists a detached child"));
+                }
+                if child.parent != Some(id) {
+                    return Err(SnapshotError::at(c, "child does not name its parent"));
+                }
+                if matches!(child.label, NodeLabel::Attribute(_)) {
+                    return Err(SnapshotError::at(id, "attribute node in the child list"));
+                }
+                if std::mem::replace(&mut referenced[c.index()], true) {
+                    return Err(SnapshotError::at(c, "node referenced twice"));
+                }
+                stack.push(c);
+            }
+            for &(attr, a) in &node.attrs {
+                let attr_node = slot(a);
+                if attr_node.detached {
+                    return Err(SnapshotError::at(
+                        id,
+                        "live node lists a detached attribute",
+                    ));
+                }
+                if attr_node.parent != Some(id) {
+                    return Err(SnapshotError::at(a, "attribute does not name its parent"));
+                }
+                if attr_node.label != NodeLabel::Attribute(attr) {
+                    return Err(SnapshotError::at(a, "attribute label mismatch"));
+                }
+                if std::mem::replace(&mut referenced[a.index()], true) {
+                    return Err(SnapshotError::at(a, "node referenced twice"));
+                }
+                // Attribute nodes are leaves (checked above), nothing to push.
+                visited += 1;
+            }
+        }
+        if visited != live {
+            return Err(SnapshotError::global(format!(
+                "{live} live nodes but {visited} reachable from the root"
+            )));
+        }
+
+        // All invariants hold: rebuild the arena slot-for-slot.
+        let mut pool = ValuePool::new();
+        let nodes = snapshot
+            .nodes
+            .iter()
+            .map(|s| Node {
+                label: s.label,
+                parent: s.parent,
+                value: s.value.as_deref().map(|v| pool.intern(v)),
+                children: s.children.clone(),
+                attrs: s.attrs.clone(),
+                detached: s.detached,
+            })
+            .collect();
+        Ok(XmlTree {
+            nodes,
+            root,
+            pool,
+            live,
+        })
+    }
+
     /// Renders a node path like `teachers/teacher[2]` for diagnostics.
     pub fn path_of(&self, dtd: &Dtd, node: NodeId) -> String {
         let mut segments = Vec::new();
@@ -571,6 +741,80 @@ mod tests {
         assert!(t.remove_subtree(victim).is_none());
         // The root can never be removed.
         assert!(t.remove_subtree(t.root()).is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips_slot_for_slot() {
+        let dtd = example_d1();
+        let mut t = figure1_tree(&dtd);
+        let teacher = dtd.type_by_name("teacher").unwrap();
+        let name = dtd.attr_by_name("name").unwrap();
+        // Tombstones and post-edit state must survive the round trip too.
+        let victim = t.ext(teacher).next().unwrap();
+        t.remove_subtree(victim).unwrap();
+        let survivor = t.ext(teacher).next().unwrap();
+        t.set_attr(survivor, name, "Sue");
+
+        let snap = t.snapshot();
+        assert_eq!(snap.num_slots(), 23);
+        assert_eq!(snap.live_nodes(), t.num_nodes());
+        let rebuilt = XmlTree::from_snapshot(&snap).unwrap();
+        // The rebuilt arena is indistinguishable: same snapshot again.
+        assert_eq!(rebuilt.snapshot(), snap);
+        assert_eq!(rebuilt.num_nodes(), t.num_nodes());
+        assert_eq!(rebuilt.root(), t.root());
+        assert!(rebuilt.is_detached(victim));
+        assert_eq!(rebuilt.attr_value(victim, name), Some("Joe"));
+        // Fresh allocations continue from the same slot, so edit replay
+        // stays id-exact.
+        let mut a = t.clone();
+        let mut b = rebuilt;
+        assert_eq!(
+            a.add_element(a.root(), teacher),
+            b.add_element(b.root(), teacher)
+        );
+    }
+
+    #[test]
+    fn hostile_snapshots_are_rejected_structurally() {
+        let dtd = example_d1();
+        let t = figure1_tree(&dtd);
+        let good = t.snapshot();
+
+        // Empty arena.
+        let empty = TreeSnapshot {
+            nodes: vec![],
+            root: NodeId(0),
+        };
+        assert!(XmlTree::from_snapshot(&empty).is_err());
+
+        // Out-of-range child reference.
+        let mut bad = good.clone();
+        bad.nodes[0].children.push(NodeId(9999));
+        assert!(XmlTree::from_snapshot(&bad).is_err());
+
+        // A cycle: two nodes referencing each other cannot be reachable
+        // and parent-consistent at once.
+        let mut bad = good.clone();
+        let a = bad.nodes[0].children[0];
+        bad.nodes[a.index()].children.push(NodeId(0));
+        assert!(XmlTree::from_snapshot(&bad).is_err());
+
+        // Value on an element / missing value on text.
+        let mut bad = good.clone();
+        bad.nodes[0].value = Some("x".into());
+        assert!(XmlTree::from_snapshot(&bad).is_err());
+
+        // Detached root.
+        let mut bad = good.clone();
+        bad.nodes[0].detached = true;
+        assert!(XmlTree::from_snapshot(&bad).is_err());
+
+        // A live node referenced twice (shared subtree).
+        let mut bad = good;
+        let shared = bad.nodes[0].children[0];
+        bad.nodes[0].children.push(shared);
+        assert!(XmlTree::from_snapshot(&bad).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub use xic_xml as xml;
 
 // The production entry points, re-exported flat for discoverability.
 pub use xic_engine::{
-    BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusSession, DocHandle, Engine, Session,
-    SessionVerdict, VerdictCache,
+    BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusReplica, CorpusSession, DocHandle,
+    Engine, JournalError, Recovery, Session, SessionVerdict, VerdictCache,
 };
 pub use xic_xml::{EditJournal, EditOp};
