@@ -16,7 +16,11 @@ use xic_core::{
 };
 use xic_dtd::{analyze, parse_dtd, Dtd};
 use xic_engine::journal::{inspect_log, read_delta_log, write_delta_log};
-use xic_engine::{BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusReplica, CorpusSession};
+use xic_engine::{
+    BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusReplica, CorpusSession, Engine,
+    EngineMetrics,
+};
+use xic_telemetry::RegistrySnapshot;
 use xic_xml::{parse_document, validate, write_document, EditOp, NodeId};
 
 use crate::args::ParsedArgs;
@@ -91,6 +95,68 @@ fn spec_inputs(args: &ParsedArgs) -> Result<(Dtd, ConstraintSet), CliError> {
         None => ConstraintSet::new(),
     };
     Ok((dtd, sigma))
+}
+
+/// Renders a frozen metrics registry as the JSON `metrics` member: one
+/// object each for counters, gauges and histograms (histograms as
+/// `{count, sum, max, p50, p90, p99}` summaries, latency values in
+/// nanoseconds as recorded).
+fn snapshot_json(snapshot: &RegistrySnapshot) -> JsonValue {
+    let counters = JsonValue::Object(
+        snapshot
+            .counters
+            .iter()
+            .map(|c| (c.name.clone(), JsonValue::Number(c.value as f64)))
+            .collect(),
+    );
+    let gauges = JsonValue::Object(
+        snapshot
+            .gauges
+            .iter()
+            .map(|g| (g.name.clone(), JsonValue::Number(g.value as f64)))
+            .collect(),
+    );
+    let histograms = JsonValue::Object(
+        snapshot
+            .histograms
+            .iter()
+            .map(|h| {
+                (
+                    h.name.clone(),
+                    JsonValue::object(vec![
+                        ("count", JsonValue::Number(h.count as f64)),
+                        ("sum", JsonValue::Number(h.sum as f64)),
+                        ("max", JsonValue::Number(h.max as f64)),
+                        ("p50", JsonValue::Number(h.p50 as f64)),
+                        ("p90", JsonValue::Number(h.p90 as f64)),
+                        ("p99", JsonValue::Number(h.p99 as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    JsonValue::object(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// The `--metrics` JSON block: the process-global engine registry, frozen.
+fn metrics_json() -> JsonValue {
+    snapshot_json(&EngineMetrics::capture_global().snapshot)
+}
+
+/// The `--metrics` text block: a `metrics:` header plus the aligned
+/// instrument table, indented two spaces.
+fn metrics_text() -> String {
+    let mut block = String::from("metrics:\n");
+    for line in EngineMetrics::capture_global().render_text().lines() {
+        block.push_str("  ");
+        block.push_str(line);
+        block.push('\n');
+    }
+    block
 }
 
 /// `xic check` — static consistency analysis of a specification.
@@ -186,7 +252,7 @@ pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let violations = check_document(&dtd, &tree, &sigma);
     if format == ReportFormat::Json {
         let ok = structural.is_empty() && violations.is_empty();
-        let json = JsonValue::object(vec![
+        let mut fields = vec![
             ("command", JsonValue::string("validate")),
             ("doc", JsonValue::string(doc_path)),
             ("nodes", JsonValue::int(tree.num_nodes())),
@@ -200,7 +266,11 @@ pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
                 JsonValue::Array(violations.iter().map(violation_json).collect()),
             ),
             ("clean", JsonValue::Bool(ok)),
-        ]);
+        ];
+        if args.has_flag("metrics") {
+            fields.push(("metrics", metrics_json()));
+        }
+        let json = JsonValue::object(fields);
         let mut report = json.render();
         report.push('\n');
         return Ok(CommandOutcome::new(report, if ok { 0 } else { 1 }));
@@ -243,6 +313,9 @@ pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
                 );
             }
         }
+    }
+    if args.has_flag("metrics") {
+        report.push_str(&metrics_text());
     }
     let ok = structural.is_empty() && violations.is_empty();
     Ok(CommandOutcome::new(report, if ok { 0 } else { 1 }))
@@ -413,7 +486,14 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     };
 
     if let Some(script_path) = args.get("session") {
-        return batch_session(&spec, docs, script_path, format, args.has_flag("quiet"));
+        return batch_session(
+            &spec,
+            docs,
+            script_path,
+            format,
+            args.has_flag("quiet"),
+            args.has_flag("metrics"),
+        );
     }
 
     let engine = match args.get_usize("threads")? {
@@ -425,13 +505,17 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 
     if format == ReportFormat::Json {
         let reports: Vec<JsonValue> = report_data.reports().iter().map(doc_report_json).collect();
-        let json = JsonValue::object(vec![
+        let mut fields = vec![
             ("command", JsonValue::string("batch")),
             ("spec", JsonValue::string(spec.id().to_string())),
             ("total", JsonValue::int(report_data.total())),
             ("clean", JsonValue::int(report_data.clean_count())),
             ("reports", JsonValue::Array(reports)),
-        ]);
+        ];
+        if args.has_flag("metrics") {
+            fields.push(("metrics", metrics_json()));
+        }
+        let json = JsonValue::object(fields);
         let mut report = json.render();
         report.push('\n');
         return Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }));
@@ -452,6 +536,9 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             report_data.clean_count(),
             report_data.total()
         ));
+    }
+    if args.has_flag("metrics") {
+        report.push_str(&metrics_text());
     }
     Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }))
 }
@@ -631,6 +718,8 @@ struct DeltaStreamView<'a> {
     notes: &'a [String],
     format: ReportFormat,
     quiet: bool,
+    /// Append the engine metrics block (`--metrics`).
+    metrics: bool,
 }
 
 /// Renders a delta stream plus final reports — the shared output shape of
@@ -651,6 +740,7 @@ fn render_delta_stream(
         notes,
         format,
         quiet,
+        metrics,
     } = view;
     let all_clean = final_report.clean_count() == final_report.total();
     let code = if all_clean { 0 } else { 1 };
@@ -675,6 +765,9 @@ fn render_delta_stream(
                 JsonValue::Array(final_report.reports().iter().map(doc_report_json).collect()),
             ),
         ]);
+        if metrics {
+            fields.push(("metrics", metrics_json()));
+        }
         let json = JsonValue::object(fields);
         let mut report = json.render();
         report.push('\n');
@@ -696,18 +789,11 @@ fn render_delta_stream(
             delta.seq, delta.clean, delta.total, delta.rechecked_docs
         ));
         for change in &delta.changes {
-            let transition = match (change.was_clean, change.now_clean()) {
-                (None, true) => "opened clean",
-                (None, false) => "opened violating",
-                (Some(true), false) => "clean -> violating",
-                (Some(false), true) => "violating -> clean",
-                (Some(true), true) => "still clean",
-                // Violating before and after, but the violation set moved.
-                (Some(false), false) => "still violating (changed)",
-            };
             report.push_str(&format!(
                 "  ~ [{}] {}: {}\n",
-                change.report.index, change.report.label, transition
+                change.report.index,
+                change.report.label,
+                change.transition().label()
             ));
             if !quiet {
                 for e in &change.report.validation_errors {
@@ -730,6 +816,9 @@ fn render_delta_stream(
         final_report.clean_count(),
         final_report.total()
     ));
+    if metrics {
+        report.push_str(&metrics_text());
+    }
     CommandOutcome::new(report, code)
 }
 
@@ -744,6 +833,7 @@ fn batch_session(
     script_path: &str,
     format: ReportFormat,
     quiet: bool,
+    metrics: bool,
 ) -> Result<CommandOutcome, CliError> {
     let (corpus, deltas) = run_session_script(spec, docs, script_path)?;
     let final_report = corpus.report();
@@ -755,6 +845,7 @@ fn batch_session(
             notes: &[],
             format,
             quiet,
+            metrics,
         },
         spec,
         &deltas,
@@ -817,6 +908,7 @@ fn journal_record(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             )],
             format,
             quiet: args.has_flag("quiet"),
+            metrics: args.has_flag("metrics"),
         },
         &spec,
         &deltas,
@@ -857,6 +949,7 @@ fn journal_replay(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             notes: &notes,
             format,
             quiet: args.has_flag("quiet"),
+            metrics: args.has_flag("metrics"),
         },
         &spec,
         &log.deltas,
@@ -893,7 +986,7 @@ fn journal_inspect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
                 ])
             })
             .collect();
-        let json = JsonValue::object(vec![
+        let mut fields = vec![
             ("command", JsonValue::string("journal-inspect")),
             ("log", JsonValue::string(log_path)),
             ("kind", JsonValue::string(kind)),
@@ -912,7 +1005,11 @@ fn journal_inspect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
                     .map(|c| JsonValue::string(c.clone()))
                     .unwrap_or(JsonValue::Null),
             ),
-        ]);
+        ];
+        if args.has_flag("metrics") {
+            fields.push(("metrics", metrics_json()));
+        }
+        let json = JsonValue::object(fields);
         let mut report = json.render();
         report.push('\n');
         return Ok(CommandOutcome::new(report, i32::from(damaged)));
@@ -945,7 +1042,77 @@ fn journal_inspect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     if let Some(corrupt) = &summary.corrupt {
         report.push_str(&format!("CORRUPT: {corrupt}\n"));
     }
+    if args.has_flag("metrics") {
+        report.push_str(&metrics_text());
+    }
     Ok(CommandOutcome::new(report, i32::from(damaged)))
+}
+
+/// `xic stats` — compile the specification, exercise the verdict cache
+/// (one consistency miss, one hit — optionally validating `--doc` too) and
+/// print the engine's metrics registry: every counter, gauge and latency
+/// histogram, followed by the compile-phase trace timeline.
+pub fn stats(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
+    let (dtd, sigma) = spec_inputs(args)?;
+    let registry = EngineMetrics::global_registry();
+    let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+    let engine = Engine::with_registry(64, std::sync::Arc::clone(registry));
+    // Twice on purpose: the first call is a cache miss that runs the
+    // procedure, the second is served from the verdict cache — so the
+    // printed registry always shows both sides of the cache traffic.
+    let verdict = engine.consistency(&spec);
+    let _ = engine.consistency(&spec);
+    if let Some(doc_path) = args.get("doc") {
+        let text = read_file(doc_path)?;
+        let tree = spec
+            .parse_document(&text)
+            .map_err(|e| CliError::Document(format!("{doc_path}: {e}")))?;
+        let _ = spec.check_document(&tree);
+    }
+
+    let metrics = EngineMetrics::capture(registry);
+    if format == ReportFormat::Json {
+        let json = JsonValue::object(vec![
+            ("command", JsonValue::string("stats")),
+            ("spec", JsonValue::string(spec.id().to_string())),
+            (
+                "consistent",
+                match verdict.decision() {
+                    Some(b) => JsonValue::Bool(b),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("metrics", snapshot_json(&metrics.snapshot)),
+        ]);
+        let mut report = json.render();
+        report.push('\n');
+        return Ok(CommandOutcome::new(report, 0));
+    }
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "spec {}: {} constraints over {} element types\n",
+        spec.id(),
+        spec.sigma().len(),
+        spec.dtd().num_types()
+    ));
+    report.push_str(&metrics_text());
+    let events = registry.trace_events();
+    if !events.is_empty() && !args.has_flag("quiet") {
+        report.push_str("trace (most recent spans):\n");
+        for event in events.iter().rev().take(32).rev() {
+            report.push_str(&format!(
+                "  {:>10}ns  {}{} ({}ns)\n",
+                event.start_ns,
+                "  ".repeat(event.depth as usize),
+                event.name,
+                event.dur_ns
+            ));
+        }
+    }
+    Ok(CommandOutcome::new(report, 0))
 }
 
 #[cfg(test)]
@@ -1463,6 +1630,162 @@ mod tests {
             changes[0].get("doc").and_then(JsonValue::as_str),
             Some("doc-0")
         );
+    }
+
+    #[test]
+    fn batch_session_metrics_block_covers_cache_commit_and_journal() {
+        let dtd = temp_file("metr.dtd", SCHOOL_DTD);
+        let sigma = temp_file("metr.xic", "teacher.name -> teacher");
+        let a = temp_file("metr-a.xml", "<school><teacher name=\"Joe\"/></school>");
+        let a_name = a.file_name().unwrap().to_str().unwrap();
+        let script = temp_file(
+            "metr-script.txt",
+            &format!(
+                "open a {a_name}\n\
+                 commit\n\
+                 set a 1 name Sue\n\
+                 commit\n"
+            ),
+        );
+        let out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+                "--metrics",
+                "--format",
+                "json",
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        let parsed = JsonValue::parse(out.report.trim()).expect("valid JSON");
+        let metrics = parsed.get("metrics").expect("metrics block present");
+        let counters = metrics.get("counters").expect("counters object");
+        // The baseline pins the full inventory: cache, corpus-commit and
+        // journal instruments all appear even if this run left some at 0.
+        for name in [
+            "cache.hits",
+            "cache.misses",
+            "corpus.commits",
+            "corpus.edits",
+            "journal.bytes_written",
+            "journal.records_appended",
+        ] {
+            assert!(counters.get(name).is_some(), "missing counter {name}");
+        }
+        // This run committed twice and applied one edit — on the shared
+        // global registry those counters are at least that.
+        let commits = match counters.get("corpus.commits") {
+            Some(JsonValue::Number(n)) => *n,
+            other => panic!("corpus.commits not a number: {other:?}"),
+        };
+        assert!(commits >= 2.0, "corpus.commits = {commits}");
+        let histograms = metrics.get("histograms").expect("histograms object");
+        for name in ["corpus.commit_ns", "cache.insert_ns", "journal.persist_ns"] {
+            assert!(histograms.get(name).is_some(), "missing histogram {name}");
+        }
+        let commit_ns = histograms.get("corpus.commit_ns").unwrap();
+        let count = match commit_ns.get("count") {
+            Some(JsonValue::Number(n)) => *n,
+            other => panic!("corpus.commit_ns.count not a number: {other:?}"),
+        };
+        assert!(count >= 2.0, "corpus.commit_ns.count = {count}");
+        let gauges = metrics.get("gauges").expect("gauges object");
+        assert!(gauges.get("corpus.dirty_docs").is_some());
+        assert!(gauges.get("corpus.queued_ops").is_some());
+
+        // The text form appends a readable block with the same content.
+        let text_out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+                "--metrics",
+            ],
+        );
+        assert!(text_out.report.contains("metrics:"), "{}", text_out.report);
+        assert!(
+            text_out.report.contains("corpus.commits"),
+            "{}",
+            text_out.report
+        );
+        // Without the flag, output is unchanged — no metrics block.
+        let plain = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+            ],
+        );
+        assert!(!plain.report.contains("metrics:"), "{}", plain.report);
+    }
+
+    #[test]
+    fn stats_prints_the_instrument_inventory_and_cache_traffic() {
+        let dtd = temp_file("stats.dtd", SCHOOL_DTD);
+        let sigma = temp_file("stats.xic", "teacher.name -> teacher");
+        let out = run(
+            stats,
+            &[
+                "stats",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        for needle in ["metrics:", "cache.hits", "compile.specs", "span.compile"] {
+            assert!(
+                out.report.contains(needle),
+                "missing {needle}: {}",
+                out.report
+            );
+        }
+
+        let json_out = run(
+            stats,
+            &[
+                "stats",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--constraints",
+                sigma.to_str().unwrap(),
+                "--format",
+                "json",
+            ],
+        );
+        assert_eq!(json_out.exit_code, 0, "{}", json_out.report);
+        let parsed = JsonValue::parse(json_out.report.trim()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("command").and_then(JsonValue::as_str),
+            Some("stats")
+        );
+        assert_eq!(parsed.get("consistent"), Some(&JsonValue::Bool(true)));
+        let counters = parsed
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("counters");
+        let hits = match counters.get("cache.hits") {
+            Some(JsonValue::Number(n)) => *n,
+            other => panic!("cache.hits not a number: {other:?}"),
+        };
+        assert!(hits >= 1.0, "cache.hits = {hits}");
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub mod report;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use commands::{
-    batch, check, classify, diagnose, explain, implies, journal, validate_doc, CommandOutcome,
+    batch, check, classify, diagnose, explain, implies, journal, stats, validate_doc,
+    CommandOutcome,
 };
 pub use error::CliError;
 pub use json::JsonValue;
@@ -61,7 +62,7 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "script",
         "log",
     ],
-    flags: &["quiet", "no-witness", "help"],
+    flags: &["quiet", "no-witness", "help", "metrics"],
 };
 
 /// The usage text printed by `xic help` and on usage errors.
@@ -82,6 +83,10 @@ COMMANDS:
     diagnose   explain an inconsistent specification (minimal inconsistent core)
     classify   report the constraint class and the complexity of its analyses
     explain    print the DTD analysis and the cardinality system Ψ(D,Σ)
+    stats      compile the spec, run a consistency check (twice — the second
+               hit is served from the verdict cache) and print the engine's
+               metrics registry: counters, gauges, latency histograms and
+               the compile-phase trace timeline
     help       print this message
 
 OPTIONS:
@@ -105,6 +110,9 @@ OPTIONS:
                           verdicts and violation witnesses (validate/batch only)
     --witness-out FILE    write the witness document to FILE instead of stdout (check only)
     --no-witness          skip witness synthesis (faster; check/implies only)
+    --metrics             append the engine metrics block to the report: cache,
+                          session/corpus commit and journal instruments (validate,
+                          batch and journal; included in --format json output)
     --quiet               do not print witness or counterexample documents
 
 EXIT CODES:
@@ -141,6 +149,7 @@ where
         "diagnose" => commands::diagnose(&parsed),
         "classify" => commands::classify(&parsed),
         "explain" => commands::explain(&parsed),
+        "stats" => commands::stats(&parsed),
         "help" | "--help" | "-h" => return (USAGE.to_string(), 0),
         other => return (format!("unknown command `{other}`\n\n{USAGE}"), 2),
     };

@@ -42,9 +42,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::BuildHasherDefault;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use xic_dtd::{AttrId, Dtd, ElemId};
+use xic_telemetry::{Counter, Histogram};
 use xic_xml::{EditEffect, NodeId, ValueId, XmlTree};
 
 use crate::classes::ConstraintSet;
@@ -53,6 +54,20 @@ use crate::index::TupleHasher;
 use crate::satisfy::Violation;
 
 type TupleMap<V> = HashMap<Box<[ValueId]>, V, BuildHasherDefault<TupleHasher>>;
+
+/// Process-wide incremental-index instruments (builds, build latency,
+/// constraints recomputed by verdict extraction), resolved once.
+fn instruments() -> &'static (Arc<Counter>, Arc<Histogram>, Arc<Counter>) {
+    static INSTRUMENTS: OnceLock<(Arc<Counter>, Arc<Histogram>, Arc<Counter>)> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let telemetry = xic_telemetry::global();
+        (
+            telemetry.counter("incremental.builds"),
+            telemetry.histogram("incremental.build_ns"),
+            telemetry.counter("incremental.constraints_rechecked"),
+        )
+    })
+}
 
 /// The document-independent descriptor of one `(τ, X̄)` slot.
 #[derive(Debug)]
@@ -296,6 +311,20 @@ impl IncrementalIndex {
     /// verdict is computed, not assumed).  No layout derivation happens
     /// here: the `Arc` is the only thing cloned.
     pub fn with_layout(layout: Arc<IncrementalLayout>, tree: &XmlTree) -> IncrementalIndex {
+        let (builds, build_ns, _) = instruments();
+        let timer = xic_telemetry::global().start_timer();
+        let index = IncrementalIndex::with_layout_uninstrumented(layout, tree);
+        builds.inc();
+        if let Some(t) = timer {
+            build_ns.record_elapsed(t);
+        }
+        index
+    }
+
+    fn with_layout_uninstrumented(
+        layout: Arc<IncrementalLayout>,
+        tree: &XmlTree,
+    ) -> IncrementalIndex {
         let n = layout.checks.len();
         let mut index = IncrementalIndex {
             slots: layout.slots.iter().map(|_| SlotData::default()).collect(),
@@ -610,6 +639,7 @@ impl IncrementalIndex {
     pub fn check_all(&mut self, tree: &XmlTree) -> Vec<Violation> {
         let dirty = std::mem::take(&mut self.dirty);
         self.rechecked = dirty.len();
+        instruments().2.add(self.rechecked as u64);
         for i in dirty {
             self.dirty_flags[i] = false;
             self.cache[i] = self.violation_of(i, tree);

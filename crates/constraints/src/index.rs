@@ -20,8 +20,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use xic_dtd::{AttrId, Dtd, ElemId};
+use xic_telemetry::{Counter, Histogram};
 use xic_xml::{NodeId, ValueId, XmlTree};
 
 use crate::classes::ConstraintSet;
@@ -113,10 +115,34 @@ pub struct DocIndex<'a> {
     tuples: Vec<TupleSlot>,
 }
 
+/// Process-wide build instruments, resolved once (registry name lookups
+/// take a read lock; the per-document build path should not).
+fn instruments() -> &'static (Arc<Counter>, Arc<Histogram>) {
+    static INSTRUMENTS: OnceLock<(Arc<Counter>, Arc<Histogram>)> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let telemetry = xic_telemetry::global();
+        (
+            telemetry.counter("index.builds"),
+            telemetry.histogram("index.build_ns"),
+        )
+    })
+}
+
 impl<'a> DocIndex<'a> {
     /// Builds every index the plan names in a single document-order pass
     /// over the tree.
     pub fn build(dtd: &'a Dtd, tree: &'a XmlTree, plan: &IndexPlan) -> DocIndex<'a> {
+        let (builds, build_ns) = instruments();
+        let timer = xic_telemetry::global().start_timer();
+        let index = DocIndex::build_uninstrumented(dtd, tree, plan);
+        builds.inc();
+        if let Some(t) = timer {
+            build_ns.record_elapsed(t);
+        }
+        index
+    }
+
+    fn build_uninstrumented(dtd: &'a Dtd, tree: &'a XmlTree, plan: &IndexPlan) -> DocIndex<'a> {
         let mut ext: HashMap<ElemId, Vec<NodeId>> = plan
             .ext_types()
             .iter()

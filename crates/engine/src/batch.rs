@@ -8,13 +8,30 @@
 //! completion order.
 
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
 use xic_constraints::Violation;
+use xic_telemetry::{Counter, Histogram};
 use xic_xml::{ValuePool, XmlTree};
 
 use crate::spec::CompiledSpec;
+
+/// Global-registry batch instruments, resolved once: per-document pipeline
+/// latency (`batch.doc_ns`), total documents processed (`batch.docs`), and
+/// per-worker throughput (`batch.worker_docs` — one sample per worker per
+/// batch, so its quantiles show how evenly the job channel spread the load).
+fn instruments() -> &'static (Arc<Counter>, Arc<Histogram>, Arc<Histogram>) {
+    static INSTRUMENTS: OnceLock<(Arc<Counter>, Arc<Histogram>, Arc<Histogram>)> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let registry = xic_telemetry::global();
+        (
+            registry.counter("batch.docs"),
+            registry.histogram("batch.doc_ns"),
+            registry.histogram("batch.worker_docs"),
+        )
+    })
+}
 
 /// One document submitted to a batch: a label (typically its path) and its
 /// XML source.
@@ -206,6 +223,9 @@ impl BatchEngine {
                 reports.push(report);
                 pool = recycled;
             }
+            if !docs.is_empty() {
+                instruments().2.record(docs.len() as u64);
+            }
             return BatchReport { reports };
         }
 
@@ -224,6 +244,7 @@ impl BatchEngine {
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     let mut pool = ValuePool::new();
+                    let mut processed: u64 = 0;
                     loop {
                         // Hold the receiver lock only for the pop, not the work.
                         let job = job_rx.lock().expect("job receiver poisoned").try_recv();
@@ -231,12 +252,16 @@ impl BatchEngine {
                             Ok((index, doc)) => {
                                 let (report, recycled) = process_doc(spec, index, doc, pool);
                                 pool = recycled;
+                                processed += 1;
                                 if result_tx.send(report).is_err() {
-                                    return;
+                                    break;
                                 }
                             }
-                            Err(_) => return,
+                            Err(_) => break,
                         }
+                    }
+                    if processed > 0 {
+                        instruments().2.record(processed);
                     }
                 });
             }
@@ -259,6 +284,22 @@ impl BatchEngine {
 /// Takes and returns the caller's [`ValuePool`] so the interner stays warm
 /// across documents.
 fn process_doc(
+    spec: &CompiledSpec,
+    index: usize,
+    doc: &BatchDoc,
+    pool: ValuePool,
+) -> (DocReport, ValuePool) {
+    let (docs, doc_ns, _) = instruments();
+    let timer = xic_telemetry::global().start_timer();
+    let result = process_doc_uninstrumented(spec, index, doc, pool);
+    docs.inc();
+    if let Some(start) = timer {
+        doc_ns.record_elapsed(start);
+    }
+    result
+}
+
+fn process_doc_uninstrumented(
     spec: &CompiledSpec,
     index: usize,
     doc: &BatchDoc,

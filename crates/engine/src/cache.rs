@@ -4,15 +4,25 @@
 //! Reads take the write lock only long enough to bump the counter; eviction
 //! scans for the least-recently-used entry, which is linear in the capacity
 //! and perfectly adequate for the few-thousand-entry caches the engine uses.
+//!
+//! Statistics are registry-backed: hits, misses, evictions, insert counts
+//! and insert latency live as named instruments on an
+//! [`xic_telemetry::MetricsRegistry`] (aggregate `cache.*` instruments plus
+//! per-[`SpecId`] breakdowns), so the same numbers surface through
+//! [`VerdictCache::stats`], `xic stats` and the `--metrics` flag without a
+//! second bookkeeping path.  A cache built with
+//! [`VerdictCache::with_capacity`] owns a private registry (statistics
+//! isolated to that cache, as every pre-telemetry test assumes); share one
+//! with [`VerdictCache::with_registry`].
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use xic_constraints::Constraint;
 use xic_core::{ConsistencyOutcome, ImplicationOutcome};
 use xic_dtd::Dtd;
+use xic_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::hash::fnv1a_parts;
 use crate::spec::SpecId;
@@ -162,14 +172,51 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio in `[0, 1]` (0 when no lookups happened).
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Fraction of the capacity currently resident, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.capacity as f64
+        }
+    }
+
+    /// Former name of [`CacheStats::hit_rate`].
+    #[deprecated(since = "0.1.0", note = "renamed to `hit_rate`")]
+    pub fn hit_ratio(&self) -> f64 {
+        self.hit_rate()
+    }
+}
+
+impl fmt::Display for CacheStats {
+    /// One-line report covering every field consistently (rate, residency
+    /// *and* eviction pressure — not just hits/misses).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups ({:.1}% hit rate), {}/{} entries resident, {} evictions",
+            self.hits,
+            self.lookups(),
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.capacity,
+            self.evictions,
+        )
     }
 }
 
@@ -177,7 +224,39 @@ impl CacheStats {
 struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
-    evictions: u64,
+}
+
+/// Registry-backed cache instruments.  Aggregate handles are resolved once
+/// at cache construction; per-spec breakdowns are resolved lazily (the set
+/// of spec ids is open-ended).
+#[derive(Debug)]
+struct CacheInstruments {
+    registry: Arc<MetricsRegistry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    inserts: Arc<Counter>,
+    insert_ns: Arc<Histogram>,
+    entries: Arc<Gauge>,
+}
+
+impl CacheInstruments {
+    fn on(registry: Arc<MetricsRegistry>) -> CacheInstruments {
+        CacheInstruments {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            evictions: registry.counter("cache.evictions"),
+            inserts: registry.counter("cache.inserts"),
+            insert_ns: registry.histogram("cache.insert_ns"),
+            entries: registry.gauge("cache.entries"),
+            registry,
+        }
+    }
+
+    /// The per-spec breakdown counter `cache.<kind>.<spec>`.
+    fn spec_counter(&self, kind: &str, spec: SpecId) -> Arc<Counter> {
+        self.registry.counter(&format!("cache.{kind}.{spec}"))
+    }
 }
 
 #[derive(Debug)]
@@ -186,13 +265,12 @@ struct Entry {
     last_used: u64,
 }
 
-/// Thread-safe LRU verdict memo.  See the module docs for the locking and
-/// eviction story.
+/// Thread-safe LRU verdict memo.  See the module docs for the locking,
+/// eviction and statistics story.
 #[derive(Debug)]
 pub struct VerdictCache {
     inner: RwLock<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    instr: CacheInstruments,
     capacity: usize,
 }
 
@@ -203,14 +281,26 @@ impl Default for VerdictCache {
 }
 
 impl VerdictCache {
-    /// A cache holding at most `capacity` verdicts (minimum 1).
+    /// A cache holding at most `capacity` verdicts (minimum 1), with
+    /// statistics on a private [`MetricsRegistry`].
     pub fn with_capacity(capacity: usize) -> VerdictCache {
+        VerdictCache::with_registry(capacity, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// A cache whose statistics live on a shared registry (the process
+    /// global, or a per-tenant registry in a service).  Two caches sharing a
+    /// registry aggregate into the same `cache.*` instruments.
+    pub fn with_registry(capacity: usize, registry: Arc<MetricsRegistry>) -> VerdictCache {
         VerdictCache {
             inner: RwLock::new(Inner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            instr: CacheInstruments::on(registry),
             capacity: capacity.max(1),
         }
+    }
+
+    /// The registry holding this cache's instruments.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.instr.registry
     }
 
     /// Looks up a verdict, refreshing its recency on a hit.
@@ -221,11 +311,16 @@ impl VerdictCache {
         match inner.map.get_mut(&key) {
             Some(entry) => {
                 entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.verdict.clone())
+                let verdict = entry.verdict.clone();
+                drop(inner);
+                self.instr.hits.inc();
+                self.instr.spec_counter("hits", key.spec).inc();
+                Some(verdict)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                self.instr.misses.inc();
+                self.instr.spec_counter("misses", key.spec).inc();
                 None
             }
         }
@@ -234,9 +329,11 @@ impl VerdictCache {
     /// Inserts a verdict, evicting the least-recently-used entry if the
     /// cache is full.
     pub fn insert(&self, key: CacheKey, verdict: Verdict) {
+        let timer = self.instr.registry.start_timer();
         let mut inner = self.inner.write().expect("verdict cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
+        let mut evicted = None;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
             let lru = inner
                 .map
@@ -245,7 +342,7 @@ impl VerdictCache {
                 .map(|(k, _)| *k);
             if let Some(lru) = lru {
                 inner.map.remove(&lru);
-                inner.evictions += 1;
+                evicted = Some(lru.spec);
             }
         }
         inner.map.insert(
@@ -255,6 +352,22 @@ impl VerdictCache {
                 last_used: tick,
             },
         );
+        let entries = inner.map.len();
+        drop(inner);
+        if let Some(spec) = evicted {
+            self.instr.evictions.inc();
+            self.instr.spec_counter("evictions", spec).inc();
+        }
+        self.instr.inserts.inc();
+        self.instr.spec_counter("inserts", key.spec).inc();
+        self.instr.entries.set(entries as i64);
+        if let Some(t) = timer {
+            self.instr.insert_ns.record_elapsed(t);
+            self.instr
+                .registry
+                .histogram(&format!("cache.insert_ns.{}", key.spec))
+                .record_elapsed(t);
+        }
     }
 
     /// Returns the cached verdict or computes, inserts and returns it.  The
@@ -276,16 +389,22 @@ impl VerdictCache {
             .expect("verdict cache poisoned")
             .map
             .clear();
+        self.instr.entries.set(0);
     }
 
-    /// Point-in-time statistics.
+    /// Point-in-time statistics — a thin shim over the registry-backed
+    /// instruments (`cache.hits` / `cache.misses` / `cache.evictions`),
+    /// kept so pre-telemetry callers and tests read the same numbers they
+    /// always did.  Note: under a *shared* registry
+    /// ([`VerdictCache::with_registry`]) these are the registry's aggregate
+    /// counts, not this one cache's.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.read().expect("verdict cache poisoned");
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.instr.hits.get(),
+            misses: self.instr.misses.get(),
             entries: inner.map.len(),
-            evictions: inner.evictions,
+            evictions: self.instr.evictions.get(),
             capacity: self.capacity,
         }
     }
@@ -360,5 +479,59 @@ mod tests {
         }
         assert_eq!(cache.stats().entries, 4);
         assert_eq!(cache.stats().evictions, 96);
+    }
+
+    #[test]
+    fn stats_shim_matches_registry_instruments() {
+        let cache = VerdictCache::with_capacity(2);
+        cache.insert(key(1, 1), verdict("a"));
+        assert!(cache.get(key(1, 1)).is_some());
+        assert!(cache.get(key(2, 2)).is_none());
+        let stats = cache.stats();
+        let snap = cache.registry().snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(stats.hits));
+        assert_eq!(snap.counter("cache.misses"), Some(stats.misses));
+        assert_eq!(snap.counter("cache.inserts"), Some(1));
+        assert_eq!(snap.gauge("cache.entries"), Some(stats.entries as i64));
+        // Per-spec breakdowns land under the spec's display name.
+        let spec = SpecId(1, 1);
+        assert_eq!(snap.counter(&format!("cache.hits.{spec}")), Some(1));
+        assert_eq!(snap.counter(&format!("cache.inserts.{spec}")), Some(1));
+        let other = SpecId(2, 2);
+        assert_eq!(snap.counter(&format!("cache.misses.{other}")), Some(1));
+    }
+
+    #[test]
+    fn hit_rate_occupancy_and_display() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+            evictions: 5,
+            capacity: 8,
+        };
+        assert_eq!(stats.lookups(), 4);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((stats.occupancy() - 0.25).abs() < 1e-12);
+        let line = stats.to_string();
+        for needle in ["3 hits", "4 lookups", "75.0%", "2/8 entries", "5 evictions"] {
+            assert!(line.contains(needle), "{line:?} missing {needle:?}");
+        }
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().occupancy(), 0.0);
+    }
+
+    #[test]
+    fn shared_registry_aggregates_across_caches() {
+        let registry = std::sync::Arc::new(xic_telemetry::MetricsRegistry::new());
+        let a = VerdictCache::with_registry(8, std::sync::Arc::clone(&registry));
+        let b = VerdictCache::with_registry(8, std::sync::Arc::clone(&registry));
+        a.insert(key(1, 1), verdict("a"));
+        b.insert(key(2, 2), verdict("b"));
+        assert!(a.get(key(1, 1)).is_some());
+        assert!(b.get(key(2, 2)).is_some());
+        assert_eq!(registry.snapshot().counter("cache.hits"), Some(2));
+        // The stats() shim reads the shared aggregate by design.
+        assert_eq!(a.stats().hits, 2);
     }
 }

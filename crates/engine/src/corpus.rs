@@ -39,8 +39,10 @@
 //! `BatchEngine` revalidation of the corpus.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use xic_constraints::{IncrementalIndex, Violation};
+use xic_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use xic_xml::{EditJournal, EditOp, ValuePool, XmlError, XmlTree};
 
 use crate::batch::{BatchReport, DocReport};
@@ -66,6 +68,57 @@ impl DocChange {
     /// Whether the document is clean after this change.
     pub fn now_clean(&self) -> bool {
         self.report.is_clean()
+    }
+
+    /// The clean-state transition this change reports.
+    pub fn transition(&self) -> Transition {
+        match (self.was_clean, self.now_clean()) {
+            (None, true) => Transition::OpenedClean,
+            (None, false) => Transition::OpenedViolating,
+            (Some(true), false) => Transition::ToViolating,
+            (Some(false), true) => Transition::ToClean,
+            (Some(true), true) => Transition::StillClean,
+            (Some(false), false) => Transition::StillViolating,
+        }
+    }
+}
+
+/// The clean-state transition of one [`DocChange`] — the classification the
+/// CLI's delta stream, `xic journal inspect` and the metrics layer all
+/// share (each used to hand-roll its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Opened since the last commit, clean.
+    OpenedClean,
+    /// Opened since the last commit, violating.
+    OpenedViolating,
+    /// Was clean, now violating.
+    ToViolating,
+    /// Was violating, now clean.
+    ToClean,
+    /// Clean before and after (cannot appear in a committed delta: a clean
+    /// report has nothing to observably change).
+    StillClean,
+    /// Violating before and after, but the violation/error set changed.
+    StillViolating,
+}
+
+impl Transition {
+    /// Whether the document flipped between clean and violating.
+    pub fn is_flip(self) -> bool {
+        matches!(self, Transition::ToViolating | Transition::ToClean)
+    }
+
+    /// The human-readable label the CLI delta stream prints.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transition::OpenedClean => "opened clean",
+            Transition::OpenedViolating => "opened violating",
+            Transition::ToViolating => "clean -> violating",
+            Transition::ToClean => "violating -> clean",
+            Transition::StillClean => "still clean",
+            Transition::StillViolating => "still violating (changed)",
+        }
     }
 }
 
@@ -106,6 +159,103 @@ impl BatchDelta {
     /// closes).
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty() && self.closed.is_empty()
+    }
+
+    /// Tallies the delta's changes by [`Transition`] — the one aggregation
+    /// the metrics layer, `xic journal inspect` and the CLI delta stream
+    /// share.
+    pub fn summary(&self) -> DeltaSummary {
+        let mut summary = DeltaSummary {
+            docs_changed: self.changes.len(),
+            closed: self.closed.len(),
+            rechecked: self.rechecked_docs,
+            ..DeltaSummary::default()
+        };
+        for change in &self.changes {
+            match change.transition() {
+                Transition::OpenedClean | Transition::OpenedViolating => summary.opened += 1,
+                Transition::ToViolating => summary.to_violating += 1,
+                Transition::ToClean => summary.to_clean += 1,
+                Transition::StillClean | Transition::StillViolating => summary.churned += 1,
+            }
+            summary.violations_now += change.report.violations.len();
+        }
+        summary
+    }
+}
+
+/// Per-delta tallies from [`BatchDelta::summary`].
+///
+/// Everything here is derived from the delta alone, so a replica holding
+/// only the stream computes the same numbers.  Exact violations
+/// added/removed counts (which need the *previous* report of a
+/// still-violating document) are emitted by [`CorpusSession::commit`] as the
+/// `corpus.violations_added` / `corpus.violations_removed` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaSummary {
+    /// Documents whose report changed.
+    pub docs_changed: usize,
+    /// Changed documents that were opened since the previous commit.
+    pub opened: usize,
+    /// Documents that flipped clean → violating.
+    pub to_violating: usize,
+    /// Documents that flipped violating → clean.
+    pub to_clean: usize,
+    /// Documents that changed without flipping (traded one violation or
+    /// error set for another).
+    pub churned: usize,
+    /// Documents closed since the previous commit.
+    pub closed: usize,
+    /// Documents the commit re-checked (the dirty set).
+    pub rechecked: usize,
+    /// Σ violations outstanding across the changed documents' fresh
+    /// reports.
+    pub violations_now: usize,
+}
+
+impl DeltaSummary {
+    /// Total clean ↔ violating flips.
+    pub fn flips(&self) -> usize {
+        self.to_violating + self.to_clean
+    }
+}
+
+/// Registry-backed corpus instruments, resolved once per session.  The
+/// `corpus.dirty_docs` and `corpus.queued_ops` gauges are the backpressure
+/// surface: a service wrapping [`CorpusSession`] bounds admission with one
+/// comparison against an already-exported metric.
+#[derive(Debug)]
+struct CorpusInstruments {
+    registry: Arc<MetricsRegistry>,
+    edits: Arc<Counter>,
+    commits: Arc<Counter>,
+    violations_added: Arc<Counter>,
+    violations_removed: Arc<Counter>,
+    apply_ns: Arc<Histogram>,
+    commit_ns: Arc<Histogram>,
+    recheck_ns: Arc<Histogram>,
+    delta_changes: Arc<Histogram>,
+    dirty_docs: Arc<Gauge>,
+    queued_ops: Arc<Gauge>,
+    open_docs: Arc<Gauge>,
+}
+
+impl CorpusInstruments {
+    fn on(registry: Arc<MetricsRegistry>) -> CorpusInstruments {
+        CorpusInstruments {
+            edits: registry.counter("corpus.edits"),
+            commits: registry.counter("corpus.commits"),
+            violations_added: registry.counter("corpus.violations_added"),
+            violations_removed: registry.counter("corpus.violations_removed"),
+            apply_ns: registry.histogram("corpus.apply_ns"),
+            commit_ns: registry.histogram("corpus.commit_ns"),
+            recheck_ns: registry.histogram("corpus.recheck_ns"),
+            delta_changes: registry.histogram("corpus.delta_changes"),
+            dirty_docs: registry.gauge("corpus.dirty_docs"),
+            queued_ops: registry.gauge("corpus.queued_ops"),
+            open_docs: registry.gauge("corpus.open_docs"),
+            registry,
+        }
     }
 }
 
@@ -186,11 +336,24 @@ pub struct CorpusSession<'s> {
     /// Sequence number of the oldest retained delta (1 until
     /// [`CorpusSession::prune_deltas`] drops a prefix).
     history_base: u64,
+    instr: CorpusInstruments,
 }
 
 impl<'s> CorpusSession<'s> {
-    /// An empty corpus over the given compiled specification.
+    /// An empty corpus over the given compiled specification, recording its
+    /// metrics (`corpus.*` instruments, including the `corpus.dirty_docs`
+    /// and `corpus.queued_ops` backpressure gauges) on the process-global
+    /// registry.
     pub fn new(spec: &'s CompiledSpec) -> CorpusSession<'s> {
+        CorpusSession::with_registry(spec, Arc::clone(xic_telemetry::global()))
+    }
+
+    /// A corpus recording its metrics on an explicit registry (per-tenant
+    /// isolation, or a private registry in tests).
+    pub fn with_registry(
+        spec: &'s CompiledSpec,
+        registry: Arc<MetricsRegistry>,
+    ) -> CorpusSession<'s> {
         CorpusSession {
             spec,
             docs: BTreeMap::new(),
@@ -203,7 +366,13 @@ impl<'s> CorpusSession<'s> {
             commits: 0,
             history: Vec::new(),
             history_base: 1,
+            instr: CorpusInstruments::on(registry),
         }
+    }
+
+    /// The registry this corpus's instruments record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.instr.registry
     }
 
     /// The specification the corpus validates against.
@@ -271,6 +440,8 @@ impl<'s> CorpusSession<'s> {
             },
         );
         self.dirty.push(handle.raw());
+        self.instr.dirty_docs.set(self.dirty.len() as i64);
+        self.instr.open_docs.set(self.docs.len() as i64);
         handle
     }
 
@@ -319,8 +490,23 @@ impl<'s> CorpusSession<'s> {
             .ok_or(SessionError::UnknownHandle(handle))?;
         if !self.dirty.contains(&handle.raw()) {
             self.dirty.push(handle.raw());
+            self.instr.dirty_docs.set(self.dirty.len() as i64);
         }
-        apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops)
+        // Timed per batch, not per op: one clock pair amortized over the
+        // whole edit slice keeps instrumentation inside the overhead budget.
+        let timer = self.instr.registry.start_timer();
+        let outcome = apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops);
+        let applied = match &outcome {
+            Ok(()) => ops.len() as u64,
+            Err(SessionError::Edit { index, .. }) => *index as u64,
+            Err(_) => unreachable!("apply_ops only raises Edit errors"),
+        };
+        self.instr.edits.add(applied);
+        self.instr.queued_ops.add(applied as i64);
+        if let Some(t) = timer {
+            self.instr.apply_ns.record_elapsed(t);
+        }
+        outcome
     }
 
     /// Closes a document, handing its (edited) tree back.  The close is
@@ -339,6 +525,8 @@ impl<'s> CorpusSession<'s> {
             handle,
             label: doc.label,
         });
+        self.instr.dirty_docs.set(self.dirty.len() as i64);
+        self.instr.open_docs.set(self.docs.len() as i64);
         Ok(doc.tree)
     }
 
@@ -349,6 +537,7 @@ impl<'s> CorpusSession<'s> {
     /// are maintained incrementally, and open-order positions are
     /// renumbered only when a close shifted them.
     pub fn commit(&mut self) -> BatchDelta {
+        let commit_timer = self.instr.registry.start_timer();
         self.commits += 1;
         let dirty = std::mem::take(&mut self.dirty);
         let closed = std::mem::take(&mut self.closed);
@@ -363,18 +552,29 @@ impl<'s> CorpusSession<'s> {
 
         let validator = self.spec.validator();
         let mut changes = Vec::new();
+        let mut violations_added = 0u64;
+        let mut violations_removed = 0u64;
         for raw in dirty {
             let Some(doc) = self.docs.get_mut(&raw) else {
                 // Dirtied, then closed before the commit (close() retains
                 // the dirty list, but guard against future reorderings).
                 continue;
             };
+            let recheck_timer = self.instr.registry.start_timer();
             let validation_errors: Vec<String> = validator
                 .validate(&doc.tree)
                 .iter()
                 .map(|e| e.to_string())
                 .collect();
             let violations: Vec<Violation> = doc.index.check_all(&doc.tree);
+            if let Some(t) = recheck_timer {
+                self.instr.recheck_ns.record_elapsed(t);
+            }
+            // Exact per-commit violation churn: the previous report is
+            // still at hand here, which a bare BatchDelta never has.
+            let previous_violations = doc.report.as_ref().map_or(0, |r| r.violations.len());
+            violations_added += violations.len().saturating_sub(previous_violations) as u64;
+            violations_removed += previous_violations.saturating_sub(violations.len()) as u64;
             let fresh = DocReport {
                 index: doc.position,
                 label: doc.label.clone(),
@@ -423,6 +623,17 @@ impl<'s> CorpusSession<'s> {
             clean: self.clean_docs,
         };
         self.history.push(delta.clone());
+        self.instr.commits.inc();
+        self.instr.violations_added.add(violations_added);
+        self.instr.violations_removed.add(violations_removed);
+        self.instr.delta_changes.record(delta.changes.len() as u64);
+        // The commit drained the dirty set and its queued edits.
+        self.instr.dirty_docs.set(0);
+        self.instr.queued_ops.set(0);
+        self.instr.open_docs.set(self.docs.len() as i64);
+        if let Some(t) = commit_timer {
+            self.instr.commit_ns.record_elapsed(t);
+        }
         delta
     }
 

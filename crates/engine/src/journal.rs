@@ -49,9 +49,11 @@ use std::fmt;
 use std::fs::{self, OpenOptions};
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 use xic_constraints::Violation;
 use xic_dtd::{AttrId, Dtd, ElemId};
+use xic_telemetry::{Counter, Histogram};
 use xic_xml::{
     EditError, EditJournal, EditOp, NodeId, NodeLabel, NodeSnapshot, SnapshotError, TreeSnapshot,
     XmlTree,
@@ -61,6 +63,44 @@ use crate::batch::{BatchReport, DocReport};
 use crate::corpus::{BatchDelta, ClosedDoc, DocChange};
 use crate::session::DocHandle;
 use crate::spec::SpecId;
+
+/// Global-registry journal instruments, resolved once (registry name
+/// lookups take a read lock; the persist path should not pay it per call).
+struct JournalInstruments {
+    bytes_written: Arc<Counter>,
+    records_appended: Arc<Counter>,
+    records_read: Arc<Counter>,
+    torn_repairs: Arc<Counter>,
+    crc_failures: Arc<Counter>,
+    persist_ns: Arc<Histogram>,
+}
+
+fn instruments() -> &'static JournalInstruments {
+    static INSTRUMENTS: OnceLock<JournalInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let registry = xic_telemetry::global();
+        JournalInstruments {
+            bytes_written: registry.counter("journal.bytes_written"),
+            records_appended: registry.counter("journal.records_appended"),
+            records_read: registry.counter("journal.records_read"),
+            torn_repairs: registry.counter("journal.torn_repairs"),
+            crc_failures: registry.counter("journal.crc_failures"),
+            persist_ns: registry.histogram("journal.persist_ns"),
+        }
+    })
+}
+
+/// Counts one durable write into the journal instruments: the appended
+/// record count and bytes, plus a torn-tail repair when the write had to
+/// truncate one first.
+fn note_write(records: usize, bytes: usize, repaired_torn_tail: bool) {
+    let instr = instruments();
+    instr.records_appended.add(records as u64);
+    instr.bytes_written.add(bytes as u64);
+    if repaired_torn_tail {
+        instr.torn_repairs.inc();
+    }
+}
 
 /// The four magic bytes every journal file starts with.
 pub const MAGIC: [u8; 4] = *b"XICJ";
@@ -825,6 +865,7 @@ fn read_raw(path: &Path, lossy: bool) -> Result<RawLog, JournalError> {
         let computed = crc32(&[&bytes[pos + 4..pos + 12], &[tag], payload]);
         let end = pos + FRAME_LEN + len;
         let damage = if computed != stored {
+            instruments().crc_failures.inc();
             Some("CRC mismatch".to_string())
         } else if seq != expected_seq {
             Some(format!("sequence {seq} where {expected_seq} was expected"))
@@ -958,6 +999,7 @@ pub fn read_session_log(
     let raw = read_raw(path.as_ref(), false)?;
     expect_kind(&raw, LogKind::SessionDoc)?;
     expect_spec(&raw, expected)?;
+    instruments().records_read.add(raw.records.len() as u64);
     let Some(first) = raw.records.first() else {
         return Err(JournalError::MissingBase);
     };
@@ -1088,6 +1130,20 @@ pub(crate) fn persist_session_doc(
     tree: &XmlTree,
     journal: &EditJournal,
 ) -> Result<PersistReceipt, JournalError> {
+    let timer = xic_telemetry::global().start_timer();
+    let receipt = persist_session_doc_uninstrumented(path, spec, tree, journal)?;
+    if let Some(start) = timer {
+        instruments().persist_ns.record_elapsed(start);
+    }
+    Ok(receipt)
+}
+
+fn persist_session_doc_uninstrumented(
+    path: &Path,
+    spec: SpecId,
+    tree: &XmlTree,
+    journal: &EditJournal,
+) -> Result<PersistReceipt, JournalError> {
     let raw = match classify_existing(path, LogKind::SessionDoc, spec)? {
         ExistingLog::Fresh { repaired_torn_tail } => {
             let mut buf = Vec::new();
@@ -1097,6 +1153,7 @@ pub(crate) fn persist_session_doc(
             enc_snapshot(&mut enc, &tree.snapshot());
             frame_record(&mut buf, 1, TAG_BASE, &enc.buf);
             fs::write(path, &buf).map_err(|e| io_err(path, e))?;
+            note_write(1, buf.len(), repaired_torn_tail);
             return Ok(PersistReceipt {
                 records_written: 1,
                 total_records: 1,
@@ -1162,6 +1219,7 @@ pub(crate) fn persist_session_doc(
         .map_err(|e| io_err(path, e))?;
     file.write_all(&buf).map_err(|e| io_err(path, e))?;
     file.flush().map_err(|e| io_err(path, e))?;
+    note_write(new_entries.len(), buf.len(), repaired);
     Ok(PersistReceipt {
         records_written: new_entries.len(),
         total_records: seq,
@@ -1219,6 +1277,7 @@ pub fn read_delta_log(path: impl AsRef<Path>, expected: SpecId) -> Result<DeltaL
     let raw = read_raw(path.as_ref(), false)?;
     expect_kind(&raw, LogKind::DeltaStream)?;
     expect_spec(&raw, expected)?;
+    instruments().records_read.add(raw.records.len() as u64);
     let deltas: Vec<BatchDelta> = raw
         .records
         .iter()
@@ -1240,6 +1299,7 @@ pub fn write_delta_log(
     deltas: &[BatchDelta],
 ) -> Result<PersistReceipt, JournalError> {
     let path = path.as_ref();
+    let timer = xic_telemetry::global().start_timer();
     check_contiguous(deltas, None)?;
     let mut buf = Vec::new();
     write_header(&mut buf, LogKind::DeltaStream, spec);
@@ -1249,6 +1309,10 @@ pub fn write_delta_log(
         frame_record(&mut buf, i as u64 + 1, TAG_DELTA, &enc.buf);
     }
     fs::write(path, &buf).map_err(|e| io_err(path, e))?;
+    note_write(deltas.len(), buf.len(), false);
+    if let Some(start) = timer {
+        instruments().persist_ns.record_elapsed(start);
+    }
     Ok(PersistReceipt {
         records_written: deltas.len(),
         total_records: deltas.len() as u64,
@@ -1275,6 +1339,8 @@ pub fn append_delta_log(
         ExistingLog::Fresh { .. } => return write_delta_log(path, spec, deltas),
         ExistingLog::Durable(raw) => raw,
     };
+    // The fresh path above times itself inside `write_delta_log`.
+    let timer = xic_telemetry::global().start_timer();
     check_contiguous(deltas, None)?;
     let on_disk: Vec<BatchDelta> = raw
         .records
@@ -1329,6 +1395,10 @@ pub fn append_delta_log(
         .map_err(|e| io_err(path, e))?;
     file.write_all(&buf).map_err(|e| io_err(path, e))?;
     file.flush().map_err(|e| io_err(path, e))?;
+    note_write(new.len(), buf.len(), repaired);
+    if let Some(start) = timer {
+        instruments().persist_ns.record_elapsed(start);
+    }
     Ok(PersistReceipt {
         records_written: new.len(),
         total_records: seq,
@@ -1609,15 +1679,21 @@ pub fn inspect_log(path: impl AsRef<Path>, dtd: Option<&Dtd>) -> Result<LogSumma
                 TAG_DELTA => (
                     "delta".to_string(),
                     match decode_delta(record) {
-                        Ok(delta) => format!(
-                            "commit {}: {} changes, {} closed, {} rechecked, {}/{} clean",
-                            delta.seq,
-                            delta.changes.len(),
-                            delta.closed.len(),
-                            delta.rechecked_docs,
-                            delta.clean,
-                            delta.total
-                        ),
+                        Ok(delta) => {
+                            let s = delta.summary();
+                            format!(
+                                "commit {}: {} changes ({} flips), {} closed, {} rechecked, \
+                                 {}/{} clean, {} violations",
+                                delta.seq,
+                                s.docs_changed,
+                                s.flips(),
+                                s.closed,
+                                s.rechecked,
+                                delta.clean,
+                                delta.total,
+                                s.violations_now
+                            )
+                        }
                         Err(e) => format!("undecodable: {e}"),
                     },
                 ),

@@ -37,7 +37,13 @@
 //!   reconstructing corpus verdicts from [`BatchDelta`]s alone, and the
 //!   `xic journal` CLI surface on top;
 //! * [`Engine`] — the façade combining a cache with the checkers, exposing
-//!   memoized [`Engine::consistency`] and [`Engine::implication`].
+//!   memoized [`Engine::consistency`] and [`Engine::implication`];
+//! * [`metrics`] — the observability surface: every layer above records
+//!   counters, gauges and latency histograms into a
+//!   [`xic_telemetry::MetricsRegistry`] (the process-global one by default;
+//!   any registry via the `with_registry` constructors), and
+//!   [`EngineMetrics`] freezes a registry into the snapshot behind the
+//!   CLI's `--metrics` flag and `xic stats`.
 //!
 //! ```
 //! use xic_engine::{BatchDoc, BatchEngine, CompiledSpec, Engine};
@@ -75,22 +81,27 @@ pub mod cache;
 pub mod corpus;
 pub mod hash;
 pub mod journal;
+pub mod metrics;
 pub mod session;
 pub mod spec;
 
 pub use batch::{BatchDoc, BatchEngine, BatchReport, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
-pub use corpus::{BatchDelta, ClosedDoc, CorpusSession, DocChange};
+pub use corpus::{BatchDelta, ClosedDoc, CorpusSession, DeltaSummary, DocChange, Transition};
 pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
 pub use journal::{
     append_delta_log, inspect_log, read_delta_log, read_session_log, write_delta_log,
     CorpusReplica, DeltaLog, JournalError, LogKind, LogSummary, PersistReceipt, RecordSummary,
     SessionLog,
 };
+pub use metrics::{register_baseline, EngineMetrics};
 pub use session::{DocHandle, Recovery, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, SpecId};
 
+use std::sync::Arc;
+
 use xic_constraints::Constraint;
+use xic_telemetry::MetricsRegistry;
 
 /// The façade tying a [`VerdictCache`] to the decision procedures: every
 /// check is memoized under the spec's content hash, so repeat checks of the
@@ -110,6 +121,16 @@ impl Engine {
     pub fn with_cache_capacity(capacity: usize) -> Engine {
         Engine {
             cache: VerdictCache::with_capacity(capacity),
+        }
+    }
+
+    /// An engine whose cache records into `registry` (e.g.
+    /// [`EngineMetrics::global_registry`], so `xic stats` and `--metrics`
+    /// see cache traffic).  The default constructors use a private registry
+    /// instead, keeping each engine's statistics isolated.
+    pub fn with_registry(capacity: usize, registry: Arc<MetricsRegistry>) -> Engine {
+        Engine {
+            cache: VerdictCache::with_registry(capacity, registry),
         }
     }
 

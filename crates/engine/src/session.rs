@@ -22,12 +22,35 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 use xic_constraints::{IncrementalIndex, Violation};
+use xic_telemetry::{Counter, Histogram, MetricsRegistry};
 use xic_xml::{EditError, EditJournal, EditOp, XmlError, XmlTree};
 
 use crate::journal::{self, JournalError, PersistReceipt};
 use crate::spec::CompiledSpec;
+
+/// Registry-backed per-edit instruments, resolved once per session (name
+/// lookups take a read lock; [`Session::apply`] should not).
+#[derive(Debug)]
+pub(crate) struct SessionInstruments {
+    pub(crate) registry: Arc<MetricsRegistry>,
+    edits: Arc<Counter>,
+    apply_ns: Arc<Histogram>,
+    check_ns: Arc<Histogram>,
+}
+
+impl SessionInstruments {
+    pub(crate) fn on(registry: Arc<MetricsRegistry>) -> SessionInstruments {
+        SessionInstruments {
+            edits: registry.counter("session.edits"),
+            apply_ns: registry.histogram("session.apply_ns"),
+            check_ns: registry.histogram("session.check_ns"),
+            registry,
+        }
+    }
+}
 
 /// Identifier of a document opened in a [`Session`] or a
 /// [`crate::CorpusSession`].
@@ -227,16 +250,31 @@ pub struct Session<'s> {
     spec: &'s CompiledSpec,
     docs: HashMap<u64, SessionDoc>,
     next_handle: u64,
+    instr: SessionInstruments,
 }
 
 impl<'s> Session<'s> {
-    /// A session over the given compiled specification.
+    /// A session over the given compiled specification, recording its
+    /// per-edit metrics (`session.edits`, `session.apply_ns`,
+    /// `session.check_ns`) on the process-global registry.
     pub fn new(spec: &'s CompiledSpec) -> Session<'s> {
+        Session::with_registry(spec, Arc::clone(xic_telemetry::global()))
+    }
+
+    /// A session recording its metrics on an explicit registry (per-tenant
+    /// isolation, or a private registry in tests).
+    pub fn with_registry(spec: &'s CompiledSpec, registry: Arc<MetricsRegistry>) -> Session<'s> {
         Session {
             spec,
             docs: HashMap::new(),
             next_handle: 0,
+            instr: SessionInstruments::on(registry),
         }
+    }
+
+    /// The registry this session's instruments record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.instr.registry
     }
 
     /// The specification the session validates against.
@@ -300,14 +338,22 @@ impl<'s> Session<'s> {
             .docs
             .get_mut(&handle.0)
             .ok_or(SessionError::UnknownHandle(handle))?;
+        // Timed per batch, not per op: one clock pair amortized over the
+        // whole edit slice keeps instrumentation inside the overhead budget.
+        let timer = self.instr.registry.start_timer();
         let outcome = apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops);
-        match outcome {
-            Ok(()) => doc.edits_applied += ops.len() as u64,
-            Err(SessionError::Edit { index, .. }) => doc.edits_applied += index as u64,
+        let applied = match outcome {
+            Ok(()) => ops.len() as u64,
+            Err(SessionError::Edit { index, .. }) => index as u64,
             Err(_) => unreachable!("apply_ops only raises Edit errors"),
+        };
+        doc.edits_applied += applied;
+        self.instr.edits.add(applied);
+        if let Some(t) = timer {
+            self.instr.apply_ns.record_elapsed(t);
         }
         outcome?;
-        Ok(Self::verdict_of(doc))
+        Ok(Self::verdict_of(&self.instr, doc))
     }
 
     /// The current verdict of one document (recomputing only constraints
@@ -317,11 +363,15 @@ impl<'s> Session<'s> {
             .docs
             .get_mut(&handle.0)
             .ok_or(SessionError::UnknownHandle(handle))?;
-        Ok(Self::verdict_of(doc))
+        Ok(Self::verdict_of(&self.instr, doc))
     }
 
-    fn verdict_of(doc: &mut SessionDoc) -> SessionVerdict {
+    fn verdict_of(instr: &SessionInstruments, doc: &mut SessionDoc) -> SessionVerdict {
+        let timer = instr.registry.start_timer();
         let violations = doc.index.check_all(&doc.tree);
+        if let Some(t) = timer {
+            instr.check_ns.record_elapsed(t);
+        }
         SessionVerdict {
             violations,
             rechecked: doc.index.rechecked(),

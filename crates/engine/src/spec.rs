@@ -98,6 +98,8 @@ impl CompiledSpec {
         sigma: ConstraintSet,
         config: CheckerConfig,
     ) -> Result<CompiledSpec, CompileError> {
+        let telemetry = xic_telemetry::global();
+        let compile_span = telemetry.span("compile");
         sigma
             .validate(&dtd)
             .map_err(|e| CompileError::Constraints(e.to_string()))?;
@@ -107,12 +109,29 @@ impl CompiledSpec {
         let (lo, hi) =
             fnv1a_parts_wide(&[&dtd.render(), &sigma.render(&dtd), &format!("{config:?}")]);
         let id = SpecId(lo, hi);
-        let simple = SimpleDtd::from_dtd(&dtd);
-        let analysis = analyze(&dtd);
-        let automata = compile_automata(&dtd);
+        // Each compile phase runs in its own span: per-phase latency
+        // histograms (`span.compile.*`) plus a nested trace timeline.
+        let simple = {
+            let _phase = telemetry.span("compile.simplify");
+            SimpleDtd::from_dtd(&dtd)
+        };
+        let analysis = {
+            let _phase = telemetry.span("compile.analyze");
+            analyze(&dtd)
+        };
+        let automata = {
+            let _phase = telemetry.span("compile.glushkov");
+            compile_automata(&dtd)
+        };
         let class = sigma.smallest_class();
-        let plan = IndexPlan::for_set(&sigma);
-        let incremental = Arc::new(IncrementalLayout::new(&dtd, &sigma));
+        let plan = {
+            let _phase = telemetry.span("compile.index_plan");
+            IndexPlan::for_set(&sigma)
+        };
+        let incremental = {
+            let _phase = telemetry.span("compile.incremental_layout");
+            Arc::new(IncrementalLayout::new(&dtd, &sigma))
+        };
         // Ψ(D,Σ) exists exactly for the unary classes the ILP procedures
         // decide (the keys-only and general classes are dispatched
         // elsewhere), and for those classes a build failure is a spec error —
@@ -122,6 +141,7 @@ impl CompiledSpec {
             && !sigma.in_class(ConstraintClass::KeysOnly)
             && sigma.in_class(ConstraintClass::UnaryKeyNegInclusionNeg)
         {
+            let _phase = telemetry.span("compile.system");
             Some(
                 CardinalitySystem::build(&dtd, &sigma, &config.system)
                     .map_err(|e| CompileError::Constraints(e.to_string()))?,
@@ -129,6 +149,8 @@ impl CompiledSpec {
         } else {
             None
         };
+        telemetry.counter("compile.specs").inc();
+        drop(compile_span);
         Ok(CompiledSpec {
             id,
             dtd,

@@ -1,0 +1,668 @@
+//! Instruments (counters, gauges, log-bucketed histograms) and the registry
+//! that names and owns them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::span::{Span, TraceEvent, TraceRing};
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i - 1]`, up to `i = 64` for `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// Trace events retained in the ring buffer (oldest dropped first).
+const TRACE_CAPACITY: usize = 1024;
+
+/// A monotonically increasing event counter.
+///
+/// One relaxed atomic add per [`Counter::add`]; reads never block writers.
+/// Obtained from [`MetricsRegistry::counter`]; clones of the returned `Arc`
+/// all point at the same underlying value.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "off"))]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "off")]
+        let _ = n;
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, open documents, dirty-set
+/// size).  Unlike a [`Counter`] it can move both ways and is usually `set`
+/// rather than accumulated.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to an absolute level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(not(feature = "off"))]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(feature = "off")]
+        let _ = v;
+    }
+
+    /// Moves the gauge by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(not(feature = "off"))]
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "off")]
+        let _ = delta;
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// sizes in records — any non-negative magnitude).
+///
+/// Recording is lock-free: one atomic add into the sample's bucket, plus
+/// count/sum adds and a `fetch_max`.  Quantiles are *estimates* read off the
+/// bucket boundaries: the reported quantile is the upper bound of the bucket
+/// containing the exact rank, so it is always within one power-of-two bucket
+/// of the true order statistic (and `max` is exact).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value falls into.
+#[inline]
+#[cfg_attr(feature = "off", allow(dead_code))]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The representative (upper bound) of a bucket, used as the quantile
+/// estimate.
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "off"))]
+        {
+            self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        #[cfg(feature = "off")]
+        let _ = v;
+    }
+
+    /// Records the nanoseconds elapsed since `start` (a timer obtained from
+    /// [`MetricsRegistry::start_timer`]).
+    #[inline]
+    pub fn record_elapsed(&self, start: Instant) {
+        self.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (exact, not bucketed); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The estimated `q`-quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket holding the sample of rank `⌈q·count⌉`.  Returns 0 when no
+    /// samples were recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        self.max()
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Point-in-time value of one named counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The instrument name.
+    pub name: String,
+    /// The counter value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time level of one named gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// The instrument name.
+    pub name: String,
+    /// The gauge level at snapshot time.
+    pub value: i64,
+}
+
+/// Point-in-time summary of one named histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The instrument name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Estimated median (upper bound of the median's bucket).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A consistent-enough point-in-time view of every instrument in a registry,
+/// sorted by name.  ("Consistent enough": each instrument is read atomically,
+/// but the snapshot does not freeze concurrent writers between instruments —
+/// fine for statistics, not a transaction.)
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The value of a counter by name, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The level of a gauge by name, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The summary of a histogram by name, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Pretty-prints the snapshot as aligned text (the `xic stats` format).
+    /// Histogram columns are rendered in microseconds when the instrument
+    /// name ends in `_ns`, raw otherwise.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("  {:<40} {:>12}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("  {:<40} {:>12}\n", g.name, g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "histograms{:<31} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                ":", "count", "p50", "p90", "p99", "max"
+            ));
+            for h in &self.histograms {
+                let cell = |v: u64| {
+                    if h.name.ends_with("_ns") {
+                        format!("{:.1}us", v as f64 / 1e3)
+                    } else {
+                        v.to_string()
+                    }
+                };
+                out.push_str(&format!(
+                    "  {:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name,
+                    h.count,
+                    cell(h.p50),
+                    cell(h.p90),
+                    cell(h.p99),
+                    cell(h.max),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no instruments registered\n");
+        }
+        out
+    }
+}
+
+/// The thread-safe home of named instruments plus the span trace buffer.
+///
+/// Instrument lookups (`counter`/`gauge`/`histogram`) take a read lock on
+/// the name table and are meant to run **once per component**, at
+/// construction; the returned `Arc` handles are then lock-free.  Looking up
+/// by name twice returns handles to the same instrument, which is how
+/// separately-constructed components aggregate into shared totals.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    trace: Mutex<TraceRing>,
+    /// Runtime switch for clock sampling (see [`MetricsRegistry::start_timer`]).
+    timing: AtomicBool,
+    /// The zero point of the trace timeline.
+    epoch: Instant,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with timing enabled.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            trace: Mutex::new(TraceRing::new(TRACE_CAPACITY)),
+            timing: AtomicBool::new(true),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn named<T>(table: &RwLock<BTreeMap<String, Arc<T>>>, name: &str, make: fn() -> T) -> Arc<T> {
+        #[cfg(feature = "off")]
+        {
+            let _ = (table, name);
+            Arc::new(make())
+        }
+        #[cfg(not(feature = "off"))]
+        {
+            if let Some(found) = table.read().expect("registry poisoned").get(name) {
+                return Arc::clone(found);
+            }
+            let mut table = table.write().expect("registry poisoned");
+            Arc::clone(
+                table
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(make())),
+            )
+        }
+    }
+
+    /// The counter registered under `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        MetricsRegistry::named(&self.counters, name, Counter::new)
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        MetricsRegistry::named(&self.gauges, name, Gauge::new)
+    }
+
+    /// The histogram registered under `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        MetricsRegistry::named(&self.histograms, name, Histogram::new)
+    }
+
+    /// Enables or disables clock sampling ([`MetricsRegistry::start_timer`]
+    /// and spans).  Counters and gauges are unaffected: they stay live so
+    /// statistics APIs built on them keep their meaning.
+    pub fn set_timing(&self, enabled: bool) {
+        self.timing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether clock sampling is currently enabled (always `false` when the
+    /// crate is compiled with the `off` feature).
+    pub fn timing_enabled(&self) -> bool {
+        #[cfg(feature = "off")]
+        {
+            false
+        }
+        #[cfg(not(feature = "off"))]
+        {
+            self.timing.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Samples the clock for a latency measurement, or returns `None` when
+    /// timing is disabled.  The canonical call-site shape costs one relaxed
+    /// load when off:
+    ///
+    /// ```
+    /// # let registry = xic_telemetry::MetricsRegistry::new();
+    /// # let work = || 42;
+    /// let timer = registry.start_timer();
+    /// let result = work();
+    /// if let Some(t) = timer {
+    ///     registry.histogram("work_ns").record_elapsed(t);
+    /// }
+    /// ```
+    #[inline]
+    pub fn start_timer(&self) -> Option<Instant> {
+        if self.timing_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Nanoseconds since the registry was created (the trace timeline zero).
+    pub(crate) fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn push_trace(&self, event: TraceEvent) {
+        self.trace.lock().expect("trace ring poisoned").push(event);
+    }
+
+    /// Opens a timed, labeled span.  The span records itself when dropped:
+    /// a sample into the histogram `span.<name>` and an event in the trace
+    /// ring buffer.  Inert (no clock sample, nothing recorded) when timing
+    /// is disabled.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span::enter(self, name)
+    }
+
+    /// The retained trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.lock().expect("trace ring poisoned").events()
+    }
+
+    /// Events dropped from the ring buffer because it was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.lock().expect("trace ring poisoned").dropped()
+    }
+
+    /// Clears the trace ring buffer (instrument values are untouched).
+    pub fn clear_trace(&self) {
+        self.trace.lock().expect("trace ring poisoned").clear();
+    }
+
+    /// Dumps the retained trace as a JSON timeline: an array of
+    /// `{"name", "start_ns", "dur_ns", "depth"}` objects ordered by
+    /// completion time, with `start_ns` relative to registry creation.
+    pub fn trace_json(&self) -> String {
+        let events = self.trace_events();
+        let mut out = String::from("[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"depth\":{}}}",
+                escape_json(&ev.name),
+                ev.start_ns,
+                ev.dur_ns,
+                ev.depth
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// A point-in-time snapshot of every instrument, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        reg.gauge("g").set(7);
+        reg.gauge("g").add(-2);
+        assert_eq!(reg.counter("a").get(), 5);
+        assert_eq!(reg.gauge("g").get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // The representative of a bucket lies in the bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.max(), 1000);
+        // rank(0.5 * 5) = 3 → the sample 3 lives in bucket [2,3].
+        assert_eq!(h.quantile(0.5), 3);
+        // rank ⌈0.99·5⌉ = 5 → 1000 lives in bucket [512,1023].
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to 1
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("h").unwrap().max, 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!((h.count(), h.sum(), h.max()), (0, 0, 0));
+    }
+
+    #[test]
+    fn timing_toggle_gates_timers() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.start_timer().is_some());
+        reg.set_timing(false);
+        assert!(reg.start_timer().is_none());
+        assert!(!reg.timing_enabled());
+        reg.set_timing(true);
+        assert!(reg.start_timer().is_some());
+    }
+
+    #[test]
+    fn render_text_mentions_each_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c.one").inc();
+        reg.gauge("g.level").set(-3);
+        reg.histogram("h.lat_ns").record(1500);
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("c.one"));
+        assert!(text.contains("g.level"));
+        assert!(text.contains("-3"));
+        assert!(text.contains("h.lat_ns"));
+        assert!(text.contains("us"), "ns histograms render in µs: {text}");
+    }
+
+    #[test]
+    fn trace_json_escapes_and_orders() {
+        let reg = MetricsRegistry::new();
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span("inner \"quoted\"");
+        }
+        let events = reg.trace_events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first, so it precedes outer in completion order.
+        assert_eq!(events[0].name, "inner \"quoted\"");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].depth, 0);
+        let json = reg.trace_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"depth\":1"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Timed, labeled, optionally nested spans feeding the trace ring buffer.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+
+thread_local! {
+    /// Per-thread span nesting depth (spans on different threads don't nest).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One completed span in the trace timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span label.
+    pub name: String,
+    /// Start time in nanoseconds since the registry was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at entry (0 = top-level) on the recording thread.
+    pub depth: u32,
+}
+
+/// A timed, labeled scope.  Created by [`MetricsRegistry::span`] (or
+/// [`Span::enter`]); on drop it records its duration into the histogram
+/// `span.<name>` and appends a [`TraceEvent`] to the registry's ring buffer.
+///
+/// Spans nest lexically per thread: a span opened while another is live on
+/// the same thread records `depth + 1`, which is what lets the JSON timeline
+/// be rendered as a flame-style trace.
+///
+/// When the registry's timing switch is off (or the crate is compiled with
+/// the `off` feature) the span is inert: no clock sample, nothing recorded.
+#[must_use = "a span measures the scope it is held in; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct Span<'r> {
+    inner: Option<SpanInner<'r>>,
+}
+
+#[derive(Debug)]
+struct SpanInner<'r> {
+    registry: &'r MetricsRegistry,
+    name: String,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+impl<'r> Span<'r> {
+    /// Opens a span on `registry`.  Equivalent to `registry.span(name)`.
+    pub fn enter(registry: &'r MetricsRegistry, name: &str) -> Span<'r> {
+        if !registry.timing_enabled() {
+            return Span { inner: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Span {
+            inner: Some(SpanInner {
+                registry,
+                name: name.to_string(),
+                start: Instant::now(),
+                start_ns: registry.elapsed_ns(),
+                depth,
+            }),
+        }
+    }
+
+    /// Whether the span is live (timing was enabled when it was opened).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(inner.depth));
+        let dur_ns = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        inner
+            .registry
+            .histogram(&format!("span.{}", inner.name))
+            .record(dur_ns);
+        inner.registry.push_trace(TraceEvent {
+            name: inner.name,
+            start_ns: inner.start_ns,
+            dur_ns,
+            depth: inner.depth,
+        });
+    }
+}
+
+/// Fixed-capacity ring of completed trace events; oldest dropped first.
+#[derive(Debug)]
+pub(crate) struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            events: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_histogram_and_trace() {
+        let reg = MetricsRegistry::new();
+        {
+            let span = reg.span("phase");
+            assert!(span.is_recording());
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("span.phase").expect("span histogram");
+        assert_eq!(h.count, 1);
+        assert_eq!(reg.trace_events().len(), 1);
+        assert_eq!(reg.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_timing_makes_spans_inert() {
+        let reg = MetricsRegistry::new();
+        reg.set_timing(false);
+        {
+            let span = reg.span("ghost");
+            assert!(!span.is_recording());
+        }
+        assert!(reg.trace_events().is_empty());
+        assert!(reg.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn depth_tracks_nesting_and_recovers() {
+        let reg = MetricsRegistry::new();
+        {
+            let _a = reg.span("a");
+            {
+                let _b = reg.span("b");
+            }
+            {
+                let _c = reg.span("c");
+            }
+        }
+        let depths: Vec<(String, u32)> = reg
+            .trace_events()
+            .into_iter()
+            .map(|e| (e.name, e.depth))
+            .collect();
+        assert_eq!(
+            depths,
+            vec![
+                ("b".to_string(), 1),
+                ("c".to_string(), 1),
+                ("a".to_string(), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut ring = TraceRing::new(2);
+        for i in 0..4 {
+            ring.push(TraceEvent {
+                name: format!("e{i}"),
+                start_ns: i,
+                dur_ns: 1,
+                depth: 0,
+            });
+        }
+        let names: Vec<String> = ring.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2".to_string(), "e3".to_string()]);
+        assert_eq!(ring.dropped(), 2);
+        ring.clear();
+        assert!(ring.events().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+}

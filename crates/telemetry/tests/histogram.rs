@@ -1,0 +1,122 @@
+//! Histogram correctness under randomness and concurrency.
+//!
+//! * Property: log-bucket quantile estimates land in the same power-of-two
+//!   bucket as the exact order statistic (i.e. they are within one bucket),
+//!   never below it, and the quantiles are mutually ordered with an exact
+//!   maximum.
+//! * Concurrency smoke: threads hammering one shared registry lose no
+//!   counts — every add, record and gauge move is accounted for.
+
+#![cfg(not(feature = "off"))]
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use xic_telemetry::MetricsRegistry;
+
+/// The log₂ bucket a sample falls into — must mirror the crate's bucketing
+/// (bucket 0 = the value 0, bucket i ≥ 1 = `[2^(i-1), 2^i - 1]`).
+fn bucket_of(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Exact `q`-quantile by sorting: the sample of rank `⌈q·n⌉` (1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn sample_strategy() -> BoxedStrategy<u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..16,
+        0u64..4_096,
+        0u64..1_000_000,
+        // Bounded so a 300-sample sum stays far from u64 overflow while
+        // still exercising high buckets.
+        0u64..(1u64 << 50),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn quantile_estimates_stay_within_one_bucket(
+        samples in vec(sample_strategy(), 1..300),
+    ) {
+        let registry = MetricsRegistry::new();
+        let histogram = registry.histogram("q");
+        for &s in &samples {
+            histogram.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = histogram.quantile(q);
+            prop_assert_eq!(
+                bucket_of(estimate),
+                bucket_of(exact),
+                "q={} exact={} estimate={}",
+                q,
+                exact,
+                estimate
+            );
+            // The estimate is the bucket's upper bound, so it never
+            // understates the true order statistic.
+            prop_assert!(estimate >= exact);
+        }
+
+        let (p50, p90, p99) = (
+            histogram.quantile(0.50),
+            histogram.quantile(0.90),
+            histogram.quantile(0.99),
+        );
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        prop_assert!(p99 <= histogram.quantile(1.0));
+        prop_assert_eq!(histogram.max(), *sorted.last().unwrap());
+        prop_assert_eq!(histogram.count(), samples.len() as u64);
+        prop_assert_eq!(histogram.sum(), samples.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn concurrent_hammering_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 10_000;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let registry = Arc::clone(&registry);
+        handles.push(thread::spawn(move || {
+            // Resolve instruments inside the thread: name lookups must race
+            // safely and still converge on one shared instrument.
+            let counter = registry.counter("smoke.counter");
+            let gauge = registry.gauge("smoke.gauge");
+            let histogram = registry.histogram("smoke.hist");
+            for i in 0..OPS {
+                counter.inc();
+                gauge.add(1);
+                histogram.record(t * OPS + i);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+
+    let total = THREADS * OPS;
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("smoke.counter"), Some(total));
+    assert_eq!(snapshot.gauge("smoke.gauge"), Some(total as i64));
+    let hist = snapshot.histogram("smoke.hist").expect("histogram exists");
+    assert_eq!(hist.count, total);
+    // Sum of 0..THREADS*OPS recorded exactly once each.
+    assert_eq!(hist.sum, total * (total - 1) / 2);
+    assert_eq!(hist.max, total - 1);
+}

@@ -8,11 +8,27 @@
 //! a [`Dtd`] so the resulting tree is directly usable by the validator and
 //! the constraint checker.
 
+use std::sync::{Arc, OnceLock};
+
 use xic_dtd::Dtd;
+use xic_telemetry::{Counter, Histogram};
 
 use crate::error::XmlError;
 use crate::pool::ValuePool;
 use crate::tree::{NodeId, XmlTree};
+
+/// Process-wide parse instruments, resolved once (registry name lookups
+/// take a read lock; the hot path should not).
+fn instruments() -> &'static (Arc<Counter>, Arc<Histogram>) {
+    static INSTRUMENTS: OnceLock<(Arc<Counter>, Arc<Histogram>)> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let telemetry = xic_telemetry::global();
+        (
+            telemetry.counter("parse.docs"),
+            telemetry.histogram("parse.doc_ns"),
+        )
+    })
+}
 
 /// Parses an XML document against a DTD.
 ///
@@ -33,23 +49,32 @@ pub fn parse_document_pooled(
     dtd: &Dtd,
     pool: ValuePool,
 ) -> Result<XmlTree, (XmlError, ValuePool)> {
+    let (docs, doc_ns) = instruments();
+    let timer = xic_telemetry::global().start_timer();
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
         dtd,
     };
-    if let Err(err) = p.skip_prolog() {
-        return Err((err, pool));
+    let parsed = (|| {
+        if let Err(err) = p.skip_prolog() {
+            return Err((err, pool));
+        }
+        let tree = p.parse_root(pool)?;
+        p.skip_misc();
+        if !p.eof() {
+            return Err((
+                p.error("trailing content after the root element"),
+                tree.into_pool(),
+            ));
+        }
+        Ok(tree)
+    })();
+    docs.inc();
+    if let Some(t) = timer {
+        doc_ns.record_elapsed(t);
     }
-    let tree = p.parse_root(pool)?;
-    p.skip_misc();
-    if !p.eof() {
-        return Err((
-            p.error("trailing content after the root element"),
-            tree.into_pool(),
-        ));
-    }
-    Ok(tree)
+    parsed
 }
 
 struct Parser<'a> {
