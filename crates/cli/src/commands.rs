@@ -6,6 +6,7 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Duration;
 
 use xic_constraints::{
     check_document, parse_constraint, parse_constraint_set, ConstraintClass, ConstraintSet,
@@ -17,11 +18,14 @@ use xic_core::{
 use xic_dtd::{analyze, parse_dtd, Dtd};
 use xic_engine::journal::{inspect_log, read_delta_log, write_delta_log};
 use xic_engine::{
-    BatchDelta, BatchDoc, BatchEngine, CompiledSpec, CorpusReplica, CorpusSession, Engine,
-    EngineMetrics,
+    BatchDelta, BatchDoc, BatchEngine, BatchReport, CompiledSpec, CorpusReplica, CorpusSession,
+    Engine, EngineMetrics, Limits, SessionError,
 };
 use xic_telemetry::RegistrySnapshot;
-use xic_xml::{parse_document, validate, write_document, EditOp, NodeId};
+use xic_xml::{
+    parse_document_budgeted, validate, write_document, EditOp, NodeId, ParseError, ValuePool,
+    XmlTree,
+};
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
@@ -79,6 +83,42 @@ fn read_file(path: &str) -> Result<String, CliError> {
         path: path.to_string(),
         source,
     })
+}
+
+/// The resource limits selected by `--max-nodes`, `--max-depth` and
+/// `--deadline-ms` (all unlimited by default).  Shared by `validate`,
+/// `batch` and `journal record`.
+fn limits_from_args(args: &ParsedArgs) -> Result<Limits, CliError> {
+    Ok(Limits {
+        max_doc_nodes: args.get_usize("max-nodes")?,
+        max_depth: args.get_usize("max-depth")?,
+        deadline: args
+            .get_usize("deadline-ms")?
+            .map(|ms| Duration::from_millis(ms as u64)),
+        ..Limits::UNLIMITED
+    })
+}
+
+/// Maps a session/corpus error onto the CLI taxonomy: resource rejections
+/// exit 3, contained faults (poisoned documents) exit 4, everything else is
+/// a document error (exit 2).
+fn session_error(context: &str, e: &SessionError) -> CliError {
+    match e {
+        SessionError::Resource(r) => CliError::Resource(format!("{context}: {r}")),
+        SessionError::Poisoned { .. } => CliError::Fault(format!("{context}: {e}")),
+        _ => CliError::Document(format!("{context}: {e}")),
+    }
+}
+
+/// Parses a document under the CLI resource limits, mapping a tripped
+/// budget to [`CliError::Resource`] (exit 3) rather than a document error.
+fn parse_limited(text: &str, dtd: &Dtd, limits: &Limits, path: &str) -> Result<XmlTree, CliError> {
+    parse_document_budgeted(text, dtd, ValuePool::new(), &limits.parse_budget()).map_err(
+        |(err, _pool)| match err {
+            ParseError::Xml(e) => CliError::Document(format!("{path}: {e}")),
+            ParseError::Budget(b) => CliError::Resource(format!("{path}: {b}")),
+        },
+    )
 }
 
 fn checker_config(args: &ParsedArgs) -> CheckerConfig {
@@ -243,10 +283,10 @@ pub fn implies(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 pub fn validate_doc(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let format = report_format(args)?;
     let (dtd, sigma) = spec_inputs(args)?;
+    let limits = limits_from_args(args)?;
     let doc_path = args.require("doc")?;
     let text = read_file(doc_path)?;
-    let tree =
-        parse_document(&text, &dtd).map_err(|e| CliError::Document(format!("{doc_path}: {e}")))?;
+    let tree = parse_limited(&text, &dtd, &limits, doc_path)?;
 
     let structural = validate(&tree, &dtd);
     let violations = check_document(&dtd, &tree, &sigma);
@@ -470,6 +510,7 @@ pub fn explain(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
 pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     let format = report_format(args)?;
     let (dtd, sigma) = spec_inputs(args)?;
+    let limits = limits_from_args(args)?;
     let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
         .map_err(|e| CliError::Spec(e.to_string()))?;
 
@@ -490,18 +531,22 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             &spec,
             docs,
             script_path,
+            limits,
             format,
             args.has_flag("quiet"),
             args.has_flag("metrics"),
         );
     }
 
-    let engine = match args.get_usize("threads")? {
-        Some(threads) => BatchEngine::new(threads),
-        None => BatchEngine::default(),
+    let threads = match args.get_usize("threads")? {
+        Some(threads) => threads,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     };
+    let engine = BatchEngine::with_limits(threads, limits);
     let report_data = engine.validate_batch(&spec, &docs);
-    let all_clean = report_data.clean_count() == report_data.total();
+    let code = batch_exit_code(&report_data);
 
     if format == ReportFormat::Json {
         let reports: Vec<JsonValue> = report_data.reports().iter().map(doc_report_json).collect();
@@ -518,7 +563,7 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
         let json = JsonValue::object(fields);
         let mut report = json.render();
         report.push('\n');
-        return Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }));
+        return Ok(CommandOutcome::new(report, code));
     }
 
     let mut report = String::new();
@@ -540,7 +585,22 @@ pub fn batch(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     if args.has_flag("metrics") {
         report.push_str(&metrics_text());
     }
-    Ok(CommandOutcome::new(report, if all_clean { 0 } else { 1 }))
+    Ok(CommandOutcome::new(report, code))
+}
+
+/// The batch exit code, most severe condition first: a contained panic
+/// (`4`) outranks a resource rejection (`3`), which outranks a plain
+/// validation failure (`1`).
+fn batch_exit_code(report: &BatchReport) -> i32 {
+    if report.panicked_count() > 0 {
+        4
+    } else if report.resource_rejected_count() > 0 {
+        3
+    } else if report.clean_count() == report.total() {
+        0
+    } else {
+        1
+    }
 }
 
 /// Reads a batch manifest: one document path per line, blank lines and `#`
@@ -591,6 +651,7 @@ fn run_session_script<'s>(
     spec: &'s CompiledSpec,
     docs: Vec<BatchDoc>,
     script_path: &str,
+    limits: Limits,
 ) -> Result<(CorpusSession<'s>, Vec<BatchDelta>), CliError> {
     let script = read_file(script_path)?;
     let base = Path::new(script_path)
@@ -598,11 +659,11 @@ fn run_session_script<'s>(
         .map(Path::to_path_buf)
         .unwrap_or_default();
 
-    let mut corpus = CorpusSession::new(spec);
+    let mut corpus = CorpusSession::with_limits(spec, limits);
     for doc in docs {
         corpus
             .open_source(&doc.label, &doc.content)
-            .map_err(|e| CliError::Document(format!("{}: {e}", doc.label)))?;
+            .map_err(|e| session_error(&doc.label, &e))?;
     }
     let mut pending = corpus.num_docs() > 0;
     let mut deltas: Vec<BatchDelta> = Vec::new();
@@ -617,7 +678,13 @@ fn run_session_script<'s>(
         let directive = words.next().expect("non-empty line has a first word");
         match directive {
             "commit" => {
-                deltas.push(corpus.commit());
+                // `try_commit` honors the session deadline; an aborted
+                // commit keeps its progress staged, but a script cannot
+                // retry on its own, so the rejection surfaces as exit 3.
+                let delta = corpus.try_commit().map_err(|e| {
+                    CliError::Resource(format!("{script_path}:{}: {e}", lineno + 1))
+                })?;
+                deltas.push(delta);
                 pending = false;
                 continue;
             }
@@ -631,7 +698,7 @@ fn run_session_script<'s>(
                 let content = read_file(&base.join(path).to_string_lossy())?;
                 corpus
                     .open_source(label, &content)
-                    .map_err(|e| CliError::Document(format!("{label}: {e}")))?;
+                    .map_err(|e| session_error(label, &e))?;
                 pending = true;
                 continue;
             }
@@ -698,13 +765,14 @@ fn run_session_script<'s>(
         };
         corpus
             .apply(handle, std::slice::from_ref(&op))
-            .map_err(|e| {
-                CliError::Document(format!("{script_path}:{}: {label}: {e}", lineno + 1))
-            })?;
+            .map_err(|e| session_error(&format!("{script_path}:{}: {label}", lineno + 1), &e))?;
         pending = true;
     }
     if pending {
-        deltas.push(corpus.commit());
+        let delta = corpus
+            .try_commit()
+            .map_err(|e| CliError::Resource(format!("{script_path}: final commit: {e}")))?;
+        deltas.push(delta);
     }
     Ok((corpus, deltas))
 }
@@ -742,8 +810,9 @@ fn render_delta_stream(
         quiet,
         metrics,
     } = view;
-    let all_clean = final_report.clean_count() == final_report.total();
-    let code = if all_clean { 0 } else { 1 };
+    // Same severity ladder as one-shot batch: contained faults (4) outrank
+    // resource rejections (3) outrank validation failures (1).
+    let code = batch_exit_code(final_report);
 
     if format == ReportFormat::Json {
         let mut fields = vec![
@@ -827,15 +896,17 @@ fn render_delta_stream(
 /// [`run_session_script`] for the directive syntax).  With `--format json`
 /// the outcome is one object carrying the `deltas` stream and the final
 /// per-document `reports`.
+#[allow(clippy::too_many_arguments)]
 fn batch_session(
     spec: &CompiledSpec,
     docs: Vec<BatchDoc>,
     script_path: &str,
+    limits: Limits,
     format: ReportFormat,
     quiet: bool,
     metrics: bool,
 ) -> Result<CommandOutcome, CliError> {
-    let (corpus, deltas) = run_session_script(spec, docs, script_path)?;
+    let (corpus, deltas) = run_session_script(spec, docs, script_path, limits)?;
     let final_report = corpus.report();
     Ok(render_delta_stream(
         &DeltaStreamView {
@@ -890,7 +961,7 @@ fn journal_record(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     };
     let script_path = args.require("script")?;
     let log_path = args.require("log")?;
-    let (corpus, deltas) = run_session_script(&spec, docs, script_path)?;
+    let (corpus, deltas) = run_session_script(&spec, docs, script_path, limits_from_args(args)?)?;
     let receipt = write_delta_log(log_path, spec.id(), &deltas)
         .map_err(|e| CliError::Journal(format!("{log_path}: {e}")))?;
     let final_report = corpus.report();
@@ -1913,5 +1984,112 @@ mod tests {
         );
         assert_eq!(sequential.report, out.report);
         assert_eq!(sequential.exit_code, out.exit_code);
+    }
+
+    #[test]
+    fn validate_max_nodes_rejects_with_exit_three() {
+        let dtd = temp_file("lim.dtd", SCHOOL_DTD);
+        let doc = temp_file(
+            "lim-doc.xml",
+            "<school><teacher name=\"Joe\"/><teacher name=\"Ann\"/></school>",
+        );
+        let parsed = ParsedArgs::parse(
+            [
+                "validate",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--doc",
+                doc.to_str().unwrap(),
+                "--max-nodes",
+                "2",
+            ],
+            &SPEC,
+        )
+        .unwrap();
+        let err = validate_doc(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("max_doc_nodes"), "{err}");
+        // Under a generous bound the same document validates normally.
+        let parsed = ParsedArgs::parse(
+            [
+                "validate",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--doc",
+                doc.to_str().unwrap(),
+                "--max-nodes",
+                "100",
+                "--max-depth",
+                "16",
+            ],
+            &SPEC,
+        )
+        .unwrap();
+        let out = validate_doc(&parsed).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+    }
+
+    #[test]
+    fn batch_max_nodes_marks_documents_rejected_and_exits_three() {
+        let dtd = temp_file("blim.dtd", SCHOOL_DTD);
+        let small = temp_file("blim-ok.xml", "<school/>");
+        let big = temp_file(
+            "blim-big.xml",
+            "<school><teacher name=\"Joe\"/><teacher name=\"Ann\"/></school>",
+        );
+        let manifest = temp_file(
+            "blim-manifest.txt",
+            &format!(
+                "{}\n{}\n",
+                small.file_name().unwrap().to_str().unwrap(),
+                big.file_name().unwrap().to_str().unwrap()
+            ),
+        );
+        let out = run(
+            batch,
+            &[
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--max-nodes",
+                "2",
+                "--threads",
+                "1",
+            ],
+        );
+        // The oversized document is a structured resource rejection (exit
+        // 3), not a parse error; the small document keeps its verdict.
+        assert_eq!(out.exit_code, 3, "{}", out.report);
+        assert!(out.report.contains("max_doc_nodes"), "{}", out.report);
+        assert!(out.report.contains("1/2"), "{}", out.report);
+    }
+
+    #[test]
+    fn session_deadline_zero_rejects_the_commit_with_exit_three() {
+        let dtd = temp_file("dl.dtd", SCHOOL_DTD);
+        let doc = temp_file("dl-doc.xml", "<school><teacher name=\"Joe\"/></school>");
+        let doc_name = doc.file_name().unwrap().to_str().unwrap();
+        let script = temp_file(
+            "dl-script.txt",
+            &format!("open d {doc_name}\nset d 1 name Sue\ncommit\n"),
+        );
+        let parsed = ParsedArgs::parse(
+            [
+                "batch",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--session",
+                script.to_str().unwrap(),
+                "--deadline-ms",
+                "0",
+            ],
+            &SPEC,
+        )
+        .unwrap();
+        let err = batch(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("deadline_ms"), "{err}");
     }
 }

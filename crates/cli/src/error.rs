@@ -25,6 +25,27 @@ pub enum CliError {
     Spec(String),
     /// A journal log could not be written, read or replayed.
     Journal(String),
+    /// A resource limit rejected the work (`--max-nodes`, `--max-depth`,
+    /// `--deadline-ms`): nothing was half-applied, and the rejection names
+    /// the violated limit.  Exits with code 3, distinct from a verdict.
+    Resource(String),
+    /// An internal fault was contained (a panic isolated to one document or
+    /// a poisoned session).  Exits with code 4 so monitors can tell "the
+    /// data is bad" from "the engine hit a bug".
+    Fault(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: `3` for resource rejections,
+    /// `4` for contained internal faults, `2` for everything else (usage,
+    /// I/O, parse and spec errors).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Resource(_) => 3,
+            CliError::Fault(_) => 4,
+            _ => 2,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -37,6 +58,8 @@ impl fmt::Display for CliError {
             CliError::Document(msg) => write!(f, "document error: {msg}"),
             CliError::Spec(msg) => write!(f, "specification error: {msg}"),
             CliError::Journal(msg) => write!(f, "journal error: {msg}"),
+            CliError::Resource(msg) => write!(f, "resource limit: {msg}"),
+            CliError::Fault(msg) => write!(f, "internal fault contained: {msg}"),
         }
     }
 }
@@ -63,5 +86,12 @@ mod tests {
             source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
         };
         assert!(e.to_string().contains("spec.dtd"));
+    }
+
+    #[test]
+    fn exit_codes_follow_the_taxonomy() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Resource("max_doc_nodes".into()).exit_code(), 3);
+        assert_eq!(CliError::Fault("panic in doc 3".into()).exit_code(), 4);
     }
 }

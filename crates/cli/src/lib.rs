@@ -18,7 +18,9 @@
 //!
 //! Exit codes are script-friendly: `0` for a positive verdict (consistent /
 //! implied / valid), `1` for a negative verdict, `2` for unknown verdicts and
-//! errors.
+//! errors, `3` when a resource limit (`--max-nodes`, `--max-depth`,
+//! `--deadline-ms`) rejected the work, and `4` when an internal fault was
+//! contained (an isolated per-document panic or a poisoned session).
 //!
 //! All the work is done by library functions in [`commands`]; `main` only
 //! forwards `std::env::args` and prints, so the front end is fully covered by
@@ -61,6 +63,9 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "session",
         "script",
         "log",
+        "max-nodes",
+        "max-depth",
+        "deadline-ms",
     ],
     flags: &["quiet", "no-witness", "help", "metrics"],
 };
@@ -113,12 +118,23 @@ OPTIONS:
     --metrics             append the engine metrics block to the report: cache,
                           session/corpus commit and journal instruments (validate,
                           batch and journal; included in --format json output)
+    --max-nodes N         reject any document whose parsed tree (elements,
+                          attributes, text nodes) would exceed N nodes, and any
+                          edit that would grow it past N (validate/batch/journal)
+    --max-depth N         reject element nesting deeper than N (root = 1) at
+                          parse and on child-creating edits (validate/batch/journal)
+    --deadline-ms N       soft time budget: batch stops starting new documents
+                          and commits stop re-checking further dirty documents
+                          once N ms have elapsed; finished work is kept
+                          (batch/journal record)
     --quiet               do not print witness or counterexample documents
 
 EXIT CODES:
     0  consistent / implied / valid
     1  inconsistent / not implied / invalid
     2  unknown verdict, usage error, or I/O error
+    3  rejected by a resource limit (--max-nodes / --max-depth / --deadline-ms)
+    4  an internal fault was contained (isolated panic or poisoned session)
 ";
 
 /// Runs the tool on an argument list (excluding the program name) and returns
@@ -155,7 +171,7 @@ where
     };
     match result {
         Ok(outcome) => (outcome.report, outcome.exit_code),
-        Err(e) => (format!("error: {e}\n"), 2),
+        Err(e) => (format!("error: {e}\n"), e.exit_code()),
     }
 }
 

@@ -2,10 +2,14 @@
 
 fn main() {
     let (report, code) = xic_cli::run(std::env::args().skip(1));
-    if code == 0 || code == 1 {
-        print!("{report}");
-    } else {
+    // Verdict reports go to stdout even on the resource-rejected (3) and
+    // contained-fault (4) codes, so JSON consumers can keep piping stdout;
+    // only diagnostics (usage/IO errors, code 2, and `error:` lines from
+    // rejected commands) go to stderr.
+    if code == 2 || report.starts_with("error: ") {
         eprint!("{report}");
+    } else {
+        print!("{report}");
     }
     std::process::exit(code);
 }

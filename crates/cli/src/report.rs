@@ -10,7 +10,7 @@
 //! reconstructed from its own output without an external JSON library.
 
 use xic_constraints::Violation;
-use xic_engine::{BatchDelta, ClosedDoc, DocChange, DocHandle, DocReport};
+use xic_engine::{BatchDelta, ClosedDoc, DocChange, DocFault, DocHandle, DocReport};
 use xic_xml::NodeId;
 
 use crate::json::JsonValue;
@@ -122,6 +122,18 @@ pub fn doc_report_json(r: &DocReport) -> JsonValue {
             "violations",
             JsonValue::Array(r.violations.iter().map(violation_json).collect()),
         ),
+        (
+            "fault",
+            r.fault
+                .as_ref()
+                .map(|f| {
+                    JsonValue::object(vec![
+                        ("kind", JsonValue::string(f.kind().to_string())),
+                        ("cause", JsonValue::string(f.cause().to_string())),
+                    ])
+                })
+                .unwrap_or(JsonValue::Null),
+        ),
         ("clean", JsonValue::Bool(r.is_clean())),
     ])
 }
@@ -141,12 +153,28 @@ pub fn doc_report_from_json(json: &JsonValue) -> Result<DocReport, String> {
         .iter()
         .map(violation_from_json)
         .collect::<Result<Vec<_>, _>>()?;
+    let fault = match json.get("fault") {
+        None | Some(JsonValue::Null) => None,
+        Some(obj) => {
+            let cause = obj
+                .get("cause")
+                .and_then(JsonValue::as_str)
+                .ok_or("`fault` must carry a string `cause`")?
+                .to_string();
+            match obj.get("kind").and_then(JsonValue::as_str) {
+                Some("panic") => Some(DocFault::Panic { cause }),
+                Some("resource") => Some(DocFault::Resource { cause }),
+                other => return Err(format!("unknown fault kind {other:?}")),
+            }
+        }
+    };
     Ok(DocReport {
         index: usize_field(json, "index")?,
         label: require_str(json, "label")?.to_string(),
         parse_error,
         validation_errors: string_array(json, "validation_errors")?,
         violations,
+        fault,
     })
 }
 

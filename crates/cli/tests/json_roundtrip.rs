@@ -116,6 +116,19 @@ fn arb_violation() -> BoxedStrategy<Violation> {
     .boxed()
 }
 
+fn arb_fault() -> BoxedStrategy<Option<xic_engine::DocFault>> {
+    prop_oneof![
+        Just(None).boxed(),
+        arb_string()
+            .prop_map(|cause| Some(xic_engine::DocFault::Panic { cause }))
+            .boxed(),
+        arb_string()
+            .prop_map(|cause| Some(xic_engine::DocFault::Resource { cause }))
+            .boxed(),
+    ]
+    .boxed()
+}
+
 fn arb_report() -> BoxedStrategy<DocReport> {
     (
         (0usize..10_000).boxed(),
@@ -123,14 +136,16 @@ fn arb_report() -> BoxedStrategy<DocReport> {
         prop_oneof![Just(None).boxed(), arb_string().prop_map(Some).boxed()],
         vec(arb_string(), 0..3),
         vec(arb_violation(), 0..4),
+        arb_fault(),
     )
         .prop_map(
-            |(index, label, parse_error, validation_errors, violations)| DocReport {
+            |(index, label, parse_error, validation_errors, violations, fault)| DocReport {
                 index,
                 label,
                 parse_error,
                 validation_errors,
                 violations,
+                fault,
             },
         )
         .boxed()

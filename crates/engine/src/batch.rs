@@ -6,15 +6,29 @@
 //! are re-assembled **by input index**, so the aggregate report — including
 //! its rendered form — is byte-identical whatever the thread count or
 //! completion order.
+//!
+//! **Fault containment.**  Per-document work runs under
+//! [`std::panic::catch_unwind`]: a document whose validation panics is
+//! quarantined as a [`DocFault::Panic`] report while every other document
+//! still validates normally — one poisoned input can no longer take down
+//! the batch (the job-channel mutex is recovered from poisoning, and no
+//! slot is ever `unwrap`ed).  Documents turned away by [`crate::Limits`]
+//! (parse budget, batch deadline) come back as [`DocFault::Resource`]
+//! reports; both kinds are distinguished from ordinary violations in
+//! [`BatchReport`] so callers can map them to distinct exit codes.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread;
+use std::time::Instant;
 
 use xic_constraints::Violation;
 use xic_telemetry::{Counter, Histogram};
+use xic_xml::budget::ParseError;
 use xic_xml::{ValuePool, XmlTree};
 
+use crate::limits::{LimitKind, Limits, ResourceError};
 use crate::spec::CompiledSpec;
 
 /// Global-registry batch instruments, resolved once: per-document pipeline
@@ -31,6 +45,31 @@ fn instruments() -> &'static (Arc<Counter>, Arc<Histogram>, Arc<Histogram>) {
             registry.histogram("batch.worker_docs"),
         )
     })
+}
+
+/// Resilience instruments (global registry), resolved once: contained
+/// panics and batches degraded by at least one of them.
+pub(crate) fn resilience_instruments() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static INSTRUMENTS: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let registry = xic_telemetry::global();
+        (
+            registry.counter("resilience.panics_contained"),
+            registry.counter("resilience.degraded_batches"),
+        )
+    })
+}
+
+/// Renders a `catch_unwind` payload: panics raised with a string message
+/// keep it, anything else is labeled opaquely.
+pub(crate) fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One document submitted to a batch: a label (typically its path) and its
@@ -53,8 +92,43 @@ impl BatchDoc {
     }
 }
 
-/// Everything found wrong with one document (empty vectors and no parse
-/// error mean the document conforms to the DTD and satisfies Σ).
+/// Why a document produced no verdict: its work was quarantined or turned
+/// away, as opposed to it being checked and found violating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocFault {
+    /// Validation panicked; the panic was contained and the document
+    /// quarantined.  Other documents of the batch are unaffected.
+    Panic {
+        /// The panic message (or an opaque label for non-string payloads).
+        cause: String,
+    },
+    /// A [`Limits`] bound rejected the document before (or instead of)
+    /// validating it — shed load and retry.
+    Resource {
+        /// The rendered [`ResourceError`], naming the violated limit.
+        cause: String,
+    },
+}
+
+impl DocFault {
+    /// The underlying cause text.
+    pub fn cause(&self) -> &str {
+        match self {
+            DocFault::Panic { cause } | DocFault::Resource { cause } => cause,
+        }
+    }
+
+    /// Stable one-word classification: `"panic"` or `"resource"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DocFault::Panic { .. } => "panic",
+            DocFault::Resource { .. } => "resource",
+        }
+    }
+}
+
+/// Everything found wrong with one document (empty vectors, no parse error
+/// and no fault mean the document conforms to the DTD and satisfies Σ).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DocReport {
     /// Position of the document in the submitted batch.
@@ -69,14 +143,41 @@ pub struct DocReport {
     /// `Display`, or consume the witness nodes/values directly — the CLI's
     /// `--format json` does the latter).
     pub violations: Vec<Violation>,
+    /// Set when the document has **no verdict**: its validation panicked
+    /// and was contained, or a resource limit turned it away.  Mutually
+    /// exclusive with the verdict fields above.
+    pub fault: Option<DocFault>,
 }
 
 impl DocReport {
+    /// A verdict-less report for a quarantined or rejected document.
+    pub fn faulted(index: usize, label: impl Into<String>, fault: DocFault) -> DocReport {
+        DocReport {
+            index,
+            label: label.into(),
+            parse_error: None,
+            validation_errors: Vec::new(),
+            violations: Vec::new(),
+            fault: Some(fault),
+        }
+    }
+
     /// `true` iff the document parsed, validates and satisfies Σ.
     pub fn is_clean(&self) -> bool {
         self.parse_error.is_none()
             && self.validation_errors.is_empty()
             && self.violations.is_empty()
+            && self.fault.is_none()
+    }
+
+    /// `true` iff the document was quarantined by a contained panic.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self.fault, Some(DocFault::Panic { .. }))
+    }
+
+    /// `true` iff the document was turned away by a resource limit.
+    pub fn is_resource_rejected(&self) -> bool {
+        matches!(self.fault, Some(DocFault::Resource { .. }))
     }
 }
 
@@ -108,6 +209,19 @@ impl BatchReport {
         self.reports.iter().filter(|r| r.is_clean()).count()
     }
 
+    /// Number of documents quarantined by a contained panic.
+    pub fn panicked_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_panicked()).count()
+    }
+
+    /// Number of documents turned away by a resource limit.
+    pub fn resource_rejected_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.is_resource_rejected())
+            .count()
+    }
+
     /// Deterministic plain-text rendering (identical across thread counts).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -117,6 +231,16 @@ impl BatchReport {
                 continue;
             }
             out.push_str(&format!("[{}] {}:\n", r.index, r.label));
+            if let Some(fault) = &r.fault {
+                match fault {
+                    DocFault::Panic { cause } => {
+                        out.push_str(&format!("    faulted: {cause}\n"));
+                    }
+                    DocFault::Resource { cause } => {
+                        out.push_str(&format!("    resource-rejected: {cause}\n"));
+                    }
+                }
+            }
             if let Some(err) = &r.parse_error {
                 out.push_str(&format!("    parse error: {err}\n"));
             }
@@ -140,6 +264,7 @@ impl BatchReport {
 #[derive(Debug, Clone)]
 pub struct BatchEngine {
     threads: usize,
+    limits: Limits,
 }
 
 impl Default for BatchEngine {
@@ -152,16 +277,31 @@ impl Default for BatchEngine {
 }
 
 impl BatchEngine {
-    /// A pool of `threads` workers (minimum 1; 1 means fully sequential).
+    /// A pool of `threads` workers (minimum 1; 1 means fully sequential),
+    /// with no resource limits.
     pub fn new(threads: usize) -> BatchEngine {
+        BatchEngine::with_limits(threads, Limits::UNLIMITED)
+    }
+
+    /// A pool that enforces `limits`: per-document parse budgets reject
+    /// oversized documents as [`DocFault::Resource`] reports, and
+    /// [`Limits::deadline`] stops starting new documents once the batch has
+    /// run past it (documents already finished keep their verdicts).
+    pub fn with_limits(threads: usize, limits: Limits) -> BatchEngine {
         BatchEngine {
             threads: threads.max(1),
+            limits,
         }
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured resource limits ([`Limits::UNLIMITED`] by default).
+    pub fn limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// The worker count actually used: on a single hardware thread the pool
@@ -202,6 +342,7 @@ impl BatchEngine {
                     .map(|e| e.to_string())
                     .collect(),
                 violations: spec.check_document(tree),
+                fault: None,
             })
             .collect();
         BatchReport { reports }
@@ -215,20 +356,39 @@ impl BatchEngine {
     /// pool total on the sequential path), so values repeated across the
     /// corpus are interned once per worker.
     pub fn validate_batch(&self, spec: &CompiledSpec, docs: &[BatchDoc]) -> BatchReport {
-        if self.effective_threads() == 1 || docs.len() <= 1 {
+        // One clock read per batch; individual documents only compare
+        // against it when a deadline is actually configured.
+        let started = self.limits.deadline.map(|_| Instant::now());
+
+        let reports = if self.effective_threads() == 1 || docs.len() <= 1 {
             let mut pool = ValuePool::new();
             let mut reports = Vec::with_capacity(docs.len());
             for (i, d) in docs.iter().enumerate() {
-                let (report, recycled) = process_doc(spec, i, d, pool);
+                let (report, recycled) = self.process_one(spec, i, d, started, pool);
                 reports.push(report);
                 pool = recycled;
             }
             if !docs.is_empty() {
                 instruments().2.record(docs.len() as u64);
             }
-            return BatchReport { reports };
-        }
+            reports
+        } else {
+            self.validate_parallel(spec, docs, started)
+        };
 
+        if reports.iter().any(DocReport::is_panicked) {
+            resilience_instruments().1.inc();
+        }
+        BatchReport { reports }
+    }
+
+    /// The worker-pool path of [`BatchEngine::validate_batch`].
+    fn validate_parallel(
+        &self,
+        spec: &CompiledSpec,
+        docs: &[BatchDoc],
+        started: Option<Instant>,
+    ) -> Vec<DocReport> {
         let (job_tx, job_rx) = mpsc::channel::<(usize, &BatchDoc)>();
         let (result_tx, result_rx) = mpsc::channel::<DocReport>();
         for job in docs.iter().enumerate() {
@@ -246,11 +406,19 @@ impl BatchEngine {
                     let mut pool = ValuePool::new();
                     let mut processed: u64 = 0;
                     loop {
-                        // Hold the receiver lock only for the pop, not the work.
-                        let job = job_rx.lock().expect("job receiver poisoned").try_recv();
+                        // Hold the receiver lock only for the pop, not the
+                        // work.  Per-document panics are contained below, so
+                        // the lock cannot poison while held; recover anyway
+                        // rather than propagate — the receiver has no
+                        // invariant a panic could have broken.
+                        let job = job_rx
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .try_recv();
                         match job {
                             Ok((index, doc)) => {
-                                let (report, recycled) = process_doc(spec, index, doc, pool);
+                                let (report, recycled) =
+                                    self.process_one(spec, index, doc, started, pool);
                                 pool = recycled;
                                 processed += 1;
                                 if result_tx.send(report).is_err() {
@@ -272,11 +440,84 @@ impl BatchEngine {
             }
         });
 
-        let reports = reports
+        reports
             .into_iter()
-            .map(|r| r.expect("every submitted document produced a report"))
-            .collect();
-        BatchReport { reports }
+            .enumerate()
+            .map(|(slot, r)| {
+                // Every job produces a report (even contained panics), so
+                // an empty slot can only mean a worker died outside the
+                // containment envelope.  Quarantine the document instead of
+                // unwrapping away the whole batch.
+                r.unwrap_or_else(|| {
+                    resilience_instruments().0.inc();
+                    DocReport::faulted(
+                        slot,
+                        docs[slot].label.clone(),
+                        DocFault::Panic {
+                            cause: "worker produced no report".to_string(),
+                        },
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// One document through limits, containment and the pipeline: deadline
+    /// check first (rejected documents are never started), then the
+    /// per-document work under `catch_unwind`.
+    fn process_one(
+        &self,
+        spec: &CompiledSpec,
+        index: usize,
+        doc: &BatchDoc,
+        started: Option<Instant>,
+        pool: ValuePool,
+    ) -> (DocReport, ValuePool) {
+        if let (Some(start), Some(deadline)) = (started, self.limits.deadline) {
+            // `>=` so a zero deadline deterministically rejects everything.
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                let err = ResourceError::new(
+                    LimitKind::Deadline,
+                    deadline.as_millis() as u64,
+                    elapsed.as_millis() as u64,
+                    format!("batch: document `{}` not started", doc.label),
+                );
+                return (
+                    DocReport::faulted(
+                        index,
+                        doc.label.clone(),
+                        DocFault::Resource {
+                            cause: err.to_string(),
+                        },
+                    ),
+                    pool,
+                );
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            if xic_telemetry::faults::hit("batch.doc") {
+                panic!("injected fault: batch.doc");
+            }
+            process_doc(spec, index, doc, &self.limits, pool)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                resilience_instruments().0.inc();
+                (
+                    DocReport::faulted(
+                        index,
+                        doc.label.clone(),
+                        DocFault::Panic {
+                            cause: panic_cause(payload),
+                        },
+                    ),
+                    // The in-flight pool was consumed by the panicking call;
+                    // later documents start from a fresh interner.
+                    ValuePool::new(),
+                )
+            }
+        }
     }
 }
 
@@ -287,11 +528,12 @@ fn process_doc(
     spec: &CompiledSpec,
     index: usize,
     doc: &BatchDoc,
+    limits: &Limits,
     pool: ValuePool,
 ) -> (DocReport, ValuePool) {
     let (docs, doc_ns, _) = instruments();
     let timer = xic_telemetry::global().start_timer();
-    let result = process_doc_uninstrumented(spec, index, doc, pool);
+    let result = process_doc_uninstrumented(spec, index, doc, limits, pool);
     docs.inc();
     if let Some(start) = timer {
         doc_ns.record_elapsed(start);
@@ -303,12 +545,14 @@ fn process_doc_uninstrumented(
     spec: &CompiledSpec,
     index: usize,
     doc: &BatchDoc,
+    limits: &Limits,
     pool: ValuePool,
 ) -> (DocReport, ValuePool) {
     let label = doc.label.clone();
-    let tree = match spec.parse_document_pooled(&doc.content, pool) {
+    let budget = limits.parse_budget();
+    let tree = match spec.parse_document_budgeted(&doc.content, pool, &budget) {
         Ok(tree) => tree,
-        Err((err, pool)) => {
+        Err((ParseError::Xml(err), pool)) => {
             return (
                 DocReport {
                     index,
@@ -316,9 +560,23 @@ fn process_doc_uninstrumented(
                     parse_error: Some(err.to_string()),
                     validation_errors: Vec::new(),
                     violations: Vec::new(),
+                    fault: None,
                 },
                 pool,
             )
+        }
+        Err((ParseError::Budget(b), pool)) => {
+            let err = ResourceError::from_budget(b, label.clone());
+            return (
+                DocReport::faulted(
+                    index,
+                    label,
+                    DocFault::Resource {
+                        cause: err.to_string(),
+                    },
+                ),
+                pool,
+            );
         }
     };
     let validation_errors = spec
@@ -335,6 +593,7 @@ fn process_doc_uninstrumented(
             parse_error: None,
             validation_errors,
             violations,
+            fault: None,
         },
         tree.into_pool(),
     )
@@ -449,5 +708,65 @@ mod tests {
         let report = BatchEngine::new(4).validate_batch(&spec, &[]);
         assert_eq!(report.total(), 0);
         assert_eq!(report.render(), "0/0 documents clean\n");
+    }
+
+    #[test]
+    fn node_limit_rejects_as_resource_fault_not_parse_error() {
+        let spec = school_spec();
+        let engine = BatchEngine::with_limits(
+            1,
+            crate::Limits {
+                max_doc_nodes: Some(1),
+                ..crate::Limits::UNLIMITED
+            },
+        );
+        let report = engine.validate_batch(&spec, &docs());
+        // Every document of the standard batch grows past one node mid-parse
+        // (`broken`'s budget trips before its syntax error is even reached) —
+        // all are rejected, none panic, verdicts are never wrong.
+        for r in report.reports() {
+            assert!(r.is_resource_rejected(), "{:?}", r);
+            assert!(r.fault.as_ref().unwrap().cause().contains("max_doc_nodes"));
+            assert!(r.parse_error.is_none());
+        }
+        assert_eq!(report.resource_rejected_count(), report.total());
+        assert_eq!(report.panicked_count(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("resource-rejected"), "{rendered}");
+    }
+
+    #[test]
+    fn deadline_zero_rejects_every_document_unstarted() {
+        let spec = school_spec();
+        let engine = BatchEngine::with_limits(
+            1,
+            crate::Limits {
+                deadline: Some(std::time::Duration::ZERO),
+                ..crate::Limits::UNLIMITED
+            },
+        );
+        let report = engine.validate_batch(&spec, &docs());
+        assert_eq!(report.resource_rejected_count(), report.total());
+        for r in report.reports() {
+            assert!(r.fault.as_ref().unwrap().cause().contains("deadline_ms"));
+        }
+    }
+
+    #[test]
+    fn faulted_reports_render_distinctly_and_are_not_clean() {
+        let report = DocReport::faulted(
+            3,
+            "poisoned-doc",
+            DocFault::Panic {
+                cause: "index out of bounds".to_string(),
+            },
+        );
+        assert!(!report.is_clean());
+        assert!(report.is_panicked());
+        assert!(!report.is_resource_rejected());
+        assert_eq!(report.fault.as_ref().unwrap().kind(), "panic");
+        let batch = BatchReport::from_reports(vec![report]);
+        assert!(batch.render().contains("faulted: index out of bounds"));
+        assert_eq!(batch.panicked_count(), 1);
     }
 }

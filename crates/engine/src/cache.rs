@@ -305,7 +305,10 @@ impl VerdictCache {
 
     /// Looks up a verdict, refreshing its recency on a hit.
     pub fn get(&self, key: CacheKey) -> Option<Verdict> {
-        let mut inner = self.inner.write().expect("verdict cache poisoned");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
@@ -328,9 +331,19 @@ impl VerdictCache {
 
     /// Inserts a verdict, evicting the least-recently-used entry if the
     /// cache is full.
+    ///
+    /// The `cache.insert` failpoint degrades this to a no-op — the correct
+    /// containment for a cache: skipping an insert costs a future miss,
+    /// never a wrong verdict.
     pub fn insert(&self, key: CacheKey, verdict: Verdict) {
+        if xic_telemetry::faults::hit("cache.insert") {
+            return;
+        }
         let timer = self.instr.registry.start_timer();
-        let mut inner = self.inner.write().expect("verdict cache poisoned");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         let mut evicted = None;
@@ -386,7 +399,7 @@ impl VerdictCache {
     pub fn clear(&self) {
         self.inner
             .write()
-            .expect("verdict cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .map
             .clear();
         self.instr.entries.set(0);
@@ -399,7 +412,10 @@ impl VerdictCache {
     /// ([`VerdictCache::with_registry`]) these are the registry's aggregate
     /// counts, not this one cache's.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.read().expect("verdict cache poisoned");
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats {
             hits: self.instr.hits.get(),
             misses: self.instr.misses.get(),

@@ -39,14 +39,18 @@
 //! `BatchEngine` revalidation of the corpus.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 use xic_constraints::{IncrementalIndex, Violation};
 use xic_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
-use xic_xml::{EditJournal, EditOp, ValuePool, XmlError, XmlTree};
+use xic_xml::budget::ParseError;
+use xic_xml::{EditJournal, EditOp, ValuePool, XmlTree};
 
-use crate::batch::{BatchReport, DocReport};
+use crate::batch::{BatchReport, DocFault, DocReport};
 use crate::journal::JournalError;
+use crate::limits::{self, LimitKind, Limits, ResourceError};
 use crate::session::{apply_ops, DocHandle, SessionError};
 use crate::spec::CompiledSpec;
 
@@ -337,6 +341,17 @@ pub struct CorpusSession<'s> {
     /// [`CorpusSession::prune_deltas`] drops a prefix).
     history_base: u64,
     instr: CorpusInstruments,
+    limits: Limits,
+    /// Edits admitted since the last commit (the queue a
+    /// [`Limits::max_queued_ops`] bound compares against).
+    queued_ops: usize,
+    /// Progress a deadline-aborted [`CorpusSession::try_commit`] already
+    /// made: re-checked changes waiting for the commit that will announce
+    /// them (work done is never redone, and never half-announced).
+    staged_changes: Vec<DocChange>,
+    /// Documents re-checked by aborted commit attempts since the last
+    /// announced delta.
+    staged_rechecked: usize,
 }
 
 impl<'s> CorpusSession<'s> {
@@ -367,7 +382,26 @@ impl<'s> CorpusSession<'s> {
             history: Vec::new(),
             history_base: 1,
             instr: CorpusInstruments::on(registry),
+            limits: Limits::UNLIMITED,
+            queued_ops: 0,
+            staged_changes: Vec::new(),
+            staged_rechecked: 0,
         }
+    }
+
+    /// A corpus that enforces [`Limits`] at admission: oversized sources
+    /// and trees are refused at open, edit batches that would blow a bound
+    /// are rejected whole by [`CorpusSession::apply`], and
+    /// [`CorpusSession::try_commit`] honors the soft deadline.
+    pub fn with_limits(spec: &'s CompiledSpec, limits: Limits) -> CorpusSession<'s> {
+        let mut corpus = CorpusSession::new(spec);
+        corpus.limits = limits;
+        corpus
+    }
+
+    /// The resource bounds this corpus enforces.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// The registry this corpus's instruments record into.
@@ -399,25 +433,79 @@ impl<'s> CorpusSession<'s> {
     /// The parse inherits the corpus pool by [`ValuePool::fork`]; the grown
     /// pool is re-forked back, so every value the document introduced is
     /// already interned for the next open or edit.
+    ///
+    /// Under [`Limits`], admission is checked before the parse spends
+    /// anything (a full dirty set rejects immediately) and the parse itself
+    /// is budgeted — byte, node and depth bounds reject as
+    /// [`SessionError::Resource`].
     pub fn open_source(
         &mut self,
         label: impl Into<String>,
         source: &str,
-    ) -> Result<DocHandle, XmlError> {
-        let tree = match self.spec.parse_document_pooled(source, self.pool.fork()) {
+    ) -> Result<DocHandle, SessionError> {
+        let label = label.into();
+        self.check_admission(&label)
+            .map_err(SessionError::Resource)?;
+        let budget = self.limits.parse_budget();
+        let tree = match self
+            .spec
+            .parse_document_budgeted(source, self.pool.fork(), &budget)
+        {
             Ok(tree) => tree,
-            Err((err, _)) => return Err(err),
+            Err((ParseError::Xml(err), _)) => return Err(SessionError::Parse(err)),
+            Err((ParseError::Budget(b), _)) => {
+                return Err(SessionError::Resource(ResourceError::from_budget(
+                    b,
+                    format!("open `{label}`"),
+                )))
+            }
         };
         self.pool = tree.pool().fork();
-        Ok(self.admit(label.into(), tree))
+        Ok(self.admit(label, tree))
     }
 
     /// Opens a pre-built tree under `label`.  Its values are absorbed into
     /// the corpus pool (allocations shared, ids untouched) so future opens
-    /// and edits stay warm.
-    pub fn open(&mut self, label: impl Into<String>, tree: XmlTree) -> DocHandle {
+    /// and edits stay warm.  Under [`Limits`] the tree is bounded the same
+    /// way a parsed source is: admission and node count are checked before
+    /// anything is shared or indexed.
+    pub fn open(
+        &mut self,
+        label: impl Into<String>,
+        tree: XmlTree,
+    ) -> Result<DocHandle, SessionError> {
+        let label = label.into();
+        self.check_admission(&label)
+            .map_err(SessionError::Resource)?;
+        if let Some(max) = self.limits.max_doc_nodes {
+            if tree.num_nodes() > max {
+                return Err(SessionError::Resource(ResourceError::new(
+                    LimitKind::DocNodes,
+                    max as u64,
+                    tree.num_nodes() as u64,
+                    format!("open `{label}`"),
+                )));
+            }
+        }
         self.pool.absorb(tree.pool());
-        self.admit(label.into(), tree)
+        Ok(self.admit(label, tree))
+    }
+
+    /// Admission guard shared by the open paths: a bounded dirty set sheds
+    /// load *before* the parse or index build spends anything.
+    fn check_admission(&self, label: &str) -> Result<(), ResourceError> {
+        if let Some(max) = self.limits.max_dirty_docs {
+            let projected = self.dirty.len() + 1;
+            if projected > max {
+                return Err(ResourceError::new(
+                    LimitKind::DirtyDocs,
+                    max as u64,
+                    projected as u64,
+                    format!("open `{label}`: commit to drain the dirty set"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn admit(&mut self, label: String, tree: XmlTree) -> DocHandle {
@@ -483,12 +571,44 @@ impl<'s> CorpusSession<'s> {
     /// dirty set and is re-checked at the next [`CorpusSession::commit`].
     /// Rejected ops leave the earlier ops of the batch applied (the error
     /// reports how many) with indexes still exact.
+    ///
+    /// [`Limits`] rejections ([`SessionError::Resource`]) are different:
+    /// they are checked **before** any op is applied, so the batch comes
+    /// back whole in the error's echo and the document is untouched —
+    /// commit to drain the queue, then retry.
     pub fn apply(&mut self, handle: DocHandle, ops: &[EditOp]) -> Result<(), SessionError> {
+        let limits = self.limits;
+        let queued = self.queued_ops;
         let doc = self
             .docs
             .get_mut(&handle.raw())
             .ok_or(SessionError::UnknownHandle(handle))?;
-        if !self.dirty.contains(&handle.raw()) {
+        let newly_dirty = !self.dirty.contains(&handle.raw());
+        if newly_dirty {
+            if let Some(max) = limits.max_dirty_docs {
+                let projected = self.dirty.len() + 1;
+                if projected > max {
+                    return Err(SessionError::Resource(
+                        ResourceError::new(
+                            LimitKind::DirtyDocs,
+                            max as u64,
+                            projected as u64,
+                            format!("{handle} (`{}`): commit to drain the dirty set", doc.label),
+                        )
+                        .with_rejected(limits::echo_ops(ops)),
+                    ));
+                }
+            }
+        }
+        limits::admit_ops(
+            &limits,
+            &doc.tree,
+            queued,
+            ops,
+            &format!("{handle} (`{}`)", doc.label),
+        )
+        .map_err(SessionError::Resource)?;
+        if newly_dirty {
             self.dirty.push(handle.raw());
             self.instr.dirty_docs.set(self.dirty.len() as i64);
         }
@@ -502,6 +622,7 @@ impl<'s> CorpusSession<'s> {
             Err(_) => unreachable!("apply_ops only raises Edit errors"),
         };
         self.instr.edits.add(applied);
+        self.queued_ops += applied as usize;
         self.instr.queued_ops.add(applied as i64);
         if let Some(t) = timer {
             self.instr.apply_ns.record_elapsed(t);
@@ -536,12 +657,35 @@ impl<'s> CorpusSession<'s> {
     /// cached from the commit that produced them, the corpus-wide counters
     /// are maintained incrementally, and open-order positions are
     /// renumbered only when a close shifted them.
+    ///
+    /// Ignores [`Limits::deadline`] — a plain `commit` always runs the
+    /// dirty set to completion.  Use [`CorpusSession::try_commit`] for the
+    /// deadline-honoring variant.
     pub fn commit(&mut self) -> BatchDelta {
+        self.commit_inner(None)
+            .expect("an unbounded commit cannot be rejected")
+    }
+
+    /// Like [`CorpusSession::commit`], but honoring [`Limits::deadline`]:
+    /// if re-checking would run past the soft deadline, the commit stops
+    /// *between* documents (work is never cut off mid-document) and returns
+    /// a [`ResourceError`] naming how far it got.  Progress is staged, not
+    /// lost — re-checked documents stay done, un-checked ones stay dirty,
+    /// and no delta is announced (the sequence number does not advance), so
+    /// the next `try_commit` resumes where this one stopped and announces
+    /// one combined delta.
+    pub fn try_commit(&mut self) -> Result<BatchDelta, ResourceError> {
+        let deadline = self.limits.deadline.map(|budget| (Instant::now(), budget));
+        self.commit_inner(deadline)
+    }
+
+    fn commit_inner(
+        &mut self,
+        deadline: Option<(Instant, std::time::Duration)>,
+    ) -> Result<BatchDelta, ResourceError> {
         let commit_timer = self.instr.registry.start_timer();
-        self.commits += 1;
         let dirty = std::mem::take(&mut self.dirty);
         let closed = std::mem::take(&mut self.closed);
-        let rechecked_docs = dirty.len();
 
         if self.positions_stale {
             for (position, doc) in self.docs.values_mut().enumerate() {
@@ -551,22 +695,50 @@ impl<'s> CorpusSession<'s> {
         }
 
         let validator = self.spec.validator();
-        let mut changes = Vec::new();
+        // Resume from progress a deadline-aborted attempt staged.
+        let mut changes = std::mem::take(&mut self.staged_changes);
+        let mut rechecked_docs = std::mem::take(&mut self.staged_rechecked);
         let mut violations_added = 0u64;
         let mut violations_removed = 0u64;
-        for raw in dirty {
+        for (i, &raw) in dirty.iter().enumerate() {
+            if let Some((started, budget)) = deadline {
+                // `>=` so a zero deadline deterministically stops at once.
+                let elapsed = started.elapsed();
+                if elapsed >= budget {
+                    // Stop between documents: stage the finished rechecks,
+                    // restore the unprocessed dirty tail and the closes,
+                    // announce nothing.
+                    self.staged_changes = changes;
+                    self.staged_rechecked = rechecked_docs;
+                    self.dirty = dirty[i..].to_vec();
+                    self.closed = closed;
+                    self.instr.dirty_docs.set(self.dirty.len() as i64);
+                    self.instr.violations_added.add(violations_added);
+                    self.instr.violations_removed.add(violations_removed);
+                    if let Some(t) = commit_timer {
+                        self.instr.commit_ns.record_elapsed(t);
+                    }
+                    return Err(ResourceError::new(
+                        LimitKind::Deadline,
+                        budget.as_millis() as u64,
+                        elapsed.as_millis() as u64,
+                        format!(
+                            "commit: {i} of {} dirty documents re-checked this attempt; {} remain",
+                            dirty.len(),
+                            dirty.len() - i
+                        ),
+                    ));
+                }
+            }
+            rechecked_docs += 1;
             let Some(doc) = self.docs.get_mut(&raw) else {
                 // Dirtied, then closed before the commit (close() retains
                 // the dirty list, but guard against future reorderings).
                 continue;
             };
             let recheck_timer = self.instr.registry.start_timer();
-            let validation_errors: Vec<String> = validator
-                .validate(&doc.tree)
-                .iter()
-                .map(|e| e.to_string())
-                .collect();
-            let violations: Vec<Violation> = doc.index.check_all(&doc.tree);
+            let (validation_errors, violations, fault) =
+                Self::recheck_contained(self.spec, &validator, doc);
             if let Some(t) = recheck_timer {
                 self.instr.recheck_ns.record_elapsed(t);
             }
@@ -581,6 +753,7 @@ impl<'s> CorpusSession<'s> {
                 parse_error: None,
                 validation_errors,
                 violations,
+                fault,
             };
             let was_clean = doc.committed_clean;
             let now_clean = fresh.is_clean();
@@ -598,6 +771,7 @@ impl<'s> CorpusSession<'s> {
                 Some(previous) => {
                     previous.validation_errors != fresh.validation_errors
                         || previous.violations != fresh.violations
+                        || previous.fault != fresh.fault
                 }
             };
             doc.committed_clean = Some(now_clean);
@@ -610,10 +784,12 @@ impl<'s> CorpusSession<'s> {
                 });
             }
         }
-        // The dirty list is in dirtying order; the stream contract is open
-        // order.
+        // The dirty list is in dirtying order (staged changes from an
+        // aborted attempt may precede newer handles); the stream contract
+        // is open order.
         changes.sort_by_key(|c| c.handle);
 
+        self.commits += 1;
         let delta = BatchDelta {
             seq: self.commits,
             changes,
@@ -628,13 +804,72 @@ impl<'s> CorpusSession<'s> {
         self.instr.violations_removed.add(violations_removed);
         self.instr.delta_changes.record(delta.changes.len() as u64);
         // The commit drained the dirty set and its queued edits.
+        self.queued_ops = 0;
         self.instr.dirty_docs.set(0);
         self.instr.queued_ops.set(0);
         self.instr.open_docs.set(self.docs.len() as i64);
         if let Some(t) = commit_timer {
             self.instr.commit_ns.record_elapsed(t);
         }
-        delta
+        Ok(delta)
+    }
+
+    /// One document's re-check, panic-contained.  A panic (the
+    /// `corpus.recheck` failpoint, or a genuine bug in constraint
+    /// re-evaluation) quarantines nothing corpus-wide: the incremental
+    /// index — the stateful, possibly mid-update part — is rebuilt from the
+    /// tree and the check retried once; if even the rebuilt index panics,
+    /// the document's report carries a [`DocFault::Panic`] instead of a
+    /// verdict (never a wrong one) and every other document proceeds.
+    fn recheck_contained(
+        spec: &CompiledSpec,
+        validator: &xic_xml::Validator<'_>,
+        doc: &mut CorpusDoc,
+    ) -> (Vec<String>, Vec<Violation>, Option<DocFault>) {
+        fn run(
+            validator: &xic_xml::Validator<'_>,
+            doc: &mut CorpusDoc,
+        ) -> (Vec<String>, Vec<Violation>) {
+            // Inside `run` so the injected fault exercises both attempts:
+            // Nth(1) tests the transparent retry, an always-firing
+            // probability tests the quarantine path.
+            if xic_telemetry::faults::hit("corpus.recheck") {
+                panic!("injected fault: corpus.recheck");
+            }
+            let validation_errors: Vec<String> = validator
+                .validate(&doc.tree)
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            let violations = doc.index.check_all(&doc.tree);
+            (validation_errors, violations)
+        }
+        let first = catch_unwind(AssertUnwindSafe(|| run(validator, doc)));
+        match first {
+            Ok((errors, violations)) => (errors, violations, None),
+            Err(payload) => {
+                crate::batch::resilience_instruments().0.inc();
+                let cause = crate::batch::panic_cause(payload);
+                doc.index =
+                    IncrementalIndex::with_layout(Arc::clone(spec.incremental_layout()), &doc.tree);
+                match catch_unwind(AssertUnwindSafe(|| run(validator, doc))) {
+                    Ok((errors, violations)) => (errors, violations, None),
+                    Err(payload) => {
+                        crate::batch::resilience_instruments().0.inc();
+                        let retry_cause = crate::batch::panic_cause(payload);
+                        (
+                            Vec::new(),
+                            Vec::new(),
+                            Some(DocFault::Panic {
+                                cause: format!(
+                                    "{cause}; retry after index rebuild also panicked: {retry_cause}"
+                                ),
+                            }),
+                        )
+                    }
+                }
+            }
+        }
     }
 
     /// The last committed sequence number (0 before the first commit).
@@ -681,8 +916,8 @@ impl<'s> CorpusSession<'s> {
     /// (commit first — a snapshot of half-applied edits would be stale).
     pub fn report(&self) -> BatchReport {
         assert!(
-            self.dirty.is_empty(),
-            "report() requires a commit after every open/edit"
+            self.dirty.is_empty() && self.staged_changes.is_empty(),
+            "report() requires a commit after every open/edit (and after a deadline-aborted try_commit)"
         );
         let reports = self
             .docs
@@ -1001,6 +1236,123 @@ mod tests {
         );
         assert_eq!(corpus.prune_deltas(100), 1);
         assert_eq!(corpus.export_deltas(3).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn dirty_set_bound_sheds_opens_and_edits_until_a_commit() {
+        let spec = spec();
+        let mut corpus = CorpusSession::with_limits(
+            &spec,
+            Limits {
+                max_dirty_docs: Some(1),
+                ..Limits::UNLIMITED
+            },
+        );
+        let a = corpus
+            .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        // The dirty set is full: a second open is shed before parsing.
+        let err = corpus
+            .open_source("b.xml", "<school><teacher name=\"Ann\"/></school>")
+            .unwrap_err();
+        let SessionError::Resource(resource) = err else {
+            panic!("expected a resource rejection");
+        };
+        assert_eq!(resource.limit, LimitKind::DirtyDocs);
+        corpus.commit();
+        let b = corpus
+            .open_source("b.xml", "<school><teacher name=\"Ann\"/></school>")
+            .unwrap();
+        corpus.commit();
+
+        // Editing dirties: with b dirty, dirtying a is rejected whole.
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let add_to = |corpus: &CorpusSession<'_>, h| EditOp::AddElement {
+            parent: corpus.tree(h).unwrap().root(),
+            ty: teacher,
+        };
+        corpus.apply(b, &[add_to(&corpus, b)]).unwrap();
+        let op = add_to(&corpus, a);
+        let err = corpus.apply(a, std::slice::from_ref(&op)).unwrap_err();
+        let SessionError::Resource(resource) = err else {
+            panic!("expected a resource rejection");
+        };
+        assert_eq!(resource.limit, LimitKind::DirtyDocs);
+        assert_eq!(resource.rejected.len(), 1);
+        assert_eq!(resource.rejected[0].op, op);
+        // Nothing was applied to a; a re-apply after a commit succeeds.
+        assert_eq!(corpus.tree(a).unwrap().ext_count(teacher), 1);
+        corpus.commit();
+        corpus.apply(a, &[op]).unwrap();
+        corpus.commit();
+    }
+
+    #[test]
+    fn queued_op_bound_rejects_batches_whole_and_drains_at_commit() {
+        let spec = spec();
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let mut corpus = CorpusSession::with_limits(
+            &spec,
+            Limits {
+                max_queued_ops: Some(2),
+                ..Limits::UNLIMITED
+            },
+        );
+        let a = corpus
+            .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let root = corpus.tree(a).unwrap().root();
+        let op = EditOp::AddElement {
+            parent: root,
+            ty: teacher,
+        };
+        let err = corpus.apply(a, &vec![op.clone(); 3]).unwrap_err();
+        let SessionError::Resource(resource) = err else {
+            panic!("expected a resource rejection");
+        };
+        assert_eq!(resource.limit, LimitKind::QueuedOps);
+        assert_eq!(resource.rejected.len(), 3);
+        assert_eq!(corpus.tree(a).unwrap().ext_count(teacher), 1);
+
+        // Two fit; the third is over quota until a commit drains the queue.
+        corpus.apply(a, &vec![op.clone(); 2]).unwrap();
+        let err = corpus.apply(a, std::slice::from_ref(&op)).unwrap_err();
+        assert!(matches!(err, SessionError::Resource(_)));
+        corpus.commit();
+        corpus.apply(a, &[op]).unwrap();
+        corpus.commit();
+        assert_eq!(corpus.tree(a).unwrap().ext_count(teacher), 4);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_try_commit_and_plain_commit_resumes() {
+        let spec = spec();
+        let mut corpus = CorpusSession::with_limits(
+            &spec,
+            Limits {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Limits::UNLIMITED
+            },
+        );
+        corpus
+            .open_source("a.xml", "<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        corpus
+            .open_source("b.xml", "<school><teacher name=\"Ann\"/></school>")
+            .unwrap();
+        let err = corpus.try_commit().unwrap_err();
+        assert_eq!(err.limit, LimitKind::Deadline);
+        assert!(err.context.contains("dirty documents"), "{}", err.context);
+        // Nothing was announced: no delta, no sequence advance.
+        assert_eq!(corpus.last_seq(), 0);
+        // A plain commit ignores the deadline, finishes the staged work and
+        // announces one combined delta.
+        let delta = corpus.commit();
+        assert_eq!(delta.seq, 1);
+        assert_eq!(delta.rechecked_docs, 2);
+        assert_eq!(delta.changes.len(), 2);
+        assert_eq!((delta.total, delta.clean), (2, 2));
+        assert_eq!(corpus.report().total(), 2);
     }
 
     #[test]

@@ -357,6 +357,106 @@ fn io_err(path: &Path, err: std::io::Error) -> JournalError {
 }
 
 // ---------------------------------------------------------------------------
+// Hardened write path: short writes surfaced, transient errors retried with
+// bounded backoff, data synced before a write is reported durable.  The
+// `journal.write` / `journal.append` / `journal.sync` failpoints inject
+// transient `Interrupted` faults here (see `xic_telemetry::faults`).
+
+/// Process-wide transient-IO retry counter (`resilience.io_retries`),
+/// resolved once.
+fn io_retries_counter() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| xic_telemetry::global().counter("resilience.io_retries"))
+}
+
+/// Raises an injected transient fault (`ErrorKind::Interrupted`) when the
+/// named failpoint is armed; compiled to `Ok(())` without the `faults`
+/// feature.
+fn fault_io(name: &'static str) -> std::io::Result<()> {
+    if xic_telemetry::faults::hit(name) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("injected fault: {name}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Retries a transient-failure-prone IO step with bounded backoff
+/// (1/2/4 ms between the four attempts), counting each retry in
+/// `resilience.io_retries`.  Only `Interrupted` is considered transient;
+/// everything else surfaces immediately.  The closure must be safe to
+/// re-run after a failure (nothing partially applied), which each caller
+/// guarantees by retrying *stages*, not whole multi-stage writes.
+fn retry_interrupted<T>(mut attempt: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    const BACKOFF_MS: [u64; 4] = [0, 1, 2, 4];
+    for (i, backoff) in BACKOFF_MS.iter().enumerate() {
+        if *backoff > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(*backoff));
+        }
+        match attempt() {
+            Ok(value) => return Ok(value),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted && i + 1 < BACKOFF_MS.len() => {
+                io_retries_counter().inc();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the final attempt either returned its value or its error")
+}
+
+/// `write_all` with explicit accounting: a `write` accepting zero bytes
+/// mid-buffer surfaces as a `WriteZero` error naming how far the write
+/// got (so the caller's `JournalError::Io` says "short write", not
+/// nothing), and `Interrupted` is retried in place.
+fn write_all_checked(file: &mut fs::File, mut buf: &[u8]) -> std::io::Result<()> {
+    let total = buf.len();
+    while !buf.is_empty() {
+        match file.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    format!(
+                        "short write: only {} of {total} bytes accepted",
+                        total - buf.len()
+                    ),
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                io_retries_counter().inc();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One durable write: the buffer lands fully (short writes surfaced),
+/// then `sync_data` pushes it to the platter before the write is reported
+/// durable.  `point` is the failpoint name injected before the first byte
+/// (`journal.write` for fresh files, `journal.append` for appends); the
+/// sync stage carries its own `journal.sync` failpoint.  Each stage
+/// retries transient failures independently, so a retry never re-appends
+/// bytes that already landed.
+fn write_and_sync(file: &mut fs::File, buf: &[u8], point: &'static str) -> std::io::Result<()> {
+    retry_interrupted(|| fault_io(point))?;
+    write_all_checked(file, buf)?;
+    file.flush()?;
+    retry_interrupted(|| {
+        fault_io("journal.sync")?;
+        file.sync_data()
+    })
+}
+
+/// Durably creates a fresh log file (create, write, sync) through the
+/// hardened write path.
+fn write_fresh(path: &Path, buf: &[u8]) -> Result<(), JournalError> {
+    let mut file = fs::File::create(path).map_err(|e| io_err(path, e))?;
+    write_and_sync(&mut file, buf, "journal.write").map_err(|e| io_err(path, e))
+}
+
+// ---------------------------------------------------------------------------
 // CRC32 (IEEE, reflected) — the per-record integrity check.
 
 const fn crc32_table() -> [u32; 256] {
@@ -687,6 +787,17 @@ fn enc_doc_report(enc: &mut Enc, r: &DocReport) {
     for v in &r.violations {
         enc_violation(enc, v);
     }
+    match &r.fault {
+        None => enc.u8(0),
+        Some(crate::DocFault::Panic { cause }) => {
+            enc.u8(1);
+            enc.str(cause);
+        }
+        Some(crate::DocFault::Resource { cause }) => {
+            enc.u8(2);
+            enc.str(cause);
+        }
+    }
 }
 
 fn dec_doc_report(dec: &mut Dec<'_>) -> Result<DocReport, String> {
@@ -703,12 +814,19 @@ fn dec_doc_report(dec: &mut Dec<'_>) -> Result<DocReport, String> {
     for _ in 0..num_violations {
         violations.push(dec_violation(dec)?);
     }
+    let fault = match dec.u8()? {
+        0 => None,
+        1 => Some(crate::DocFault::Panic { cause: dec.str()? }),
+        2 => Some(crate::DocFault::Resource { cause: dec.str()? }),
+        other => return Err(format!("unknown fault flag {other}")),
+    };
     Ok(DocReport {
         index,
         label,
         parse_error,
         validation_errors,
         violations,
+        fault,
     })
 }
 
@@ -1150,9 +1268,15 @@ fn persist_session_doc_uninstrumented(
             write_header(&mut buf, LogKind::SessionDoc, spec);
             let mut enc = Enc::default();
             enc.u64(journal.total_recorded());
+            if xic_telemetry::faults::hit("journal.snapshot_encode") {
+                return Err(JournalError::Io {
+                    path: path.display().to_string(),
+                    detail: "injected fault: journal.snapshot_encode".to_string(),
+                });
+            }
             enc_snapshot(&mut enc, &tree.snapshot());
             frame_record(&mut buf, 1, TAG_BASE, &enc.buf);
-            fs::write(path, &buf).map_err(|e| io_err(path, e))?;
+            write_fresh(path, &buf)?;
             note_write(1, buf.len(), repaired_torn_tail);
             return Ok(PersistReceipt {
                 records_written: 1,
@@ -1207,18 +1331,16 @@ fn persist_session_doc_uninstrumented(
         enc_op(&mut enc, op);
         frame_record(&mut buf, seq, TAG_OP, &enc.buf);
     }
-    let file = OpenOptions::new()
+    let mut file = OpenOptions::new()
         .write(true)
         .open(path)
         .map_err(|e| io_err(path, e))?;
     file.set_len(raw.durable_bytes)
         .map_err(|e| io_err(path, e))?;
-    let mut file = file;
     use std::io::Seek as _;
     file.seek(std::io::SeekFrom::End(0))
         .map_err(|e| io_err(path, e))?;
-    file.write_all(&buf).map_err(|e| io_err(path, e))?;
-    file.flush().map_err(|e| io_err(path, e))?;
+    write_and_sync(&mut file, &buf, "journal.append").map_err(|e| io_err(path, e))?;
     note_write(new_entries.len(), buf.len(), repaired);
     Ok(PersistReceipt {
         records_written: new_entries.len(),
@@ -1308,7 +1430,7 @@ pub fn write_delta_log(
         enc_delta(&mut enc, delta);
         frame_record(&mut buf, i as u64 + 1, TAG_DELTA, &enc.buf);
     }
-    fs::write(path, &buf).map_err(|e| io_err(path, e))?;
+    write_fresh(path, &buf)?;
     note_write(deltas.len(), buf.len(), false);
     if let Some(start) = timer {
         instruments().persist_ns.record_elapsed(start);
@@ -1393,8 +1515,7 @@ pub fn append_delta_log(
     use std::io::Seek as _;
     file.seek(std::io::SeekFrom::End(0))
         .map_err(|e| io_err(path, e))?;
-    file.write_all(&buf).map_err(|e| io_err(path, e))?;
-    file.flush().map_err(|e| io_err(path, e))?;
+    write_and_sync(&mut file, &buf, "journal.append").map_err(|e| io_err(path, e))?;
     note_write(new.len(), buf.len(), repaired);
     if let Some(start) = timer {
         instruments().persist_ns.record_elapsed(start);
@@ -1796,6 +1917,9 @@ mod tests {
                     index: 2,
                     label: "a \"quoted\" label".into(),
                     parse_error: Some("boom".into()),
+                    fault: Some(crate::DocFault::Panic {
+                        cause: "contained".into(),
+                    }),
                     validation_errors: vec!["bad".into()],
                     violations: vec![
                         Violation::KeyViolation {
@@ -2009,6 +2133,7 @@ mod tests {
             parse_error: None,
             validation_errors: vec![],
             violations: vec![],
+            fault: None,
         };
         let open = BatchDelta {
             seq: 1,

@@ -81,11 +81,12 @@ pub mod cache;
 pub mod corpus;
 pub mod hash;
 pub mod journal;
+pub mod limits;
 pub mod metrics;
 pub mod session;
 pub mod spec;
 
-pub use batch::{BatchDoc, BatchEngine, BatchReport, DocReport};
+pub use batch::{BatchDoc, BatchEngine, BatchReport, DocFault, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
 pub use corpus::{BatchDelta, ClosedDoc, CorpusSession, DeltaSummary, DocChange, Transition};
 pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
@@ -94,6 +95,7 @@ pub use journal::{
     CorpusReplica, DeltaLog, JournalError, LogKind, LogSummary, PersistReceipt, RecordSummary,
     SessionLog,
 };
+pub use limits::{LimitKind, Limits, RejectedOp, ResourceError};
 pub use metrics::{register_baseline, EngineMetrics};
 pub use session::{DocHandle, Recovery, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, SpecId};

@@ -40,6 +40,11 @@ pub fn register_baseline(registry: &MetricsRegistry) {
         "journal.records_read",
         "journal.torn_repairs",
         "parse.docs",
+        "resilience.degraded_batches",
+        "resilience.faults_injected",
+        "resilience.io_retries",
+        "resilience.panics_contained",
+        "resilience.rejections",
         "session.edits",
     ] {
         registry.counter(counter);
@@ -117,7 +122,13 @@ mod tests {
     fn baseline_makes_snapshots_total() {
         let registry = MetricsRegistry::new();
         let metrics = EngineMetrics::capture(&registry);
-        for name in ["cache.hits", "journal.bytes_written", "corpus.commits"] {
+        for name in [
+            "cache.hits",
+            "journal.bytes_written",
+            "corpus.commits",
+            "resilience.rejections",
+            "resilience.panics_contained",
+        ] {
             assert_eq!(metrics.snapshot.counter(name), Some(0), "{name}");
         }
         for name in ["corpus.dirty_docs", "corpus.queued_ops"] {

@@ -21,14 +21,18 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Arc;
 
 use xic_constraints::{IncrementalIndex, Violation};
 use xic_telemetry::{Counter, Histogram, MetricsRegistry};
-use xic_xml::{EditError, EditJournal, EditOp, XmlError, XmlTree};
+use xic_xml::budget::ParseError;
+use xic_xml::snapshot::TreeSnapshot;
+use xic_xml::{EditError, EditJournal, EditOp, ValuePool, XmlError, XmlTree};
 
 use crate::journal::{self, JournalError, PersistReceipt};
+use crate::limits::{self, Limits, ResourceError};
 use crate::spec::CompiledSpec;
 
 /// Registry-backed per-edit instruments, resolved once per session (name
@@ -100,6 +104,23 @@ pub enum SessionError {
         /// The underlying rejection.
         error: EditError,
     },
+    /// A document source could not be parsed (`open_source`).
+    Parse(XmlError),
+    /// A [`Limits`] bound turned the request away.  Unlike
+    /// [`SessionError::Edit`], rejection is all-or-nothing: **no op was
+    /// applied** — the batch comes back whole in the error's `rejected`
+    /// echo, so the caller can shed load and retry after a commit.
+    Resource(ResourceError),
+    /// The document is quarantined: an earlier edit panicked mid-apply and
+    /// was contained, so its in-memory indexes may be inconsistent.  Every
+    /// verdict-producing call is refused until [`Session::recover`]
+    /// rebuilds the document from its journal.
+    Poisoned {
+        /// The quarantined document.
+        handle: DocHandle,
+        /// The contained panic's message.
+        cause: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -109,6 +130,12 @@ impl fmt::Display for SessionError {
             SessionError::Edit { index, error } => write!(
                 f,
                 "edit op #{index} rejected ({error}); the {index} earlier ops of the batch were applied"
+            ),
+            SessionError::Parse(err) => write!(f, "parse error: {err}"),
+            SessionError::Resource(err) => err.fmt(f),
+            SessionError::Poisoned { handle, cause } => write!(
+                f,
+                "document {handle} is quarantined after a contained panic ({cause}); recover() it"
             ),
         }
     }
@@ -179,16 +206,28 @@ struct SessionDoc {
     /// Edits known durable in a log (`Session::persist_to` raises it); the
     /// compaction watermark for [`xic_xml::EditJournal::compact`].
     durable_edits: u64,
+    /// The tree as of the journal's fold point: [`Session::recover`]
+    /// replays `journal` on top of this to rebuild the document after a
+    /// contained panic.  [`Session::compact`] advances it in lockstep with
+    /// the journal so base + entries always reconstructs the live tree.
+    base: TreeSnapshot,
+    /// `Some(cause)` after a contained panic mid-apply: the tree/index pair
+    /// may be inconsistent, so edits and verdicts are refused until
+    /// [`Session::recover`] clears the flag.
+    poisoned: Option<String>,
 }
 
 impl SessionDoc {
     fn new(tree: XmlTree, index: IncrementalIndex) -> SessionDoc {
+        let base = tree.snapshot();
         SessionDoc {
             tree,
             index,
             journal: EditJournal::new(),
             edits_applied: 0,
             durable_edits: 0,
+            base,
+            poisoned: None,
         }
     }
 }
@@ -251,6 +290,7 @@ pub struct Session<'s> {
     docs: HashMap<u64, SessionDoc>,
     next_handle: u64,
     instr: SessionInstruments,
+    limits: Limits,
 }
 
 impl<'s> Session<'s> {
@@ -269,7 +309,23 @@ impl<'s> Session<'s> {
             docs: HashMap::new(),
             next_handle: 0,
             instr: SessionInstruments::on(registry),
+            limits: Limits::UNLIMITED,
         }
+    }
+
+    /// A session that enforces [`Limits`]: oversized sources are refused at
+    /// [`Session::open_source`] and edit batches that would blow a bound
+    /// are rejected whole by [`Session::apply`] (as
+    /// [`SessionError::Resource`], with the batch echoed back).
+    pub fn with_limits(spec: &'s CompiledSpec, limits: Limits) -> Session<'s> {
+        let mut session = Session::new(spec);
+        session.limits = limits;
+        session
+    }
+
+    /// The resource bounds this session enforces.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// The registry this session's instruments record into.
@@ -303,8 +359,20 @@ impl<'s> Session<'s> {
     }
 
     /// Parses XML source against the spec's DTD and opens the document.
-    pub fn open_source(&mut self, source: &str) -> Result<DocHandle, XmlError> {
-        let tree = self.spec.parse_document(source)?;
+    /// Under [`Limits`] the parse itself is budgeted: byte, node and depth
+    /// bounds reject the source ([`SessionError::Resource`]) before a large
+    /// document can occupy memory.
+    pub fn open_source(&mut self, source: &str) -> Result<DocHandle, SessionError> {
+        let budget = self.limits.parse_budget();
+        let tree = self
+            .spec
+            .parse_document_budgeted(source, ValuePool::new(), &budget)
+            .map_err(|(err, _)| match err {
+                ParseError::Xml(e) => SessionError::Parse(e),
+                ParseError::Budget(b) => {
+                    SessionError::Resource(ResourceError::from_budget(b, "open_source"))
+                }
+            })?;
         Ok(self.open(tree))
     }
 
@@ -329,22 +397,61 @@ impl<'s> Session<'s> {
     /// incremental indexes and journaled before the next op runs; if an op
     /// is rejected, the earlier ops of the batch stay applied (the error
     /// reports how many) and the indexes remain exact.
+    ///
+    /// Two further rejection modes never touch the document at all: a
+    /// [`Limits`] bound turns the whole batch away as
+    /// [`SessionError::Resource`] (the batch comes back in the error's
+    /// echo), and a quarantined document ([`SessionError::Poisoned`]) is
+    /// refused until [`Session::recover`] runs.  A panic *inside* the edit
+    /// loop is contained here: the document is quarantined instead of the
+    /// process dying, and the journal keeps exactly the fully-recorded ops
+    /// — so recovery replays a consistent history.
     pub fn apply(
         &mut self,
         handle: DocHandle,
         ops: &[EditOp],
     ) -> Result<SessionVerdict, SessionError> {
+        let limits = self.limits;
         let doc = self
             .docs
             .get_mut(&handle.0)
             .ok_or(SessionError::UnknownHandle(handle))?;
+        if let Some(cause) = &doc.poisoned {
+            return Err(SessionError::Poisoned {
+                handle,
+                cause: cause.clone(),
+            });
+        }
+        limits::admit_ops(&limits, &doc.tree, 0, ops, &handle.to_string())
+            .map_err(SessionError::Resource)?;
         // Timed per batch, not per op: one clock pair amortized over the
         // whole edit slice keeps instrumentation inside the overhead budget.
         let timer = self.instr.registry.start_timer();
-        let outcome = apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops);
-        let applied = match outcome {
+        let recorded_before = doc.journal.total_recorded();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if xic_telemetry::faults::hit("session.apply") {
+                panic!("injected fault: session.apply");
+            }
+            apply_ops(&mut doc.tree, &mut doc.index, &mut doc.journal, ops)
+        }));
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // Contained panic mid-edit: quarantine the document.  Only
+                // fully-recorded ops count as applied — the journal is the
+                // consistent history recovery replays.
+                let cause = crate::batch::panic_cause(payload);
+                crate::batch::resilience_instruments().0.inc();
+                doc.poisoned = Some(cause.clone());
+                let recorded = doc.journal.total_recorded() - recorded_before;
+                doc.edits_applied += recorded;
+                self.instr.edits.add(recorded);
+                return Err(SessionError::Poisoned { handle, cause });
+            }
+        };
+        let applied = match &outcome {
             Ok(()) => ops.len() as u64,
-            Err(SessionError::Edit { index, .. }) => index as u64,
+            Err(SessionError::Edit { index, .. }) => *index as u64,
             Err(_) => unreachable!("apply_ops only raises Edit errors"),
         };
         doc.edits_applied += applied;
@@ -353,6 +460,39 @@ impl<'s> Session<'s> {
             self.instr.apply_ns.record_elapsed(t);
         }
         outcome?;
+        Ok(Self::verdict_of(&self.instr, doc))
+    }
+
+    /// Whether a document is quarantined after a contained panic (see
+    /// [`SessionError::Poisoned`]).
+    pub fn is_poisoned(&self, handle: DocHandle) -> Result<bool, SessionError> {
+        self.docs
+            .get(&handle.0)
+            .map(|d| d.poisoned.is_some())
+            .ok_or(SessionError::UnknownHandle(handle))
+    }
+
+    /// Rebuilds a quarantined document from its recovery base plus the
+    /// journal — the fully-recorded, known-consistent history — clearing
+    /// the poison flag and returning a fresh verdict.  Safe (and a cheap
+    /// no-op semantically) on healthy documents too: the rebuilt state is
+    /// identical to the live one.
+    pub fn recover(&mut self, handle: DocHandle) -> Result<SessionVerdict, SessionError> {
+        let layout = Arc::clone(self.spec.incremental_layout());
+        let doc = self
+            .docs
+            .get_mut(&handle.0)
+            .ok_or(SessionError::UnknownHandle(handle))?;
+        let mut tree = XmlTree::from_snapshot(&doc.base)
+            .expect("session base snapshots are self-made and reconstruct exactly");
+        for (op, _) in doc.journal.entries() {
+            tree.apply_edit(op)
+                .expect("journaled ops replay deterministically onto their base");
+        }
+        doc.index = IncrementalIndex::with_layout(layout, &tree);
+        doc.tree = tree;
+        doc.poisoned = None;
+        doc.edits_applied = doc.journal.total_recorded();
         Ok(Self::verdict_of(&self.instr, doc))
     }
 
@@ -454,11 +594,25 @@ impl<'s> Session<'s> {
     /// a long-lived session.  Returns how many entries were dropped.
     /// Recovery still round-trips node-for-node afterwards: the log, not
     /// the in-memory journal, is the full history.
+    /// Before dropping entries, the in-memory recovery base is advanced to
+    /// the same watermark (the dropped prefix is folded into it) so
+    /// [`Session::recover`] keeps working after compaction.
     pub fn compact(&mut self, handle: DocHandle) -> Result<usize, SessionError> {
         let doc = self
             .docs
             .get_mut(&handle.0)
             .ok_or(SessionError::UnknownHandle(handle))?;
+        let folded = doc.journal.folded();
+        if doc.durable_edits > folded {
+            let to_fold = (doc.durable_edits - folded) as usize;
+            let mut base = XmlTree::from_snapshot(&doc.base)
+                .expect("session base snapshots are self-made and reconstruct exactly");
+            for (op, _) in doc.journal.entries().iter().take(to_fold) {
+                base.apply_edit(op)
+                    .expect("journaled ops replay deterministically onto their base");
+            }
+            doc.base = base.snapshot();
+        }
         Ok(doc.journal.compact(doc.durable_edits))
     }
 
@@ -753,6 +907,117 @@ mod tests {
             other.persist_to(DocHandle::from_raw(9), &path).unwrap_err(),
             crate::journal::JournalError::UnknownHandle { handle: 9 }
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn limits_reject_batches_whole_with_an_echo() {
+        use crate::limits::LimitKind;
+        let spec = spec();
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let mut session = Session::with_limits(
+            &spec,
+            Limits {
+                max_doc_nodes: Some(3),
+                ..Limits::UNLIMITED
+            },
+        );
+        // school + teacher + its name attribute = 3 arena nodes: at the cap.
+        let doc = session
+            .open_source("<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let root = session.tree(doc).unwrap().root();
+        let ops = vec![
+            EditOp::AddElement {
+                parent: root,
+                ty: teacher,
+            };
+            2
+        ];
+        let err = session.apply(doc, &ops).unwrap_err();
+        let SessionError::Resource(resource) = err else {
+            panic!("expected a resource rejection, got {err:?}");
+        };
+        assert_eq!(resource.limit, LimitKind::DocNodes);
+        // All-or-nothing: the whole batch is echoed back and nothing was
+        // applied — unlike Edit errors, which keep the applied prefix.
+        assert_eq!(resource.rejected.len(), 2);
+        assert_eq!(resource.rejected[0].op, ops[0]);
+        assert_eq!(session.tree(doc).unwrap().ext_count(teacher), 1);
+        assert_eq!(session.verdict(doc).unwrap().edits_applied(), 0);
+    }
+
+    #[test]
+    fn open_source_enforces_the_parse_budget() {
+        let spec = spec();
+        let mut session = Session::with_limits(
+            &spec,
+            Limits {
+                max_doc_bytes: Some(8),
+                ..Limits::UNLIMITED
+            },
+        );
+        let err = session
+            .open_source("<school><teacher name=\"Joe\"/></school>")
+            .unwrap_err();
+        assert!(
+            matches!(err, SessionError::Resource(_)),
+            "oversized source must reject as a resource error, got {err:?}"
+        );
+        assert_eq!(session.num_docs(), 0);
+    }
+
+    #[test]
+    fn recover_rebuilds_the_live_state_even_after_compaction() {
+        let spec = spec();
+        let teacher = spec.dtd().type_by_name("teacher").unwrap();
+        let name = spec.dtd().attr_by_name("name").unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("xic-session-recover-{}.xicj", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let mut session = Session::new(&spec);
+        let doc = session
+            .open_source("<school><teacher name=\"Joe\"/></school>")
+            .unwrap();
+        let root = session.tree(doc).unwrap().root();
+        session
+            .apply(
+                doc,
+                &[
+                    EditOp::AddElement {
+                        parent: root,
+                        ty: teacher,
+                    },
+                    EditOp::AddElement {
+                        parent: root,
+                        ty: teacher,
+                    },
+                ],
+            )
+            .unwrap();
+        // Compact away the durable prefix, then keep editing: recover()
+        // must fold base + remaining journal back to the live tree.
+        session.persist_to(doc, &path).unwrap();
+        assert_eq!(session.compact(doc).unwrap(), 2);
+        let second = session.tree(doc).unwrap().ext(teacher).nth(1).unwrap();
+        session
+            .apply(
+                doc,
+                &[EditOp::SetAttr {
+                    element: second,
+                    attr: name,
+                    value: "Joe".into(),
+                }],
+            )
+            .unwrap();
+        let live_snapshot = session.tree(doc).unwrap().snapshot();
+        let live = session.verdict(doc).unwrap();
+        assert!(!session.is_poisoned(doc).unwrap());
+        let verdict = session.recover(doc).unwrap();
+        assert_eq!(verdict.violations(), live.violations());
+        assert_eq!(verdict.edits_applied(), 3);
+        assert_eq!(session.tree(doc).unwrap().snapshot(), live_snapshot);
         std::fs::remove_file(&path).ok();
     }
 

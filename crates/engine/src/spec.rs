@@ -264,6 +264,20 @@ impl CompiledSpec {
         parse_document_pooled(source, &self.dtd, pool)
     }
 
+    /// Parses a document under a [`xic_xml::ParseBudget`] (see
+    /// [`crate::Limits::parse_budget`]): oversized, overdeep or overlong
+    /// input is rejected with a structured budget error before the work is
+    /// spent.  On failure the pool is handed back like
+    /// [`CompiledSpec::parse_document_pooled`].
+    pub fn parse_document_budgeted(
+        &self,
+        source: &str,
+        pool: ValuePool,
+        budget: &xic_xml::ParseBudget,
+    ) -> Result<XmlTree, (xic_xml::ParseError, ValuePool)> {
+        xic_xml::parse_document_budgeted(source, &self.dtd, pool, budget)
+    }
+
     /// Builds the document's satisfaction indexes ([`DocIndex`]) in one pass
     /// over the tree, driven by the precomputed plan.
     pub fn index_document<'t>(&'t self, tree: &'t XmlTree) -> DocIndex<'t> {

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 mod metrics;
 mod span;
 

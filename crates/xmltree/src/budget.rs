@@ -1,0 +1,127 @@
+//! Parse-time resource budgets.
+//!
+//! A [`ParseBudget`] bounds what [`crate::parser::parse_document_budgeted`]
+//! will accept before it has spent the work: input bytes are checked up
+//! front, node count and nesting depth are checked as the tree grows, so a
+//! hostile document is rejected at the first violation with a structured
+//! [`BudgetExceeded`] — never a panic, never an exhausted heap.  The
+//! engine's `Limits` type (crate `xic-engine`) builds one of these from its
+//! document-facing fields; standalone parser users can construct one
+//! directly.  `ParseBudget::default()` is unlimited.
+
+use std::fmt;
+
+use crate::error::XmlError;
+
+/// Upper bounds applied while parsing a document.  `None` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseBudget {
+    /// Maximum input length in bytes, checked before parsing starts.
+    pub max_bytes: Option<usize>,
+    /// Maximum number of tree nodes (elements, attributes and text nodes),
+    /// checked as nodes are created.
+    pub max_nodes: Option<usize>,
+    /// Maximum element nesting depth (the root element is depth 1),
+    /// checked as elements open.
+    pub max_depth: Option<usize>,
+}
+
+impl ParseBudget {
+    /// The no-op budget: every field unlimited.
+    pub const UNLIMITED: ParseBudget = ParseBudget {
+        max_bytes: None,
+        max_nodes: None,
+        max_depth: None,
+    };
+}
+
+/// Which [`ParseBudget`] field a rejected document violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseLimit {
+    /// [`ParseBudget::max_bytes`].
+    Bytes,
+    /// [`ParseBudget::max_nodes`].
+    Nodes,
+    /// [`ParseBudget::max_depth`].
+    Depth,
+}
+
+impl ParseLimit {
+    /// The stable, machine-readable name of the violated field — the same
+    /// spelling the engine's limits table and the CLI flags use.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParseLimit::Bytes => "max_doc_bytes",
+            ParseLimit::Nodes => "max_doc_nodes",
+            ParseLimit::Depth => "max_depth",
+        }
+    }
+}
+
+impl fmt::Display for ParseLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A document was rejected because it exceeded a [`ParseBudget`] bound.
+///
+/// Carries the violated limit by name, the configured bound and the
+/// observed value at the moment of rejection (for nodes and depth the
+/// first value past the bound — parsing stops there; the document may be
+/// arbitrarily larger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The violated budget field.
+    pub limit: ParseLimit,
+    /// The configured bound.
+    pub limit_value: usize,
+    /// The observed value that tripped the bound.
+    pub observed: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "document exceeds {} = {} (observed {})",
+            self.limit.name(),
+            self.limit_value,
+            self.observed
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Why a budgeted parse failed: a malformed document or a blown budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The document is malformed or uses names outside the DTD.
+    Xml(XmlError),
+    /// The document is (so far) well-formed but exceeds the budget.
+    Budget(BudgetExceeded),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Xml(e) => e.fmt(f),
+            ParseError::Budget(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<XmlError> for ParseError {
+    fn from(err: XmlError) -> Self {
+        ParseError::Xml(err)
+    }
+}
+
+impl From<BudgetExceeded> for ParseError {
+    fn from(err: BudgetExceeded) -> Self {
+        ParseError::Budget(err)
+    }
+}

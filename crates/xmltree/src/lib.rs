@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod edit;
 pub mod error;
 pub mod parser;
@@ -34,9 +35,10 @@ pub mod tree;
 pub mod validate;
 pub mod writer;
 
+pub use budget::{BudgetExceeded, ParseBudget, ParseError, ParseLimit};
 pub use edit::{EditEffect, EditError, EditJournal, EditOp};
 pub use error::XmlError;
-pub use parser::{parse_document, parse_document_pooled};
+pub use parser::{parse_document, parse_document_budgeted, parse_document_pooled};
 pub use pool::{ValueId, ValuePool};
 pub use snapshot::{NodeSnapshot, SnapshotError, TreeSnapshot};
 pub use tree::{NodeId, NodeLabel, XmlTree};

@@ -13,6 +13,7 @@ use std::sync::{Arc, OnceLock};
 use xic_dtd::Dtd;
 use xic_telemetry::{Counter, Histogram};
 
+use crate::budget::{BudgetExceeded, ParseBudget, ParseError, ParseLimit};
 use crate::error::XmlError;
 use crate::pool::ValuePool;
 use crate::tree::{NodeId, XmlTree};
@@ -49,22 +50,65 @@ pub fn parse_document_pooled(
     dtd: &Dtd,
     pool: ValuePool,
 ) -> Result<XmlTree, (XmlError, ValuePool)> {
+    parse_document_budgeted(input, dtd, pool, &ParseBudget::UNLIMITED).map_err(|(err, pool)| {
+        match err {
+            ParseError::Xml(e) => (e, pool),
+            // Statically dead: an unlimited budget never trips.  Mapped to
+            // a syntax error rather than a panic so the contract "parsing
+            // never panics" holds unconditionally.
+            ParseError::Budget(b) => (
+                XmlError::Syntax {
+                    offset: 0,
+                    message: b.to_string(),
+                },
+                pool,
+            ),
+        }
+    })
+}
+
+/// Parses a document under a [`ParseBudget`]: input size is checked before
+/// parsing, node count and nesting depth as the tree grows, so a hostile
+/// document costs at most its budget before rejection.
+///
+/// On failure the pool is handed back alongside the structured
+/// [`ParseError`], exactly like [`parse_document_pooled`].
+pub fn parse_document_budgeted(
+    input: &str,
+    dtd: &Dtd,
+    pool: ValuePool,
+    budget: &ParseBudget,
+) -> Result<XmlTree, (ParseError, ValuePool)> {
     let (docs, doc_ns) = instruments();
     let timer = xic_telemetry::global().start_timer();
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
         dtd,
+        budget,
     };
     let parsed = (|| {
+        if let Some(max) = budget.max_bytes {
+            if input.len() > max {
+                return Err((
+                    BudgetExceeded {
+                        limit: ParseLimit::Bytes,
+                        limit_value: max,
+                        observed: input.len(),
+                    }
+                    .into(),
+                    pool,
+                ));
+            }
+        }
         if let Err(err) = p.skip_prolog() {
-            return Err((err, pool));
+            return Err((err.into(), pool));
         }
         let tree = p.parse_root(pool)?;
         p.skip_misc();
         if !p.eof() {
             return Err((
-                p.error("trailing content after the root element"),
+                p.error("trailing content after the root element").into(),
                 tree.into_pool(),
             ));
         }
@@ -81,6 +125,7 @@ struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
     dtd: &'a Dtd,
+    budget: &'a ParseBudget,
 }
 
 impl<'a> Parser<'a> {
@@ -174,34 +219,86 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
     }
 
-    fn parse_root(&mut self, pool: ValuePool) -> Result<XmlTree, (XmlError, ValuePool)> {
+    fn parse_root(&mut self, pool: ValuePool) -> Result<XmlTree, (ParseError, ValuePool)> {
         self.skip_ws();
         if self.peek() != Some(b'<') {
-            return Err((self.error("expected the root element"), pool));
+            return Err((self.error("expected the root element").into(), pool));
         }
         self.pos += 1;
         let name = match self.name() {
             Ok(name) => name,
-            Err(err) => return Err((err, pool)),
+            Err(err) => return Err((err.into(), pool)),
         };
         let Some(ty) = self.dtd.type_by_name(&name) else {
-            return Err((XmlError::UnknownElement(name), pool));
+            return Err((XmlError::UnknownElement(name).into(), pool));
         };
+        if let Err(err) = self.check_depth(1) {
+            return Err((err.into(), pool));
+        }
         let mut tree = XmlTree::with_pool(ty, pool);
         let root = tree.root();
         let body = self
-            .parse_attributes(&mut tree, root, &name)
+            .check_nodes(&tree)
+            .map_err(ParseError::from)
+            .and_then(|()| {
+                self.parse_attributes(&mut tree, root, &name)
+                    .map_err(ParseError::from)
+            })
             .and_then(|self_closing| {
+                // Attributes are arena nodes too; re-check after parsing them.
+                self.check_nodes(&tree)?;
                 if self_closing {
                     Ok(())
                 } else {
-                    self.parse_children(&mut tree, root, &name)
+                    self.parse_children(&mut tree, root, name)
                 }
             });
         match body {
             Ok(()) => Ok(tree),
             Err(err) => Err((err, tree.into_pool())),
         }
+    }
+
+    /// Budget check: element nesting depth (the root element is depth 1).
+    fn check_depth(&self, depth: usize) -> Result<(), BudgetExceeded> {
+        match self.budget.max_depth {
+            Some(max) if depth > max => Err(BudgetExceeded {
+                limit: ParseLimit::Depth,
+                limit_value: max,
+                observed: depth,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Budget check: live tree nodes, called after every node creation.
+    fn check_nodes(&self, tree: &XmlTree) -> Result<(), BudgetExceeded> {
+        match self.budget.max_nodes {
+            Some(max) if tree.num_nodes() > max => Err(BudgetExceeded {
+                limit: ParseLimit::Nodes,
+                limit_value: max,
+                observed: tree.num_nodes(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Flushes accumulated character data as a text node, then re-checks
+    /// the node budget (comments and PIs can split one element's text into
+    /// arbitrarily many nodes, so text creation must count too).
+    fn flush_text(
+        &self,
+        tree: &mut XmlTree,
+        parent: NodeId,
+        text: &mut String,
+    ) -> Result<(), BudgetExceeded> {
+        if !text.trim().is_empty() {
+            tree.add_text(parent, unescape(text.trim()));
+            text.clear();
+            return self.check_nodes(tree);
+        }
+        text.clear();
+        Ok(())
     }
 
     /// Parses attributes of the current element; returns `true` if the
@@ -269,71 +366,108 @@ impl<'a> Parser<'a> {
         Err(self.error("unterminated attribute value"))
     }
 
+    /// Parses the content (children and text) of an already-opened element
+    /// and everything nested below it.
+    ///
+    /// Iterative on an explicit frame stack — one heap frame per open
+    /// element instead of one call-stack frame — so nesting depth is
+    /// bounded only by [`ParseBudget::max_depth`] policy (or the heap),
+    /// never by stack overflow.  A 100k-deep document parses fine; see the
+    /// `deeply_nested_document_parses_without_recursion` regression test.
     fn parse_children(
         &mut self,
         tree: &mut XmlTree,
         parent: NodeId,
-        parent_name: &str,
-    ) -> Result<(), XmlError> {
-        let mut text = String::new();
-        loop {
+        parent_name: String,
+    ) -> Result<(), ParseError> {
+        /// One open element: its node, its tag name (for end-tag matching)
+        /// and its pending character data.
+        struct Frame {
+            node: NodeId,
+            name: String,
+            text: String,
+        }
+        let mut stack = vec![Frame {
+            node: parent,
+            name: parent_name,
+            text: String::new(),
+        }];
+        while let Some(depth) = stack.len().checked_sub(1) {
             if self.eof() {
-                return Err(self.error(&format!("unterminated element `{parent_name}`")));
+                let name = &stack[depth].name;
+                return Err(self.error(&format!("unterminated element `{name}`")).into());
             }
             if self.starts_with("<!--") {
-                flush_text(tree, parent, &mut text);
+                let Frame { node, text, .. } = &mut stack[depth];
+                self.flush_text(tree, *node, text)?;
                 self.skip_until("-->")?;
                 continue;
             }
             if self.starts_with("<?") {
-                flush_text(tree, parent, &mut text);
+                let Frame { node, text, .. } = &mut stack[depth];
+                self.flush_text(tree, *node, text)?;
                 self.skip_until("?>")?;
                 continue;
             }
             if self.starts_with("</") {
-                flush_text(tree, parent, &mut text);
+                {
+                    let Frame { node, text, .. } = &mut stack[depth];
+                    self.flush_text(tree, *node, text)?;
+                }
                 self.pos += 2;
                 let name = self.name()?;
-                if name != parent_name {
-                    return Err(self.error(&format!(
-                        "mismatched end tag: expected `</{parent_name}>`, found `</{name}>`"
-                    )));
+                if name != stack[depth].name {
+                    let expected = &stack[depth].name;
+                    return Err(self
+                        .error(&format!(
+                            "mismatched end tag: expected `</{expected}>`, found `</{name}>`"
+                        ))
+                        .into());
                 }
                 self.skip_ws();
                 if self.peek() != Some(b'>') {
-                    return Err(self.error("expected `>` in end tag"));
+                    return Err(self.error("expected `>` in end tag").into());
                 }
                 self.pos += 1;
-                return Ok(());
+                stack.pop();
+                continue;
             }
             if self.peek() == Some(b'<') {
-                flush_text(tree, parent, &mut text);
+                {
+                    let Frame { node, text, .. } = &mut stack[depth];
+                    self.flush_text(tree, *node, text)?;
+                }
                 self.pos += 1;
                 let name = self.name()?;
                 let ty = self
                     .dtd
                     .type_by_name(&name)
                     .ok_or_else(|| XmlError::UnknownElement(name.clone()))?;
-                let child = tree.add_element(parent, ty);
+                // The child sits one level below the current frame whether
+                // or not it self-closes, so depth is checked before it is
+                // even allocated.
+                self.check_depth(depth + 2)?;
+                let child = tree.add_element(stack[depth].node, ty);
+                self.check_nodes(tree)?;
                 let self_closing = self.parse_attributes(tree, child, &name)?;
+                // Attributes are arena nodes too; re-check after parsing them.
+                self.check_nodes(tree)?;
                 if !self_closing {
-                    self.parse_children(tree, child, &name)?;
+                    stack.push(Frame {
+                        node: child,
+                        name,
+                        text: String::new(),
+                    });
                 }
                 continue;
             }
             // Character data.
             let b = self.input[self.pos];
-            text.push(b as char);
+            stack[depth].text.push(b as char);
             self.pos += 1;
         }
+        Ok(())
     }
-}
-
-fn flush_text(tree: &mut XmlTree, parent: NodeId, text: &mut String) {
-    if !text.trim().is_empty() {
-        tree.add_text(parent, unescape(text.trim()));
-    }
-    text.clear();
 }
 
 fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
@@ -462,6 +596,95 @@ mod tests {
         // Mid-document failures (after the tree exists) also recover it.
         let (_, pool) = parse_document_pooled("<teachers><teacher>", &dtd, pool).unwrap_err();
         assert_eq!(pool.len(), distinct);
+    }
+
+    /// A DTD with one recursive element `<!ELEMENT n (n*)>`.
+    fn recursive_dtd() -> xic_dtd::Dtd {
+        let mut b = xic_dtd::Dtd::builder();
+        let n = b.elem("n");
+        b.content(
+            n,
+            xic_dtd::ContentModel::star(xic_dtd::ContentModel::Element(n)),
+        );
+        b.build("n").unwrap()
+    }
+
+    #[test]
+    fn deeply_nested_document_parses_without_recursion() {
+        // 100k-deep nesting: the recursive parser this replaced overflowed
+        // the call stack here; the explicit frame stack must not.
+        const DEPTH: usize = 100_000;
+        let doc = format!("{}{}", "<n>".repeat(DEPTH), "</n>".repeat(DEPTH));
+        let dtd = recursive_dtd();
+        let tree = parse_document(&doc, &dtd).unwrap();
+        assert_eq!(tree.num_nodes(), DEPTH);
+    }
+
+    #[test]
+    fn depth_budget_rejects_deep_documents() {
+        use crate::budget::{ParseBudget, ParseError, ParseLimit};
+        let dtd = recursive_dtd();
+        let doc = format!("{}{}", "<n>".repeat(64), "</n>".repeat(64));
+        let budget = ParseBudget {
+            max_depth: Some(16),
+            ..ParseBudget::UNLIMITED
+        };
+        let (err, _) = parse_document_budgeted(&doc, &dtd, ValuePool::new(), &budget).unwrap_err();
+        match err {
+            ParseError::Budget(b) => {
+                assert_eq!(b.limit, ParseLimit::Depth);
+                assert_eq!(b.limit_value, 16);
+                assert_eq!(b.observed, 17);
+            }
+            other => panic!("expected a depth budget rejection, got {other:?}"),
+        }
+        // At the exact bound the document is accepted.
+        let exact = ParseBudget {
+            max_depth: Some(64),
+            ..ParseBudget::UNLIMITED
+        };
+        assert!(parse_document_budgeted(&doc, &dtd, ValuePool::new(), &exact).is_ok());
+    }
+
+    #[test]
+    fn node_budget_is_exact() {
+        use crate::budget::{ParseBudget, ParseError, ParseLimit};
+        let dtd = example_d1();
+        let tree = parse_document(DOC, &dtd).unwrap();
+        let n = tree.num_nodes();
+        let accept = ParseBudget {
+            max_nodes: Some(n),
+            ..ParseBudget::UNLIMITED
+        };
+        assert!(parse_document_budgeted(DOC, &dtd, ValuePool::new(), &accept).is_ok());
+        let reject = ParseBudget {
+            max_nodes: Some(n - 1),
+            ..ParseBudget::UNLIMITED
+        };
+        let (err, _) = parse_document_budgeted(DOC, &dtd, ValuePool::new(), &reject).unwrap_err();
+        assert!(
+            matches!(err, ParseError::Budget(b) if b.limit == ParseLimit::Nodes),
+            "expected a node budget rejection, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn byte_budget_rejects_before_parsing() {
+        use crate::budget::{ParseBudget, ParseError, ParseLimit};
+        let dtd = example_d1();
+        let budget = ParseBudget {
+            max_bytes: Some(8),
+            ..ParseBudget::UNLIMITED
+        };
+        let (err, _) = parse_document_budgeted(DOC, &dtd, ValuePool::new(), &budget).unwrap_err();
+        match err {
+            ParseError::Budget(b) => {
+                assert_eq!(b.limit, ParseLimit::Bytes);
+                assert_eq!(b.observed, DOC.len());
+                assert_eq!(b.limit.name(), "max_doc_bytes");
+            }
+            other => panic!("expected a byte budget rejection, got {other:?}"),
+        }
     }
 
     #[test]

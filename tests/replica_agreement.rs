@@ -141,7 +141,11 @@ fn open_random_docs(
                 ..Default::default()
             },
         )?;
-        handles.push(corpus.open(format!("doc-{i}.xml"), tree));
+        handles.push(
+            corpus
+                .open(format!("doc-{i}.xml"), tree)
+                .expect("unlimited corpus admits every tree"),
+        );
     }
     Some(handles)
 }
