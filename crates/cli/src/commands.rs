@@ -4,8 +4,11 @@
 //! [`CommandOutcome`]; `main` only does I/O, so the whole front end is
 //! testable without spawning processes.
 
+use std::collections::HashMap;
 use std::fs;
-use std::path::Path;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use xic_constraints::{
@@ -19,8 +22,9 @@ use xic_dtd::{analyze, parse_dtd, Dtd};
 use xic_engine::journal::{inspect_log, read_delta_log, write_delta_log};
 use xic_engine::{
     BatchDelta, BatchDoc, BatchEngine, BatchReport, CompiledSpec, CorpusReplica, CorpusSession,
-    Engine, EngineMetrics, Limits, SessionError,
+    Engine, EngineMetrics, Limits, SessionError, SpecId,
 };
+use xic_server::{Client, ClientError, Server, ServerConfig};
 use xic_telemetry::RegistrySnapshot;
 use xic_xml::{
     parse_document_budgeted, validate, write_document, EditOp, NodeId, ParseError, ValuePool,
@@ -41,7 +45,14 @@ enum ReportFormat {
 
 fn report_format(args: &ParsedArgs) -> Result<ReportFormat, CliError> {
     match args.get("format") {
-        None | Some("text") => Ok(ReportFormat::Text),
+        // `--json` is an alias of `--format json`; an explicit `--format`
+        // wins when both are given.
+        None => Ok(if args.has_flag("json") {
+            ReportFormat::Json
+        } else {
+            ReportFormat::Text
+        }),
+        Some("text") => Ok(ReportFormat::Text),
         Some("json") => Ok(ReportFormat::Json),
         Some(other) => Err(CliError::Usage(format!(
             "option `--format` expects `text` or `json`, got `{other}`"
@@ -107,6 +118,25 @@ fn session_error(context: &str, e: &SessionError) -> CliError {
         SessionError::Resource(r) => CliError::Resource(format!("{context}: {r}")),
         SessionError::Poisoned { .. } => CliError::Fault(format!("{context}: {e}")),
         _ => CliError::Document(format!("{context}: {e}")),
+    }
+}
+
+/// Maps a wire client error onto the same CLI taxonomy: the server's
+/// structured fault records carry the exit code on the wire (3 resource,
+/// 4 contained fault, 2 everything else), transport failures are I/O
+/// errors, and protocol surprises are document errors.
+fn client_error(context: &str, e: ClientError) -> CliError {
+    match e {
+        ClientError::Fault(fault) => match fault.exit_code() {
+            3 => CliError::Resource(format!("{context}: {fault}")),
+            4 => CliError::Fault(format!("{context}: {fault}")),
+            _ => CliError::Document(format!("{context}: {fault}")),
+        },
+        ClientError::Io(source) => CliError::Io {
+            path: context.to_string(),
+            source,
+        },
+        other => CliError::Document(format!("{context}: {other}")),
     }
 }
 
@@ -1186,10 +1216,386 @@ pub fn stats(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     Ok(CommandOutcome::new(report, 0))
 }
 
+/// `xic serve` — host the compiled spec as a long-running validation
+/// service behind a TCP (`--listen`) and/or Unix-socket (`--socket`)
+/// listener, then block until a wire `--shutdown` drains it.  The bound
+/// address is printed (and optionally written to `--addr-file`) *before*
+/// blocking, so scripts can start the server with port 0 and discover the
+/// port.
+pub fn serve(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let (dtd, sigma) = spec_inputs(args)?;
+    let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let tcp = match args.get("listen") {
+        Some(s) => Some(s.parse::<SocketAddr>().map_err(|_| {
+            CliError::Usage(format!("option `--listen` expects IP:PORT, got `{s}`"))
+        })?),
+        None => None,
+    };
+    let unix = args.get("socket").map(PathBuf::from);
+    if tcp.is_none() && unix.is_none() {
+        return Err(CliError::Usage(
+            "serve needs --listen and/or --socket".into(),
+        ));
+    }
+
+    let mut config = ServerConfig {
+        tcp,
+        unix,
+        limits: limits_from_args(args)?,
+        state_dir: args.get("state-dir").map(PathBuf::from),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = args.get_usize("max-sessions")? {
+        config.max_sessions = n;
+    }
+    if let Some(n) = args.get_usize("workers")? {
+        config.workers = n.max(1);
+    }
+    if let Some(ms) = args.get_usize("idle-ms")? {
+        config.idle_timeout = Some(Duration::from_millis(ms as u64));
+    }
+
+    let server = Server::start(Arc::new(spec), config).map_err(|source| CliError::Io {
+        path: "serve".to_string(),
+        source,
+    })?;
+
+    // The banner goes to stdout immediately rather than into the outcome
+    // report: `wait()` blocks until shutdown, and launcher scripts need the
+    // bound address first.
+    use std::io::Write as _;
+    if let Some(addr) = server.tcp_addr() {
+        if let Some(path) = args.get("addr-file") {
+            fs::write(path, addr.to_string()).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+        }
+        println!("listening on {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        println!("listening on {}", path.display());
+    }
+    std::io::stdout().flush().ok();
+
+    let report = server.wait();
+    Ok(CommandOutcome::new(
+        format!(
+            "server stopped: {} session(s) drained, {} delta(s) persisted, {} connection(s) served\n",
+            report.drained_sessions, report.persisted_deltas, report.connections
+        ),
+        0,
+    ))
+}
+
+/// The endpoint named on the command line, for error context.
+fn endpoint_label(args: &ParsedArgs) -> String {
+    args.get("addr")
+        .or_else(|| args.get("socket"))
+        .unwrap_or("server")
+        .to_string()
+}
+
+/// Dials the service named by `--addr` (TCP) or `--socket` (Unix) and runs
+/// the hello handshake for `session`.
+fn dial(args: &ParsedArgs, spec: SpecId, session: &str) -> Result<Client, CliError> {
+    if let Some(path) = args.get("socket") {
+        #[cfg(unix)]
+        return Client::connect_unix(path, spec, session).map_err(|e| client_error(path, e));
+        #[cfg(not(unix))]
+        return Err(CliError::Usage(format!(
+            "--socket is not supported on this platform ({path})"
+        )));
+    }
+    match args.get("addr") {
+        Some(addr) => {
+            let sockaddr = addr.parse::<SocketAddr>().map_err(|_| {
+                CliError::Usage(format!("option `--addr` expects IP:PORT, got `{addr}`"))
+            })?;
+            Client::connect_tcp(sockaddr, spec, session).map_err(|e| client_error(addr, e))
+        }
+        None => Err(CliError::Usage("connect needs --addr or --socket".into())),
+    }
+}
+
+/// Drives the shared `--script` directive syntax (see
+/// [`run_session_script`]) against a remote session: every directive
+/// becomes one wire request and every `commit` collects the acknowledged
+/// [`BatchDelta`].  A trailing commit is implied, exactly as in the local
+/// runner, so the same script produces the same delta stream either way.
+fn run_remote_script(
+    spec: &CompiledSpec,
+    client: &mut Client,
+    script_path: &str,
+) -> Result<Vec<BatchDelta>, CliError> {
+    let script = read_file(script_path)?;
+    let base = Path::new(script_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+
+    let mut handles: HashMap<String, u64> = HashMap::new();
+    let mut deltas: Vec<BatchDelta> = Vec::new();
+    let mut pending = false;
+
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| CliError::Usage(format!("{script_path}:{}: {msg}", lineno + 1));
+        let ctx = format!("{script_path}:{}", lineno + 1);
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line has a first word");
+        match directive {
+            "commit" => {
+                let delta = client.commit().map_err(|e| client_error(&ctx, e))?;
+                deltas.push(delta);
+                pending = false;
+                continue;
+            }
+            "open" => {
+                let label = words
+                    .next()
+                    .ok_or_else(|| err("`open` expects a label".into()))?;
+                let path = words
+                    .next()
+                    .ok_or_else(|| err("`open` expects a path".into()))?;
+                let content = read_file(&base.join(path).to_string_lossy())?;
+                let handle = client
+                    .open_doc(label, &content)
+                    .map_err(|e| client_error(&ctx, e))?;
+                handles.insert(label.to_string(), handle);
+                pending = true;
+                continue;
+            }
+            _ => {}
+        }
+        // Everything else targets a document opened by this script.
+        let label = words
+            .next()
+            .ok_or_else(|| err(format!("`{directive}` expects a document label")))?;
+        let &handle = handles.get(label).ok_or_else(|| {
+            err(format!(
+                "no document labelled `{label}` opened by this script"
+            ))
+        })?;
+        let mut node_arg = |what: &str| -> Result<NodeId, CliError> {
+            let word = words
+                .next()
+                .ok_or_else(|| err(format!("`{directive}` expects a {what} node id")))?;
+            word.parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| err(format!("`{word}` is not a node id")))
+        };
+        let op = match directive {
+            "set" => {
+                let element = node_arg("target")?;
+                let attr_name = words
+                    .next()
+                    .ok_or_else(|| err("`set` expects an attribute name".into()))?;
+                let attr = spec
+                    .dtd()
+                    .attr_by_name(attr_name)
+                    .ok_or_else(|| err(format!("unknown attribute `{attr_name}`")))?;
+                let value = words.collect::<Vec<_>>().join(" ");
+                EditOp::SetAttr {
+                    element,
+                    attr,
+                    value,
+                }
+            }
+            "add" => {
+                let parent = node_arg("parent")?;
+                let ty_name = words
+                    .next()
+                    .ok_or_else(|| err("`add` expects an element type".into()))?;
+                let ty = spec
+                    .dtd()
+                    .type_by_name(ty_name)
+                    .ok_or_else(|| err(format!("unknown element type `{ty_name}`")))?;
+                EditOp::AddElement { parent, ty }
+            }
+            "text" => EditOp::AddText {
+                parent: node_arg("parent")?,
+                value: words.collect::<Vec<_>>().join(" "),
+            },
+            "remove" => EditOp::RemoveSubtree {
+                element: node_arg("target")?,
+            },
+            "close" => {
+                client
+                    .close_doc(handle)
+                    .map_err(|e| client_error(&ctx, e))?;
+                handles.remove(label);
+                pending = true;
+                continue;
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        };
+        client
+            .apply(handle, std::slice::from_ref(&op))
+            .map_err(|e| client_error(&format!("{ctx}: {label}"), e))?;
+        pending = true;
+    }
+    if pending {
+        let delta = client
+            .commit()
+            .map_err(|e| client_error(&format!("{script_path}: final commit"), e))?;
+        deltas.push(delta);
+    }
+    Ok(deltas)
+}
+
+/// `xic connect` — talk to a running service.  Exactly one of four actions
+/// runs per invocation: `--shutdown` drains the server, `--stats` prints
+/// its metrics registry, `--script` drives an edit script against the
+/// attached `--session` and prints the replica-reconstructed delta stream,
+/// and with no action flag the handshake result is reported (a ping).
+pub fn connect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
+    let session = args.get("session").unwrap_or("default");
+
+    // The spec identity to negotiate: `--spec-id`, or the hash of the
+    // locally compiled spec (which `--script` mode needs anyway, to resolve
+    // attribute and element-type names).
+    let local_spec = match args.get("dtd") {
+        Some(_) => {
+            let (dtd, sigma) = spec_inputs(args)?;
+            Some(
+                CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+                    .map_err(|e| CliError::Spec(e.to_string()))?,
+            )
+        }
+        None => None,
+    };
+    let spec_id = match args.get("spec-id") {
+        Some(hex) => hex
+            .parse::<SpecId>()
+            .map_err(|e| CliError::Usage(format!("option `--spec-id`: {e}")))?,
+        None => match &local_spec {
+            Some(spec) => spec.id(),
+            None => {
+                return Err(CliError::Usage(
+                    "connect needs --spec-id or --dtd to identify the spec".into(),
+                ))
+            }
+        },
+    };
+
+    let mut client = dial(args, spec_id, session)?;
+    let target = endpoint_label(args);
+
+    if args.has_flag("shutdown") {
+        let sessions = client.shutdown().map_err(|e| client_error(&target, e))?;
+        if format == ReportFormat::Json {
+            let json = JsonValue::object(vec![
+                ("command", JsonValue::string("connect")),
+                ("action", JsonValue::string("shutdown")),
+                ("spec", JsonValue::string(spec_id.to_string())),
+                ("sessions", JsonValue::int(sessions as usize)),
+            ]);
+            let mut report = json.render();
+            report.push('\n');
+            return Ok(CommandOutcome::new(report, 0));
+        }
+        return Ok(CommandOutcome::new(
+            format!("server shutting down: draining {sessions} session(s)\n"),
+            0,
+        ));
+    }
+
+    if args.has_flag("stats") {
+        let snapshot = client.stats().map_err(|e| client_error(&target, e))?;
+        if format == ReportFormat::Json {
+            let json = JsonValue::object(vec![
+                ("command", JsonValue::string("connect")),
+                ("action", JsonValue::string("stats")),
+                ("spec", JsonValue::string(spec_id.to_string())),
+                ("metrics", snapshot_json(&snapshot)),
+            ]);
+            let mut report = json.render();
+            report.push('\n');
+            return Ok(CommandOutcome::new(report, 0));
+        }
+        let mut report = format!("server {target} (spec {spec_id}):\nmetrics:\n");
+        for line in snapshot.render_text().lines() {
+            report.push_str("  ");
+            report.push_str(line);
+            report.push('\n');
+        }
+        return Ok(CommandOutcome::new(report, 0));
+    }
+
+    if let Some(script_path) = args.get("script") {
+        let spec = local_spec.as_ref().ok_or_else(|| {
+            CliError::Usage(
+                "connect --script needs --dtd (and --constraints) to resolve attribute and element names"
+                    .into(),
+            )
+        })?;
+        let deltas = run_remote_script(spec, &mut client, script_path)?;
+        let mut replica = CorpusReplica::new(spec_id);
+        let synced = client
+            .sync_replica(&mut replica)
+            .map_err(|e| client_error(script_path, e))?;
+        let final_report = replica.report();
+        let headline = format!("remote session `{session}`");
+        let notes = vec![format!("replica synced {synced} delta(s) from the server")];
+        let extra = [
+            ("session", JsonValue::string(session)),
+            ("synced", JsonValue::int(synced)),
+        ];
+        return Ok(render_delta_stream(
+            &DeltaStreamView {
+                command: "connect",
+                headline: &headline,
+                extra: &extra,
+                notes: &notes,
+                format,
+                quiet: args.has_flag("quiet"),
+                metrics: args.has_flag("metrics"),
+            },
+            spec,
+            &deltas,
+            &final_report,
+        ));
+    }
+
+    // No action flag: report the handshake result.
+    let hello = client.hello();
+    if format == ReportFormat::Json {
+        let json = JsonValue::object(vec![
+            ("command", JsonValue::string("connect")),
+            ("action", JsonValue::string("ping")),
+            ("spec", JsonValue::string(spec_id.to_string())),
+            ("session", JsonValue::string(session)),
+            ("last_seq", JsonValue::int(hello.last_seq as usize)),
+            ("replica", JsonValue::Bool(hello.replica)),
+        ]);
+        let mut report = json.render();
+        report.push('\n');
+        return Ok(CommandOutcome::new(report, 0));
+    }
+    Ok(CommandOutcome::new(
+        format!(
+            "session `{session}` at {target}: last committed seq {}{}\n",
+            hello.last_seq,
+            if hello.replica {
+                " (read-only replica)"
+            } else {
+                ""
+            }
+        ),
+        0,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
 
     use crate::ARG_SPEC as SPEC;
 
@@ -2091,5 +2497,163 @@ mod tests {
         let err = batch(&parsed).unwrap_err();
         assert_eq!(err.exit_code(), 3, "{err}");
         assert!(err.to_string().contains("deadline_ms"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_connect_roundtrip_over_loopback() {
+        let dtd = temp_file("srv.dtd", SCHOOL_DTD);
+        let doc = temp_file("srv-doc.xml", "<school><teacher name=\"Joe\"/></school>");
+        let doc_name = doc.file_name().unwrap().to_str().unwrap();
+        let script = temp_file(
+            "srv-script.txt",
+            &format!("open d1 {doc_name}\ncommit\nset d1 1 name Sue\ncommit\n"),
+        );
+        let addr_file = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("xic-cli-test-{}-srv.addr", std::process::id()));
+            let _ = fs::remove_file(&p);
+            p
+        };
+
+        let serve_args: Vec<String> = [
+            "serve",
+            "--dtd",
+            dtd.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let parsed = ParsedArgs::parse(serve_args, &SPEC).unwrap();
+            serve(&parsed).unwrap()
+        });
+
+        // The server writes its bound address before accepting; poll for it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = fs::read_to_string(&addr_file) {
+                if addr.contains(':') {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its address file"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        // Drive the script against the default session and read the
+        // replica-reconstructed report back.
+        let out = run(
+            connect,
+            &[
+                "connect",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--addr",
+                &addr,
+                "--script",
+                script.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("over 2 commits"), "{}", out.report);
+        assert!(
+            out.report.contains("final: 1/1 documents clean"),
+            "{}",
+            out.report
+        );
+
+        // A fresh connection's handshake reports the committed history.
+        let out = run(
+            connect,
+            &["connect", "--dtd", dtd.to_str().unwrap(), "--addr", &addr],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(
+            out.report.contains("last committed seq 2"),
+            "{}",
+            out.report
+        );
+
+        // `--stats --json` surfaces the server's own instruments.
+        let out = run(
+            connect,
+            &[
+                "connect",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--addr",
+                &addr,
+                "--stats",
+                "--json",
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.starts_with('{'), "{}", out.report);
+        assert!(out.report.contains("server.requests"), "{}", out.report);
+
+        // Shutdown drains the server and unblocks the serving thread.
+        let out = run(
+            connect,
+            &[
+                "connect",
+                "--dtd",
+                dtd.to_str().unwrap(),
+                "--addr",
+                &addr,
+                "--shutdown",
+            ],
+        );
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("shutting down"), "{}", out.report);
+
+        let out = server.join().expect("serve thread panicked");
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.contains("server stopped"), "{}", out.report);
+        let _ = fs::remove_file(&addr_file);
+    }
+
+    #[test]
+    fn serve_and_connect_validate_their_arguments() {
+        let dtd = temp_file("srv-usage.dtd", SCHOOL_DTD);
+        let parsed = ParsedArgs::parse(["serve", "--dtd", dtd.to_str().unwrap()], &SPEC).unwrap();
+        let err = serve(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--listen"), "{err}");
+
+        let parsed = ParsedArgs::parse(["connect", "--dtd", dtd.to_str().unwrap()], &SPEC).unwrap();
+        let err = connect(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--addr or --socket"), "{err}");
+
+        let parsed = ParsedArgs::parse(
+            ["connect", "--addr", "127.0.0.1:1", "--spec-id", "nonsense"],
+            &SPEC,
+        )
+        .unwrap();
+        let err = connect(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--spec-id"), "{err}");
+    }
+
+    #[test]
+    fn json_flag_is_an_alias_of_format_json() {
+        let dtd = temp_file("jsonflag.dtd", SCHOOL_DTD);
+        let out = run(stats, &["stats", "--dtd", dtd.to_str().unwrap(), "--json"]);
+        assert_eq!(out.exit_code, 0, "{}", out.report);
+        assert!(out.report.starts_with('{'), "{}", out.report);
+        assert!(
+            out.report.contains("\"command\":\"stats\""),
+            "{}",
+            out.report
+        );
     }
 }

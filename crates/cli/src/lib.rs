@@ -37,8 +37,8 @@ pub mod report;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use commands::{
-    batch, check, classify, diagnose, explain, implies, journal, stats, validate_doc,
-    CommandOutcome,
+    batch, check, classify, connect, diagnose, explain, implies, journal, serve, stats,
+    validate_doc, CommandOutcome,
 };
 pub use error::CliError;
 pub use json::JsonValue;
@@ -66,8 +66,25 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "max-nodes",
         "max-depth",
         "deadline-ms",
+        "listen",
+        "socket",
+        "addr",
+        "state-dir",
+        "max-sessions",
+        "idle-ms",
+        "workers",
+        "spec-id",
+        "addr-file",
     ],
-    flags: &["quiet", "no-witness", "help", "metrics"],
+    flags: &[
+        "quiet",
+        "no-witness",
+        "help",
+        "metrics",
+        "json",
+        "stats",
+        "shutdown",
+    ],
 };
 
 /// The usage text printed by `xic help` and on usage errors.
@@ -91,7 +108,14 @@ COMMANDS:
     stats      compile the spec, run a consistency check (twice — the second
                hit is served from the verdict cache) and print the engine's
                metrics registry: counters, gauges, latency histograms and
-               the compile-phase trace timeline
+               the compile-phase trace timeline (--json for machine output)
+    serve      run the validation service: host the compiled spec behind a
+               TCP (--listen) and/or Unix-socket (--socket) listener speaking
+               the delta-log wire protocol; named corpus sessions, shared
+               verdict cache, graceful drain to --state-dir on shutdown
+    connect    talk to a running service (--addr or --socket): drive a
+               --script against a named --session and print the replica's
+               report, or fetch --stats / request --shutdown
     help       print this message
 
 OPTIONS:
@@ -126,8 +150,25 @@ OPTIONS:
     --deadline-ms N       soft time budget: batch stops starting new documents
                           and commits stop re-checking further dirty documents
                           once N ms have elapsed; finished work is kept
-                          (batch/journal record)
+                          (batch/journal record; admission limits for serve)
     --quiet               do not print witness or counterexample documents
+    --json                machine-readable output (alias of --format json;
+                          stats and connect --stats)
+    --listen ADDR         serve: TCP listen address (port 0 picks a free port)
+    --socket PATH         serve: Unix-socket listen path; connect: dial it
+    --addr ADDR           connect: TCP address of a running service
+    --addr-file FILE      serve: write the bound TCP address to FILE (for
+                          scripts using --listen with port 0)
+    --state-dir DIR       serve: persist every session's delta log here on
+                          drain, and load existing logs as replica sessions
+    --max-sessions N      serve: reject further named sessions past N (code 3)
+    --idle-ms N           serve: drain and evict sessions idle longer than N ms
+    --workers N           serve: worker threads (= concurrent connections)
+    --session NAME        connect: the named server session to attach to
+    --spec-id HEX         connect: expected spec identity (defaults to the
+                          hash of the locally compiled --dtd/--constraints)
+    --stats               connect: print the server's metrics registry
+    --shutdown            connect: ask the server to drain and stop
 
 EXIT CODES:
     0  consistent / implied / valid
@@ -166,6 +207,8 @@ where
         "classify" => commands::classify(&parsed),
         "explain" => commands::explain(&parsed),
         "stats" => commands::stats(&parsed),
+        "serve" => commands::serve(&parsed),
+        "connect" => commands::connect(&parsed),
         "help" | "--help" | "-h" => return (USAGE.to_string(), 0),
         other => return (format!("unknown command `{other}`\n\n{USAGE}"), 2),
     };

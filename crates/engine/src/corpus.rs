@@ -399,6 +399,19 @@ impl<'s> CorpusSession<'s> {
         corpus
     }
 
+    /// A corpus with both an explicit registry and admission limits — the
+    /// validation service's per-tenant constructor ([`Limits`] govern
+    /// admission, the registry isolates the tenant's instruments).
+    pub fn with_registry_and_limits(
+        spec: &'s CompiledSpec,
+        limits: Limits,
+        registry: Arc<MetricsRegistry>,
+    ) -> CorpusSession<'s> {
+        let mut corpus = CorpusSession::with_registry(spec, registry);
+        corpus.limits = limits;
+        corpus
+    }
+
     /// The resource bounds this corpus enforces.
     pub fn limits(&self) -> &Limits {
         &self.limits
@@ -875,6 +888,12 @@ impl<'s> CorpusSession<'s> {
     /// The last committed sequence number (0 before the first commit).
     pub fn last_seq(&self) -> u64 {
         self.commits
+    }
+
+    /// Ops applied since the last commit (what the
+    /// [`Limits::max_queued_ops`] backpressure bound compares against).
+    pub fn queued_ops(&self) -> usize {
+        self.queued_ops
     }
 
     /// The committed deltas with sequence numbers above `after_seq`, in

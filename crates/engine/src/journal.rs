@@ -112,11 +112,11 @@ pub const FORMAT_VERSION: u16 = 1;
 pub const HEADER_LEN: usize = 4 + 2 + 1 + 1 + 16;
 
 /// Per-record framing overhead: length, sequence number, tag, CRC.
-const FRAME_LEN: usize = 4 + 8 + 1 + 4;
+pub(crate) const FRAME_LEN: usize = 4 + 8 + 1 + 4;
 
 const TAG_BASE: u8 = 1;
 const TAG_OP: u8 = 2;
-const TAG_DELTA: u8 = 3;
+pub(crate) const TAG_DELTA: u8 = 3;
 
 /// What a journal file contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -496,21 +496,21 @@ pub fn crc32(parts: &[&[u8]]) -> u32 {
 // Little-endian encoders and decoders for the record payloads.
 
 #[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn str(&mut self, v: &str) {
+    pub(crate) fn str(&mut self, v: &str) {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v.as_bytes());
     }
@@ -522,13 +522,13 @@ impl Enc {
     }
 }
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Dec<'a> {
         Dec { buf, pos: 0 }
     }
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
@@ -539,16 +539,16 @@ impl<'a> Dec<'a> {
         self.pos += n;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.bytes(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
-    fn str(&mut self) -> Result<String, String> {
+    pub(crate) fn str(&mut self) -> Result<String, String> {
         let n = self.u32()? as usize;
         let bytes = self.bytes(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
@@ -561,7 +561,7 @@ impl<'a> Dec<'a> {
         }
         Ok(out)
     }
-    fn finish(self) -> Result<(), String> {
+    pub(crate) fn finish(self) -> Result<(), String> {
         if self.pos != self.buf.len() {
             return Err(format!(
                 "{} trailing bytes after the payload",
@@ -660,7 +660,7 @@ fn dec_snapshot(dec: &mut Dec<'_>) -> Result<TreeSnapshot, String> {
     Ok(TreeSnapshot { nodes, root })
 }
 
-fn enc_op(enc: &mut Enc, op: &EditOp) {
+pub(crate) fn enc_op(enc: &mut Enc, op: &EditOp) {
     match op {
         EditOp::SetAttr {
             element,
@@ -689,7 +689,7 @@ fn enc_op(enc: &mut Enc, op: &EditOp) {
     }
 }
 
-fn dec_op(dec: &mut Dec<'_>) -> Result<EditOp, String> {
+pub(crate) fn dec_op(dec: &mut Dec<'_>) -> Result<EditOp, String> {
     Ok(match dec.u8()? {
         1 => EditOp::SetAttr {
             element: NodeId(dec.u32()?),
@@ -830,7 +830,7 @@ fn dec_doc_report(dec: &mut Dec<'_>) -> Result<DocReport, String> {
     })
 }
 
-fn enc_delta(enc: &mut Enc, delta: &BatchDelta) {
+pub(crate) fn enc_delta(enc: &mut Enc, delta: &BatchDelta) {
     enc.u64(delta.seq);
     enc.u64(delta.rechecked_docs as u64);
     enc.u64(delta.total as u64);
@@ -852,7 +852,7 @@ fn enc_delta(enc: &mut Enc, delta: &BatchDelta) {
     }
 }
 
-fn dec_delta(dec: &mut Dec<'_>) -> Result<BatchDelta, String> {
+pub(crate) fn dec_delta(dec: &mut Dec<'_>) -> Result<BatchDelta, String> {
     let seq = dec.u64()?;
     let rechecked_docs = dec.u64()? as usize;
     let total = dec.u64()? as usize;
@@ -926,7 +926,7 @@ fn write_header(buf: &mut Vec<u8>, kind: LogKind, spec: SpecId) {
     buf.extend_from_slice(&spec.1.to_le_bytes());
 }
 
-fn frame_record(buf: &mut Vec<u8>, seq: u64, tag: u8, payload: &[u8]) {
+pub(crate) fn frame_record(buf: &mut Vec<u8>, seq: u64, tag: u8, payload: &[u8]) {
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     let seq_bytes = seq.to_le_bytes();
     buf.extend_from_slice(&seq_bytes);

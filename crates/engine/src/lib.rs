@@ -85,6 +85,7 @@ pub mod limits;
 pub mod metrics;
 pub mod session;
 pub mod spec;
+pub mod wire;
 
 pub use batch::{BatchDoc, BatchEngine, BatchReport, DocFault, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
@@ -98,7 +99,8 @@ pub use journal::{
 pub use limits::{LimitKind, Limits, RejectedOp, ResourceError};
 pub use metrics::{register_baseline, EngineMetrics};
 pub use session::{DocHandle, Recovery, Session, SessionError, SessionVerdict};
-pub use spec::{CompileError, CompiledSpec, SpecId};
+pub use spec::{CompileError, CompiledSpec, ParseSpecIdError, SpecId};
+pub use wire::{Request, Response, WireError, WireFault};
 
 use std::sync::Arc;
 

@@ -36,6 +36,48 @@ impl fmt::Display for SpecId {
     }
 }
 
+/// A [`SpecId`] string that did not parse (see the [`FromStr`] impl).
+///
+/// [`FromStr`]: std::str::FromStr
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecIdError {
+    detail: String,
+}
+
+impl fmt::Display for ParseSpecIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spec id: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParseSpecIdError {}
+
+impl std::str::FromStr for SpecId {
+    type Err = ParseSpecIdError;
+
+    /// Parses the stable hex rendering produced by [`fmt::Display`]
+    /// (`spec-<32 hex digits>`; the bare 32-digit form is accepted too), so
+    /// an id printed by any report, log header or `--format json` output
+    /// round-trips through `xic serve` hello negotiation and `--spec-id`.
+    fn from_str(s: &str) -> Result<SpecId, ParseSpecIdError> {
+        let hex = s.strip_prefix("spec-").unwrap_or(s);
+        if hex.len() != 32 {
+            return Err(ParseSpecIdError {
+                detail: format!(
+                    "expected `spec-` plus 32 hex digits, got {} digits in `{s}`",
+                    hex.len()
+                ),
+            });
+        }
+        let parse_half = |half: &str| {
+            u64::from_str_radix(half, 16).map_err(|_| ParseSpecIdError {
+                detail: format!("`{half}` is not hexadecimal"),
+            })
+        };
+        Ok(SpecId(parse_half(&hex[..16])?, parse_half(&hex[16..])?))
+    }
+}
+
 /// Errors raised while compiling a specification from sources.
 #[derive(Debug)]
 pub enum CompileError {

@@ -1,0 +1,61 @@
+//! Round-trip tests for the stable `SpecId` text form used in the wire
+//! hello and the CLI `--spec-id` option.
+
+use proptest::prelude::*;
+use xic_engine::SpecId;
+
+#[test]
+fn display_is_stable_hex() {
+    let id = SpecId(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+    assert_eq!(id.to_string(), "spec-0123456789abcdeffedcba9876543210");
+}
+
+#[test]
+fn extreme_ids_roundtrip() {
+    for id in [
+        SpecId(0, 0),
+        SpecId(u64::MAX, u64::MAX),
+        SpecId(0, u64::MAX),
+    ] {
+        assert_eq!(id.to_string().parse::<SpecId>().unwrap(), id);
+    }
+}
+
+#[test]
+fn parse_accepts_bare_hex() {
+    let id: SpecId = "0123456789abcdeffedcba9876543210".parse().unwrap();
+    assert_eq!(id, SpecId(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210));
+}
+
+#[test]
+fn parse_rejects_malformed_ids() {
+    for bad in [
+        "",
+        "spec-",
+        "spec-0123",
+        "spec-0123456789abcdeffedcba987654321",   // 31 digits
+        "spec-0123456789abcdeffedcba98765432100", // 33 digits
+        "spec-0123456789abcdeffedcba987654321g",  // non-hex
+        "id-0123456789abcdeffedcba9876543210",    // wrong prefix keeps 34 chars
+    ] {
+        assert!(bad.parse::<SpecId>().is_err(), "{bad:?} must not parse");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display → FromStr is the identity for every id.
+    #[test]
+    fn display_fromstr_roundtrip(hi in 0u64..u64::MAX, lo in 0u64..u64::MAX) {
+        let id = SpecId(hi, lo);
+        let text = id.to_string();
+        prop_assert!(text.starts_with("spec-"));
+        prop_assert_eq!(text.len(), "spec-".len() + 32);
+        let back: SpecId = text.parse().unwrap();
+        prop_assert_eq!(back, id);
+        // The bare-hex form (no prefix) parses to the same id.
+        let bare: SpecId = text["spec-".len()..].parse().unwrap();
+        prop_assert_eq!(bare, id);
+    }
+}

@@ -1,0 +1,309 @@
+//! Session actors: one thread per named session, owning its
+//! [`CorpusSession`] (or, after a restart, the [`CorpusReplica`] rebuilt
+//! from the drained delta log) and fed over a bounded command channel.
+//!
+//! The actor is the concurrency boundary of the service: a
+//! `CorpusSession` borrows its `CompiledSpec` and is single-threaded by
+//! construction, so the thread closure takes an `Arc<CompiledSpec>` and
+//! builds the session *inside* — every connection talks to it through
+//! [`Cmd`] messages, and a slow commit on one session never blocks
+//! another session's channel.
+
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use xic_engine::wire::WireFault;
+use xic_engine::{
+    read_delta_log, write_delta_log, BatchDelta, CompiledSpec, CorpusReplica, CorpusSession,
+    DocHandle, JournalError, Limits, ResourceError, SessionError,
+};
+use xic_telemetry::MetricsRegistry;
+use xic_xml::EditOp;
+
+/// A command sent from a connection worker to a session actor.  Every
+/// variant carries a rendezvous reply channel (`sync_channel(1)`), so a
+/// worker holds at most one command in flight.
+pub(crate) enum Cmd {
+    /// Parse and open a document under a label.
+    Open {
+        label: String,
+        source: String,
+        reply: SyncSender<Result<u64, WireFault>>,
+    },
+    /// Apply an edit batch, all-or-nothing, answering the queued-op depth.
+    Apply {
+        handle: u64,
+        ops: Vec<EditOp>,
+        reply: SyncSender<Result<u64, WireFault>>,
+    },
+    /// Commit: re-check dirty documents, answer the new delta.
+    Commit {
+        reply: SyncSender<Result<BatchDelta, WireFault>>,
+    },
+    /// Export every retained delta above `after_seq`.
+    Sync {
+        after_seq: u64,
+        reply: SyncSender<Result<Vec<BatchDelta>, WireFault>>,
+    },
+    /// Close one document, answering its label.
+    Close {
+        handle: u64,
+        reply: SyncSender<Result<String, WireFault>>,
+    },
+    /// Session metadata for the hello ack: (last_seq, is_replica).
+    Meta { reply: SyncSender<(u64, bool)> },
+    /// Persist the delta log (when a state dir is configured) and stop the
+    /// actor, answering the number of deltas made durable.
+    Drain {
+        reply: SyncSender<Result<u64, WireFault>>,
+    },
+}
+
+/// The registry-side handle to a running actor.
+pub(crate) struct SessionHandle {
+    tx: SyncSender<Cmd>,
+    last_used: Mutex<Instant>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Outcome of offering a command to a session's bounded channel.
+pub(crate) enum Offer {
+    /// The command was accepted.
+    Sent,
+    /// The channel is full — per-session backpressure (code 3 on the wire).
+    Backpressure,
+    /// The actor is gone (evicted or drained).
+    Gone,
+}
+
+impl SessionHandle {
+    /// Offers `cmd` without blocking; full channels surface as
+    /// backpressure rather than head-of-line blocking across sessions.
+    pub(crate) fn offer(&self, cmd: Cmd) -> Offer {
+        *self.last_used.lock().unwrap() = Instant::now();
+        match self.tx.try_send(cmd) {
+            Ok(()) => Offer::Sent,
+            Err(TrySendError::Full(_)) => Offer::Backpressure,
+            Err(TrySendError::Disconnected(_)) => Offer::Gone,
+        }
+    }
+
+    /// Seconds-scale idleness for the janitor's eviction scan.
+    pub(crate) fn idle_for(&self) -> std::time::Duration {
+        self.last_used.lock().unwrap().elapsed()
+    }
+
+    /// Asks the actor to drain (persist + stop) and joins its thread.
+    /// Returns the number of deltas persisted, or `None` when the actor
+    /// was already gone.
+    pub(crate) fn drain(&self) -> Option<u64> {
+        let (reply, rx) = sync_channel(1);
+        let persisted = match self.tx.send(Cmd::Drain { reply }) {
+            Ok(()) => rx.recv().ok().and_then(|r| r.ok()),
+            Err(_) => None,
+        };
+        if let Some(join) = self.join.lock().unwrap().take() {
+            let _ = join.join();
+        }
+        persisted
+    }
+}
+
+fn resource_fault(e: &ResourceError) -> WireFault {
+    WireFault::new(3, format!("resource:{}", e.limit.name()), e.to_string())
+}
+
+/// Maps a session error onto the wire taxonomy: resource rejections are
+/// code 3, contained faults code 4, everything else a code-2 document
+/// error.  The connection stays up in every case.
+fn session_fault(e: SessionError) -> WireFault {
+    match &e {
+        SessionError::Resource(r) => resource_fault(r),
+        SessionError::Poisoned { .. } => WireFault::new(4, "fault:poisoned", e.to_string()),
+        _ => WireFault::new(2, "document", e.to_string()),
+    }
+}
+
+fn journal_fault(e: JournalError) -> WireFault {
+    WireFault::new(2, "journal", e.to_string())
+}
+
+fn replica_fault(name: &str) -> WireFault {
+    WireFault::new(
+        2,
+        "replica",
+        format!(
+            "session {name:?} is a drained replica restored from its delta log; \
+             it serves sync reads only"
+        ),
+    )
+}
+
+fn log_path(state_dir: &std::path::Path, name: &str) -> PathBuf {
+    state_dir.join(format!("{name}.xicj"))
+}
+
+/// Spawns a live session actor.  The thread owns the spec `Arc` and builds
+/// the `CorpusSession` against it; `backlog` bounds the command channel.
+pub(crate) fn spawn_live(
+    name: String,
+    spec: Arc<CompiledSpec>,
+    limits: Limits,
+    registry: Arc<MetricsRegistry>,
+    backlog: usize,
+    state_dir: Option<PathBuf>,
+) -> SessionHandle {
+    let (tx, rx) = sync_channel(backlog.max(1));
+    let join = std::thread::Builder::new()
+        .name(format!("xic-session-{name}"))
+        .spawn(move || run_live(&name, &spec, limits, registry, rx, state_dir.as_deref()))
+        .expect("spawn session actor");
+    SessionHandle {
+        tx,
+        last_used: Mutex::new(Instant::now()),
+        join: Mutex::new(Some(join)),
+    }
+}
+
+fn run_live(
+    name: &str,
+    spec: &CompiledSpec,
+    limits: Limits,
+    registry: Arc<MetricsRegistry>,
+    rx: Receiver<Cmd>,
+    state_dir: Option<&std::path::Path>,
+) {
+    let mut session = CorpusSession::with_registry_and_limits(spec, limits, registry);
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Open {
+                label,
+                source,
+                reply,
+            } => {
+                let result = session
+                    .open_source(&label, &source)
+                    .map(|h| h.raw())
+                    .map_err(session_fault);
+                let _ = reply.send(result);
+            }
+            Cmd::Apply { handle, ops, reply } => {
+                let result = session
+                    .apply(DocHandle::from_raw(handle), &ops)
+                    .map(|()| session.queued_ops() as u64)
+                    .map_err(session_fault);
+                let _ = reply.send(result);
+            }
+            Cmd::Commit { reply } => {
+                let result = session.try_commit().map_err(|e| resource_fault(&e));
+                let _ = reply.send(result);
+            }
+            Cmd::Sync { after_seq, reply } => {
+                let result = session
+                    .export_deltas(after_seq)
+                    .map(<[BatchDelta]>::to_vec)
+                    .map_err(journal_fault);
+                let _ = reply.send(result);
+            }
+            Cmd::Close { handle, reply } => {
+                let handle = DocHandle::from_raw(handle);
+                let result = session
+                    .label(handle)
+                    .map(str::to_owned)
+                    .and_then(|label| session.close(handle).map(|_| label))
+                    .map_err(session_fault);
+                let _ = reply.send(result);
+            }
+            Cmd::Meta { reply } => {
+                let _ = reply.send((session.last_seq(), false));
+            }
+            Cmd::Drain { reply } => {
+                // Persist the *committed* history only: an `applied` ack
+                // means "queued for the next commit", so uncommitted ops
+                // are not yet acknowledged as durable — but every delta a
+                // client ever received lands in the log.
+                let result = persist(name, &session, state_dir);
+                let _ = reply.send(result);
+                return;
+            }
+        }
+    }
+}
+
+fn persist(
+    name: &str,
+    session: &CorpusSession<'_>,
+    state_dir: Option<&std::path::Path>,
+) -> Result<u64, WireFault> {
+    let Some(dir) = state_dir else { return Ok(0) };
+    if session.last_seq() == 0 {
+        return Ok(0);
+    }
+    let deltas = session.export_deltas(0).map_err(journal_fault)?;
+    write_delta_log(log_path(dir, name), session.spec().id(), deltas)
+        .map(|_| deltas.len() as u64)
+        .map_err(journal_fault)
+}
+
+/// Spawns a replica actor from a drained delta log: the restarted server's
+/// read-only continuation of a previous run's session.  Fails when the log
+/// is unreadable or belongs to another spec.
+pub(crate) fn spawn_replica(
+    name: String,
+    path: PathBuf,
+    spec: xic_engine::SpecId,
+    backlog: usize,
+) -> Result<SessionHandle, JournalError> {
+    let log = read_delta_log(&path, spec)?;
+    let mut replica = CorpusReplica::new(spec);
+    replica.apply_deltas(&log.deltas)?;
+    let deltas = log.deltas;
+    let (tx, rx) = sync_channel(backlog.max(1));
+    let join = std::thread::Builder::new()
+        .name(format!("xic-replica-{name}"))
+        .spawn(move || run_replica(&name, &replica, &deltas, rx))
+        .expect("spawn replica actor");
+    Ok(SessionHandle {
+        tx,
+        last_used: Mutex::new(Instant::now()),
+        join: Mutex::new(Some(join)),
+    })
+}
+
+fn run_replica(name: &str, replica: &CorpusReplica, deltas: &[BatchDelta], rx: Receiver<Cmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Open { reply, .. } => {
+                let _ = reply.send(Err(replica_fault(name)));
+            }
+            Cmd::Apply { reply, .. } => {
+                let _ = reply.send(Err(replica_fault(name)));
+            }
+            Cmd::Commit { reply } => {
+                let _ = reply.send(Err(replica_fault(name)));
+            }
+            Cmd::Sync { after_seq, reply } => {
+                let window: Vec<BatchDelta> = deltas
+                    .iter()
+                    .filter(|d| d.seq > after_seq)
+                    .cloned()
+                    .collect();
+                let _ = reply.send(Ok(window));
+            }
+            Cmd::Close { reply, .. } => {
+                let _ = reply.send(Err(replica_fault(name)));
+            }
+            Cmd::Meta { reply } => {
+                let _ = reply.send((replica.last_seq(), true));
+            }
+            Cmd::Drain { reply } => {
+                // Already durable: the replica *is* the persisted log.
+                let _ = reply.send(Ok(0));
+                return;
+            }
+        }
+    }
+}

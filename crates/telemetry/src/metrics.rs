@@ -259,7 +259,7 @@ impl HistogramSnapshot {
 /// sorted by name.  ("Consistent enough": each instrument is read atomically,
 /// but the snapshot does not freeze concurrent writers between instruments —
 /// fine for statistics, not a transaction.)
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegistrySnapshot {
     /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,

@@ -14,6 +14,7 @@ pub use xic_engine as engine;
 pub use xic_gen as gen;
 pub use xic_ilp as ilp;
 pub use xic_relational as relational;
+pub use xic_server as server;
 pub use xic_xml as xml;
 
 // The production entry points, re-exported flat for discoverability.
