@@ -1,0 +1,221 @@
+//! Shard-fanned commits — shard-scoped sessions vs. one monolithic session.
+//!
+//! The workload shard plans exist for: a specification whose touch-graph
+//! splits into many independent components (here one unary key per
+//! catalogue kind, so every constraint is its own shard), a corpus of
+//! documents open against it, and a commit stream a coordinator wants to
+//! fan out one-shard-per-worker.  Two strategies run the same script:
+//!
+//! 1. **monolithic** — one `CorpusSession` re-evaluates every constraint:
+//!    all of Σ per document at open, and every dirtied constraint per edit;
+//! 2. **shard-scoped** — a session narrowed with
+//!    `CorpusSession::scope_to_shards(&[0])`, the per-worker half of a
+//!    fanned-out commit: in-scope constraints are re-evaluated, the rest
+//!    are skipped (counted in `shard.skipped`) and never surface in its
+//!    reports.
+//!
+//! Verdict identity is asserted before timing: the scoped session's report
+//! must equal `project_report(monolithic_report, plan, 0)` exactly.  The
+//! headline number is the reduction in the global
+//! `incremental.constraints_rechecked` counter — the scoped arm must
+//! recheck strictly fewer constraints (≈ 1/shards of the monolithic arm on
+//! this plan).  Everything is recorded in `BENCH_shard.json` at the
+//! workspace root.
+
+use std::time::Duration;
+
+use xic_bench::{fmt_us, min_time};
+use xic_constraints::{Constraint, ConstraintSet};
+use xic_engine::{project_report, BatchReport, CompiledSpec, CorpusSession};
+use xic_gen::{catalogue_dtd, random_document, DocGenConfig};
+use xic_xml::{EditOp, NodeId, XmlTree};
+
+const KINDS: usize = 12;
+const NUM_DOCS: usize = 16;
+/// Edits per run; edit `i` touches the key attribute of kind `i mod KINDS`,
+/// so exactly one edit in `KINDS` lands in shard 0's scope.
+const EDITS_PER_RUN: usize = 48;
+/// Timed repetitions (minimum taken; the counter deltas come from a single
+/// extra untimed run of each arm).
+const RUNS: usize = 3;
+
+fn main() {
+    let dtd = catalogue_dtd(KINDS);
+    let mut sigma = ConstraintSet::new();
+    for ty in dtd.types() {
+        if let Some(&attr) = dtd.attrs_of(ty).first() {
+            sigma.push(Constraint::unary_key(ty, attr));
+        }
+    }
+    let spec = CompiledSpec::compile(dtd, sigma).expect("keys-only spec compiles");
+    let plan = spec.shard_plan();
+    assert_eq!(
+        plan.num_shards(),
+        KINDS,
+        "disjoint unary keys must shard one-per-kind"
+    );
+
+    let trees: Vec<XmlTree> = (0..NUM_DOCS)
+        .map(|i| {
+            random_document(
+                spec.dtd(),
+                &DocGenConfig {
+                    seed: 300 + i as u64,
+                    max_elements: 400,
+                    star_fanout: 40,
+                    value_pool: 50,
+                    ..Default::default()
+                },
+            )
+            .expect("catalogue DTD is satisfiable")
+        })
+        .collect();
+    let total_nodes: usize = trees.iter().map(XmlTree::num_nodes).sum();
+
+    // The deterministic edit stream, computed once against the pristine
+    // trees (attribute rewrites never renumber nodes): edit i rewrites the
+    // key attribute of one element of kind (i mod KINDS) in document
+    // (i mod NUM_DOCS), cycling values small enough to flip verdicts.
+    let kinds: Vec<_> = spec.dtd().types().collect();
+    let ops: Vec<(usize, EditOp)> = (0..EDITS_PER_RUN)
+        .filter_map(|i| {
+            let victim = i % NUM_DOCS;
+            let ty = kinds[1 + i % KINDS];
+            let attr = *spec.dtd().attrs_of(ty).first()?;
+            let element: NodeId = trees[victim].ext(ty).nth((i / KINDS) % 3)?;
+            Some((
+                victim,
+                EditOp::SetAttr {
+                    element,
+                    attr,
+                    value: format!("k{}", i % 5),
+                },
+            ))
+        })
+        .collect();
+    assert!(ops.len() >= EDITS_PER_RUN / 2, "edit stream too sparse");
+
+    let run_arm = |scoped: bool| -> (CorpusSession<'_>, u64) {
+        let before = rechecked_now();
+        let mut session = CorpusSession::new(&spec);
+        if scoped {
+            session.scope_to_shards(&[0]);
+        }
+        let handles: Vec<_> = trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| session.open(format!("doc-{i}"), t.clone()).expect("opens"))
+            .collect();
+        session.commit();
+        for (victim, op) in &ops {
+            session
+                .apply(handles[*victim], std::slice::from_ref(op))
+                .unwrap();
+            std::hint::black_box(session.commit());
+        }
+        (session, rechecked_now() - before)
+    };
+
+    // Verdict identity before timing: the scoped session reports exactly
+    // the shard-0 projection of the monolithic report.
+    let (monolithic_session, monolithic_rechecked) = run_arm(false);
+    let (scoped_session, scoped_rechecked) = run_arm(true);
+    let monolithic_report: BatchReport = monolithic_session.report();
+    assert_eq!(
+        scoped_session.report(),
+        project_report(&monolithic_report, plan, 0),
+        "scoped session diverged from the projection — numbers are meaningless"
+    );
+    drop((monolithic_session, scoped_session));
+
+    let monolithic_time = min_time(RUNS, || {
+        std::hint::black_box(run_arm(false).0.num_docs());
+    });
+    let scoped_time = min_time(RUNS, || {
+        std::hint::black_box(run_arm(true).0.num_docs());
+    });
+
+    let reduction = monolithic_rechecked as f64 / scoped_rechecked.max(1) as f64;
+
+    println!();
+    println!("shard_commit — shard-scoped sessions vs. one monolithic session");
+    println!("----------------------------------------------------------------");
+    println!(
+        "{:<44} {} shards, {} docs, {} nodes, {} edits",
+        "workload",
+        plan.num_shards(),
+        NUM_DOCS,
+        total_nodes,
+        ops.len(),
+    );
+    println!(
+        "{:<44} {:>12}",
+        "constraints rechecked, monolithic", monolithic_rechecked
+    );
+    println!(
+        "{:<44} {:>12}",
+        "constraints rechecked, shard-0 scoped", scoped_rechecked
+    );
+    println!("{:<44} {:>11.1}x", "recheck reduction", reduction);
+    println!(
+        "{:<44} {:>12}",
+        "wall time, monolithic",
+        fmt_us(monolithic_time)
+    );
+    println!(
+        "{:<44} {:>12}",
+        "wall time, shard-0 scoped",
+        fmt_us(scoped_time)
+    );
+
+    let json = render_json(&[
+        ("shards", plan.num_shards() as f64),
+        ("docs", NUM_DOCS as f64),
+        ("nodes_total", total_nodes as f64),
+        ("edits", ops.len() as f64),
+        ("monolithic_rechecked", monolithic_rechecked as f64),
+        ("scoped_rechecked", scoped_rechecked as f64),
+        ("recheck_reduction", (reduction * 10.0).round() / 10.0),
+        ("monolithic_us", us(monolithic_time)),
+        ("scoped_us", us(scoped_time)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out, &json).expect("write BENCH_shard.json");
+    println!("{:<44} {:>12}", "recorded", "BENCH_shard.json");
+    println!("----------------------------------------------------------------");
+
+    assert!(
+        scoped_rechecked < monolithic_rechecked,
+        "a shard-scoped session must recheck strictly fewer constraints \
+         (monolithic {monolithic_rechecked}, scoped {scoped_rechecked})"
+    );
+    assert!(
+        reduction >= 2.0,
+        "on a {KINDS}-singleton-shard plan the scoped arm should recheck \
+         several times fewer constraints (got {reduction:.1}x)"
+    );
+}
+
+/// Current value of the process-wide `incremental.constraints_rechecked`
+/// counter (the arms run sequentially, so deltas are attributable).
+fn rechecked_now() -> u64 {
+    xic_telemetry::global()
+        .snapshot()
+        .counter("incremental.constraints_rechecked")
+        .unwrap_or(0)
+}
+
+fn us(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6 * 10.0).round() / 10.0
+}
+
+/// Tiny flat-object JSON rendering (the workspace is dependency-free).
+fn render_json(fields: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value}"));
+        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}

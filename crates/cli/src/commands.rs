@@ -1256,6 +1256,7 @@ pub fn serve(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
     if let Some(ms) = args.get_usize("idle-ms")? {
         config.idle_timeout = Some(Duration::from_millis(ms as u64));
     }
+    config.shards = args.has_flag("shards");
 
     let server = Server::start(Arc::new(spec), config).map_err(|source| CliError::Io {
         path: "serve".to_string(),
@@ -1537,13 +1538,28 @@ pub fn connect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             )
         })?;
         let deltas = run_remote_script(spec, &mut client, script_path)?;
-        let mut replica = CorpusReplica::new(spec_id);
+        // `--shard K` subscribes the local replica to one touch-graph
+        // component: it receives and applies only shard-K deltas and
+        // reconstructs the shard projection of the session's report.
+        let shard = args.get_usize("shard")?.map(|k| k as u32);
+        let mut replica = match shard {
+            Some(k) => CorpusReplica::new_sharded(spec_id, k),
+            None => CorpusReplica::new(spec_id),
+        };
         let synced = client
             .sync_replica(&mut replica)
             .map_err(|e| client_error(script_path, e))?;
         let final_report = replica.report();
-        let headline = format!("remote session `{session}`");
-        let notes = vec![format!("replica synced {synced} delta(s) from the server")];
+        let headline = match shard {
+            Some(k) => format!("remote session `{session}` (shard {k} subscription)"),
+            None => format!("remote session `{session}`"),
+        };
+        let notes = match shard {
+            Some(k) => vec![format!(
+                "replica synced {synced} shard-{k} delta(s) from the server"
+            )],
+            None => vec![format!("replica synced {synced} delta(s) from the server")],
+        };
         let extra = [
             ("session", JsonValue::string(session)),
             ("synced", JsonValue::int(synced)),

@@ -75,6 +75,7 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "workers",
         "spec-id",
         "addr-file",
+        "shard",
     ],
     flags: &[
         "quiet",
@@ -84,6 +85,7 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "json",
         "stats",
         "shutdown",
+        "shards",
     ],
 };
 
@@ -164,6 +166,12 @@ OPTIONS:
     --max-sessions N      serve: reject further named sessions past N (code 3)
     --idle-ms N           serve: drain and evict sessions idle longer than N ms
     --workers N           serve: worker threads (= concurrent connections)
+    --shards              serve: enable shard-filtered sync subscriptions (the
+                          constraint set is partitioned into touch-graph
+                          components; subscribers can follow one component)
+    --shard K             connect: subscribe the replica to shard K only —
+                          receives and applies just shard-K deltas, and prints
+                          the shard-projected report (requires serve --shards)
     --session NAME        connect: the named server session to attach to
     --spec-id HEX         connect: expected spec identity (defaults to the
                           hash of the locally compiled --dtd/--constraints)

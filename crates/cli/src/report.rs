@@ -188,6 +188,16 @@ pub fn delta_json(delta: &BatchDelta) -> JsonValue {
         ("total", JsonValue::int(delta.total)),
         ("clean", JsonValue::int(delta.clean)),
         (
+            "shards",
+            JsonValue::Array(
+                delta
+                    .shards
+                    .iter()
+                    .map(|&s| JsonValue::int(s as usize))
+                    .collect(),
+            ),
+        ),
+        (
             "closed",
             JsonValue::Array(
                 delta
@@ -241,7 +251,23 @@ pub fn delta_from_json(json: &JsonValue) -> Result<BatchDelta, String> {
         rechecked_docs: usize_field(json, "rechecked")?,
         total: usize_field(json, "total")?,
         clean: usize_field(json, "clean")?,
+        shards: shard_array(json)?,
     })
+}
+
+/// Parses a `shards` array of shard ids (u32 each).
+fn shard_array(json: &JsonValue) -> Result<Vec<u32>, String> {
+    json.get("shards")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `shards` array")?
+        .iter()
+        .map(|v| match v {
+            JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u32::MAX as f64 => {
+                Ok(*n as u32)
+            }
+            other => Err(format!("`shards` holds a non-u32 element: {other:?}")),
+        })
+        .collect()
 }
 
 /// Parses one element of a delta's `changes` array back into a
@@ -257,6 +283,7 @@ pub fn doc_change_from_json(json: &JsonValue) -> Result<DocChange, String> {
         handle: handle_from_json(json)?,
         was_clean,
         report: doc_report_from_json(json.get("report").ok_or("missing `report` member")?)?,
+        shards: shard_array(json)?,
     })
 }
 
@@ -281,6 +308,16 @@ fn doc_change_json(change: &DocChange) -> JsonValue {
             },
         ),
         ("clean", JsonValue::Bool(change.now_clean())),
+        (
+            "shards",
+            JsonValue::Array(
+                change
+                    .shards
+                    .iter()
+                    .map(|&s| JsonValue::int(s as usize))
+                    .collect(),
+            ),
+        ),
         ("report", doc_report_json(&change.report)),
     ])
 }

@@ -169,11 +169,13 @@ fn arb_delta() -> BoxedStrategy<BatchDelta> {
         arb_handle(),
         prop_oneof![Just(None), Just(Some(true)), Just(Some(false))],
         arb_report(),
+        vec(0u32..8, 0..3),
     )
-        .prop_map(|(handle, was_clean, report)| DocChange {
+        .prop_map(|(handle, was_clean, report, shards)| DocChange {
             handle,
             was_clean,
             report,
+            shards,
         });
     let closed =
         (arb_handle(), arb_string()).prop_map(|(handle, label)| ClosedDoc { handle, label });
@@ -184,15 +186,17 @@ fn arb_delta() -> BoxedStrategy<BatchDelta> {
         (0usize..64).boxed(),
         (0usize..64).boxed(),
         (0usize..64).boxed(),
+        vec(prop_oneof![(0u32..8).boxed(), Just(u32::MAX).boxed()], 0..4),
     )
         .prop_map(
-            |(seq, changes, closed, rechecked_docs, total, clean)| BatchDelta {
+            |(seq, changes, closed, rechecked_docs, total, clean, shards)| BatchDelta {
                 seq,
                 changes,
                 closed,
                 rechecked_docs,
                 total,
                 clean,
+                shards,
             },
         )
         .boxed()

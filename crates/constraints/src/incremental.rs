@@ -248,6 +248,115 @@ impl IncrementalLayout {
     }
 }
 
+/// The connected components of the layout's touch-graph: two constraints
+/// share a shard exactly when a chain of shared `(type, attribute)` touches
+/// links them, so an edit can flip verdicts in at most the shards its
+/// touch-set intersects.  Derived once per specification from the
+/// [`IncrementalLayout`] touch maps — pure in `(D, Σ)`, like the layout.
+///
+/// Shard ids are canonical: shards are numbered by the first constraint
+/// (in Σ order) they contain, so the same Σ always yields the same plan
+/// regardless of map iteration order.
+#[derive(Debug)]
+pub struct ShardPlan {
+    shard_of_check: Vec<u32>,
+    checks_of_shard: Vec<Vec<usize>>,
+    /// Rendered constraint → shard, for projecting reports whose violations
+    /// carry only the rendered form.  Identical renders name identical
+    /// slots, so the keying is unambiguous.
+    shard_of_rendered: HashMap<String, u32>,
+}
+
+/// Union-find root with path halving.
+fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+impl ShardPlan {
+    /// Computes the touch-graph components of `layout`.  Every
+    /// `checks_of_ty` / `checks_of_attr` bucket is a clique in the touch
+    /// graph (all its constraints react to the same touch), so unioning
+    /// along buckets yields exactly the connected components.
+    pub fn of_layout(layout: &IncrementalLayout) -> ShardPlan {
+        let n = layout.checks.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        let buckets = layout
+            .checks_of_ty
+            .values()
+            .chain(layout.checks_of_attr.values());
+        for bucket in buckets {
+            let Some(&first) = bucket.first() else {
+                continue;
+            };
+            for &other in &bucket[1..] {
+                let a = uf_find(&mut parent, first);
+                let b = uf_find(&mut parent, other);
+                if a != b {
+                    parent[b] = a;
+                }
+            }
+        }
+        let mut id_of_root: HashMap<usize, u32> = HashMap::new();
+        let mut shard_of_check = Vec::with_capacity(n);
+        let mut checks_of_shard: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let root = uf_find(&mut parent, i);
+            let id = *id_of_root.entry(root).or_insert_with(|| {
+                checks_of_shard.push(Vec::new());
+                (checks_of_shard.len() - 1) as u32
+            });
+            shard_of_check.push(id);
+            checks_of_shard[id as usize].push(i);
+        }
+        let shard_of_rendered = layout
+            .checks
+            .iter()
+            .enumerate()
+            .map(|(i, (_, rendered))| (rendered.clone(), shard_of_check[i]))
+            .collect();
+        ShardPlan {
+            shard_of_check,
+            checks_of_shard,
+            shard_of_rendered,
+        }
+    }
+
+    /// Number of touch-graph components (shards).  Zero for an empty Σ.
+    pub fn num_shards(&self) -> usize {
+        self.checks_of_shard.len()
+    }
+
+    /// Number of constraints the plan partitions.
+    pub fn num_checks(&self) -> usize {
+        self.shard_of_check.len()
+    }
+
+    /// The shard holding constraint `idx` (Σ order).
+    pub fn shard_of_check(&self, idx: usize) -> u32 {
+        self.shard_of_check[idx]
+    }
+
+    /// The constraint indices of shard `shard`, in Σ order.
+    pub fn checks_of_shard(&self, shard: u32) -> &[usize] {
+        &self.checks_of_shard[shard as usize]
+    }
+
+    /// The shard of a rendered constraint, as carried by a
+    /// [`Violation`] — `None` when Σ contains no such constraint.
+    pub fn shard_of_rendered(&self, rendered: &str) -> Option<u32> {
+        self.shard_of_rendered.get(rendered).copied()
+    }
+
+    /// Every shard id, in canonical order.
+    pub fn all_shards(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.checks_of_shard.len() as u32
+    }
+}
+
 /// Per-document mutable state of one slot (the spec half lives in
 /// [`IncrementalLayout`]).
 #[derive(Debug, Default)]
@@ -360,6 +469,14 @@ impl IncrementalIndex {
     /// Number of constraints currently marked dirty.
     pub fn pending(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// The constraint indices currently marked dirty, in marking order.
+    /// Shard-aware callers map these through a [`ShardPlan`] *before*
+    /// verdict extraction (which drains the set) to learn which shards the
+    /// pending edits can affect.
+    pub fn dirty_checks(&self) -> &[usize] {
+        &self.dirty
     }
 
     // ------------------------------------------------------------------
@@ -637,13 +754,33 @@ impl IncrementalIndex {
     /// witnesses and all) to a from-scratch [`crate::DocIndex`] rebuild on
     /// the current tree.  Only dirty constraints are recomputed.
     pub fn check_all(&mut self, tree: &XmlTree) -> Vec<Violation> {
+        self.check_all_where(tree, |_| true)
+    }
+
+    /// Shard-scoped verdict extraction: dirty constraints satisfying `keep`
+    /// are recomputed (and counted as rechecked); the rest are *dropped* —
+    /// their cached verdict is cleared, not refreshed — so out-of-scope
+    /// constraints never surface in the report.  Only meaningful when the
+    /// scope is fixed for the index's lifetime (a dropped verdict is not
+    /// recoverable without re-dirtying); [`IncrementalIndex::check_all`] is
+    /// the `keep = always` case.
+    pub fn check_all_where(
+        &mut self,
+        tree: &XmlTree,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> Vec<Violation> {
         let dirty = std::mem::take(&mut self.dirty);
-        self.rechecked = dirty.len();
-        instruments().2.add(self.rechecked as u64);
+        self.rechecked = 0;
         for i in dirty {
             self.dirty_flags[i] = false;
-            self.cache[i] = self.violation_of(i, tree);
+            if keep(i) {
+                self.rechecked += 1;
+                self.cache[i] = self.violation_of(i, tree);
+            } else {
+                self.cache[i] = None;
+            }
         }
+        instruments().2.add(self.rechecked as u64);
         self.cache.iter().flatten().cloned().collect()
     }
 
@@ -863,6 +1000,106 @@ mod tests {
         index.apply(tree, &effect);
         assert_eq!(index.check_all(tree), rebuild(dtd, sigma, tree));
         element
+    }
+
+    #[test]
+    fn shard_plan_splits_touch_graph_components() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        use crate::constraint::Constraint;
+
+        // The foreign key bridges both key slots: one component.
+        let sigma1 = example_sigma1(&d1);
+        let layout = IncrementalLayout::new(&d1, &sigma1);
+        let plan = ShardPlan::of_layout(&layout);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.num_checks(), 3);
+        assert_eq!(plan.checks_of_shard(0), &[0, 1, 2]);
+
+        // Without the bridge the two keys touch disjoint slots: two
+        // components, numbered in Σ order.
+        let split = ConstraintSet::from_vec(vec![
+            Constraint::unary_key(teacher, name),
+            Constraint::unary_key(subject, taught_by),
+        ]);
+        let layout = IncrementalLayout::new(&d1, &split);
+        let plan = ShardPlan::of_layout(&layout);
+        assert_eq!(plan.num_shards(), 2);
+        assert_eq!(plan.shard_of_check(0), 0);
+        assert_eq!(plan.shard_of_check(1), 1);
+        let rendered = split.as_slice()[1].render(&d1);
+        assert_eq!(plan.shard_of_rendered(&rendered), Some(1));
+        assert_eq!(plan.shard_of_rendered("no such constraint"), None);
+        assert_eq!(plan.all_shards().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn scoped_check_drops_out_of_scope_verdicts_and_counts_kept_only() {
+        let d1 = example_d1();
+        let teacher = d1.type_by_name("teacher").unwrap();
+        let subject = d1.type_by_name("subject").unwrap();
+        let name = d1.attr_by_name("name").unwrap();
+        let taught_by = d1.attr_by_name("taught_by").unwrap();
+        use crate::constraint::Constraint;
+        let sigma = ConstraintSet::from_vec(vec![
+            Constraint::unary_key(teacher, name),
+            Constraint::unary_key(subject, taught_by),
+        ]);
+
+        // Two teachers with the same name and two subjects taught by the
+        // same teacher: both keys are violated.
+        let teachers = d1.type_by_name("teachers").unwrap();
+        let mut tree = XmlTree::new(teachers);
+        let root = tree.root();
+        for _ in 0..2 {
+            let t = tree
+                .apply_edit(&EditOp::AddElement {
+                    parent: root,
+                    ty: teacher,
+                })
+                .map(|e| match e {
+                    EditEffect::ElementAdded { element, .. } => element,
+                    _ => unreachable!(),
+                })
+                .unwrap();
+            tree.apply_edit(&EditOp::SetAttr {
+                element: t,
+                attr: name,
+                value: "dupe".into(),
+            })
+            .unwrap();
+            let s = tree
+                .apply_edit(&EditOp::AddElement {
+                    parent: t,
+                    ty: subject,
+                })
+                .map(|e| match e {
+                    EditEffect::ElementAdded { element, .. } => element,
+                    _ => unreachable!(),
+                })
+                .unwrap();
+            tree.apply_edit(&EditOp::SetAttr {
+                element: s,
+                attr: taught_by,
+                value: "dupe".into(),
+            })
+            .unwrap();
+        }
+
+        let mut full = IncrementalIndex::build(&d1, &sigma, &tree);
+        let all = full.check_all(&tree);
+        assert_eq!(all.len(), 2);
+        assert_eq!(full.rechecked(), 2);
+
+        // Scoped to constraint 0 only: one recheck, and the out-of-scope
+        // subject-key violation never surfaces.
+        let mut scoped = IncrementalIndex::build(&d1, &sigma, &tree);
+        let kept = scoped.check_all_where(&tree, |i| i == 0);
+        assert_eq!(scoped.rechecked(), 1);
+        assert_eq!(kept, vec![all[0].clone()]);
     }
 
     #[test]

@@ -264,6 +264,11 @@ impl BatchReport {
 #[derive(Debug, Clone)]
 pub struct BatchEngine {
     threads: usize,
+    /// Whether `threads` was an explicit caller request (as opposed to the
+    /// default width derived from the hardware).  Only derived widths are
+    /// allowed to degrade on single-threaded hosts — an explicit
+    /// `--threads N` is honored as configured.
+    explicit: bool,
     limits: Limits,
 }
 
@@ -272,7 +277,11 @@ impl Default for BatchEngine {
         let threads = thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        BatchEngine::new(threads)
+        BatchEngine {
+            threads: threads.max(1),
+            explicit: false,
+            limits: Limits::UNLIMITED,
+        }
     }
 }
 
@@ -290,6 +299,7 @@ impl BatchEngine {
     pub fn with_limits(threads: usize, limits: Limits) -> BatchEngine {
         BatchEngine {
             threads: threads.max(1),
+            explicit: true,
             limits,
         }
     }
@@ -304,14 +314,16 @@ impl BatchEngine {
         &self.limits
     }
 
-    /// The worker count actually used: on a single hardware thread the pool
-    /// is pure overhead (timeslicing costs ~30% with no parallelism to win),
-    /// so `--threads N` degrades to the sequential path and is never a
-    /// pessimization.
+    /// The worker count actually used.  A *default* width on a single
+    /// hardware thread degrades to the sequential path (the pool is pure
+    /// overhead there — timeslicing costs ~30% with no parallelism to win),
+    /// but an explicit [`BatchEngine::new`] / `--threads N` request is
+    /// honored exactly as configured: the caller who asked for a width gets
+    /// that width, single-core host or not.
     pub fn effective_threads(&self) -> usize {
-        // Degrade only when the hardware is *known* to be single-threaded;
-        // if parallelism cannot be queried, honor the configured width
-        // rather than silently discarding an explicit `--threads N`.
+        if self.explicit {
+            return self.threads;
+        }
         match thread::available_parallelism() {
             Ok(n) if n.get() == 1 => 1,
             _ => self.threads,
@@ -654,21 +666,24 @@ mod tests {
     }
 
     #[test]
-    fn single_core_degrades_to_sequential_and_verdicts_match() {
+    fn single_core_degrades_only_the_default_width() {
         let spec = school_spec();
         let docs = docs();
+        // An explicit width is honored verbatim — a 1-core host must not
+        // silently discard `BatchEngine::new(8)`.
         let engine = BatchEngine::new(8);
+        assert_eq!(engine.threads(), 8);
+        assert_eq!(engine.effective_threads(), 8);
+        // Only the hardware-derived default degrades to sequential when the
+        // host is known to be single-threaded.
+        let derived = BatchEngine::default();
         let hardware = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        // On one hardware thread the pool is skipped entirely; otherwise the
-        // requested width is honored.  Either way `threads()` reports the
-        // configured value.
-        assert_eq!(engine.threads(), 8);
         if hardware == 1 {
-            assert_eq!(engine.effective_threads(), 1);
+            assert_eq!(derived.effective_threads(), 1);
         } else {
-            assert_eq!(engine.effective_threads(), 8);
+            assert_eq!(derived.effective_threads(), derived.threads());
         }
         // The verdict reports are identical whichever path runs.
         let sequential = BatchEngine::new(1).validate_batch(&spec, &docs);

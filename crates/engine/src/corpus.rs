@@ -38,12 +38,12 @@
 //! number: a single-document edit re-verdict is ≥ 20× faster than a full
 //! `BatchEngine` revalidation of the corpus.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use xic_constraints::{IncrementalIndex, Violation};
+use xic_constraints::{IncrementalIndex, ShardPlan, Violation};
 use xic_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use xic_xml::budget::ParseError;
 use xic_xml::{EditJournal, EditOp, ValuePool, XmlTree};
@@ -66,6 +66,13 @@ pub struct DocChange {
     pub was_clean: Option<bool>,
     /// The fresh report (label, structural errors, Σ violations).
     pub report: DocReport,
+    /// The shards (per the spec's [`ShardPlan`]) whose projected view of
+    /// this document can differ from the previous commit: the shards of the
+    /// constraints the triggering edits dirtied.  Opens, structural-error
+    /// or fault churn, and panic-rebuilt rechecks are *broadcast* — tagged
+    /// with every shard — because their effect is shard-independent.
+    /// Sorted ascending.
+    pub shards: Vec<u32>,
 }
 
 impl DocChange {
@@ -156,6 +163,11 @@ pub struct BatchDelta {
     pub total: usize,
     /// Clean documents after the commit.
     pub clean: usize,
+    /// The union of the changes' shard tags, plus every shard when any
+    /// document closed (a close is shard-independent).  A subscriber
+    /// filtered to shard `k` needs this delta exactly when `k` appears
+    /// here.  Sorted ascending; empty for an empty delta.
+    pub shards: Vec<u32>,
 }
 
 impl BatchDelta {
@@ -163,6 +175,45 @@ impl BatchDelta {
     /// closes).
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty() && self.closed.is_empty()
+    }
+
+    /// Whether a subscriber filtered to `shard` needs this delta.
+    pub fn touches_shard(&self, shard: u32) -> bool {
+        self.shards.contains(&shard)
+    }
+
+    /// The shard-`k` projection of this delta: changes tagged with `shard`,
+    /// each report's Σ violations restricted to `shard`'s constraints
+    /// (structural errors and faults are shard-independent and kept whole),
+    /// closes kept whole.  `None` when the delta does not touch `shard` —
+    /// a filtered subscriber simply never receives it.  Applying every
+    /// projected delta of a stream to a shard-filtered
+    /// [`crate::CorpusReplica`] reconstructs the shard projection of the
+    /// session's report exactly.
+    pub fn project(&self, plan: &ShardPlan, shard: u32) -> Option<BatchDelta> {
+        if !self.touches_shard(shard) {
+            return None;
+        }
+        let changes = self
+            .changes
+            .iter()
+            .filter(|c| c.shards.contains(&shard))
+            .map(|c| DocChange {
+                handle: c.handle,
+                was_clean: c.was_clean,
+                report: project_doc_report(&c.report, plan, shard),
+                shards: vec![shard],
+            })
+            .collect();
+        Some(BatchDelta {
+            seq: self.seq,
+            changes,
+            closed: self.closed.clone(),
+            rechecked_docs: self.rechecked_docs,
+            total: self.total,
+            clean: self.clean,
+            shards: vec![shard],
+        })
     }
 
     /// Tallies the delta's changes by [`Transition`] — the one aggregation
@@ -186,6 +237,40 @@ impl BatchDelta {
         }
         summary
     }
+}
+
+/// The shard-`k` projection of one document report: Σ violations restricted
+/// to `shard`'s constraints (looked up through the rendered constraint each
+/// [`Violation`] carries); everything shard-independent — label, position,
+/// structural errors, faults — kept whole.
+pub fn project_doc_report(report: &DocReport, plan: &ShardPlan, shard: u32) -> DocReport {
+    DocReport {
+        index: report.index,
+        label: report.label.clone(),
+        parse_error: report.parse_error.clone(),
+        validation_errors: report.validation_errors.clone(),
+        violations: report
+            .violations
+            .iter()
+            .filter(|v| plan.shard_of_rendered(v.constraint()) == Some(shard))
+            .cloned()
+            .collect(),
+        fault: report.fault.clone(),
+    }
+}
+
+/// The shard-`k` projection of a full corpus report: every document kept
+/// (document membership is shard-independent), each report projected by
+/// [`project_doc_report`].  The oracle side of the shard-filtered-replica
+/// agreement tests.
+pub fn project_report(report: &BatchReport, plan: &ShardPlan, shard: u32) -> BatchReport {
+    BatchReport::from_reports(
+        report
+            .reports()
+            .iter()
+            .map(|r| project_doc_report(r, plan, shard))
+            .collect(),
+    )
 }
 
 /// Per-delta tallies from [`BatchDelta::summary`].
@@ -242,6 +327,14 @@ struct CorpusInstruments {
     dirty_docs: Arc<Gauge>,
     queued_ops: Arc<Gauge>,
     open_docs: Arc<Gauge>,
+    /// Dirty constraints actually recomputed by commits (in scope).
+    shard_rechecked: Arc<Counter>,
+    /// Dirty constraints dropped by a shard scope instead of recomputed.
+    shard_skipped: Arc<Counter>,
+    /// Shard tags emitted on committed deltas (fan-out width).
+    shard_deltas: Arc<Counter>,
+    /// Distinct shards touched per commit.
+    shard_touched: Arc<Histogram>,
 }
 
 impl CorpusInstruments {
@@ -258,6 +351,10 @@ impl CorpusInstruments {
             dirty_docs: registry.gauge("corpus.dirty_docs"),
             queued_ops: registry.gauge("corpus.queued_ops"),
             open_docs: registry.gauge("corpus.open_docs"),
+            shard_rechecked: registry.counter("shard.rechecked"),
+            shard_skipped: registry.counter("shard.skipped"),
+            shard_deltas: registry.counter("shard.deltas"),
+            shard_touched: registry.histogram("shard.touched"),
             registry,
         }
     }
@@ -352,6 +449,17 @@ pub struct CorpusSession<'s> {
     /// Documents re-checked by aborted commit attempts since the last
     /// announced delta.
     staged_rechecked: usize,
+    /// When set, commits recompute only the constraints of the scoped
+    /// shards and reports carry the shard projection (see
+    /// [`CorpusSession::scope_to_shards`]).
+    shard_scope: Option<ShardScope>,
+}
+
+/// A fixed shard scope: per-constraint keep mask derived from the spec's
+/// [`ShardPlan`] once at [`CorpusSession::scope_to_shards`] time.
+#[derive(Debug)]
+struct ShardScope {
+    keep: Vec<bool>,
 }
 
 impl<'s> CorpusSession<'s> {
@@ -386,6 +494,7 @@ impl<'s> CorpusSession<'s> {
             queued_ops: 0,
             staged_changes: Vec::new(),
             staged_rechecked: 0,
+            shard_scope: None,
         }
     }
 
@@ -410,6 +519,41 @@ impl<'s> CorpusSession<'s> {
         let mut corpus = CorpusSession::with_registry(spec, registry);
         corpus.limits = limits;
         corpus
+    }
+
+    /// Restricts this session to a subset of the spec's shards: commits
+    /// recompute only the dirty constraints of the scoped shards (the
+    /// observable saving in `incremental.constraints_rechecked` and
+    /// `shard.rechecked`) and out-of-scope constraints never surface in
+    /// reports or deltas — the session's [`CorpusSession::report`] is the
+    /// shard projection of an unscoped session's, exactly.  This is the
+    /// per-shard worker of a fanned-out commit: run one scoped session per
+    /// shard group and each re-evaluates only the shards its touch-set
+    /// intersects.
+    ///
+    /// # Panics
+    /// Panics if any document was already opened (out-of-scope verdicts
+    /// cached before the scope was set would go stale silently) or a shard
+    /// id is out of range for the spec's [`ShardPlan`].
+    pub fn scope_to_shards(&mut self, shards: &[u32]) {
+        assert!(
+            self.docs.is_empty() && self.commits == 0 && self.closed.is_empty(),
+            "scope_to_shards must run before any document opens"
+        );
+        let plan = self.spec.shard_plan();
+        let mut in_scope = vec![false; plan.num_shards()];
+        for &s in shards {
+            assert!(
+                (s as usize) < plan.num_shards(),
+                "shard {s} out of range: the plan has {} shards",
+                plan.num_shards()
+            );
+            in_scope[s as usize] = true;
+        }
+        let keep = (0..plan.num_checks())
+            .map(|i| in_scope[plan.shard_of_check(i) as usize])
+            .collect();
+        self.shard_scope = Some(ShardScope { keep });
     }
 
     /// The resource bounds this corpus enforces.
@@ -749,12 +893,31 @@ impl<'s> CorpusSession<'s> {
                 // the dirty list, but guard against future reorderings).
                 continue;
             };
+            // Which shards the pending edits can affect — snapshotted
+            // *before* the recheck drains the constraint dirty set.
+            let plan = self.spec.shard_plan();
+            let dirty_checks = doc.index.pending();
+            let mut dirty_shards: Vec<u32> = doc
+                .index
+                .dirty_checks()
+                .iter()
+                .map(|&i| plan.shard_of_check(i))
+                .collect();
+            dirty_shards.sort_unstable();
+            dirty_shards.dedup();
             let recheck_timer = self.instr.registry.start_timer();
-            let (validation_errors, violations, fault) =
-                Self::recheck_contained(self.spec, &validator, doc);
+            let (validation_errors, violations, fault, rebuilt) =
+                Self::recheck_contained(self.spec, &validator, doc, self.shard_scope.as_ref());
             if let Some(t) = recheck_timer {
                 self.instr.recheck_ns.record_elapsed(t);
             }
+            // Scoped commits recompute only in-scope dirty constraints; the
+            // rest were dropped, not rechecked.
+            let kept = doc.index.rechecked();
+            self.instr.shard_rechecked.add(kept as u64);
+            self.instr
+                .shard_skipped
+                .add(dirty_checks.saturating_sub(kept) as u64);
             // Exact per-commit violation churn: the previous report is
             // still at hand here, which a bare BatchDelta never has.
             let previous_violations = doc.report.as_ref().map_or(0, |r| r.violations.len());
@@ -787,6 +950,19 @@ impl<'s> CorpusSession<'s> {
                         || previous.fault != fresh.fault
                 }
             };
+            // Shard tag: opens, structural/fault churn and panic-rebuilt
+            // rechecks are shard-independent, so they broadcast; a pure
+            // Σ-violation change can only have happened in a dirty shard
+            // (clean shards served their cached verdicts).
+            let broadcast = was_clean.is_none()
+                || rebuilt
+                || match &doc.report {
+                    None => true,
+                    Some(previous) => {
+                        previous.validation_errors != fresh.validation_errors
+                            || previous.fault != fresh.fault
+                    }
+                };
             doc.committed_clean = Some(now_clean);
             doc.report = Some(fresh.clone());
             if changed {
@@ -794,6 +970,11 @@ impl<'s> CorpusSession<'s> {
                     handle: DocHandle::new(raw),
                     was_clean,
                     report: fresh,
+                    shards: if broadcast {
+                        plan.all_shards().collect()
+                    } else {
+                        dirty_shards
+                    },
                 });
             }
         }
@@ -803,6 +984,16 @@ impl<'s> CorpusSession<'s> {
         changes.sort_by_key(|c| c.handle);
 
         self.commits += 1;
+        // Delta tag: the union of the change tags, widened to every shard
+        // when a close rides along (closes are shard-independent and every
+        // filtered subscriber must drop the document).
+        let mut delta_shards: BTreeSet<u32> = changes
+            .iter()
+            .flat_map(|c| c.shards.iter().copied())
+            .collect();
+        if !closed.is_empty() {
+            delta_shards.extend(self.spec.shard_plan().all_shards());
+        }
         let delta = BatchDelta {
             seq: self.commits,
             changes,
@@ -810,7 +1001,10 @@ impl<'s> CorpusSession<'s> {
             rechecked_docs,
             total: self.docs.len(),
             clean: self.clean_docs,
+            shards: delta_shards.into_iter().collect(),
         };
+        self.instr.shard_deltas.add(delta.shards.len() as u64);
+        self.instr.shard_touched.record(delta.shards.len() as u64);
         self.history.push(delta.clone());
         self.instr.commits.inc();
         self.instr.violations_added.add(violations_added);
@@ -834,14 +1028,19 @@ impl<'s> CorpusSession<'s> {
     /// tree and the check retried once; if even the rebuilt index panics,
     /// the document's report carries a [`DocFault::Panic`] instead of a
     /// verdict (never a wrong one) and every other document proceeds.
+    /// The trailing `bool` reports whether the index-rebuild path ran: a
+    /// rebuilt index recomputed *every* constraint, so the change must be
+    /// broadcast to all shards rather than tagged with the edit's dirty set.
     fn recheck_contained(
         spec: &CompiledSpec,
         validator: &xic_xml::Validator<'_>,
         doc: &mut CorpusDoc,
-    ) -> (Vec<String>, Vec<Violation>, Option<DocFault>) {
+        scope: Option<&ShardScope>,
+    ) -> (Vec<String>, Vec<Violation>, Option<DocFault>, bool) {
         fn run(
             validator: &xic_xml::Validator<'_>,
             doc: &mut CorpusDoc,
+            scope: Option<&ShardScope>,
         ) -> (Vec<String>, Vec<Violation>) {
             // Inside `run` so the injected fault exercises both attempts:
             // Nth(1) tests the transparent retry, an always-firing
@@ -854,19 +1053,22 @@ impl<'s> CorpusSession<'s> {
                 .iter()
                 .map(|e| e.to_string())
                 .collect();
-            let violations = doc.index.check_all(&doc.tree);
+            let violations = match scope {
+                Some(s) => doc.index.check_all_where(&doc.tree, |i| s.keep[i]),
+                None => doc.index.check_all(&doc.tree),
+            };
             (validation_errors, violations)
         }
-        let first = catch_unwind(AssertUnwindSafe(|| run(validator, doc)));
+        let first = catch_unwind(AssertUnwindSafe(|| run(validator, doc, scope)));
         match first {
-            Ok((errors, violations)) => (errors, violations, None),
+            Ok((errors, violations)) => (errors, violations, None, false),
             Err(payload) => {
                 crate::batch::resilience_instruments().0.inc();
                 let cause = crate::batch::panic_cause(payload);
                 doc.index =
                     IncrementalIndex::with_layout(Arc::clone(spec.incremental_layout()), &doc.tree);
-                match catch_unwind(AssertUnwindSafe(|| run(validator, doc))) {
-                    Ok((errors, violations)) => (errors, violations, None),
+                match catch_unwind(AssertUnwindSafe(|| run(validator, doc, scope))) {
+                    Ok((errors, violations)) => (errors, violations, None, true),
                     Err(payload) => {
                         crate::batch::resilience_instruments().0.inc();
                         let retry_cause = crate::batch::panic_cause(payload);
@@ -878,6 +1080,7 @@ impl<'s> CorpusSession<'s> {
                                     "{cause}; retry after index rebuild also panicked: {retry_cause}"
                                 ),
                             }),
+                            true,
                         )
                     }
                 }

@@ -105,8 +105,11 @@ fn note_write(records: usize, bytes: usize, repaired_torn_tail: bool) {
 /// The four magic bytes every journal file starts with.
 pub const MAGIC: [u8; 4] = *b"XICJ";
 
-/// The format version this build reads and writes.
-pub const FORMAT_VERSION: u16 = 1;
+/// The format version this build reads and writes.  Version 2 added shard
+/// tags to delta records (`BatchDelta::shards` and per-change
+/// `DocChange::shards`); readers strictly reject other versions, so v1 logs
+/// must be re-recorded.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Header length in bytes: magic, version, kind, reserved, spec id.
 pub const HEADER_LEN: usize = 4 + 2 + 1 + 1 + 16;
@@ -830,11 +833,28 @@ fn dec_doc_report(dec: &mut Dec<'_>) -> Result<DocReport, String> {
     })
 }
 
+fn enc_shards(enc: &mut Enc, shards: &[u32]) {
+    enc.u32(shards.len() as u32);
+    for &s in shards {
+        enc.u32(s);
+    }
+}
+
+fn dec_shards(dec: &mut Dec<'_>) -> Result<Vec<u32>, String> {
+    let n = dec.u32()?;
+    let mut shards = Vec::new();
+    for _ in 0..n {
+        shards.push(dec.u32()?);
+    }
+    Ok(shards)
+}
+
 pub(crate) fn enc_delta(enc: &mut Enc, delta: &BatchDelta) {
     enc.u64(delta.seq);
     enc.u64(delta.rechecked_docs as u64);
     enc.u64(delta.total as u64);
     enc.u64(delta.clean as u64);
+    enc_shards(enc, &delta.shards);
     enc.u32(delta.closed.len() as u32);
     for closed in &delta.closed {
         enc.u64(closed.handle.raw());
@@ -848,6 +868,7 @@ pub(crate) fn enc_delta(enc: &mut Enc, delta: &BatchDelta) {
             Some(false) => 1,
             Some(true) => 2,
         });
+        enc_shards(enc, &change.shards);
         enc_doc_report(enc, &change.report);
     }
 }
@@ -857,6 +878,7 @@ pub(crate) fn dec_delta(dec: &mut Dec<'_>) -> Result<BatchDelta, String> {
     let rechecked_docs = dec.u64()? as usize;
     let total = dec.u64()? as usize;
     let clean = dec.u64()? as usize;
+    let shards = dec_shards(dec)?;
     let num_closed = dec.u32()?;
     let mut closed = Vec::new();
     for _ in 0..num_closed {
@@ -875,10 +897,12 @@ pub(crate) fn dec_delta(dec: &mut Dec<'_>) -> Result<BatchDelta, String> {
             2 => Some(true),
             other => return Err(format!("unknown was-clean flag {other}")),
         };
+        let change_shards = dec_shards(dec)?;
         changes.push(DocChange {
             handle,
             was_clean,
             report: dec_doc_report(dec)?,
+            shards: change_shards,
         });
     }
     Ok(BatchDelta {
@@ -888,6 +912,7 @@ pub(crate) fn dec_delta(dec: &mut Dec<'_>) -> Result<BatchDelta, String> {
         rechecked_docs,
         total,
         clean,
+        shards,
     })
 }
 
@@ -1547,7 +1572,16 @@ pub struct CorpusReplica {
     docs: BTreeMap<u64, DocReport>,
     /// Clean documents, maintained incrementally (validation compares it
     /// to every delta's `clean` counter without a corpus-wide recount).
+    /// For a shard-filtered replica this counts documents clean *in the
+    /// shard projection* (the delta's global counter is not comparable).
     clean_docs: usize,
+    /// `Some(k)`: a shard-filtered replica fed only shard-`k` projected
+    /// deltas.  Sequence numbers are then checked monotone instead of
+    /// contiguous (untagged commits are legitimately never delivered), and
+    /// the global `was_clean` / `total` / `clean` probes — unknowable from
+    /// a projected stream — are skipped; per-delta structural probes
+    /// (duplicate changes, unknown closes) still hold.
+    shard: Option<u32>,
 }
 
 impl CorpusReplica {
@@ -1559,7 +1593,27 @@ impl CorpusReplica {
             last_seq: 0,
             docs: BTreeMap::new(),
             clean_docs: 0,
+            shard: None,
         }
+    }
+
+    /// An empty shard-filtered replica: feed it the shard-`k` projections
+    /// ([`BatchDelta::project`], or a server sync with a shard filter) of
+    /// the deltas that touch shard `k`, in order, and its
+    /// [`CorpusReplica::report`] reconstructs the shard-`k` projection of
+    /// the session's report exactly — same documents (opens and closes are
+    /// broadcast to every shard), each report restricted to the shard's
+    /// constraints.
+    pub fn new_sharded(spec: SpecId, shard: u32) -> CorpusReplica {
+        CorpusReplica {
+            shard: Some(shard),
+            ..CorpusReplica::new(spec)
+        }
+    }
+
+    /// The shard this replica is filtered to, if any.
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
     }
 
     /// The specification the replica mirrors.
@@ -1589,7 +1643,17 @@ impl CorpusReplica {
     /// [`JournalError::DeltaMismatch`]) before anything is mutated, so a
     /// failed apply leaves the replica unchanged.
     pub fn apply_delta(&mut self, delta: &BatchDelta) -> Result<(), JournalError> {
-        if delta.seq != self.last_seq + 1 {
+        let filtered = self.shard.is_some();
+        if filtered {
+            // A filtered stream skips untagged commits: monotone, not
+            // contiguous.
+            if delta.seq <= self.last_seq {
+                return Err(JournalError::DeltaGap {
+                    expected: self.last_seq + 1,
+                    found: delta.seq,
+                });
+            }
+        } else if delta.seq != self.last_seq + 1 {
             return Err(JournalError::DeltaGap {
                 expected: self.last_seq + 1,
                 found: delta.seq,
@@ -1599,6 +1663,13 @@ impl CorpusReplica {
             seq: delta.seq,
             detail,
         };
+        if let Some(shard) = self.shard {
+            if !delta.touches_shard(shard) {
+                return Err(mismatch(format!(
+                    "delta is not tagged with subscribed shard {shard}"
+                )));
+            }
+        }
         // Validate everything against the current state — and compute the
         // post-delta counters arithmetically from read-only probes — before
         // mutating anything, so a rejection leaves the replica untouched
@@ -1610,7 +1681,9 @@ impl CorpusReplica {
                 return Err(mismatch(format!("{} changed twice", change.handle)));
             }
             let previous = self.docs.get(&change.handle.raw()).map(DocReport::is_clean);
-            if change.was_clean != previous {
+            // `was_clean` reports *global* cleanliness; a shard projection
+            // holds only the shard's view, so the probe is unscoped-only.
+            if !filtered && change.was_clean != previous {
                 return Err(mismatch(format!(
                     "{} arrived with was_clean {:?} but the replica holds {:?}",
                     change.handle, change.was_clean, previous
@@ -1637,13 +1710,15 @@ impl CorpusReplica {
             total -= 1;
             clean -= usize::from(report.is_clean());
         }
-        if total != delta.total {
+        // The projected stream's counters are the session's global ones;
+        // only an unfiltered replica can hold the delta to them.
+        if !filtered && total != delta.total {
             return Err(mismatch(format!(
                 "delta says {} open documents, the replica derives {total}",
                 delta.total
             )));
         }
-        if clean != delta.clean {
+        if !filtered && clean != delta.clean {
             return Err(mismatch(format!(
                 "delta says {} clean documents, the replica derives {clean}",
                 delta.clean
@@ -1941,6 +2016,7 @@ mod tests {
                         },
                     ],
                 },
+                shards: vec![0, 3],
             }],
             closed: vec![ClosedDoc {
                 handle: DocHandle::from_raw(2),
@@ -1949,6 +2025,7 @@ mod tests {
             rechecked_docs: 1,
             total: 4,
             clean: 2,
+            shards: vec![0, 1, 2, 3],
         };
         let mut enc = Enc::default();
         enc_delta(&mut enc, &delta);
@@ -1969,6 +2046,7 @@ mod tests {
                 rechecked_docs: 0,
                 total: 0,
                 clean: 0,
+                shards: vec![],
             })
             .collect();
         write_delta_log(&path, spec.id(), &deltas).unwrap();
@@ -2076,6 +2154,7 @@ mod tests {
             rechecked_docs: 0,
             total: 0,
             clean,
+            shards: vec![],
         };
         append_delta_log(&path, spec.id(), &[delta(1, 0), delta(2, 0)]).unwrap();
         // Re-exporting a window whose overlap differs from the recorded
@@ -2101,6 +2180,7 @@ mod tests {
             rechecked_docs: 0,
             total: 0,
             clean: 0,
+            shards: vec![],
         };
         append_delta_log(&path, spec.id(), &[delta(1), delta(2)]).unwrap();
         // Re-sending an overlapping window appends only the new suffix.
@@ -2141,11 +2221,13 @@ mod tests {
                 handle: DocHandle::from_raw(0),
                 was_clean: None,
                 report: report.clone(),
+                shards: vec![0],
             }],
             closed: vec![],
             rechecked_docs: 1,
             total: 1,
             clean: 1,
+            shards: vec![0],
         };
         // Out-of-order delivery is a gap.
         let skipped = BatchDelta {
@@ -2170,11 +2252,13 @@ mod tests {
                 handle: DocHandle::from_raw(0),
                 was_clean: None,
                 report,
+                shards: vec![0],
             }],
             closed: vec![],
             rechecked_docs: 1,
             total: 1,
             clean: 1,
+            shards: vec![0],
         };
         assert!(matches!(
             replica.apply_delta(&stale).unwrap_err(),
@@ -2193,6 +2277,7 @@ mod tests {
             rechecked_docs: 0,
             total: 0,
             clean: 0,
+            shards: vec![0],
         };
         replica.apply_delta(&close).unwrap();
         assert_eq!(replica.num_docs(), 0);
@@ -2209,6 +2294,7 @@ mod tests {
             rechecked_docs: 0,
             total: 0,
             clean: 0,
+            shards: vec![],
         }];
         write_delta_log(&path, spec.id(), &deltas).unwrap();
         let summary = inspect_log(&path, None).unwrap();

@@ -89,7 +89,10 @@ pub mod wire;
 
 pub use batch::{BatchDoc, BatchEngine, BatchReport, DocFault, DocReport};
 pub use cache::{CacheKey, CacheStats, QueryHash, Verdict, VerdictCache};
-pub use corpus::{BatchDelta, ClosedDoc, CorpusSession, DeltaSummary, DocChange, Transition};
+pub use corpus::{
+    project_doc_report, project_report, BatchDelta, ClosedDoc, CorpusSession, DeltaSummary,
+    DocChange, Transition,
+};
 pub use hash::{fnv1a, fnv1a_parts, fnv1a_parts_wide};
 pub use journal::{
     append_delta_log, inspect_log, read_delta_log, read_session_log, write_delta_log,
@@ -101,6 +104,7 @@ pub use metrics::{register_baseline, EngineMetrics};
 pub use session::{DocHandle, Recovery, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, ParseSpecIdError, SpecId};
 pub use wire::{Request, Response, WireError, WireFault};
+pub use xic_constraints::ShardPlan;
 
 use std::sync::Arc;
 

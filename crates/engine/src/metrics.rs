@@ -46,6 +46,9 @@ pub fn register_baseline(registry: &MetricsRegistry) {
         "resilience.panics_contained",
         "resilience.rejections",
         "session.edits",
+        "shard.deltas",
+        "shard.rechecked",
+        "shard.skipped",
     ] {
         registry.counter(counter);
     }
@@ -54,6 +57,7 @@ pub fn register_baseline(registry: &MetricsRegistry) {
         "corpus.dirty_docs",
         "corpus.open_docs",
         "corpus.queued_ops",
+        "shard.plan_shards",
     ] {
         registry.gauge(gauge);
     }
@@ -71,6 +75,7 @@ pub fn register_baseline(registry: &MetricsRegistry) {
         "parse.doc_ns",
         "session.apply_ns",
         "session.check_ns",
+        "shard.touched",
     ] {
         registry.histogram(histogram);
     }
@@ -128,10 +133,16 @@ mod tests {
             "corpus.commits",
             "resilience.rejections",
             "resilience.panics_contained",
+            "shard.rechecked",
+            "shard.skipped",
         ] {
             assert_eq!(metrics.snapshot.counter(name), Some(0), "{name}");
         }
-        for name in ["corpus.dirty_docs", "corpus.queued_ops"] {
+        for name in [
+            "corpus.dirty_docs",
+            "corpus.queued_ops",
+            "shard.plan_shards",
+        ] {
             assert_eq!(metrics.snapshot.gauge(name), Some(0), "{name}");
         }
         let commit = metrics.snapshot.histogram("corpus.commit_ns").unwrap();

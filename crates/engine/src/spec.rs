@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use xic_constraints::{
     parse_constraint_set, ConstraintClass, ConstraintSet, DocIndex, IncrementalLayout, IndexPlan,
-    Violation,
+    ShardPlan, Violation,
 };
 use xic_core::{
     CardinalitySystem, CheckerConfig, ConsistencyChecker, ConsistencyOutcome, ImplicationChecker,
@@ -122,6 +122,7 @@ pub struct CompiledSpec {
     class: Option<ConstraintClass>,
     plan: IndexPlan,
     incremental: Arc<IncrementalLayout>,
+    shards: Arc<ShardPlan>,
     system: Option<CardinalitySystem>,
     config: CheckerConfig,
 }
@@ -174,6 +175,14 @@ impl CompiledSpec {
             let _phase = telemetry.span("compile.incremental_layout");
             Arc::new(IncrementalLayout::new(&dtd, &sigma))
         };
+        let shards = {
+            let _phase = telemetry.span("compile.shard_plan");
+            let plan = Arc::new(ShardPlan::of_layout(&incremental));
+            telemetry
+                .gauge("shard.plan_shards")
+                .set(plan.num_shards() as i64);
+            plan
+        };
         // Ψ(D,Σ) exists exactly for the unary classes the ILP procedures
         // decide (the keys-only and general classes are dispatched
         // elsewhere), and for those classes a build failure is a spec error —
@@ -203,6 +212,7 @@ impl CompiledSpec {
             class,
             plan,
             incremental,
+            shards,
             system,
             config,
         })
@@ -267,6 +277,14 @@ impl CompiledSpec {
     /// [`crate::CorpusSession`] only clone the `Arc`.
     pub fn incremental_layout(&self) -> &Arc<IncrementalLayout> {
         &self.incremental
+    }
+
+    /// The touch-graph shard plan for Σ: connected components of the
+    /// layout's `(type, attribute)` touch maps, numbered canonically.
+    /// Derived once at compile time beside [`CompiledSpec::plan`]; commit
+    /// fan-out, delta tagging and shard-filtered replicas all read it.
+    pub fn shard_plan(&self) -> &Arc<ShardPlan> {
+        &self.shards
     }
 
     /// The precomputed cardinality system Ψ(D,Σ), when Σ is unary.

@@ -34,7 +34,8 @@ use crate::spec::SpecId;
 
 /// Version of the request/response vocabulary layered over the journal
 /// framing.  Negotiated (alongside [`FORMAT_VERSION`]) in the hello.
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 added the optional shard filter to [`Request::Sync`].
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on a single frame's payload, enforced before allocation on
 /// the read side (a hostile or corrupt length prefix must not OOM the
@@ -97,6 +98,17 @@ pub enum WireError {
         /// The unknown tag byte.
         tag: u8,
     },
+    /// A request frame's sequence number did not advance past the previous
+    /// one on the same connection.  Request streams are strictly
+    /// monotonic; a replayed or rewound `seq` is a protocol fault, never
+    /// silently accepted.  (Response streams are exempt: delta frames
+    /// carry their commit's own sequence number by design.)
+    NonMonotonicSeq {
+        /// The offending frame's sequence number.
+        seq: u64,
+        /// The highest sequence number seen before it.
+        last: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -114,6 +126,10 @@ impl fmt::Display for WireError {
                 write!(f, "malformed frame (tag {tag:#04x}): {detail}")
             }
             WireError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::NonMonotonicSeq { seq, last } => write!(
+                f,
+                "request sequence {seq} does not advance past {last} (request streams are strictly monotonic)"
+            ),
         }
     }
 }
@@ -228,6 +244,11 @@ pub enum Request {
     Sync {
         /// The last sequence number the client already holds.
         after_seq: u64,
+        /// When set, only deltas tagged with this shard are streamed, each
+        /// projected down to the shard's constraints — the subscription a
+        /// shard-filtered [`crate::CorpusReplica`] consumes.  Requires the
+        /// server to run with sharded sync enabled.
+        shard: Option<u32>,
     },
     /// Close one open document.
     CloseDoc {
@@ -433,8 +454,15 @@ fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             REQ_APPLY
         }
         Request::Commit => REQ_COMMIT,
-        Request::Sync { after_seq } => {
+        Request::Sync { after_seq, shard } => {
             enc.u64(*after_seq);
+            match shard {
+                None => enc.u8(0),
+                Some(s) => {
+                    enc.u8(1);
+                    enc.u32(*s);
+                }
+            }
             REQ_SYNC
         }
         Request::CloseDoc { handle } => {
@@ -489,9 +517,15 @@ fn decode_request(frame: &Frame) -> Result<Request, WireError> {
             Request::Apply { handle, ops }
         }
         REQ_COMMIT => Request::Commit,
-        REQ_SYNC => Request::Sync {
-            after_seq: dec.u64().map_err(wrap)?,
-        },
+        REQ_SYNC => {
+            let after_seq = dec.u64().map_err(wrap)?;
+            let shard = match dec.u8().map_err(wrap)? {
+                0 => None,
+                1 => Some(dec.u32().map_err(wrap)?),
+                other => return Err(malformed(tag, format!("bad shard-filter flag {other}"))),
+            };
+            Request::Sync { after_seq, shard }
+        }
         REQ_CLOSE => Request::CloseDoc {
             handle: dec.u64().map_err(wrap)?,
         },
@@ -681,6 +715,31 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<(u64, Request)>, WireErr
     }
 }
 
+/// Reads one request frame while enforcing a strictly monotonic request
+/// sequence.  `last` holds the highest sequence accepted so far on this
+/// connection (`0` for a fresh one) and is advanced on every accepted
+/// frame.  A frame whose sequence does not advance past `last` — a replay,
+/// a rewind, or a hostile zero — is rejected with
+/// [`WireError::NonMonotonicSeq`] *before* its payload is decoded.
+pub fn read_request_monotonic(
+    r: &mut impl Read,
+    last: &mut u64,
+) -> Result<Option<(u64, Request)>, WireError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(frame) => {
+            if frame.seq <= *last {
+                return Err(WireError::NonMonotonicSeq {
+                    seq: frame.seq,
+                    last: *last,
+                });
+            }
+            *last = frame.seq;
+            Ok(Some((frame.seq, decode_request(&frame)?)))
+        }
+    }
+}
+
 /// Writes one response frame.  Delta responses carry the commit's own
 /// sequence number; everything else echoes the request's.
 pub fn write_response(w: &mut impl Write, seq: u64, resp: &Response) -> io::Result<()> {
@@ -741,7 +800,14 @@ mod tests {
             ],
         });
         roundtrip_request(Request::Commit);
-        roundtrip_request(Request::Sync { after_seq: 12 });
+        roundtrip_request(Request::Sync {
+            after_seq: 12,
+            shard: None,
+        });
+        roundtrip_request(Request::Sync {
+            after_seq: 0,
+            shard: Some(3),
+        });
         roundtrip_request(Request::CloseDoc { handle: 1 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
@@ -766,6 +832,7 @@ mod tests {
             rechecked_docs: 0,
             total: 2,
             clean: 2,
+            shards: vec![0, 2],
         }));
         roundtrip_response(Response::DeltaEnd { count: 3 });
         roundtrip_response(Response::Closed {
@@ -833,5 +900,128 @@ mod tests {
             read_frame(&mut &buf[..]),
             Err(WireError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn monotonic_reader_rejects_replayed_and_zero_sequences() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, 1, &Request::Commit).unwrap();
+        write_request(&mut buf, 2, &Request::Commit).unwrap();
+        let mut cursor = &buf[..];
+        let mut last = 0;
+        assert!(read_request_monotonic(&mut cursor, &mut last)
+            .unwrap()
+            .is_some());
+        assert!(read_request_monotonic(&mut cursor, &mut last)
+            .unwrap()
+            .is_some());
+        assert_eq!(last, 2);
+
+        // A replay of an already-seen sequence is rejected.
+        let mut replay = Vec::new();
+        write_request(&mut replay, 2, &Request::Commit).unwrap();
+        assert!(matches!(
+            read_request_monotonic(&mut &replay[..], &mut last),
+            Err(WireError::NonMonotonicSeq { seq: 2, last: 2 })
+        ));
+        // And so is a hostile zero on a fresh connection.
+        let mut zero = Vec::new();
+        write_request(&mut zero, 0, &Request::Commit).unwrap();
+        let mut fresh = 0;
+        assert!(matches!(
+            read_request_monotonic(&mut &zero[..], &mut fresh),
+            Err(WireError::NonMonotonicSeq { seq: 0, last: 0 })
+        ));
+    }
+
+    mod hostile_prefixes {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Length prefixes around the interesting boundaries: small,
+        /// straddling [`MAX_FRAME_BYTES`], and absurd.
+        fn arb_len() -> BoxedStrategy<u32> {
+            let cap = MAX_FRAME_BYTES as u32;
+            prop_oneof![
+                (0u32..1024).boxed(),
+                (cap - 512..cap + 512).boxed(),
+                (cap..u32::MAX).boxed(),
+                Just(u32::MAX).boxed(),
+            ]
+            .boxed()
+        }
+
+        fn arb_seq() -> BoxedStrategy<u64> {
+            prop_oneof![
+                (0u64..8).boxed(),
+                (0u64..u64::MAX).boxed(),
+                Just(u64::MAX).boxed(),
+            ]
+            .boxed()
+        }
+
+        proptest! {
+            /// Any claimed payload length above the cap is refused before
+            /// a buffer of that size is ever allocated; anything at or
+            /// below it reaches the torn-tail stage instead (the body
+            /// never arrived), so a hostile prefix can neither OOM nor
+            /// smuggle a decode.
+            #[test]
+            fn length_prefix_never_allocates_past_the_cap(
+                len in arb_len(),
+                seq in arb_seq(),
+                tag in 0u8..255,
+            ) {
+                let mut buf = Vec::new();
+                buf.extend_from_slice(&len.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(tag);
+                let result = read_frame(&mut &buf[..]);
+                if len as usize > MAX_FRAME_BYTES {
+                    prop_assert!(
+                        matches!(result, Err(WireError::TooLarge { len: l }) if l == len as usize)
+                    );
+                } else {
+                    prop_assert!(matches!(result, Err(WireError::Torn)));
+                }
+            }
+
+            /// Whatever sequence numbers a hostile client stamps on its
+            /// frames, the monotonic reader accepts a frame only when its
+            /// seq strictly advances, `last` never moves backwards, and
+            /// the first violation kills the stream.
+            #[test]
+            fn monotonic_gate_holds_for_arbitrary_seq_streams(
+                seqs in proptest::collection::vec(arb_seq(), 1..8),
+            ) {
+                let mut buf = Vec::new();
+                for &seq in &seqs {
+                    write_request(&mut buf, seq, &Request::Commit).unwrap();
+                }
+                let mut cursor = &buf[..];
+                let mut last = 0u64;
+                let mut accepted = Vec::new();
+                loop {
+                    let before = last;
+                    match read_request_monotonic(&mut cursor, &mut last) {
+                        Ok(None) => break,
+                        Ok(Some((seq, _))) => {
+                            prop_assert!(seq > before);
+                            prop_assert_eq!(last, seq);
+                            accepted.push(seq);
+                        }
+                        Err(WireError::NonMonotonicSeq { seq, last: l }) => {
+                            prop_assert!(seq <= l);
+                            prop_assert_eq!(last, before);
+                            // The gate stops at the first violation: the
+                            // connection is dead from here.
+                            break;
+                        }
+                        Err(e) => panic!("unexpected wire error: {e}"),
+                    }
+                }
+                prop_assert!(accepted.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
     }
 }

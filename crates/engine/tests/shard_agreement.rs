@@ -1,0 +1,347 @@
+//! Differential shard-agreement suite: the shard machinery must be an
+//! *annotation* of the commit path, never a semantic fork.  Three oracles
+//! pin that down across the `xic-gen` workload families:
+//!
+//! 1. a shard-tagged [`CorpusSession`] commit stream reconstructs exactly
+//!    the report a cold single-threaded [`BatchEngine`] computes from the
+//!    serialized trees (tags change *metadata*, not verdicts);
+//! 2. a shard-`k` filtered [`CorpusReplica`] fed only the `k`-projections
+//!    of the stream reconstructs [`project_report`] of the full report;
+//! 3. a session scoped to shard `k` with [`CorpusSession::scope_to_shards`]
+//!    reports exactly the `k`-projection of the unscoped session's report.
+//!
+//! Every family of `xic_gen::workloads` that targets document validation is
+//! driven (the Lip family exercises the consistency solver only, so it has
+//! no differential role here).  `PROPTEST_CASES` pins the case count for
+//! the CI shard-smoke job.
+
+use proptest::prelude::*;
+use xic_constraints::Violation;
+use xic_dtd::Dtd;
+use xic_engine::{
+    project_report, BatchDelta, BatchDoc, BatchEngine, BatchReport, CompiledSpec, CorpusReplica,
+    CorpusSession, DocReport,
+};
+use xic_gen::{
+    fixed_dtd_growing_sigma, inconsistent_fanout_family, keys_only_family, negation_family,
+    primary_key_family, random_document, unary_consistency_family, DocGenConfig, SpecInstance,
+};
+use xic_xml::{write_document, EditOp, NodeId, XmlTree};
+
+/// One compiled member of each differential workload family (E3a, E3b, E4,
+/// E5, E6, E9).
+fn family_specs(seed: u64) -> Vec<(String, CompiledSpec)> {
+    let mut instances: Vec<SpecInstance> = Vec::new();
+    instances.extend(unary_consistency_family(&[4]));
+    instances.extend(inconsistent_fanout_family(&[2]));
+    instances.extend(primary_key_family(&[5], seed));
+    instances.extend(fixed_dtd_growing_sigma(4, &[4], seed));
+    instances.extend(keys_only_family(&[5], seed));
+    instances.extend(negation_family(&[3], seed));
+    instances
+        .into_iter()
+        .map(|s| {
+            (
+                s.label.clone(),
+                CompiledSpec::compile(s.dtd, s.sigma).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic splitmix-style generator so the same seed always builds
+/// the same edit script (the vendored proptest shim supplies seeds, not a
+/// reusable rng handle).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One scripted session step: the actions to apply, then a commit.
+enum Action {
+    Open(String, XmlTree),
+    Edit(String, Vec<EditOp>),
+    Close(String),
+}
+
+/// Builds a deterministic multi-commit script for `dtd` from `seed`: opens
+/// spread over several commits, attribute churn from a 3-value pool (small
+/// enough to create and then clear key collisions), and one close.  Every
+/// edit is a `SetAttr`, so node ids stay stable and the same script drives
+/// any number of sessions identically.  Returns `None` when the DTD admits
+/// no generated documents.
+fn build_script(dtd: &Dtd, seed: u64) -> Option<Vec<Vec<Action>>> {
+    let mut docs: Vec<(String, XmlTree)> = Vec::new();
+    for attempt in 0..24u64 {
+        if docs.len() == 4 {
+            break;
+        }
+        if let Some(tree) = random_document(
+            dtd,
+            &DocGenConfig {
+                seed: seed.wrapping_add(attempt),
+                value_pool: 3,
+                ..Default::default()
+            },
+        ) {
+            docs.push((format!("doc-{}", docs.len()), tree));
+        }
+    }
+    if docs.is_empty() {
+        return None;
+    }
+    let mut rng = Mix(seed ^ 0xd1f7);
+    let churn = |docs: &[(String, XmlTree)], rng: &mut Mix, count: usize| -> Vec<Action> {
+        let mut actions = Vec::new();
+        for _ in 0..count {
+            let (label, tree) = &docs[rng.below(docs.len())];
+            let elems: Vec<_> = tree.elements().collect();
+            let mut ops = Vec::new();
+            for _ in 0..8 {
+                let node = elems[rng.below(elems.len())];
+                let Some(ty) = tree.element_type(node) else {
+                    continue;
+                };
+                let attrs = dtd.attrs_of(ty);
+                if attrs.is_empty() {
+                    continue;
+                }
+                ops.push(EditOp::SetAttr {
+                    element: node,
+                    attr: attrs[rng.below(attrs.len())],
+                    value: format!("v{}", rng.below(3)),
+                });
+                if ops.len() == 2 {
+                    break;
+                }
+            }
+            if !ops.is_empty() {
+                actions.push(Action::Edit(label.clone(), ops));
+            }
+        }
+        actions
+    };
+
+    let mut steps = Vec::new();
+    // Commit 1: most documents open together.
+    let split = docs.len().div_ceil(2);
+    steps.push(
+        docs[..split]
+            .iter()
+            .map(|(l, t)| Action::Open(l.clone(), t.clone()))
+            .collect(),
+    );
+    // Commit 2: churn the open half, open the rest.
+    let mut step = churn(&docs[..split], &mut rng, 2);
+    step.extend(
+        docs[split..]
+            .iter()
+            .map(|(l, t)| Action::Open(l.clone(), t.clone())),
+    );
+    steps.push(step);
+    // Commit 3: close the first document (exercises the broadcast-on-close
+    // widening), churn the survivors.
+    let mut step = vec![Action::Close(docs[0].0.clone())];
+    step.extend(churn(&docs[1..], &mut rng, 2));
+    steps.push(step);
+    // Commit 4: more churn, including no-op rewrites that leave reports
+    // unchanged (deltas may come out empty).
+    steps.push(churn(&docs[1..], &mut rng, 3));
+    Some(steps)
+}
+
+/// Runs a script against a session, committing after each step, and
+/// returns the delta stream.
+fn run_script(session: &mut CorpusSession, steps: &[Vec<Action>]) -> Vec<BatchDelta> {
+    let mut deltas = Vec::new();
+    for step in steps {
+        for action in step {
+            match action {
+                Action::Open(label, tree) => {
+                    session.open(label.clone(), tree.clone()).unwrap();
+                }
+                Action::Edit(label, ops) => {
+                    let handle = session.handle_by_label(label).unwrap();
+                    session.apply(handle, ops).unwrap();
+                }
+                Action::Close(label) => {
+                    let handle = session.handle_by_label(label).unwrap();
+                    session.close(handle).unwrap();
+                }
+            }
+        }
+        deltas.push(session.commit());
+    }
+    deltas
+}
+
+/// Witness node ids are arena indices, so serializing a session's edited
+/// tree and re-parsing it for the cold oracle renumbers them (`set_attr`
+/// allocates fresh value nodes; a parse numbers in document order).  Every
+/// other field is oracle material, so session-vs-cold equality is checked
+/// with witnesses erased.
+fn erase_witnesses(report: &BatchReport) -> Vec<DocReport> {
+    report
+        .reports()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            for v in &mut r.violations {
+                match v {
+                    Violation::KeyViolation { witnesses, .. } => {
+                        *witnesses = (NodeId(0), NodeId(0))
+                    }
+                    Violation::InclusionViolation { witness, .. }
+                    | Violation::MissingAttributes { witness, .. } => *witness = NodeId(0),
+                    Violation::NegationUnsatisfied { .. } => {}
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+/// Serializes the session's surviving trees and validates them cold on one
+/// thread — the monolithic oracle every sharded path must match.
+fn cold_oracle(session: &CorpusSession) -> BatchReport {
+    let docs: Vec<BatchDoc> = session
+        .handles()
+        .map(|h| {
+            BatchDoc::new(
+                session.label(h).unwrap(),
+                write_document(session.tree(h).unwrap(), session.spec().dtd()),
+            )
+        })
+        .collect();
+    BatchEngine::new(1).validate_batch(session.spec(), &docs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Oracle 1: the shard-tagged commit stream is pure metadata — the
+    /// session report stays byte-identical to a cold monolithic run, and
+    /// every tag is a well-formed member of the spec's shard plan.
+    #[test]
+    fn sharded_commits_agree_with_the_cold_oracle(seed in 0u64..4096) {
+        for (label, spec) in family_specs(seed | 1) {
+            let Some(steps) = build_script(spec.dtd(), seed) else { continue };
+            let plan = spec.shard_plan();
+            let mut session = CorpusSession::new(&spec);
+            let deltas = run_script(&mut session, &steps);
+
+            let cold = cold_oracle(&session);
+            prop_assert_eq!(
+                erase_witnesses(&session.report()),
+                erase_witnesses(&cold),
+                "{}: sharded session diverged from the cold oracle", &label
+            );
+
+            for delta in &deltas {
+                prop_assert!(
+                    delta.shards.windows(2).all(|w| w[0] < w[1]),
+                    "{}: delta tags not sorted/deduped: {:?}", &label, &delta.shards
+                );
+                for &s in &delta.shards {
+                    prop_assert!((s as usize) < plan.num_shards(), "{}: tag out of range", &label);
+                }
+                for change in &delta.changes {
+                    prop_assert!(!change.shards.is_empty(), "{}: untagged change", &label);
+                    for &s in &change.shards {
+                        prop_assert!(
+                            delta.shards.contains(&s),
+                            "{}: change tag {} missing from delta tags", &label, s
+                        );
+                    }
+                }
+                if !delta.closed.is_empty() {
+                    // A close is shard-independent, so the delta must reach
+                    // every filtered subscriber.
+                    prop_assert_eq!(
+                        delta.shards.len(), plan.num_shards(),
+                        "{}: close not broadcast", &label
+                    );
+                }
+            }
+        }
+    }
+
+    /// Oracle 2: a shard-`k` replica fed only the `k`-projected deltas
+    /// reconstructs the shard projection of the session report; the
+    /// unfiltered replica reconstructs the full report from the same
+    /// stream.
+    #[test]
+    fn filtered_replicas_reconstruct_the_shard_projection(seed in 0u64..4096) {
+        for (label, spec) in family_specs(seed | 1) {
+            let Some(steps) = build_script(spec.dtd(), seed) else { continue };
+            let plan = spec.shard_plan();
+            let mut session = CorpusSession::new(&spec);
+            let mut full = CorpusReplica::new(spec.id());
+            let mut filtered: Vec<CorpusReplica> = (0..plan.num_shards())
+                .map(|k| CorpusReplica::new_sharded(spec.id(), k as u32))
+                .collect();
+
+            for delta in run_script(&mut session, &steps) {
+                full.apply_delta(&delta).unwrap();
+                for (k, replica) in filtered.iter_mut().enumerate() {
+                    match delta.project(plan, k as u32) {
+                        Some(projected) => replica.apply_delta(&projected).unwrap(),
+                        None => prop_assert!(
+                            !delta.touches_shard(k as u32),
+                            "{}: projection dropped a touching delta", &label
+                        ),
+                    }
+                }
+            }
+
+            let report = session.report();
+            prop_assert_eq!(&full.report(), &report, "{}: full replica diverged", &label);
+            for (k, replica) in filtered.iter().enumerate() {
+                let oracle = project_report(&report, plan, k as u32);
+                prop_assert_eq!(
+                    &replica.report(), &oracle,
+                    "{}: shard-{} replica diverged from the projected report", &label, k
+                );
+            }
+        }
+    }
+
+    /// Oracle 3: a session scoped to shard `k` re-evaluates only `k`'s
+    /// constraints yet reports exactly the `k`-projection of the unscoped
+    /// session's report — the contract that makes fanned-out per-shard
+    /// commits sound.
+    #[test]
+    fn scoped_sessions_agree_with_the_projected_report(seed in 0u64..4096) {
+        for (label, spec) in family_specs(seed | 1) {
+            let Some(steps) = build_script(spec.dtd(), seed) else { continue };
+            let plan = spec.shard_plan();
+            let mut session = CorpusSession::new(&spec);
+            run_script(&mut session, &steps);
+            let report = session.report();
+
+            // Every shard is covered; cap the per-case fan-out so wide
+            // random plans don't dominate the suite's runtime.
+            for k in 0..plan.num_shards().min(4) {
+                let mut scoped = CorpusSession::new(&spec);
+                scoped.scope_to_shards(&[k as u32]);
+                run_script(&mut scoped, &steps);
+                let oracle = project_report(&report, plan, k as u32);
+                prop_assert_eq!(
+                    &scoped.report(), &oracle,
+                    "{}: shard-{} scoped session diverged from the projection", &label, k
+                );
+            }
+        }
+    }
+}

@@ -10,10 +10,11 @@
 //! another session's channel.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use xic_engine::wire::WireFault;
 use xic_engine::{
@@ -66,7 +67,27 @@ pub(crate) enum Cmd {
 pub(crate) struct SessionHandle {
     tx: SyncSender<Cmd>,
     last_used: Mutex<Instant>,
+    /// Worker requests currently between offer and reply.  The janitor
+    /// must never drain a session a worker is mid-conversation with: at
+    /// exactly `idle_timeout` of wall-clock idleness a request can already
+    /// be in the channel, and eviction then would answer it with a dead
+    /// reply channel.  Guarded by [`SessionHandle::begin_request`].
+    in_flight: AtomicUsize,
     join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// RAII marker for one worker request against a session: holds the
+/// in-flight count up across offer → reply, and re-bumps `last_used` on
+/// drop so idleness is measured from request *completion*, not admission.
+pub(crate) struct InFlight<'h> {
+    handle: &'h SessionHandle,
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        *self.handle.last_used.lock().unwrap() = Instant::now();
+        self.handle.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Outcome of offering a command to a session's bounded channel.
@@ -92,8 +113,25 @@ impl SessionHandle {
     }
 
     /// Seconds-scale idleness for the janitor's eviction scan.
-    pub(crate) fn idle_for(&self) -> std::time::Duration {
+    pub(crate) fn idle_for(&self) -> Duration {
         self.last_used.lock().unwrap().elapsed()
+    }
+
+    /// Marks the start of one worker request (bumping `last_used` so the
+    /// janitor's idleness clock restarts *before* the command is offered).
+    /// Hold the returned guard until the reply has been received.
+    pub(crate) fn begin_request(&self) -> InFlight<'_> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        *self.last_used.lock().unwrap() = Instant::now();
+        InFlight { handle: self }
+    }
+
+    /// Whether the janitor may drain this session: idle past `idle` with
+    /// no worker request in flight.  The in-flight check closes the
+    /// boundary race where a session idle exactly `idle_timeout` has a
+    /// request already admitted to its channel.
+    pub(crate) fn evictable(&self, idle: Duration) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0 && self.idle_for() > idle
     }
 
     /// Asks the actor to drain (persist + stop) and joins its thread.
@@ -164,6 +202,7 @@ pub(crate) fn spawn_live(
     SessionHandle {
         tx,
         last_used: Mutex::new(Instant::now()),
+        in_flight: AtomicUsize::new(0),
         join: Mutex::new(Some(join)),
     }
 }
@@ -269,6 +308,7 @@ pub(crate) fn spawn_replica(
     Ok(SessionHandle {
         tx,
         last_used: Mutex::new(Instant::now()),
+        in_flight: AtomicUsize::new(0),
         join: Mutex::new(Some(join)),
     })
 }
@@ -305,5 +345,86 @@ fn run_replica(name: &str, replica: &CorpusReplica, deltas: &[BatchDelta], rx: R
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xic_engine::CompiledSpec;
+
+    fn live_handle() -> SessionHandle {
+        let spec = Arc::new(
+            CompiledSpec::from_sources(
+                "<!ELEMENT school (teacher*)>\n\
+                 <!ELEMENT teacher EMPTY>\n\
+                 <!ATTLIST teacher name CDATA #REQUIRED>",
+                Some("school"),
+                "teacher.name -> teacher",
+            )
+            .unwrap(),
+        );
+        spawn_live(
+            "t".into(),
+            spec,
+            Limits::UNLIMITED,
+            Arc::new(MetricsRegistry::new()),
+            4,
+            None,
+        )
+    }
+
+    fn rewind_last_used(handle: &SessionHandle, by: Duration) {
+        *handle.last_used.lock().unwrap() = Instant::now() - by;
+    }
+
+    /// The janitor/worker boundary race: a session idle exactly
+    /// `idle_timeout` must not be drainable while a worker has a request
+    /// between offer and reply.  `begin_request` closes the window, and
+    /// dropping the guard restarts the idleness clock from completion.
+    #[test]
+    fn in_flight_requests_block_eviction_at_the_idle_boundary() {
+        let handle = live_handle();
+        let idle = Duration::from_millis(10);
+        rewind_last_used(&handle, idle * 100);
+        assert!(handle.evictable(idle), "genuinely idle sessions evict");
+
+        // A worker starting a request closes the eviction window...
+        let guard = handle.begin_request();
+        assert!(!handle.evictable(idle));
+        // ...even if the wall clock runs past the timeout mid-request.
+        rewind_last_used(&handle, idle * 100);
+        assert!(
+            !handle.evictable(idle),
+            "a session with a request in flight must never be drained"
+        );
+
+        // Completion restarts the idleness clock, so the session is not
+        // instantly stale the moment the reply lands.
+        drop(guard);
+        assert!(!handle.evictable(idle));
+
+        // Only genuine idleness after the last completed request evicts.
+        rewind_last_used(&handle, idle * 100);
+        assert!(handle.evictable(idle));
+        let _ = handle.drain();
+    }
+
+    /// Overlapping workers: the session stays pinned until the *last*
+    /// in-flight request completes.
+    #[test]
+    fn eviction_waits_for_every_overlapping_request() {
+        let handle = live_handle();
+        let idle = Duration::from_millis(10);
+        let first = handle.begin_request();
+        let second = handle.begin_request();
+        rewind_last_used(&handle, idle * 100);
+        drop(first);
+        rewind_last_used(&handle, idle * 100);
+        assert!(!handle.evictable(idle), "second request still in flight");
+        drop(second);
+        rewind_last_used(&handle, idle * 100);
+        assert!(handle.evictable(idle));
+        let _ = handle.drain();
     }
 }

@@ -221,8 +221,31 @@ impl Client {
     /// Fetches every retained delta with sequence number above
     /// `after_seq`, in order.
     pub fn sync(&mut self, after_seq: u64) -> Result<Vec<BatchDelta>, ClientError> {
+        self.sync_inner(after_seq, None)
+    }
+
+    /// Fetches the shard-filtered delta stream above `after_seq`: only
+    /// deltas tagged with `shard`, each projected down to that shard's
+    /// constraints.  Requires the server to run with `--shards`.
+    pub fn sync_shard(
+        &mut self,
+        after_seq: u64,
+        shard: u32,
+    ) -> Result<Vec<BatchDelta>, ClientError> {
+        self.sync_inner(after_seq, Some(shard))
+    }
+
+    fn sync_inner(
+        &mut self,
+        after_seq: u64,
+        shard: Option<u32>,
+    ) -> Result<Vec<BatchDelta>, ClientError> {
         self.seq += 1;
-        write_request(&mut self.conn, self.seq, &Request::Sync { after_seq })?;
+        write_request(
+            &mut self.conn,
+            self.seq,
+            &Request::Sync { after_seq, shard },
+        )?;
         let mut deltas = Vec::new();
         loop {
             match self.read_one()? {
@@ -243,9 +266,11 @@ impl Client {
 
     /// Syncs `replica` up to the session's head, returning how many deltas
     /// were applied.  The replica afterwards reconstructs the session's
-    /// `report()` exactly.
+    /// `report()` exactly — or, for a shard-filtered replica
+    /// ([`CorpusReplica::new_sharded`]), the shard projection of it: the
+    /// subscription automatically requests only that shard's deltas.
     pub fn sync_replica(&mut self, replica: &mut CorpusReplica) -> Result<usize, ClientError> {
-        let deltas = self.sync(replica.last_seq())?;
+        let deltas = self.sync_inner(replica.last_seq(), replica.shard())?;
         for delta in &deltas {
             replica
                 .apply_delta(delta)

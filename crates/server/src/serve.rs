@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use xic_engine::wire::{
-    read_request, write_response, Request, Response, WireError, WireFault, WIRE_VERSION,
+    read_request_monotonic, write_response, Request, Response, WireError, WireFault, WIRE_VERSION,
 };
 use xic_engine::{journal, CompiledSpec, Engine, Limits};
 use xic_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -49,6 +49,11 @@ pub struct ServerConfig {
     /// existing logs there are loaded as read-only replica sessions at
     /// startup.  `None` disables persistence.
     pub state_dir: Option<PathBuf>,
+    /// Whether shard-filtered sync subscriptions are served (`xic serve
+    /// --shards`).  When disabled, a sync carrying a shard filter is
+    /// answered with a structured code-2 `protocol:shards-disabled`
+    /// record instead of a projected stream.
+    pub shards: bool,
     /// The metrics registry (`None`: the process-global one).
     pub registry: Option<Arc<MetricsRegistry>>,
 }
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             workers: 4,
             idle_timeout: None,
             state_dir: None,
+            shards: false,
             registry: None,
         }
     }
@@ -91,6 +97,7 @@ struct Instruments {
     drains: Arc<Counter>,
     sessions: Arc<Gauge>,
     request_ns: Arc<Histogram>,
+    shard_syncs: Arc<Counter>,
 }
 
 impl Instruments {
@@ -105,6 +112,7 @@ impl Instruments {
             drains: registry.counter("server.drained_sessions"),
             sessions: registry.gauge("server.sessions"),
             request_ns: registry.histogram("server.request_ns"),
+            shard_syncs: registry.counter("shard.syncs"),
         }
     }
 }
@@ -460,12 +468,22 @@ fn janitor(shared: &Shared) {
             let sessions = shared.sessions.read().unwrap();
             sessions
                 .iter()
-                .filter(|(_, h)| h.idle_for() > idle)
+                .filter(|(_, h)| h.evictable(idle))
                 .map(|(name, _)| name.clone())
                 .collect()
         };
         for name in stale {
-            let evicted = shared.sessions.write().unwrap().remove(&name);
+            let evicted = {
+                // Re-check under the write lock: between the scan and here a
+                // worker may have started a request (bumping `last_used` and
+                // the in-flight count via `begin_request`), and draining the
+                // actor then would strand that request's reply.
+                let mut sessions = shared.sessions.write().unwrap();
+                match sessions.get(&name) {
+                    Some(h) if h.evictable(idle) => sessions.remove(&name),
+                    _ => None,
+                }
+            };
             if let Some(handle) = evicted {
                 // Drain persists the delta log (when configured) before the
                 // actor exits, so eviction never loses committed history.
@@ -484,6 +502,9 @@ fn dispatch<T>(
     handle: &SessionHandle,
     make: impl FnOnce(SyncSender<Result<T, WireFault>>) -> Cmd,
 ) -> Result<T, WireFault> {
+    // Held across offer → reply so the janitor cannot drain the actor out
+    // from under a request it has already admitted.
+    let _in_flight = handle.begin_request();
     let (reply, rx) = sync_channel(1);
     match handle.offer(make(reply)) {
         Offer::Sent => {}
@@ -512,6 +533,7 @@ fn dispatch<T>(
 }
 
 fn session_meta(handle: &SessionHandle) -> Result<(u64, bool), WireFault> {
+    let _in_flight = handle.begin_request();
     let (reply, rx) = sync_channel(1);
     match handle.offer(Cmd::Meta { reply }) {
         Offer::Sent => rx
@@ -566,9 +588,12 @@ fn get_or_create_session(shared: &Shared, name: &str) -> Result<Arc<SessionHandl
 
 /// Reads one request, honoring the idle poll: `Ok(None)` means the
 /// connection is over (clean close, torn frame, I/O error, or shutdown).
-fn next_request(conn: &mut Conn, shared: &Shared) -> Option<(u64, Request)> {
+/// `last_seq` threads the connection's strictly monotonic request
+/// sequence: a replayed or rewound frame is answered with a structured
+/// `protocol:seq` fault and the connection is closed.
+fn next_request(conn: &mut Conn, shared: &Shared, last_seq: &mut u64) -> Option<(u64, Request)> {
     loop {
-        match read_request(conn) {
+        match read_request_monotonic(conn, last_seq) {
             Ok(Some(framed)) => return Some(framed),
             Ok(None) => return None,
             Err(WireError::Idle) => {
@@ -581,6 +606,12 @@ fn next_request(conn: &mut Conn, shared: &Shared) -> Option<(u64, Request)> {
                 return None;
             }
             Err(WireError::Io(_)) => return None,
+            Err(err @ WireError::NonMonotonicSeq { .. }) => {
+                shared.instr.errors.inc();
+                let fault = WireFault::new(2, "protocol:seq", err.to_string());
+                let _ = write_response(conn, 0, &Response::Error(fault));
+                return None;
+            }
             Err(err) => {
                 // Corrupt, malformed, oversized or unknown frames get a
                 // structured protocol error before the close.
@@ -603,7 +634,8 @@ fn serve_conn(mut conn: Conn, shared: &Shared) {
     }
 
     // --- Hello: version + spec negotiation, session attach. ---
-    let Some((seq, req)) = next_request(&mut conn, shared) else {
+    let mut last_req_seq = 0u64;
+    let Some((seq, req)) = next_request(&mut conn, shared, &mut last_req_seq) else {
         return;
     };
     let Request::Hello {
@@ -676,7 +708,7 @@ fn serve_conn(mut conn: Conn, shared: &Shared) {
     }
 
     // --- Request loop. ---
-    while let Some((seq, req)) = next_request(&mut conn, shared) {
+    while let Some((seq, req)) = next_request(&mut conn, shared, &mut last_req_seq) {
         shared.instr.requests.inc();
         let start = Instant::now();
         let ok = handle_request(&mut conn, shared, &session_name, &mut session, seq, req);
@@ -749,10 +781,47 @@ fn handle_request(
                 };
             respond(conn, &resp)
         }
-        Request::Sync { after_seq } => {
+        Request::Sync { after_seq, shard } => {
+            if let Some(shard) = shard {
+                if !shared.config.shards {
+                    let fault = WireFault::new(
+                        2,
+                        "protocol:shards-disabled",
+                        "this server does not serve shard-filtered sync (start it with --shards)",
+                    );
+                    return respond(conn, &Response::Error(fault));
+                }
+                let plan = shared.spec.shard_plan();
+                if shard as usize >= plan.num_shards() {
+                    let fault = WireFault::new(
+                        2,
+                        "protocol:shard-range",
+                        format!(
+                            "shard {shard} out of range: the spec's touch graph has {} shard(s)",
+                            plan.num_shards()
+                        ),
+                    );
+                    return respond(conn, &Response::Error(fault));
+                }
+            }
             match attach(session).and_then(|s| dispatch(&s, |reply| Cmd::Sync { after_seq, reply }))
             {
                 Ok(deltas) => {
+                    // A shard subscription sees only deltas tagged with its
+                    // shard, each projected down to the shard's constraints
+                    // — monotone but non-contiguous sequence numbers, which
+                    // a shard-filtered replica accepts by design.
+                    let deltas: Vec<_> = match shard {
+                        None => deltas,
+                        Some(shard) => {
+                            shared.instr.shard_syncs.inc();
+                            let plan = shared.spec.shard_plan();
+                            deltas
+                                .iter()
+                                .filter_map(|d| d.project(plan, shard))
+                                .collect()
+                        }
+                    };
                     let count = deltas.len() as u64;
                     for delta in deltas {
                         if !respond(conn, &Response::Delta(delta)) {
