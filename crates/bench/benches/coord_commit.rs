@@ -1,0 +1,333 @@
+//! Coordinated commits — a multi-process `xic-coord` fan-out vs. one
+//! monolithic session.
+//!
+//! The same 12-singleton-shard workload as `shard_commit` (one unary key
+//! per catalogue kind), spread over four `xic serve` worker processes by a
+//! [`Coordinator`].  Both arms run the identical open + edit + commit
+//! script; before timing, the coordinator's merged report is asserted
+//! equal to the monolithic session's.  Two numbers matter:
+//!
+//! 1. **per-process constraints rechecked** — each worker's
+//!    `incremental.constraints_rechecked` counter (read over the wire via
+//!    worker stats) against the monolithic session's: every worker must
+//!    recheck strictly fewer constraints, since it evaluates only its
+//!    shard group;
+//! 2. **cross-process commit ack latency** — wall time per routed
+//!    apply+commit round (coordinator: route, fan out, merge, ack) against
+//!    the in-process monolithic commit.
+//!
+//! Everything is recorded in `BENCH_coord.json` at the workspace root.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use xic_bench::{fmt_us, min_time};
+use xic_constraints::{Constraint, ConstraintSet};
+use xic_coord::{CoordConfig, Coordinator};
+use xic_engine::{CompiledSpec, CorpusSession};
+use xic_gen::{catalogue_dtd, random_document, DocGenConfig};
+use xic_xml::{write_document, EditOp, NodeId, XmlTree};
+
+const KINDS: usize = 12;
+const WORKERS: usize = 4;
+const NUM_DOCS: usize = 8;
+/// Edits per run; edit `i` touches the key attribute of kind `i mod KINDS`,
+/// so the stream cycles through every shard (and so every worker).
+const EDITS_PER_RUN: usize = 36;
+/// Timed repetitions (minimum taken; the counter deltas come from a single
+/// untimed attribution pass of each arm).
+const RUNS: usize = 3;
+
+fn main() {
+    let dtd = catalogue_dtd(KINDS);
+    let mut sigma = ConstraintSet::new();
+    for ty in dtd.types() {
+        if let Some(&attr) = dtd.attrs_of(ty).first() {
+            sigma.push(Constraint::unary_key(ty, attr));
+        }
+    }
+    // The coordinator and its workers compile the spec from files; the
+    // monolithic arm compiles the same bytes, so every party agrees on the
+    // `SpecId` (it is the content hash).
+    let dtd_src = dtd.render();
+    let root = dtd.type_name(dtd.root()).to_string();
+    let sigma_src = sigma.render(&dtd);
+    let spec = CompiledSpec::from_sources(&dtd_src, Some(&root), &sigma_src)
+        .expect("keys-only spec compiles");
+    let plan = spec.shard_plan();
+    assert_eq!(
+        plan.num_shards(),
+        KINDS,
+        "disjoint unary keys must shard one-per-kind"
+    );
+
+    let scratch = std::env::temp_dir().join(format!("xic-coord-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let dtd_path = scratch.join("spec.dtd");
+    let sigma_path = scratch.join("spec.sigma");
+    std::fs::write(&dtd_path, &dtd_src).expect("write dtd");
+    std::fs::write(&sigma_path, &sigma_src).expect("write sigma");
+
+    // Documents as wire bytes, plus the re-parsed trees every party's
+    // arena will hold (node ids picked below are valid everywhere).
+    let docs: Vec<(String, String, XmlTree)> = (0..NUM_DOCS)
+        .map(|i| {
+            let tree = random_document(
+                spec.dtd(),
+                &DocGenConfig {
+                    seed: 300 + i as u64,
+                    max_elements: 200,
+                    star_fanout: 20,
+                    value_pool: 50,
+                    ..Default::default()
+                },
+            )
+            .expect("catalogue DTD is satisfiable");
+            let source = write_document(&tree, spec.dtd());
+            let reparsed = spec.parse_document(&source).expect("round-trips");
+            (format!("doc-{i}"), source, reparsed)
+        })
+        .collect();
+    let total_nodes: usize = docs.iter().map(|(_, _, t)| t.num_nodes()).sum();
+
+    // The deterministic edit stream: edit i rewrites the key attribute of
+    // one element of kind (i mod KINDS) in document (i mod NUM_DOCS),
+    // cycling values small enough to flip verdicts.  Idempotent per run.
+    let kinds: Vec<_> = spec.dtd().types().collect();
+    let ops: Vec<(usize, EditOp)> = (0..EDITS_PER_RUN)
+        .filter_map(|i| {
+            let victim = i % NUM_DOCS;
+            let ty = kinds[1 + i % KINDS];
+            let attr = *spec.dtd().attrs_of(ty).first()?;
+            let element: NodeId = docs[victim].2.ext(ty).nth((i / KINDS) % 3)?;
+            Some((
+                victim,
+                EditOp::SetAttr {
+                    element,
+                    attr,
+                    value: format!("k{}", i % 5),
+                },
+            ))
+        })
+        .collect();
+    assert!(ops.len() >= EDITS_PER_RUN / 2, "edit stream too sparse");
+
+    // --- Coordinator arm. -------------------------------------------------
+    let mut coordinator = Coordinator::launch(CoordConfig {
+        xic_bin: xic_bin(),
+        dtd: dtd_path,
+        root: Some(root),
+        constraints: Some(sigma_path),
+        workers: WORKERS,
+        scratch: scratch.clone(),
+        session: "bench".to_string(),
+        max_restarts: 1,
+    })
+    .expect("coordinator launches");
+    assert_eq!(coordinator.num_groups(), WORKERS);
+
+    let rechecked_of = |coordinator: &mut Coordinator, group: usize| -> u64 {
+        coordinator
+            .worker_stats(group)
+            .expect("worker stats")
+            .counter("incremental.constraints_rechecked")
+            .unwrap_or(0)
+    };
+
+    // Attribution pass: per-worker counters around the full script.
+    let before: Vec<u64> = (0..WORKERS)
+        .map(|g| rechecked_of(&mut coordinator, g))
+        .collect();
+    let handles: Vec<u64> = docs
+        .iter()
+        .map(|(label, source, _)| coordinator.open_doc(label, source).expect("opens"))
+        .collect();
+    coordinator.commit().expect("base commit");
+    for (victim, op) in &ops {
+        coordinator
+            .apply(handles[*victim], std::slice::from_ref(op))
+            .expect("routed apply");
+        std::hint::black_box(coordinator.commit().expect("fanned-out commit"));
+    }
+    let per_worker: Vec<u64> = (0..WORKERS)
+        .map(|g| rechecked_of(&mut coordinator, g) - before[g])
+        .collect();
+
+    // --- Monolithic arm, same script. -------------------------------------
+    let mono_before = rechecked_now();
+    let mut mono = CorpusSession::new(&spec);
+    let mono_handles: Vec<_> = docs
+        .iter()
+        .map(|(label, source, _)| mono.open_source(label, source).expect("opens"))
+        .collect();
+    mono.commit();
+    for (victim, op) in &ops {
+        mono.apply(mono_handles[*victim], std::slice::from_ref(op))
+            .unwrap();
+        std::hint::black_box(mono.commit());
+    }
+    let mono_rechecked = rechecked_now() - mono_before;
+
+    // Verdict identity before timing: the merged multi-process report is
+    // the monolithic report, or the numbers compare different computations.
+    assert_eq!(
+        coordinator.report(),
+        mono.report(),
+        "coordinator diverged from the monolithic session"
+    );
+
+    // Timed passes (state is idempotent per run, so re-running the stream
+    // leaves both corpora unchanged).
+    let coord_time = min_time(RUNS, || {
+        for (victim, op) in &ops {
+            coordinator
+                .apply(handles[*victim], std::slice::from_ref(op))
+                .expect("routed apply");
+            std::hint::black_box(coordinator.commit().expect("fanned-out commit"));
+        }
+    });
+    let mono_time = min_time(RUNS, || {
+        for (victim, op) in &ops {
+            mono.apply(mono_handles[*victim], std::slice::from_ref(op))
+                .unwrap();
+            std::hint::black_box(mono.commit());
+        }
+    });
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let max_worker = *per_worker.iter().max().unwrap();
+    let sum_workers: u64 = per_worker.iter().sum();
+    let reduction = mono_rechecked as f64 / max_worker.max(1) as f64;
+    let coord_ack_us = us(coord_time) / ops.len() as f64;
+    let mono_ack_us = us(mono_time) / ops.len() as f64;
+
+    println!();
+    println!("coord_commit — multi-process fan-out vs. one monolithic session");
+    println!("----------------------------------------------------------------");
+    println!(
+        "{:<44} {} shards, {} workers, {} docs, {} nodes, {} edits",
+        "workload",
+        plan.num_shards(),
+        WORKERS,
+        NUM_DOCS,
+        total_nodes,
+        ops.len(),
+    );
+    println!(
+        "{:<44} {:>12}",
+        "constraints rechecked, monolithic", mono_rechecked
+    );
+    for (g, rechecked) in per_worker.iter().enumerate() {
+        println!(
+            "{:<44} {:>12}",
+            format!("constraints rechecked, worker {g}"),
+            rechecked
+        );
+    }
+    println!(
+        "{:<44} {:>12}",
+        "constraints rechecked, busiest worker", max_worker
+    );
+    println!(
+        "{:<44} {:>11.1}x",
+        "per-process recheck reduction", reduction
+    );
+    println!(
+        "{:<44} {:>12}",
+        "commit ack latency, coordinator",
+        format!("{coord_ack_us:.1}us")
+    );
+    println!(
+        "{:<44} {:>12}",
+        "commit ack latency, monolithic",
+        format!("{mono_ack_us:.1}us")
+    );
+    println!(
+        "{:<44} {:>12}",
+        "wall time, coordinator",
+        fmt_us(coord_time)
+    );
+    println!("{:<44} {:>12}", "wall time, monolithic", fmt_us(mono_time));
+
+    let mut fields: Vec<(String, f64)> = vec![
+        ("shards".into(), plan.num_shards() as f64),
+        ("workers".into(), WORKERS as f64),
+        ("docs".into(), NUM_DOCS as f64),
+        ("nodes_total".into(), total_nodes as f64),
+        ("edits".into(), ops.len() as f64),
+        ("monolithic_rechecked".into(), mono_rechecked as f64),
+        ("workers_rechecked_sum".into(), sum_workers as f64),
+        ("workers_rechecked_max".into(), max_worker as f64),
+        (
+            "per_process_reduction".into(),
+            (reduction * 10.0).round() / 10.0,
+        ),
+        ("coord_ack_us".into(), (coord_ack_us * 10.0).round() / 10.0),
+        ("mono_ack_us".into(), (mono_ack_us * 10.0).round() / 10.0),
+        ("coord_run_us".into(), us(coord_time)),
+        ("mono_run_us".into(), us(mono_time)),
+    ];
+    for (g, rechecked) in per_worker.iter().enumerate() {
+        fields.push((format!("worker{g}_rechecked"), *rechecked as f64));
+    }
+    let json = render_json(&fields);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coord.json");
+    std::fs::write(out, &json).expect("write BENCH_coord.json");
+    println!("{:<44} {:>12}", "recorded", "BENCH_coord.json");
+    println!("----------------------------------------------------------------");
+
+    for (g, &rechecked) in per_worker.iter().enumerate() {
+        assert!(
+            rechecked < mono_rechecked,
+            "worker {g} rechecked {rechecked} constraints, not fewer than \
+             the monolithic arm's {mono_rechecked}"
+        );
+    }
+    assert!(
+        reduction >= 2.0,
+        "with {KINDS} shards over {WORKERS} processes the busiest worker \
+         should recheck several times fewer constraints (got {reduction:.1}x)"
+    );
+}
+
+/// Current value of the process-wide `incremental.constraints_rechecked`
+/// counter (the monolithic arm runs in this process).
+fn rechecked_now() -> u64 {
+    xic_telemetry::global()
+        .snapshot()
+        .counter("incremental.constraints_rechecked")
+        .unwrap_or(0)
+}
+
+/// The `xic` binary the coordinator spawns shard workers from: `XIC_BIN`
+/// when set, otherwise the sibling of this bench executable's
+/// `target/{debug,release}` directory.
+fn xic_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("XIC_BIN") {
+        return PathBuf::from(path);
+    }
+    let exe = std::env::current_exe().expect("bench executable path");
+    for dir in exe.ancestors().skip(1) {
+        let candidate = dir.join(format!("xic{}", std::env::consts::EXE_SUFFIX));
+        if candidate.is_file() {
+            return candidate;
+        }
+    }
+    panic!("cannot locate the `xic` binary; build `xic-cli` or set XIC_BIN");
+}
+
+fn us(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6 * 10.0).round() / 10.0
+}
+
+/// Tiny flat-object JSON rendering (the workspace is dependency-free).
+fn render_json(fields: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value}"));
+        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}

@@ -14,6 +14,7 @@ use std::time::Duration;
 use xic_constraints::{
     check_document, parse_constraint, parse_constraint_set, ConstraintClass, ConstraintSet,
 };
+use xic_coord::{CoordConfig, CoordError, Coordinator};
 use xic_core::{
     diagnose as diagnose_spec, CardinalitySystem, CheckerConfig, ConsistencyChecker,
     ConsistencyOutcome, Diagnosis, ImplicationChecker, SystemOptions,
@@ -137,6 +138,23 @@ fn client_error(context: &str, e: ClientError) -> CliError {
             source,
         },
         other => CliError::Document(format!("{context}: {other}")),
+    }
+}
+
+/// Maps a coordinator error onto the CLI taxonomy, preserving the exit
+/// code the coordinator derived (worker faults keep their wire code; a
+/// lost worker is a contained fault, exit 4 — recover-or-reject).
+fn coord_error(context: &str, e: CoordError) -> CliError {
+    match e.exit_code() {
+        3 => CliError::Resource(format!("{context}: {e}")),
+        4 => CliError::Fault(format!("{context}: {e}")),
+        _ => match e {
+            CoordError::Io {
+                context: path,
+                source,
+            } => CliError::Io { path, source },
+            other => CliError::Document(format!("{context}: {other}")),
+        },
     }
 }
 
@@ -1257,6 +1275,21 @@ pub fn serve(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
         config.idle_timeout = Some(Duration::from_millis(ms as u64));
     }
     config.shards = args.has_flag("shards");
+    if let Some(list) = args.get("scope-shards") {
+        let mut scope = Vec::new();
+        for part in list.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            scope.push(part.parse::<u32>().map_err(|_| {
+                CliError::Usage(format!(
+                    "option `--scope-shards` expects comma-separated shard ids, got `{part}`"
+                ))
+            })?);
+        }
+        config.scope = Some(scope);
+    }
 
     let server = Server::start(Arc::new(spec), config).map_err(|source| CliError::Io {
         path: "serve".to_string(),
@@ -1321,14 +1354,66 @@ fn dial(args: &ParsedArgs, spec: SpecId, session: &str) -> Result<Client, CliErr
     }
 }
 
+/// The session surface the shared `--script` grammar drives: a wire
+/// [`Client`] (`xic connect`) or a multi-process [`Coordinator`]
+/// (`xic coord`) — one grammar, one runner, two transports.
+trait ScriptTarget {
+    fn open_doc(&mut self, ctx: &str, label: &str, source: &str) -> Result<u64, CliError>;
+    fn apply(&mut self, ctx: &str, handle: u64, op: &EditOp) -> Result<(), CliError>;
+    fn close_doc(&mut self, ctx: &str, handle: u64) -> Result<(), CliError>;
+    fn commit(&mut self, ctx: &str) -> Result<BatchDelta, CliError>;
+}
+
+impl ScriptTarget for Client {
+    fn open_doc(&mut self, ctx: &str, label: &str, source: &str) -> Result<u64, CliError> {
+        Client::open_doc(self, label, source).map_err(|e| client_error(ctx, e))
+    }
+
+    fn apply(&mut self, ctx: &str, handle: u64, op: &EditOp) -> Result<(), CliError> {
+        Client::apply(self, handle, std::slice::from_ref(op))
+            .map(|_| ())
+            .map_err(|e| client_error(ctx, e))
+    }
+
+    fn close_doc(&mut self, ctx: &str, handle: u64) -> Result<(), CliError> {
+        Client::close_doc(self, handle)
+            .map(|_| ())
+            .map_err(|e| client_error(ctx, e))
+    }
+
+    fn commit(&mut self, ctx: &str) -> Result<BatchDelta, CliError> {
+        Client::commit(self).map_err(|e| client_error(ctx, e))
+    }
+}
+
+impl ScriptTarget for Coordinator {
+    fn open_doc(&mut self, ctx: &str, label: &str, source: &str) -> Result<u64, CliError> {
+        Coordinator::open_doc(self, label, source).map_err(|e| coord_error(ctx, e))
+    }
+
+    fn apply(&mut self, ctx: &str, handle: u64, op: &EditOp) -> Result<(), CliError> {
+        Coordinator::apply(self, handle, std::slice::from_ref(op)).map_err(|e| coord_error(ctx, e))
+    }
+
+    fn close_doc(&mut self, ctx: &str, handle: u64) -> Result<(), CliError> {
+        Coordinator::close_doc(self, handle)
+            .map(|_| ())
+            .map_err(|e| coord_error(ctx, e))
+    }
+
+    fn commit(&mut self, ctx: &str) -> Result<BatchDelta, CliError> {
+        Coordinator::commit(self).map_err(|e| coord_error(ctx, e))
+    }
+}
+
 /// Drives the shared `--script` directive syntax (see
 /// [`run_session_script`]) against a remote session: every directive
-/// becomes one wire request and every `commit` collects the acknowledged
+/// becomes one request and every `commit` collects the acknowledged
 /// [`BatchDelta`].  A trailing commit is implied, exactly as in the local
 /// runner, so the same script produces the same delta stream either way.
 fn run_remote_script(
     spec: &CompiledSpec,
-    client: &mut Client,
+    client: &mut impl ScriptTarget,
     script_path: &str,
 ) -> Result<Vec<BatchDelta>, CliError> {
     let script = read_file(script_path)?;
@@ -1352,7 +1437,7 @@ fn run_remote_script(
         let directive = words.next().expect("non-empty line has a first word");
         match directive {
             "commit" => {
-                let delta = client.commit().map_err(|e| client_error(&ctx, e))?;
+                let delta = client.commit(&ctx)?;
                 deltas.push(delta);
                 pending = false;
                 continue;
@@ -1365,9 +1450,7 @@ fn run_remote_script(
                     .next()
                     .ok_or_else(|| err("`open` expects a path".into()))?;
                 let content = read_file(&base.join(path).to_string_lossy())?;
-                let handle = client
-                    .open_doc(label, &content)
-                    .map_err(|e| client_error(&ctx, e))?;
+                let handle = client.open_doc(&ctx, label, &content)?;
                 handles.insert(label.to_string(), handle);
                 pending = true;
                 continue;
@@ -1427,24 +1510,18 @@ fn run_remote_script(
                 element: node_arg("target")?,
             },
             "close" => {
-                client
-                    .close_doc(handle)
-                    .map_err(|e| client_error(&ctx, e))?;
+                client.close_doc(&ctx, handle)?;
                 handles.remove(label);
                 pending = true;
                 continue;
             }
             other => return Err(err(format!("unknown directive `{other}`"))),
         };
-        client
-            .apply(handle, std::slice::from_ref(&op))
-            .map_err(|e| client_error(&format!("{ctx}: {label}"), e))?;
+        client.apply(&format!("{ctx}: {label}"), handle, &op)?;
         pending = true;
     }
     if pending {
-        let delta = client
-            .commit()
-            .map_err(|e| client_error(&format!("{script_path}: final commit"), e))?;
+        let delta = client.commit(&format!("{script_path}: final commit"))?;
         deltas.push(delta);
     }
     Ok(deltas)
@@ -1606,6 +1683,80 @@ pub fn connect(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
             }
         ),
         0,
+    ))
+}
+
+/// `xic coord` — multi-process sharded validation: spawn one scoped
+/// `xic serve` child per shard group, drive the shared `--script` grammar
+/// through the routing/merge layer, and print the merged delta stream —
+/// the same output a monolithic session (`xic batch --session`) or a
+/// single server (`xic connect --script`) produces for the same script.
+/// The merged stream is replayed through a stock replica before
+/// rendering, so what is printed is what any subscriber reconstructs.
+pub fn coord(args: &ParsedArgs) -> Result<CommandOutcome, CliError> {
+    let format = report_format(args)?;
+    let script_path = args
+        .get("script")
+        .ok_or_else(|| CliError::Usage("coord needs --script".into()))?;
+    // Compile locally first: the script needs name resolution, and a bad
+    // spec should fail readably before any child process spawns.
+    let (dtd, sigma) = spec_inputs(args)?;
+    let spec = CompiledSpec::compile_with(dtd, sigma, checker_config(args))
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let xic_bin = std::env::current_exe().map_err(|source| CliError::Io {
+        path: "current executable".to_string(),
+        source,
+    })?;
+    let config = CoordConfig {
+        xic_bin,
+        dtd: PathBuf::from(args.require("dtd")?),
+        root: args.get("root").map(String::from),
+        constraints: args.get("constraints").map(PathBuf::from),
+        workers: args.get_usize("workers")?.unwrap_or(2).max(1),
+        scratch: std::env::temp_dir().join(format!("xic-coord-{}", std::process::id())),
+        session: args.get("session").unwrap_or("coord").to_string(),
+        max_restarts: args.get_usize("max-restarts")?.unwrap_or(2),
+    };
+    let mut coordinator = Coordinator::launch(config).map_err(|e| coord_error("coord", e))?;
+    let num_groups = coordinator.num_groups();
+    let num_shards = spec.shard_plan().num_shards();
+
+    let deltas = run_remote_script(&spec, &mut coordinator, script_path)?;
+
+    // The merged stream must satisfy every replica invariant: replay it
+    // through a stock subscriber and render that reconstruction.
+    let mut replica = CorpusReplica::new(spec.id());
+    for delta in coordinator.deltas() {
+        replica
+            .apply_delta(delta)
+            .map_err(|e| CliError::Journal(format!("merged delta rejected by replica: {e}")))?;
+    }
+    let final_report = replica.report();
+    coordinator.shutdown();
+
+    let headline =
+        format!("coordinated session: {num_groups} shard worker(s) over {num_shards} shard(s)");
+    let notes = vec![format!(
+        "routed across {num_groups} worker process(es); merged deltas replayed through a stock replica"
+    )];
+    let extra = [
+        ("workers", JsonValue::int(num_groups)),
+        ("shards", JsonValue::int(num_shards)),
+    ];
+    Ok(render_delta_stream(
+        &DeltaStreamView {
+            command: "coord",
+            headline: &headline,
+            extra: &extra,
+            notes: &notes,
+            format,
+            quiet: args.has_flag("quiet"),
+            metrics: args.has_flag("metrics"),
+        },
+        &spec,
+        &deltas,
+        &final_report,
     ))
 }
 

@@ -37,7 +37,7 @@ pub mod report;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use commands::{
-    batch, check, classify, connect, diagnose, explain, implies, journal, serve, stats,
+    batch, check, classify, connect, coord, diagnose, explain, implies, journal, serve, stats,
     validate_doc, CommandOutcome,
 };
 pub use error::CliError;
@@ -76,6 +76,8 @@ pub const ARG_SPEC: ArgSpec = ArgSpec {
         "spec-id",
         "addr-file",
         "shard",
+        "scope-shards",
+        "max-restarts",
     ],
     flags: &[
         "quiet",
@@ -118,6 +120,11 @@ COMMANDS:
     connect    talk to a running service (--addr or --socket): drive a
                --script against a named --session and print the replica's
                report, or fetch --stats / request --shutdown
+    coord      multi-process sharded validation: partition the spec's shard
+               plan over --workers N child `xic serve` processes, route each
+               edit batch only to the shard groups it dirties, and merge the
+               projected per-shard verdicts into one monolithic report
+               (--script uses the connect/session directive syntax)
     help       print this message
 
 OPTIONS:
@@ -172,6 +179,11 @@ OPTIONS:
     --shard K             connect: subscribe the replica to shard K only —
                           receives and applies just shard-K deltas, and prints
                           the shard-projected report (requires serve --shards)
+    --scope-shards LIST   serve: scope every live session to the comma-separated
+                          shard ids (a coordinator's shard-group worker); Σ
+                          violations outside the scope never surface
+    --max-restarts N      coord: per-worker crash-restart budget before the
+                          coordinator rejects instead of recovering (default 2)
     --session NAME        connect: the named server session to attach to
     --spec-id HEX         connect: expected spec identity (defaults to the
                           hash of the locally compiled --dtd/--constraints)
@@ -217,6 +229,7 @@ where
         "stats" => commands::stats(&parsed),
         "serve" => commands::serve(&parsed),
         "connect" => commands::connect(&parsed),
+        "coord" => commands::coord(&parsed),
         "help" | "--help" | "-h" => return (USAGE.to_string(), 0),
         other => return (format!("unknown command `{other}`\n\n{USAGE}"), 2),
     };

@@ -246,6 +246,25 @@ impl IncrementalLayout {
     pub fn num_sources(&self) -> usize {
         self.sources.len()
     }
+
+    /// The constraints whose verdict can change when the extension of `ty`
+    /// does (elements of the type appearing or vanishing) — exactly the set
+    /// [`IncrementalIndex`] marks dirty for an `ElementAdded` /
+    /// `SubtreeRemoved` effect on the type.  Routing layers (a coordinator
+    /// fanning edit batches out to shard workers) use this to predict a
+    /// batch's dirty set without owning an index.
+    pub fn checks_touched_by_ty(&self, ty: ElemId) -> &[usize] {
+        self.checks_of_ty.get(&ty).map_or(&[], Vec::as_slice)
+    }
+
+    /// The constraints whose verdict can change when `(ty, attr)` values do
+    /// — the set an `AttrSet` effect marks dirty (an `AttrSet` whose new
+    /// value equals the old marks nothing).
+    pub fn checks_touched_by_attr(&self, ty: ElemId, attr: AttrId) -> &[usize] {
+        self.checks_of_attr
+            .get(&(ty, attr))
+            .map_or(&[], Vec::as_slice)
+    }
 }
 
 /// The connected components of the layout's touch-graph: two constraints
@@ -265,6 +284,12 @@ pub struct ShardPlan {
     /// carry only the rendered form.  Identical renders name identical
     /// slots, so the keying is unambiguous.
     shard_of_rendered: HashMap<String, u32>,
+    /// Rendered constraint → first Σ index carrying that render, for
+    /// re-interleaving per-shard violation slices back into global Σ order
+    /// (verdict extraction emits at most one violation per constraint, in
+    /// Σ order, so a stable sort on this key reproduces the monolithic
+    /// ordering exactly).
+    order_of_rendered: HashMap<String, usize>,
 }
 
 /// Union-find root with path halving.
@@ -318,10 +343,15 @@ impl ShardPlan {
             .enumerate()
             .map(|(i, (_, rendered))| (rendered.clone(), shard_of_check[i]))
             .collect();
+        let mut order_of_rendered: HashMap<String, usize> = HashMap::new();
+        for (i, (_, rendered)) in layout.checks.iter().enumerate() {
+            order_of_rendered.entry(rendered.clone()).or_insert(i);
+        }
         ShardPlan {
             shard_of_check,
             checks_of_shard,
             shard_of_rendered,
+            order_of_rendered,
         }
     }
 
@@ -354,6 +384,15 @@ impl ShardPlan {
     /// Every shard id, in canonical order.
     pub fn all_shards(&self) -> impl Iterator<Item = u32> + '_ {
         0..self.checks_of_shard.len() as u32
+    }
+
+    /// The Σ position of a rendered constraint (first occurrence for
+    /// duplicate renders — duplicates share a shard, so slices keep their
+    /// relative order under a stable sort on this key).  `None` when Σ
+    /// contains no such constraint.  The merge key for recombining
+    /// per-shard violation slices into the monolithic report order.
+    pub fn order_of_rendered(&self, rendered: &str) -> Option<usize> {
+        self.order_of_rendered.get(rendered).copied()
     }
 }
 

@@ -1,0 +1,636 @@
+//! The coordinator: route edit batches to shard-group workers, fan out
+//! commits, merge the projected verdicts (see crate docs for the model).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use xic_constraints::{IncrementalLayout, ShardPlan};
+use xic_engine::{BatchDelta, BatchReport, CompiledSpec, DocHandle, Engine, ReportMerger};
+use xic_server::{Client, ClientError};
+use xic_telemetry::RegistrySnapshot;
+use xic_xml::{EditEffect, EditOp, XmlTree};
+
+use crate::worker::{spawn_worker, Worker, WorkerSpec};
+use crate::CoordError;
+
+/// How a [`Coordinator`] is launched: the spec files every worker compiles
+/// (identity is the content hash, so coordinator and children agree on the
+/// wire `SpecId` by construction), the process fan-out, and the
+/// crash-restart budget.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// The `xic` binary to spawn shard workers from.
+    pub xic_bin: PathBuf,
+    /// The DTD file (passed to children verbatim).
+    pub dtd: PathBuf,
+    /// Root element override (`--root`).
+    pub root: Option<String>,
+    /// The constraint file; `None` means an empty Σ (one unscoped worker).
+    pub constraints: Option<PathBuf>,
+    /// Worker processes to spread the shard plan over (clamped to the
+    /// number of shards; at least one process always runs).
+    pub workers: usize,
+    /// Scratch directory for the `--addr-file` handshake.
+    pub scratch: PathBuf,
+    /// The session name hosted on every worker.
+    pub session: String,
+    /// Per-worker crash-restart budget: a worker that fails more than this
+    /// many times makes the coordinator reject (never a partial verdict).
+    pub max_restarts: usize,
+}
+
+/// A routed event, as delivered to (and journaled for) one worker.  The
+/// journal is the resync source: a restarted worker is replayed its exact
+/// delivered traffic, in order, before the coordinator acknowledges
+/// anything further on its shards.
+#[derive(Debug, Clone)]
+enum Event {
+    Open {
+        handle: u64,
+        label: String,
+        source: String,
+    },
+    Apply {
+        handle: u64,
+        ops: Vec<EditOp>,
+    },
+    Close {
+        handle: u64,
+    },
+    Commit,
+}
+
+/// The coordinator's own copy of one open document: the tree it routes
+/// against (edits are applied here first, and their [`EditEffect`]s mapped
+/// to dirty shards through the spec's incremental layout).
+#[derive(Debug)]
+struct MirrorDoc {
+    tree: XmlTree,
+    label: String,
+}
+
+/// Per-commit-round routing state, reset by [`Coordinator::commit`].
+#[derive(Debug, Default)]
+struct Round {
+    /// An open happened: the round is broadcast (every group commits).
+    broadcast: bool,
+    /// Documents opened or edited since the last commit (minus closes) —
+    /// the monolithic session's dirty set, for `rechecked_docs`.
+    dirty_docs: BTreeSet<u64>,
+    /// Shards each document's edits dirtied since the last commit — the
+    /// tag a non-broadcast merged change carries.
+    dirty_shards: BTreeMap<u64, Vec<u32>>,
+    /// Groups that received an apply this round (they must commit).
+    participants: BTreeSet<usize>,
+}
+
+/// Multi-process sharded validation with a single-session face: documents
+/// open, edit batches apply, commits fan out to one `xic serve` child per
+/// shard group and the projected per-shard deltas merge back into
+/// [`BatchDelta`]s and reports identical to a monolithic
+/// [`xic_engine::CorpusSession`] over the same traffic.
+pub struct Coordinator {
+    spec: CompiledSpec,
+    worker_spec: WorkerSpec,
+    max_restarts: usize,
+    /// Shards per group; `groups.len()` == number of workers.
+    groups: Vec<Vec<u32>>,
+    workers: Vec<Worker>,
+    /// Per-group delivered-traffic journal (the resync source).
+    journals: Vec<Vec<Event>>,
+    /// Per-group FIFO of applies not yet delivered (they dirtied none of
+    /// the group's shards); flushed, in order, before any later delivery
+    /// so every worker applies the same per-document op sequence.
+    pending: Vec<Vec<Event>>,
+    docs: BTreeMap<u64, MirrorDoc>,
+    merger: ReportMerger,
+    round: Round,
+    /// The merged delta stream, in `seq` order.
+    deltas: Vec<BatchDelta>,
+    /// Monotonic spawn counter (unique address files across respawns).
+    generation: usize,
+}
+
+impl Coordinator {
+    /// Compiles the spec from the configured files, partitions its
+    /// [`ShardPlan`] over `config.workers` groups (shard *s* goes to group
+    /// `s % groups`), and spawns one scoped `xic serve` child per group.
+    /// Group 0 is the *structural authority*: it receives every edit batch
+    /// (structural `T ⊨ D` validation depends on attributes, so no batch
+    /// may bypass it) and the merge takes structural errors and faults
+    /// from its frames alone.
+    pub fn launch(config: CoordConfig) -> Result<Coordinator, CoordError> {
+        let read = |path: &PathBuf| {
+            std::fs::read_to_string(path).map_err(|source| CoordError::Io {
+                context: path.display().to_string(),
+                source,
+            })
+        };
+        let dtd_src = read(&config.dtd)?;
+        let sigma_src = match &config.constraints {
+            Some(path) => read(path)?,
+            None => String::new(),
+        };
+        let spec = CompiledSpec::from_sources(&dtd_src, config.root.as_deref(), &sigma_src)
+            .map_err(|e| CoordError::Spec(e.to_string()))?;
+
+        // Shard workers are `xic serve` processes, and the server refuses
+        // to host an inconsistent spec (every session would report
+        // violations forever).  Check up front so the refusal is one clean
+        // spec error instead of N identical worker-spawn failures.
+        if Engine::new().consistency(&spec).decision() == Some(false) {
+            return Err(CoordError::Spec(format!(
+                "refusing to coordinate an inconsistent spec: {}",
+                spec.id()
+            )));
+        }
+
+        let num_shards = spec.shard_plan().num_shards();
+        let group_count = config.workers.max(1).min(num_shards.max(1));
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); group_count];
+        for shard in spec.shard_plan().all_shards() {
+            groups[shard as usize % group_count].push(shard);
+        }
+
+        let worker_spec = WorkerSpec {
+            xic_bin: config.xic_bin,
+            dtd: config.dtd,
+            root: config.root,
+            constraints: config.constraints,
+            scratch: config.scratch,
+            session: config.session,
+            spec_id: spec.id(),
+        };
+
+        let mut workers = Vec::with_capacity(group_count);
+        let mut generation = 0;
+        for (group, shards) in groups.iter().enumerate() {
+            generation += 1;
+            let (child, client) = spawn_worker(&worker_spec, group, shards, generation)?;
+            workers.push(Worker {
+                child,
+                client,
+                restarts: 0,
+            });
+        }
+
+        let merger = ReportMerger::new(Arc::clone(spec.shard_plan()));
+        Ok(Coordinator {
+            spec,
+            worker_spec,
+            max_restarts: config.max_restarts,
+            journals: vec![Vec::new(); group_count],
+            pending: vec![Vec::new(); group_count],
+            groups,
+            workers,
+            docs: BTreeMap::new(),
+            merger,
+            round: Round::default(),
+            deltas: Vec::new(),
+            generation,
+        })
+    }
+
+    /// The compiled spec the coordinator routes against.
+    pub fn spec(&self) -> &CompiledSpec {
+        &self.spec
+    }
+
+    /// Number of shard-group workers.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The shards group `group` owns.
+    pub fn group_shards(&self, group: usize) -> &[u32] {
+        &self.groups[group]
+    }
+
+    /// Opens a document on every worker (opens broadcast: all sessions
+    /// must mint the same handle, and a new document is checked against
+    /// every shard).  Returns the corpus-wide handle.
+    pub fn open_doc(&mut self, label: &str, source: &str) -> Result<u64, CoordError> {
+        let tree = self
+            .spec
+            .parse_document(source)
+            .map_err(|e| CoordError::Document(format!("open `{label}`: {e}")))?;
+
+        // Group 0 mints the canonical handle; every other worker has seen
+        // the identical open sequence, so its handle must agree.
+        let handle = self.call_worker(0, |client| client.open_doc(label, source))?;
+        self.journals[0].push(Event::Open {
+            handle,
+            label: label.to_owned(),
+            source: source.to_owned(),
+        });
+        for group in 1..self.groups.len() {
+            self.deliver(
+                group,
+                Event::Open {
+                    handle,
+                    label: label.to_owned(),
+                    source: source.to_owned(),
+                },
+            )?;
+        }
+
+        self.docs.insert(
+            handle,
+            MirrorDoc {
+                tree,
+                label: label.to_owned(),
+            },
+        );
+        self.merger.open(DocHandle::from_raw(handle), label);
+        self.round.broadcast = true;
+        self.round.dirty_docs.insert(handle);
+        Ok(handle)
+    }
+
+    /// Applies an edit batch: the ops run on the coordinator's mirror tree
+    /// first, their effects map to dirty shards through the incremental
+    /// layout (exactly the marks each worker's index will make), and the
+    /// batch is delivered to the groups owning those shards plus the
+    /// structural authority.  Groups the batch cannot affect only enqueue
+    /// it, to be flushed before their next delivery.
+    pub fn apply(&mut self, handle: u64, ops: &[EditOp]) -> Result<(), CoordError> {
+        let layout = Arc::clone(self.spec.incremental_layout());
+        let plan = Arc::clone(self.spec.shard_plan());
+        let doc = self.docs.get_mut(&handle).ok_or_else(|| {
+            CoordError::Document(format!("apply: no open document with handle {handle}"))
+        })?;
+
+        let mut batch_shards: BTreeSet<u32> = BTreeSet::new();
+        let mut failed: Option<(usize, String)> = None;
+        let mut applied = 0;
+        for (index, op) in ops.iter().enumerate() {
+            match doc.tree.apply_edit(op) {
+                Ok(effect) => {
+                    shards_of_effect(&layout, &plan, &effect, &mut batch_shards);
+                    applied = index + 1;
+                }
+                Err(e) => {
+                    // Mirror the monolithic session: the prefix before the
+                    // failing op stays applied, the rest is dropped.
+                    failed = Some((index, e.to_string()));
+                    break;
+                }
+            }
+        }
+        let delivered_ops = &ops[..applied];
+
+        // The monolithic session marks the document dirty before applying
+        // the batch, so even a fully rejected batch triggers a recheck —
+        // the (possibly empty) applied prefix is delivered the same way.
+        self.round.dirty_docs.insert(handle);
+        self.round
+            .dirty_shards
+            .entry(handle)
+            .or_default()
+            .extend(batch_shards.iter().copied());
+
+        let owners: BTreeSet<usize> = std::iter::once(0)
+            .chain(batch_shards.iter().map(|&s| s as usize % self.groups.len()))
+            .collect();
+        let event = Event::Apply {
+            handle,
+            ops: delivered_ops.to_vec(),
+        };
+        for group in 0..self.groups.len() {
+            if owners.contains(&group) {
+                self.flush_pending(group)?;
+                self.deliver(group, event.clone())?;
+                self.round.participants.insert(group);
+            } else {
+                self.pending[group].push(event.clone());
+            }
+        }
+
+        match failed {
+            Some((index, message)) => Err(CoordError::Document(format!(
+                "apply to handle {handle}: op {index} rejected: {message}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Closes a document everywhere.  Pending (undelivered) applies for it
+    /// are dropped first — the worker closes the document without ever
+    /// applying them, which is indistinguishable once it is gone.  Returns
+    /// the label; the close is announced by the next merged delta.
+    pub fn close_doc(&mut self, handle: u64) -> Result<String, CoordError> {
+        let doc = self.docs.remove(&handle).ok_or_else(|| {
+            CoordError::Document(format!("close: no open document with handle {handle}"))
+        })?;
+        for queue in &mut self.pending {
+            queue.retain(|event| !matches!(event, Event::Apply { handle: h, .. } if *h == handle));
+        }
+        for group in 0..self.groups.len() {
+            self.deliver(group, Event::Close { handle })?;
+        }
+        self.merger.close(DocHandle::from_raw(handle));
+        self.round.dirty_docs.remove(&handle);
+        self.round.dirty_shards.remove(&handle);
+        Ok(doc.label)
+    }
+
+    /// Commits the round: every participating group's worker commits, its
+    /// projected [`xic_engine::DocChange`] frames are absorbed, and the
+    /// merged [`BatchDelta`] — equal to what one monolithic session would
+    /// have announced — is minted and recorded.
+    ///
+    /// Participants are the groups whose shards the round's edits dirtied
+    /// plus the structural authority; a round containing an open is
+    /// broadcast (a new document is checked against every shard).  A
+    /// worker that dies mid-commit is restarted and resynced from its
+    /// journal before the commit is retried; if its restart budget is
+    /// exhausted the whole commit is rejected — never partially merged.
+    pub fn commit(&mut self) -> Result<BatchDelta, CoordError> {
+        let participants: Vec<usize> = if self.round.broadcast {
+            (0..self.groups.len()).collect()
+        } else {
+            self.round.participants.iter().copied().collect()
+        };
+        for group in participants {
+            if self.round.broadcast {
+                self.flush_pending(group)?;
+            }
+            let delta = self.call_worker(group, Client::commit)?;
+            self.journals[group].push(Event::Commit);
+            let authority = group == 0;
+            let shards = self.groups[group].clone();
+            for change in &delta.changes {
+                self.merger.absorb(&shards, authority, change);
+            }
+        }
+
+        let round = std::mem::take(&mut self.round);
+        let merged = self
+            .merger
+            .commit(round.dirty_docs.len(), &round.dirty_shards);
+        self.deltas.push(merged.clone());
+        Ok(merged)
+    }
+
+    /// The merged corpus report — shaped exactly like the monolithic
+    /// [`xic_engine::CorpusSession::report`].
+    pub fn report(&self) -> BatchReport {
+        self.merger.report()
+    }
+
+    /// The merged delta stream so far, in `seq` order (replayable through
+    /// a stock [`xic_engine::CorpusReplica`]).
+    pub fn deltas(&self) -> &[BatchDelta] {
+        &self.deltas
+    }
+
+    /// The last merged sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.merger.last_seq()
+    }
+
+    /// Open documents.
+    pub fn num_docs(&self) -> usize {
+        self.merger.num_docs()
+    }
+
+    /// Snapshots one worker's metrics registry (the bench reads each
+    /// worker's `incremental.constraints_rechecked` from here).
+    pub fn worker_stats(&mut self, group: usize) -> Result<RegistrySnapshot, CoordError> {
+        self.call_worker(group, Client::stats)
+    }
+
+    /// How many times worker `group` has been restarted.
+    pub fn worker_restarts(&self, group: usize) -> usize {
+        self.workers[group].restarts
+    }
+
+    /// Crash-injection hook for the chaos tests: kills worker `group`'s
+    /// process outright, without telling the coordinator.  The next call
+    /// that needs the worker finds a dead connection and runs the
+    /// restart-and-resync path.
+    pub fn kill_worker(&mut self, group: usize) {
+        self.workers[group].kill();
+    }
+
+    /// Gracefully shuts every worker down (wire shutdown, then reap).
+    pub fn shutdown(mut self) {
+        for worker in &mut self.workers {
+            let _ = worker.client.shutdown();
+            worker.kill();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery, supervision, resync
+    // ------------------------------------------------------------------
+
+    /// Runs one wire call against worker `group`, restarting and resyncing
+    /// it on transport failure.  Structured server faults and protocol
+    /// surprises are not crashes: they propagate (taxonomy intact) without
+    /// burning restart budget.
+    fn call_worker<T>(
+        &mut self,
+        group: usize,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, CoordError> {
+        loop {
+            match op(&mut self.workers[group].client) {
+                Ok(value) => return Ok(value),
+                Err(ClientError::Fault(fault)) => return Err(CoordError::Fault(fault)),
+                Err(ClientError::Protocol(detail)) => {
+                    return Err(CoordError::Protocol(format!("worker {group}: {detail}")))
+                }
+                Err(transport) => self.restart_worker(group, &transport.to_string())?,
+            }
+        }
+    }
+
+    /// Restarts a crashed worker and replays its journal — its exact
+    /// delivered traffic, in order — so its session state matches what the
+    /// dead process held.  Journaled commits are re-issued and their
+    /// deltas discarded (they were merged when first acknowledged; the
+    /// replayed session recomputes the same ones deterministically).
+    fn restart_worker(&mut self, group: usize, cause: &str) -> Result<(), CoordError> {
+        loop {
+            let attempts = self.workers[group].restarts + 1;
+            if attempts > self.max_restarts {
+                return Err(CoordError::WorkerLost {
+                    group,
+                    attempts: self.workers[group].restarts,
+                    cause: cause.to_string(),
+                });
+            }
+            self.workers[group].restarts = attempts;
+            self.workers[group].kill();
+            self.generation += 1;
+            let (child, client) = spawn_worker(
+                &self.worker_spec,
+                group,
+                &self.groups[group],
+                self.generation,
+            )?;
+            self.workers[group].child = child;
+            self.workers[group].client = client;
+            match replay(&mut self.workers[group].client, &self.journals[group]) {
+                Ok(()) => return Ok(()),
+                // The respawned worker died during replay too: another
+                // crash, another unit of restart budget.
+                Err(ReplayFailure::Transport) => continue,
+                Err(ReplayFailure::Diverged(detail)) => {
+                    return Err(CoordError::Protocol(format!(
+                        "worker {group} resync diverged: {detail}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Delivers one event to a worker (with crash recovery) and journals
+    /// it on success.
+    fn deliver(&mut self, group: usize, event: Event) -> Result<(), CoordError> {
+        match &event {
+            Event::Open {
+                handle,
+                label,
+                source,
+            } => {
+                let expected = *handle;
+                let minted = self.call_worker(group, |client| client.open_doc(label, source))?;
+                if minted != expected {
+                    return Err(CoordError::Protocol(format!(
+                        "worker {group} minted handle {minted} for an open every \
+                         other worker minted {expected} for"
+                    )));
+                }
+            }
+            Event::Apply { handle, ops } => {
+                let (handle, ops) = (*handle, ops.clone());
+                self.call_worker(group, |client| client.apply(handle, &ops))?;
+            }
+            Event::Close { handle } => {
+                let handle = *handle;
+                self.call_worker(group, |client| client.close_doc(handle))?;
+            }
+            Event::Commit => unreachable!("commits are issued by commit(), not deliver()"),
+        }
+        self.journals[group].push(event);
+        Ok(())
+    }
+
+    /// Flushes a group's pending applies, in order, ahead of a delivery
+    /// that needs its session current.
+    fn flush_pending(&mut self, group: usize) -> Result<(), CoordError> {
+        let queued = std::mem::take(&mut self.pending[group]);
+        for event in queued {
+            self.deliver(group, event)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a journal replay against a freshly respawned worker failed.
+enum ReplayFailure {
+    /// The transport died again — another crash.
+    Transport,
+    /// The worker answered, but differently from the original run: the
+    /// resync cannot be trusted, so the coordinator rejects.
+    Diverged(String),
+}
+
+/// Replays a journal against a fresh worker session.  Every event was
+/// acknowledged once before, so any structured fault now means the replay
+/// diverged.
+fn replay(client: &mut Client, journal: &[Event]) -> Result<(), ReplayFailure> {
+    let transport = |_: ClientError| ReplayFailure::Transport;
+    for event in journal {
+        match event {
+            Event::Open {
+                handle,
+                label,
+                source,
+            } => {
+                let minted = match client.open_doc(label, source) {
+                    Ok(minted) => minted,
+                    Err(ClientError::Fault(fault)) => {
+                        return Err(ReplayFailure::Diverged(format!(
+                            "open `{label}` re-faulted: {fault}"
+                        )))
+                    }
+                    Err(e) => return Err(transport(e)),
+                };
+                if minted != *handle {
+                    return Err(ReplayFailure::Diverged(format!(
+                        "open `{label}` re-minted handle {minted}, originally {handle}"
+                    )));
+                }
+            }
+            Event::Apply { handle, ops } => match client.apply(*handle, ops) {
+                Ok(_) => {}
+                Err(ClientError::Fault(fault)) => {
+                    return Err(ReplayFailure::Diverged(format!(
+                        "apply to {handle} re-faulted: {fault}"
+                    )))
+                }
+                Err(e) => return Err(transport(e)),
+            },
+            Event::Close { handle } => match client.close_doc(*handle) {
+                Ok(_) => {}
+                Err(ClientError::Fault(fault)) => {
+                    return Err(ReplayFailure::Diverged(format!(
+                        "close of {handle} re-faulted: {fault}"
+                    )))
+                }
+                Err(e) => return Err(transport(e)),
+            },
+            Event::Commit => match client.commit() {
+                Ok(_) => {}
+                Err(ClientError::Fault(fault)) => {
+                    return Err(ReplayFailure::Diverged(format!(
+                        "commit re-faulted: {fault}"
+                    )))
+                }
+                Err(e) => return Err(transport(e)),
+            },
+        }
+    }
+    Ok(())
+}
+
+/// Maps one applied edit's effect to the shards it dirties — exactly the
+/// marks [`xic_constraints::IncrementalIndex::apply`] makes: an attribute
+/// write that displaces an identical value is a no-op, element insertion
+/// and removal dirty by type, text is invisible.
+fn shards_of_effect(
+    layout: &IncrementalLayout,
+    plan: &ShardPlan,
+    effect: &EditEffect,
+    out: &mut BTreeSet<u32>,
+) {
+    match effect {
+        EditEffect::AttrSet {
+            ty, attr, old, new, ..
+        } => {
+            if *old == Some(*new) {
+                return;
+            }
+            for &check in layout.checks_touched_by_attr(*ty, *attr) {
+                out.insert(plan.shard_of_check(check));
+            }
+        }
+        EditEffect::ElementAdded { ty, .. } => {
+            for &check in layout.checks_touched_by_ty(*ty) {
+                out.insert(plan.shard_of_check(check));
+            }
+        }
+        EditEffect::TextAdded { .. } => {}
+        EditEffect::SubtreeRemoved { elements, .. } => {
+            for &(_, ty) in elements {
+                for &check in layout.checks_touched_by_ty(ty) {
+                    out.insert(plan.shard_of_check(check));
+                }
+            }
+        }
+    }
+}

@@ -82,6 +82,7 @@ pub mod corpus;
 pub mod hash;
 pub mod journal;
 pub mod limits;
+pub mod merge;
 pub mod metrics;
 pub mod session;
 pub mod spec;
@@ -100,6 +101,7 @@ pub use journal::{
     SessionLog,
 };
 pub use limits::{LimitKind, Limits, RejectedOp, ResourceError};
+pub use merge::ReportMerger;
 pub use metrics::{register_baseline, EngineMetrics};
 pub use session::{DocHandle, Recovery, Session, SessionError, SessionVerdict};
 pub use spec::{CompileError, CompiledSpec, ParseSpecIdError, SpecId};

@@ -193,11 +193,22 @@ pub(crate) fn spawn_live(
     registry: Arc<MetricsRegistry>,
     backlog: usize,
     state_dir: Option<PathBuf>,
+    scope: Option<Vec<u32>>,
 ) -> SessionHandle {
     let (tx, rx) = sync_channel(backlog.max(1));
     let join = std::thread::Builder::new()
         .name(format!("xic-session-{name}"))
-        .spawn(move || run_live(&name, &spec, limits, registry, rx, state_dir.as_deref()))
+        .spawn(move || {
+            run_live(
+                &name,
+                &spec,
+                limits,
+                registry,
+                rx,
+                state_dir.as_deref(),
+                scope,
+            )
+        })
         .expect("spawn session actor");
     SessionHandle {
         tx,
@@ -214,8 +225,14 @@ fn run_live(
     registry: Arc<MetricsRegistry>,
     rx: Receiver<Cmd>,
     state_dir: Option<&std::path::Path>,
+    scope: Option<Vec<u32>>,
 ) {
     let mut session = CorpusSession::with_registry_and_limits(spec, limits, registry);
+    if let Some(shards) = scope {
+        // Validated against the plan at `Server::start`; scoping before any
+        // document opens is guaranteed because the session is brand new.
+        session.scope_to_shards(&shards);
+    }
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Open {
@@ -370,6 +387,7 @@ mod tests {
             Limits::UNLIMITED,
             Arc::new(MetricsRegistry::new()),
             4,
+            None,
             None,
         )
     }

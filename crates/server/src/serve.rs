@@ -54,6 +54,13 @@ pub struct ServerConfig {
     /// answered with a structured code-2 `protocol:shards-disabled`
     /// record instead of a projected stream.
     pub shards: bool,
+    /// When set, every live session is scoped to these shards with
+    /// [`xic_engine::CorpusSession::scope_to_shards`] (`xic serve
+    /// --scope-shards 0,3`): commits recompute only the scoped constraints
+    /// and reports carry the shard projection — the per-worker half of a
+    /// fanned-out commit, hosted by `xic-coord`.  Validated against the
+    /// spec's shard plan at [`Server::start`].
+    pub scope: Option<Vec<u32>>,
     /// The metrics registry (`None`: the process-global one).
     pub registry: Option<Arc<MetricsRegistry>>,
 }
@@ -71,6 +78,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             state_dir: None,
             shards: false,
+            scope: None,
             registry: None,
         }
     }
@@ -220,6 +228,21 @@ impl Server {
                 io::ErrorKind::InvalidInput,
                 format!("refusing to serve an inconsistent spec: {}", spec.id()),
             ));
+        }
+
+        // Validate the shard scope up front: `scope_to_shards` panics on an
+        // out-of-range id, and it would do so inside a session actor thread
+        // long after startup succeeded.
+        if let Some(scope) = &config.scope {
+            let num_shards = spec.shard_plan().num_shards();
+            if let Some(&bad) = scope.iter().find(|&&s| (s as usize) >= num_shards) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "scope shard {bad} out of range: the spec's plan has {num_shards} shards"
+                    ),
+                ));
+            }
         }
 
         // The drain path persists into the state directory; creating it up
@@ -580,6 +603,7 @@ fn get_or_create_session(shared: &Shared, name: &str) -> Result<Arc<SessionHandl
         Arc::clone(&shared.registry),
         shared.config.session_backlog,
         shared.config.state_dir.clone(),
+        shared.config.scope.clone(),
     ));
     sessions.insert(name.to_owned(), Arc::clone(&handle));
     shared.instr.sessions.set(sessions.len() as i64);
